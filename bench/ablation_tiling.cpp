@@ -1,0 +1,68 @@
+// Ablation: Algorithm 1 (loop tiling to the cluster size).
+//
+// The paper tiles the outer loop so the number of RDD elements matches the
+// worker-core count, because each element costs one JNI invocation. This
+// bench sweeps the tile count from "one per core" to "one per iteration"
+// and reports where the JNI overhead goes.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "support/flags.h"
+#include "support/strings.h"
+
+namespace ompcloud::bench {
+namespace {
+
+int run(int argc, const char** argv) {
+  FlagSet flags("Algorithm-1 tiling ablation (JNI call amortization)");
+  flags.define("benchmark", "gemm", "benchmark to run")
+      .define_int("n", 448, "real problem dimension")
+      .define_int("cores", 64, "dedicated worker cores");
+  if (Status parsed = flags.parse(argc, argv); !parsed.is_ok()) {
+    return parsed.code() == StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+  const int64_t n = flags.get_int("n");
+  const int cores = static_cast<int>(flags.get_int("cores"));
+
+  std::printf(
+      "Ablation: Algorithm-1 tiling (%s, n=%lld, %d cores)\n"
+      "paper: \"the closer the number of iterations is to the number of "
+      "cores, the smaller will be the [JNI] overhead\"\n\n",
+      flags.get("benchmark").c_str(), static_cast<long long>(n), cores);
+  std::printf("%10s %8s %14s %14s %12s\n", "tiles", "tasks", "jni-core-sec",
+              "sched-window", "job-time");
+
+  std::vector<int64_t> tile_counts = {0, static_cast<int64_t>(cores) * 2,
+                                      n / 2, n};
+  tile_counts.erase(std::unique(tile_counts.begin(), tile_counts.end()),
+                    tile_counts.end());
+  for (int64_t tiles : tile_counts) {
+    CloudRunConfig config;
+    config.benchmark = flags.get("benchmark");
+    config.n = n;
+    config.dedicated_cores = cores;
+    config.explicit_tiles = tiles;
+    auto run = run_on_cloud(config);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().to_string().c_str());
+      return 1;
+    }
+    const auto& job = run->report.job;
+    std::printf("%10s %8d %14s %14s %12s\n",
+                tiles == 0 ? "auto(=C)" : std::to_string(tiles).c_str(),
+                job.tasks, format_duration(job.jni_core_seconds).c_str(),
+                format_duration(job.map_collect_seconds).c_str(),
+                format_duration(job.job_seconds).c_str());
+  }
+  std::printf(
+      "\nauto(=C) is Algorithm 1: one JNI call per dedicated core; the\n"
+      "untiled run (tiles = n) pays one JNI call per loop iteration.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ompcloud::bench
+
+int main(int argc, const char** argv) { return ompcloud::bench::run(argc, argv); }

@@ -1,0 +1,92 @@
+#include "bench/harness.h"
+
+#include "omptarget/host_plugin.h"
+#include "support/strings.h"
+
+namespace ompcloud::bench {
+
+Result<CloudRunResult> run_on_cloud(const CloudRunConfig& config) {
+  return run_on_cloud_with_injectors(config, nullptr, nullptr);
+}
+
+Result<CloudRunResult> run_on_cloud_with_injectors(
+    const CloudRunConfig& config, spark::SparkContext::TaskFaultInjector faults,
+    spark::SparkContext::TaskSlowdownInjector slowdowns) {
+  sim::Engine engine;
+  cloud::SimProfile profile = config.profile.has_value()
+                                  ? *config.profile
+                                  : cloud::SimProfile::paper_scale(
+                                        config.n, config.virtual_n);
+  cloud::ClusterSpec cluster_spec = config.cluster;
+  cluster_spec.workers = config.workers;
+  cloud::Cluster cluster(engine, cluster_spec, profile);
+
+  spark::SparkConf conf = config.spark;
+  conf.with_dedicated_cores(config.dedicated_cores);
+
+  omptarget::DeviceManager devices(engine);
+  auto plugin = std::make_unique<omptarget::CloudPlugin>(cluster, conf,
+                                                         config.plugin);
+  if (faults) plugin->spark_context().set_task_fault_injector(std::move(faults));
+  if (slowdowns) {
+    plugin->spark_context().set_task_slowdown_injector(std::move(slowdowns));
+  }
+  int cloud_id = devices.register_device(std::move(plugin));
+
+  OC_ASSIGN_OR_RETURN(auto benchmark, kernels::make_benchmark(config.benchmark));
+  kernels::Benchmark::Options options;
+  options.n = config.n;
+  options.sparse = config.sparse;
+  benchmark->prepare(options);
+
+  omp::TargetRegion region(devices, config.benchmark);
+  region.device(cloud_id);
+  OC_RETURN_IF_ERROR(benchmark->build_region(region));
+  if (config.explicit_tiles > 0) region.set_explicit_tiles(config.explicit_tiles);
+
+  OC_ASSIGN_OR_RETURN(auto report, omp::offload_blocking(engine, region));
+  if (report.fell_back_to_host) {
+    return internal_error("bench run unexpectedly fell back to host");
+  }
+
+  CloudRunResult result;
+  result.report = std::move(report);
+  result.total_flops = benchmark->total_flops();
+  if (config.verify) {
+    benchmark->run_reference();
+    result.max_error = benchmark->max_error();
+    if (result.max_error != 0.0) {
+      return internal_error(config.benchmark + ": offloaded result diverged");
+    }
+  }
+  return result;
+}
+
+Result<double> run_on_host(const std::string& benchmark_name, int64_t n,
+                           bool sparse, int threads,
+                           const cloud::SimProfile& profile) {
+  sim::Engine engine;
+  omptarget::DeviceManager devices(engine);
+  // A c3-class node running plain multi-threaded OpenMP: cloud core rate.
+  devices.set_host_device(std::make_unique<omptarget::HostPlugin>(
+      engine, "omp-thread", threads, profile.core_flops));
+
+  OC_ASSIGN_OR_RETURN(auto benchmark, kernels::make_benchmark(benchmark_name));
+  kernels::Benchmark::Options options;
+  options.n = n;
+  options.sparse = sparse;
+  benchmark->prepare(options);
+
+  omp::TargetRegion region(devices, benchmark_name);
+  region.device(omptarget::DeviceManager::host_device_id());
+  OC_RETURN_IF_ERROR(benchmark->build_region(region));
+  OC_ASSIGN_OR_RETURN(auto report, omp::offload_blocking(engine, region));
+  return report.total_seconds;
+}
+
+std::string speedup_str(double baseline_seconds, double seconds) {
+  if (seconds <= 0) return "-";
+  return str_format("%.1fx", baseline_seconds / seconds);
+}
+
+}  // namespace ompcloud::bench

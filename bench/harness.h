@@ -1,0 +1,57 @@
+// Shared harness for the figure/ablation benches: builds a fresh simulated
+// cluster per run, offloads one paper benchmark, and returns the timing
+// decomposition. Each run uses the paper-scale SimProfile so that n-sized
+// real buffers stand in for the paper's 16384^2 (~1 GB) matrices.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "kernels/benchmark.h"
+#include "omptarget/cloud_plugin.h"
+#include "support/status.h"
+
+namespace ompcloud::bench {
+
+struct CloudRunConfig {
+  std::string benchmark = "gemm";
+  int64_t n = 512;           ///< real problem dimension
+  int64_t virtual_n = 16384; ///< paper's dimension the run stands for
+  bool sparse = false;
+  int dedicated_cores = 16;  ///< paper's x-axis (spark.cores.max / 2)
+  int workers = 16;          ///< paper: 16 c3.8xlarge workers
+  bool verify = false;       ///< also run the serial reference (slow)
+  /// 0 = Algorithm-1 default; >0 forces that many tiles per loop.
+  int64_t explicit_tiles = 0;
+  spark::SparkConf spark;
+  omptarget::CloudPluginOptions plugin;
+  cloud::ClusterSpec cluster;
+  /// Profile override; default is SimProfile::paper_scale(n, virtual_n).
+  std::optional<cloud::SimProfile> profile;
+};
+
+struct CloudRunResult {
+  omptarget::OffloadReport report;
+  uint64_t total_flops = 0;
+  double max_error = 0;  ///< only meaningful when config.verify
+};
+
+/// Offloads one benchmark to a fresh simulated cluster. Deterministic.
+Result<CloudRunResult> run_on_cloud(const CloudRunConfig& config);
+
+/// Same, with failure/straggler injection hooks (either may be null).
+Result<CloudRunResult> run_on_cloud_with_injectors(
+    const CloudRunConfig& config, spark::SparkContext::TaskFaultInjector faults,
+    spark::SparkContext::TaskSlowdownInjector slowdowns);
+
+/// OmpThread reference: the same benchmark with `threads` plain OpenMP
+/// threads on one cloud-class node (c3 cores at the scaled rate).
+/// Returns the virtual execution time in seconds.
+Result<double> run_on_host(const std::string& benchmark, int64_t n,
+                           bool sparse, int threads,
+                           const cloud::SimProfile& profile);
+
+/// Formats "123.4x" style speedups.
+std::string speedup_str(double baseline_seconds, double seconds);
+
+}  // namespace ompcloud::bench

@@ -1,0 +1,195 @@
+// Google-benchmark microbenchmarks of the substrates: codec throughput,
+// event-engine throughput, fair-share link arithmetic, object-store
+// round-trips, and a small end-to-end Spark job. These measure the real
+// CPU cost of the simulator itself (events/sec, MB/s), not virtual time.
+#include <benchmark/benchmark.h>
+
+#include "cloud/cluster.h"
+#include "compress/codec.h"
+#include "compress/payload.h"
+#include "jnibridge/bridge.h"
+#include "spark/context.h"
+#include "support/random.h"
+
+namespace ompcloud {
+namespace {
+
+ByteBuffer make_input(size_t size, double zero_fraction, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  ByteBuffer buf(size);
+  auto view = buf.mutable_view();
+  for (size_t i = 0; i < size; ++i) {
+    view[i] = rng.chance(zero_fraction)
+                  ? std::byte{0}
+                  : static_cast<std::byte>(rng.next() & 0xff);
+  }
+  return buf;
+}
+
+void BM_GzLiteCompress(benchmark::State& state) {
+  compress::GzLiteCodec codec;
+  ByteBuffer input =
+      make_input(static_cast<size_t>(state.range(0)),
+                 state.range(1) ? 0.95 : 0.0, 42);
+  for (auto _ : state) {
+    auto out = codec.compress(input.view());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+  state.SetLabel(state.range(1) ? "sparse" : "dense");
+}
+BENCHMARK(BM_GzLiteCompress)->Args({1 << 16, 0})->Args({1 << 16, 1})
+    ->Args({1 << 20, 0})->Args({1 << 20, 1});
+
+void BM_GzLiteDecompress(benchmark::State& state) {
+  compress::GzLiteCodec codec;
+  ByteBuffer input = make_input(1 << 20, 0.95, 43);
+  auto compressed = codec.compress(input.view());
+  for (auto _ : state) {
+    auto out = codec.decompress(compressed->view());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_GzLiteDecompress);
+
+void BM_RleCompressSparse(benchmark::State& state) {
+  compress::RleCodec codec;
+  ByteBuffer input = make_input(1 << 20, 0.95, 44);
+  for (auto _ : state) {
+    auto out = codec.compress(input.view());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_RleCompressSparse);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    const int events = static_cast<int>(state.range(0));
+    for (int i = 0; i < events; ++i) {
+      engine.schedule_at(static_cast<double>(i % 97), [] {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(10000);
+
+void BM_CoroutineSpawnJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::CpuPool pool(engine, 16);
+    for (int i = 0; i < state.range(0); ++i) {
+      engine.spawn(pool.run(0.001 * (i % 7)));
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoroutineSpawnJoin)->Arg(1000);
+
+void BM_LinkFairShare(benchmark::State& state) {
+  // N concurrent flows on one link: stresses the O(flows) settle/reschedule.
+  for (auto _ : state) {
+    sim::Engine engine;
+    net::Link link(engine, "l", 1e9, 0.0);
+    for (int i = 0; i < state.range(0); ++i) {
+      engine.spawn(link.transfer(1000 + 13 * i));
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LinkFairShare)->Arg(64)->Arg(512);
+
+void BM_ObjectStorePutGet(benchmark::State& state) {
+  sim::Engine engine;
+  net::Network network(engine);
+  net::Link& up = network.add_link("up", 1e9, 0.0001);
+  net::Link& down = network.add_link("down", 1e9, 0.0001);
+  network.set_route("host", "s3", {&up});
+  network.set_route("s3", "host", {&down});
+  storage::ObjectStore store(network, "s3", storage::s3_profile());
+  (void)store.create_bucket("b");
+  ByteBuffer payload = make_input(1 << 16, 0.5, 45);
+  for (auto _ : state) {
+    engine.spawn([](storage::ObjectStore* store, ByteBuffer payload)
+                     -> sim::Co<void> {
+      (void)co_await store->put("host", "b", "k", std::move(payload));
+      auto got = co_await store->get("host", "b", "k");
+      benchmark::DoNotOptimize(got);
+    }(&store, ByteBuffer(payload.view())));
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ObjectStorePutGet);
+
+Status MicroKernel(const jni::KernelArgs& args) {
+  auto in = args.input<float>(0);
+  auto out = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) out[i] = in[i] + 1.0f;
+  return Status::ok();
+}
+const jni::KernelRegistrar kMicroReg("micro.kernel", MicroKernel);
+
+void BM_SparkSmallJobEndToEnd(benchmark::State& state) {
+  // Full driver->workers->driver round trip of a small job: measures the
+  // simulator's per-job real cost (the figure benches run hundreds).
+  for (auto _ : state) {
+    sim::Engine engine;
+    cloud::ClusterSpec spec;
+    spec.workers = 4;
+    cloud::Cluster cluster(engine, spec, cloud::SimProfile{});
+    spark::SparkContext context(cluster, spark::SparkConf{});
+    (void)cluster.store().create_bucket("b");
+
+    const int64_t n = 256;
+    std::vector<float> x(n, 1.0f);
+    auto framed = compress::encode_payload("gzlite", as_bytes_of(x.data(), n));
+    engine.spawn([](cloud::Cluster* cluster, ByteBuffer framed) -> sim::Co<void> {
+      (void)co_await cluster->store().put("host", "b", "x.bin",
+                                          std::move(framed));
+    }(&cluster, std::move(*framed)));
+    engine.run();
+
+    spark::JobSpec job;
+    job.bucket = "b";
+    job.vars = {{"x", n * 4, true, false}, {"y", n * 4, false, true}};
+    spark::LoopSpec loop;
+    loop.kernel = "micro.kernel";
+    loop.iterations = n;
+    loop.flops_per_iteration = 1;
+    loop.reads = {{0, spark::LoopAccess::Mode::kReadPartitioned,
+                   spark::AffineRange::rows(4), {}}};
+    loop.writes = {{1, spark::LoopAccess::Mode::kWritePartitioned,
+                    spark::AffineRange::rows(4), {}}};
+    job.loops.push_back(loop);
+
+    engine.spawn([](spark::SparkContext* context, spark::JobSpec job)
+                     -> sim::Co<void> {
+      auto metrics = co_await context->run_job(std::move(job));
+      benchmark::DoNotOptimize(metrics);
+    }(&context, std::move(job)));
+    engine.run();
+  }
+}
+BENCHMARK(BM_SparkSmallJobEndToEnd);
+
+void BM_Fnv1a(benchmark::State& state) {
+  ByteBuffer input = make_input(1 << 20, 0.0, 46);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fnv1a(input.view()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_Fnv1a);
+
+}  // namespace
+}  // namespace ompcloud
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Comparison: cloud storage backends (S3 / HDFS / Azure profiles).
+//
+// §III-A: "we also support data offloading to HDFS, Amazon Simple Storage
+// Service (S3) and Microsoft Azure Storage". The backends differ in
+// control-plane latency (HTTPS/auth handshakes vs bare RPC), which shows up
+// in the host-target bar — especially for benchmarks with several mapped
+// buffers.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "support/flags.h"
+#include "support/strings.h"
+
+namespace ompcloud::bench {
+namespace {
+
+int run(int argc, const char** argv) {
+  FlagSet flags("Storage-backend comparison (S3 vs HDFS vs Azure)");
+  flags.define("benchmark", "3mm", "benchmark (four mapped inputs)")
+      .define_int("n", 448, "real problem dimension")
+      .define_int("cores", 128, "dedicated worker cores");
+  if (Status parsed = flags.parse(argc, argv); !parsed.is_ok()) {
+    return parsed.code() == StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+  const int64_t n = flags.get_int("n");
+
+  std::printf("Storage backends (%s, n=%lld, dense, %lld cores)\n\n",
+              flags.get("benchmark").c_str(), static_cast<long long>(n),
+              static_cast<long long>(flags.get_int("cores")));
+  std::printf("%8s %10s | %10s %12s %12s %12s\n", "backend", "provider",
+              "upload", "job-time", "download", "total");
+
+  struct Backend {
+    const char* storage;
+    const char* provider;
+  };
+  for (const Backend& backend :
+       {Backend{"s3", "ec2"}, Backend{"hdfs", "private"},
+        Backend{"azure", "azure"}}) {
+    CloudRunConfig config;
+    config.benchmark = flags.get("benchmark");
+    config.n = n;
+    config.dedicated_cores = static_cast<int>(flags.get_int("cores"));
+    config.cluster.storage_type = backend.storage;
+    config.cluster.provider = backend.provider;
+    auto run = run_on_cloud(config);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s: %s\n", backend.storage,
+                   run.status().to_string().c_str());
+      return 1;
+    }
+    const auto& report = run->report;
+    std::printf("%8s %10s | %10s %12s %12s %12s\n", backend.storage,
+                backend.provider,
+                format_duration(report.upload_seconds).c_str(),
+                format_duration(report.job.job_seconds).c_str(),
+                format_duration(report.download_seconds).c_str(),
+                format_duration(report.total_seconds).c_str());
+  }
+  std::printf(
+      "\nat GiB scale the WAN bandwidth dominates and the backends converge.\n"
+      "The control-plane difference shows at interactive scale (small\n"
+      "objects, unscaled profile):\n\n");
+  std::printf("%8s | %12s %12s\n", "backend", "upload", "host-target");
+  for (const char* storage : {"s3", "hdfs", "azure"}) {
+    CloudRunConfig config;
+    config.benchmark = flags.get("benchmark");
+    config.n = 96;                      // KiB-scale objects
+    config.profile = cloud::SimProfile{};  // unscaled: latency-dominated
+    config.dedicated_cores = static_cast<int>(flags.get_int("cores"));
+    config.cluster.storage_type = storage;
+    auto run = run_on_cloud(config);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%8s | %12s %12s\n", storage,
+                format_duration(run->report.upload_seconds).c_str(),
+                format_duration(run->report.host_target_seconds()).c_str());
+  }
+  std::printf(
+      "\nHDFS's bare-RPC requests beat S3/Azure's HTTPS+auth handshakes when\n"
+      "objects are small; the paper's MB-GB objects hide this entirely.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ompcloud::bench
+
+int main(int argc, const char** argv) { return ompcloud::bench::run(argc, argv); }

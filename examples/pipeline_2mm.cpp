@@ -1,0 +1,141 @@
+// Multi-loop target region (§III-D): "our approach also supports more
+// complex OpenMP constructs such as those using several parallel for loops
+// within the same target region. This is implemented by performing
+// successive map-reduce transformations within the Spark job."
+//
+// This example chains two matrix products, E = (A x B) x C, inside ONE
+// target region. The intermediate `tmp` is a device-side allocation: it
+// never crosses the WAN — the two loops hand it over inside the Spark job.
+// A declared OpenMP reduction then computes the Frobenius norm of E in the
+// same region, demonstrating reduction clauses end to end.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "omp/target_region.h"
+#include "omptarget/cloud_plugin.h"
+#include "support/flags.h"
+#include "support/strings.h"
+#include "workload/generators.h"
+
+using namespace ompcloud;
+
+namespace {
+
+jni::LoopBodyFn matmul_body(int64_t n) {
+  return [n](const jni::KernelArgs& args) {
+    auto x = args.input<float>(0);
+    auto y = args.input<float>(1);
+    auto out = args.output<float>(0);
+    for (int64_t i = args.begin; i < args.end; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t k = 0; k < n; ++k) acc += x[i * n + k] * y[k * n + j];
+        out[i * n + j] = acc;
+      }
+    }
+    return Status::ok();
+  };
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  FlagSet flags("Two chained matmuls + reduction in one target region");
+  flags.define_int("n", 192, "matrix dimension");
+  if (Status parsed = flags.parse(argc, argv); !parsed.is_ok()) {
+    return parsed.code() == StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+  const int64_t n = flags.get_int("n");
+  const auto cells = static_cast<size_t>(n) * n;
+
+  sim::Engine engine;
+  cloud::ClusterSpec spec;
+  cloud::Cluster cluster(engine, spec, cloud::SimProfile{});
+  omptarget::DeviceManager devices(engine);
+  int cloud_id = devices.register_device(std::make_unique<omptarget::CloudPlugin>(
+      cluster, spark::SparkConf{}, omptarget::CloudPluginOptions{}));
+
+  auto a = workload::make_matrix({static_cast<size_t>(n), static_cast<size_t>(n), false, 10});
+  auto b = workload::make_matrix({static_cast<size_t>(n), static_cast<size_t>(n), false, 11});
+  auto c = workload::make_matrix({static_cast<size_t>(n), static_cast<size_t>(n), false, 12});
+  std::vector<float> tmp(cells, 0.0f);  // host shadow for fallback runs
+  std::vector<float> e(cells, 0.0f);
+  float norm_sq = 0.0f;
+
+  omp::TargetRegion region(devices, "2mm-pipeline");
+  region.device(cloud_id);
+  auto A = region.map_to("A", a.data(), a.size());
+  auto B = region.map_to("B", b.data(), b.size());
+  auto C = region.map_to("C", c.data(), c.size());
+  auto Tmp = region.map_alloc("tmp", tmp.data(), tmp.size());  // device-only
+  auto E = region.map_from("E", e.data(), e.size());
+  auto Norm = region.map_from("norm_sq", &norm_sq, 1);
+
+  // Loop 1: tmp = A x B.
+  region.parallel_for(n)
+      .read_partitioned(A, omp::rows<float>(n))
+      .read(B)
+      .write_partitioned(Tmp, omp::rows<float>(n))
+      .cost_flops(2.0 * static_cast<double>(n) * n)
+      .body("mm1", matmul_body(n));
+  // Loop 2: E = tmp x C — consumes the intermediate inside the job.
+  region.parallel_for(n)
+      .read_partitioned(Tmp, omp::rows<float>(n))
+      .read(C)
+      .write_partitioned(E, omp::rows<float>(n))
+      .cost_flops(2.0 * static_cast<double>(n) * n)
+      .body("mm2", matmul_body(n));
+  // Loop 3: reduction(+: norm_sq) over E.
+  region.parallel_for(n)
+      .read_partitioned(E, omp::rows<float>(n))
+      .reduction(Norm, spark::ReduceOp::kSum, spark::ElemType::kF32)
+      .cost_flops(2.0 * static_cast<double>(n))
+      .body("frob", [n](const jni::KernelArgs& args) {
+        auto e = args.input<float>(0);
+        auto acc = args.output<float>(0);
+        for (int64_t i = args.begin; i < args.end; ++i) {
+          for (int64_t j = 0; j < n; ++j) acc[0] += e[i * n + j] * e[i * n + j];
+        }
+        return Status::ok();
+      });
+
+  auto report = omp::offload_blocking(engine, region);
+  if (!report.ok()) {
+    std::fprintf(stderr, "offload failed: %s\n",
+                 report.status().to_string().c_str());
+    return 1;
+  }
+
+  // Verify against a local serial computation.
+  std::vector<float> tmp_ref(cells, 0.0f), e_ref(cells, 0.0f);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t k = 0; k < n; ++k) acc += a[i * n + k] * b[k * n + j];
+      tmp_ref[i * n + j] = acc;
+    }
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t k = 0; k < n; ++k) acc += tmp_ref[i * n + k] * c[k * n + j];
+      e_ref[i * n + j] = acc;
+    }
+  double err = 0;
+  for (size_t i = 0; i < cells; ++i) {
+    err = std::max(err, std::abs(static_cast<double>(e[i]) - e_ref[i]));
+  }
+
+  std::printf(
+      "E = (A x B) x C computed in one region: %zu x %zu, max |err| = %g\n"
+      "Frobenius norm(E) = %.3f\n"
+      "loops ran as successive map-reduces: %d tasks total, job %s\n"
+      "intermediate 'tmp' stayed in the cluster: uploaded only %s "
+      "(3 inputs), downloaded %s (E + norm)\n",
+      static_cast<size_t>(n), static_cast<size_t>(n), err,
+      std::sqrt(static_cast<double>(norm_sq)), report->job.tasks,
+      format_duration(report->job.job_seconds).c_str(),
+      format_bytes(report->uploaded_plain_bytes).c_str(),
+      format_bytes(report->downloaded_plain_bytes).c_str());
+  return err == 0.0 ? 0 : 1;
+}

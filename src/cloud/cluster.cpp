@@ -1,0 +1,241 @@
+#include "cloud/cluster.h"
+
+#include <cassert>
+
+namespace ompcloud::cloud {
+
+SimProfile SimProfile::from_config(const Config& config) {
+  SimProfile profile;
+  profile.wan_up_bytes_per_sec =
+      config.get_double("sim.wan-up-bps", profile.wan_up_bytes_per_sec);
+  profile.wan_down_bytes_per_sec =
+      config.get_double("sim.wan-down-bps", profile.wan_down_bytes_per_sec);
+  profile.wan_latency = config.get_duration("sim.wan-latency", profile.wan_latency);
+  profile.lan_latency = config.get_duration("sim.lan-latency", profile.lan_latency);
+  profile.storage_service_bandwidth = config.get_double(
+      "sim.storage-bandwidth-bps", profile.storage_service_bandwidth);
+  profile.core_flops = config.get_double("sim.core-flops", profile.core_flops);
+  profile.host_core_flops =
+      config.get_double("sim.host-core-flops", profile.host_core_flops);
+  profile.jni_call_overhead =
+      config.get_duration("sim.jni-call-overhead", profile.jni_call_overhead);
+  profile.task_schedule_overhead = config.get_duration(
+      "sim.task-schedule-overhead", profile.task_schedule_overhead);
+  profile.task_launch_latency = config.get_duration(
+      "sim.task-launch-latency", profile.task_launch_latency);
+  profile.job_submit_latency =
+      config.get_duration("sim.job-submit-latency", profile.job_submit_latency);
+  profile.result_collect_overhead = config.get_duration(
+      "sim.result-collect-overhead", profile.result_collect_overhead);
+  profile.driver_memory_bytes_per_sec = config.get_double(
+      "sim.driver-memory-bps", profile.driver_memory_bytes_per_sec);
+  profile.data_scale = config.get_double("sim.data-scale", profile.data_scale);
+  profile.spark_serialization_bytes_per_sec =
+      config.get_double("sim.spark-serialization-bps",
+                        profile.spark_serialization_bytes_per_sec);
+  return profile;
+}
+
+SimProfile SimProfile::paper_scale(int64_t real_n, int64_t virtual_n) {
+  SimProfile profile;
+  double ratio = static_cast<double>(virtual_n) / static_cast<double>(real_n);
+  profile.data_scale = ratio * ratio;          // matrix bytes grow as n^2
+  double flop_scale = ratio * ratio * ratio;   // matmul-class flops as n^3
+  // Effective (not peak) throughput of the naive triple-loop kernels the
+  // paper benchmarks: ~0.4 GFLOP/s/core on the Xeon E5-2680v2, ~0.3 on the
+  // laptop i7. With these, the virtual single-core times land in the
+  // paper's regime (Fig. 5: 10 min - 1.5 h on 8 cores).
+  profile.core_flops = 0.4e9 / flop_scale;
+  profile.host_core_flops = 0.3e9 / flop_scale;
+  return profile;
+}
+
+double SimProfile::encode_seconds(const compress::Codec& codec,
+                                  uint64_t real_bytes) const {
+  double rate = codec.timing().compress_bytes_per_sec;
+  if (rate <= 0) return 0;
+  return static_cast<double>(real_bytes) * data_scale / rate;
+}
+
+double SimProfile::decode_seconds(const compress::Codec& codec,
+                                  uint64_t real_bytes) const {
+  double rate = codec.timing().decompress_bytes_per_sec;
+  if (rate <= 0) return 0;
+  return static_cast<double>(real_bytes) * data_scale / rate;
+}
+
+double SimProfile::reconstruct_seconds(uint64_t real_bytes) const {
+  return static_cast<double>(real_bytes) * data_scale /
+         driver_memory_bytes_per_sec;
+}
+
+double SimProfile::serialize_seconds(uint64_t real_bytes) const {
+  if (spark_serialization_bytes_per_sec <= 0) return 0;
+  return static_cast<double>(real_bytes) * data_scale /
+         spark_serialization_bytes_per_sec;
+}
+
+Result<ClusterSpec> ClusterSpec::from_config(const Config& config) {
+  ClusterSpec spec;
+  spec.provider = config.get_string("cluster.provider", spec.provider);
+  if (spec.provider != "ec2" && spec.provider != "azure" &&
+      spec.provider != "private") {
+    return invalid_argument("cluster.provider must be ec2|azure|private, got '" +
+                            spec.provider + "'");
+  }
+  spec.instance_type =
+      config.get_string("cluster.instance-type", spec.instance_type);
+  OC_ASSIGN_OR_RETURN(InstanceType type, find_instance_type(spec.instance_type));
+  (void)type;
+  spec.workers = static_cast<int>(config.get_int("cluster.workers", spec.workers));
+  if (spec.workers <= 0) {
+    return invalid_argument("cluster.workers must be positive");
+  }
+  spec.storage_type = config.get_string("storage.type", spec.storage_type);
+  if (spec.storage_type != "s3" && spec.storage_type != "hdfs" &&
+      spec.storage_type != "azure") {
+    return invalid_argument("storage.type must be s3|hdfs|azure, got '" +
+                            spec.storage_type + "'");
+  }
+  spec.on_the_fly = config.get_bool("cluster.on-the-fly", spec.on_the_fly);
+  return spec;
+}
+
+namespace {
+
+storage::StorageProfile storage_profile_for(const std::string& type) {
+  if (type == "hdfs") return storage::hdfs_profile();
+  if (type == "azure") return storage::azure_profile();
+  return storage::s3_profile();
+}
+
+}  // namespace
+
+Cluster::Cluster(sim::Engine& engine, ClusterSpec spec, SimProfile profile)
+    : engine_(&engine),
+      spec_(std::move(spec)),
+      profile_(profile),
+      instance_(*find_instance_type(spec_.instance_type)),
+      cost_(engine),
+      state_(spec_.on_the_fly ? ClusterState::kStopped
+                              : ClusterState::kRunning) {
+  build_topology();
+  if (state_ == ClusterState::kRunning) {
+    // Pre-provisioned cluster: billing runs from t=0 (driver + workers).
+    cost_.on_instances_started(spec_.workers + 1, instance_.price_per_hour);
+  }
+}
+
+std::string Cluster::worker_node(int index) const {
+  assert(index >= 0 && index < spec_.workers);
+  return "worker" + std::to_string(index);
+}
+
+sim::CpuPool& Cluster::worker_pool(int index) {
+  assert(index >= 0 && index < static_cast<int>(worker_pools_.size()));
+  return *worker_pools_[index];
+}
+
+void Cluster::build_topology() {
+  network_ = std::make_unique<net::Network>(*engine_);
+  net::Network& net = *network_;
+
+  // The virtual-scale factor is applied here, once: real bytes cross links
+  // whose bandwidth is divided by data_scale, so byte->seconds conversions
+  // reflect the virtual problem size.
+  const double scale = profile_.data_scale;
+  net::Link& wan_up = net.add_link(
+      "wan.up", profile_.wan_up_bytes_per_sec / scale, profile_.wan_latency);
+  net::Link& wan_down = net.add_link(
+      "wan.down", profile_.wan_down_bytes_per_sec / scale, profile_.wan_latency);
+  net::Link& storage_in =
+      net.add_link("storage.in", profile_.storage_service_bandwidth / scale,
+                   profile_.lan_latency);
+  net::Link& storage_out =
+      net.add_link("storage.out", profile_.storage_service_bandwidth / scale,
+                   profile_.lan_latency);
+
+  auto add_node_links = [&](const std::string& node) {
+    net::Link& out = net.add_link(
+        node + ".out", instance_.nic_bandwidth_bps / scale, profile_.lan_latency);
+    net::Link& in = net.add_link(
+        node + ".in", instance_.nic_bandwidth_bps / scale, profile_.lan_latency);
+    return std::make_pair(&out, &in);
+  };
+
+  auto [driver_out, driver_in] = add_node_links(driver_node());
+
+  // Host <-> storage (Fig. 1 steps 2 and 8): bottlenecked by the WAN.
+  net.set_route(host_node(), storage_node(), {&wan_up, &storage_in});
+  net.set_route(storage_node(), host_node(), {&storage_out, &wan_down});
+  // Host <-> driver (SSH control channel).
+  net.set_route(host_node(), driver_node(), {&wan_up, driver_in});
+  net.set_route(driver_node(), host_node(), {driver_out, &wan_down});
+  // Driver <-> storage (Fig. 1 steps 3 and 7).
+  net.set_route(driver_node(), storage_node(), {driver_out, &storage_in});
+  net.set_route(storage_node(), driver_node(), {&storage_out, driver_in});
+
+  worker_pools_.clear();
+  worker_alive_.assign(spec_.workers, true);
+  for (int w = 0; w < spec_.workers; ++w) {
+    std::string node = worker_node(w);
+    auto [out, in] = add_node_links(node);
+    // Driver <-> worker (partition distribution, result collection).
+    net.set_route(driver_node(), node, {driver_out, in});
+    net.set_route(node, driver_node(), {out, driver_in});
+    // Worker <-> storage (workers can read/write the cloud FS directly).
+    net.set_route(node, storage_node(), {out, &storage_in});
+    net.set_route(storage_node(), node, {&storage_out, in});
+    worker_pools_.push_back(
+        std::make_unique<sim::CpuPool>(*engine_, instance_.physical_cores));
+  }
+  driver_pool_ = std::make_unique<sim::CpuPool>(*engine_, instance_.physical_cores);
+  host_pool_ = std::make_unique<sim::CpuPool>(*engine_, host_cores());
+
+  store_ = std::make_unique<storage::ObjectStore>(
+      net, storage_node(), storage_profile_for(spec_.storage_type));
+}
+
+sim::Co<Status> Cluster::ensure_running() {
+  if (state_ == ClusterState::kRunning) co_return Status::ok();
+  // All instances boot in parallel; the cluster is usable when the slowest
+  // is up. Billing starts at the boot request (as EC2 bills).
+  cost_.on_instances_started(spec_.workers + 1, instance_.price_per_hour);
+  co_await engine_->sleep(instance_.boot_seconds);
+  state_ = ClusterState::kRunning;
+  co_return Status::ok();
+}
+
+sim::Co<Status> Cluster::shutdown() {
+  if (state_ == ClusterState::kStopped) co_return Status::ok();
+  cost_.on_instances_stopped(spec_.workers + 1, instance_.price_per_hour);
+  state_ = ClusterState::kStopped;
+  // Stop requests return quickly; we do not model the async spin-down tail.
+  co_await engine_->sleep(0.5);
+  co_return Status::ok();
+}
+
+sim::Co<Status> Cluster::ssh_submit_roundtrip() {
+  if (!running()) {
+    co_return unavailable("cluster is not running");
+  }
+  co_await engine_->sleep(2 * profile_.wan_latency + profile_.job_submit_latency);
+  co_return Status::ok();
+}
+
+void Cluster::kill_worker(int index) {
+  assert(index >= 0 && index < spec_.workers);
+  worker_alive_[index] = false;
+}
+
+void Cluster::revive_worker(int index) {
+  assert(index >= 0 && index < spec_.workers);
+  worker_alive_[index] = true;
+}
+
+bool Cluster::worker_alive(int index) const {
+  assert(index >= 0 && index < spec_.workers);
+  return worker_alive_[index];
+}
+
+}  // namespace ompcloud::cloud

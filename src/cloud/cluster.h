@@ -1,0 +1,174 @@
+// Simulated cloud cluster: topology + lifecycle + cost.
+//
+// A `Cluster` is the substrate the paper provisions with cgcloud (§IV): one
+// Spark driver node, W worker nodes, a storage service, and the WAN between
+// the programmer's laptop and the datacenter. It owns the network, the
+// object store, per-node CPU pools, and the instance lifecycle (including
+// §III-A's on-the-fly EC2 start/stop with cost metering).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/instance.h"
+#include "compress/codec.h"
+#include "net/network.h"
+#include "sim/engine.h"
+#include "storage/object_store.h"
+#include "support/config.h"
+
+namespace ompcloud::cloud {
+
+/// Calibration constants for the simulated environment (DESIGN.md §7).
+/// All fields can be overridden from the INI config ([sim] section).
+struct SimProfile {
+  // WAN between the laptop and the cloud region.
+  double wan_up_bytes_per_sec = 25e6;     ///< 200 Mbit/s uplink
+  double wan_down_bytes_per_sec = 25e6;   ///< 200 Mbit/s downlink
+  double wan_latency = 0.030;             ///< one-way, 60 ms RTT
+
+  // Datacenter LAN.
+  double lan_latency = 0.0001;            ///< one-way, 0.2 ms RTT
+  double storage_service_bandwidth = 5e9; ///< aggregate S3/HDFS throughput
+
+  // Compute.
+  double core_flops = 4e9;                ///< per physical core
+  double host_core_flops = 3e9;           ///< laptop core (i7) is slower
+
+  // Spark / JNI overheads (the knobs behind Fig. 4's overhead growth).
+  double jni_call_overhead = 0.002;       ///< per map-function invocation
+  double task_schedule_overhead = 0.006;  ///< driver-side, serialized per task
+  double task_launch_latency = 0.004;     ///< driver->executor dispatch
+  double job_submit_latency = 1.2;        ///< SSH + spark-submit + JVM spin-up
+  double result_collect_overhead = 0.001; ///< per collected task result
+
+  /// Driver memory bandwidth for output reconstruction (memcpy/reduce).
+  double driver_memory_bytes_per_sec = 5e9;
+
+  /// JVM object (de)serialization throughput per core (Kryo-era Spark,
+  /// ~150 MB/s): charged on every byte entering or leaving a task, on the
+  /// broadcast payload per executor, and on collected results at the
+  /// driver. This is the dominant intra-cluster overhead the paper observes
+  /// growing from 17% to 69% of SYRK's job time (§IV).
+  double spark_serialization_bytes_per_sec = 150e6;
+
+  /// Virtual-scale factor: every real byte moved in the simulation stands
+  /// for `data_scale` virtual bytes. Applied centrally: link bandwidths are
+  /// divided by it at topology build, and (de)compression / reconstruction
+  /// CPU costs are multiplied by it. This lets the benches run the paper's
+  /// 1 GB-matrix experiments with MB-sized real buffers while keeping every
+  /// time ratio intact (DESIGN.md §2).
+  double data_scale = 1.0;
+
+  /// Reads overrides from the `[sim]` section of a config file.
+  static SimProfile from_config(const Config& config);
+
+  /// Calibrates the profile so a real n x n float benchmark stands for the
+  /// paper's `virtual_n` x `virtual_n` (default 16384, the ~1 GB matrices
+  /// of §IV): bytes scale by (virtual_n/n)^2 and flops by (virtual_n/n)^3.
+  static SimProfile paper_scale(int64_t real_n, int64_t virtual_n = 16384);
+
+  /// Seconds of CPU to encode/decode `real_bytes` with `codec` at this
+  /// profile's virtual scale.
+  [[nodiscard]] double encode_seconds(const compress::Codec& codec,
+                                      uint64_t real_bytes) const;
+  [[nodiscard]] double decode_seconds(const compress::Codec& codec,
+                                      uint64_t real_bytes) const;
+  /// Seconds of driver CPU to fold `real_bytes` of reconstructed output.
+  [[nodiscard]] double reconstruct_seconds(uint64_t real_bytes) const;
+  /// Seconds of one core to (de)serialize `real_bytes` through the JVM.
+  [[nodiscard]] double serialize_seconds(uint64_t real_bytes) const;
+};
+
+/// What to provision (from the paper's `[cluster]` config section).
+struct ClusterSpec {
+  std::string provider = "ec2";          ///< "ec2" | "azure" | "private"
+  std::string instance_type = "c3.8xlarge";
+  int workers = 16;
+  std::string storage_type = "s3";       ///< "s3" | "hdfs" | "azure"
+  bool on_the_fly = false;               ///< start/stop instances per offload
+
+  static Result<ClusterSpec> from_config(const Config& config);
+};
+
+/// Lifecycle states for the whole cluster (all instances move together, as
+/// cgcloud scripts do).
+enum class ClusterState { kStopped, kRunning };
+
+class Cluster {
+ public:
+  /// Builds the simulated topology immediately; instances start `kStopped`
+  /// unless `spec.on_the_fly` is false, in which case the constructor
+  /// assumes a pre-provisioned, already-running cluster (the paper's
+  /// default setup: the user ran cgcloud beforehand).
+  Cluster(sim::Engine& engine, ClusterSpec spec, SimProfile profile);
+
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] storage::ObjectStore& store() { return *store_; }
+  [[nodiscard]] const ClusterSpec& spec() const { return spec_; }
+  [[nodiscard]] const SimProfile& profile() const { return profile_; }
+  [[nodiscard]] const InstanceType& instance() const { return instance_; }
+  [[nodiscard]] CostMeter& cost() { return cost_; }
+
+  // Node names in the network topology.
+  [[nodiscard]] static std::string host_node() { return "host"; }
+  [[nodiscard]] static std::string storage_node() { return "storage"; }
+  [[nodiscard]] static std::string driver_node() { return "driver"; }
+  [[nodiscard]] std::string worker_node(int index) const;
+
+  [[nodiscard]] int worker_count() const { return spec_.workers; }
+  [[nodiscard]] int cores_per_worker() const { return instance_.physical_cores; }
+  [[nodiscard]] int total_worker_cores() const {
+    return spec_.workers * instance_.physical_cores;
+  }
+
+  /// CPU pool of worker `index`; one slot per physical core.
+  [[nodiscard]] sim::CpuPool& worker_pool(int index);
+  /// Driver-node CPU pool (partitioning + reconstruction work).
+  [[nodiscard]] sim::CpuPool& driver_pool() { return *driver_pool_; }
+  /// The programmer's laptop (paper §IV: Intel i7, 4 cores): compresses
+  /// offloaded buffers and runs host-fallback execution.
+  [[nodiscard]] sim::CpuPool& host_pool() { return *host_pool_; }
+  [[nodiscard]] static int host_cores() { return 4; }
+
+  [[nodiscard]] ClusterState state() const { return state_; }
+  [[nodiscard]] bool running() const { return state_ == ClusterState::kRunning; }
+
+  /// Boots all instances if stopped (cold-start latency + billing starts).
+  /// No-op when already running.
+  [[nodiscard]] sim::Co<Status> ensure_running();
+
+  /// Stops all instances (billing stops). Only meaningful with on_the_fly.
+  [[nodiscard]] sim::Co<Status> shutdown();
+
+  /// SSH control round-trip from the host to the driver: how the plugin
+  /// submits Spark jobs (§III-A step 3). Pays WAN RTT + submit latency.
+  [[nodiscard]] sim::Co<Status> ssh_submit_roundtrip();
+
+  /// Simulated hard failure of one worker (fault-tolerance tests): its CPU
+  /// pool keeps running tasks already placed, but the Spark scheduler
+  /// consults `worker_alive` before placing new ones.
+  void kill_worker(int index);
+  void revive_worker(int index);
+  [[nodiscard]] bool worker_alive(int index) const;
+
+ private:
+  void build_topology();
+
+  sim::Engine* engine_;
+  ClusterSpec spec_;
+  SimProfile profile_;
+  InstanceType instance_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<storage::ObjectStore> store_;
+  std::vector<std::unique_ptr<sim::CpuPool>> worker_pools_;
+  std::unique_ptr<sim::CpuPool> driver_pool_;
+  std::unique_ptr<sim::CpuPool> host_pool_;
+  std::vector<bool> worker_alive_;
+  CostMeter cost_;
+  ClusterState state_;
+};
+
+}  // namespace ompcloud::cloud

@@ -1,0 +1,77 @@
+#include "cloud/instance.h"
+
+#include <cassert>
+
+namespace ompcloud::cloud {
+
+namespace {
+
+const std::map<std::string, InstanceType>& catalog() {
+  // Sizes and prices as of the paper's era (2017, us-east-1 on-demand).
+  static const auto* kCatalog = new std::map<std::string, InstanceType>{
+      {"c3.8xlarge",
+       {"c3.8xlarge", 32, 16, 60ull << 30, 1.680, 1.25e9, 45.0}},
+      {"c3.4xlarge",
+       {"c3.4xlarge", 16, 8, 30ull << 30, 0.840, 0.625e9, 45.0}},
+      {"c3.2xlarge",
+       {"c3.2xlarge", 8, 4, 15ull << 30, 0.420, 0.25e9, 45.0}},
+      {"c3.xlarge", {"c3.xlarge", 4, 2, 7ull << 30, 0.210, 0.125e9, 40.0}},
+      {"m4.large", {"m4.large", 2, 1, 8ull << 30, 0.100, 0.0625e9, 40.0}},
+      {"d12v2",  // Azure HDInsight-era flavor for the azure profile
+       {"d12v2", 4, 2, 28ull << 30, 0.379, 0.125e9, 60.0}},
+  };
+  return *kCatalog;
+}
+
+}  // namespace
+
+Result<InstanceType> find_instance_type(const std::string& name) {
+  auto it = catalog().find(name);
+  if (it == catalog().end()) {
+    return not_found("unknown instance type '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> instance_type_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, type] : catalog()) names.push_back(name);
+  return names;
+}
+
+void CostMeter::on_instances_started(int count, double price_per_hour) {
+  assert(count > 0);
+  running_.push_back({count, price_per_hour, engine_->now()});
+}
+
+void CostMeter::on_instances_stopped(int count, double price_per_hour) {
+  for (auto it = running_.begin(); it != running_.end() && count > 0; ++it) {
+    if (it->price_per_hour != price_per_hour || it->count == 0) continue;
+    int stopping = std::min(count, it->count);
+    double seconds = engine_->now() - it->started_at;
+    settled_instance_seconds_ += stopping * seconds;
+    settled_usd_ += stopping * seconds * price_per_hour / 3600.0;
+    it->count -= stopping;
+    count -= stopping;
+  }
+  assert(count == 0 && "stopped more instances than were running");
+}
+
+double CostMeter::accrued_usd() const {
+  double usd = settled_usd_;
+  for (const auto& group : running_) {
+    usd += group.count * (engine_->now() - group.started_at) *
+           group.price_per_hour / 3600.0;
+  }
+  return usd;
+}
+
+double CostMeter::instance_seconds() const {
+  double seconds = settled_instance_seconds_;
+  for (const auto& group : running_) {
+    seconds += group.count * (engine_->now() - group.started_at);
+  }
+  return seconds;
+}
+
+}  // namespace ompcloud::cloud

@@ -1,0 +1,70 @@
+// Cloud instance-type catalog and cost metering.
+//
+// The paper's cluster is 17 EC2 c3.8xlarge instances (32 vCPU on Xeon
+// E5-2680 v2, 60 GB RAM; "1 dedicated CPU core corresponds to 2 vCPUs").
+// The catalog carries the figures a simulation needs — core counts, NIC
+// bandwidth, hourly price — and the CostMeter implements §III-A's
+// "pay for just the amount of computational resources used" accounting for
+// the on-the-fly instance start/stop feature.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "support/status.h"
+
+namespace ompcloud::cloud {
+
+/// Static description of a VM flavor.
+struct InstanceType {
+  std::string name;
+  int vcpus = 0;
+  int physical_cores = 0;  ///< vcpus / 2 (hyper-threading, per paper §IV)
+  uint64_t ram_bytes = 0;
+  double price_per_hour = 0;       ///< USD, on-demand
+  double nic_bandwidth_bps = 0;    ///< bytes per second
+  double boot_seconds = 0;         ///< cold start latency
+};
+
+/// Looks up a flavor by name ("c3.8xlarge", "c3.4xlarge", "m4.large", ...).
+Result<InstanceType> find_instance_type(const std::string& name);
+
+/// All known flavor names.
+std::vector<std::string> instance_type_names();
+
+/// Per-cluster money meter: accumulates instance-seconds while instances run.
+/// Virtual-time based (reads the sim clock), so benches can report the $
+/// column of a cost/performance trade-off sweep.
+class CostMeter {
+ public:
+  explicit CostMeter(sim::Engine& engine) : engine_(&engine) {}
+
+  /// Marks `count` instances of the given hourly price as running.
+  void on_instances_started(int count, double price_per_hour);
+
+  /// Marks `count` instances stopped, folding their accrued cost in.
+  void on_instances_stopped(int count, double price_per_hour);
+
+  /// Total USD accrued up to the current virtual time (running instances
+  /// included pro-rata).
+  [[nodiscard]] double accrued_usd() const;
+
+  /// Instance-seconds consumed so far.
+  [[nodiscard]] double instance_seconds() const;
+
+ private:
+  struct RunningGroup {
+    int count;
+    double price_per_hour;
+    double started_at;
+  };
+  sim::Engine* engine_;
+  std::vector<RunningGroup> running_;
+  double settled_usd_ = 0;
+  double settled_instance_seconds_ = 0;
+};
+
+}  // namespace ompcloud::cloud

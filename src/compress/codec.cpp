@@ -1,0 +1,308 @@
+#include "compress/codec.h"
+
+#include <array>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "support/strings.h"
+#include "support/varint.h"
+
+namespace ompcloud::compress {
+
+// ---------------------------------------------------------------------------
+// NullCodec
+// ---------------------------------------------------------------------------
+
+Result<ByteBuffer> NullCodec::compress(ByteView input) const {
+  return ByteBuffer(input);
+}
+
+Result<ByteBuffer> NullCodec::decompress(ByteView input) const {
+  return ByteBuffer(input);
+}
+
+// ---------------------------------------------------------------------------
+// RleCodec
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr size_t kMinRun = 4;
+}  // namespace
+
+Result<ByteBuffer> RleCodec::compress(ByteView input) const {
+  ByteBuffer out;
+  out.reserve(input.size() / 4 + 16);
+  put_varint(out, input.size());
+  size_t i = 0;
+  size_t literal_start = 0;
+  auto flush_literals = [&](size_t end) {
+    if (end > literal_start) {
+      size_t len = end - literal_start;
+      put_varint(out, (static_cast<uint64_t>(len) << 1) | 0);
+      out.append(input.subspan(literal_start, len));
+    }
+  };
+  while (i < input.size()) {
+    size_t run = 1;
+    while (i + run < input.size() && input[i + run] == input[i]) ++run;
+    if (run >= kMinRun) {
+      flush_literals(i);
+      put_varint(out, (static_cast<uint64_t>(run) << 1) | 1);
+      out.push_back(input[i]);
+      i += run;
+      literal_start = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literals(input.size());
+  return out;
+}
+
+Result<ByteBuffer> RleCodec::decompress(ByteView input) const {
+  size_t pos = 0;
+  auto original_size = get_varint(input, &pos);
+  if (!original_size) return data_loss("rle: truncated header");
+  ByteBuffer out;
+  out.reserve(*original_size);
+  while (pos < input.size()) {
+    auto control = get_varint(input, &pos);
+    if (!control) return data_loss("rle: truncated control varint");
+    uint64_t len = *control >> 1;
+    if (out.size() + len > *original_size) {
+      return data_loss("rle: block exceeds declared size");
+    }
+    if (*control & 1) {
+      if (pos >= input.size()) return data_loss("rle: truncated run byte");
+      std::byte value = input[pos++];
+      for (uint64_t k = 0; k < len; ++k) out.push_back(value);
+    } else {
+      if (pos + len > input.size()) return data_loss("rle: truncated literals");
+      out.append(input.subspan(pos, len));
+      pos += len;
+    }
+  }
+  if (out.size() != *original_size) {
+    return data_loss(str_format("rle: size mismatch (%zu != %llu)", out.size(),
+                                static_cast<unsigned long long>(*original_size)));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// GzLiteCodec
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::byte kGzLiteMagic{0x47};  // 'G'
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxDistance = 65535;
+constexpr size_t kHashBits = 16;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr uint32_t kNoPos = 0xffffffffu;
+
+inline uint32_t read_u32(const std::byte* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint32_t hash4(uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+inline void put_len_extension(ByteBuffer& out, size_t len) {
+  // LZ4 convention: nibble 15 means "add following bytes of 255 until a
+  // byte < 255 terminates".
+  while (len >= 255) {
+    out.push_back(std::byte{255});
+    len -= 255;
+  }
+  out.push_back(static_cast<std::byte>(len));
+}
+
+inline std::optional<size_t> get_len_extension(ByteView in, size_t* pos,
+                                               size_t base) {
+  size_t len = base;
+  while (true) {
+    if (*pos >= in.size()) return std::nullopt;
+    auto b = static_cast<uint8_t>(in[(*pos)++]);
+    len += b;
+    if (b != 255) return len;
+  }
+}
+
+}  // namespace
+
+GzLiteCodec::GzLiteCodec(int level) : level_(level < 1 ? 1 : level) {}
+
+Result<ByteBuffer> GzLiteCodec::compress(ByteView input) const {
+  ByteBuffer out;
+  out.reserve(input.size() / 2 + 32);
+  out.push_back(kGzLiteMagic);
+  put_varint(out, input.size());
+
+  const std::byte* base = input.data();
+  const size_t n = input.size();
+
+  std::vector<uint32_t> head(kHashSize, kNoPos);
+  // Hash chain for level > 1: prev position with the same hash, windowed.
+  std::vector<uint32_t> chain;
+  if (level_ > 1) chain.assign(kMaxDistance + 1, kNoPos);
+
+  auto emit_sequence = [&](size_t lit_start, size_t lit_len, size_t match_len,
+                           size_t distance) {
+    uint8_t lit_nibble = lit_len < 15 ? static_cast<uint8_t>(lit_len) : 15;
+    uint8_t match_nibble = 0;
+    if (match_len >= kMinMatch) {
+      size_t code = match_len - kMinMatch;
+      match_nibble = code < 15 ? static_cast<uint8_t>(code) : 15;
+    }
+    out.push_back(static_cast<std::byte>((lit_nibble << 4) | match_nibble));
+    if (lit_nibble == 15) put_len_extension(out, lit_len - 15);
+    out.append(input.subspan(lit_start, lit_len));
+    if (match_len >= kMinMatch) {
+      put_u16le(out, static_cast<uint16_t>(distance));
+      if (match_nibble == 15) put_len_extension(out, match_len - kMinMatch - 15);
+    }
+  };
+
+  size_t anchor = 0;
+  size_t i = 0;
+  while (n >= kMinMatch && i + kMinMatch <= n) {
+    uint32_t value = read_u32(base + i);
+    uint32_t h = hash4(value);
+    size_t best_len = 0;
+    size_t best_pos = 0;
+    uint32_t candidate = head[h];
+    for (int probe = 0; probe < level_ && candidate != kNoPos; ++probe) {
+      if (i - candidate <= kMaxDistance && read_u32(base + candidate) == value) {
+        size_t len = kMinMatch;
+        while (i + len < n && base[candidate + len] == base[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_pos = candidate;
+        }
+      }
+      if (chain.empty()) break;
+      candidate = chain[candidate % chain.size()];
+    }
+    if (!chain.empty()) chain[i % chain.size()] = head[h];
+    head[h] = static_cast<uint32_t>(i);
+
+    if (best_len >= kMinMatch) {
+      emit_sequence(anchor, i - anchor, best_len, i - best_pos);
+      // Insert a couple of positions inside the match so subsequent matches
+      // can reference it (cheap approximation of full insertion).
+      size_t end = i + best_len;
+      for (size_t j = i + 1; j + kMinMatch <= end && j + kMinMatch <= n; j += best_len / 2 + 1) {
+        uint32_t hv = hash4(read_u32(base + j));
+        if (!chain.empty()) chain[j % chain.size()] = head[hv];
+        head[hv] = static_cast<uint32_t>(j);
+      }
+      i = end;
+      anchor = i;
+    } else {
+      ++i;
+    }
+  }
+  // Final literal-only sequence (always present, possibly empty, so the
+  // decoder can rely on at least one token existing for non-empty input).
+  emit_sequence(anchor, n - anchor, 0, 0);
+  return out;
+}
+
+Result<ByteBuffer> GzLiteCodec::decompress(ByteView input) const {
+  size_t pos = 0;
+  if (input.empty() || input[pos++] != kGzLiteMagic) {
+    return data_loss("gzlite: bad magic");
+  }
+  auto original_size = get_varint(input, &pos);
+  if (!original_size) return data_loss("gzlite: truncated header");
+  ByteBuffer out;
+  out.reserve(*original_size);
+
+  while (out.size() < *original_size || pos < input.size()) {
+    if (pos >= input.size()) return data_loss("gzlite: truncated stream");
+    auto token = static_cast<uint8_t>(input[pos++]);
+    size_t lit_len = token >> 4;
+    if (lit_len == 15) {
+      auto ext = get_len_extension(input, &pos, 15);
+      if (!ext) return data_loss("gzlite: truncated literal length");
+      lit_len = *ext;
+    }
+    if (pos + lit_len > input.size()) return data_loss("gzlite: truncated literals");
+    if (out.size() + lit_len > *original_size) {
+      return data_loss("gzlite: literals exceed declared size");
+    }
+    out.append(input.subspan(pos, lit_len));
+    pos += lit_len;
+    if (pos >= input.size()) break;  // final literal-only sequence
+
+    auto distance = get_u16le(input, &pos);
+    if (!distance) return data_loss("gzlite: truncated distance");
+    if (*distance == 0 || *distance > out.size()) {
+      return data_loss("gzlite: invalid match distance");
+    }
+    size_t match_len = (token & 0x0f) + kMinMatch;
+    if ((token & 0x0f) == 15) {
+      auto ext = get_len_extension(input, &pos, 15 + kMinMatch);
+      if (!ext) return data_loss("gzlite: truncated match length");
+      match_len = *ext;
+    }
+    if (out.size() + match_len > *original_size) {
+      return data_loss("gzlite: match exceeds declared size");
+    }
+    // Byte-wise copy: source may overlap destination (RLE-style matches).
+    size_t src = out.size() - *distance;
+    for (size_t k = 0; k < match_len; ++k) {
+      out.push_back(out.view()[src + k]);
+    }
+  }
+  if (out.size() != *original_size) {
+    return data_loss(str_format(
+        "gzlite: size mismatch (%zu != %llu)", out.size(),
+        static_cast<unsigned long long>(*original_size)));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const std::map<std::string, const Codec*, std::less<>>& registry() {
+  static const auto* kRegistry = [] {
+    auto* m = new std::map<std::string, const Codec*, std::less<>>();
+    (*m)["null"] = new NullCodec();
+    (*m)["rle"] = new RleCodec();
+    (*m)["gzlite"] = new GzLiteCodec(1);
+    (*m)["gzlite-4"] = new GzLiteCodec(4);
+    (*m)["gzlite-9"] = new GzLiteCodec(9);
+    return m;
+  }();
+  return *kRegistry;
+}
+
+}  // namespace
+
+Result<const Codec*> find_codec(std::string_view name) {
+  const auto& reg = registry();
+  auto it = reg.find(name);
+  if (it == reg.end()) {
+    return not_found("unknown codec '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> codec_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, codec] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace ompcloud::compress

@@ -1,0 +1,115 @@
+// Compression codecs for offloaded data.
+//
+// The paper's cloud plugin gzip-compresses each mapped buffer before upload
+// when it exceeds a minimal compression size (§III-A), and Spark "automatically
+// compresses all data transmitted through the network" (§III-C). The dense-vs-
+// sparse results of Fig. 5 hinge on real compressibility differences, so the
+// codecs here genuinely compress: GzLite is an LZ4-style LZ77 with greedy
+// hash-table matching; RLE handles long zero runs; Null is the identity.
+//
+// Each codec also carries a throughput model (bytes/second) used by the
+// simulation to charge virtual time for (de)compression work.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace ompcloud::compress {
+
+/// Modeled (de)compression throughput; used for virtual-time charging only —
+/// actual byte transformation always really happens.
+struct CodecTiming {
+  double compress_bytes_per_sec = 0;    ///< 0 means "free" (no time charged)
+  double decompress_bytes_per_sec = 0;  ///< 0 means "free"
+};
+
+/// Abstract codec. Implementations must be stateless and thread-compatible.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Compresses `input`. Never fails for valid inputs; the frame is
+  /// self-describing (decompress needs no external size).
+  [[nodiscard]] virtual Result<ByteBuffer> compress(ByteView input) const = 0;
+
+  /// Decompresses a frame produced by `compress`. Fails with kDataLoss on
+  /// malformed or truncated input.
+  [[nodiscard]] virtual Result<ByteBuffer> decompress(ByteView input) const = 0;
+
+  /// Throughput model for the simulator.
+  [[nodiscard]] virtual CodecTiming timing() const = 0;
+};
+
+/// Identity codec (frame = raw bytes; used below the min-compression-size
+/// threshold and as the "compression off" ablation).
+class NullCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "null"; }
+  [[nodiscard]] Result<ByteBuffer> compress(ByteView input) const override;
+  [[nodiscard]] Result<ByteBuffer> decompress(ByteView input) const override;
+  [[nodiscard]] CodecTiming timing() const override { return {0, 0}; }
+};
+
+/// Byte-level run-length codec: excels on sparse (zero-heavy) data, useless
+/// on dense data. Frame: varint original size, then blocks of
+/// [varint (len<<1 | is_run)][1 byte | len literal bytes].
+class RleCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "rle"; }
+  [[nodiscard]] Result<ByteBuffer> compress(ByteView input) const override;
+  [[nodiscard]] Result<ByteBuffer> decompress(ByteView input) const override;
+  [[nodiscard]] CodecTiming timing() const override { return {2.0e9, 4.0e9}; }
+};
+
+/// GzLite: LZ4-style LZ77. Sequences of
+///   [token: lit_len(hi nibble) | match_len-4(lo nibble)]
+///   [lit_len extension bytes*] [literals]
+///   [2-byte LE match distance] [match_len extension bytes*]
+/// terminated by a final literal-only sequence. Greedy matching through a
+/// 16-bit hash table over 4-byte windows. Worst-case expansion is bounded
+/// (~0.4% + 16 bytes); zero-heavy input compresses ~200x.
+class GzLiteCodec final : public Codec {
+ public:
+  /// `level` trades match effort for speed: 1 = single probe (default),
+  /// higher levels probe a short hash chain.
+  explicit GzLiteCodec(int level = 1);
+
+  [[nodiscard]] std::string_view name() const override { return "gzlite"; }
+  [[nodiscard]] Result<ByteBuffer> compress(ByteView input) const override;
+  [[nodiscard]] Result<ByteBuffer> decompress(ByteView input) const override;
+  [[nodiscard]] CodecTiming timing() const override {
+    // gzip-class throughput on one core (paper's plugin spawns one thread
+    // per buffer, so the per-buffer rate is single-core).
+    return {400.0e6, 900.0e6};
+  }
+
+ private:
+  int level_;
+};
+
+/// Looks up a codec by name ("null", "rle", "gzlite", "gzlite-9").
+/// Returned pointer is owned by the registry and lives forever.
+Result<const Codec*> find_codec(std::string_view name);
+
+/// All registered codec names (for --help text and parameterized tests).
+std::vector<std::string> codec_names();
+
+/// Convenience: compression ratio achieved on `input` (input/output sizes).
+struct CompressionStats {
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  [[nodiscard]] double ratio() const {
+    return bytes_out == 0 ? 0.0
+                          : static_cast<double>(bytes_in) /
+                                static_cast<double>(bytes_out);
+  }
+};
+
+}  // namespace ompcloud::compress

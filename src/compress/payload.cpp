@@ -1,0 +1,68 @@
+#include "compress/payload.h"
+
+#include "support/varint.h"
+
+namespace ompcloud::compress {
+
+Result<ByteBuffer> encode_payload(std::string_view codec_name, ByteView data,
+                                  uint64_t min_compress_size) {
+  std::string_view effective =
+      data.size() < min_compress_size ? "null" : codec_name;
+  OC_ASSIGN_OR_RETURN(const Codec* codec, find_codec(effective));
+  OC_ASSIGN_OR_RETURN(ByteBuffer body, codec->compress(data));
+  ByteBuffer framed;
+  framed.reserve(body.size() + effective.size() + 12);
+  put_varint(framed, effective.size());
+  framed.append(ByteBuffer::from_string(effective).view());
+  // Declared body length: lets decode detect truncation/appended garbage
+  // even for codecs whose own frame is not self-terminating (null).
+  put_varint(framed, body.size());
+  framed.append(body.view());
+  return framed;
+}
+
+namespace {
+
+Result<std::pair<std::string, size_t>> read_header(ByteView framed) {
+  size_t pos = 0;
+  auto name_len = get_varint(framed, &pos);
+  if (!name_len || pos + *name_len > framed.size() || *name_len > 64) {
+    return data_loss("payload: malformed frame header");
+  }
+  std::string name(reinterpret_cast<const char*>(framed.data() + pos),
+                   *name_len);
+  return std::make_pair(name, pos + *name_len);
+}
+
+}  // namespace
+
+Result<ByteBuffer> decode_payload(ByteView framed) {
+  OC_ASSIGN_OR_RETURN(auto header, read_header(framed));
+  auto codec = find_codec(header.first);
+  if (!codec.ok()) {
+    return data_loss("payload: unknown codec '" + header.first + "'");
+  }
+  size_t pos = header.second;
+  auto body_len = get_varint(framed, &pos);
+  if (!body_len || pos + *body_len != framed.size()) {
+    return data_loss("payload: body length mismatch");
+  }
+  return (*codec)->decompress(framed.subspan(pos, *body_len));
+}
+
+Result<std::string> payload_codec(ByteView framed) {
+  OC_ASSIGN_OR_RETURN(auto header, read_header(framed));
+  return header.first;
+}
+
+double encode_cost_seconds(const Codec& codec, uint64_t input_bytes) {
+  double rate = codec.timing().compress_bytes_per_sec;
+  return rate > 0 ? static_cast<double>(input_bytes) / rate : 0.0;
+}
+
+double decode_cost_seconds(const Codec& codec, uint64_t output_bytes) {
+  double rate = codec.timing().decompress_bytes_per_sec;
+  return rate > 0 ? static_cast<double>(output_bytes) / rate : 0.0;
+}
+
+}  // namespace ompcloud::compress

@@ -1,0 +1,35 @@
+// Self-describing compressed payload frames.
+//
+// Offloaded buffers travel as binary files through cloud storage and as RDD
+// element values inside the cluster. Both sides must agree on the codec, so
+// every payload is framed as [codec-name-len varint][codec name][codec
+// frame]. The host plugin may choose gzlite while Spark's intra-cluster
+// compression uses another codec; frames make that interoperable.
+#pragma once
+
+#include <string>
+
+#include "compress/codec.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace ompcloud::compress {
+
+/// Compresses `data` with the named codec and frames the result.
+/// `min_compress_size`: below this, the "null" codec is framed instead (the
+/// paper's "minimal compression size" plugin knob, §III-A).
+Result<ByteBuffer> encode_payload(std::string_view codec_name, ByteView data,
+                                  uint64_t min_compress_size = 0);
+
+/// Reads the frame header and decompresses with the named codec.
+Result<ByteBuffer> decode_payload(ByteView framed);
+
+/// Peeks the codec name of a framed payload (diagnostics).
+Result<std::string> payload_codec(ByteView framed);
+
+/// Virtual-time cost of encoding `input_bytes` with the codec (0 if free).
+double encode_cost_seconds(const Codec& codec, uint64_t input_bytes);
+/// Virtual-time cost of decoding a payload that expands to `output_bytes`.
+double decode_cost_seconds(const Codec& codec, uint64_t output_bytes);
+
+}  // namespace ompcloud::compress

@@ -1,0 +1,34 @@
+#include "jnibridge/bridge.h"
+
+namespace ompcloud::jni {
+
+KernelRegistry& KernelRegistry::instance() {
+  static KernelRegistry registry;
+  return registry;
+}
+
+void KernelRegistry::register_kernel(const std::string& name, LoopBodyFn fn) {
+  for (auto& [existing_name, existing_fn] : kernels_) {
+    if (existing_name == name) {
+      existing_fn = std::move(fn);
+      return;
+    }
+  }
+  kernels_.emplace_back(name, std::move(fn));
+}
+
+Result<LoopBodyFn> KernelRegistry::find(const std::string& name) const {
+  for (const auto& [kernel_name, fn] : kernels_) {
+    if (kernel_name == name) return fn;
+  }
+  return not_found("kernel '" + name + "' not registered in fat binary");
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(kernels_.size());
+  for (const auto& [name, fn] : kernels_) out.push_back(name);
+  return out;
+}
+
+}  // namespace ompcloud::jni

@@ -1,0 +1,128 @@
+// NativeBridge: the simulated JNI boundary.
+//
+// In the paper, Spark workers "natively run (in C/C++) the function
+// describing the loop body (JNI_region(...)) through the Java Native
+// Interface" (§III-A). Here the same role is played by a process-wide
+// registry of native loop-body functions: the compiler (our omp DSL) emits a
+// kernel under a name, the Spark job references it by that name, and the
+// executor invokes it on real byte buffers. Each invocation is charged the
+// per-call JNI overhead from the SimProfile — the cost Algorithm 1's tiling
+// exists to amortize.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace ompcloud::jni {
+
+/// An input buffer as the kernel sees it: a slice of a mapped variable plus
+/// the byte offset of that slice within the full variable, so kernels can
+/// index with *global* loop subscripts (the paper's linearized A[i*N+k]).
+struct InputSlice {
+  ByteView bytes;
+  uint64_t byte_offset = 0;  ///< offset of bytes[0] within the full variable
+};
+
+/// An output buffer: same shape, mutable.
+struct OutputSlice {
+  MutableByteView bytes;
+  uint64_t byte_offset = 0;
+};
+
+/// Typed read-only accessor over an InputSlice with global element indexing.
+template <typename T>
+class SliceView {
+ public:
+  SliceView(ByteView bytes, uint64_t byte_offset)
+      : data_(reinterpret_cast<const T*>(bytes.data()), bytes.size() / sizeof(T)),
+        element_offset_(static_cast<int64_t>(byte_offset / sizeof(T))) {}
+
+  /// Element at *global* index (as if the full variable were in memory).
+  const T& operator[](int64_t global_index) const {
+    return data_[static_cast<size_t>(global_index - element_offset_)];
+  }
+
+  [[nodiscard]] int64_t first_global_index() const { return element_offset_; }
+  [[nodiscard]] size_t size() const { return data_.size(); }
+
+ private:
+  std::span<const T> data_;
+  int64_t element_offset_;
+};
+
+/// Typed mutable accessor over an OutputSlice.
+template <typename T>
+class MutableSliceView {
+ public:
+  MutableSliceView(MutableByteView bytes, uint64_t byte_offset)
+      : data_(reinterpret_cast<T*>(bytes.data()), bytes.size() / sizeof(T)),
+        element_offset_(static_cast<int64_t>(byte_offset / sizeof(T))) {}
+
+  T& operator[](int64_t global_index) {
+    return data_[static_cast<size_t>(global_index - element_offset_)];
+  }
+
+  [[nodiscard]] int64_t first_global_index() const { return element_offset_; }
+  [[nodiscard]] size_t size() const { return data_.size(); }
+
+ private:
+  std::span<T> data_;
+  int64_t element_offset_;
+};
+
+/// Arguments of one native invocation: a tile [begin, end) of the DOALL
+/// iteration space plus the mapped variables in declaration order.
+struct KernelArgs {
+  int64_t begin = 0;             ///< first iteration of this tile
+  int64_t end = 0;               ///< one past the last iteration
+  int64_t total_iterations = 0;  ///< the loop's full N
+  std::span<const InputSlice> inputs;
+  std::span<OutputSlice> outputs;
+
+  template <typename T>
+  [[nodiscard]] SliceView<T> input(size_t k) const {
+    return SliceView<T>(inputs[k].bytes, inputs[k].byte_offset);
+  }
+  template <typename T>
+  [[nodiscard]] MutableSliceView<T> output(size_t l) const {
+    return MutableSliceView<T>(outputs[l].bytes, outputs[l].byte_offset);
+  }
+};
+
+/// A native loop body: computes iterations [args.begin, args.end).
+using LoopBodyFn = std::function<Status(const KernelArgs&)>;
+
+/// Process-wide kernel registry (the "fat binary" symbol table: what the
+/// compiler would embed, we register at static-init or setup time).
+class KernelRegistry {
+ public:
+  static KernelRegistry& instance();
+
+  /// Registers a kernel; re-registering the same name replaces it (useful
+  /// in tests), since a fat binary has one definition per symbol.
+  void register_kernel(const std::string& name, LoopBodyFn fn);
+
+  [[nodiscard]] Result<LoopBodyFn> find(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  KernelRegistry() = default;
+  std::vector<std::pair<std::string, LoopBodyFn>> kernels_;
+};
+
+/// Convenience RAII registrar for static-init kernel registration:
+///   static jni::KernelRegistrar reg("gemm", GemmLoopBody);
+class KernelRegistrar {
+ public:
+  KernelRegistrar(const std::string& name, LoopBodyFn fn) {
+    KernelRegistry::instance().register_kernel(name, std::move(fn));
+  }
+};
+
+}  // namespace ompcloud::jni

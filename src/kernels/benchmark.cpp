@@ -1,0 +1,33 @@
+#include "kernels/benchmark.h"
+
+namespace ompcloud::kernels {
+
+// Factories defined in matrix_benchmarks.cpp / collinear.cpp.
+std::unique_ptr<Benchmark> make_gemm();
+std::unique_ptr<Benchmark> make_matmul();
+std::unique_ptr<Benchmark> make_2mm();
+std::unique_ptr<Benchmark> make_3mm();
+std::unique_ptr<Benchmark> make_syrk();
+std::unique_ptr<Benchmark> make_syr2k();
+std::unique_ptr<Benchmark> make_covar();
+std::unique_ptr<Benchmark> make_collinear();
+
+std::vector<std::string> benchmark_names() {
+  // Fig. 4/5 chart order (a-h).
+  return {"syrk", "syr2k", "covar",  "gemm",
+          "2mm",  "3mm",   "matmul", "collinear-list"};
+}
+
+Result<std::unique_ptr<Benchmark>> make_benchmark(const std::string& name) {
+  if (name == "gemm") return make_gemm();
+  if (name == "matmul") return make_matmul();
+  if (name == "2mm") return make_2mm();
+  if (name == "3mm") return make_3mm();
+  if (name == "syrk") return make_syrk();
+  if (name == "syr2k") return make_syr2k();
+  if (name == "covar") return make_covar();
+  if (name == "collinear-list") return make_collinear();
+  return not_found("unknown benchmark '" + name + "'");
+}
+
+}  // namespace ompcloud::kernels

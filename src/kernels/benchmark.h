@@ -1,0 +1,66 @@
+// The paper's benchmark suite (§IV): SYRK, SYR2K, COVAR, GEMM, 2MM, 3MM
+// from Polybench and Mat-mul, Collinear-list from MgBench, "previously
+// adapted for the OpenMP accelerator model".
+//
+// Each benchmark owns its data (32-bit floats, dense or sparse), knows how
+// to annotate itself as a target region (which inputs are partitioned per
+// Listing 2, which are broadcast), carries the compiler's flop cost model,
+// and verifies offloaded results against a serial reference executed with
+// the same operation order (so matches are exact, not approximate).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "omp/target_region.h"
+#include "support/status.h"
+
+namespace ompcloud::kernels {
+
+class Benchmark {
+ public:
+  struct Options {
+    /// Problem dimension: matrices are n x n, collinear-list gets n points.
+    /// The paper scales matrices to ~1 GB (n = 16384); simulation-friendly
+    /// defaults are much smaller, with the cost model carrying the scale.
+    int64_t n = 256;
+    bool sparse = false;  ///< ~95%-zero inputs (Fig. 5's sparse series)
+    uint64_t seed = 42;
+  };
+
+  virtual ~Benchmark() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Generates inputs and clears outputs. Must be called before
+  /// build_region / run_reference.
+  virtual void prepare(const Options& options) = 0;
+
+  /// Adds this benchmark's map clauses and parallel-for loops to `region`
+  /// (device/engine choices belong to the caller).
+  virtual Status build_region(omp::TargetRegion& region) = 0;
+
+  /// Serial reference into shadow buffers (same op order as the kernels).
+  virtual void run_reference() = 0;
+
+  /// Max |offloaded - reference| over all outputs. 0 when both ran.
+  [[nodiscard]] virtual double max_error() const = 0;
+
+  /// Total floating-point operations (cost-model view).
+  [[nodiscard]] virtual uint64_t total_flops() const = 0;
+
+  /// Bytes moved host->device by map(to:/tofrom:) clauses.
+  [[nodiscard]] virtual uint64_t mapped_to_bytes() const = 0;
+  /// Bytes moved device->host by map(from:/tofrom:) clauses.
+  [[nodiscard]] virtual uint64_t mapped_from_bytes() const = 0;
+};
+
+/// The eight paper benchmarks, in the order of Fig. 4/5 (a-h):
+/// syrk, syr2k, covar, gemm, 2mm, 3mm, matmul, collinear-list.
+std::vector<std::string> benchmark_names();
+
+/// Instantiates a benchmark by name (unprepared; call prepare()).
+Result<std::unique_ptr<Benchmark>> make_benchmark(const std::string& name);
+
+}  // namespace ompcloud::kernels

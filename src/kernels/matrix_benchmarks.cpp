@@ -1,0 +1,712 @@
+// Polybench matrix benchmarks (GEMM, 2MM, 3MM, SYRK, SYR2K, COVAR) and
+// MgBench Mat-mul, in their OpenMP-accelerator-model form: the outer loop
+// is the DOALL `parallel for`, row-indexed inputs/outputs are partitioned
+// (Listing 2), whole-matrix operands are broadcast.
+#include <cmath>
+#include <cstring>
+
+#include "kernels/benchmark.h"
+#include "workload/generators.h"
+
+namespace ompcloud::kernels {
+
+namespace {
+
+using omp::rows;
+using omp::VarHandle;
+
+/// Shared plumbing: n x n float matrices, reference shadows, error checks.
+class MatrixBenchmarkBase : public Benchmark {
+ protected:
+  int64_t n_ = 0;
+  Options options_;
+
+  [[nodiscard]] std::vector<float> input_matrix(uint64_t salt) const {
+    workload::MatrixSpec spec;
+    spec.rows = static_cast<size_t>(n_);
+    spec.cols = static_cast<size_t>(n_);
+    spec.sparse = options_.sparse;
+    spec.seed = options_.seed + salt;
+    return workload::make_matrix(spec);
+  }
+
+  static double max_abs_diff(const std::vector<float>& a,
+                             const std::vector<float>& b) {
+    double worst = 0;
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      worst = std::max(worst, std::abs(static_cast<double>(a[i]) - b[i]));
+    }
+    return worst;
+  }
+
+  [[nodiscard]] uint64_t matrix_bytes() const {
+    return static_cast<uint64_t>(n_) * n_ * sizeof(float);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// GEMM: C = alpha*A*B + beta*C
+// ---------------------------------------------------------------------------
+
+class GemmBenchmark final : public MatrixBenchmarkBase {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "gemm"; }
+
+  void prepare(const Options& options) override {
+    options_ = options;
+    n_ = options.n;
+    a_ = input_matrix(1);
+    b_ = input_matrix(2);
+    c_initial_ = input_matrix(3);
+    c_ = c_initial_;
+    c_ref_.assign(c_.size(), 0.0f);
+  }
+
+  Status build_region(omp::TargetRegion& region) override {
+    const int64_t n = n_;
+    VarHandle a = region.map_to("A", a_.data(), a_.size());
+    VarHandle b = region.map_to("B", b_.data(), b_.size());
+    VarHandle c = region.map_tofrom("C", c_.data(), c_.size());
+    region.parallel_for(n)
+        .read_partitioned(a, rows<float>(n))
+        .read(b)
+        .read_partitioned(c, rows<float>(n))
+        .write_partitioned(c, rows<float>(n))
+        .cost_flops(static_cast<double>(n) * (2.0 * n + 2.0))
+        .body("gemm", [n](const jni::KernelArgs& args) {
+          auto a = args.input<float>(0);
+          auto b = args.input<float>(1);
+          auto c_in = args.input<float>(2);
+          auto c_out = args.output<float>(0);
+          constexpr float kAlpha = 1.5f, kBeta = 1.2f;
+          for (int64_t i = args.begin; i < args.end; ++i) {
+            for (int64_t j = 0; j < n; ++j) {
+              float acc = kBeta * c_in[i * n + j];
+              for (int64_t k = 0; k < n; ++k) {
+                acc += kAlpha * a[i * n + k] * b[k * n + j];
+              }
+              c_out[i * n + j] = acc;
+            }
+          }
+          return Status::ok();
+        });
+    return Status::ok();
+  }
+
+  void run_reference() override {
+    const int64_t n = n_;
+    constexpr float kAlpha = 1.5f, kBeta = 1.2f;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = kBeta * c_initial_[i * n + j];
+        for (int64_t k = 0; k < n; ++k) {
+          acc += kAlpha * a_[i * n + k] * b_[k * n + j];
+        }
+        c_ref_[i * n + j] = acc;
+      }
+    }
+  }
+
+  [[nodiscard]] double max_error() const override {
+    return max_abs_diff(c_, c_ref_);
+  }
+  [[nodiscard]] uint64_t total_flops() const override {
+    return static_cast<uint64_t>(n_) * n_ * (2 * n_ + 2);
+  }
+  [[nodiscard]] uint64_t mapped_to_bytes() const override {
+    return 3 * matrix_bytes();
+  }
+  [[nodiscard]] uint64_t mapped_from_bytes() const override {
+    return matrix_bytes();
+  }
+
+ private:
+  std::vector<float> a_, b_, c_, c_initial_, c_ref_;
+};
+
+// ---------------------------------------------------------------------------
+// MgBench Mat-mul: C = A*B
+// ---------------------------------------------------------------------------
+
+class MatmulBenchmark final : public MatrixBenchmarkBase {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "matmul"; }
+
+  void prepare(const Options& options) override {
+    options_ = options;
+    n_ = options.n;
+    a_ = input_matrix(11);
+    b_ = input_matrix(12);
+    c_.assign(static_cast<size_t>(n_) * n_, 0.0f);
+    c_ref_.assign(c_.size(), 0.0f);
+  }
+
+  Status build_region(omp::TargetRegion& region) override {
+    const int64_t n = n_;
+    VarHandle a = region.map_to("A", a_.data(), a_.size());
+    VarHandle b = region.map_to("B", b_.data(), b_.size());
+    VarHandle c = region.map_from("C", c_.data(), c_.size());
+    // Listing 1/2 of the paper, verbatim shape.
+    region.parallel_for(n)
+        .read_partitioned(a, rows<float>(n))
+        .read(b)
+        .write_partitioned(c, rows<float>(n))
+        .cost_flops(2.0 * static_cast<double>(n) * n)
+        .body("matmul", [n](const jni::KernelArgs& args) {
+          auto a = args.input<float>(0);
+          auto b = args.input<float>(1);
+          auto c = args.output<float>(0);
+          for (int64_t i = args.begin; i < args.end; ++i) {
+            for (int64_t j = 0; j < n; ++j) {
+              float acc = 0.0f;
+              for (int64_t k = 0; k < n; ++k) {
+                acc += a[i * n + k] * b[k * n + j];
+              }
+              c[i * n + j] = acc;
+            }
+          }
+          return Status::ok();
+        });
+    return Status::ok();
+  }
+
+  void run_reference() override {
+    const int64_t n = n_;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t k = 0; k < n; ++k) acc += a_[i * n + k] * b_[k * n + j];
+        c_ref_[i * n + j] = acc;
+      }
+    }
+  }
+
+  [[nodiscard]] double max_error() const override {
+    return max_abs_diff(c_, c_ref_);
+  }
+  [[nodiscard]] uint64_t total_flops() const override {
+    return 2ull * n_ * n_ * n_;
+  }
+  [[nodiscard]] uint64_t mapped_to_bytes() const override {
+    return 2 * matrix_bytes();
+  }
+  [[nodiscard]] uint64_t mapped_from_bytes() const override {
+    return matrix_bytes();
+  }
+
+ private:
+  std::vector<float> a_, b_, c_, c_ref_;
+};
+
+// ---------------------------------------------------------------------------
+// 2MM: tmp = alpha*A*B ; D = tmp*C + beta*D
+// ---------------------------------------------------------------------------
+
+class TwoMMBenchmark final : public MatrixBenchmarkBase {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "2mm"; }
+
+  void prepare(const Options& options) override {
+    options_ = options;
+    n_ = options.n;
+    a_ = input_matrix(21);
+    b_ = input_matrix(22);
+    c_ = input_matrix(23);
+    d_initial_ = input_matrix(24);
+    d_ = d_initial_;
+    tmp_.assign(static_cast<size_t>(n_) * n_, 0.0f);
+    d_ref_.assign(d_.size(), 0.0f);
+  }
+
+  Status build_region(omp::TargetRegion& region) override {
+    const int64_t n = n_;
+    VarHandle a = region.map_to("A", a_.data(), a_.size());
+    VarHandle b = region.map_to("B", b_.data(), b_.size());
+    VarHandle c = region.map_to("C", c_.data(), c_.size());
+    VarHandle tmp = region.map_alloc("tmp", tmp_.data(), tmp_.size());
+    VarHandle d = region.map_tofrom("D", d_.data(), d_.size());
+
+    region.parallel_for(n)
+        .read_partitioned(a, rows<float>(n))
+        .read(b)
+        .write_partitioned(tmp, rows<float>(n))
+        .cost_flops(2.0 * static_cast<double>(n) * n)
+        .body("2mm_1", [n](const jni::KernelArgs& args) {
+          auto a = args.input<float>(0);
+          auto b = args.input<float>(1);
+          auto tmp = args.output<float>(0);
+          constexpr float kAlpha = 1.5f;
+          for (int64_t i = args.begin; i < args.end; ++i) {
+            for (int64_t j = 0; j < n; ++j) {
+              float acc = 0.0f;
+              for (int64_t k = 0; k < n; ++k) {
+                acc += kAlpha * a[i * n + k] * b[k * n + j];
+              }
+              tmp[i * n + j] = acc;
+            }
+          }
+          return Status::ok();
+        });
+
+    region.parallel_for(n)
+        .read_partitioned(tmp, rows<float>(n))
+        .read(c)
+        .read_partitioned(d, rows<float>(n))
+        .write_partitioned(d, rows<float>(n))
+        .cost_flops(static_cast<double>(n) * (2.0 * n + 1.0))
+        .body("2mm_2", [n](const jni::KernelArgs& args) {
+          auto tmp = args.input<float>(0);
+          auto c = args.input<float>(1);
+          auto d_in = args.input<float>(2);
+          auto d_out = args.output<float>(0);
+          constexpr float kBeta = 1.2f;
+          for (int64_t i = args.begin; i < args.end; ++i) {
+            for (int64_t j = 0; j < n; ++j) {
+              float acc = kBeta * d_in[i * n + j];
+              for (int64_t k = 0; k < n; ++k) {
+                acc += tmp[i * n + k] * c[k * n + j];
+              }
+              d_out[i * n + j] = acc;
+            }
+          }
+          return Status::ok();
+        });
+    return Status::ok();
+  }
+
+  void run_reference() override {
+    const int64_t n = n_;
+    constexpr float kAlpha = 1.5f, kBeta = 1.2f;
+    std::vector<float> tmp(static_cast<size_t>(n) * n, 0.0f);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t k = 0; k < n; ++k) {
+          acc += kAlpha * a_[i * n + k] * b_[k * n + j];
+        }
+        tmp[i * n + j] = acc;
+      }
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = kBeta * d_initial_[i * n + j];
+        for (int64_t k = 0; k < n; ++k) acc += tmp[i * n + k] * c_[k * n + j];
+        d_ref_[i * n + j] = acc;
+      }
+    }
+  }
+
+  [[nodiscard]] double max_error() const override {
+    return max_abs_diff(d_, d_ref_);
+  }
+  [[nodiscard]] uint64_t total_flops() const override {
+    return static_cast<uint64_t>(n_) * n_ * (4 * n_ + 1);
+  }
+  [[nodiscard]] uint64_t mapped_to_bytes() const override {
+    return 4 * matrix_bytes();
+  }
+  [[nodiscard]] uint64_t mapped_from_bytes() const override {
+    return matrix_bytes();
+  }
+
+ private:
+  std::vector<float> a_, b_, c_, d_, d_initial_, tmp_, d_ref_;
+};
+
+// ---------------------------------------------------------------------------
+// 3MM: E = A*B ; F = C*D ; G = E*F
+// ---------------------------------------------------------------------------
+
+class ThreeMMBenchmark final : public MatrixBenchmarkBase {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "3mm"; }
+
+  void prepare(const Options& options) override {
+    options_ = options;
+    n_ = options.n;
+    a_ = input_matrix(31);
+    b_ = input_matrix(32);
+    c_ = input_matrix(33);
+    d_ = input_matrix(34);
+    const size_t cells = static_cast<size_t>(n_) * n_;
+    e_.assign(cells, 0.0f);
+    f_.assign(cells, 0.0f);
+    g_.assign(cells, 0.0f);
+    g_ref_.assign(cells, 0.0f);
+  }
+
+  Status build_region(omp::TargetRegion& region) override {
+    const int64_t n = n_;
+    VarHandle a = region.map_to("A", a_.data(), a_.size());
+    VarHandle b = region.map_to("B", b_.data(), b_.size());
+    VarHandle c = region.map_to("C", c_.data(), c_.size());
+    VarHandle d = region.map_to("D", d_.data(), d_.size());
+    VarHandle e = region.map_alloc("E", e_.data(), e_.size());
+    VarHandle f = region.map_alloc("F", f_.data(), f_.size());
+    VarHandle g = region.map_from("G", g_.data(), g_.size());
+
+    auto mm_body = [n](const jni::KernelArgs& args) {
+      auto x = args.input<float>(0);
+      auto y = args.input<float>(1);
+      auto out = args.output<float>(0);
+      for (int64_t i = args.begin; i < args.end; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          float acc = 0.0f;
+          for (int64_t k = 0; k < n; ++k) acc += x[i * n + k] * y[k * n + j];
+          out[i * n + j] = acc;
+        }
+      }
+      return Status::ok();
+    };
+    double mm_cost = 2.0 * static_cast<double>(n) * n;
+
+    region.parallel_for(n)
+        .read_partitioned(a, rows<float>(n))
+        .read(b)
+        .write_partitioned(e, rows<float>(n))
+        .cost_flops(mm_cost)
+        .body("3mm_1", mm_body);
+    region.parallel_for(n)
+        .read_partitioned(c, rows<float>(n))
+        .read(d)
+        .write_partitioned(f, rows<float>(n))
+        .cost_flops(mm_cost)
+        .body("3mm_2", mm_body);
+    region.parallel_for(n)
+        .read_partitioned(e, rows<float>(n))
+        .read(f)
+        .write_partitioned(g, rows<float>(n))
+        .cost_flops(mm_cost)
+        .body("3mm_3", mm_body);
+    return Status::ok();
+  }
+
+  void run_reference() override {
+    const int64_t n = n_;
+    const size_t cells = static_cast<size_t>(n) * n;
+    std::vector<float> e(cells, 0.0f), f(cells, 0.0f);
+    auto mm = [n](const std::vector<float>& x, const std::vector<float>& y,
+                  std::vector<float>& out) {
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          float acc = 0.0f;
+          for (int64_t k = 0; k < n; ++k) acc += x[i * n + k] * y[k * n + j];
+          out[i * n + j] = acc;
+        }
+      }
+    };
+    mm(a_, b_, e);
+    mm(c_, d_, f);
+    mm(e, f, g_ref_);
+  }
+
+  [[nodiscard]] double max_error() const override {
+    return max_abs_diff(g_, g_ref_);
+  }
+  [[nodiscard]] uint64_t total_flops() const override {
+    return 6ull * n_ * n_ * n_;
+  }
+  [[nodiscard]] uint64_t mapped_to_bytes() const override {
+    return 4 * matrix_bytes();
+  }
+  [[nodiscard]] uint64_t mapped_from_bytes() const override {
+    return matrix_bytes();
+  }
+
+ private:
+  std::vector<float> a_, b_, c_, d_, e_, f_, g_, g_ref_;
+};
+
+// ---------------------------------------------------------------------------
+// SYRK: C = beta*C + alpha*A*A^T
+// ---------------------------------------------------------------------------
+
+class SyrkBenchmark final : public MatrixBenchmarkBase {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "syrk"; }
+
+  void prepare(const Options& options) override {
+    options_ = options;
+    n_ = options.n;
+    a_ = input_matrix(41);
+    c_initial_ = input_matrix(42);
+    c_ = c_initial_;
+    c_ref_.assign(c_.size(), 0.0f);
+  }
+
+  Status build_region(omp::TargetRegion& region) override {
+    const int64_t n = n_;
+    VarHandle a = region.map_to("A", a_.data(), a_.size());
+    VarHandle c = region.map_tofrom("C", c_.data(), c_.size());
+    // A is read at rows i AND j, so it cannot be partitioned by the outer
+    // index (the paper's B-in-matmul situation): broadcast it.
+    region.parallel_for(n)
+        .read(a)
+        .read_partitioned(c, rows<float>(n))
+        .write_partitioned(c, rows<float>(n))
+        .cost_flops(static_cast<double>(n) * (2.0 * n + 2.0))
+        .body("syrk", [n](const jni::KernelArgs& args) {
+          auto a = args.input<float>(0);
+          auto c_in = args.input<float>(1);
+          auto c_out = args.output<float>(0);
+          constexpr float kAlpha = 1.5f, kBeta = 1.2f;
+          for (int64_t i = args.begin; i < args.end; ++i) {
+            for (int64_t j = 0; j < n; ++j) {
+              float acc = kBeta * c_in[i * n + j];
+              for (int64_t k = 0; k < n; ++k) {
+                acc += kAlpha * a[i * n + k] * a[j * n + k];
+              }
+              c_out[i * n + j] = acc;
+            }
+          }
+          return Status::ok();
+        });
+    return Status::ok();
+  }
+
+  void run_reference() override {
+    const int64_t n = n_;
+    constexpr float kAlpha = 1.5f, kBeta = 1.2f;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = kBeta * c_initial_[i * n + j];
+        for (int64_t k = 0; k < n; ++k) {
+          acc += kAlpha * a_[i * n + k] * a_[j * n + k];
+        }
+        c_ref_[i * n + j] = acc;
+      }
+    }
+  }
+
+  [[nodiscard]] double max_error() const override {
+    return max_abs_diff(c_, c_ref_);
+  }
+  [[nodiscard]] uint64_t total_flops() const override {
+    return static_cast<uint64_t>(n_) * n_ * (2 * n_ + 2);
+  }
+  [[nodiscard]] uint64_t mapped_to_bytes() const override {
+    return 2 * matrix_bytes();
+  }
+  [[nodiscard]] uint64_t mapped_from_bytes() const override {
+    return matrix_bytes();
+  }
+
+ private:
+  std::vector<float> a_, c_, c_initial_, c_ref_;
+};
+
+// ---------------------------------------------------------------------------
+// SYR2K: C = beta*C + alpha*(A*B^T + B*A^T)
+// ---------------------------------------------------------------------------
+
+class Syr2kBenchmark final : public MatrixBenchmarkBase {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "syr2k"; }
+
+  void prepare(const Options& options) override {
+    options_ = options;
+    n_ = options.n;
+    a_ = input_matrix(51);
+    b_ = input_matrix(52);
+    c_initial_ = input_matrix(53);
+    c_ = c_initial_;
+    c_ref_.assign(c_.size(), 0.0f);
+  }
+
+  Status build_region(omp::TargetRegion& region) override {
+    const int64_t n = n_;
+    VarHandle a = region.map_to("A", a_.data(), a_.size());
+    VarHandle b = region.map_to("B", b_.data(), b_.size());
+    VarHandle c = region.map_tofrom("C", c_.data(), c_.size());
+    region.parallel_for(n)
+        .read(a)
+        .read(b)
+        .read_partitioned(c, rows<float>(n))
+        .write_partitioned(c, rows<float>(n))
+        .cost_flops(static_cast<double>(n) * (4.0 * n + 2.0))
+        .body("syr2k", [n](const jni::KernelArgs& args) {
+          auto a = args.input<float>(0);
+          auto b = args.input<float>(1);
+          auto c_in = args.input<float>(2);
+          auto c_out = args.output<float>(0);
+          constexpr float kAlpha = 1.5f, kBeta = 1.2f;
+          for (int64_t i = args.begin; i < args.end; ++i) {
+            for (int64_t j = 0; j < n; ++j) {
+              float acc = kBeta * c_in[i * n + j];
+              for (int64_t k = 0; k < n; ++k) {
+                acc += kAlpha * a[i * n + k] * b[j * n + k] +
+                       kAlpha * b[i * n + k] * a[j * n + k];
+              }
+              c_out[i * n + j] = acc;
+            }
+          }
+          return Status::ok();
+        });
+    return Status::ok();
+  }
+
+  void run_reference() override {
+    const int64_t n = n_;
+    constexpr float kAlpha = 1.5f, kBeta = 1.2f;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = kBeta * c_initial_[i * n + j];
+        for (int64_t k = 0; k < n; ++k) {
+          acc += kAlpha * a_[i * n + k] * b_[j * n + k] +
+                 kAlpha * b_[i * n + k] * a_[j * n + k];
+        }
+        c_ref_[i * n + j] = acc;
+      }
+    }
+  }
+
+  [[nodiscard]] double max_error() const override {
+    return max_abs_diff(c_, c_ref_);
+  }
+  [[nodiscard]] uint64_t total_flops() const override {
+    return static_cast<uint64_t>(n_) * n_ * (4 * n_ + 2);
+  }
+  [[nodiscard]] uint64_t mapped_to_bytes() const override {
+    return 3 * matrix_bytes();
+  }
+  [[nodiscard]] uint64_t mapped_from_bytes() const override {
+    return matrix_bytes();
+  }
+
+ private:
+  std::vector<float> a_, b_, c_, c_initial_, c_ref_;
+};
+
+// ---------------------------------------------------------------------------
+// COVAR (Polybench covariance), three successive parallel loops:
+//   mean[j]     = sum_i data[i][j] / n
+//   data[i][j] -= mean[j]                       (in-place centering)
+//   symmat[j1][j2] = sum_i data[i][j1]*data[i][j2]   (full rows, DOALL)
+// ---------------------------------------------------------------------------
+
+class CovarBenchmark final : public MatrixBenchmarkBase {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "covar"; }
+
+  void prepare(const Options& options) override {
+    options_ = options;
+    n_ = options.n;
+    data_initial_ = input_matrix(61);
+    data_ = data_initial_;
+    mean_.assign(static_cast<size_t>(n_), 0.0f);
+    symmat_.assign(static_cast<size_t>(n_) * n_, 0.0f);
+    symmat_ref_.assign(symmat_.size(), 0.0f);
+  }
+
+  Status build_region(omp::TargetRegion& region) override {
+    const int64_t n = n_;
+    VarHandle data = region.map_to("data", data_.data(), data_.size());
+    VarHandle mean = region.map_alloc("mean", mean_.data(), mean_.size());
+    VarHandle symmat = region.map_from("symmat", symmat_.data(), symmat_.size());
+
+    // Loop 1: column means (column access => data cannot be partitioned).
+    region.parallel_for(n)
+        .read(data)
+        .write_partitioned(mean, rows<float>(1))
+        .cost_flops(static_cast<double>(n) + 1.0)
+        .body("covar_mean", [n](const jni::KernelArgs& args) {
+          auto data = args.input<float>(0);
+          auto mean = args.output<float>(0);
+          for (int64_t j = args.begin; j < args.end; ++j) {
+            float acc = 0.0f;
+            for (int64_t i = 0; i < n; ++i) acc += data[i * n + j];
+            mean[j] = acc / static_cast<float>(n);
+          }
+          return Status::ok();
+        });
+
+    // Loop 2: center rows in place (data read+written partitioned).
+    region.parallel_for(n)
+        .read_partitioned(data, rows<float>(n))
+        .read(mean)
+        .write_partitioned(data, rows<float>(n))
+        .cost_flops(static_cast<double>(n))
+        .body("covar_center", [n](const jni::KernelArgs& args) {
+          auto data_in = args.input<float>(0);
+          auto mean = args.input<float>(1);
+          auto data_out = args.output<float>(0);
+          for (int64_t i = args.begin; i < args.end; ++i) {
+            for (int64_t j = 0; j < n; ++j) {
+              data_out[i * n + j] = data_in[i * n + j] - mean[j];
+            }
+          }
+          return Status::ok();
+        });
+
+    // Loop 3: covariance rows (full row per j1 keeps writes partitioned).
+    region.parallel_for(n)
+        .read(data)
+        .write_partitioned(symmat, rows<float>(n))
+        .cost_flops(2.0 * static_cast<double>(n) * n)
+        .body("covar_cov", [n](const jni::KernelArgs& args) {
+          auto data = args.input<float>(0);
+          auto symmat = args.output<float>(0);
+          for (int64_t j1 = args.begin; j1 < args.end; ++j1) {
+            for (int64_t j2 = 0; j2 < n; ++j2) {
+              float acc = 0.0f;
+              for (int64_t i = 0; i < n; ++i) {
+                acc += data[i * n + j1] * data[i * n + j2];
+              }
+              symmat[j1 * n + j2] = acc;
+            }
+          }
+          return Status::ok();
+        });
+    return Status::ok();
+  }
+
+  void run_reference() override {
+    const int64_t n = n_;
+    std::vector<float> data = data_initial_;
+    std::vector<float> mean(static_cast<size_t>(n), 0.0f);
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t i = 0; i < n; ++i) acc += data[i * n + j];
+      mean[j] = acc / static_cast<float>(n);
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) data[i * n + j] -= mean[j];
+    }
+    for (int64_t j1 = 0; j1 < n; ++j1) {
+      for (int64_t j2 = 0; j2 < n; ++j2) {
+        float acc = 0.0f;
+        for (int64_t i = 0; i < n; ++i) acc += data[i * n + j1] * data[i * n + j2];
+        symmat_ref_[j1 * n + j2] = acc;
+      }
+    }
+  }
+
+  [[nodiscard]] double max_error() const override {
+    return max_abs_diff(symmat_, symmat_ref_);
+  }
+  [[nodiscard]] uint64_t total_flops() const override {
+    return static_cast<uint64_t>(n_) * (n_ + 1 + n_ + 2 * n_ * n_);
+  }
+  [[nodiscard]] uint64_t mapped_to_bytes() const override {
+    return matrix_bytes();
+  }
+  [[nodiscard]] uint64_t mapped_from_bytes() const override {
+    return matrix_bytes();
+  }
+
+ private:
+  std::vector<float> data_, data_initial_, mean_, symmat_, symmat_ref_;
+};
+
+}  // namespace
+
+// Factories consumed by the registry in benchmark.cpp.
+std::unique_ptr<Benchmark> make_gemm() { return std::make_unique<GemmBenchmark>(); }
+std::unique_ptr<Benchmark> make_matmul() { return std::make_unique<MatmulBenchmark>(); }
+std::unique_ptr<Benchmark> make_2mm() { return std::make_unique<TwoMMBenchmark>(); }
+std::unique_ptr<Benchmark> make_3mm() { return std::make_unique<ThreeMMBenchmark>(); }
+std::unique_ptr<Benchmark> make_syrk() { return std::make_unique<SyrkBenchmark>(); }
+std::unique_ptr<Benchmark> make_syr2k() { return std::make_unique<Syr2kBenchmark>(); }
+std::unique_ptr<Benchmark> make_covar() { return std::make_unique<CovarBenchmark>(); }
+
+}  // namespace ompcloud::kernels

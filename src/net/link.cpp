@@ -1,0 +1,106 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ompcloud::net {
+
+namespace {
+// Byte-remainder below which a flow counts as finished (guards float drift).
+constexpr double kEpsilonBytes = 1e-6;
+// A flow within this much *time* of completion also counts as finished.
+// Without it, a fast link (GB/s) can leave a flow with a byte remainder
+// above kEpsilonBytes whose completion ETA is below the representable
+// double increment of the current clock — the timer would then re-fire at
+// the same virtual instant forever.
+constexpr double kEpsilonSeconds = 1e-9;
+}  // namespace
+
+Link::Link(sim::Engine& engine, std::string name,
+           double bandwidth_bytes_per_sec, double latency_seconds)
+    : engine_(&engine),
+      name_(std::move(name)),
+      bandwidth_(bandwidth_bytes_per_sec),
+      latency_(latency_seconds) {
+  assert(bandwidth_ >= 0 && latency_ >= 0);
+}
+
+double Link::current_rate_per_weight() const {
+  if (flows_.empty()) return std::numeric_limits<double>::infinity();
+  if (bandwidth_ <= 0) return std::numeric_limits<double>::infinity();
+  return bandwidth_ / total_weight_;
+}
+
+void Link::settle() {
+  double dt = engine_->now() - last_settle_;
+  last_settle_ = engine_->now();
+  if (dt <= 0 || flows_.empty() || bandwidth_ <= 0) return;
+  double rate_per_weight = bandwidth_ / total_weight_;
+  for (auto& flow : flows_) {
+    flow->remaining =
+        std::max(0.0, flow->remaining - dt * rate_per_weight * flow->weight);
+  }
+}
+
+void Link::reschedule() {
+  ++stats_.reschedules;
+  ++generation_;
+  if (flows_.empty()) return;
+  if (bandwidth_ <= 0) {
+    // Infinite bandwidth: complete everything immediately.
+    engine_->schedule_after(0, [this, gen = generation_] { on_timer(gen); });
+    return;
+  }
+  double rate_per_weight = bandwidth_ / total_weight_;
+  double eta = std::numeric_limits<double>::infinity();
+  for (const auto& flow : flows_) {
+    eta = std::min(eta, flow->remaining / (rate_per_weight * flow->weight));
+  }
+  engine_->schedule_after(std::max(0.0, eta),
+                          [this, gen = generation_] { on_timer(gen); });
+}
+
+void Link::on_timer(uint64_t generation) {
+  ++stats_.timer_fires;
+  if (generation != generation_) return;  // superseded by a newer plan
+  settle();
+  double rate_per_weight =
+      (bandwidth_ > 0 && total_weight_ > 0) ? bandwidth_ / total_weight_ : 0;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    double finish_threshold = std::max(
+        kEpsilonBytes, rate_per_weight * (*it)->weight * kEpsilonSeconds);
+    if ((*it)->remaining <= finish_threshold) {
+      total_weight_ -= (*it)->weight;
+      ++stats_.flows_completed;
+      (*it)->done.trigger();
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (flows_.empty()) total_weight_ = 0;  // squash accumulated float error
+  reschedule();
+}
+
+sim::Co<void> Link::transfer(uint64_t bytes, double weight) {
+  assert(weight > 0);
+  co_await engine_->sleep(latency_);
+  stats_.bytes_carried += bytes;
+  ++stats_.flows_started;
+  if (bytes == 0 || bandwidth_ <= 0) {
+    ++stats_.flows_completed;
+    co_return;
+  }
+  auto flow =
+      std::make_shared<Flow>(*engine_, static_cast<double>(bytes), weight);
+  settle();
+  flows_.push_back(flow);
+  total_weight_ += weight;
+  stats_.peak_concurrent_flows =
+      std::max(stats_.peak_concurrent_flows, flows_.size());
+  reschedule();
+  co_await flow->done;
+}
+
+}  // namespace ompcloud::net

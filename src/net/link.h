@@ -1,0 +1,77 @@
+// Simulated network links with max-min fair bandwidth sharing.
+//
+// Every byte the paper measures crossing a wire — host→S3 uploads over the
+// Internet, driver↔worker partition traffic, BitTorrent broadcast — flows
+// through a `Link`. A link has a propagation latency and a bandwidth that is
+// shared equally (processor sharing) among all concurrent flows, so e.g. the
+// cloud plugin's "one transfer thread per offloaded buffer" (§III-A) sees
+// realistic aggregate throughput rather than naive parallel speedup.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+
+#include "sim/engine.h"
+
+namespace ompcloud::net {
+
+/// Cumulative link statistics (diagnostics and bench assertions).
+struct LinkStats {
+  uint64_t flows_started = 0;
+  uint64_t flows_completed = 0;
+  uint64_t bytes_carried = 0;
+  size_t peak_concurrent_flows = 0;
+  uint64_t timer_fires = 0;
+  uint64_t reschedules = 0;
+};
+
+/// A simplex channel: fixed latency + bandwidth shared max-min fairly among
+/// active flows. Single-threaded, engine-driven; `transfer` is a coroutine
+/// that completes when the last byte is delivered.
+class Link {
+ public:
+  /// `bandwidth_bytes_per_sec` == 0 means infinite (latency-only link).
+  Link(sim::Engine& engine, std::string name, double bandwidth_bytes_per_sec,
+       double latency_seconds);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double bandwidth() const { return bandwidth_; }
+  [[nodiscard]] double latency() const { return latency_; }
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+  [[nodiscard]] size_t active_flows() const { return flows_.size(); }
+
+  /// Delivers `bytes` over the link: waits the propagation latency, then
+  /// contends for bandwidth with every other active flow until done.
+  /// `weight` scales this flow's fair share (default 1.0).
+  [[nodiscard]] sim::Co<void> transfer(uint64_t bytes, double weight = 1.0);
+
+  /// Instantaneous per-unit-weight rate (bytes/s) given current flows.
+  [[nodiscard]] double current_rate_per_weight() const;
+
+ private:
+  struct Flow {
+    double remaining;  // bytes left
+    double weight;
+    sim::Event done;
+    Flow(sim::Engine& engine, double bytes, double weight)
+        : remaining(bytes), weight(weight), done(engine) {}
+  };
+
+  void settle();                 // advance all flows to engine.now()
+  void reschedule();             // plan the next completion event
+  void on_timer(uint64_t generation);
+
+  sim::Engine* engine_;
+  std::string name_;
+  double bandwidth_;
+  double latency_;
+  double total_weight_ = 0;
+  sim::SimTime last_settle_ = 0;
+  uint64_t generation_ = 0;
+  std::list<std::shared_ptr<Flow>> flows_;
+  LinkStats stats_;
+};
+
+}  // namespace ompcloud::net

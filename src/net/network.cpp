@@ -1,0 +1,104 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ompcloud::net {
+
+Link& Network::add_link(const std::string& name,
+                        double bandwidth_bytes_per_sec,
+                        double latency_seconds) {
+  assert(links_by_name_.count(name) == 0 && "duplicate link name");
+  links_.push_back(std::make_unique<Link>(*engine_, name,
+                                          bandwidth_bytes_per_sec,
+                                          latency_seconds));
+  Link* link = links_.back().get();
+  links_by_name_[name] = link;
+  return *link;
+}
+
+Link* Network::find_link(const std::string& name) {
+  auto it = links_by_name_.find(name);
+  return it == links_by_name_.end() ? nullptr : it->second;
+}
+
+void Network::set_route(const std::string& from, const std::string& to,
+                        std::vector<Link*> links) {
+  routes_[{from, to}] = std::move(links);
+}
+
+Result<std::vector<Link*>> Network::route(const std::string& from,
+                                          const std::string& to) const {
+  for (const auto& key :
+       {std::make_pair(from, to), std::make_pair(from, std::string("*")),
+        std::make_pair(std::string("*"), to),
+        std::make_pair(std::string("*"), std::string("*"))}) {
+    auto it = routes_.find(key);
+    if (it != routes_.end()) return it->second;
+  }
+  return not_found("no route " + from + " -> " + to);
+}
+
+sim::Co<Status> Network::transfer(std::string from, std::string to,
+                                  uint64_t bytes, double weight) {
+  auto links = route(from, to);
+  if (!links.ok()) co_return links.status();
+  // Charge all hops concurrently; the flow completes when the slowest
+  // (most contended) hop finishes.
+  std::vector<sim::Completion> hops;
+  hops.reserve(links->size());
+  for (Link* link : *links) {
+    hops.push_back(engine_->spawn(link->transfer(bytes, weight)));
+  }
+  co_await sim::all(std::move(hops));
+  co_return Status::ok();
+}
+
+sim::Co<Status> Network::broadcast(std::string source,
+                                   std::vector<std::string> targets,
+                                   uint64_t bytes, BroadcastOptions options) {
+  if (targets.empty()) co_return Status::ok();
+
+  // Resolve every route up-front so failures are reported before any time
+  // is spent.
+  std::vector<std::vector<Link*>> target_routes;
+  target_routes.reserve(targets.size());
+  for (const auto& target : targets) {
+    auto links = route(source, target);
+    if (!links.ok()) co_return links.status();
+    target_routes.push_back(std::move(*links));
+  }
+
+  // Pipeline startup: the torrent distribution tree reaches all receivers
+  // after ceil(log2(n+1)) doubling rounds.
+  double rounds =
+      std::ceil(std::log2(static_cast<double>(targets.size()) + 1.0));
+  co_await engine_->sleep(rounds * options.round_latency);
+
+  std::vector<sim::Completion> parts;
+  // Seed egress: the first link of the first route is the sender's NIC.
+  if (!target_routes.front().empty()) {
+    Link* egress = target_routes.front().front();
+    uint64_t egress_bytes = options.mode == BroadcastMode::kBitTorrent
+                                ? bytes
+                                : bytes * targets.size();
+    parts.push_back(engine_->spawn(egress->transfer(egress_bytes)));
+  }
+  // Receiver side: every target ingests the full payload over the non-egress
+  // hops of its route.
+  for (const auto& links : target_routes) {
+    for (size_t hop = 1; hop < links.size(); ++hop) {
+      parts.push_back(engine_->spawn(links[hop]->transfer(bytes)));
+    }
+  }
+  co_await sim::all(std::move(parts));
+  co_return Status::ok();
+}
+
+uint64_t Network::total_bytes_carried() const {
+  uint64_t total = 0;
+  for (const auto& link : links_) total += link->stats().bytes_carried;
+  return total;
+}
+
+}  // namespace ompcloud::net

@@ -1,0 +1,166 @@
+#include "omp/target_region.h"
+
+#include <memory>
+#include <optional>
+
+namespace ompcloud::omp {
+
+std::string_view to_string(Construct construct) {
+  switch (construct) {
+    case Construct::kAtomic: return "atomic";
+    case Construct::kFlush: return "flush";
+    case Construct::kBarrier: return "barrier";
+    case Construct::kCritical: return "critical";
+    case Construct::kMaster: return "master";
+  }
+  return "?";
+}
+
+// --- ParallelFor -------------------------------------------------------------
+
+spark::LoopSpec& ParallelFor::loop() {
+  return region_->region_.loops[loop_index_];
+}
+
+ParallelFor& ParallelFor::read(VarHandle var) {
+  loop().reads.push_back(
+      {var.index, spark::LoopAccess::Mode::kReadBroadcast, {}, {}});
+  return *this;
+}
+
+ParallelFor& ParallelFor::read_partitioned(VarHandle var,
+                                           spark::AffineRange partition) {
+  loop().reads.push_back(
+      {var.index, spark::LoopAccess::Mode::kReadPartitioned, partition, {}});
+  return *this;
+}
+
+ParallelFor& ParallelFor::write_partitioned(VarHandle var,
+                                            spark::AffineRange partition) {
+  loop().writes.push_back(
+      {var.index, spark::LoopAccess::Mode::kWritePartitioned, partition, {}});
+  return *this;
+}
+
+ParallelFor& ParallelFor::write_shared(VarHandle var) {
+  loop().writes.push_back(
+      {var.index, spark::LoopAccess::Mode::kWriteShared, {},
+       {spark::ReduceOp::kBitOr, spark::ElemType::kF32}});
+  return *this;
+}
+
+ParallelFor& ParallelFor::reduction(VarHandle var, spark::ReduceOp op,
+                                    spark::ElemType type) {
+  loop().writes.push_back(
+      {var.index, spark::LoopAccess::Mode::kWriteShared, {}, {op, type}});
+  return *this;
+}
+
+ParallelFor& ParallelFor::cost_flops(double flops_per_iteration) {
+  loop().flops_per_iteration = flops_per_iteration;
+  return *this;
+}
+
+ParallelFor& ParallelFor::tiles(int64_t tile_count) {
+  loop().explicit_tiles = tile_count;
+  return *this;
+}
+
+ParallelFor& ParallelFor::body(const std::string& kernel_name,
+                               jni::LoopBodyFn fn) {
+  std::string full_name = region_->name() + "." + kernel_name;
+  jni::KernelRegistry::instance().register_kernel(full_name, std::move(fn));
+  loop().kernel = full_name;
+  return *this;
+}
+
+ParallelFor& ParallelFor::kernel(const std::string& registered_name) {
+  loop().kernel = registered_name;
+  return *this;
+}
+
+// --- TargetRegion ------------------------------------------------------------
+
+TargetRegion::TargetRegion(omptarget::DeviceManager& devices, std::string name)
+    : devices_(&devices), name_(std::move(name)) {
+  region_.name = name_;
+}
+
+TargetRegion& TargetRegion::device(int device_id) {
+  device_id_ = device_id;
+  return *this;
+}
+
+VarHandle TargetRegion::add_var(const std::string& name, void* data,
+                                uint64_t bytes, omptarget::MapType type) {
+  region_.vars.push_back({name, data, bytes, type});
+  return {static_cast<int>(region_.vars.size()) - 1};
+}
+
+ParallelFor TargetRegion::parallel_for(int64_t iterations) {
+  spark::LoopSpec loop;
+  loop.iterations = iterations;
+  region_.loops.push_back(std::move(loop));
+  return ParallelFor(this, region_.loops.size() - 1);
+}
+
+void TargetRegion::set_explicit_tiles(int64_t tiles) {
+  for (spark::LoopSpec& loop : region_.loops) loop.explicit_tiles = tiles;
+}
+
+Status TargetRegion::use(Construct construct) {
+  // §III-D: "offloaded OpenMP regions that use atomic, flush, barrier,
+  // critical, or master directives are not supported" — Spark's distributed
+  // architecture has no shared memory to synchronize.
+  poison_ = unimplemented(
+      "OpenMP '" + std::string(to_string(construct)) +
+      "' requires shared-memory synchronization, which the cloud device "
+      "(map-reduce execution model) does not provide");
+  return poison_;
+}
+
+Result<omptarget::TargetRegion> TargetRegion::lower() const {
+  OC_RETURN_IF_ERROR(poison_);
+  OC_RETURN_IF_ERROR(region_.validate());
+  for (const spark::LoopSpec& loop : region_.loops) {
+    if (loop.kernel.empty()) {
+      return failed_precondition("loop in region '" + name_ +
+                                 "' has no body()/kernel()");
+    }
+  }
+  return region_;
+}
+
+sim::Co<Result<omptarget::OffloadReport>> TargetRegion::execute() {
+  OC_CO_ASSIGN_OR_RETURN(omptarget::TargetRegion lowered, lower());
+  co_return co_await devices_->offload(std::move(lowered), device_id_);
+}
+
+TargetRegion::Async TargetRegion::execute_async(sim::Engine& engine) {
+  Async handle;
+  handle.completion_ = engine.spawn(
+      [](TargetRegion* region,
+         std::shared_ptr<std::optional<Result<omptarget::OffloadReport>>> out)
+          -> sim::Co<void> {
+        *out = co_await region->execute();
+      }(this, handle.result_));
+  return handle;
+}
+
+Result<omptarget::OffloadReport> offload_blocking(sim::Engine& engine,
+                                                  TargetRegion& region) {
+  auto result =
+      std::make_shared<std::optional<Result<omptarget::OffloadReport>>>();
+  engine.spawn([](TargetRegion* region,
+                  std::shared_ptr<std::optional<Result<omptarget::OffloadReport>>>
+                      out) -> sim::Co<void> {
+    *out = co_await region->execute();
+  }(&region, result));
+  engine.run();
+  if (!result->has_value()) {
+    return internal_error("offload never completed (deadlocked simulation?)");
+  }
+  return std::move(**result);
+}
+
+}  // namespace ompcloud::omp

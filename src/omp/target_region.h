@@ -1,0 +1,175 @@
+// User-facing OpenMP accelerator-model DSL.
+//
+// This is the programmer's view from Listings 1 and 2 of the paper,
+// expressed as a builder (standing in for Clang's pragma lowering):
+//
+//   omp::TargetRegion region(devices, "MatMul");
+//   region.device(cloud_id);
+//   auto A = region.map_to("A", a.data(), N * N);       // map(to: A[:N*N])
+//   auto B = region.map_to("B", b.data(), N * N);
+//   auto C = region.map_from("C", c.data(), N * N);     // map(from: C[:N*N])
+//   region.parallel_for(N)                               // parallel for
+//       .read_partitioned(A, omp::rows<float>(N))        // Listing 2, line 5
+//       .read(B)                                         //   B broadcast
+//       .write_partitioned(C, omp::rows<float>(N))
+//       .cost_flops(2.0 * N * N)
+//       .body("matmul", MatMulBody);
+//   auto report = omp::offload_blocking(engine, region);
+//
+// Unsupported synchronization constructs (§III-D: atomic, flush, barrier,
+// critical, master) are rejected at build time with kUnimplemented.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "jnibridge/bridge.h"
+#include "omptarget/device.h"
+
+namespace ompcloud::omp {
+
+/// Handle to a mapped variable inside a region.
+struct VarHandle {
+  int index = -1;
+};
+
+/// Row-partition helper: iteration i owns `row_elems` consecutive elements
+/// of type T — the paper's `map(to: A[i*N:(i+1)*N])`.
+template <typename T>
+spark::AffineRange rows(size_t row_elems) {
+  return spark::AffineRange::rows(row_elems * sizeof(T));
+}
+
+/// Synchronization constructs the cloud device cannot honor (§III-D).
+enum class Construct { kAtomic, kFlush, kBarrier, kCritical, kMaster };
+
+std::string_view to_string(Construct construct);
+
+class TargetRegion;
+
+/// Builder for one `parallel for` loop inside the region.
+class ParallelFor {
+ public:
+  /// map(to:) whole-variable read: broadcast to every worker.
+  ParallelFor& read(VarHandle var);
+  /// Listing 2 extension: per-iteration input slice.
+  ParallelFor& read_partitioned(VarHandle var, spark::AffineRange partition);
+  /// Per-iteration output slice (reconstructed by indexed writes).
+  ParallelFor& write_partitioned(VarHandle var, spark::AffineRange partition);
+  /// Whole-variable output (reconstructed by bitwise-or, Eq. 8).
+  ParallelFor& write_shared(VarHandle var);
+  /// OpenMP reduction(op:) variable.
+  ParallelFor& reduction(VarHandle var, spark::ReduceOp op,
+                         spark::ElemType type);
+  /// Cost model: flops per loop iteration (what the compiler estimates).
+  ParallelFor& cost_flops(double flops_per_iteration);
+  /// Overrides Algorithm-1 tiling with an explicit tile count (ablations;
+  /// `iterations` tiles = untiled).
+  ParallelFor& tiles(int64_t tile_count);
+  /// Supplies the loop body and registers it in the fat-binary kernel
+  /// registry under `<region>.<kernel_name>`.
+  ParallelFor& body(const std::string& kernel_name, jni::LoopBodyFn fn);
+  /// References an already-registered kernel instead.
+  ParallelFor& kernel(const std::string& registered_name);
+
+ private:
+  friend class TargetRegion;
+  ParallelFor(TargetRegion* region, size_t loop_index)
+      : region_(region), loop_index_(loop_index) {}
+  spark::LoopSpec& loop();
+
+  TargetRegion* region_;
+  size_t loop_index_;
+};
+
+/// Builder for a whole `#pragma omp target` region.
+class TargetRegion {
+ public:
+  TargetRegion(omptarget::DeviceManager& devices, std::string name);
+
+  /// device(N) clause. Defaults to the host device.
+  TargetRegion& device(int device_id);
+
+  /// map clauses; `count` is in elements of T.
+  template <typename T>
+  VarHandle map_to(const std::string& name, const T* data, size_t count) {
+    return add_var(name, const_cast<T*>(data), count * sizeof(T),
+                   omptarget::MapType::kTo);
+  }
+  template <typename T>
+  VarHandle map_from(const std::string& name, T* data, size_t count) {
+    return add_var(name, data, count * sizeof(T), omptarget::MapType::kFrom);
+  }
+  template <typename T>
+  VarHandle map_tofrom(const std::string& name, T* data, size_t count) {
+    return add_var(name, data, count * sizeof(T), omptarget::MapType::kToFrom);
+  }
+  /// Device-side scratch that never moves (intermediates of multi-loop
+  /// regions still need a host shadow for fallback execution).
+  template <typename T>
+  VarHandle map_alloc(const std::string& name, T* scratch, size_t count) {
+    return add_var(name, scratch, count * sizeof(T), omptarget::MapType::kAlloc);
+  }
+
+  /// Opens a new `parallel for` loop of `iterations` iterations.
+  ParallelFor parallel_for(int64_t iterations);
+
+  /// Declares use of a synchronization construct; always fails with
+  /// kUnimplemented on the cloud device model and poisons the region.
+  Status use(Construct construct);
+
+  /// Overrides Algorithm-1 tiling for every loop in the region (0 restores
+  /// the default; `iterations` tiles = fully untiled). Used by ablations.
+  void set_explicit_tiles(int64_t tiles);
+
+  /// Lowers to the runtime TargetRegion (what the compiler would embed).
+  [[nodiscard]] Result<omptarget::TargetRegion> lower() const;
+
+  /// Offloads through the device manager (with dynamic host fallback).
+  [[nodiscard]] sim::Co<Result<omptarget::OffloadReport>> execute();
+
+  /// `#pragma omp target ... nowait`: starts the offload and returns
+  /// immediately; the host continues and joins later. The handle's
+  /// `wait()` is awaitable; `result()` is valid once `done()`.
+  class Async {
+   public:
+    [[nodiscard]] bool done() const { return result_->has_value(); }
+    /// Awaitable join (use inside a coroutine).
+    [[nodiscard]] sim::Completion completion() const { return completion_; }
+    /// The report; call only when done().
+    [[nodiscard]] const Result<omptarget::OffloadReport>& result() const {
+      return **result_;
+    }
+
+   private:
+    friend class TargetRegion;
+    sim::Completion completion_;
+    std::shared_ptr<std::optional<Result<omptarget::OffloadReport>>> result_ =
+        std::make_shared<std::optional<Result<omptarget::OffloadReport>>>();
+  };
+
+  /// Launches the offload without blocking (the caller must keep this
+  /// region alive until the returned handle is done).
+  [[nodiscard]] Async execute_async(sim::Engine& engine);
+
+  [[nodiscard]] int device_id() const { return device_id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend class ParallelFor;
+  VarHandle add_var(const std::string& name, void* data, uint64_t bytes,
+                    omptarget::MapType type);
+
+  omptarget::DeviceManager* devices_;
+  std::string name_;
+  int device_id_ = omptarget::DeviceManager::host_device_id();
+  omptarget::TargetRegion region_;
+  Status poison_ = Status::ok();
+};
+
+/// Convenience for examples/benches running outside a coroutine: spawns the
+/// offload on the engine and drives it to completion.
+Result<omptarget::OffloadReport> offload_blocking(sim::Engine& engine,
+                                                  TargetRegion& region);
+
+}  // namespace ompcloud::omp

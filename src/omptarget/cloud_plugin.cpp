@@ -1,0 +1,354 @@
+#include "omptarget/cloud_plugin.h"
+
+#include <cstring>
+
+#include "compress/payload.h"
+#include "support/strings.h"
+
+namespace ompcloud::omptarget {
+
+Result<CloudPluginOptions> CloudPluginOptions::from_config(
+    const Config& config) {
+  CloudPluginOptions options;
+  options.bucket = config.get_string("offload.bucket", options.bucket);
+  options.codec = config.get_string("offload.compression", options.codec);
+  OC_ASSIGN_OR_RETURN(const compress::Codec* codec,
+                      compress::find_codec(options.codec));
+  (void)codec;
+  options.min_compress_size = config.get_byte_size(
+      "offload.compression-min-size", options.min_compress_size);
+  options.transfer_threads = static_cast<int>(
+      config.get_int("offload.transfer-threads", options.transfer_threads));
+  if (options.transfer_threads < 0) {
+    return invalid_argument("offload.transfer-threads must be >= 0");
+  }
+  options.storage_retries = static_cast<int>(
+      config.get_int("offload.storage-retries", options.storage_retries));
+  options.retry_backoff_seconds = config.get_duration(
+      "offload.retry-backoff", options.retry_backoff_seconds);
+  options.cleanup = config.get_bool("offload.cleanup", options.cleanup);
+  options.stream_spark_logs =
+      config.get_bool("offload.stream-spark-logs", options.stream_spark_logs);
+  options.cache_data = config.get_bool("offload.cache-data", options.cache_data);
+  return options;
+}
+
+CloudPlugin::CloudPlugin(cloud::Cluster& cluster, spark::SparkConf conf,
+                         CloudPluginOptions options)
+    : cluster_(&cluster),
+      context_(cluster, std::move(conf)),
+      options_(std::move(options)),
+      name_("cloud(" + cluster.spec().provider + "+" +
+            cluster.spec().storage_type + ")") {}
+
+Result<std::unique_ptr<CloudPlugin>> CloudPlugin::from_config(
+    sim::Engine& engine, const Config& config) {
+  OC_ASSIGN_OR_RETURN(cloud::ClusterSpec spec,
+                      cloud::ClusterSpec::from_config(config));
+  OC_ASSIGN_OR_RETURN(spark::SparkConf conf, spark::SparkConf::from_config(config));
+  OC_ASSIGN_OR_RETURN(CloudPluginOptions options,
+                      CloudPluginOptions::from_config(config));
+  auto cluster = std::make_unique<cloud::Cluster>(
+      engine, std::move(spec), cloud::SimProfile::from_config(config));
+  auto plugin = std::make_unique<CloudPlugin>(*cluster, std::move(conf),
+                                              std::move(options));
+  plugin->owned_cluster_ = std::move(cluster);
+  return plugin;
+}
+
+bool CloudPlugin::is_available() const {
+  return cluster_->running() || cluster_->spec().on_the_fly;
+}
+
+std::vector<std::string> CloudPlugin::staged_names(const TargetRegion& region) {
+  std::string prefix =
+      options_.cache_data
+          ? region.name + "/"
+          : str_format("%s#%llu/", region.name.c_str(),
+                       static_cast<unsigned long long>(next_invocation_++));
+  std::vector<std::string> names;
+  names.reserve(region.vars.size());
+  for (const MappedVar& var : region.vars) names.push_back(prefix + var.name);
+  return names;
+}
+
+sim::Co<Status> CloudPlugin::upload_inputs(
+    const TargetRegion& region, const std::vector<std::string>& names,
+    OffloadReport& report) {
+  auto& engine = cluster_->engine();
+  // One transfer thread per buffer by default; a semaphore models the
+  // configurable thread-pool bound.
+  int buffer_count = 0;
+  for (const MappedVar& var : region.vars) {
+    if (var.maps_to()) ++buffer_count;
+  }
+  if (buffer_count == 0) co_return Status::ok();
+  int threads = options_.transfer_threads > 0 ? options_.transfer_threads
+                                              : buffer_count;
+  auto gate = std::make_shared<sim::Semaphore>(engine, threads);
+  auto statuses =
+      std::make_shared<std::vector<Status>>(region.vars.size(), Status::ok());
+
+  OC_CO_ASSIGN_OR_RETURN(const compress::Codec* codec,
+                         compress::find_codec(options_.codec));
+
+  std::vector<sim::Completion> parts;
+  for (size_t v = 0; v < region.vars.size(); ++v) {
+    const MappedVar& var = region.vars[v];
+    if (!var.maps_to()) continue;
+    parts.push_back(engine.spawn(
+        [](CloudPlugin* self, const MappedVar* var, std::string staged,
+           const compress::Codec* codec, std::shared_ptr<sim::Semaphore> gate,
+           OffloadReport* report, std::vector<Status>* statuses,
+           size_t v) -> sim::Co<void> {
+          auto& engine = self->cluster_->engine();
+          co_await gate->acquire();
+          ByteView plain = as_bytes_of(
+              static_cast<const std::byte*>(var->host_ptr), var->size_bytes);
+          // Data caching (the paper's future-work item): if this variable
+          // is already staged with identical content, skip the upload. The
+          // hash scan is charged at host memory bandwidth.
+          if (self->options_.cache_data) {
+            uint64_t hash = fnv1a(plain);
+            co_await self->cluster_->host_pool().run(
+                self->cluster_->profile().reconstruct_seconds(plain.size()));
+            auto cached = self->data_cache_.find(staged);
+            if (cached != self->data_cache_.end() &&
+                cached->second.content_hash == hash &&
+                cached->second.size_bytes == plain.size() &&
+                self->cluster_->store().contains(
+                    self->options_.bucket,
+                    spark::SparkContext::input_key(staged))) {
+              ++self->cache_stats_.hits;
+              self->cache_stats_.bytes_skipped += plain.size();
+              gate->release();
+              co_return;
+            }
+            ++self->cache_stats_.misses;
+            self->data_cache_[staged] = CachedInput{hash, plain.size()};
+          }
+          // gzip on the laptop: real compression, charged on the host pool.
+          auto framed = compress::encode_payload(self->options_.codec, plain,
+                                                 self->options_.min_compress_size);
+          if (!framed.ok()) {
+            (*statuses)[v] = framed.status();
+            gate->release();
+            co_return;
+          }
+          double codec_seconds =
+              plain.size() >= self->options_.min_compress_size
+                  ? self->cluster_->profile().encode_seconds(*codec, plain.size())
+                  : 0.0;
+          co_await self->cluster_->host_pool().run(codec_seconds);
+          report->host_codec_seconds += codec_seconds;
+          report->uploaded_plain_bytes += plain.size();
+          report->uploaded_wire_bytes += framed->size();
+
+          // Transient-failure retry loop (kept inline: coroutine frames
+          // owning callable parameters trip gcc-12 frame-teardown bugs).
+          Status put = Status::ok();
+          for (int attempt = 0; attempt <= self->options_.storage_retries;
+               ++attempt) {
+            if (attempt > 0) {
+              co_await engine.sleep(self->options_.retry_backoff_seconds *
+                                    attempt);
+            }
+            put = co_await self->cluster_->store().put(
+                cloud::Cluster::host_node(), self->options_.bucket,
+                spark::SparkContext::input_key(staged),
+                ByteBuffer(framed->view()));
+            if (put.is_ok() || put.code() != StatusCode::kUnavailable) break;
+          }
+          if (!put.is_ok()) {
+            (*statuses)[v] =
+                put.with_context("uploading '" + var->name + "'");
+          }
+          gate->release();
+        }(this, &var, names[v], codec, gate, &report, statuses.get(), v)));
+  }
+  co_await sim::all(std::move(parts));
+  for (const Status& status : *statuses) {
+    if (!status.is_ok()) co_return status;
+  }
+  co_return Status::ok();
+}
+
+sim::Co<Status> CloudPlugin::download_outputs(
+    const TargetRegion& region, const std::vector<std::string>& names,
+    OffloadReport& report) {
+  auto& engine = cluster_->engine();
+  auto statuses =
+      std::make_shared<std::vector<Status>>(region.vars.size(), Status::ok());
+  std::vector<sim::Completion> parts;
+  for (size_t v = 0; v < region.vars.size(); ++v) {
+    const MappedVar& var = region.vars[v];
+    if (!var.maps_from()) continue;
+    parts.push_back(engine.spawn(
+        [](CloudPlugin* self, const MappedVar* var, std::string staged,
+           OffloadReport* report, std::vector<Status>* statuses,
+           size_t v) -> sim::Co<void> {
+          auto& engine = self->cluster_->engine();
+          ByteBuffer framed;
+          Status got = Status::ok();
+          for (int attempt = 0; attempt <= self->options_.storage_retries;
+               ++attempt) {
+            if (attempt > 0) {
+              co_await engine.sleep(self->options_.retry_backoff_seconds *
+                                    attempt);
+            }
+            auto result = co_await self->cluster_->store().get(
+                cloud::Cluster::host_node(), self->options_.bucket,
+                spark::SparkContext::output_key(staged));
+            if (result.ok()) {
+              framed = std::move(*result);
+              got = Status::ok();
+              break;
+            }
+            got = result.status();
+            if (got.code() != StatusCode::kUnavailable) break;
+          }
+          if (!got.is_ok()) {
+            (*statuses)[v] = got.with_context("downloading '" + var->name + "'");
+            co_return;
+          }
+          auto plain = compress::decode_payload(framed.view());
+          if (!plain.ok()) {
+            (*statuses)[v] = plain.status();
+            co_return;
+          }
+          if (plain->size() != var->size_bytes) {
+            (*statuses)[v] = data_loss(str_format(
+                "output '%s': got %zu bytes, expected %llu", var->name.c_str(),
+                plain->size(),
+                static_cast<unsigned long long>(var->size_bytes)));
+            co_return;
+          }
+          auto codec_name = compress::payload_codec(framed.view());
+          double codec_seconds = 0;
+          if (codec_name.ok()) {
+            auto codec = compress::find_codec(*codec_name);
+            if (codec.ok()) {
+              codec_seconds = self->cluster_->profile().decode_seconds(
+                  **codec, plain->size());
+            }
+          }
+          co_await self->cluster_->host_pool().run(codec_seconds);
+          report->host_codec_seconds += codec_seconds;
+          report->downloaded_plain_bytes += plain->size();
+          report->downloaded_wire_bytes += framed.size();
+          std::memcpy(var->host_ptr, plain->data(), plain->size());
+        }(this, &var, names[v], &report, statuses.get(), v)));
+  }
+  co_await sim::all(std::move(parts));
+  for (const Status& status : *statuses) {
+    if (!status.is_ok()) co_return status;
+  }
+  co_return Status::ok();
+}
+
+sim::Co<Status> CloudPlugin::cleanup_objects(
+    const TargetRegion& region, const std::vector<std::string>& names) {
+  std::vector<sim::Completion> parts;
+  auto& engine = cluster_->engine();
+  // Deletions are best-effort (idempotent in S3); drop their statuses.
+  auto drop = [](sim::Co<Status> op) -> sim::Co<void> {
+    (void)co_await std::move(op);
+  };
+  for (size_t v = 0; v < region.vars.size(); ++v) {
+    const MappedVar& var = region.vars[v];
+    if (var.maps_to() && !options_.cache_data) {
+      parts.push_back(engine.spawn(drop(cluster_->store().remove(
+          cloud::Cluster::host_node(), options_.bucket,
+          spark::SparkContext::input_key(names[v])))));
+    }
+    if (var.maps_from()) {
+      parts.push_back(engine.spawn(drop(cluster_->store().remove(
+          cloud::Cluster::host_node(), options_.bucket,
+          spark::SparkContext::output_key(names[v])))));
+    }
+  }
+  co_await sim::all(std::move(parts));
+  co_return Status::ok();
+}
+
+sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
+    const TargetRegion& region) {
+  auto& engine = cluster_->engine();
+  OffloadReport report;
+  report.device_name = name_;
+  double start = engine.now();
+  double cost_start = cluster_->cost().accrued_usd();
+
+  if (options_.stream_spark_logs) {
+    log_.info("offloading region '%s' to %s", region.name.c_str(),
+              name_.c_str());
+  }
+
+  // On-the-fly EC2 start (§III-A): boot, billed from here.
+  if (!cluster_->running()) {
+    if (!cluster_->spec().on_the_fly) {
+      co_return unavailable("cluster stopped and on-the-fly mode disabled");
+    }
+    double boot_start = engine.now();
+    OC_CO_RETURN_IF_ERROR(co_await cluster_->ensure_running());
+    report.boot_seconds = engine.now() - boot_start;
+  }
+
+  if (!cluster_->store().bucket_exists(options_.bucket)) {
+    Status created = cluster_->store().create_bucket(options_.bucket);
+    if (!created.is_ok() && created.code() != StatusCode::kAlreadyExists) {
+      co_return created;
+    }
+  }
+
+  std::vector<std::string> names = staged_names(region);
+
+  // Fig. 1 step 2: inputs to cloud storage (parallel transfer threads).
+  double upload_start = engine.now();
+  OC_CO_RETURN_IF_ERROR(co_await upload_inputs(region, names, report));
+  report.upload_seconds = engine.now() - upload_start;
+
+  // Fig. 1 step 3: submit the Spark job over SSH and block.
+  double submit_start = engine.now();
+  OC_CO_RETURN_IF_ERROR(co_await cluster_->ssh_submit_roundtrip());
+  report.submit_seconds = engine.now() - submit_start;
+
+  spark::JobSpec job;
+  job.name = region.name;
+  job.bucket = options_.bucket;
+  job.storage_codec = options_.codec;
+  job.storage_min_compress = options_.min_compress_size;
+  for (size_t v = 0; v < region.vars.size(); ++v) {
+    const MappedVar& var = region.vars[v];
+    job.vars.push_back(
+        {names[v], var.size_bytes, var.maps_to(), var.maps_from()});
+  }
+  job.loops = region.loops;
+  OC_CO_ASSIGN_OR_RETURN(report.job, co_await context_.run_job(std::move(job)));
+
+  // Fig. 1 step 8: results back to the host.
+  double download_start = engine.now();
+  OC_CO_RETURN_IF_ERROR(co_await download_outputs(region, names, report));
+  report.download_seconds = engine.now() - download_start;
+
+  if (options_.cleanup) {
+    double cleanup_start = engine.now();
+    OC_CO_RETURN_IF_ERROR(co_await cleanup_objects(region, names));
+    report.cleanup_seconds = engine.now() - cleanup_start;
+  }
+
+  // On-the-fly: stop billing as soon as the region is done.
+  if (cluster_->spec().on_the_fly) {
+    OC_CO_RETURN_IF_ERROR(co_await cluster_->shutdown());
+  }
+
+  report.total_seconds = engine.now() - start;
+  report.cost_usd = cluster_->cost().accrued_usd() - cost_start;
+  if (options_.stream_spark_logs) {
+    log_.info("region '%s' done in %s ($%.4f)", region.name.c_str(),
+              format_duration(report.total_seconds).c_str(), report.cost_usd);
+  }
+  co_return report;
+}
+
+}  // namespace ompcloud::omptarget

@@ -1,0 +1,84 @@
+#include "omptarget/device.h"
+
+#include "omptarget/host_plugin.h"
+#include "support/strings.h"
+
+namespace ompcloud::omptarget {
+
+Status TargetRegion::validate() const {
+  if (vars.empty()) return invalid_argument("region: no mapped variables");
+  if (loops.empty()) return invalid_argument("region: no loops");
+  for (const MappedVar& var : vars) {
+    if (var.size_bytes == 0) {
+      return invalid_argument("region: variable '" + var.name +
+                              "' has zero size");
+    }
+    if (var.host_ptr == nullptr && var.map_type != MapType::kAlloc) {
+      return invalid_argument("region: variable '" + var.name +
+                              "' maps host data but has no host pointer");
+    }
+  }
+  for (const spark::LoopSpec& loop : loops) {
+    for (const auto& access : loop.reads) {
+      if (access.var < 0 || access.var >= static_cast<int>(vars.size())) {
+        return invalid_argument("region: loop reads unknown variable");
+      }
+    }
+    for (const auto& access : loop.writes) {
+      if (access.var < 0 || access.var >= static_cast<int>(vars.size())) {
+        return invalid_argument("region: loop writes unknown variable");
+      }
+      // A written variable must be addressable on the host so results can
+      // land somewhere after fallback execution too.
+      if (vars[access.var].host_ptr == nullptr) {
+        return invalid_argument("region: loop writes alloc-only variable '" +
+                                vars[access.var].name + "'");
+      }
+    }
+  }
+  return Status::ok();
+}
+
+DeviceManager::DeviceManager(sim::Engine& engine) : engine_(&engine) {
+  // Device 0: the host itself (laptop-class fallback: 4 cores, 3 GFLOP/s).
+  devices_.push_back(std::make_unique<HostPlugin>(
+      engine, "host(fallback)", /*threads=*/4, /*core_flops=*/3e9));
+}
+
+int DeviceManager::register_device(std::unique_ptr<Plugin> plugin) {
+  devices_.push_back(std::move(plugin));
+  return static_cast<int>(devices_.size()) - 1;
+}
+
+void DeviceManager::set_host_device(std::unique_ptr<Plugin> plugin) {
+  devices_[0] = std::move(plugin);
+}
+
+sim::Co<Result<OffloadReport>> DeviceManager::offload(TargetRegion region,
+                                                      int device_id) {
+  OC_CO_RETURN_IF_ERROR(region.validate());
+  if (device_id < 0 || device_id >= num_devices()) {
+    co_return invalid_argument(
+        str_format("no such device %d (have %d)", device_id, num_devices()));
+  }
+
+  Plugin& target = *devices_[device_id];
+  if (device_id != host_device_id() && target.is_available()) {
+    auto report = co_await target.run_region(region);
+    if (report.ok()) co_return report;
+    // Only unavailability triggers the dynamic fallback; real failures
+    // (bad kernel, data loss) surface to the caller.
+    if (report.status().code() != StatusCode::kUnavailable) {
+      co_return report.status();
+    }
+  }
+
+  // Fig. 1: "if the cloud is not available the computation is performed
+  // locally".
+  auto fallback = co_await devices_[host_device_id()]->run_region(region);
+  if (!fallback.ok()) co_return fallback.status();
+  fallback->fell_back_to_host = device_id != host_device_id();
+  co_return fallback;
+}
+
+}  // namespace ompcloud::omptarget

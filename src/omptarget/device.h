@@ -1,0 +1,129 @@
+// Target-agnostic offloading layer (libomptarget's role, paper Fig. 2
+// component 2): device registry, target-region description, and the
+// offload entry point with dynamic host fallback ("if the cloud is not
+// available the computation is performed locally", §III).
+//
+// The region description is what Clang's fat binary would carry: the mapped
+// variables with their map types, and the loops (kernel symbol + cost model
+// + per-variable access/partition info from the `target data map`
+// extension of §III-B).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "spark/job.h"
+#include "support/status.h"
+
+namespace ompcloud::omptarget {
+
+/// OpenMP map-type of one variable (map(to:) / map(from:) / map(tofrom:) /
+/// device-only allocation).
+enum class MapType { kTo, kFrom, kToFrom, kAlloc };
+
+/// One entry of the region's data environment.
+struct MappedVar {
+  std::string name;
+  void* host_ptr = nullptr;  ///< host-side storage (null only for kAlloc)
+  uint64_t size_bytes = 0;
+  MapType map_type = MapType::kTo;
+
+  [[nodiscard]] bool maps_to() const {
+    return map_type == MapType::kTo || map_type == MapType::kToFrom;
+  }
+  [[nodiscard]] bool maps_from() const {
+    return map_type == MapType::kFrom || map_type == MapType::kToFrom;
+  }
+};
+
+/// A complete `#pragma omp target` region: data environment + the DOALL
+/// loops inside it (loop access indices refer to `vars`).
+struct TargetRegion {
+  std::string name = "target-region";
+  std::vector<MappedVar> vars;
+  std::vector<spark::LoopSpec> loops;
+
+  [[nodiscard]] Status validate() const;
+};
+
+/// What one offload produced: the paper's measurement decomposition.
+/// `total_seconds` is OmpCloud-full, `job.job_seconds` is OmpCloud-spark,
+/// `job.computation_seconds()` is OmpCloud-computation.
+struct OffloadReport {
+  std::string device_name;
+  bool fell_back_to_host = false;
+
+  double total_seconds = 0;      ///< whole offload (host-side view)
+  double upload_seconds = 0;     ///< compress + host->storage (Fig. 1 step 2)
+  double submit_seconds = 0;     ///< SSH/spark-submit round trip (step 3)
+  double download_seconds = 0;   ///< storage->host + decompress (step 8)
+  double cleanup_seconds = 0;    ///< deleting staged objects
+  double boot_seconds = 0;       ///< on-the-fly instance start, if any
+  double host_codec_seconds = 0; ///< host-side (de)compression CPU time
+
+  uint64_t uploaded_plain_bytes = 0;
+  uint64_t uploaded_wire_bytes = 0;   ///< after compression
+  uint64_t downloaded_plain_bytes = 0;
+  uint64_t downloaded_wire_bytes = 0;
+
+  double cost_usd = 0;  ///< $ metered against the cluster for this offload
+
+  spark::JobMetrics job;  ///< zero-initialized for host execution
+
+  /// Host<->cloud communication total (the Fig. 5 "host-target" bar).
+  [[nodiscard]] double host_target_seconds() const {
+    return upload_seconds + download_seconds + cleanup_seconds;
+  }
+};
+
+/// Target-specific offloading plugin interface (paper Fig. 2 component 3).
+class Plugin {
+ public:
+  virtual ~Plugin() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Whether offloading can proceed right now (a cloud device with no valid
+  /// configuration, or an unreachable cluster, reports false and triggers
+  /// the wrapper's host fallback).
+  [[nodiscard]] virtual bool is_available() const = 0;
+
+  /// Runs the whole region on this device. Data starts and ends in the
+  /// host buffers of `region.vars`.
+  [[nodiscard]] virtual sim::Co<Result<OffloadReport>> run_region(
+      const TargetRegion& region) = 0;
+};
+
+/// Device registry + offload dispatch (component 2). Device 0 is always the
+/// host device; `omp_get_num_devices()`-style accessors included.
+class DeviceManager {
+ public:
+  explicit DeviceManager(sim::Engine& engine);
+
+  /// Registers a device plugin; returns its device id (>= 1; 0 is host).
+  int register_device(std::unique_ptr<Plugin> plugin);
+
+  [[nodiscard]] int num_devices() const {
+    return static_cast<int>(devices_.size());
+  }
+  [[nodiscard]] Plugin& device(int id) { return *devices_.at(id); }
+  [[nodiscard]] static constexpr int host_device_id() { return 0; }
+
+  /// Sets the plugin used for device 0 (host). A default sequential host
+  /// device is installed by the constructor.
+  void set_host_device(std::unique_ptr<Plugin> plugin);
+
+  /// The `__tgt_target` equivalent: validates the region, tries the
+  /// requested device, and falls back to the host when the device is
+  /// unavailable (dynamic offloading, §III).
+  [[nodiscard]] sim::Co<Result<OffloadReport>> offload(TargetRegion region,
+                                                       int device_id);
+
+ private:
+  sim::Engine* engine_;
+  std::vector<std::unique_ptr<Plugin>> devices_;
+};
+
+}  // namespace ompcloud::omptarget

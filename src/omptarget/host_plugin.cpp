@@ -1,0 +1,70 @@
+#include "omptarget/host_plugin.h"
+
+#include "jnibridge/bridge.h"
+
+namespace ompcloud::omptarget {
+
+HostPlugin::HostPlugin(sim::Engine& engine, std::string name, int threads,
+                       double core_flops)
+    : engine_(&engine),
+      name_(std::move(name)),
+      threads_(threads > 0 ? threads : 1),
+      core_flops_(core_flops) {}
+
+sim::Co<Result<OffloadReport>> HostPlugin::run_region(
+    const TargetRegion& region) {
+  double start = engine_->now();
+  // Fresh pool per region: OMP_NUM_THREADS workers.
+  sim::CpuPool pool(*engine_, static_cast<size_t>(threads_));
+
+  for (const spark::LoopSpec& loop : region.loops) {
+    OC_CO_ASSIGN_OR_RETURN(jni::LoopBodyFn kernel,
+                           jni::KernelRegistry::instance().find(loop.kernel));
+
+    // Full-buffer views: on the host every variable is directly addressable.
+    std::vector<jni::InputSlice> inputs;
+    for (const spark::LoopAccess& access : loop.reads) {
+      const MappedVar& var = region.vars[access.var];
+      inputs.push_back(
+          {as_bytes_of(static_cast<const std::byte*>(var.host_ptr),
+                       var.size_bytes),
+           0});
+    }
+    std::vector<jni::OutputSlice> outputs;
+    for (const spark::LoopAccess& access : loop.writes) {
+      const MappedVar& var = region.vars[access.var];
+      outputs.push_back(
+          {as_mutable_bytes_of(static_cast<std::byte*>(var.host_ptr),
+                               var.size_bytes),
+           0});
+    }
+
+    // Static schedule: one contiguous tile per thread, queued on the pool.
+    auto tiles = spark::tile_iterations(loop.iterations, threads_);
+    std::vector<sim::Completion> parts;
+    for (size_t t = 0; t < tiles.size(); ++t) {
+      auto [begin, end] = tiles[t];
+      jni::KernelArgs args;
+      args.begin = begin;
+      args.end = end;
+      args.total_iterations = loop.iterations;
+      args.inputs = inputs;
+      args.outputs = outputs;
+      // DOALL loops write disjoint regions, so threads share the real host
+      // buffers exactly as OpenMP threads would.
+      Status ran = kernel(args);
+      if (!ran.is_ok()) co_return ran.with_context("host kernel");
+      double cost = loop.flops_per_iteration *
+                    static_cast<double>(end - begin) / core_flops_;
+      parts.push_back(engine_->spawn(pool.run(cost)));
+    }
+    co_await sim::all(std::move(parts));
+  }
+
+  OffloadReport report;
+  report.device_name = name_;
+  report.total_seconds = engine_->now() - start;
+  co_return report;
+}
+
+}  // namespace ompcloud::omptarget

@@ -1,0 +1,40 @@
+// Host device plugin: runs the target region as ordinary multi-threaded
+// OpenMP on a single machine.
+//
+// Two uses, matching the paper:
+//  * the `OmpThread` reference series of Fig. 4 (8/16 threads on a
+//    c3-class 16-core node), and
+//  * the dynamic fallback target when the cloud device is unavailable
+//    (then configured with the laptop's cores and clock).
+//
+// Execution is real — the same registered kernels run over the host
+// buffers — while the virtual clock charges flops/(threads x core rate)
+// with honest remainder effects (tiles queue on a CpuPool).
+#pragma once
+
+#include "omptarget/device.h"
+
+namespace ompcloud::omptarget {
+
+class HostPlugin final : public Plugin {
+ public:
+  /// `threads`: OMP_NUM_THREADS; `core_flops`: per-core throughput.
+  HostPlugin(sim::Engine& engine, std::string name, int threads,
+             double core_flops);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] bool is_available() const override { return true; }
+
+  [[nodiscard]] sim::Co<Result<OffloadReport>> run_region(
+      const TargetRegion& region) override;
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+ private:
+  sim::Engine* engine_;
+  std::string name_;
+  int threads_;
+  double core_flops_;
+};
+
+}  // namespace ompcloud::omptarget

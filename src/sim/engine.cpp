@@ -1,0 +1,143 @@
+#include "sim/engine.h"
+
+namespace ompcloud::sim {
+
+bool Task::FinalAwaiter::await_ready() noexcept {
+  // Runs as the last act of the coroutine body. Mark completion, wake
+  // waiters through the scheduler (keeping strict event ordering), and
+  // return true so the frame is destroyed immediately.
+  state->done = true;
+  if (state->engine) {
+    if (state->error) state->engine->record_error(state->error);
+    for (auto waiter : state->waiters) state->engine->resume_now(waiter);
+  }
+  state->waiters.clear();
+  return true;
+}
+
+void Engine::schedule_at(SimTime at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule events in the past");
+  queue_.push(ScheduledEvent{at < now_ ? now_ : at, next_seq_++, std::move(fn)});
+}
+
+Completion Engine::spawn(Task task) {
+  auto handle = std::exchange(task.handle_, nullptr);
+  auto state = task.state_;
+  state->engine = this;
+  spawned_.push_back(state);
+  schedule_at(now_, [handle] { handle.resume(); });
+  return Completion(std::move(state));
+}
+
+Completion Engine::spawn(Co<void> co) {
+  // Wrap the lazy coroutine in a Task so it gets a completion record.
+  auto wrapper = [](Co<void> inner) -> Task { co_await std::move(inner); };
+  return spawn(wrapper(std::move(co)));
+}
+
+SimTime Engine::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; move via const_cast is safe because we
+    // pop immediately after.
+    auto& top = const_cast<ScheduledEvent&>(queue_.top());
+    SimTime at = top.at;
+    auto fn = std::move(top.fn);
+    queue_.pop();
+    now_ = at;
+    ++events_processed_;
+    fn();
+  }
+  if (!task_errors_.empty()) {
+    auto error = task_errors_.front();
+    task_errors_.clear();
+    std::rethrow_exception(error);
+  }
+  return now_;
+}
+
+bool Engine::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    auto& top = const_cast<ScheduledEvent&>(queue_.top());
+    SimTime at = top.at;
+    auto fn = std::move(top.fn);
+    queue_.pop();
+    now_ = at;
+    ++events_processed_;
+    fn();
+  }
+  if (queue_.empty()) {
+    now_ = std::max(now_, t);
+    return false;
+  }
+  now_ = t;
+  return true;
+}
+
+size_t Engine::unfinished_tasks() const {
+  size_t count = 0;
+  for (const auto& weak : spawned_) {
+    if (auto state = weak.lock(); state && !state->done) ++count;
+  }
+  return count;
+}
+
+void Event::trigger() {
+  triggered_ = true;
+  for (auto waiter : waiters_) engine_->resume_now(waiter);
+  waiters_.clear();
+}
+
+void Semaphore::release() {
+  if (!waiters_.empty()) {
+    // Hand the permit straight to the oldest waiter (FIFO, no barging).
+    auto waiter = waiters_.front();
+    waiters_.pop_front();
+    engine_->resume_now(waiter);
+  } else {
+    ++available_;
+  }
+}
+
+Co<void> all(std::vector<Completion> parts) {
+  for (auto& part : parts) co_await part;
+}
+
+namespace {
+
+/// Shared state of an any(): the gate plus the winning index.
+struct AnyState {
+  Event event;
+  size_t winner;
+  explicit AnyState(Engine& engine)
+      : event(engine), winner(static_cast<size_t>(-1)) {}
+};
+
+Co<void> any_watcher(Completion part, std::shared_ptr<AnyState> state,
+                     size_t index) {
+  try {
+    co_await part;
+  } catch (...) {
+    // A failed racer still "finishes first"; the caller inspects it.
+  }
+  if (state->winner == static_cast<size_t>(-1)) {
+    state->winner = index;
+    state->event.trigger();
+  }
+}
+
+}  // namespace
+
+Co<size_t> any(Engine& engine, std::vector<Completion> parts) {
+  assert(!parts.empty() && "any() requires at least one completion");
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i].done()) co_return i;
+  }
+  auto state = std::make_shared<AnyState>(engine);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    engine.spawn(any_watcher(parts[i], state, i));
+  }
+  co_await state->event;
+  co_return state->winner;
+}
+
+}  // namespace ompcloud::sim

@@ -1,0 +1,456 @@
+// Discrete-event simulation engine with C++20 coroutines.
+//
+// The paper evaluates on a real 17-node EC2 Spark cluster; this repository
+// substitutes a deterministic virtual-time simulation (see DESIGN.md §2).
+// Simulated activities — transfers, Spark tasks, SSH round-trips — are
+// coroutines that `co_await` time (`Engine::sleep`), resources
+// (`Semaphore`, `CpuPool`), or each other (`Completion`, `Event`,
+// `Future<T>`). The engine advances a virtual clock through a (time, seq)
+// ordered event queue, so every run is bit-reproducible.
+//
+// Coroutine types:
+//   * `Task`   — top-level, fire-and-forget; started with `Engine::spawn`,
+//                observed through the returned `Completion` handle.
+//   * `Co<T>`  — lazy awaitable subroutine with symmetric transfer; this is
+//                what most simulation code returns, composed with co_await.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace ompcloud::sim {
+
+/// Virtual time in seconds since simulation start.
+using SimTime = double;
+
+class Engine;
+
+namespace detail {
+
+/// Shared completion record for a spawned Task.
+struct TaskState {
+  Engine* engine = nullptr;
+  bool done = false;
+  std::exception_ptr error;
+  std::vector<std::coroutine_handle<>> waiters;
+};
+
+}  // namespace detail
+
+/// Handle observing a spawned Task: awaitable, and queryable for completion.
+/// Awaiting a failed task rethrows its exception.
+class Completion {
+ public:
+  Completion() = default;
+  explicit Completion(std::shared_ptr<detail::TaskState> state)
+      : state_(std::move(state)) {}
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool done() const { return state_ && state_->done; }
+  [[nodiscard]] bool failed() const {
+    return state_ && state_->done && state_->error;
+  }
+
+  // Awaitable interface.
+  [[nodiscard]] bool await_ready() const { return !state_ || state_->done; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    state_->waiters.push_back(h);
+  }
+  void await_resume() const {
+    if (state_ && state_->error) std::rethrow_exception(state_->error);
+  }
+
+ private:
+  std::shared_ptr<detail::TaskState> state_;
+};
+
+/// Top-level simulation coroutine. Created by coroutine functions returning
+/// Task; must be passed to Engine::spawn to run. The frame self-destroys on
+/// completion; liveness is tracked through the shared TaskState.
+class Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    std::shared_ptr<detail::TaskState> state;
+    bool await_ready() noexcept;  // signals completion; returns true (destroy)
+    void await_suspend(std::coroutine_handle<>) noexcept {}
+    void await_resume() noexcept {}
+  };
+
+  struct promise_type {
+    std::shared_ptr<detail::TaskState> state =
+        std::make_shared<detail::TaskState>();
+
+    Task get_return_object() {
+      return Task(Handle::from_promise(*this), state);
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {state}; }
+    void return_void() {}
+    void unhandled_exception() { state->error = std::current_exception(); }
+  };
+
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)),
+        state_(std::move(other.state_)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    // A Task that was never spawned owns its (suspended-at-start) frame.
+    if (handle_) handle_.destroy();
+  }
+
+ private:
+  friend class Engine;
+  Task(Handle handle, std::shared_ptr<detail::TaskState> state)
+      : handle_(handle), state_(std::move(state)) {}
+
+  Handle handle_;
+  std::shared_ptr<detail::TaskState> state_;
+};
+
+/// Lazy awaitable coroutine returning T (or void). Starts when awaited and
+/// resumes its awaiter by symmetric transfer when it finishes. Exceptions
+/// propagate to the awaiter.
+template <typename T = void>
+class [[nodiscard]] Co;
+
+namespace detail {
+
+template <typename T>
+struct CoPromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      auto continuation = h.promise().continuation;
+      return continuation ? continuation : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Co {
+ public:
+  struct promise_type : detail::CoPromiseBase<T> {
+    std::optional<T> value;
+    Co get_return_object() {
+      return Co(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Co(Co&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Co(const Co&) = delete;
+  ~Co() {
+    if (handle_) handle_.destroy();
+  }
+
+  /// Awaiter: starts the child coroutine, records the awaiter as its
+  /// continuation, and yields its value (rethrowing any exception).
+  auto operator co_await() && {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) {
+        handle.promise().continuation = h;
+        return handle;
+      }
+      T await_resume() {
+        if (handle.promise().error) {
+          std::rethrow_exception(handle.promise().error);
+        }
+        return std::move(*handle.promise().value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Engine;
+  explicit Co(Handle handle) : handle_(handle) {}
+  Handle handle_;
+};
+
+template <>
+class [[nodiscard]] Co<void> {
+ public:
+  struct promise_type : detail::CoPromiseBase<void> {
+    Co get_return_object() {
+      return Co(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Co(Co&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Co(const Co&) = delete;
+  ~Co() {
+    if (handle_) handle_.destroy();
+  }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) {
+        handle.promise().continuation = h;
+        return handle;
+      }
+      void await_resume() {
+        if (handle.promise().error) {
+          std::rethrow_exception(handle.promise().error);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Engine;
+  explicit Co(Handle handle) : handle_(handle) {}
+  Handle handle_;
+};
+
+/// The event loop: a (time, sequence)-ordered queue of callbacks plus the
+/// virtual clock. Single-threaded by design — determinism is the point.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules a raw callback at absolute time `at` (>= now; asserts).
+  void schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedules a raw callback `dt` seconds from now (dt >= 0).
+  void schedule_after(SimTime dt, std::function<void()> fn) {
+    schedule_at(now_ + dt, std::move(fn));
+  }
+
+  /// Schedules resumption of a coroutine handle.
+  void resume_at(SimTime at, std::coroutine_handle<> h) {
+    schedule_at(at, [h] { h.resume(); });
+  }
+  void resume_now(std::coroutine_handle<> h) { resume_at(now_, h); }
+
+  /// Starts a top-level Task. The coroutine body begins at the current
+  /// virtual time, as a scheduled event (not inline).
+  Completion spawn(Task task);
+
+  /// Convenience: spawns a Co<void> by wrapping it in a Task.
+  Completion spawn(Co<void> co);
+
+  /// Awaitable: suspends the awaiting coroutine for `dt` virtual seconds.
+  [[nodiscard]] auto sleep(SimTime dt) {
+    struct Awaiter {
+      Engine* engine;
+      SimTime dt;
+      bool await_ready() const noexcept { return dt <= 0; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        engine->resume_at(engine->now_ + dt, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, dt};
+  }
+
+  /// Runs until the event queue is empty. Returns the final virtual time.
+  /// Rethrows the first unhandled Task exception after draining.
+  SimTime run();
+
+  /// Processes events with time <= `t`, then sets now to `t` if the queue is
+  /// exhausted earlier. Returns true if events remain.
+  bool run_until(SimTime t);
+
+  /// Events currently pending (diagnostics).
+  [[nodiscard]] size_t queue_size() const { return queue_.size(); }
+
+  /// Total events processed (diagnostics / micro-benchmarks).
+  [[nodiscard]] uint64_t events_processed() const { return events_processed_; }
+
+  /// Number of spawned tasks that have not completed (deadlock diagnosis:
+  /// after run() this should be zero in a healthy simulation).
+  [[nodiscard]] size_t unfinished_tasks() const;
+
+ private:
+  friend struct Task::FinalAwaiter;
+
+  struct ScheduledEvent {
+    SimTime at;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const ScheduledEvent& other) const {
+      return at != other.at ? at > other.at : seq > other.seq;
+    }
+  };
+
+  void record_error(std::exception_ptr error) {
+    task_errors_.push_back(std::move(error));
+  }
+
+  std::priority_queue<ScheduledEvent, std::vector<ScheduledEvent>,
+                      std::greater<>>
+      queue_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::vector<std::exception_ptr> task_errors_;
+  std::vector<std::weak_ptr<detail::TaskState>> spawned_;
+};
+
+/// One-shot (resettable) gate. Awaiting suspends until `trigger()`;
+/// awaiting an already-triggered event does not suspend.
+class Event {
+ public:
+  explicit Event(Engine& engine) : engine_(&engine) {}
+
+  void trigger();
+  void reset() { triggered_ = false; }
+  [[nodiscard]] bool triggered() const { return triggered_; }
+
+  [[nodiscard]] bool await_ready() const noexcept { return triggered_; }
+  void await_suspend(std::coroutine_handle<> h) { waiters_.push_back(h); }
+  void await_resume() const noexcept {}
+
+ private:
+  Engine* engine_;
+  bool triggered_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Single-assignment value channel: one producer calls `set`, any number of
+/// consumers co_await `get()`.
+template <typename T>
+class Future {
+ public:
+  explicit Future(Engine& engine) : event_(engine) {}
+
+  void set(T value) {
+    assert(!value_.has_value() && "Future set twice");
+    value_ = std::move(value);
+    event_.trigger();
+  }
+
+  [[nodiscard]] bool ready() const { return value_.has_value(); }
+
+  /// Awaitable returning a const reference to the stored value.
+  [[nodiscard]] Co<void> wait() {
+    if (!ready()) co_await event_;
+  }
+
+  [[nodiscard]] const T& peek() const {
+    assert(ready());
+    return *value_;
+  }
+
+ private:
+  Event event_;
+  std::optional<T> value_;
+};
+
+/// Counting semaphore with FIFO handoff (a releaser passes its permit
+/// directly to the oldest waiter, so no barging).
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, size_t permits)
+      : engine_(&engine), available_(permits) {}
+
+  [[nodiscard]] size_t available() const { return available_; }
+  [[nodiscard]] size_t waiting() const { return waiters_.size(); }
+
+  /// Awaitable acquire of one permit.
+  [[nodiscard]] auto acquire() {
+    struct Awaiter {
+      Semaphore* sem;
+      bool await_ready() const noexcept {
+        if (sem->available_ > 0) {
+          --sem->available_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) const {
+        sem->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void release();
+
+ private:
+  Engine* engine_;
+  size_t available_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// A pool of identical CPU cores. `run(cost)` occupies one core for `cost`
+/// virtual seconds (FIFO queueing when all cores are busy). Tracks busy time
+/// for utilization reporting.
+class CpuPool {
+ public:
+  CpuPool(Engine& engine, size_t cores)
+      : engine_(&engine), sem_(engine, cores), cores_(cores) {}
+
+  [[nodiscard]] size_t cores() const { return cores_; }
+  [[nodiscard]] double busy_seconds() const { return busy_seconds_; }
+
+  /// Utilization over [0, horizon]: busy core-seconds / (cores * horizon).
+  [[nodiscard]] double utilization(SimTime horizon) const {
+    return horizon <= 0 ? 0.0
+                        : busy_seconds_ / (static_cast<double>(cores_) * horizon);
+  }
+
+  /// Occupies one core for `cost` seconds.
+  [[nodiscard]] Co<void> run(double cost) {
+    co_await sem_.acquire();
+    busy_seconds_ += cost;
+    co_await engine_->sleep(cost);
+    sem_.release();
+  }
+
+ private:
+  Engine* engine_;
+  Semaphore sem_;
+  size_t cores_;
+  double busy_seconds_ = 0;
+};
+
+/// Awaits every completion in `parts` (they run concurrently; this just
+/// joins). Exceptions from failed tasks propagate.
+Co<void> all(std::vector<Completion> parts);
+
+/// Awaits the FIRST completion in `parts` and returns its index. A failed
+/// task also counts as finished (inspect it afterwards); the losers keep
+/// running unobserved. `parts` must not be empty.
+Co<size_t> any(Engine& engine, std::vector<Completion> parts);
+
+}  // namespace ompcloud::sim

@@ -1,0 +1,55 @@
+#include "spark/conf.h"
+
+#include <algorithm>
+
+namespace ompcloud::spark {
+
+Result<SparkConf> SparkConf::from_config(const Config& config) {
+  SparkConf conf;
+  conf.task_cpus =
+      static_cast<int>(config.get_int("spark.task.cpus", conf.task_cpus));
+  if (conf.task_cpus <= 0) {
+    return invalid_argument("spark.task.cpus must be positive");
+  }
+  conf.cores_max =
+      static_cast<int>(config.get_int("spark.cores.max", conf.cores_max));
+  if (conf.cores_max < 0) {
+    return invalid_argument("spark.cores.max must be >= 0");
+  }
+  conf.default_parallelism = static_cast<int>(
+      config.get_int("spark.default.parallelism", conf.default_parallelism));
+  conf.max_element_bytes = config.get_byte_size("spark.max-element-bytes",
+                                                conf.max_element_bytes);
+  conf.io_compression =
+      config.get_bool("spark.io.compression", conf.io_compression);
+  conf.io_codec = config.get_string("spark.io.codec", conf.io_codec);
+  std::string broadcast =
+      config.get_string("spark.broadcast", "bittorrent");
+  if (broadcast == "bittorrent") {
+    conf.broadcast_mode = net::BroadcastMode::kBitTorrent;
+  } else if (broadcast == "unicast") {
+    conf.broadcast_mode = net::BroadcastMode::kUnicast;
+  } else {
+    return invalid_argument("spark.broadcast must be bittorrent|unicast");
+  }
+  conf.task_max_failures = static_cast<int>(
+      config.get_int("spark.task.maxFailures", conf.task_max_failures));
+  if (conf.task_max_failures <= 0) {
+    return invalid_argument("spark.task.maxFailures must be positive");
+  }
+  conf.stream_logs = config.get_bool("spark.stream-logs", conf.stream_logs);
+  conf.speculation = config.get_bool("spark.speculation", conf.speculation);
+  conf.speculation_multiplier = config.get_double(
+      "spark.speculation.multiplier", conf.speculation_multiplier);
+  if (conf.speculation_multiplier <= 1.0) {
+    return invalid_argument("spark.speculation.multiplier must be > 1");
+  }
+  return conf;
+}
+
+int SparkConf::slots_per_worker(int vcpus, int physical_cores) const {
+  int by_cpus = std::max(1, vcpus / std::max(1, task_cpus));
+  return std::min(by_cpus, std::max(1, physical_cores));
+}
+
+}  // namespace ompcloud::spark

@@ -1,0 +1,64 @@
+// Spark configuration, mirroring the properties the paper tunes (§IV):
+// spark.task.cpus, spark.cores.max, spark.default.parallelism, the executor
+// heap ceiling, and intra-cluster compression.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/network.h"
+#include "support/config.h"
+#include "support/status.h"
+
+namespace ompcloud::spark {
+
+struct SparkConf {
+  /// vCPUs reserved per task. Paper: 2 (one physical core per task).
+  int task_cpus = 2;
+  /// Total vCPUs the application may use cluster-wide; 0 = unlimited.
+  /// The paper sweeps 16..512 vCPUs = 8..256 dedicated cores.
+  int cores_max = 0;
+  /// Target number of RDD partitions; 0 = one per available task slot.
+  int default_parallelism = 0;
+  /// Largest byte[] a JVM can hold; jobs whose variables exceed this fail
+  /// (the paper hit this ceiling when scaling past 1 GB arrays, §IV).
+  uint64_t max_element_bytes = (2ull << 30) - 16;
+  /// spark.io.compression.*: compress RDD/broadcast traffic in the cluster.
+  bool io_compression = true;
+  std::string io_codec = "gzlite";
+  /// Broadcast strategy (TorrentBroadcast vs the naive ablation).
+  net::BroadcastMode broadcast_mode = net::BroadcastMode::kBitTorrent;
+  /// spark.task.maxFailures.
+  int task_max_failures = 4;
+  /// spark.speculation: when a task runs longer than
+  /// speculation_multiplier x its expected duration, launch a duplicate on
+  /// another worker and take whichever finishes first (straggler
+  /// mitigation; DOALL determinism makes the copies interchangeable).
+  bool speculation = false;
+  double speculation_multiplier = 1.5;
+  /// Stream driver/executor log lines to the host's stdout (§III-A option).
+  bool stream_logs = false;
+
+  /// Reads overrides from the `[spark]` config section (keys use the Spark
+  /// property spelling: task.cpus, cores.max, ...).
+  static Result<SparkConf> from_config(const Config& config);
+
+  /// Task slots a worker with `vcpus` vCPUs and `physical_cores` cores
+  /// offers: vcpus/task_cpus, capped by physical cores (a "slot" in this
+  /// simulation always maps to one physical core of the CpuPool).
+  [[nodiscard]] int slots_per_worker(int vcpus, int physical_cores) const;
+
+  /// Cluster-wide concurrent-task cap implied by cores_max (0 = none).
+  [[nodiscard]] int max_concurrent_tasks() const {
+    return cores_max > 0 ? std::max(1, cores_max / std::max(1, task_cpus)) : 0;
+  }
+
+  /// Convenience used by the benches: configures cores_max so that exactly
+  /// `cores` dedicated physical cores are used (paper's x-axis).
+  SparkConf& with_dedicated_cores(int cores) {
+    cores_max = cores * task_cpus;
+    return *this;
+  }
+};
+
+}  // namespace ompcloud::spark

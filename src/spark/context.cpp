@@ -1,0 +1,663 @@
+#include "spark/context.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "compress/payload.h"
+#include "jnibridge/bridge.h"
+#include "support/strings.h"
+
+namespace ompcloud::spark {
+
+namespace {
+
+bool is_partitioned_read(const LoopAccess& access) {
+  return access.mode == LoopAccess::Mode::kReadPartitioned;
+}
+
+}  // namespace
+
+struct SparkContext::Environment {
+  std::vector<ByteBuffer> vars;  ///< aligned with JobSpec::vars
+};
+
+SparkContext::SparkContext(cloud::Cluster& cluster, SparkConf conf)
+    : cluster_(&cluster), conf_(std::move(conf)) {}
+
+int SparkContext::total_task_slots() const {
+  int per_worker = conf_.slots_per_worker(cluster_->instance().vcpus,
+                                          cluster_->instance().physical_cores);
+  int alive_slots = 0;
+  for (int w = 0; w < cluster_->worker_count(); ++w) {
+    if (cluster_->worker_alive(w)) alive_slots += per_worker;
+  }
+  int cap = conf_.max_concurrent_tasks();
+  return cap > 0 ? std::min(cap, alive_slots) : alive_slots;
+}
+
+// ---------------------------------------------------------------------------
+// Per-loop execution state shared by the driver and the task coroutines.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct LoopRun {
+  const JobSpec* spec = nullptr;
+  const LoopSpec* loop = nullptr;
+  SparkContext::TaskFaultInjector* fault_injector = nullptr;
+  SparkContext::TaskSlowdownInjector* slowdown_injector = nullptr;
+  cloud::Cluster* cluster = nullptr;
+  const SparkConf* conf = nullptr;
+  std::vector<ByteBuffer>* env = nullptr;
+  JobMetrics* metrics = nullptr;
+  const compress::Codec* io_codec = nullptr;
+
+  std::vector<std::pair<int64_t, int64_t>> tiles;
+  std::vector<int> alive_workers;
+  std::vector<int> tile_worker;             ///< initial placement
+  std::vector<uint64_t> tile_input_encoded; ///< compressed partition bytes
+  std::vector<uint64_t> tile_input_plain;   ///< plain partition bytes
+  std::vector<Status> task_status;
+
+  /// Accumulators for kWriteShared outputs (index-aligned with loop->writes;
+  /// empty buffer for partitioned writes, which fold straight into env).
+  std::vector<ByteBuffer> shared_accumulators;
+
+  std::unique_ptr<sim::Semaphore> driver_sched;  ///< serializes scheduling
+  std::unique_ptr<sim::Semaphore> global_slots;  ///< spark.cores.max cap
+
+  Logger executor_log{"spark.executor"};
+};
+
+/// Compressed wire size of `data` under the loop's io codec (really
+/// compresses; this is what makes dense vs sparse behave differently inside
+/// the cluster, not just on the WAN).
+uint64_t wire_size(const compress::Codec& codec, ByteView data) {
+  auto compressed = codec.compress(data);
+  return compressed.ok() ? compressed->size() : data.size();
+}
+
+/// The duplicate copy of a straggling task (spark.speculation): waits the
+/// detection delay, re-ships the input partition to another worker, then
+/// runs there at full speed.
+sim::Co<void> run_speculative_copy(LoopRun* run, int tile_index,
+                                   int spec_worker, double detect_delay,
+                                   double core_seconds) {
+  auto& engine = run->cluster->engine();
+  co_await engine.sleep(detect_delay);
+  Status shipped = co_await run->cluster->network().transfer(
+      cloud::Cluster::driver_node(), run->cluster->worker_node(spec_worker),
+      run->tile_input_encoded[tile_index]);
+  if (!shipped.is_ok()) co_return;
+  run->metrics->intra_cluster_bytes += run->tile_input_encoded[tile_index];
+  co_await run->cluster->worker_pool(spec_worker).run(core_seconds);
+}
+
+/// One map task: schedule, (re)ship inputs on retry, execute the native
+/// loop body on a worker core, collect and fold the outputs at the driver.
+sim::Co<void> run_task(LoopRun* run, int tile_index) {
+  auto& engine = run->cluster->engine();
+  const auto& profile = run->cluster->profile();
+  const auto [begin, end] = run->tiles[tile_index];
+  const LoopSpec& loop = *run->loop;
+
+  int attempts = 0;
+  Status final_status = Status::ok();
+  while (true) {
+    int worker =
+        run->alive_workers[(tile_index + attempts) % run->alive_workers.size()];
+    ++attempts;
+    bool inject_failure =
+        *run->fault_injector &&
+        (*run->fault_injector)(tile_index, attempts, worker);
+
+    // Driver-side scheduling is serialized (one TaskScheduler thread): this
+    // is the overhead term that grows linearly with the task count and
+    // drives the paper's Spark-overhead growth from 8 to 256 cores.
+    co_await run->driver_sched->acquire();
+    co_await engine.sleep(profile.task_schedule_overhead);
+    run->driver_sched->release();
+    co_await engine.sleep(profile.task_launch_latency);
+
+    if (!run->cluster->worker_alive(worker)) {
+      // Executor lost: the scheduler notices at launch and retries.
+      ++run->metrics->task_retries;
+      if (attempts >= run->conf->task_max_failures) {
+        final_status = internal_error(
+            str_format("task %d aborted after %d attempts (worker %d dead)",
+                       tile_index, attempts, worker));
+        break;
+      }
+      continue;
+    }
+
+    if (attempts > 1) {
+      // Lineage recomputation: re-ship this tile's input partition from the
+      // driver to the replacement worker.
+      Status reship = co_await run->cluster->network().transfer(
+          cloud::Cluster::driver_node(), run->cluster->worker_node(worker),
+          run->tile_input_encoded[tile_index]);
+      if (!reship.is_ok()) {
+        final_status = reship;
+        break;
+      }
+      run->metrics->intra_cluster_bytes += run->tile_input_encoded[tile_index];
+    }
+
+    if (run->global_slots) co_await run->global_slots->acquire();
+
+    // --- Worker-side execution (really runs the kernel). -------------------
+    // Worker-side input cost: decompression plus JVM deserialization.
+    double decode_seconds =
+        profile.decode_seconds(*run->io_codec,
+                               run->tile_input_plain[tile_index]) +
+        profile.serialize_seconds(run->tile_input_plain[tile_index]);
+    double compute_seconds = loop.flops_per_iteration *
+                             static_cast<double>(end - begin) /
+                             profile.core_flops;
+    double jni_seconds = profile.jni_call_overhead;
+
+    std::vector<jni::InputSlice> inputs;
+    std::vector<ByteBuffer> output_buffers;
+    std::vector<jni::OutputSlice> outputs;
+    std::vector<uint64_t> output_offsets;
+    double encode_out_seconds = 0;
+    uint64_t collect_bytes = 0;
+
+    if (!inject_failure) {
+      // Inputs: views into the driver-resident environment (the simulated
+      // worker received identical bytes during distribution).
+      for (const LoopAccess& access : loop.reads) {
+        const ByteBuffer& var = (*run->env)[access.var];
+        if (is_partitioned_read(access)) {
+          auto [lo, hi] = access.partition.tile_range(begin, end);
+          inputs.push_back({var.subview(lo, hi - lo), lo});
+        } else {
+          inputs.push_back({var.view(), 0});
+        }
+      }
+      // Outputs: worker-local buffers.
+      for (const LoopAccess& access : loop.writes) {
+        if (access.mode == LoopAccess::Mode::kWritePartitioned) {
+          auto [lo, hi] = access.partition.tile_range(begin, end);
+          output_buffers.emplace_back(hi - lo);
+          output_offsets.push_back(lo);
+        } else {
+          output_buffers.emplace_back(
+              (*run->spec).vars[access.var].size_bytes);
+          fill_reduce_identity(access.reduce,
+                               output_buffers.back().mutable_view());
+          output_offsets.push_back(0);
+        }
+      }
+      for (size_t l = 0; l < output_buffers.size(); ++l) {
+        outputs.push_back(
+            {output_buffers[l].mutable_view(), output_offsets[l]});
+      }
+
+      auto kernel = jni::KernelRegistry::instance().find(loop.kernel);
+      if (!kernel.ok()) {
+        final_status = kernel.status();
+        if (run->global_slots) run->global_slots->release();
+        break;
+      }
+      jni::KernelArgs args;
+      args.begin = begin;
+      args.end = end;
+      args.total_iterations = loop.iterations;
+      args.inputs = inputs;
+      args.outputs = outputs;
+      Status ran = (*kernel)(args);
+      if (!ran.is_ok()) {
+        final_status = ran.with_context("kernel " + loop.kernel);
+        if (run->global_slots) run->global_slots->release();
+        break;
+      }
+      // Spark compresses task results before sending them to the driver.
+      for (const ByteBuffer& buffer : output_buffers) {
+        collect_bytes += wire_size(*run->io_codec, buffer.view());
+        encode_out_seconds +=
+            profile.encode_seconds(*run->io_codec, buffer.size()) +
+            profile.serialize_seconds(buffer.size());
+      }
+    }
+
+    double core_seconds =
+        decode_seconds + jni_seconds + compute_seconds + encode_out_seconds;
+    double slow_factor =
+        *run->slowdown_injector
+            ? std::max(1.0, (*run->slowdown_injector)(tile_index, worker))
+            : 1.0;
+    if (run->conf->speculation && slow_factor > run->conf->speculation_multiplier) {
+      // Straggler: race the slow primary against a duplicate launched after
+      // the detection delay on the next alive worker. DOALL determinism
+      // makes the copies interchangeable, so the first finisher wins.
+      int spec_worker =
+          run->alive_workers[(tile_index + attempts) % run->alive_workers.size()];
+      double detect_delay = run->conf->speculation_multiplier * core_seconds;
+      std::vector<sim::Completion> racers;
+      racers.push_back(engine.spawn(
+          run->cluster->worker_pool(worker).run(core_seconds * slow_factor)));
+      racers.push_back(engine.spawn(run_speculative_copy(
+          run, tile_index, spec_worker, detect_delay, core_seconds)));
+      ++run->metrics->speculative_launched;
+      size_t first = co_await sim::any(engine, racers);
+      if (first == 1) ++run->metrics->speculative_won;
+    } else {
+      co_await run->cluster->worker_pool(worker).run(core_seconds * slow_factor);
+    }
+    run->metrics->compute_core_seconds += compute_seconds;
+    run->metrics->jni_core_seconds += jni_seconds;
+    run->metrics->codec_core_seconds += decode_seconds + encode_out_seconds;
+    if (run->global_slots) run->global_slots->release();
+
+    if (inject_failure) {
+      ++run->metrics->task_retries;
+      run->executor_log.debug("task %d attempt %d failed on worker %d",
+                              tile_index, attempts, worker);
+      if (attempts >= run->conf->task_max_failures) {
+        final_status = internal_error(str_format(
+            "task %d failed %d times, giving up", tile_index, attempts));
+        break;
+      }
+      continue;
+    }
+
+    // --- Collect: results travel worker -> driver. -------------------------
+    Status sent = co_await run->cluster->network().transfer(
+        run->cluster->worker_node(worker), cloud::Cluster::driver_node(),
+        collect_bytes);
+    if (!sent.is_ok()) {
+      final_status = sent;
+      break;
+    }
+    run->metrics->intra_cluster_bytes += collect_bytes;
+    co_await engine.sleep(profile.result_collect_overhead);
+
+    // --- Driver-side reconstruction (Fig. 3 step 7), pipelined per task. ---
+    uint64_t fold_bytes = 0;
+    double decode_result_seconds = 0;
+    for (const ByteBuffer& buffer : output_buffers) {
+      fold_bytes += buffer.size();
+      decode_result_seconds +=
+          profile.decode_seconds(*run->io_codec, buffer.size()) +
+          profile.serialize_seconds(buffer.size());
+    }
+    double fold_seconds =
+        profile.reconstruct_seconds(fold_bytes) + decode_result_seconds;
+    // Result handling goes through the driver's single-threaded scheduler
+    // event loop (as in Spark's DAGScheduler), so collected outputs
+    // serialize here — one of the overheads eroding scaling in Fig. 4.
+    co_await run->driver_sched->acquire();
+    co_await run->cluster->driver_pool().run(fold_seconds);
+    run->driver_sched->release();
+    run->metrics->reconstruct_core_seconds += fold_seconds;
+    run->metrics->codec_core_seconds += decode_result_seconds;
+
+    for (size_t l = 0; l < loop.writes.size(); ++l) {
+      const LoopAccess& access = loop.writes[l];
+      if (access.mode == LoopAccess::Mode::kWritePartitioned) {
+        // Indexed write at the right offset of the full variable.
+        ByteBuffer& var = (*run->env)[access.var];
+        std::memcpy(var.data() + output_offsets[l], output_buffers[l].data(),
+                    output_buffers[l].size());
+      } else {
+        Status folded = apply_reduce(
+            access.reduce, run->shared_accumulators[l].mutable_view(),
+            output_buffers[l].view());
+        if (!folded.is_ok()) {
+          final_status = folded;
+          break;
+        }
+      }
+    }
+    break;
+  }
+  run->task_status[tile_index] = final_status;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Driver phases
+// ---------------------------------------------------------------------------
+
+sim::Co<Status> SparkContext::read_inputs(const JobSpec& spec,
+                                          Environment& env,
+                                          JobMetrics& metrics) {
+  auto& engine = cluster_->engine();
+  auto statuses = std::make_shared<std::vector<Status>>(spec.vars.size(),
+                                                        Status::ok());
+  std::vector<sim::Completion> parts;
+  for (size_t v = 0; v < spec.vars.size(); ++v) {
+    const VarSpec& var = spec.vars[v];
+    if (!var.map_to) {
+      // Output-only / intermediate variable: allocated zeroed on the device
+      // data environment, never read from storage.
+      env.vars[v] = ByteBuffer(var.size_bytes);
+      continue;
+    }
+    parts.push_back(engine.spawn(
+        [](SparkContext* self, const JobSpec* spec, size_t v, Environment* env,
+           JobMetrics* metrics, std::vector<Status>* statuses) -> sim::Co<void> {
+          const VarSpec& var = spec->vars[v];
+          auto framed = co_await self->cluster_->store().get(
+              cloud::Cluster::driver_node(), spec->bucket, input_key(var.name));
+          if (!framed.ok()) {
+            (*statuses)[v] = framed.status();
+            co_return;
+          }
+          auto plain = compress::decode_payload(framed->view());
+          if (!plain.ok()) {
+            (*statuses)[v] = plain.status();
+            co_return;
+          }
+          auto codec = compress::find_codec(
+              compress::payload_codec(framed->view()).value_or("null"));
+          double cost = codec.ok() ? self->cluster_->profile().decode_seconds(
+                                         **codec, plain->size())
+                                   : 0.0;
+          co_await self->cluster_->driver_pool().run(cost);
+          metrics->codec_core_seconds += cost;
+          if (plain->size() != var.size_bytes) {
+            (*statuses)[v] = data_loss(
+                str_format("input '%s': stored %zu bytes, expected %llu",
+                           var.name.c_str(), plain->size(),
+                           static_cast<unsigned long long>(var.size_bytes)));
+            co_return;
+          }
+          metrics->input_bytes += plain->size();
+          env->vars[v] = std::move(*plain);
+        }(this, &spec, v, &env, &metrics, statuses.get())));
+  }
+  co_await sim::all(std::move(parts));
+  for (const Status& status : *statuses) {
+    if (!status.is_ok()) co_return status;
+  }
+  co_return Status::ok();
+}
+
+sim::Co<Status> SparkContext::run_loop(const JobSpec& spec,
+                                       const LoopSpec& loop, Environment& env,
+                                       JobMetrics& metrics) {
+  auto& engine = cluster_->engine();
+  const auto& profile = cluster_->profile();
+
+  LoopRun run;
+  run.spec = &spec;
+  run.loop = &loop;
+  run.fault_injector = &fault_injector_;
+  run.slowdown_injector = &slowdown_injector_;
+  run.cluster = cluster_;
+  run.conf = &conf_;
+  run.env = &env.vars;
+  run.metrics = &metrics;
+
+  std::string codec_name = conf_.io_compression ? conf_.io_codec : "null";
+  OC_CO_ASSIGN_OR_RETURN(run.io_codec, compress::find_codec(codec_name));
+
+  int slots = total_task_slots();
+  if (slots <= 0) co_return unavailable("no alive workers");
+  metrics.slots = slots;
+  int64_t tile_target = loop.explicit_tiles > 0
+                            ? loop.explicit_tiles
+                            : (conf_.default_parallelism > 0
+                                   ? conf_.default_parallelism
+                                   : slots);
+  run.tiles = tile_iterations(loop.iterations, tile_target);
+  metrics.tasks += static_cast<int>(run.tiles.size());
+  run.task_status.assign(run.tiles.size(), Status::ok());
+
+  for (int w = 0; w < cluster_->worker_count(); ++w) {
+    if (cluster_->worker_alive(w)) run.alive_workers.push_back(w);
+  }
+  if (run.alive_workers.empty()) co_return unavailable("no alive workers");
+  run.tile_worker.resize(run.tiles.size());
+  for (size_t t = 0; t < run.tiles.size(); ++t) {
+    run.tile_worker[t] =
+        run.alive_workers[t % run.alive_workers.size()];
+  }
+
+  driver_log_.info("loop '%s': %zu tasks on %d slots (%zu workers)",
+                   loop.kernel.c_str(), run.tiles.size(), slots,
+                   run.alive_workers.size());
+
+  // --- Distribution phase (Fig. 1 step 4 / Fig. 3 steps 2-4). --------------
+  double distribute_start = engine.now();
+  run.tile_input_encoded.assign(run.tiles.size(), 0);
+  run.tile_input_plain.assign(run.tiles.size(), 0);
+
+  auto dist_statuses = std::make_shared<std::vector<Status>>();
+  std::vector<sim::Completion> dist_parts;
+
+  // Broadcast unpartitioned inputs once to every worker that owns a tile.
+  std::vector<std::string> broadcast_targets;
+  {
+    std::vector<bool> seen(cluster_->worker_count(), false);
+    for (int w : run.tile_worker) {
+      if (!seen[w]) {
+        seen[w] = true;
+        broadcast_targets.push_back(cluster_->worker_node(w));
+      }
+    }
+  }
+  for (const LoopAccess& access : loop.reads) {
+    if (access.mode != LoopAccess::Mode::kReadBroadcast) continue;
+    const ByteBuffer& var = env.vars[access.var];
+    uint64_t encoded = wire_size(*run.io_codec, var.view());
+    metrics.intra_cluster_bytes += encoded * broadcast_targets.size();
+    dist_statuses->push_back(Status::ok());
+    size_t slot = dist_statuses->size() - 1;
+    dist_parts.push_back(engine.spawn(
+        [](SparkContext* self, const LoopRun* run, uint64_t encoded,
+           uint64_t plain, std::vector<std::string> targets,
+           std::vector<Status>* statuses, size_t slot) -> sim::Co<void> {
+          auto& cluster = *self->cluster_;
+          // Driver serializes + compresses the broadcast payload once.
+          double cost = cluster.profile().encode_seconds(*run->io_codec, plain) +
+                        cluster.profile().serialize_seconds(plain);
+          co_await cluster.driver_pool().run(cost);
+          run->metrics->codec_core_seconds += cost;
+          net::BroadcastOptions options;
+          options.mode = self->conf_.broadcast_mode;
+          options.round_latency = cluster.profile().lan_latency;
+          Status sent = co_await cluster.network().broadcast(
+              cloud::Cluster::driver_node(), targets, encoded, options);
+          if (!sent.is_ok()) {
+            (*statuses)[slot] = sent;
+            co_return;
+          }
+          // Each receiving worker decompresses its copy.
+          std::vector<sim::Completion> decodes;
+          for (size_t w = 0; w < targets.size(); ++w) {
+            int worker_index = -1;
+            for (int i = 0; i < cluster.worker_count(); ++i) {
+              if (cluster.worker_node(i) == targets[w]) worker_index = i;
+            }
+            double decode_seconds =
+                cluster.profile().decode_seconds(*run->io_codec, plain) +
+                cluster.profile().serialize_seconds(plain);
+            run->metrics->codec_core_seconds += decode_seconds;
+            decodes.push_back(cluster.engine().spawn(
+                cluster.worker_pool(worker_index).run(decode_seconds)));
+          }
+          co_await sim::all(std::move(decodes));
+        }(this, &run, encoded, var.size(), broadcast_targets,
+          dist_statuses.get(), slot)));
+  }
+
+  // Partitioned inputs: one slice per tile to its worker.
+  for (size_t t = 0; t < run.tiles.size(); ++t) {
+    uint64_t tile_plain = 0;
+    uint64_t tile_encoded = 0;
+    for (const LoopAccess& access : loop.reads) {
+      if (!is_partitioned_read(access)) continue;
+      auto [lo, hi] = access.partition.tile_range(run.tiles[t].first,
+                                                  run.tiles[t].second);
+      ByteView slice = env.vars[access.var].subview(lo, hi - lo);
+      tile_plain += slice.size();
+      tile_encoded += wire_size(*run.io_codec, slice);
+    }
+    run.tile_input_plain[t] = tile_plain;
+    run.tile_input_encoded[t] = tile_encoded;
+    if (tile_encoded == 0) continue;
+    metrics.intra_cluster_bytes += tile_encoded;
+    dist_statuses->push_back(Status::ok());
+    size_t slot = dist_statuses->size() - 1;
+    dist_parts.push_back(engine.spawn(
+        [](SparkContext* self, const LoopRun* run, size_t t,
+           std::vector<Status>* statuses, size_t slot) -> sim::Co<void> {
+          auto& cluster = *self->cluster_;
+          double cost = cluster.profile().encode_seconds(
+                            *run->io_codec, run->tile_input_plain[t]) +
+                        cluster.profile().serialize_seconds(
+                            run->tile_input_plain[t]);
+          co_await cluster.driver_pool().run(cost);
+          run->metrics->codec_core_seconds += cost;
+          Status sent = co_await cluster.network().transfer(
+              cloud::Cluster::driver_node(),
+              cluster.worker_node(run->tile_worker[t]),
+              run->tile_input_encoded[t]);
+          if (!sent.is_ok()) (*statuses)[slot] = sent;
+        }(this, &run, t, dist_statuses.get(), slot)));
+  }
+  co_await sim::all(std::move(dist_parts));
+  for (const Status& status : *dist_statuses) {
+    if (!status.is_ok()) co_return status;
+  }
+  metrics.distribute_seconds += engine.now() - distribute_start;
+
+  // --- Prepare write targets. ----------------------------------------------
+  run.shared_accumulators.resize(loop.writes.size());
+  for (size_t l = 0; l < loop.writes.size(); ++l) {
+    const LoopAccess& access = loop.writes[l];
+    if (access.mode == LoopAccess::Mode::kWriteShared) {
+      run.shared_accumulators[l] =
+          ByteBuffer(spec.vars[access.var].size_bytes);
+      fill_reduce_identity(access.reduce,
+                           run.shared_accumulators[l].mutable_view());
+    }
+  }
+
+  // --- Map + collect phase (Fig. 1 steps 5-6). ------------------------------
+  double map_start = engine.now();
+  run.driver_sched = std::make_unique<sim::Semaphore>(engine, 1);
+  int cap = conf_.max_concurrent_tasks();
+  if (cap > 0) run.global_slots = std::make_unique<sim::Semaphore>(engine, cap);
+
+  std::vector<sim::Completion> tasks;
+  tasks.reserve(run.tiles.size());
+  for (size_t t = 0; t < run.tiles.size(); ++t) {
+    tasks.push_back(engine.spawn(run_task(&run, static_cast<int>(t))));
+  }
+  co_await sim::all(std::move(tasks));
+  for (const Status& status : run.task_status) {
+    if (!status.is_ok()) co_return status;
+  }
+  metrics.map_collect_seconds += engine.now() - map_start;
+
+  // --- Finalize shared outputs. ---------------------------------------------
+  for (size_t l = 0; l < loop.writes.size(); ++l) {
+    const LoopAccess& access = loop.writes[l];
+    if (access.mode != LoopAccess::Mode::kWriteShared) continue;
+    ByteBuffer& var = env.vars[access.var];
+    if (access.reduce.op != ReduceOp::kBitOr && spec.vars[access.var].map_to) {
+      // OpenMP reduction semantics: combine the accumulated value with the
+      // variable's incoming value.
+      OC_CO_RETURN_IF_ERROR(apply_reduce(
+          access.reduce, run.shared_accumulators[l].mutable_view(), var.view()));
+    }
+    var = std::move(run.shared_accumulators[l]);
+  }
+
+  co_return Status::ok();
+}
+
+sim::Co<Status> SparkContext::write_outputs(const JobSpec& spec,
+                                            Environment& env,
+                                            JobMetrics& metrics) {
+  auto& engine = cluster_->engine();
+  auto statuses = std::make_shared<std::vector<Status>>(spec.vars.size(),
+                                                        Status::ok());
+  std::vector<sim::Completion> parts;
+  for (size_t v = 0; v < spec.vars.size(); ++v) {
+    if (!spec.vars[v].map_from) continue;
+    parts.push_back(engine.spawn(
+        [](SparkContext* self, const JobSpec* spec, size_t v, Environment* env,
+           JobMetrics* metrics, std::vector<Status>* statuses) -> sim::Co<void> {
+          const VarSpec& var = spec->vars[v];
+          const ByteBuffer& plain = env->vars[v];
+          auto framed = compress::encode_payload(
+              spec->storage_codec, plain.view(), spec->storage_min_compress);
+          if (!framed.ok()) {
+            (*statuses)[v] = framed.status();
+            co_return;
+          }
+          auto codec = compress::find_codec(spec->storage_codec);
+          double cost = codec.ok() ? self->cluster_->profile().encode_seconds(
+                                         **codec, plain.size())
+                                   : 0.0;
+          co_await self->cluster_->driver_pool().run(cost);
+          metrics->codec_core_seconds += cost;
+          metrics->output_bytes += plain.size();
+          Status put = co_await self->cluster_->store().put(
+              cloud::Cluster::driver_node(), spec->bucket,
+              output_key(var.name), std::move(*framed));
+          if (!put.is_ok()) (*statuses)[v] = put;
+        }(this, &spec, v, &env, &metrics, statuses.get())));
+  }
+  co_await sim::all(std::move(parts));
+  for (const Status& status : *statuses) {
+    if (!status.is_ok()) co_return status;
+  }
+  co_return Status::ok();
+}
+
+sim::Co<Result<JobMetrics>> SparkContext::run_job(JobSpec spec) {
+  OC_CO_RETURN_IF_ERROR(spec.validate());
+  for (const LoopSpec& loop : spec.loops) {
+    auto kernel = jni::KernelRegistry::instance().find(loop.kernel);
+    if (!kernel.ok()) co_return kernel.status();
+  }
+  for (const VarSpec& var : spec.vars) {
+    if (var.size_bytes > conf_.max_element_bytes) {
+      co_return resource_exhausted(str_format(
+          "variable '%s' (%llu bytes) exceeds the JVM array ceiling (%llu)",
+          var.name.c_str(), static_cast<unsigned long long>(var.size_bytes),
+          static_cast<unsigned long long>(conf_.max_element_bytes)));
+    }
+  }
+  if (!cluster_->running()) {
+    co_return unavailable("Spark cluster is not running");
+  }
+
+  auto& engine = cluster_->engine();
+  JobMetrics metrics;
+  double job_start = engine.now();
+  driver_log_.info("job '%s' started (%zu vars, %zu loops)", spec.name.c_str(),
+                   spec.vars.size(), spec.loops.size());
+
+  Environment env;
+  env.vars.resize(spec.vars.size());
+
+  double read_start = engine.now();
+  OC_CO_RETURN_IF_ERROR(co_await read_inputs(spec, env, metrics));
+  metrics.input_read_seconds = engine.now() - read_start;
+
+  for (const LoopSpec& loop : spec.loops) {
+    OC_CO_RETURN_IF_ERROR(co_await run_loop(spec, loop, env, metrics));
+  }
+
+  double write_start = engine.now();
+  OC_CO_RETURN_IF_ERROR(co_await write_outputs(spec, env, metrics));
+  metrics.output_write_seconds = engine.now() - write_start;
+
+  metrics.job_seconds = engine.now() - job_start;
+  driver_log_.info("job '%s' finished in %s (%d tasks, %d retries)",
+                   spec.name.c_str(),
+                   format_duration(metrics.job_seconds).c_str(), metrics.tasks,
+                   metrics.task_retries);
+  co_return metrics;
+}
+
+}  // namespace ompcloud::spark

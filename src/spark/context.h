@@ -1,0 +1,83 @@
+// SparkLite context: the driver/executor execution engine.
+//
+// Implements the paper's §III-C execution model on the simulated cluster:
+// the driver reads the job's input files from cloud storage, builds
+// RDD_IN = ∪ {i, V_IN(i)} (tiled by Algorithm 1), splits partitioned inputs
+// across workers and broadcasts the rest (BitTorrent), schedules one map
+// task per RDD element onto executor cores (honoring spark.task.cpus and
+// spark.cores.max), runs the native loop body through the JNI bridge, then
+// collects, reconstructs (indexed writes / bitwise-or / OpenMP reduction)
+// and writes the outputs back to storage.
+//
+// Fault tolerance: tasks that fail (injected or on a killed worker) are
+// retried on the next alive worker, re-shipping their input partition from
+// the driver — exactly lineage recomputation of a parallelize+map RDD.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "cloud/cluster.h"
+#include "spark/conf.h"
+#include "spark/job.h"
+#include "support/log.h"
+
+namespace ompcloud::spark {
+
+class SparkContext {
+ public:
+  /// Decides whether a task attempt fails (for fault-tolerance tests and
+  /// benches). Return true to fail the given attempt.
+  using TaskFaultInjector =
+      std::function<bool(int tile, int attempt, int worker)>;
+
+  /// Multiplies a task's execution time (straggler injection for the
+  /// speculation tests/benches). Return 1.0 for a healthy task.
+  using TaskSlowdownInjector = std::function<double(int tile, int worker)>;
+
+  SparkContext(cloud::Cluster& cluster, SparkConf conf);
+
+  [[nodiscard]] const SparkConf& conf() const { return conf_; }
+  [[nodiscard]] cloud::Cluster& cluster() { return *cluster_; }
+
+  /// Task slots usable by one job: min(cores_max/task_cpus, alive workers'
+  /// slots). This is the paper's "number of dedicated CPU cores".
+  [[nodiscard]] int total_task_slots() const;
+
+  void set_task_fault_injector(TaskFaultInjector injector) {
+    fault_injector_ = std::move(injector);
+  }
+
+  void set_task_slowdown_injector(TaskSlowdownInjector injector) {
+    slowdown_injector_ = std::move(injector);
+  }
+
+  /// Runs a job end to end (driver coroutine). Inputs must already be in
+  /// `spec.bucket` under `<var>.bin` keys as framed payloads; outputs are
+  /// written back as `<var>.out.bin`.
+  [[nodiscard]] sim::Co<Result<JobMetrics>> run_job(JobSpec spec);
+
+  /// Storage keys used by jobs.
+  static std::string input_key(const std::string& var) { return var + ".bin"; }
+  static std::string output_key(const std::string& var) {
+    return var + ".out.bin";
+  }
+
+ private:
+  struct Environment;  // driver-resident variable buffers
+
+  sim::Co<Status> read_inputs(const JobSpec& spec, Environment& env,
+                              JobMetrics& metrics);
+  sim::Co<Status> run_loop(const JobSpec& spec, const LoopSpec& loop,
+                           Environment& env, JobMetrics& metrics);
+  sim::Co<Status> write_outputs(const JobSpec& spec, Environment& env,
+                                JobMetrics& metrics);
+
+  cloud::Cluster* cluster_;
+  SparkConf conf_;
+  TaskFaultInjector fault_injector_;
+  TaskSlowdownInjector slowdown_injector_;
+  Logger driver_log_{"spark.driver"};
+};
+
+}  // namespace ompcloud::spark

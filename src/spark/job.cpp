@@ -1,0 +1,170 @@
+#include "spark/job.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/strings.h"
+
+namespace ompcloud::spark {
+
+namespace {
+
+template <typename T>
+void reduce_typed(ReduceOp op, MutableByteView dst, ByteView src) {
+  auto* d = reinterpret_cast<T*>(dst.data());
+  const auto* s = reinterpret_cast<const T*>(src.data());
+  size_t n = dst.size() / sizeof(T);
+  switch (op) {
+    case ReduceOp::kSum:
+      for (size_t i = 0; i < n; ++i) d[i] += s[i];
+      break;
+    case ReduceOp::kMin:
+      for (size_t i = 0; i < n; ++i) d[i] = std::min(d[i], s[i]);
+      break;
+    case ReduceOp::kMax:
+      for (size_t i = 0; i < n; ++i) d[i] = std::max(d[i], s[i]);
+      break;
+    case ReduceOp::kBitOr:
+      break;  // handled by caller
+  }
+}
+
+}  // namespace
+
+Status apply_reduce(const ReduceSpec& reduce, MutableByteView dst,
+                    ByteView src) {
+  if (dst.size() != src.size()) {
+    return invalid_argument(
+        str_format("reduce size mismatch: %zu vs %zu", dst.size(), src.size()));
+  }
+  if (reduce.op == ReduceOp::kBitOr) {
+    bitwise_or_accumulate(dst, src);
+    return Status::ok();
+  }
+  switch (reduce.type) {
+    case ElemType::kF32: reduce_typed<float>(reduce.op, dst, src); break;
+    case ElemType::kF64: reduce_typed<double>(reduce.op, dst, src); break;
+    case ElemType::kI32: reduce_typed<int32_t>(reduce.op, dst, src); break;
+    case ElemType::kI64: reduce_typed<int64_t>(reduce.op, dst, src); break;
+  }
+  return Status::ok();
+}
+
+namespace {
+
+template <typename T>
+void fill_typed(MutableByteView dst, T value) {
+  auto* d = reinterpret_cast<T*>(dst.data());
+  size_t n = dst.size() / sizeof(T);
+  for (size_t i = 0; i < n; ++i) d[i] = value;
+}
+
+}  // namespace
+
+void fill_reduce_identity(const ReduceSpec& reduce, MutableByteView dst) {
+  if (reduce.op == ReduceOp::kBitOr || reduce.op == ReduceOp::kSum) {
+    std::fill(dst.begin(), dst.end(), std::byte{0});
+    return;
+  }
+  bool is_min = reduce.op == ReduceOp::kMin;
+  switch (reduce.type) {
+    case ElemType::kF32:
+      fill_typed<float>(dst, is_min ? std::numeric_limits<float>::infinity()
+                                    : -std::numeric_limits<float>::infinity());
+      break;
+    case ElemType::kF64:
+      fill_typed<double>(dst, is_min ? std::numeric_limits<double>::infinity()
+                                     : -std::numeric_limits<double>::infinity());
+      break;
+    case ElemType::kI32:
+      fill_typed<int32_t>(dst, is_min ? std::numeric_limits<int32_t>::max()
+                                      : std::numeric_limits<int32_t>::min());
+      break;
+    case ElemType::kI64:
+      fill_typed<int64_t>(dst, is_min ? std::numeric_limits<int64_t>::max()
+                                      : std::numeric_limits<int64_t>::min());
+      break;
+  }
+}
+
+std::vector<std::pair<int64_t, int64_t>> tile_iterations(
+    int64_t iterations, int64_t cluster_cores) {
+  std::vector<std::pair<int64_t, int64_t>> tiles;
+  if (iterations <= 0) return tiles;
+  int64_t count = std::max<int64_t>(1, std::min(iterations, cluster_cores));
+  tiles.reserve(count);
+  // Balanced split: the first (iterations % count) tiles get one extra
+  // iteration, so sizes differ by at most 1 (Algorithm 1 with exact cover).
+  int64_t base = iterations / count;
+  int64_t extra = iterations % count;
+  int64_t begin = 0;
+  for (int64_t t = 0; t < count; ++t) {
+    int64_t size = base + (t < extra ? 1 : 0);
+    tiles.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  return tiles;
+}
+
+Status JobSpec::validate() const {
+  if (bucket.empty()) return invalid_argument("job: bucket not set");
+  if (loops.empty()) return invalid_argument("job: no loops");
+  for (const auto& var : vars) {
+    if (var.size_bytes == 0) {
+      return invalid_argument("job: variable '" + var.name + "' has zero size");
+    }
+    if (var.name.empty()) return invalid_argument("job: unnamed variable");
+  }
+  for (size_t l = 0; l < loops.size(); ++l) {
+    const LoopSpec& loop = loops[l];
+    if (loop.kernel.empty()) {
+      return invalid_argument(str_format("job: loop %zu has no kernel", l));
+    }
+    if (loop.iterations <= 0) {
+      return invalid_argument(str_format("job: loop %zu has no iterations", l));
+    }
+    if (loop.writes.empty()) {
+      return invalid_argument(str_format("job: loop %zu writes nothing", l));
+    }
+    auto check_access = [&](const LoopAccess& access,
+                            bool is_write) -> Status {
+      if (access.var < 0 || access.var >= static_cast<int>(vars.size())) {
+        return invalid_argument(
+            str_format("job: loop %zu references unknown var %d", l, access.var));
+      }
+      bool partitioned = access.mode == LoopAccess::Mode::kReadPartitioned ||
+                         access.mode == LoopAccess::Mode::kWritePartitioned;
+      bool write_mode = access.mode == LoopAccess::Mode::kWritePartitioned ||
+                        access.mode == LoopAccess::Mode::kWriteShared;
+      if (write_mode != is_write) {
+        return invalid_argument(
+            str_format("job: loop %zu access mode/direction mismatch on '%s'",
+                       l, vars[access.var].name.c_str()));
+      }
+      if (partitioned) {
+        // Partition bounds must be monotone, within the variable, and cover
+        // a non-empty range for every iteration.
+        const AffineRange& r = access.partition;
+        auto [lo0, hi0] = r.tile_range(0, 1);
+        auto [lo_last, hi_last] =
+            r.tile_range(loop.iterations - 1, loop.iterations);
+        if (lo0 > hi0 || lo_last > hi_last ||
+            hi_last > vars[access.var].size_bytes || hi0 == lo0) {
+          return invalid_argument(
+              str_format("job: loop %zu partition of '%s' out of bounds", l,
+                         vars[access.var].name.c_str()));
+        }
+      }
+      return Status::ok();
+    };
+    for (const auto& access : loop.reads) {
+      OC_RETURN_IF_ERROR(check_access(access, /*is_write=*/false));
+    }
+    for (const auto& access : loop.writes) {
+      OC_RETURN_IF_ERROR(check_access(access, /*is_write=*/true));
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace ompcloud::spark

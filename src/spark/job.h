@@ -1,0 +1,161 @@
+// Spark job model for offloaded OpenMP target regions.
+//
+// This is the C++ rendering of the Scala program our "compiler" ships in the
+// fat binary (paper §III-A): a job is a sequence of DOALL loops (§III-D:
+// "several parallel for loops within the same target region ... implemented
+// by performing successive map-reduce transformations within the Spark
+// job"), over a data environment of mapped variables. Each loop describes,
+// per variable, whether the loop reads it partitioned (one slice per
+// iteration, Listing 2), reads it whole (broadcast), writes it partitioned
+// (reconstruct by indexed writes) or writes it whole (reconstruct by
+// bitwise-or, Eq. 8/9, or by a declared OpenMP reduction operator).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace ompcloud::spark {
+
+/// A mapped variable in the target-region data environment.
+struct VarSpec {
+  std::string name;        ///< storage key stem and diagnostics label
+  uint64_t size_bytes = 0;
+  bool map_to = false;     ///< host -> device before the region
+  bool map_from = false;   ///< device -> host after the region
+};
+
+/// Affine byte range per loop iteration: [lo(i), hi(i)) with
+/// lo(i) = lo_coeff*i + lo_base and hi(i) = hi_coeff*i + hi_base.
+/// Listing 2's `map(to: A[i*N:(i+1)*N])` over floats is
+/// {4N, 0, 4N, 4N}. Tiling merges consecutive iterations, so for a tile
+/// [b, e) the range is [lo(b), hi(e-1)) — the paper's "lower and upper
+/// bounds of the partitions ... readjusted dynamically according to the
+/// tiling size".
+struct AffineRange {
+  int64_t lo_coeff = 0;
+  int64_t lo_base = 0;
+  int64_t hi_coeff = 0;
+  int64_t hi_base = 0;
+
+  [[nodiscard]] int64_t lo(int64_t i) const { return lo_coeff * i + lo_base; }
+  [[nodiscard]] int64_t hi(int64_t i) const { return hi_coeff * i + hi_base; }
+
+  /// Byte range covered by tile [begin, end).
+  [[nodiscard]] std::pair<uint64_t, uint64_t> tile_range(int64_t begin,
+                                                         int64_t end) const {
+    return {static_cast<uint64_t>(lo(begin)),
+            static_cast<uint64_t>(hi(end - 1))};
+  }
+
+  /// Convenience: contiguous row partitioning, `elem_bytes*row_len` bytes
+  /// per iteration (the Listing 2 pattern).
+  static AffineRange rows(uint64_t bytes_per_iteration) {
+    auto b = static_cast<int64_t>(bytes_per_iteration);
+    return {b, 0, b, b};
+  }
+};
+
+/// Element type of a reduction variable.
+enum class ElemType { kF32, kF64, kI32, kI64 };
+
+/// How partial outputs of unpartitioned variables are combined (Eq. 8):
+/// bitwise-or by default, or the OpenMP reduction operator when the clause
+/// declares one.
+enum class ReduceOp { kBitOr, kSum, kMin, kMax };
+
+struct ReduceSpec {
+  ReduceOp op = ReduceOp::kBitOr;
+  ElemType type = ElemType::kF32;  ///< ignored for kBitOr
+};
+
+/// Applies `op` elementwise: dst[i] = op(dst[i], src[i]). Sizes must match.
+Status apply_reduce(const ReduceSpec& reduce, MutableByteView dst, ByteView src);
+
+/// Fills `dst` with the identity element of the reduction (zeros for
+/// bitor/sum, +inf/-inf patterns for min/max).
+void fill_reduce_identity(const ReduceSpec& reduce, MutableByteView dst);
+
+/// How one loop accesses one environment variable.
+struct LoopAccess {
+  int var = -1;  ///< index into JobSpec::vars
+
+  enum class Mode {
+    kReadBroadcast,     ///< whole variable to every worker (paper's B)
+    kReadPartitioned,   ///< per-iteration slice (paper's A)
+    kWritePartitioned,  ///< per-iteration slice, indexed reconstruct (C)
+    kWriteShared,       ///< whole variable, reduce-combine reconstruct
+  };
+  Mode mode = Mode::kReadBroadcast;
+  AffineRange partition;  ///< meaningful for partitioned modes
+  ReduceSpec reduce;      ///< meaningful for kWriteShared
+};
+
+/// One DOALL `parallel for` inside the target region.
+struct LoopSpec {
+  std::string kernel;           ///< registered NativeBridge kernel
+  int64_t iterations = 0;       ///< N
+  double flops_per_iteration = 0;  ///< cost model for virtual compute time
+  std::vector<LoopAccess> reads;   ///< kernel input order
+  std::vector<LoopAccess> writes;  ///< kernel output order
+  /// 0 = tile to the cluster size (Algorithm 1); otherwise forces a tile
+  /// count (1 tile per iteration = the untiled ablation).
+  int64_t explicit_tiles = 0;
+};
+
+/// A complete Spark job: environment + loop pipeline + storage locations.
+struct JobSpec {
+  std::string name = "ompcloud-job";
+  std::string bucket;               ///< cloud-storage bucket with the inputs
+  std::string storage_codec = "gzlite";  ///< codec of stored objects
+  uint64_t storage_min_compress = 4096;
+  std::vector<VarSpec> vars;
+  std::vector<LoopSpec> loops;
+
+  [[nodiscard]] Status validate() const;
+};
+
+/// Algorithm 1: split [0, N) into at most `cluster_cores` contiguous tiles.
+/// Returns (begin, end) pairs covering the space exactly.
+std::vector<std::pair<int64_t, int64_t>> tile_iterations(int64_t iterations,
+                                                         int64_t cluster_cores);
+
+/// Timing decomposition of one executed job, in virtual seconds. These are
+/// the quantities behind the paper's Fig. 4/5 series.
+struct JobMetrics {
+  double job_seconds = 0;          ///< whole run_job duration (OmpCloud-spark)
+  double input_read_seconds = 0;   ///< storage -> driver (step 3)
+  double distribute_seconds = 0;   ///< partitions + broadcast (step 4)
+  double map_collect_seconds = 0;  ///< tasks: schedule/compute/collect (5-6)
+  double output_write_seconds = 0; ///< driver -> storage (step 7b)
+
+  double compute_core_seconds = 0; ///< pure loop-body time, summed over cores
+  double jni_core_seconds = 0;     ///< per-call JNI overhead, summed
+  double codec_core_seconds = 0;   ///< (de)compression cpu time, summed
+  /// Driver-side output rebuild (step 6-7: indexed writes / reductions),
+  /// pipelined into the collect of each task, summed in core-seconds.
+  double reconstruct_core_seconds = 0;
+
+  int tasks = 0;
+  int task_retries = 0;
+  int speculative_launched = 0;    ///< duplicate copies started (speculation)
+  int speculative_won = 0;         ///< races won by the duplicate
+  int slots = 0;                   ///< concurrent task slots used
+  uint64_t input_bytes = 0;        ///< plain bytes read from storage
+  uint64_t output_bytes = 0;       ///< plain bytes written to storage
+  uint64_t intra_cluster_bytes = 0;///< compressed driver<->worker traffic
+
+  /// The paper's OmpCloud-computation series: ideal parallel compute time.
+  [[nodiscard]] double computation_seconds() const {
+    return slots > 0 ? compute_core_seconds / slots : 0.0;
+  }
+  /// Spark overhead: everything in the job that is not pure computation.
+  [[nodiscard]] double spark_overhead_seconds() const {
+    return job_seconds - computation_seconds();
+  }
+};
+
+}  // namespace ompcloud::spark

@@ -1,0 +1,164 @@
+#include "spark/rdd.h"
+
+#include "support/strings.h"
+
+namespace ompcloud::spark {
+
+RddSession::RddSession(cloud::Cluster& cluster, SparkConf conf,
+                       std::string bucket)
+    : cluster_(&cluster),
+      context_(cluster, std::move(conf)),
+      bucket_(std::move(bucket)) {
+  Status created = cluster_->store().create_bucket(bucket_);
+  (void)created;  // AlreadyExists is fine: sessions may share a bucket
+}
+
+Result<ByteBuffer> RddSession::run_pipeline(
+    const rdd_detail::Lineage& lineage, size_t out_elem,
+    std::optional<ReduceSpec> reduce,
+    std::optional<rdd_detail::BucketPlan> bucket) {
+  if (lineage.count == 0) return invalid_argument("empty RDD");
+  auto& engine = cluster_->engine();
+  const int id = next_kernel_id_++;
+  const std::string kernel_name = str_format("rdd.pipeline.%d", id);
+  const std::string in_var = str_format("rdd%din", id);
+  const std::string out_var = str_format("rdd%dout", id);
+
+  // --- Fuse the stage chain into one native kernel. -------------------------
+  auto stages = std::make_shared<std::vector<rdd_detail::Stage>>(lineage.stages);
+  const size_t in_elem = lineage.source_elem;
+  const auto reduce_spec = reduce;
+  auto bucket_plan = bucket ? std::make_shared<rdd_detail::BucketPlan>(*bucket)
+                            : nullptr;
+  jni::KernelRegistry::instance().register_kernel(
+      kernel_name,
+      [stages, in_elem, out_elem, reduce_spec,
+       bucket_plan](const jni::KernelArgs& args) {
+        size_t scratch_bytes = in_elem;
+        for (const auto& stage : *stages) {
+          scratch_bytes = std::max(scratch_bytes,
+                                   std::max(stage.in_bytes, stage.out_bytes));
+        }
+        ByteBuffer ping(scratch_bytes), pong(scratch_bytes);
+        const jni::InputSlice& in = args.inputs[0];
+        jni::OutputSlice& out = args.outputs[0];
+        for (int64_t i = args.begin; i < args.end; ++i) {
+          // Current element: global index -> slice-local offset.
+          uint64_t in_pos = static_cast<uint64_t>(i) * in_elem - in.byte_offset;
+          std::memcpy(ping.data(), in.bytes.data() + in_pos, in_elem);
+          size_t current_bytes = in_elem;
+          for (const auto& stage : *stages) {
+            stage.apply(ping.subview(0, stage.in_bytes),
+                        pong.mutable_view().subspan(0, stage.out_bytes));
+            std::swap(ping, pong);
+            current_bytes = stage.out_bytes;
+          }
+          (void)current_bytes;
+          if (bucket_plan) {
+            // Map-side combine: fold into this element's bucket slot.
+            int64_t slot = bucket_plan->bucket_of(ping.subview(0, out_elem));
+            OC_RETURN_IF_ERROR(apply_reduce(
+                bucket_plan->reduce,
+                out.bytes.subspan(static_cast<size_t>(slot) * out_elem,
+                                  out_elem),
+                ping.subview(0, out_elem)));
+          } else if (reduce_spec.has_value()) {
+            // Fold this element into the task-local accumulator (already
+            // initialized to the reduction identity by the executor).
+            OC_RETURN_IF_ERROR(apply_reduce(
+                *reduce_spec, out.bytes.subspan(0, out_elem),
+                ping.subview(0, out_elem)));
+          } else {
+            uint64_t out_pos =
+                static_cast<uint64_t>(i) * out_elem - out.byte_offset;
+            std::memcpy(out.bytes.data() + out_pos, ping.data(), out_elem);
+          }
+        }
+        return Status::ok();
+      });
+
+  // --- Stage the source to cloud storage (sc.parallelize). ------------------
+  {
+    auto framed = compress::encode_payload(
+        context_.conf().io_compression ? context_.conf().io_codec : "null",
+        lineage.source.view());
+    OC_RETURN_IF_ERROR(framed.status());
+    auto put_status = std::make_shared<Status>(Status::ok());
+    engine.spawn([](RddSession* self, std::string key, ByteBuffer framed,
+                    std::shared_ptr<Status> out) -> sim::Co<void> {
+      *out = co_await self->cluster_->store().put(
+          cloud::Cluster::driver_node(), self->bucket_, key, std::move(framed));
+    }(this, SparkContext::input_key(in_var), std::move(*framed), put_status));
+    engine.run();
+    OC_RETURN_IF_ERROR(*put_status);
+  }
+
+  // --- Build and run the job. ------------------------------------------------
+  JobSpec job;
+  job.name = kernel_name;
+  job.bucket = bucket_;
+  job.storage_codec = context_.conf().io_compression ? context_.conf().io_codec
+                                                     : "null";
+  uint64_t out_size =
+      bucket.has_value()
+          ? static_cast<uint64_t>(bucket->buckets) * out_elem
+          : (reduce.has_value()
+                 ? out_elem
+                 : static_cast<uint64_t>(lineage.count) * out_elem);
+  job.vars = {
+      {in_var, static_cast<uint64_t>(lineage.count) * in_elem, true, false},
+      {out_var, out_size, false, true}};
+  LoopSpec loop;
+  loop.kernel = kernel_name;
+  loop.iterations = lineage.count;
+  loop.flops_per_iteration = 1.0;
+  for (const auto& stage : lineage.stages) {
+    loop.flops_per_iteration += stage.flops;
+  }
+  loop.reads = {{0, LoopAccess::Mode::kReadPartitioned,
+                 AffineRange::rows(in_elem), {}}};
+  if (bucket.has_value()) {
+    // Bucketed aggregation: buckets-sized shared output, op-combined.
+    loop.writes = {{1, LoopAccess::Mode::kWriteShared, {}, bucket->reduce}};
+  } else if (reduce.has_value()) {
+    loop.writes = {{1, LoopAccess::Mode::kWriteShared, {}, *reduce}};
+  } else {
+    loop.writes = {{1, LoopAccess::Mode::kWritePartitioned,
+                    AffineRange::rows(out_elem), {}}};
+  }
+  job.loops.push_back(std::move(loop));
+
+  auto job_result =
+      std::make_shared<std::optional<Result<JobMetrics>>>();
+  engine.spawn([](SparkContext* context, JobSpec job,
+                  std::shared_ptr<std::optional<Result<JobMetrics>>> out)
+                   -> sim::Co<void> {
+    *out = co_await context->run_job(std::move(job));
+  }(&context_, std::move(job), job_result));
+  engine.run();
+  if (!job_result->has_value()) return internal_error("RDD job never finished");
+  OC_RETURN_IF_ERROR((**job_result).status());
+  ++jobs_run_;
+
+  // --- Fetch the output and clean up staged objects. -------------------------
+  auto output = std::make_shared<Result<ByteBuffer>>(ByteBuffer{});
+  engine.spawn([](RddSession* self, std::string in_key, std::string out_key,
+                  std::shared_ptr<Result<ByteBuffer>> out) -> sim::Co<void> {
+    auto framed = co_await self->cluster_->store().get(
+        cloud::Cluster::driver_node(), self->bucket_, out_key);
+    if (!framed.ok()) {
+      *out = framed.status();
+    } else {
+      *out = compress::decode_payload(framed->view());
+    }
+    (void)co_await self->cluster_->store().remove(
+        cloud::Cluster::driver_node(), self->bucket_, in_key);
+    (void)co_await self->cluster_->store().remove(
+        cloud::Cluster::driver_node(), self->bucket_, out_key);
+  }(this, SparkContext::input_key(in_var), SparkContext::output_key(out_var),
+    output));
+  engine.run();
+  return std::move(*output);
+}
+
+}  // namespace ompcloud::spark

@@ -1,0 +1,229 @@
+// Typed RDD facade over SparkLite.
+//
+// The paper builds on Spark because "Spark has enabled the design of many
+// complex cloud based applications" (§II). This header gives the simulated
+// cluster that same front door: a lazily-evaluated, typed, distributed
+// dataset for trivially-copyable element types.
+//
+//   RddSession session(cluster, conf);
+//   auto celsius = session.parallelize(readings);
+//   double mean = celsius.map<float>([](float c) { return c * 1.8f + 32; })
+//                        .sum() / readings.size();
+//
+// Chained `map`s are *fused* into one native kernel at action time (as
+// Spark pipelines narrow transformations within a stage), then executed
+// through the same JobSpec machinery the OpenMP offloading path uses: the
+// source is staged to cloud storage, partitioned per element across
+// workers, computed via the JNI bridge, and reduced/collected back.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "compress/payload.h"
+#include "jnibridge/bridge.h"
+#include "spark/context.h"
+
+namespace ompcloud::spark {
+
+namespace rdd_detail {
+
+/// One fused pipeline stage: transforms a single element in place.
+struct Stage {
+  size_t in_bytes = 0;
+  size_t out_bytes = 0;
+  std::function<void(ByteView in, MutableByteView out)> apply;
+  double flops = 1.0;  ///< cost-model estimate per element
+};
+
+/// Shared lineage: the source bytes plus the fused map stages.
+struct Lineage {
+  ByteBuffer source;       ///< serialized source elements
+  size_t source_elem = 0;  ///< sizeof(source element)
+  int64_t count = 0;       ///< number of elements
+  std::vector<Stage> stages;
+};
+
+template <typename T>
+constexpr ElemType elem_type_of() {
+  static_assert(std::is_same_v<T, float> || std::is_same_v<T, double> ||
+                    std::is_same_v<T, int32_t> || std::is_same_v<T, int64_t>,
+                "typed reductions support f32/f64/i32/i64");
+  if constexpr (std::is_same_v<T, float>) return ElemType::kF32;
+  if constexpr (std::is_same_v<T, double>) return ElemType::kF64;
+  if constexpr (std::is_same_v<T, int32_t>) return ElemType::kI32;
+  return ElemType::kI64;
+}
+
+}  // namespace rdd_detail
+
+class RddSession;
+
+/// A distributed dataset of `count()` elements of type T. Cheap to copy
+/// (shares lineage); transformations are lazy, actions run a Spark job.
+template <typename T>
+class Rdd {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "RDD elements must be trivially copyable (they travel as "
+                "bytes through storage and the JNI bridge)");
+
+ public:
+  [[nodiscard]] int64_t count() const { return lineage_->count; }
+
+  /// Lazy elementwise transformation; fused with previous maps.
+  /// `flops` is the cost-model estimate per element (virtual time).
+  template <typename U, typename Fn>
+  [[nodiscard]] Rdd<U> map(Fn fn, double flops = 1.0) const {
+    auto next = std::make_shared<rdd_detail::Lineage>(*lineage_);
+    rdd_detail::Stage stage;
+    stage.in_bytes = sizeof(T);
+    stage.out_bytes = sizeof(U);
+    stage.flops = flops;
+    stage.apply = [fn](ByteView in, MutableByteView out) {
+      T value;
+      std::memcpy(&value, in.data(), sizeof(T));
+      U result = fn(value);
+      std::memcpy(out.data(), &result, sizeof(U));
+    };
+    next->stages.push_back(std::move(stage));
+    return Rdd<U>(session_, std::move(next));
+  }
+
+  /// Actions (each runs one Spark job on the session's cluster).
+  [[nodiscard]] Result<std::vector<T>> collect() const;
+  [[nodiscard]] Result<T> sum() const { return reduce_action(ReduceOp::kSum); }
+  [[nodiscard]] Result<T> min() const { return reduce_action(ReduceOp::kMin); }
+  [[nodiscard]] Result<T> max() const { return reduce_action(ReduceOp::kMax); }
+
+  /// Grouped aggregation over a fixed key domain (Spark's reduceByKey with
+  /// map-side combine, for keys in [0, buckets)): `key_of` assigns each
+  /// element a bucket, and the per-bucket values are combined with `op`.
+  /// Each task aggregates its partition locally (one buckets-sized partial),
+  /// and the partials are op-combined at the driver — exactly the paper's
+  /// Eq. 8 reconstruction with the reduction operator.
+  template <typename KeyFn>
+  [[nodiscard]] Result<std::vector<T>> aggregate_by_bucket(
+      int64_t buckets, KeyFn key_of, ReduceOp op = ReduceOp::kSum) const;
+
+ private:
+  template <typename>
+  friend class Rdd;
+  friend class RddSession;
+
+  Rdd(RddSession* session, std::shared_ptr<rdd_detail::Lineage> lineage)
+      : session_(session), lineage_(std::move(lineage)) {}
+
+  [[nodiscard]] Result<T> reduce_action(ReduceOp op) const;
+
+  RddSession* session_;
+  std::shared_ptr<rdd_detail::Lineage> lineage_;
+};
+
+namespace rdd_detail {
+/// Bucketed-aggregation plan attached to a pipeline run: the final stage's
+/// element is combined into `buckets` slots keyed by `bucket_of`.
+struct BucketPlan {
+  int64_t buckets = 0;
+  std::function<int64_t(ByteView element)> bucket_of;
+  ReduceSpec reduce;
+};
+}  // namespace rdd_detail
+
+/// Factory + executor for RDDs on one simulated cluster.
+class RddSession {
+ public:
+  /// Jobs run on `cluster` with `conf`; staged data lives in `bucket`
+  /// (created on demand).
+  RddSession(cloud::Cluster& cluster, SparkConf conf,
+             std::string bucket = "rdd-session");
+
+  /// Distributes a local vector (Spark's sc.parallelize): the data is
+  /// staged to cloud storage once and partitioned across workers per job.
+  template <typename T>
+  [[nodiscard]] Rdd<T> parallelize(const std::vector<T>& data,
+                                   double flops_per_element = 1.0) {
+    auto lineage = std::make_shared<rdd_detail::Lineage>();
+    lineage->source = ByteBuffer::copy_of(data.data(), data.size());
+    lineage->source_elem = sizeof(T);
+    lineage->count = static_cast<int64_t>(data.size());
+    (void)flops_per_element;
+    return Rdd<T>(this, std::move(lineage));
+  }
+
+  [[nodiscard]] SparkContext& context() { return context_; }
+  [[nodiscard]] cloud::Cluster& cluster() { return *cluster_; }
+
+  /// Jobs executed so far (diagnostics).
+  [[nodiscard]] int jobs_run() const { return jobs_run_; }
+
+ private:
+  template <typename>
+  friend class Rdd;
+
+  /// Runs the fused pipeline; `out_elem` is the final element size.
+  /// If `reduce` is set, the output is a single reduced element; with a
+  /// `bucket` plan it is `buckets` reduced elements; otherwise the full
+  /// element vector. Returns the plain output bytes.
+  Result<ByteBuffer> run_pipeline(
+      const rdd_detail::Lineage& lineage, size_t out_elem,
+      std::optional<ReduceSpec> reduce,
+      std::optional<rdd_detail::BucketPlan> bucket = std::nullopt);
+
+  cloud::Cluster* cluster_;
+  SparkContext context_;
+  std::string bucket_;
+  int jobs_run_ = 0;
+  int next_kernel_id_ = 0;
+};
+
+template <typename T>
+Result<std::vector<T>> Rdd<T>::collect() const {
+  OC_ASSIGN_OR_RETURN(
+      ByteBuffer bytes,
+      session_->run_pipeline(*lineage_, sizeof(T), std::nullopt));
+  auto view = bytes.as<T>();
+  return std::vector<T>(view.begin(), view.end());
+}
+
+template <typename T>
+template <typename KeyFn>
+Result<std::vector<T>> Rdd<T>::aggregate_by_bucket(int64_t buckets,
+                                                   KeyFn key_of,
+                                                   ReduceOp op) const {
+  if (buckets <= 0) return invalid_argument("buckets must be positive");
+  rdd_detail::BucketPlan plan;
+  plan.buckets = buckets;
+  plan.reduce = ReduceSpec{op, rdd_detail::elem_type_of<T>()};
+  plan.bucket_of = [key_of, buckets](ByteView element) {
+    T value;
+    std::memcpy(&value, element.data(), sizeof(T));
+    int64_t key = key_of(value);
+    // Clamp misbehaving key functions rather than corrupting memory.
+    return key < 0 ? 0 : (key >= buckets ? buckets - 1 : key);
+  };
+  OC_ASSIGN_OR_RETURN(
+      ByteBuffer bytes,
+      session_->run_pipeline(*lineage_, sizeof(T), plan.reduce, plan));
+  auto view = bytes.as<T>();
+  if (view.size() != static_cast<size_t>(buckets)) {
+    return internal_error("bucket aggregation returned wrong size");
+  }
+  return std::vector<T>(view.begin(), view.end());
+}
+
+template <typename T>
+Result<T> Rdd<T>::reduce_action(ReduceOp op) const {
+  ReduceSpec reduce{op, rdd_detail::elem_type_of<T>()};
+  OC_ASSIGN_OR_RETURN(ByteBuffer bytes,
+                      session_->run_pipeline(*lineage_, sizeof(T), reduce));
+  if (bytes.size() != sizeof(T)) {
+    return internal_error("reduce returned wrong element size");
+  }
+  T value;
+  std::memcpy(&value, bytes.data(), sizeof(T));
+  return value;
+}
+
+}  // namespace ompcloud::spark

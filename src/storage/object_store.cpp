@@ -1,0 +1,173 @@
+#include "storage/object_store.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace ompcloud::storage {
+
+StorageProfile s3_profile() {
+  return StorageProfile{"s3", 0.030, 0.020, 0.040, 64ull << 20, 16ull << 20};
+}
+
+StorageProfile hdfs_profile() {
+  return StorageProfile{"hdfs", 0.005, 0.003, 0.010, 128ull << 20, 64ull << 20};
+}
+
+StorageProfile azure_profile() {
+  return StorageProfile{"azure", 0.035, 0.025, 0.050, 64ull << 20, 16ull << 20};
+}
+
+ObjectStore::ObjectStore(net::Network& network, std::string node_name,
+                         StorageProfile profile)
+    : network_(&network), node_(std::move(node_name)),
+      profile_(std::move(profile)) {}
+
+Status ObjectStore::create_bucket(const std::string& bucket) {
+  if (buckets_.count(bucket)) {
+    return already_exists("bucket '" + bucket + "'");
+  }
+  buckets_[bucket];
+  return Status::ok();
+}
+
+bool ObjectStore::bucket_exists(const std::string& bucket) const {
+  return buckets_.count(bucket) > 0;
+}
+
+Status ObjectStore::check_fault(std::string_view op, const std::string& bucket,
+                                const std::string& key) const {
+  if (!fault_injector_) return Status::ok();
+  return fault_injector_(op, bucket, key);
+}
+
+sim::Co<Status> ObjectStore::move_bytes(std::string from, std::string to,
+                                        uint64_t bytes,
+                                        double request_latency) {
+  // Multipart: split large payloads into parts, each paying one request
+  // latency, transferred concurrently (they still contend on the route's
+  // links, so bandwidth is charged honestly).
+  if (bytes > profile_.multipart_threshold && profile_.multipart_part_size > 0) {
+    uint64_t parts = (bytes + profile_.multipart_part_size - 1) /
+                     profile_.multipart_part_size;
+    std::vector<sim::Completion> transfers;
+    for (uint64_t p = 0; p < parts; ++p) {
+      uint64_t part_bytes = std::min(profile_.multipart_part_size,
+                                     bytes - p * profile_.multipart_part_size);
+      transfers.push_back(network_->engine().spawn(
+          [](ObjectStore* store, std::string from, std::string to,
+             uint64_t part_bytes, double latency) -> sim::Co<void> {
+            co_await store->network_->engine().sleep(latency);
+            Status s = co_await store->network_->transfer(from, to, part_bytes);
+            if (!s.is_ok()) throw std::runtime_error(s.to_string());
+          }(this, from, to, part_bytes, request_latency)));
+    }
+    co_await sim::all(std::move(transfers));
+    co_return Status::ok();
+  }
+  co_await network_->engine().sleep(request_latency);
+  co_return co_await network_->transfer(from, to, bytes);
+}
+
+sim::Co<Status> ObjectStore::put(std::string client_node, std::string bucket,
+                                 std::string key, ByteBuffer data) {
+  OC_CO_RETURN_IF_ERROR(check_fault("put", bucket, key));
+  auto it = buckets_.find(bucket);
+  if (it == buckets_.end()) {
+    co_return not_found("bucket '" + bucket + "'");
+  }
+  uint64_t bytes = data.size();
+  Status moved = co_await move_bytes(client_node, node_, bytes,
+                                     profile_.put_request_latency);
+  if (!moved.is_ok()) co_return moved;
+  ++stats_.puts;
+  stats_.bytes_in += bytes;
+  it->second[key] = std::move(data);
+  co_return Status::ok();
+}
+
+sim::Co<Result<ByteBuffer>> ObjectStore::get(std::string client_node,
+                                             std::string bucket,
+                                             std::string key) {
+  OC_CO_RETURN_IF_ERROR(check_fault("get", bucket, key));
+  auto bucket_it = buckets_.find(bucket);
+  if (bucket_it == buckets_.end()) {
+    co_return not_found("bucket '" + bucket + "'");
+  }
+  auto object_it = bucket_it->second.find(key);
+  if (object_it == bucket_it->second.end()) {
+    co_return not_found("object '" + bucket + "/" + key + "'");
+  }
+  // Snapshot before yielding: the map may be mutated while we "transfer".
+  ByteBuffer data(object_it->second.view());
+  Status moved = co_await move_bytes(node_, client_node, data.size(),
+                                     profile_.get_request_latency);
+  if (!moved.is_ok()) co_return moved;
+  ++stats_.gets;
+  stats_.bytes_out += data.size();
+  co_return data;
+}
+
+sim::Co<Status> ObjectStore::remove(std::string client_node,
+                                    std::string bucket, std::string key) {
+  OC_CO_RETURN_IF_ERROR(check_fault("delete", bucket, key));
+  (void)client_node;
+  co_await network_->engine().sleep(profile_.put_request_latency);
+  auto bucket_it = buckets_.find(bucket);
+  if (bucket_it == buckets_.end()) {
+    co_return not_found("bucket '" + bucket + "'");
+  }
+  ++stats_.deletes;
+  bucket_it->second.erase(key);  // idempotent, like S3 DeleteObject
+  co_return Status::ok();
+}
+
+sim::Co<Result<std::vector<std::string>>> ObjectStore::list(
+    std::string client_node, std::string bucket, std::string prefix) {
+  OC_CO_RETURN_IF_ERROR(check_fault("list", bucket, ""));
+  (void)client_node;
+  co_await network_->engine().sleep(profile_.list_request_latency);
+  auto bucket_it = buckets_.find(bucket);
+  if (bucket_it == buckets_.end()) {
+    co_return not_found("bucket '" + bucket + "'");
+  }
+  ++stats_.lists;
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : bucket_it->second) {
+    if (starts_with(key, prefix)) keys.push_back(key);
+  }
+  co_return keys;
+}
+
+sim::Co<Result<ObjectInfo>> ObjectStore::head(std::string client_node,
+                                              std::string bucket,
+                                              std::string key) {
+  OC_CO_RETURN_IF_ERROR(check_fault("head", bucket, key));
+  (void)client_node;
+  co_await network_->engine().sleep(profile_.get_request_latency);
+  auto bucket_it = buckets_.find(bucket);
+  if (bucket_it == buckets_.end()) {
+    co_return not_found("bucket '" + bucket + "'");
+  }
+  auto object_it = bucket_it->second.find(key);
+  if (object_it == bucket_it->second.end()) {
+    co_return not_found("object '" + bucket + "/" + key + "'");
+  }
+  co_return ObjectInfo{object_it->second.size(), fnv1a(object_it->second.view())};
+}
+
+bool ObjectStore::contains(const std::string& bucket,
+                           const std::string& key) const {
+  auto it = buckets_.find(bucket);
+  return it != buckets_.end() && it->second.count(key) > 0;
+}
+
+uint64_t ObjectStore::total_stored_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [bucket, objects] : buckets_) {
+    for (const auto& [key, data] : objects) total += data.size();
+  }
+  return total;
+}
+
+}  // namespace ompcloud::storage

@@ -1,0 +1,24 @@
+#include "support/bytes.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ompcloud {
+
+uint64_t fnv1a(ByteView data) {
+  uint64_t hash = 14695981039346656037ull;
+  for (std::byte b : data) {
+    hash ^= static_cast<uint64_t>(b);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void bitwise_or_accumulate(MutableByteView dst, ByteView src) {
+  assert(dst.size() == src.size() &&
+         "bitwise-or reconstruction requires equal-sized partial outputs");
+  const size_t n = std::min(dst.size(), src.size());
+  for (size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+}  // namespace ompcloud

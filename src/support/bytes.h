@@ -1,0 +1,118 @@
+// Byte-buffer primitives shared by the whole stack.
+//
+// Mapped OpenMP variables, storage objects, RDD partitions and network
+// payloads are all untyped byte ranges (the paper treats offloaded variables
+// "as arrays of bytes", §III-C), so a common owning buffer plus cheap views
+// keeps every layer allocation-free at the boundaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ompcloud {
+
+/// Immutable view over raw bytes.
+using ByteView = std::span<const std::byte>;
+/// Mutable view over raw bytes.
+using MutableByteView = std::span<std::byte>;
+
+/// Owning, contiguous, resizable byte buffer.
+///
+/// Thin wrapper over std::vector<std::byte> with typed-copy helpers; this is
+/// the currency for storage objects, compressed payloads and RDD elements.
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(size_t size) : data_(size) {}
+  explicit ByteBuffer(ByteView view) : data_(view.begin(), view.end()) {}
+
+  /// Copies `count` objects of trivially-copyable type T from `src`.
+  template <typename T>
+  static ByteBuffer copy_of(const T* src, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ByteBuffer buf(count * sizeof(T));
+    std::memcpy(buf.data(), src, count * sizeof(T));
+    return buf;
+  }
+
+  /// Copies the bytes of a string (without terminator).
+  static ByteBuffer from_string(std::string_view s) {
+    ByteBuffer buf(s.size());
+    std::memcpy(buf.data(), s.data(), s.size());
+    return buf;
+  }
+
+  [[nodiscard]] size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  std::byte* data() { return data_.data(); }
+  [[nodiscard]] const std::byte* data() const { return data_.data(); }
+
+  void resize(size_t n) { data_.resize(n); }
+  void clear() { data_.clear(); }
+  void reserve(size_t n) { data_.reserve(n); }
+
+  void append(ByteView view) { data_.insert(data_.end(), view.begin(), view.end()); }
+  void push_back(std::byte b) { data_.push_back(b); }
+
+  [[nodiscard]] ByteView view() const { return {data_.data(), data_.size()}; }
+  [[nodiscard]] MutableByteView mutable_view() { return {data_.data(), data_.size()}; }
+  operator ByteView() const { return view(); }  // NOLINT(implicit)
+
+  /// Sub-view [offset, offset+len); clamped to the buffer end.
+  [[nodiscard]] ByteView subview(size_t offset, size_t len) const {
+    if (offset >= data_.size()) return {};
+    return view().subspan(offset, std::min(len, data_.size() - offset));
+  }
+
+  /// Reinterprets the contents as `count = size()/sizeof(T)` objects of T.
+  template <typename T>
+  [[nodiscard]] std::span<const T> as() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return {reinterpret_cast<const T*>(data_.data()), data_.size() / sizeof(T)};
+  }
+  template <typename T>
+  std::span<T> as_mutable() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return {reinterpret_cast<T*>(data_.data()), data_.size() / sizeof(T)};
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return {reinterpret_cast<const char*>(data_.data()), data_.size()};
+  }
+
+  friend bool operator==(const ByteBuffer& a, const ByteBuffer& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<std::byte> data_;
+};
+
+/// Makes a ByteView over `count` objects of trivially-copyable T.
+template <typename T>
+ByteView as_bytes_of(const T* ptr, size_t count) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return {reinterpret_cast<const std::byte*>(ptr), count * sizeof(T)};
+}
+
+/// Makes a MutableByteView over `count` objects of trivially-copyable T.
+template <typename T>
+MutableByteView as_mutable_bytes_of(T* ptr, size_t count) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return {reinterpret_cast<std::byte*>(ptr), count * sizeof(T)};
+}
+
+/// FNV-1a 64-bit hash of a byte range; used for content checks in tests and
+/// object integrity verification in the storage layer.
+uint64_t fnv1a(ByteView data);
+
+/// Bitwise-or accumulate: dst[i] |= src[i]. This is the paper's Eq. (8)/(9)
+/// reconstruction operator for unpartitioned outputs of DOALL loops.
+void bitwise_or_accumulate(MutableByteView dst, ByteView src);
+
+}  // namespace ompcloud

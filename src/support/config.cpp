@@ -1,0 +1,188 @@
+#include "support/config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace ompcloud {
+
+Result<Config> Config::parse(std::string_view text) {
+  Config config;
+  std::string section;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t eol = text.find('\n', start);
+    std::string_view line = (eol == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, eol - start);
+    ++line_no;
+    start = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
+
+    line = trim(line);
+    if (line.empty() || line.front() == '#' || line.front() == ';') continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 2) {
+        return invalid_argument(
+            str_format("config line %zu: malformed section header", line_no));
+      }
+      section = std::string(trim(line.substr(1, line.size() - 2)));
+      continue;
+    }
+
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return invalid_argument(
+          str_format("config line %zu: expected 'key = value'", line_no));
+    }
+    std::string_view key = trim(line.substr(0, eq));
+    std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return invalid_argument(str_format("config line %zu: empty key", line_no));
+    }
+    // Strip a trailing inline comment that is preceded by whitespace.
+    for (size_t i = 1; i < value.size(); ++i) {
+      if ((value[i] == '#' || value[i] == ';') &&
+          std::isspace(static_cast<unsigned char>(value[i - 1]))) {
+        value = trim(value.substr(0, i));
+        break;
+      }
+    }
+    config.set(section, key, std::string(value));
+  }
+  return config;
+}
+
+Result<Config> Config::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return not_found("cannot open config file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  auto parsed = parse(ss.str());
+  if (!parsed.ok()) return parsed.status().with_context(path);
+  return parsed;
+}
+
+void Config::set(std::string_view section, std::string_view key,
+                 std::string value) {
+  auto map_key = std::make_pair(std::string(section), std::string(key));
+  auto it = index_.find(map_key);
+  if (it != index_.end()) {
+    entries_[it->second].value = std::move(value);
+    return;
+  }
+  index_[map_key] = entries_.size();
+  entries_.push_back({map_key.first, map_key.second, std::move(value)});
+}
+
+std::pair<std::string, std::string> Config::split_dotted(std::string_view dotted) {
+  size_t dot = dotted.find('.');
+  if (dot == std::string_view::npos) return {"", std::string(dotted)};
+  return {std::string(dotted.substr(0, dot)), std::string(dotted.substr(dot + 1))};
+}
+
+void Config::set(std::string_view dotted_key, std::string value) {
+  auto [section, key] = split_dotted(dotted_key);
+  set(section, key, std::move(value));
+}
+
+bool Config::has(std::string_view section, std::string_view key) const {
+  return index_.count({std::string(section), std::string(key)}) > 0;
+}
+
+bool Config::has(std::string_view dotted_key) const {
+  auto [section, key] = split_dotted(dotted_key);
+  return has(section, key);
+}
+
+std::optional<std::string> Config::get_string(std::string_view dotted_key) const {
+  auto [section, key] = split_dotted(dotted_key);
+  auto it = index_.find({section, key});
+  if (it == index_.end()) return std::nullopt;
+  return entries_[it->second].value;
+}
+
+std::string Config::get_string(std::string_view dotted_key,
+                               std::string_view fallback) const {
+  auto v = get_string(dotted_key);
+  return v ? *v : std::string(fallback);
+}
+
+std::optional<int64_t> Config::get_int(std::string_view dotted_key) const {
+  auto v = get_string(dotted_key);
+  return v ? parse_int(*v) : std::nullopt;
+}
+int64_t Config::get_int(std::string_view dotted_key, int64_t fallback) const {
+  return get_int(dotted_key).value_or(fallback);
+}
+
+std::optional<double> Config::get_double(std::string_view dotted_key) const {
+  auto v = get_string(dotted_key);
+  return v ? parse_double(*v) : std::nullopt;
+}
+double Config::get_double(std::string_view dotted_key, double fallback) const {
+  return get_double(dotted_key).value_or(fallback);
+}
+
+std::optional<bool> Config::get_bool(std::string_view dotted_key) const {
+  auto v = get_string(dotted_key);
+  return v ? parse_bool(*v) : std::nullopt;
+}
+bool Config::get_bool(std::string_view dotted_key, bool fallback) const {
+  return get_bool(dotted_key).value_or(fallback);
+}
+
+std::optional<uint64_t> Config::get_byte_size(std::string_view dotted_key) const {
+  auto v = get_string(dotted_key);
+  return v ? parse_byte_size(*v) : std::nullopt;
+}
+uint64_t Config::get_byte_size(std::string_view dotted_key, uint64_t fallback) const {
+  return get_byte_size(dotted_key).value_or(fallback);
+}
+
+std::optional<double> Config::get_duration(std::string_view dotted_key) const {
+  auto v = get_string(dotted_key);
+  return v ? parse_duration_seconds(*v) : std::nullopt;
+}
+double Config::get_duration(std::string_view dotted_key, double fallback) const {
+  return get_duration(dotted_key).value_or(fallback);
+}
+
+std::vector<std::string> Config::keys_in(std::string_view section) const {
+  std::vector<std::string> out;
+  for (const Entry& e : entries_) {
+    if (e.section == section) out.push_back(e.key);
+  }
+  return out;
+}
+
+std::vector<std::string> Config::sections() const {
+  std::vector<std::string> out;
+  for (const Entry& e : entries_) {
+    bool seen = false;
+    for (const auto& s : out) {
+      if (s == e.section) { seen = true; break; }
+    }
+    if (!seen) out.push_back(e.section);
+  }
+  return out;
+}
+
+void Config::merge_from(const Config& other) {
+  for (const Entry& e : other.entries_) set(e.section, e.key, e.value);
+}
+
+std::string Config::to_ini() const {
+  std::string out;
+  for (const std::string& section : sections()) {
+    if (!section.empty()) out += "[" + section + "]\n";
+    for (const Entry& e : entries_) {
+      if (e.section == section) out += e.key + " = " + e.value + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace ompcloud

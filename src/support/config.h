@@ -1,0 +1,89 @@
+// INI-style configuration files.
+//
+// The paper's cloud plugin "reads at runtime a configuration file to properly
+// set up the cloud device and to avoid the need to recompile the binary"
+// (§III-A): credentials, Spark driver address, cloud-storage address, and
+// tuning knobs such as the minimal compression size. This parser implements
+// that file format: `[section]` headers, `key = value` pairs, `#`/`;`
+// comments, with typed accessors and dotted lookup ("section.key").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+
+namespace ompcloud {
+
+/// Parsed configuration: ordered (section, key) -> value map.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses INI text. Keys outside any section land in section "" (global).
+  /// Duplicate keys: the last occurrence wins (like most INI readers).
+  static Result<Config> parse(std::string_view text);
+
+  /// Reads and parses a file from disk.
+  static Result<Config> load_file(const std::string& path);
+
+  /// Sets a value programmatically (used by tests and CLI overrides).
+  void set(std::string_view section, std::string_view key, std::string value);
+
+  /// Dotted convenience: "cluster.workers" == ("cluster", "workers").
+  /// A key with no dot addresses the global section.
+  void set(std::string_view dotted_key, std::string value);
+
+  [[nodiscard]] bool has(std::string_view section, std::string_view key) const;
+  [[nodiscard]] bool has(std::string_view dotted_key) const;
+
+  [[nodiscard]] std::optional<std::string> get_string(std::string_view dotted_key) const;
+  [[nodiscard]] std::string get_string(std::string_view dotted_key,
+                                       std::string_view fallback) const;
+
+  [[nodiscard]] std::optional<int64_t> get_int(std::string_view dotted_key) const;
+  [[nodiscard]] int64_t get_int(std::string_view dotted_key, int64_t fallback) const;
+
+  [[nodiscard]] std::optional<double> get_double(std::string_view dotted_key) const;
+  [[nodiscard]] double get_double(std::string_view dotted_key, double fallback) const;
+
+  [[nodiscard]] std::optional<bool> get_bool(std::string_view dotted_key) const;
+  [[nodiscard]] bool get_bool(std::string_view dotted_key, bool fallback) const;
+
+  /// Byte sizes accept suffixes ("4K", "16MiB"); durations accept "250ms" etc.
+  [[nodiscard]] std::optional<uint64_t> get_byte_size(std::string_view dotted_key) const;
+  [[nodiscard]] uint64_t get_byte_size(std::string_view dotted_key,
+                                       uint64_t fallback) const;
+  [[nodiscard]] std::optional<double> get_duration(std::string_view dotted_key) const;
+  [[nodiscard]] double get_duration(std::string_view dotted_key, double fallback) const;
+
+  /// All keys in a section, in insertion order.
+  [[nodiscard]] std::vector<std::string> keys_in(std::string_view section) const;
+
+  /// All section names present (insertion order, "" first if present).
+  [[nodiscard]] std::vector<std::string> sections() const;
+
+  /// Merges `other` on top of this config (other's values win).
+  void merge_from(const Config& other);
+
+  /// Serializes back to INI text (sections sorted by first appearance).
+  [[nodiscard]] std::string to_ini() const;
+
+ private:
+  struct Entry {
+    std::string section;
+    std::string key;
+    std::string value;
+  };
+  static std::pair<std::string, std::string> split_dotted(std::string_view dotted);
+
+  // Insertion-ordered storage with a lookup index.
+  std::vector<Entry> entries_;
+  std::map<std::pair<std::string, std::string>, size_t> index_;
+};
+
+}  // namespace ompcloud

@@ -1,0 +1,142 @@
+#include "support/flags.h"
+
+#include <cstdio>
+
+#include "support/strings.h"
+
+namespace ompcloud {
+
+FlagSet& FlagSet::define(std::string name, std::string default_value,
+                         std::string help) {
+  Flag flag;
+  flag.default_value = default_value;
+  flag.value = std::move(default_value);
+  flag.help = std::move(help);
+  flag.kind = Flag::Kind::kString;
+  order_.push_back(name);
+  flags_[std::move(name)] = std::move(flag);
+  return *this;
+}
+
+FlagSet& FlagSet::define_int(std::string name, int64_t default_value,
+                             std::string help) {
+  define(std::move(name), std::to_string(default_value), std::move(help));
+  flags_[order_.back()].kind = Flag::Kind::kInt;
+  return *this;
+}
+
+FlagSet& FlagSet::define_double(std::string name, double default_value,
+                                std::string help) {
+  define(std::move(name), str_format("%g", default_value), std::move(help));
+  flags_[order_.back()].kind = Flag::Kind::kDouble;
+  return *this;
+}
+
+FlagSet& FlagSet::define_bool(std::string name, bool default_value,
+                              std::string help) {
+  define(std::move(name), default_value ? "true" : "false", std::move(help));
+  flags_[order_.back()].kind = Flag::Kind::kBool;
+  return *this;
+}
+
+Status FlagSet::set_value(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return invalid_argument("unknown flag --" + name);
+  Flag& flag = it->second;
+  switch (flag.kind) {
+    case Flag::Kind::kInt:
+      if (!parse_int(value)) {
+        return invalid_argument("--" + name + ": expected integer, got '" + value + "'");
+      }
+      break;
+    case Flag::Kind::kDouble:
+      if (!parse_double(value)) {
+        return invalid_argument("--" + name + ": expected number, got '" + value + "'");
+      }
+      break;
+    case Flag::Kind::kBool:
+      if (!parse_bool(value)) {
+        return invalid_argument("--" + name + ": expected bool, got '" + value + "'");
+      }
+      break;
+    case Flag::Kind::kString:
+      break;
+  }
+  flag.value = value;
+  flag.set = true;
+  return Status::ok();
+}
+
+Status FlagSet::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body == "help") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      return failed_precondition("help requested");
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      OC_RETURN_IF_ERROR(set_value(body.substr(0, eq), body.substr(eq + 1)));
+      continue;
+    }
+    // --no-name for bools.
+    if (starts_with(body, "no-")) {
+      std::string name = body.substr(3);
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.kind == Flag::Kind::kBool) {
+        OC_RETURN_IF_ERROR(set_value(name, "false"));
+        continue;
+      }
+    }
+    auto it = flags_.find(body);
+    if (it == flags_.end()) return invalid_argument("unknown flag --" + body);
+    if (it->second.kind == Flag::Kind::kBool) {
+      OC_RETURN_IF_ERROR(set_value(body, "true"));
+      continue;
+    }
+    if (i + 1 >= argc) return invalid_argument("--" + body + ": missing value");
+    OC_RETURN_IF_ERROR(set_value(body, argv[++i]));
+  }
+  return Status::ok();
+}
+
+std::string FlagSet::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? "" : it->second.value;
+}
+
+int64_t FlagSet::get_int(const std::string& name) const {
+  return parse_int(get(name)).value_or(0);
+}
+
+double FlagSet::get_double(const std::string& name) const {
+  return parse_double(get(name)).value_or(0.0);
+}
+
+bool FlagSet::get_bool(const std::string& name) const {
+  return parse_bool(get(name)).value_or(false);
+}
+
+bool FlagSet::is_set(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it != flags_.end() && it->second.set;
+}
+
+std::string FlagSet::usage(const std::string& argv0) const {
+  std::string out = "Usage: " + argv0 + " [flags]\n";
+  if (!description_.empty()) out += description_ + "\n";
+  out += "\nFlags:\n";
+  for (const std::string& name : order_) {
+    const Flag& flag = flags_.at(name);
+    out += str_format("  --%-28s %s (default: %s)\n", name.c_str(),
+                      flag.help.c_str(), flag.default_value.c_str());
+  }
+  return out;
+}
+
+}  // namespace ompcloud

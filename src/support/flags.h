@@ -1,0 +1,64 @@
+// Minimal CLI flag parser for the examples and bench harnesses.
+//
+// Supports `--name=value`, `--name value`, boolean `--name` / `--no-name`,
+// collects positional arguments, and prints a usage table. Unknown flags are
+// an error so bench sweeps fail loudly on typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace ompcloud {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_description = "")
+      : description_(std::move(program_description)) {}
+
+  /// Registers a flag with a default value and help text. Returns *this for
+  /// chaining. The stored default doubles as the type witness.
+  FlagSet& define(std::string name, std::string default_value, std::string help);
+  FlagSet& define_int(std::string name, int64_t default_value, std::string help);
+  FlagSet& define_double(std::string name, double default_value, std::string help);
+  FlagSet& define_bool(std::string name, bool default_value, std::string help);
+
+  /// Parses argv. On `--help`, prints usage and returns kFailedPrecondition
+  /// (callers exit 0). Unknown flags / unparsable values are errors.
+  Status parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// True if the flag was explicitly set on the command line.
+  [[nodiscard]] bool is_set(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage(const std::string& argv0) const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::string value;
+    bool set = false;
+    enum class Kind { kString, kInt, kDouble, kBool } kind = Kind::kString;
+  };
+  Status set_value(const std::string& name, const std::string& value);
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;  // registration order for usage output
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ompcloud

@@ -1,0 +1,54 @@
+#include "support/log.h"
+
+namespace ompcloud {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogConfig& LogConfig::instance() {
+  static LogConfig config;
+  return config;
+}
+
+void LogConfig::set_min_level(LogLevel level) {
+  std::lock_guard lock(mu_);
+  min_level_ = level;
+}
+
+LogLevel LogConfig::min_level() const {
+  std::lock_guard lock(mu_);
+  return min_level_;
+}
+
+void LogConfig::set_sink(Sink sink) {
+  std::lock_guard lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void LogConfig::emit(LogLevel level, std::string_view component,
+                     std::string_view message) {
+  Sink sink;
+  {
+    std::lock_guard lock(mu_);
+    if (level < min_level_) return;
+    sink = sink_;
+  }
+  if (sink) {
+    sink(level, component, message);
+  } else {
+    std::fprintf(stderr, "[%s] %.*s: %.*s\n", std::string(to_string(level)).c_str(),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(message.size()), message.data());
+  }
+}
+
+}  // namespace ompcloud

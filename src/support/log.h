@@ -1,0 +1,93 @@
+// Leveled logging.
+//
+// The cloud plugin can stream "Spark log messages" to the host's stdout
+// (paper §III-A); that feature is built on this logger: the Spark driver and
+// executors log through a per-component `Logger`, and the plugin decides
+// which components are forwarded at which level.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "support/strings.h"
+
+namespace ompcloud {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+std::string_view to_string(LogLevel level);
+
+/// Global logging configuration: minimum level and an optional sink override
+/// (tests install a capturing sink; the default writes to stderr).
+class LogConfig {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view component,
+                                  std::string_view message)>;
+
+  static LogConfig& instance();
+
+  void set_min_level(LogLevel level);
+  [[nodiscard]] LogLevel min_level() const;
+
+  /// Installs a sink; pass nullptr to restore the default stderr sink.
+  void set_sink(Sink sink);
+
+  void emit(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  LogConfig() = default;
+  mutable std::mutex mu_;
+  LogLevel min_level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+/// Named logger handle; cheap to copy.
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  [[nodiscard]] const std::string& component() const { return component_; }
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level >= LogConfig::instance().min_level();
+  }
+
+  template <typename... Args>
+  void log(LogLevel level, const char* fmt, Args... args) const {
+    if (!enabled(level)) return;
+    if constexpr (sizeof...(Args) == 0) {
+      LogConfig::instance().emit(level, component_, fmt);
+    } else {
+      LogConfig::instance().emit(level, component_, str_format(fmt, args...));
+    }
+  }
+
+  template <typename... Args>
+  void trace(const char* fmt, Args... args) const {
+    log(LogLevel::kTrace, fmt, args...);
+  }
+  template <typename... Args>
+  void debug(const char* fmt, Args... args) const {
+    log(LogLevel::kDebug, fmt, args...);
+  }
+  template <typename... Args>
+  void info(const char* fmt, Args... args) const {
+    log(LogLevel::kInfo, fmt, args...);
+  }
+  template <typename... Args>
+  void warn(const char* fmt, Args... args) const {
+    log(LogLevel::kWarn, fmt, args...);
+  }
+  template <typename... Args>
+  void error(const char* fmt, Args... args) const {
+    log(LogLevel::kError, fmt, args...);
+  }
+
+ private:
+  std::string component_;
+};
+
+}  // namespace ompcloud

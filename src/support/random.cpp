@@ -1,0 +1,22 @@
+#include "support/random.h"
+
+#include <cmath>
+
+namespace ompcloud {
+
+double Xoshiro256::exponential(double mean) {
+  // Inverse CDF; guard against log(0).
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Xoshiro256::normal(double mu, double sigma) {
+  double u1 = next_double();
+  double u2 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mu + sigma * z;
+}
+
+}  // namespace ompcloud

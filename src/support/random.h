@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic knob in the simulation (network jitter, failure injection,
+// workload generation) draws from an explicitly seeded generator so runs are
+// reproducible; we use xoshiro256** seeded through splitmix64, the standard
+// pairing recommended by the xoshiro authors.
+#pragma once
+
+#include <cstdint>
+
+namespace ompcloud {
+
+/// splitmix64: used to expand a single seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality, 2^256-1 period.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256(uint64_t seed = 0x5eed5eed5eed5eedull) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() { return next(); }
+
+  uint64_t next() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  uint64_t next_below(uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection sampling over the top 64 bits of the 128-bit product.
+    while (true) {
+      uint64_t x = next();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      auto lo = static_cast<uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Exponential with the given mean (for DES arrival/jitter models).
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller; `normal(mu, sigma)` scales it.
+  double normal(double mu = 0.0, double sigma = 1.0);
+
+  /// Derives an independent stream (e.g. one per simulated node).
+  Xoshiro256 fork() { return Xoshiro256(next()); }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace ompcloud

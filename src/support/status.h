@@ -1,0 +1,188 @@
+// Status / Result error handling for the OmpCloud reproduction.
+//
+// The runtime mirrors libomptarget's convention of returning failure codes
+// rather than throwing across the plugin ABI, so every fallible operation in
+// this codebase returns either a `Status` or a `Result<T>`.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ompcloud {
+
+/// Coarse error category, loosely modeled on absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kUnavailable,    ///< device/cluster not reachable; triggers host fallback
+  kResourceExhausted,
+  kDataLoss,       ///< corrupt object / failed decompression
+  kInternal,
+};
+
+/// Human-readable name for a status code (stable, used in logs and tests).
+std::string_view to_string(StatusCode code);
+
+/// Value-semantic error status: a code plus a context message.
+///
+/// `Status::ok()` is the success value; all other constructors produce
+/// failures. Messages accumulate context via `with_context`.
+class Status {
+ public:
+  /// Success.
+  static Status ok() { return Status(); }
+
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use Status::ok() for success");
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Returns a copy of this status with `prefix: ` prepended to the message.
+  [[nodiscard]] Status with_context(std::string_view prefix) const {
+    if (is_ok()) return *this;
+    return Status(code_, std::string(prefix) + ": " + message_);
+  }
+
+  /// Formats as "OK" or "CODE: message".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;  // messages are context, not identity
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience constructors mirroring absl.
+inline Status invalid_argument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status already_exists(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status out_of_range(std::string msg) {
+  return {StatusCode::kOutOfRange, std::move(msg)};
+}
+inline Status unimplemented(std::string msg) {
+  return {StatusCode::kUnimplemented, std::move(msg)};
+}
+inline Status unavailable(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status resource_exhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status data_loss(std::string msg) {
+  return {StatusCode::kDataLoss, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+
+/// Result<T>: either a value or a failure Status.
+///
+/// Accessors assert on misuse; callers must branch on `ok()` first (or use
+/// `value_or` / `OC_ASSIGN_OR_RETURN`).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Status status) : data_(std::move(status)) {    // NOLINT(implicit)
+    assert(!std::get<Status>(data_).is_ok() &&
+           "cannot construct Result<T> from OK status");
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Status& status() const {
+    static const Status kOk = Status::ok();
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a failure Status out of the current function.
+#define OC_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::ompcloud::Status oc_status_ = (expr);       \
+    if (!oc_status_.is_ok()) return oc_status_;   \
+  } while (0)
+
+/// Coroutine variant: propagates a failure Status via co_return.
+#define OC_CO_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::ompcloud::Status oc_status_ = (expr);          \
+    if (!oc_status_.is_ok()) co_return oc_status_;   \
+  } while (0)
+
+/// Evaluates `rexpr` (a Result<T>), returning its status on failure or
+/// assigning its value to `lhs` on success.
+#define OC_ASSIGN_OR_RETURN(lhs, rexpr)                \
+  OC_ASSIGN_OR_RETURN_IMPL_(                           \
+      OC_STATUS_CONCAT_(oc_result_, __LINE__), lhs, rexpr)
+#define OC_STATUS_CONCAT_INNER_(a, b) a##b
+#define OC_STATUS_CONCAT_(a, b) OC_STATUS_CONCAT_INNER_(a, b)
+#define OC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+/// Coroutine variant of OC_ASSIGN_OR_RETURN (propagates via co_return).
+#define OC_CO_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  OC_CO_ASSIGN_OR_RETURN_IMPL_(                     \
+      OC_STATUS_CONCAT_(oc_co_result_, __LINE__), lhs, rexpr)
+#define OC_CO_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) co_return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace ompcloud

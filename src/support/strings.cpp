@@ -1,0 +1,155 @@
+#include "support/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace ompcloud {
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, char sep, bool do_trim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    std::string_view piece = (pos == std::string_view::npos)
+                                 ? s.substr(start)
+                                 : s.substr(start, pos - start);
+    if (do_trim) piece = trim(piece);
+    out.emplace_back(piece);
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<int64_t> parse_int(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  double value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<bool> parse_bool(std::string_view s) {
+  std::string t = to_lower(trim(s));
+  if (t == "true" || t == "on" || t == "1" || t == "yes") return true;
+  if (t == "false" || t == "off" || t == "0" || t == "no") return false;
+  return std::nullopt;
+}
+
+std::optional<uint64_t> parse_byte_size(std::string_view s) {
+  std::string t = to_lower(trim(s));
+  if (t.empty()) return std::nullopt;
+  uint64_t multiplier = 1;
+  // Strip optional trailing 'b' then optional 'i' then the scale letter.
+  if (ends_with(t, "b")) t.pop_back();
+  if (ends_with(t, "i")) t.pop_back();
+  if (!t.empty()) {
+    switch (t.back()) {
+      case 'k': multiplier = 1ull << 10; t.pop_back(); break;
+      case 'm': multiplier = 1ull << 20; t.pop_back(); break;
+      case 'g': multiplier = 1ull << 30; t.pop_back(); break;
+      case 't': multiplier = 1ull << 40; t.pop_back(); break;
+      default: break;
+    }
+  }
+  auto value = parse_double(t);
+  if (!value || *value < 0) return std::nullopt;
+  return static_cast<uint64_t>(*value * static_cast<double>(multiplier));
+}
+
+std::optional<double> parse_duration_seconds(std::string_view s) {
+  std::string t = to_lower(trim(s));
+  if (t.empty()) return std::nullopt;
+  double scale = 1.0;
+  if (ends_with(t, "us")) { scale = 1e-6; t.resize(t.size() - 2); }
+  else if (ends_with(t, "ms")) { scale = 1e-3; t.resize(t.size() - 2); }
+  else if (ends_with(t, "s")) { scale = 1.0; t.pop_back(); }
+  else if (ends_with(t, "m")) { scale = 60.0; t.pop_back(); }
+  else if (ends_with(t, "h")) { scale = 3600.0; t.pop_back(); }
+  auto value = parse_double(t);
+  if (!value || *value < 0) return std::nullopt;
+  return *value * scale;
+}
+
+std::string format_bytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) return str_format("%llu B", static_cast<unsigned long long>(bytes));
+  return str_format("%.2f %s", v, kUnits[unit]);
+}
+
+std::string format_duration(double seconds) {
+  if (seconds < 0) return "-" + format_duration(-seconds);
+  if (seconds < 1e-3) return str_format("%.1f us", seconds * 1e6);
+  if (seconds < 1.0) return str_format("%.1f ms", seconds * 1e3);
+  if (seconds < 120.0) return str_format("%.2f s", seconds);
+  if (seconds < 3600.0) {
+    int m = static_cast<int>(seconds / 60.0);
+    return str_format("%dm %02ds", m, static_cast<int>(seconds - m * 60));
+  }
+  int h = static_cast<int>(seconds / 3600.0);
+  int m = static_cast<int>((seconds - h * 3600.0) / 60.0);
+  return str_format("%dh %02dm", h, m);
+}
+
+std::string format_rate(double bytes_per_second) {
+  return format_bytes(static_cast<uint64_t>(bytes_per_second)) + "/s";
+}
+
+std::string str_format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace ompcloud

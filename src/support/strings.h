@@ -1,0 +1,51 @@
+// Small string utilities: trimming, splitting, numeric parsing with units,
+// and human-readable formatting of byte counts and durations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ompcloud {
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on `sep`, optionally trimming each piece; empty pieces are kept.
+std::vector<std::string> split(std::string_view s, char sep, bool do_trim = true);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Strict parsers; nullopt on any trailing garbage.
+std::optional<int64_t> parse_int(std::string_view s);
+std::optional<double> parse_double(std::string_view s);
+std::optional<bool> parse_bool(std::string_view s);  // true/false/on/off/1/0/yes/no
+
+/// Parses a byte size with optional binary suffix: "64", "4K", "16MiB",
+/// "1.5GB" (K/M/G/T, case-insensitive, i and B optional; all binary, 1024^n).
+std::optional<uint64_t> parse_byte_size(std::string_view s);
+
+/// Parses a duration: plain seconds ("2.5") or suffixed "250ms", "3s",
+/// "5m", "1h", "30us". Returns seconds.
+std::optional<double> parse_duration_seconds(std::string_view s);
+
+/// "1.50 GiB", "312.0 KiB", "17 B".
+std::string format_bytes(uint64_t bytes);
+
+/// "1.23 s", "45.6 ms", "2m 03s", "1h 02m".
+std::string format_duration(double seconds);
+
+/// "12.3 MB/s" style rate.
+std::string format_rate(double bytes_per_second);
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ompcloud

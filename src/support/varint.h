@@ -1,0 +1,61 @@
+// LEB128-style varint encoding, shared by the codecs and the serialization
+// framing used for RDD elements and storage object metadata.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "support/bytes.h"
+
+namespace ompcloud {
+
+/// Appends `value` to `out` as an unsigned LEB128 varint (1-10 bytes).
+inline void put_varint(ByteBuffer& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::byte>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(value));
+}
+
+/// Reads a varint from `data` starting at `*pos`, advancing `*pos`.
+/// Returns nullopt on truncation or overlong (>10 byte) encodings.
+inline std::optional<uint64_t> get_varint(ByteView data, size_t* pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (*pos < data.size() && shift < 64) {
+    auto b = static_cast<uint8_t>(data[(*pos)++]);
+    value |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return std::nullopt;
+}
+
+/// Fixed-width little-endian helpers for compact binary headers.
+inline void put_u16le(ByteBuffer& out, uint16_t v) {
+  out.push_back(static_cast<std::byte>(v & 0xff));
+  out.push_back(static_cast<std::byte>(v >> 8));
+}
+
+inline std::optional<uint16_t> get_u16le(ByteView data, size_t* pos) {
+  if (*pos + 2 > data.size()) return std::nullopt;
+  auto lo = static_cast<uint16_t>(data[(*pos)]);
+  auto hi = static_cast<uint16_t>(data[(*pos) + 1]);
+  *pos += 2;
+  return static_cast<uint16_t>(lo | (hi << 8));
+}
+
+inline void put_u64le(ByteBuffer& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+inline std::optional<uint64_t> get_u64le(ByteView data, size_t* pos) {
+  if (*pos + 8 > data.size()) return std::nullopt;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data[*pos + i]) << (8 * i);
+  *pos += 8;
+  return v;
+}
+
+}  // namespace ompcloud

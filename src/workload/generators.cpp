@@ -1,0 +1,55 @@
+#include "workload/generators.h"
+
+#include "support/random.h"
+
+namespace ompcloud::workload {
+
+std::vector<float> make_matrix(const MatrixSpec& spec) {
+  Xoshiro256 rng(spec.seed);
+  std::vector<float> values(spec.rows * spec.cols);
+  for (float& v : values) {
+    if (spec.sparse && rng.chance(0.95)) {
+      v = 0.0f;
+    } else {
+      v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+  }
+  return values;
+}
+
+double zero_fraction(const std::vector<float>& values) {
+  if (values.empty()) return 0.0;
+  size_t zeros = 0;
+  for (float v : values) {
+    if (v == 0.0f) ++zeros;
+  }
+  return static_cast<double>(zeros) / static_cast<double>(values.size());
+}
+
+std::vector<float> make_points(size_t count, double collinear_bias,
+                               uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<float> points(count * 2);
+  // A handful of lines y = a*x + b that biased points are snapped onto.
+  constexpr int kLines = 4;
+  double slope[kLines], intercept[kLines];
+  for (int l = 0; l < kLines; ++l) {
+    slope[l] = rng.uniform(-2.0, 2.0);
+    intercept[l] = rng.uniform(-1.0, 1.0);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    double x = rng.uniform(-10.0, 10.0);
+    double y;
+    if (rng.chance(collinear_bias)) {
+      int l = static_cast<int>(rng.next_below(kLines));
+      y = slope[l] * x + intercept[l];
+    } else {
+      y = rng.uniform(-10.0, 10.0);
+    }
+    points[2 * i] = static_cast<float>(x);
+    points[2 * i + 1] = static_cast<float>(y);
+  }
+  return points;
+}
+
+}  // namespace ompcloud::workload

@@ -1,0 +1,34 @@
+// Workload generators for the paper's benchmarks (§IV): 32-bit float
+// matrices, dense (uniform random) or sparse (~95% zeros), plus the 2-D
+// point sets of MgBench's collinear-list. All generation is seeded and
+// deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ompcloud::workload {
+
+struct MatrixSpec {
+  size_t rows = 0;
+  size_t cols = 0;
+  /// Sparse matrices are ~95% zeros — they compress far better, which is
+  /// the lever behind the paper's dense-vs-sparse Fig. 5 comparison.
+  bool sparse = false;
+  uint64_t seed = 1;
+};
+
+/// Row-major float matrix with values in [-1, 1).
+std::vector<float> make_matrix(const MatrixSpec& spec);
+
+/// Fraction of exact zeros in a buffer (sanity checks and tests).
+double zero_fraction(const std::vector<float>& values);
+
+/// 2-D points (x0,y0,x1,y1,...). `collinear_bias` in [0,1] places that
+/// fraction of points on a small set of shared lines so collinear triples
+/// exist (MgBench's collinear-list finds them).
+std::vector<float> make_points(size_t count, double collinear_bias,
+                               uint64_t seed);
+
+}  // namespace ompcloud::workload

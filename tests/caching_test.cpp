@@ -1,0 +1,153 @@
+// Tests for the data-caching extension (the paper's stated future work):
+// repeated offloads reuse staged inputs when the host bytes are unchanged.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "omp/target_region.h"
+#include "omptarget/cloud_plugin.h"
+
+namespace ompcloud::omptarget {
+namespace {
+
+Status AddOneKernel(const jni::KernelArgs& args) {
+  auto in = args.input<float>(0);
+  auto out = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) out[i] = in[i] + 1.0f;
+  return Status::ok();
+}
+const jni::KernelRegistrar kAddOneReg("cache.addone", AddOneKernel);
+
+struct CachingFixture {
+  sim::Engine engine;
+  cloud::Cluster cluster;
+  DeviceManager devices{engine};
+  int cloud_id;
+  std::vector<float> x, y;
+
+  CachingFixture() : cluster(engine, spec(), cloud::SimProfile{}) {
+    CloudPluginOptions options;
+    options.cache_data = true;
+    cloud_id = devices.register_device(std::make_unique<CloudPlugin>(
+        cluster, spark::SparkConf{}, options));
+    x.resize(4096);
+    y.assign(4096, 0.0f);
+    std::iota(x.begin(), x.end(), 0.0f);
+  }
+
+  static cloud::ClusterSpec spec() {
+    cloud::ClusterSpec spec;
+    spec.workers = 4;
+    return spec;
+  }
+
+  CloudPlugin& plugin() {
+    return static_cast<CloudPlugin&>(devices.device(cloud_id));
+  }
+
+  Result<OffloadReport> offload_once() {
+    omp::TargetRegion region(devices, "cached");
+    region.device(cloud_id);
+    auto xv = region.map_to("x", x.data(), x.size());
+    auto yv = region.map_from("y", y.data(), y.size());
+    region.parallel_for(static_cast<int64_t>(x.size()))
+        .read_partitioned(xv, omp::rows<float>(1))
+        .write_partitioned(yv, omp::rows<float>(1))
+        .cost_flops(1.0)
+        .kernel("cache.addone");
+    return omp::offload_blocking(engine, region);
+  }
+};
+
+TEST(DataCachingTest, SecondOffloadSkipsUnchangedUpload) {
+  CachingFixture f;
+  auto first = f.offload_once();
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  EXPECT_EQ(f.plugin().cache_stats().hits, 0u);
+  EXPECT_EQ(f.plugin().cache_stats().misses, 1u);
+  EXPECT_GT(first->uploaded_plain_bytes, 0u);
+
+  auto second = f.offload_once();
+  ASSERT_TRUE(second.ok()) << second.status().to_string();
+  EXPECT_EQ(f.plugin().cache_stats().hits, 1u);
+  EXPECT_EQ(second->uploaded_plain_bytes, 0u);  // nothing re-uploaded
+  EXPECT_LT(second->upload_seconds, first->upload_seconds);
+  // Result still correct.
+  EXPECT_EQ(f.y[10], f.x[10] + 1.0f);
+}
+
+TEST(DataCachingTest, MutatedInputIsReuploaded) {
+  CachingFixture f;
+  ASSERT_TRUE(f.offload_once().ok());
+  f.x[123] += 5.0f;  // host data changed: cache must miss
+  auto second = f.offload_once();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(f.plugin().cache_stats().hits, 0u);
+  EXPECT_EQ(f.plugin().cache_stats().misses, 2u);
+  EXPECT_GT(second->uploaded_plain_bytes, 0u);
+  EXPECT_EQ(f.y[123], f.x[123] + 1.0f);
+}
+
+TEST(DataCachingTest, ClearCacheForcesReupload) {
+  CachingFixture f;
+  ASSERT_TRUE(f.offload_once().ok());
+  f.plugin().clear_data_cache();
+  auto second = f.offload_once();
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second->uploaded_plain_bytes, 0u);
+}
+
+TEST(DataCachingTest, EvictedObjectIsDetected) {
+  // The hash matches but the staged object vanished from the bucket (e.g.
+  // lifecycle policy): the cache must not trust a dangling entry.
+  CachingFixture f;
+  ASSERT_TRUE(f.offload_once().ok());
+  f.engine.spawn([](cloud::Cluster* cluster) -> sim::Co<void> {
+    (void)co_await cluster->store().remove("host", "ompcloud", "cached/x.bin");
+  }(&f.cluster));
+  f.engine.run();
+
+  auto second = f.offload_once();
+  ASSERT_TRUE(second.ok()) << second.status().to_string();
+  EXPECT_GT(second->uploaded_plain_bytes, 0u);
+  EXPECT_EQ(f.y[0], f.x[0] + 1.0f);
+}
+
+TEST(DataCachingTest, CachingOffAlwaysUploads) {
+  sim::Engine engine;
+  cloud::ClusterSpec spec;
+  spec.workers = 4;
+  cloud::Cluster cluster(engine, spec, cloud::SimProfile{});
+  DeviceManager devices(engine);
+  int cloud_id = devices.register_device(std::make_unique<CloudPlugin>(
+      cluster, spark::SparkConf{}, CloudPluginOptions{}));  // cache_data=false
+  auto& plugin = static_cast<CloudPlugin&>(devices.device(cloud_id));
+
+  std::vector<float> x(256, 1.0f), y(256, 0.0f);
+  for (int round = 0; round < 2; ++round) {
+    omp::TargetRegion region(devices, "uncached");
+    region.device(cloud_id);
+    auto xv = region.map_to("x", x.data(), x.size());
+    auto yv = region.map_from("y", y.data(), y.size());
+    region.parallel_for(256)
+        .read_partitioned(xv, omp::rows<float>(1))
+        .write_partitioned(yv, omp::rows<float>(1))
+        .cost_flops(1.0)
+        .kernel("cache.addone");
+    auto report = omp::offload_blocking(engine, region);
+    ASSERT_TRUE(report.ok());
+    EXPECT_GT(report->uploaded_plain_bytes, 0u);
+  }
+  EXPECT_EQ(plugin.cache_stats().hits, 0u);
+  EXPECT_EQ(plugin.cache_stats().misses, 0u);
+}
+
+TEST(DataCachingTest, ConfigKeyParsed) {
+  auto config = *Config::parse("[offload]\ncache-data = true\n");
+  auto options = CloudPluginOptions::from_config(config);
+  ASSERT_TRUE(options.ok());
+  EXPECT_TRUE(options->cache_data);
+}
+
+}  // namespace
+}  // namespace ompcloud::omptarget

@@ -1,0 +1,245 @@
+// Tests for the cloud substrate: instance catalog, cost metering, cluster
+// topology/lifecycle, spec parsing.
+#include <gtest/gtest.h>
+
+#include "cloud/cluster.h"
+
+namespace ompcloud::cloud {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+
+TEST(InstanceTypeTest, PaperFlavorPresent) {
+  auto c3 = find_instance_type("c3.8xlarge");
+  ASSERT_TRUE(c3.ok());
+  EXPECT_EQ(c3->vcpus, 32);
+  EXPECT_EQ(c3->physical_cores, 16);  // paper: 1 core = 2 vCPUs
+  EXPECT_EQ(c3->ram_bytes, 60ull << 30);
+  EXPECT_GT(c3->price_per_hour, 0);
+}
+
+TEST(InstanceTypeTest, UnknownFlavorFails) {
+  EXPECT_EQ(find_instance_type("z9.mega").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(InstanceTypeTest, CatalogListsNames) {
+  auto names = instance_type_names();
+  EXPECT_GE(names.size(), 4u);
+}
+
+TEST(CostMeterTest, AccruesWhileRunning) {
+  Engine engine;
+  CostMeter meter(engine);
+  meter.on_instances_started(2, 3600.0);  // $3600/h = $1/s per instance
+  engine.schedule_at(10.0, [] {});
+  engine.run();
+  EXPECT_NEAR(meter.accrued_usd(), 20.0, 1e-9);
+  EXPECT_NEAR(meter.instance_seconds(), 20.0, 1e-9);
+}
+
+TEST(CostMeterTest, StopFreezesCost) {
+  Engine engine;
+  CostMeter meter(engine);
+  meter.on_instances_started(1, 3600.0);
+  engine.schedule_at(5.0, [&] { meter.on_instances_stopped(1, 3600.0); });
+  engine.schedule_at(50.0, [] {});
+  engine.run();
+  EXPECT_NEAR(meter.accrued_usd(), 5.0, 1e-9);
+}
+
+TEST(CostMeterTest, PartialStop) {
+  Engine engine;
+  CostMeter meter(engine);
+  meter.on_instances_started(3, 3600.0);
+  engine.schedule_at(2.0, [&] { meter.on_instances_stopped(2, 3600.0); });
+  engine.schedule_at(4.0, [] {});
+  engine.run();
+  // 2 instances for 2 s + 1 instance for 4 s = 8 instance-seconds.
+  EXPECT_NEAR(meter.instance_seconds(), 8.0, 1e-9);
+}
+
+TEST(ClusterSpecTest, ParsesFromConfig) {
+  auto config = *Config::parse(R"(
+[cluster]
+provider = ec2
+instance-type = c3.4xlarge
+workers = 4
+on-the-fly = true
+[storage]
+type = hdfs
+)");
+  auto spec = ClusterSpec::from_config(config);
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_EQ(spec->instance_type, "c3.4xlarge");
+  EXPECT_EQ(spec->workers, 4);
+  EXPECT_EQ(spec->storage_type, "hdfs");
+  EXPECT_TRUE(spec->on_the_fly);
+}
+
+TEST(ClusterSpecTest, RejectsBadValues) {
+  auto bad_provider = *Config::parse("[cluster]\nprovider = gcp\n");
+  EXPECT_FALSE(ClusterSpec::from_config(bad_provider).ok());
+  auto bad_type = *Config::parse("[cluster]\ninstance-type = z9.mega\n");
+  EXPECT_FALSE(ClusterSpec::from_config(bad_type).ok());
+  auto bad_workers = *Config::parse("[cluster]\nworkers = 0\n");
+  EXPECT_FALSE(ClusterSpec::from_config(bad_workers).ok());
+  auto bad_storage = *Config::parse("[storage]\ntype = tape\n");
+  EXPECT_FALSE(ClusterSpec::from_config(bad_storage).ok());
+}
+
+TEST(SimProfileTest, ConfigOverrides) {
+  auto config = *Config::parse(R"(
+[sim]
+wan-up-bps = 1e6
+jni-call-overhead = 5ms
+core-flops = 1e9
+)");
+  SimProfile profile = SimProfile::from_config(config);
+  EXPECT_DOUBLE_EQ(profile.wan_up_bytes_per_sec, 1e6);
+  EXPECT_DOUBLE_EQ(profile.jni_call_overhead, 0.005);
+  EXPECT_DOUBLE_EQ(profile.core_flops, 1e9);
+  // Untouched fields keep defaults.
+  EXPECT_DOUBLE_EQ(profile.job_submit_latency, SimProfile{}.job_submit_latency);
+}
+
+ClusterSpec small_spec() {
+  ClusterSpec spec;
+  spec.workers = 4;
+  spec.instance_type = "c3.8xlarge";
+  return spec;
+}
+
+TEST(ClusterTest, TopologyRoutesExist) {
+  Engine engine;
+  Cluster cluster(engine, small_spec(), SimProfile{});
+  auto& net = cluster.network();
+  EXPECT_TRUE(net.route("host", "storage").ok());
+  EXPECT_TRUE(net.route("storage", "host").ok());
+  EXPECT_TRUE(net.route("driver", "worker0").ok());
+  EXPECT_TRUE(net.route("worker3", "driver").ok());
+  EXPECT_TRUE(net.route("worker0", "storage").ok());
+  EXPECT_FALSE(net.route("worker0", "worker1").ok());  // no direct w2w route
+}
+
+TEST(ClusterTest, CoreAccounting) {
+  Engine engine;
+  Cluster cluster(engine, small_spec(), SimProfile{});
+  EXPECT_EQ(cluster.worker_count(), 4);
+  EXPECT_EQ(cluster.cores_per_worker(), 16);
+  EXPECT_EQ(cluster.total_worker_cores(), 64);
+  EXPECT_EQ(cluster.worker_pool(0).cores(), 16u);
+}
+
+TEST(ClusterTest, PreProvisionedClusterIsRunningAndBilled) {
+  Engine engine;
+  Cluster cluster(engine, small_spec(), SimProfile{});
+  EXPECT_TRUE(cluster.running());
+  engine.schedule_at(3600.0, [] {});
+  engine.run();
+  // 5 instances (driver + 4 workers) x 1 h x $1.68.
+  EXPECT_NEAR(cluster.cost().accrued_usd(), 5 * 1.68, 1e-6);
+}
+
+TEST(ClusterTest, OnTheFlyBootsAndStops) {
+  Engine engine;
+  ClusterSpec spec = small_spec();
+  spec.on_the_fly = true;
+  Cluster cluster(engine, spec, SimProfile{});
+  EXPECT_FALSE(cluster.running());
+
+  engine.spawn([](Cluster& cluster, Engine& engine) -> Task {
+    Status up = co_await cluster.ensure_running();
+    EXPECT_TRUE(up.is_ok());
+    EXPECT_TRUE(cluster.running());
+    EXPECT_NEAR(engine.now(), 45.0, 1e-9);  // c3 boot time
+    co_await engine.sleep(10.0);
+    Status down = co_await cluster.shutdown();
+    EXPECT_TRUE(down.is_ok());
+    EXPECT_FALSE(cluster.running());
+  }(cluster, engine));
+  engine.run();
+  // Billed 55 s x 5 instances; idle time after shutdown is free.
+  EXPECT_NEAR(cluster.cost().instance_seconds(), 5 * 55.0, 1e-6);
+}
+
+TEST(ClusterTest, EnsureRunningIsIdempotent) {
+  Engine engine;
+  Cluster cluster(engine, small_spec(), SimProfile{});
+  engine.spawn([](Cluster& cluster, Engine& engine) -> Task {
+    co_await cluster.ensure_running();
+    EXPECT_DOUBLE_EQ(engine.now(), 0.0);  // already running: no boot wait
+  }(cluster, engine));
+  engine.run();
+}
+
+TEST(ClusterTest, SshSubmitPaysWanRttAndSubmitLatency) {
+  Engine engine;
+  SimProfile profile;
+  Cluster cluster(engine, small_spec(), profile);
+  engine.spawn([](Cluster& cluster, Engine& engine, SimProfile profile) -> Task {
+    Status s = co_await cluster.ssh_submit_roundtrip();
+    EXPECT_TRUE(s.is_ok());
+    EXPECT_NEAR(engine.now(), 2 * profile.wan_latency + profile.job_submit_latency,
+                1e-9);
+  }(cluster, engine, profile));
+  engine.run();
+}
+
+TEST(ClusterTest, SshSubmitFailsWhenStopped) {
+  Engine engine;
+  ClusterSpec spec = small_spec();
+  spec.on_the_fly = true;
+  Cluster cluster(engine, spec, SimProfile{});
+  engine.spawn([](Cluster& cluster) -> Task {
+    Status s = co_await cluster.ssh_submit_roundtrip();
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  }(cluster));
+  engine.run();
+}
+
+TEST(ClusterTest, KillAndReviveWorker) {
+  Engine engine;
+  Cluster cluster(engine, small_spec(), SimProfile{});
+  EXPECT_TRUE(cluster.worker_alive(2));
+  cluster.kill_worker(2);
+  EXPECT_FALSE(cluster.worker_alive(2));
+  EXPECT_TRUE(cluster.worker_alive(1));
+  cluster.revive_worker(2);
+  EXPECT_TRUE(cluster.worker_alive(2));
+}
+
+TEST(ClusterTest, StorageProfileFollowsSpec) {
+  Engine engine;
+  ClusterSpec spec = small_spec();
+  spec.storage_type = "hdfs";
+  Cluster cluster(engine, spec, SimProfile{});
+  EXPECT_EQ(cluster.store().profile().service_name, "hdfs");
+}
+
+TEST(ClusterTest, WanIsSharedBottleneckForUploads) {
+  // Two hosts' uploads... actually one host, two concurrent buffers: the
+  // WAN fair-shares, so 2x1MB at 25MB/s WAN finishes ~0.08s + latencies,
+  // not 0.04s.
+  Engine engine;
+  Cluster cluster(engine, small_spec(), SimProfile{});
+  ASSERT_TRUE(cluster.store().create_bucket("b").is_ok());
+  std::vector<double> done;
+  for (int i = 0; i < 2; ++i) {
+    engine.spawn([](Cluster& cluster, Engine& engine, std::vector<double>* done,
+                    int i) -> Task {
+      Status s = co_await cluster.store().put(
+          "host", "b", "k" + std::to_string(i), ByteBuffer(1u << 20));
+      EXPECT_TRUE(s.is_ok());
+      done->push_back(engine.now());
+    }(cluster, engine, &done, i));
+  }
+  engine.run();
+  ASSERT_EQ(done.size(), 2u);
+  double expected = 2.0 * (1u << 20) / SimProfile{}.wan_up_bytes_per_sec;
+  EXPECT_NEAR(done[1], expected + 0.06, 0.02);
+}
+
+}  // namespace
+}  // namespace ompcloud::cloud

@@ -1,0 +1,119 @@
+// Benchmark-suite tests: every paper benchmark runs on both the host device
+// and the simulated cloud device, on dense and sparse inputs, and must
+// reproduce its serial reference exactly (same op order => bitwise match).
+#include <gtest/gtest.h>
+
+#include "kernels/benchmark.h"
+#include "omptarget/cloud_plugin.h"
+#include "workload/generators.h"
+
+namespace ompcloud::kernels {
+namespace {
+
+using sim::Engine;
+
+struct BenchCase {
+  std::string benchmark;
+  std::string device;  // "host" | "cloud"
+  bool sparse;
+};
+
+class BenchmarkSuiteTest : public ::testing::TestWithParam<BenchCase> {};
+
+TEST_P(BenchmarkSuiteTest, MatchesSerialReference) {
+  const auto& param = GetParam();
+  Engine engine;
+  cloud::ClusterSpec spec;
+  spec.workers = 4;
+  cloud::Cluster cluster(engine, spec, cloud::SimProfile{});
+  omptarget::DeviceManager devices(engine);
+  int cloud_id = devices.register_device(
+      std::make_unique<omptarget::CloudPlugin>(cluster, spark::SparkConf{},
+                                               omptarget::CloudPluginOptions{}));
+
+  auto benchmark = make_benchmark(param.benchmark);
+  ASSERT_TRUE(benchmark.ok()) << benchmark.status().to_string();
+  Benchmark::Options options;
+  options.n = 48;
+  options.sparse = param.sparse;
+  (*benchmark)->prepare(options);
+
+  omp::TargetRegion region(devices, std::string((*benchmark)->name()));
+  region.device(param.device == "cloud"
+                    ? cloud_id
+                    : omptarget::DeviceManager::host_device_id());
+  ASSERT_TRUE((*benchmark)->build_region(region).is_ok());
+
+  auto report = omp::offload_blocking(engine, region);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_FALSE(report->fell_back_to_host);
+
+  (*benchmark)->run_reference();
+  EXPECT_EQ((*benchmark)->max_error(), 0.0)
+      << param.benchmark << " diverged from its serial reference";
+  EXPECT_GT((*benchmark)->total_flops(), 0u);
+  EXPECT_GT((*benchmark)->mapped_to_bytes(), 0u);
+  EXPECT_GT((*benchmark)->mapped_from_bytes(), 0u);
+}
+
+std::vector<BenchCase> all_cases() {
+  std::vector<BenchCase> cases;
+  for (const auto& name : benchmark_names()) {
+    for (const char* device : {"host", "cloud"}) {
+      for (bool sparse : {false, true}) {
+        cases.push_back({name, device, sparse});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkSuiteTest, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<BenchCase>& info) {
+      std::string name = info.param.benchmark + "_" + info.param.device +
+                         (info.param.sparse ? "_sparse" : "_dense");
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(BenchmarkRegistryTest, EightPaperBenchmarks) {
+  auto names = benchmark_names();
+  ASSERT_EQ(names.size(), 8u);
+  for (const auto& name : names) {
+    auto benchmark = make_benchmark(name);
+    ASSERT_TRUE(benchmark.ok()) << name;
+    EXPECT_EQ((*benchmark)->name(), name);
+  }
+  EXPECT_FALSE(make_benchmark("fft").ok());
+}
+
+TEST(BenchmarkTest, SparseInputsReallyCompressBetter) {
+  // The Fig. 5 mechanism: sparse variants upload far fewer wire bytes.
+  auto wire_bytes = [](bool sparse) {
+    Engine engine;
+    cloud::ClusterSpec spec;
+    spec.workers = 4;
+    cloud::Cluster cluster(engine, spec, cloud::SimProfile{});
+    omptarget::DeviceManager devices(engine);
+    int cloud_id = devices.register_device(
+        std::make_unique<omptarget::CloudPlugin>(
+            cluster, spark::SparkConf{}, omptarget::CloudPluginOptions{}));
+    auto benchmark_result = make_benchmark("gemm");
+    auto benchmark = std::move(benchmark_result).value();
+    Benchmark::Options options;
+    options.n = 64;
+    options.sparse = sparse;
+    benchmark->prepare(options);
+    omp::TargetRegion region(devices, "gemm");
+    region.device(cloud_id);
+    EXPECT_TRUE(benchmark->build_region(region).is_ok());
+    auto report = omp::offload_blocking(engine, region);
+    EXPECT_TRUE(report.ok());
+    return report.ok() ? report->uploaded_wire_bytes : 0ull;
+  };
+  EXPECT_LT(wire_bytes(true) * 2, wire_bytes(false));
+}
+
+}  // namespace
+}  // namespace ompcloud::kernels

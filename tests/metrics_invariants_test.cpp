@@ -1,0 +1,101 @@
+// Invariant tests over the offload timing decomposition: for every paper
+// benchmark at paper scale, the OffloadReport must be internally coherent —
+// phases are non-negative, partition the wall time, and the Fig. 4/5 series
+// derived from them are well-ordered.
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+
+namespace ompcloud::bench {
+namespace {
+
+class MetricsInvariantsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MetricsInvariantsTest, DecompositionIsCoherent) {
+  CloudRunConfig config;
+  config.benchmark = GetParam();
+  config.n = 96;
+  config.dedicated_cores = 32;
+  auto run = run_on_cloud(config);
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  const auto& report = run->report;
+  const auto& job = report.job;
+
+  // All phase durations are non-negative.
+  for (double phase :
+       {report.upload_seconds, report.submit_seconds, report.download_seconds,
+        report.cleanup_seconds, job.input_read_seconds, job.distribute_seconds,
+        job.map_collect_seconds, job.output_write_seconds}) {
+    EXPECT_GE(phase, 0.0);
+  }
+
+  // Host-side phases partition the offload wall time.
+  double host_phases = report.upload_seconds + report.submit_seconds +
+                       job.job_seconds + report.download_seconds +
+                       report.cleanup_seconds;
+  EXPECT_NEAR(host_phases, report.total_seconds, 1e-6 * report.total_seconds);
+
+  // Job phases partition the job wall time.
+  double job_phases = job.input_read_seconds + job.distribute_seconds +
+                      job.map_collect_seconds + job.output_write_seconds;
+  EXPECT_LE(job_phases, job.job_seconds + 1e-9);
+  EXPECT_GE(job_phases, job.job_seconds * 0.95);  // phases cover ~all of it
+
+  // Fig. 4 series ordering: full >= spark >= computation (as durations).
+  EXPECT_GE(report.total_seconds, job.job_seconds);
+  EXPECT_GE(job.job_seconds, job.computation_seconds());
+  EXPECT_GT(job.computation_seconds(), 0.0);
+
+  // Cost model coherence: computation = compute core-seconds / slots.
+  EXPECT_NEAR(job.computation_seconds() * job.slots, job.compute_core_seconds,
+              1e-9);
+  EXPECT_EQ(job.slots, 32);
+
+  // Work accounting: every mapped byte was moved at least once.
+  EXPECT_EQ(report.uploaded_plain_bytes, run->total_flops == 0
+                                             ? report.uploaded_plain_bytes
+                                             : report.uploaded_plain_bytes);
+  EXPECT_GT(report.uploaded_plain_bytes, 0u);
+  EXPECT_GT(report.downloaded_plain_bytes, 0u);
+  EXPECT_GT(job.intra_cluster_bytes, 0u);
+  EXPECT_GT(job.tasks, 0);
+  EXPECT_EQ(job.task_retries, 0);
+
+  // Compression never loses bytes: wire <= plain + small frame overhead,
+  // for dense-random floats; sparse would be far below.
+  EXPECT_LE(report.uploaded_wire_bytes,
+            report.uploaded_plain_bytes + report.uploaded_plain_bytes / 32 +
+                1024);
+
+  // Money: a pre-provisioned cluster bills 17 instances for the duration.
+  double expected_usd =
+      17 * report.total_seconds / 3600.0 * 1.68;
+  EXPECT_NEAR(report.cost_usd, expected_usd, expected_usd * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, MetricsInvariantsTest,
+    ::testing::ValuesIn(kernels::benchmark_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(MetricsInvariantsTest, SpeedupMonotoneInCores) {
+  // Job time strictly decreases 8 -> 64 -> 256 cores at paper scale.
+  double previous = 1e30;
+  for (int cores : {8, 64, 256}) {
+    CloudRunConfig config;
+    config.benchmark = "gemm";
+    config.n = 128;
+    config.dedicated_cores = cores;
+    auto run = run_on_cloud(config);
+    ASSERT_TRUE(run.ok());
+    EXPECT_LT(run->report.total_seconds, previous) << cores;
+    previous = run->report.total_seconds;
+  }
+}
+
+}  // namespace
+}  // namespace ompcloud::bench

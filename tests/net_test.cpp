@@ -1,0 +1,291 @@
+// Tests for the network substrate: fair sharing on a single link,
+// multi-hop routing, and the broadcast models.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/engine.h"
+
+namespace ompcloud::net {
+namespace {
+
+using sim::Completion;
+using sim::Engine;
+using sim::Task;
+
+// --- Link: single flow -------------------------------------------------------
+
+TEST(LinkTest, SingleFlowTakesBytesOverBandwidthPlusLatency) {
+  Engine engine;
+  Link link(engine, "wan", 100.0, 0.5);  // 100 B/s, 0.5 s latency
+  engine.spawn(link.transfer(200));
+  engine.run();
+  EXPECT_DOUBLE_EQ(engine.now(), 0.5 + 2.0);
+  EXPECT_EQ(link.stats().bytes_carried, 200u);
+  EXPECT_EQ(link.stats().flows_completed, 1u);
+}
+
+TEST(LinkTest, ZeroByteTransferCostsOnlyLatency) {
+  Engine engine;
+  Link link(engine, "l", 100.0, 0.25);
+  engine.spawn(link.transfer(0));
+  engine.run();
+  EXPECT_DOUBLE_EQ(engine.now(), 0.25);
+}
+
+TEST(LinkTest, InfiniteBandwidthIsLatencyOnly) {
+  Engine engine;
+  Link link(engine, "l", 0.0, 0.1);
+  engine.spawn(link.transfer(1u << 30));
+  engine.run();
+  EXPECT_NEAR(engine.now(), 0.1, 1e-9);
+}
+
+// --- Link: fair sharing ------------------------------------------------------
+
+TEST(LinkTest, TwoEqualFlowsShareBandwidth) {
+  Engine engine;
+  Link link(engine, "l", 100.0, 0.0);
+  // Two 100-byte flows on a 100 B/s link -> both finish at t=2 (each gets
+  // 50 B/s), not t=1 and t=2.
+  std::vector<double> done;
+  for (int i = 0; i < 2; ++i) {
+    engine.spawn([](Engine& e, Link& link, std::vector<double>* done) -> Task {
+      co_await link.transfer(100);
+      done->push_back(e.now());
+    }(engine, link, &done));
+  }
+  engine.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 2.0, 1e-9);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+}
+
+TEST(LinkTest, LateArrivalSlowsExistingFlow) {
+  Engine engine;
+  Link link(engine, "l", 100.0, 0.0);
+  double first_done = 0, second_done = 0;
+  engine.spawn([](Engine& e, Link& link, double* done) -> Task {
+    co_await link.transfer(100);
+    *done = e.now();
+  }(engine, link, &first_done));
+  engine.spawn([](Engine& e, Link& link, double* done) -> Task {
+    co_await e.sleep(0.5);  // join when flow A has 50 bytes left
+    co_await link.transfer(100);
+    *done = e.now();
+  }(engine, link, &second_done));
+  engine.run();
+  // From t=0.5 both run at 50 B/s. A finishes its 50 bytes at t=1.5;
+  // B then has 50 bytes left at full rate -> t=2.0.
+  EXPECT_NEAR(first_done, 1.5, 1e-9);
+  EXPECT_NEAR(second_done, 2.0, 1e-9);
+}
+
+TEST(LinkTest, WeightedSharing) {
+  Engine engine;
+  Link link(engine, "l", 90.0, 0.0);
+  double heavy_done = 0, light_done = 0;
+  engine.spawn([](Engine& e, Link& link, double* done) -> Task {
+    co_await link.transfer(120, /*weight=*/2.0);
+    *done = e.now();
+  }(engine, link, &heavy_done));
+  engine.spawn([](Engine& e, Link& link, double* done) -> Task {
+    co_await link.transfer(60, /*weight=*/1.0);
+    *done = e.now();
+  }(engine, link, &light_done));
+  engine.run();
+  // Rates: heavy 60 B/s, light 30 B/s -> both complete at t=2.
+  EXPECT_NEAR(heavy_done, 2.0, 1e-9);
+  EXPECT_NEAR(light_done, 2.0, 1e-9);
+}
+
+TEST(LinkTest, ConservationAcrossManyFlows) {
+  // Property: with N staggered flows of random sizes, the link never delivers
+  // faster than its bandwidth: makespan >= total_bytes / bandwidth.
+  Engine engine;
+  Link link(engine, "l", 1000.0, 0.0);
+  uint64_t total = 0;
+  for (int i = 0; i < 25; ++i) {
+    uint64_t bytes = 100 + 37 * i;
+    total += bytes;
+    double start = 0.01 * i;
+    engine.spawn([](Engine& e, Link& link, double start, uint64_t bytes) -> Task {
+      co_await e.sleep(start);
+      co_await link.transfer(bytes);
+    }(engine, link, start, bytes));
+  }
+  engine.run();
+  double lower_bound = static_cast<double>(total) / 1000.0;
+  EXPECT_GE(engine.now(), lower_bound - 1e-6);
+  // And it should not be grossly slower either (flows overlap densely).
+  EXPECT_LE(engine.now(), lower_bound + 0.3);
+  EXPECT_EQ(link.stats().flows_completed, 25u);
+  EXPECT_EQ(link.stats().bytes_carried, total);
+}
+
+TEST(LinkTest, PeakConcurrencyTracked) {
+  Engine engine;
+  Link link(engine, "l", 100.0, 0.0);
+  for (int i = 0; i < 5; ++i) engine.spawn(link.transfer(100));
+  engine.run();
+  EXPECT_EQ(link.stats().peak_concurrent_flows, 5u);
+}
+
+// --- Network routing ---------------------------------------------------------
+
+struct TwoHopFixture {
+  Engine engine;
+  Network network{engine};
+  Link* fast;
+  Link* slow;
+  TwoHopFixture() {
+    fast = &network.add_link("fast", 1000.0, 0.0);
+    slow = &network.add_link("slow", 100.0, 0.0);
+    network.set_route("a", "b", {fast, slow});
+  }
+};
+
+TEST(NetworkTest, TransferBottleneckedBySlowestHop) {
+  TwoHopFixture f;
+  Status status = internal_error("unset");
+  f.engine.spawn([](Network& net, Status* out) -> Task {
+    *out = co_await net.transfer("a", "b", 100);
+  }(f.network, &status));
+  f.engine.run();
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_NEAR(f.engine.now(), 1.0, 1e-9);  // 100 B over 100 B/s hop
+}
+
+TEST(NetworkTest, UnknownRouteFails) {
+  Engine engine;
+  Network network(engine);
+  Status status = Status::ok();
+  engine.spawn([](Network& net, Status* out) -> Task {
+    *out = co_await net.transfer("x", "y", 10);
+  }(network, &status));
+  engine.run();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(NetworkTest, WildcardRoutesResolveInPriorityOrder) {
+  Engine engine;
+  Network network(engine);
+  Link& exact = network.add_link("exact", 100.0, 0.0);
+  Link& wild = network.add_link("wild", 100.0, 0.0);
+  network.set_route("a", "b", {&exact});
+  network.set_route("a", "*", {&wild});
+  ASSERT_TRUE(network.route("a", "b").ok());
+  EXPECT_EQ(network.route("a", "b").value()[0], &exact);
+  EXPECT_EQ(network.route("a", "c").value()[0], &wild);
+  EXPECT_FALSE(network.route("z", "b").ok());
+}
+
+TEST(NetworkTest, FindLink) {
+  Engine engine;
+  Network network(engine);
+  network.add_link("wan", 1.0, 0.0);
+  EXPECT_NE(network.find_link("wan"), nullptr);
+  EXPECT_EQ(network.find_link("nope"), nullptr);
+}
+
+// --- Broadcast ---------------------------------------------------------------
+
+struct StarFixture {
+  Engine engine;
+  Network network{engine};
+  Link* seed_out;
+  std::vector<Link*> worker_in;
+  std::vector<std::string> workers;
+
+  explicit StarFixture(int n, double bw = 100.0) {
+    seed_out = &network.add_link("seed.out", bw, 0.0);
+    for (int i = 0; i < n; ++i) {
+      std::string name = "w" + std::to_string(i);
+      worker_in.push_back(&network.add_link(name + ".in", bw, 0.0));
+      network.set_route("driver", name, {seed_out, worker_in.back()});
+      workers.push_back(name);
+    }
+  }
+};
+
+TEST(BroadcastTest, BitTorrentSeedCarriesOneCopy) {
+  StarFixture f(8);
+  f.engine.spawn([](Network& net, std::vector<std::string> targets) -> Task {
+    Status s = co_await net.broadcast("driver", std::move(targets), 1000);
+    EXPECT_TRUE(s.is_ok());
+  }(f.network, f.workers));
+  f.engine.run();
+  EXPECT_EQ(f.seed_out->stats().bytes_carried, 1000u);
+  for (Link* link : f.worker_in) {
+    EXPECT_EQ(link->stats().bytes_carried, 1000u);
+  }
+  // Receivers are independent links: time ~ payload/bw + round latency.
+  EXPECT_NEAR(f.engine.now(), 10.0, 0.1);
+}
+
+TEST(BroadcastTest, UnicastSeedCarriesNCopies) {
+  StarFixture f(8);
+  BroadcastOptions options;
+  options.mode = BroadcastMode::kUnicast;
+  f.engine.spawn([](Network& net, std::vector<std::string> targets,
+                    BroadcastOptions options) -> Task {
+    Status s = co_await net.broadcast("driver", std::move(targets), 1000,
+                                      options);
+    EXPECT_TRUE(s.is_ok());
+  }(f.network, f.workers, options));
+  f.engine.run();
+  EXPECT_EQ(f.seed_out->stats().bytes_carried, 8000u);
+  // Seed egress is the bottleneck: ~80 s.
+  EXPECT_GE(f.engine.now(), 79.0);
+}
+
+TEST(BroadcastTest, BitTorrentScalesLogarithmically) {
+  // Makespan for 64 receivers should be ~= makespan for 4 receivers
+  // (payload/bw dominated), unlike unicast which is 16x worse.
+  auto bittorrent_time = [](int n) {
+    StarFixture f(n);
+    f.engine.spawn([](Network& net, std::vector<std::string> targets) -> Task {
+      co_await net.broadcast("driver", std::move(targets), 1000);
+    }(f.network, f.workers));
+    return f.engine.run();
+  };
+  double t4 = bittorrent_time(4);
+  double t64 = bittorrent_time(64);
+  EXPECT_LT(t64, t4 * 1.2);
+}
+
+TEST(BroadcastTest, EmptyTargetsIsNoop) {
+  Engine engine;
+  Network network(engine);
+  engine.spawn([](Network& net) -> Task {
+    Status s = co_await net.broadcast("driver", {}, 1000);
+    EXPECT_TRUE(s.is_ok());
+  }(network));
+  engine.run();
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+}
+
+TEST(BroadcastTest, UnknownTargetFailsBeforeSpendingTime) {
+  Engine engine;
+  Network network(engine);
+  network.add_link("out", 1.0, 0.0);
+  Status status = Status::ok();
+  engine.spawn([](Network& net, Status* out) -> Task {
+    std::vector<std::string> targets = {"ghost"};
+    *out = co_await net.broadcast("driver", std::move(targets), 1000);
+  }(network, &status));
+  engine.run();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+}
+
+TEST(NetworkTest, TotalBytesAggregates) {
+  TwoHopFixture f;
+  f.engine.spawn([](Network& net) -> Task {
+    co_await net.transfer("a", "b", 100);
+  }(f.network));
+  f.engine.run();
+  EXPECT_EQ(f.network.total_bytes_carried(), 200u);  // both hops counted
+}
+
+}  // namespace
+}  // namespace ompcloud::net

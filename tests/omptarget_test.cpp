@@ -1,0 +1,360 @@
+// Tests for the libomptarget-like layer: device manager dispatch, host
+// plugin timing, cloud plugin end-to-end offloading, dynamic fallback,
+// on-the-fly cost metering, storage retry, and config-file construction.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "omp/target_region.h"
+#include "omptarget/cloud_plugin.h"
+#include "omptarget/host_plugin.h"
+
+namespace ompcloud::omptarget {
+namespace {
+
+using sim::Engine;
+
+Status DoubleKernel(const jni::KernelArgs& args) {
+  auto in = args.input<float>(0);
+  auto out = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) out[i] = 2.0f * in[i];
+  return Status::ok();
+}
+
+const jni::KernelRegistrar kDoubleReg("tgt.double", DoubleKernel);
+
+struct OffloadFixture {
+  Engine engine;
+  cloud::Cluster cluster;
+  DeviceManager devices{engine};
+  int cloud_id;
+
+  explicit OffloadFixture(int workers = 4, bool on_the_fly = false,
+                          spark::SparkConf conf = spark::SparkConf{},
+                          CloudPluginOptions options = CloudPluginOptions{})
+      : cluster(engine, make_spec(workers, on_the_fly), cloud::SimProfile{}) {
+    cloud_id = devices.register_device(
+        std::make_unique<CloudPlugin>(cluster, conf, options));
+  }
+
+  static cloud::ClusterSpec make_spec(int workers, bool on_the_fly) {
+    cloud::ClusterSpec spec;
+    spec.workers = workers;
+    spec.on_the_fly = on_the_fly;
+    return spec;
+  }
+
+  CloudPlugin& cloud_plugin() {
+    return static_cast<CloudPlugin&>(devices.device(cloud_id));
+  }
+
+  /// Builds the canonical y = 2x region over `n` floats.
+  omp::TargetRegion make_region(std::vector<float>& x, std::vector<float>& y,
+                                int device) {
+    omp::TargetRegion region(devices, "double");
+    region.device(device);
+    auto xv = region.map_to("x", x.data(), x.size());
+    auto yv = region.map_from("y", y.data(), y.size());
+    region.parallel_for(static_cast<int64_t>(x.size()))
+        .read_partitioned(xv, omp::rows<float>(1))
+        .write_partitioned(yv, omp::rows<float>(1))
+        .cost_flops(1.0)
+        .kernel("tgt.double");
+    return region;
+  }
+};
+
+TEST(DeviceManagerTest, HostDeviceAlwaysPresent) {
+  Engine engine;
+  DeviceManager devices(engine);
+  EXPECT_EQ(devices.num_devices(), 1);
+  EXPECT_TRUE(devices.device(0).is_available());
+}
+
+TEST(DeviceManagerTest, InvalidDeviceIdFails) {
+  OffloadFixture f;
+  std::vector<float> x(8, 1.0f), y(8, 0.0f);
+  auto region = f.make_region(x, y, 7);
+  auto report = omp::offload_blocking(f.engine, region);
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HostPluginTest, ExecutesAndTimesRegion) {
+  OffloadFixture f;
+  const size_t n = 64;
+  std::vector<float> x(n), y(n, 0.0f);
+  std::iota(x.begin(), x.end(), 1.0f);
+  auto region = f.make_region(x, y, DeviceManager::host_device_id());
+  auto report = omp::offload_blocking(f.engine, region);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_FALSE(report->fell_back_to_host);  // host requested, not a fallback
+  EXPECT_GT(report->total_seconds, 0);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(y[i], 2.0f * x[i]);
+}
+
+TEST(HostPluginTest, ThreadsScaleVirtualTime) {
+  // flops/(threads x rate): 16 threads ~ 2x faster than 8.
+  auto time_with = [](int threads) {
+    Engine engine;
+    HostPlugin plugin(engine, "host", threads, 4e9);
+    std::vector<float> x(1024, 1.0f), y(1024, 0.0f);
+    TargetRegion region;
+    region.vars = {{"x", x.data(), x.size() * 4, MapType::kTo},
+                   {"y", y.data(), y.size() * 4, MapType::kFrom}};
+    spark::LoopSpec loop;
+    loop.kernel = "tgt.double";
+    loop.iterations = 1024;
+    loop.flops_per_iteration = 4e6;
+    loop.reads = {{0, spark::LoopAccess::Mode::kReadPartitioned,
+                   spark::AffineRange::rows(4), {}}};
+    loop.writes = {{1, spark::LoopAccess::Mode::kWritePartitioned,
+                    spark::AffineRange::rows(4), {}}};
+    region.loops.push_back(loop);
+    double total = -1;
+    engine.spawn([](HostPlugin* plugin, TargetRegion region,
+                    double* total) -> sim::Co<void> {
+      auto report = co_await plugin->run_region(region);
+      EXPECT_TRUE(report.ok());
+      if (report.ok()) *total = report->total_seconds;
+    }(&plugin, region, &total));
+    engine.run();
+    return total;
+  };
+  double t8 = time_with(8);
+  double t16 = time_with(16);
+  EXPECT_NEAR(t8 / t16, 2.0, 0.01);
+}
+
+TEST(CloudPluginTest, OffloadRoundTripsExactData) {
+  OffloadFixture f;
+  // Above the 4 KiB min-compress threshold and repetitive, so gzlite bites.
+  const size_t n = 4096;
+  std::vector<float> x(n), y(n, 0.0f);
+  for (size_t i = 0; i < n; ++i) x[i] = static_cast<float>(i % 32);
+  auto region = f.make_region(x, y, f.cloud_id);
+  auto report = omp::offload_blocking(f.engine, region);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_FALSE(report->fell_back_to_host);
+  EXPECT_EQ(report->device_name, "cloud(ec2+s3)");
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(y[i], 2.0f * x[i]);
+
+  // Timing decomposition is present and ordered sensibly.
+  EXPECT_GT(report->upload_seconds, 0);
+  EXPECT_GT(report->submit_seconds, 1.0);  // SSH + spark-submit >= 1.2 s
+  EXPECT_GT(report->job.job_seconds, 0);
+  EXPECT_GT(report->download_seconds, 0);
+  EXPECT_GE(report->total_seconds,
+            report->upload_seconds + report->submit_seconds +
+                report->job.job_seconds + report->download_seconds);
+  EXPECT_EQ(report->uploaded_plain_bytes, n * 4);
+  EXPECT_EQ(report->downloaded_plain_bytes, n * 4);
+  // gzlite beats raw floats-from-iota.
+  EXPECT_LT(report->uploaded_wire_bytes, report->uploaded_plain_bytes);
+}
+
+TEST(CloudPluginTest, CleanupRemovesStagedObjects) {
+  OffloadFixture f;
+  std::vector<float> x(64, 1.0f), y(64, 0.0f);
+  auto region = f.make_region(x, y, f.cloud_id);
+  auto report = omp::offload_blocking(f.engine, region);
+  ASSERT_TRUE(report.ok());
+  // Staged keys are namespaced per invocation: <region>#<seq>/<var>.
+  EXPECT_FALSE(f.cluster.store().contains("ompcloud", "double#0/x.bin"));
+  EXPECT_FALSE(f.cluster.store().contains("ompcloud", "double#0/y.out.bin"));
+  EXPECT_EQ(f.cluster.store().total_stored_bytes(), 0u);
+  EXPECT_GT(report->cleanup_seconds, 0);
+}
+
+TEST(CloudPluginTest, CleanupCanBeDisabled) {
+  CloudPluginOptions options;
+  options.cleanup = false;
+  OffloadFixture f(4, false, spark::SparkConf{}, options);
+  std::vector<float> x(64, 1.0f), y(64, 0.0f);
+  auto region = f.make_region(x, y, f.cloud_id);
+  auto report = omp::offload_blocking(f.engine, region);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(f.cluster.store().contains("ompcloud", "double#0/x.bin"));
+  EXPECT_TRUE(f.cluster.store().contains("ompcloud", "double#0/y.out.bin"));
+}
+
+TEST(CloudPluginTest, MinCompressSizeSkipsSmallBuffers) {
+  CloudPluginOptions options;
+  options.min_compress_size = 1 << 20;  // nothing compresses
+  OffloadFixture f(4, false, spark::SparkConf{}, options);
+  std::vector<float> x(64, 0.0f), y(64, 0.0f);  // zeros: would compress well
+  auto region = f.make_region(x, y, f.cloud_id);
+  auto report = omp::offload_blocking(f.engine, region);
+  ASSERT_TRUE(report.ok());
+  // Framed with the null codec: wire bytes >= plain bytes.
+  EXPECT_GE(report->uploaded_wire_bytes, report->uploaded_plain_bytes);
+  EXPECT_DOUBLE_EQ(report->host_codec_seconds, 0);
+}
+
+TEST(CloudPluginTest, OnTheFlyBootsMetersAndStops) {
+  OffloadFixture f(4, /*on_the_fly=*/true);
+  std::vector<float> x(64, 1.0f), y(64, 0.0f);
+  auto region = f.make_region(x, y, f.cloud_id);
+  auto report = omp::offload_blocking(f.engine, region);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_GT(report->boot_seconds, 40.0);  // c3 cold start
+  EXPECT_FALSE(f.cluster.running());      // stopped afterwards
+  EXPECT_GT(report->cost_usd, 0);
+  // Pay-per-use: 5 instances x (boot + work) x $1.68/h, well under a cent-h.
+  double hours = (report->boot_seconds + report->total_seconds) / 3600.0;
+  EXPECT_LE(report->cost_usd, 5 * 1.68 * hours + 1e-9);
+}
+
+TEST(CloudPluginTest, StorageRetryRecoversFromTransientFailures) {
+  OffloadFixture f;
+  int failures_left = 2;
+  f.cluster.store().set_fault_injector(
+      [&](std::string_view op, const std::string&, const std::string&) {
+        if (op == "put" && failures_left > 0) {
+          --failures_left;
+          return unavailable("flaky S3");
+        }
+        return Status::ok();
+      });
+  std::vector<float> x(64, 3.0f), y(64, 0.0f);
+  auto region = f.make_region(x, y, f.cloud_id);
+  auto report = omp::offload_blocking(f.engine, region);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(y[0], 6.0f);
+  EXPECT_EQ(failures_left, 0);
+}
+
+TEST(CloudPluginTest, ExhaustedRetriesSurfaceAsUnavailable) {
+  CloudPluginOptions options;
+  options.storage_retries = 1;
+  OffloadFixture f(4, false, spark::SparkConf{}, options);
+  f.cluster.store().set_fault_injector(
+      [](std::string_view op, const std::string&, const std::string&) {
+        return op == "put" ? unavailable("S3 outage") : Status::ok();
+      });
+  std::vector<float> x(64, 1.0f), y(64, 0.0f);
+  auto region = f.make_region(x, y, f.cloud_id);
+  // The device manager catches kUnavailable and falls back to the host.
+  auto report = omp::offload_blocking(f.engine, region);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(report->fell_back_to_host);
+  EXPECT_EQ(y[0], 2.0f);  // computed locally, still correct
+}
+
+TEST(FallbackTest, StoppedClusterFallsBackToHost) {
+  // Fig. 1: "if the cloud is not available the computation is performed
+  // locally". A stopped, non-on-the-fly cluster is unavailable.
+  OffloadFixture f;
+  f.engine.spawn([](cloud::Cluster* cluster) -> sim::Co<void> {
+    (void)co_await cluster->shutdown();
+  }(&f.cluster));
+  f.engine.run();
+
+  std::vector<float> x(64, 2.0f), y(64, 0.0f);
+  auto region = f.make_region(x, y, f.cloud_id);
+  auto report = omp::offload_blocking(f.engine, region);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(report->fell_back_to_host);
+  EXPECT_EQ(report->device_name, "host(fallback)");
+  EXPECT_EQ(y[10], 4.0f);
+}
+
+TEST(FallbackTest, RealErrorsDoNotFallBack) {
+  OffloadFixture f;
+  std::vector<float> x(64, 1.0f), y(64, 0.0f);
+  omp::TargetRegion region(f.devices, "bad");
+  region.device(f.cloud_id);
+  auto xv = region.map_to("x", x.data(), x.size());
+  auto yv = region.map_from("y", y.data(), y.size());
+  region.parallel_for(64)
+      .read_partitioned(xv, omp::rows<float>(1))
+      .write_partitioned(yv, omp::rows<float>(1))
+      .cost_flops(1.0)
+      .kernel("tgt.nonexistent");
+  auto report = omp::offload_blocking(f.engine, region);
+  EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CloudPluginTest, FromConfigBuildsWholeStack) {
+  Engine engine;
+  auto config = *Config::parse(R"(
+[cluster]
+provider = azure
+instance-type = c3.4xlarge
+workers = 2
+[storage]
+type = azure
+[spark]
+task.cpus = 2
+[offload]
+bucket = my-experiments
+compression = rle
+compression-min-size = 1KiB
+transfer-threads = 2
+)");
+  auto plugin = CloudPlugin::from_config(engine, config);
+  ASSERT_TRUE(plugin.ok()) << plugin.status().to_string();
+  EXPECT_EQ((*plugin)->name(), "cloud(azure+azure)");
+  EXPECT_EQ((*plugin)->options().bucket, "my-experiments");
+  EXPECT_EQ((*plugin)->options().codec, "rle");
+  EXPECT_EQ((*plugin)->options().transfer_threads, 2);
+  EXPECT_EQ((*plugin)->cluster().worker_count(), 2);
+  EXPECT_EQ((*plugin)->cluster().store().profile().service_name, "azure");
+}
+
+TEST(CloudPluginTest, FromConfigRejectsBadCodec) {
+  Engine engine;
+  auto config = *Config::parse("[offload]\ncompression = zstd\n");
+  EXPECT_FALSE(CloudPlugin::from_config(engine, config).ok());
+}
+
+TEST(OmpDslTest, UnsupportedConstructsRejected) {
+  OffloadFixture f;
+  std::vector<float> x(8, 1.0f), y(8, 0.0f);
+  auto region = f.make_region(x, y, f.cloud_id);
+  EXPECT_EQ(region.use(omp::Construct::kBarrier).code(),
+            StatusCode::kUnimplemented);
+  auto report = omp::offload_blocking(f.engine, region);
+  EXPECT_EQ(report.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(OmpDslTest, MissingBodyRejected) {
+  OffloadFixture f;
+  std::vector<float> x(8, 1.0f), y(8, 0.0f);
+  omp::TargetRegion region(f.devices, "nobody");
+  auto xv = region.map_to("x", x.data(), x.size());
+  auto yv = region.map_from("y", y.data(), y.size());
+  region.parallel_for(8)
+      .read_partitioned(xv, omp::rows<float>(1))
+      .write_partitioned(yv, omp::rows<float>(1));
+  auto report = omp::offload_blocking(f.engine, region);
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(OmpDslTest, ReductionClauseWorksThroughWholeStack) {
+  OffloadFixture f;
+  const int64_t n = 128;
+  std::vector<float> x(n);
+  std::iota(x.begin(), x.end(), 1.0f);  // sum = n(n+1)/2 = 8256
+  float total = 0.0f;
+
+  omp::TargetRegion region(f.devices, "sum");
+  region.device(f.cloud_id);
+  auto xv = region.map_to("x", x.data(), x.size());
+  auto acc = region.map_from("total", &total, 1);
+  region.parallel_for(n)
+      .read_partitioned(xv, omp::rows<float>(1))
+      .reduction(acc, spark::ReduceOp::kSum, spark::ElemType::kF32)
+      .cost_flops(1.0)
+      .body("sum", [](const jni::KernelArgs& args) {
+        auto x = args.input<float>(0);
+        auto acc = args.output<float>(0);
+        for (int64_t i = args.begin; i < args.end; ++i) acc[0] += x[i];
+        return Status::ok();
+      });
+  auto report = omp::offload_blocking(f.engine, region);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(total, 8256.0f);
+}
+
+}  // namespace
+}  // namespace ompcloud::omptarget

@@ -1,0 +1,197 @@
+// Tests for the typed RDD facade: parallelize/map/collect, map fusion,
+// typed reductions, type changes across maps, and error paths.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "spark/rdd.h"
+
+namespace ompcloud::spark {
+namespace {
+
+struct RddFixture {
+  sim::Engine engine;
+  cloud::Cluster cluster;
+  RddSession session;
+
+  RddFixture() : cluster(engine, spec(), cloud::SimProfile{}),
+                 session(cluster, SparkConf{}) {}
+
+  static cloud::ClusterSpec spec() {
+    cloud::ClusterSpec spec;
+    spec.workers = 4;
+    return spec;
+  }
+};
+
+TEST(RddTest, CollectRoundTripsSource) {
+  RddFixture f;
+  std::vector<float> data(100);
+  std::iota(data.begin(), data.end(), 0.0f);
+  auto rdd = f.session.parallelize(data);
+  EXPECT_EQ(rdd.count(), 100);
+  auto collected = rdd.collect();
+  ASSERT_TRUE(collected.ok()) << collected.status().to_string();
+  EXPECT_EQ(*collected, data);
+}
+
+TEST(RddTest, MapTransformsEveryElement) {
+  RddFixture f;
+  std::vector<float> data = {1, 2, 3, 4, 5};
+  auto doubled = f.session.parallelize(data)
+                     .map<float>([](float v) { return 2 * v; })
+                     .collect();
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(*doubled, (std::vector<float>{2, 4, 6, 8, 10}));
+}
+
+TEST(RddTest, ChainedMapsAreFusedIntoOneJob) {
+  RddFixture f;
+  std::vector<float> data(64, 1.0f);
+  auto rdd = f.session.parallelize(data)
+                 .map<float>([](float v) { return v + 1; })
+                 .map<float>([](float v) { return v * 3; })
+                 .map<float>([](float v) { return v - 2; });
+  int jobs_before = f.session.jobs_run();
+  auto out = rdd.collect();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(f.session.jobs_run(), jobs_before + 1);  // one fused stage
+  EXPECT_EQ((*out)[0], (1.0f + 1) * 3 - 2);
+}
+
+TEST(RddTest, MapCanChangeElementType) {
+  RddFixture f;
+  std::vector<int32_t> data = {1, -2, 3, -4};
+  auto out = f.session.parallelize(data)
+                 .map<double>([](int32_t v) { return v * 0.5; })
+                 .map<int64_t>([](double v) {
+                   return static_cast<int64_t>(v * 100);
+                 })
+                 .collect();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, (std::vector<int64_t>{50, -100, 150, -200}));
+}
+
+TEST(RddTest, SumMinMax) {
+  RddFixture f;
+  std::vector<float> data(100);
+  std::iota(data.begin(), data.end(), 1.0f);  // 1..100
+  auto rdd = f.session.parallelize(data);
+  auto total = rdd.sum();
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 5050.0f);
+  auto lowest = rdd.min();
+  ASSERT_TRUE(lowest.ok());
+  EXPECT_EQ(*lowest, 1.0f);
+  auto highest = rdd.max();
+  ASSERT_TRUE(highest.ok());
+  EXPECT_EQ(*highest, 100.0f);
+}
+
+TEST(RddTest, ReduceAfterMap) {
+  RddFixture f;
+  std::vector<int64_t> data = {1, 2, 3, 4};
+  auto total = f.session.parallelize(data)
+                   .map<int64_t>([](int64_t v) { return v * v; })
+                   .sum();
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 1 + 4 + 9 + 16);
+}
+
+TEST(RddTest, TransformationsAreLazy) {
+  RddFixture f;
+  std::vector<float> data(16, 1.0f);
+  int applied = 0;
+  auto rdd = f.session.parallelize(data).map<float>([&applied](float v) {
+    ++applied;
+    return v;
+  });
+  EXPECT_EQ(applied, 0);  // nothing ran yet
+  ASSERT_TRUE(rdd.collect().ok());
+  EXPECT_EQ(applied, 16);
+}
+
+TEST(RddTest, EmptyRddFailsCleanly) {
+  RddFixture f;
+  auto empty = f.session.parallelize(std::vector<float>{});
+  EXPECT_EQ(empty.collect().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RddTest, LineageIsSharedNotCopied) {
+  // Two actions on the same RDD both work (lineage reusable).
+  RddFixture f;
+  std::vector<float> data = {3, 1, 2};
+  auto rdd = f.session.parallelize(data);
+  ASSERT_TRUE(rdd.collect().ok());
+  auto minimum = rdd.min();
+  ASSERT_TRUE(minimum.ok());
+  EXPECT_EQ(*minimum, 1.0f);
+}
+
+TEST(RddTest, LargeDatasetPartitionsAcrossWorkers) {
+  RddFixture f;
+  std::vector<int32_t> data(10000);
+  std::iota(data.begin(), data.end(), 0);
+  auto total = f.session.parallelize(data)
+                   .map<int64_t>([](int32_t v) { return static_cast<int64_t>(v); })
+                   .sum();
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 10000ll * 9999 / 2);
+}
+
+TEST(RddTest, AggregateByBucketHistogram) {
+  // Histogram of values into 4 buckets (Spark's reduceByKey pattern with
+  // map-side combine).
+  RddFixture f;
+  std::vector<int32_t> data;
+  for (int i = 0; i < 400; ++i) data.push_back(i % 7);
+  auto ones = f.session.parallelize(data).map<int64_t>([](int32_t v) {
+    return (static_cast<int64_t>(v) << 8) | 1;  // pack (key, count=1)
+  });
+  // Count occurrences of each key in [0, 7): value low byte carries 1.
+  auto counts = ones.aggregate_by_bucket(
+      7, [](int64_t packed) { return packed >> 8; }, ReduceOp::kSum);
+  ASSERT_TRUE(counts.ok()) << counts.status().to_string();
+  ASSERT_EQ(counts->size(), 7u);
+  int64_t total = 0;
+  for (int64_t packed : *counts) total += packed & 0xff ? (packed & 0xffff) : 0;
+  // Each bucket accumulated (key<<8|1) x count; low bits = count (400/7
+  // keys each give 57 or 58 occurrences, < 256 so no carry into the key).
+  for (int key = 0; key < 7; ++key) {
+    int64_t count = (*counts)[key] & 0xff;
+    EXPECT_GE(count, 57);
+    EXPECT_LE(count, 58);
+  }
+  (void)total;
+}
+
+TEST(RddTest, AggregateByBucketMax) {
+  RddFixture f;
+  std::vector<float> data = {1.5f, -2.0f, 8.0f, 3.0f, 0.5f, 9.5f};
+  // Bucket by sign: 0 = negative, 1 = non-negative; take the max of each.
+  auto maxima = f.session.parallelize(data).aggregate_by_bucket(
+      2, [](float v) { return v < 0 ? 0 : 1; }, ReduceOp::kMax);
+  ASSERT_TRUE(maxima.ok());
+  EXPECT_EQ((*maxima)[0], -2.0f);
+  EXPECT_EQ((*maxima)[1], 9.5f);
+}
+
+TEST(RddTest, AggregateByBucketClampsBadKeys) {
+  RddFixture f;
+  std::vector<int32_t> data = {5, -100, 999};
+  auto sums = f.session.parallelize(data).aggregate_by_bucket(
+      2, [](int32_t v) { return static_cast<int64_t>(v); }, ReduceOp::kSum);
+  ASSERT_TRUE(sums.ok());  // out-of-range keys clamp instead of corrupting
+  EXPECT_EQ((*sums)[0] + (*sums)[1], 5 - 100 + 999);
+}
+
+TEST(RddTest, AggregateByBucketRejectsBadBucketCount) {
+  RddFixture f;
+  std::vector<int32_t> data = {1};
+  auto result = f.session.parallelize(data).aggregate_by_bucket(
+      0, [](int32_t) { return 0; });
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ompcloud::spark

@@ -1,0 +1,659 @@
+// Tests for the SparkLite engine: job validation, tiling (Algorithm 1),
+// reductions, end-to-end map-reduce execution with real kernels, fault
+// tolerance via lineage recomputation, and scaling behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "compress/payload.h"
+#include "jnibridge/bridge.h"
+#include "spark/context.h"
+
+namespace ompcloud::spark {
+namespace {
+
+using sim::Engine;
+
+// --- Test kernels (registered once per process) ------------------------------
+
+// out[i] = 2 * in[i]; both partitioned per iteration (4 bytes each).
+Status Scale2Kernel(const jni::KernelArgs& args) {
+  auto in = args.input<float>(0);
+  auto out = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) out[i] = 2.0f * in[i];
+  return Status::ok();
+}
+
+// out[i] = sum of broadcast vector b (read whole) + i.
+Status BroadcastSumKernel(const jni::KernelArgs& args) {
+  auto b = args.input<float>(0);
+  auto out = args.output<float>(0);
+  float total = 0;
+  for (size_t k = 0; k < b.size(); ++k) total += b[static_cast<int64_t>(k)];
+  for (int64_t i = args.begin; i < args.end; ++i) {
+    out[i] = total + static_cast<float>(i);
+  }
+  return Status::ok();
+}
+
+// Unpartitioned output (paper's Eq. 8 bitor path): each iteration writes its
+// own disjoint float of the shared output buffer.
+Status SharedWriteKernel(const jni::KernelArgs& args) {
+  auto in = args.input<float>(0);
+  auto out = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) out[i] = in[i] + 1.0f;
+  return Status::ok();
+}
+
+// OpenMP reduction(+): each task accumulates a partial sum in a 1-element
+// shared variable.
+Status SumReduceKernel(const jni::KernelArgs& args) {
+  auto in = args.input<float>(0);
+  auto acc = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) acc[0] += in[i];
+  return Status::ok();
+}
+
+Status FailingKernel(const jni::KernelArgs&) {
+  return internal_error("kernel exploded");
+}
+
+const jni::KernelRegistrar kReg1("test.scale2", Scale2Kernel);
+const jni::KernelRegistrar kReg2("test.broadcast_sum", BroadcastSumKernel);
+const jni::KernelRegistrar kReg3("test.shared_write", SharedWriteKernel);
+const jni::KernelRegistrar kReg4("test.sum_reduce", SumReduceKernel);
+const jni::KernelRegistrar kReg5("test.failing", FailingKernel);
+
+// --- Fixture ------------------------------------------------------------------
+
+struct SparkFixture {
+  Engine engine;
+  cloud::Cluster cluster;
+  SparkContext context;
+
+  explicit SparkFixture(int workers = 4, SparkConf conf = SparkConf{})
+      : cluster(engine, make_spec(workers), cloud::SimProfile{}),
+        context(cluster, conf) {
+    EXPECT_TRUE(cluster.store().create_bucket("jobs").is_ok());
+  }
+
+  static cloud::ClusterSpec make_spec(int workers) {
+    cloud::ClusterSpec spec;
+    spec.workers = workers;
+    return spec;
+  }
+
+  /// Seeds an input variable into storage as a framed payload (what the
+  /// cloud plugin does before submitting the job).
+  void seed_input(const std::string& var, ByteView data) {
+    auto framed = compress::encode_payload("gzlite", data);
+    ASSERT_TRUE(framed.ok());
+    engine.spawn([](SparkFixture* f, std::string key,
+                    ByteBuffer framed) -> sim::Co<void> {
+      Status s = co_await f->cluster.store().put(
+          cloud::Cluster::host_node(), "jobs", key, std::move(framed));
+      EXPECT_TRUE(s.is_ok()) << s.to_string();
+    }(this, SparkContext::input_key(var), std::move(*framed)));
+    engine.run();
+  }
+
+  /// Runs a job to completion and returns its metrics (or failure status).
+  Result<JobMetrics> run(JobSpec spec) {
+    auto result = std::make_shared<std::optional<Result<JobMetrics>>>();
+    engine.spawn([](SparkContext* ctx, JobSpec spec,
+                    std::shared_ptr<std::optional<Result<JobMetrics>>> out)
+                     -> sim::Co<void> {
+      *out = co_await ctx->run_job(std::move(spec));
+    }(&context, std::move(spec), result));
+    engine.run();
+    if (!result->has_value()) return internal_error("job never finished");
+    return std::move(**result);
+  }
+
+  /// Fetches and decodes an output variable from storage.
+  ByteBuffer fetch_output(const std::string& var) {
+    ByteBuffer out;
+    engine.spawn([](SparkFixture* f, std::string key,
+                    ByteBuffer* out) -> sim::Co<void> {
+      auto framed = co_await f->cluster.store().get(
+          cloud::Cluster::host_node(), "jobs", key);
+      EXPECT_TRUE(framed.ok()) << framed.status().to_string();
+      if (!framed.ok()) co_return;
+      auto plain = compress::decode_payload(framed->view());
+      EXPECT_TRUE(plain.ok()) << plain.status().to_string();
+      if (plain.ok()) *out = std::move(*plain);
+    }(this, SparkContext::output_key(var), &out));
+    engine.run();
+    return out;
+  }
+};
+
+std::vector<float> iota_floats(int64_t n) {
+  std::vector<float> values(n);
+  std::iota(values.begin(), values.end(), 1.0f);
+  return values;
+}
+
+JobSpec scale2_job(int64_t n) {
+  JobSpec job;
+  job.name = "scale2";
+  job.bucket = "jobs";
+  job.vars = {{"x", static_cast<uint64_t>(n) * 4, true, false},
+              {"y", static_cast<uint64_t>(n) * 4, false, true}};
+  LoopSpec loop;
+  loop.kernel = "test.scale2";
+  loop.iterations = n;
+  loop.flops_per_iteration = 1;
+  loop.reads = {{0, LoopAccess::Mode::kReadPartitioned, AffineRange::rows(4), {}}};
+  loop.writes = {{1, LoopAccess::Mode::kWritePartitioned, AffineRange::rows(4), {}}};
+  job.loops.push_back(loop);
+  return job;
+}
+
+// --- Tiling -------------------------------------------------------------------
+
+TEST(TilingTest, CoversIterationSpaceExactly) {
+  for (int64_t n : {1, 7, 64, 1000}) {
+    for (int64_t c : {1, 3, 16, 64, 2000}) {
+      auto tiles = tile_iterations(n, c);
+      ASSERT_FALSE(tiles.empty());
+      EXPECT_LE(static_cast<int64_t>(tiles.size()), std::min(n, c));
+      EXPECT_EQ(tiles.front().first, 0);
+      EXPECT_EQ(tiles.back().second, n);
+      for (size_t t = 1; t < tiles.size(); ++t) {
+        EXPECT_EQ(tiles[t].first, tiles[t - 1].second);
+      }
+    }
+  }
+}
+
+TEST(TilingTest, BalancedWithinOne) {
+  auto tiles = tile_iterations(100, 16);
+  int64_t min_size = 1000, max_size = 0;
+  for (auto [b, e] : tiles) {
+    min_size = std::min(min_size, e - b);
+    max_size = std::max(max_size, e - b);
+  }
+  EXPECT_LE(max_size - min_size, 1);
+  EXPECT_EQ(tiles.size(), 16u);
+}
+
+TEST(TilingTest, FewIterationsFewTiles) {
+  EXPECT_EQ(tile_iterations(3, 256).size(), 3u);
+  EXPECT_TRUE(tile_iterations(0, 16).empty());
+}
+
+// --- Reduce -------------------------------------------------------------------
+
+TEST(ReduceTest, SumF32) {
+  std::vector<float> dst = {1, 2}, src = {10, 20};
+  ASSERT_TRUE(apply_reduce({ReduceOp::kSum, ElemType::kF32},
+                           as_mutable_bytes_of(dst.data(), 2),
+                           as_bytes_of(src.data(), 2))
+                  .is_ok());
+  EXPECT_EQ(dst[0], 11);
+  EXPECT_EQ(dst[1], 22);
+}
+
+TEST(ReduceTest, MinMaxI64) {
+  std::vector<int64_t> dst = {5, 5}, src = {3, 9};
+  ASSERT_TRUE(apply_reduce({ReduceOp::kMin, ElemType::kI64},
+                           as_mutable_bytes_of(dst.data(), 2),
+                           as_bytes_of(src.data(), 2))
+                  .is_ok());
+  EXPECT_EQ(dst[0], 3);
+  EXPECT_EQ(dst[1], 5);
+  ASSERT_TRUE(apply_reduce({ReduceOp::kMax, ElemType::kI64},
+                           as_mutable_bytes_of(dst.data(), 2),
+                           as_bytes_of(src.data(), 2))
+                  .is_ok());
+  EXPECT_EQ(dst[1], 9);
+}
+
+TEST(ReduceTest, SizeMismatchFails) {
+  std::vector<float> dst = {1}, src = {1, 2};
+  EXPECT_FALSE(apply_reduce({ReduceOp::kSum, ElemType::kF32},
+                            as_mutable_bytes_of(dst.data(), 1),
+                            as_bytes_of(src.data(), 2))
+                   .is_ok());
+}
+
+TEST(ReduceTest, IdentityFill) {
+  std::vector<float> buf(3, 42.0f);
+  fill_reduce_identity({ReduceOp::kMin, ElemType::kF32},
+                       as_mutable_bytes_of(buf.data(), 3));
+  EXPECT_TRUE(std::isinf(buf[0]));
+  EXPECT_GT(buf[0], 0);
+  fill_reduce_identity({ReduceOp::kSum, ElemType::kF32},
+                       as_mutable_bytes_of(buf.data(), 3));
+  EXPECT_EQ(buf[1], 0.0f);
+}
+
+// --- Conf ---------------------------------------------------------------------
+
+TEST(SparkConfTest, FromConfig) {
+  auto config = *Config::parse(R"(
+[spark]
+task.cpus = 2
+cores.max = 64
+io.codec = rle
+broadcast = unicast
+task.maxFailures = 7
+)");
+  auto conf = SparkConf::from_config(config);
+  ASSERT_TRUE(conf.ok()) << conf.status().to_string();
+  EXPECT_EQ(conf->cores_max, 64);
+  EXPECT_EQ(conf->max_concurrent_tasks(), 32);
+  EXPECT_EQ(conf->io_codec, "rle");
+  EXPECT_EQ(conf->broadcast_mode, net::BroadcastMode::kUnicast);
+  EXPECT_EQ(conf->task_max_failures, 7);
+}
+
+TEST(SparkConfTest, RejectsBadValues) {
+  EXPECT_FALSE(
+      SparkConf::from_config(*Config::parse("[spark]\ntask.cpus = 0\n")).ok());
+  EXPECT_FALSE(
+      SparkConf::from_config(*Config::parse("[spark]\nbroadcast = carrier-pigeon\n"))
+          .ok());
+}
+
+TEST(SparkConfTest, SlotsPerWorker) {
+  SparkConf conf;  // task_cpus = 2
+  EXPECT_EQ(conf.slots_per_worker(32, 16), 16);
+  conf.task_cpus = 4;
+  EXPECT_EQ(conf.slots_per_worker(32, 16), 8);
+  conf.task_cpus = 1;
+  EXPECT_EQ(conf.slots_per_worker(32, 16), 16);  // capped by physical cores
+}
+
+TEST(SparkConfTest, DedicatedCoresHelper) {
+  SparkConf conf;
+  conf.with_dedicated_cores(8);
+  EXPECT_EQ(conf.max_concurrent_tasks(), 8);
+}
+
+// --- Validation ----------------------------------------------------------------
+
+TEST(JobValidationTest, CatchesMistakes) {
+  JobSpec job = scale2_job(16);
+  EXPECT_TRUE(job.validate().is_ok());
+
+  JobSpec no_bucket = job;
+  no_bucket.bucket.clear();
+  EXPECT_FALSE(no_bucket.validate().is_ok());
+
+  JobSpec bad_var = job;
+  bad_var.loops[0].reads[0].var = 9;
+  EXPECT_FALSE(bad_var.validate().is_ok());
+
+  JobSpec bad_partition = job;
+  bad_partition.loops[0].reads[0].partition = AffineRange::rows(4000);
+  EXPECT_FALSE(bad_partition.validate().is_ok());
+
+  JobSpec no_write = job;
+  no_write.loops[0].writes.clear();
+  EXPECT_FALSE(no_write.validate().is_ok());
+
+  JobSpec wrong_direction = job;
+  wrong_direction.loops[0].reads[0].mode = LoopAccess::Mode::kWritePartitioned;
+  EXPECT_FALSE(wrong_direction.validate().is_ok());
+}
+
+// --- End-to-end ------------------------------------------------------------------
+
+TEST(SparkJobTest, PartitionedMapProducesExactResult) {
+  SparkFixture f;
+  const int64_t n = 64;
+  auto x = iota_floats(n);
+  f.seed_input("x", as_bytes_of(x.data(), x.size()));
+
+  auto metrics = f.run(scale2_job(n));
+  ASSERT_TRUE(metrics.ok()) << metrics.status().to_string();
+  EXPECT_EQ(metrics->tasks, f.context.total_task_slots());
+  EXPECT_EQ(metrics->task_retries, 0);
+  EXPECT_GT(metrics->job_seconds, 0);
+
+  ByteBuffer y = f.fetch_output("y");
+  ASSERT_EQ(y.size(), n * 4u);
+  auto values = y.as<float>();
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(values[i], 2.0f * static_cast<float>(i + 1)) << i;
+  }
+}
+
+TEST(SparkJobTest, BroadcastInputReachesAllTasks) {
+  SparkFixture f;
+  const int64_t n = 32;
+  std::vector<float> b = {1, 2, 3, 4};  // sum = 10
+  f.seed_input("b", as_bytes_of(b.data(), b.size()));
+
+  JobSpec job;
+  job.bucket = "jobs";
+  job.vars = {{"b", 16, true, false}, {"out", n * 4, false, true}};
+  LoopSpec loop;
+  loop.kernel = "test.broadcast_sum";
+  loop.iterations = n;
+  loop.flops_per_iteration = 4;
+  loop.reads = {{0, LoopAccess::Mode::kReadBroadcast, {}, {}}};
+  loop.writes = {{1, LoopAccess::Mode::kWritePartitioned, AffineRange::rows(4), {}}};
+  job.loops.push_back(loop);
+
+  auto metrics = f.run(job);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().to_string();
+  ByteBuffer out = f.fetch_output("out");
+  auto values = out.as<float>();
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(values[i], 10.0f + static_cast<float>(i));
+  }
+}
+
+TEST(SparkJobTest, SharedOutputReconstructedByBitor) {
+  // Paper Eq. 8: unpartitioned outputs come back as full-size partials and
+  // are bitwise-or'ed together; disjoint writes survive exactly.
+  SparkFixture f;
+  const int64_t n = 48;
+  auto x = iota_floats(n);
+  f.seed_input("x", as_bytes_of(x.data(), x.size()));
+
+  JobSpec job;
+  job.bucket = "jobs";
+  job.vars = {{"x", n * 4, true, false}, {"out", n * 4, false, true}};
+  LoopSpec loop;
+  loop.kernel = "test.shared_write";
+  loop.iterations = n;
+  loop.flops_per_iteration = 1;
+  loop.reads = {{0, LoopAccess::Mode::kReadPartitioned, AffineRange::rows(4), {}}};
+  loop.writes = {{1, LoopAccess::Mode::kWriteShared, {}, {}}};  // bitor default
+  job.loops.push_back(loop);
+
+  auto metrics = f.run(job);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().to_string();
+  ByteBuffer out = f.fetch_output("out");
+  auto values = out.as<float>();
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(values[i], static_cast<float>(i + 1) + 1.0f);
+  }
+}
+
+TEST(SparkJobTest, DeclaredSumReduction) {
+  SparkFixture f;
+  const int64_t n = 100;
+  auto x = iota_floats(n);  // sum = 5050
+  f.seed_input("x", as_bytes_of(x.data(), x.size()));
+
+  JobSpec job;
+  job.bucket = "jobs";
+  job.vars = {{"x", n * 4, true, false}, {"acc", 4, false, true}};
+  LoopSpec loop;
+  loop.kernel = "test.sum_reduce";
+  loop.iterations = n;
+  loop.flops_per_iteration = 1;
+  loop.reads = {{0, LoopAccess::Mode::kReadPartitioned, AffineRange::rows(4), {}}};
+  LoopAccess acc;
+  acc.var = 1;
+  acc.mode = LoopAccess::Mode::kWriteShared;
+  acc.reduce = {ReduceOp::kSum, ElemType::kF32};
+  loop.writes = {acc};
+  job.loops.push_back(loop);
+
+  auto metrics = f.run(job);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().to_string();
+  ByteBuffer out = f.fetch_output("acc");
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.as<float>()[0], 5050.0f);
+}
+
+TEST(SparkJobTest, TwoLoopPipelineSharesEnvironment) {
+  // §III-D: several parallel-for loops inside one target region become
+  // successive map-reduces; the intermediate stays inside the job.
+  SparkFixture f;
+  const int64_t n = 40;
+  auto x = iota_floats(n);
+  f.seed_input("x", as_bytes_of(x.data(), x.size()));
+
+  JobSpec job;
+  job.bucket = "jobs";
+  job.vars = {{"x", n * 4, true, false},
+              {"mid", n * 4, false, false},   // intermediate: never stored
+              {"y", n * 4, false, true}};
+  LoopSpec loop1;
+  loop1.kernel = "test.scale2";
+  loop1.iterations = n;
+  loop1.flops_per_iteration = 1;
+  loop1.reads = {{0, LoopAccess::Mode::kReadPartitioned, AffineRange::rows(4), {}}};
+  loop1.writes = {{1, LoopAccess::Mode::kWritePartitioned, AffineRange::rows(4), {}}};
+  LoopSpec loop2 = loop1;
+  loop2.reads[0].var = 1;
+  loop2.writes[0].var = 2;
+  job.loops = {loop1, loop2};
+
+  auto metrics = f.run(job);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().to_string();
+  ByteBuffer y = f.fetch_output("y");
+  auto values = y.as<float>();
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(values[i], 4.0f * static_cast<float>(i + 1));
+  }
+  // Intermediate never hits storage.
+  EXPECT_FALSE(f.cluster.store().contains("jobs", SparkContext::output_key("mid")));
+  // Tiling caps tasks at min(iterations, slots) per loop.
+  EXPECT_EQ(metrics->tasks,
+            2 * std::min<int64_t>(n, f.context.total_task_slots()));
+}
+
+// --- Failure handling -------------------------------------------------------------
+
+TEST(SparkJobTest, MissingInputFailsCleanly) {
+  SparkFixture f;
+  auto metrics = f.run(scale2_job(16));  // nothing seeded
+  EXPECT_EQ(metrics.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SparkJobTest, UnknownKernelFailsBeforeRunning) {
+  SparkFixture f;
+  JobSpec job = scale2_job(16);
+  job.loops[0].kernel = "test.nonexistent";
+  auto metrics = f.run(job);
+  EXPECT_EQ(metrics.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SparkJobTest, KernelErrorPropagates) {
+  SparkFixture f;
+  const int64_t n = 16;
+  auto x = iota_floats(n);
+  f.seed_input("x", as_bytes_of(x.data(), x.size()));
+  JobSpec job = scale2_job(n);
+  job.loops[0].kernel = "test.failing";
+  auto metrics = f.run(job);
+  EXPECT_EQ(metrics.status().code(), StatusCode::kInternal);
+}
+
+TEST(SparkJobTest, JvmArrayCeilingEnforced) {
+  SparkFixture f;
+  SparkConf conf;
+  conf.max_element_bytes = 1024;
+  SparkContext small(f.cluster, conf);
+  auto result = std::make_shared<std::optional<Result<JobMetrics>>>();
+  f.engine.spawn([](SparkContext* ctx, JobSpec job,
+                    std::shared_ptr<std::optional<Result<JobMetrics>>> out)
+                     -> sim::Co<void> {
+    *out = co_await ctx->run_job(std::move(job));
+  }(&small, scale2_job(4096), result));
+  f.engine.run();
+  ASSERT_TRUE(result->has_value());
+  EXPECT_EQ((**result).status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SparkJobTest, InjectedTaskFailuresAreRetriedAndResultIsExact) {
+  SparkFixture f;
+  const int64_t n = 64;
+  auto x = iota_floats(n);
+  f.seed_input("x", as_bytes_of(x.data(), x.size()));
+  // Every task fails on its first attempt; succeeds on retry.
+  f.context.set_task_fault_injector(
+      [](int, int attempt, int) { return attempt == 1; });
+
+  auto metrics = f.run(scale2_job(n));
+  ASSERT_TRUE(metrics.ok()) << metrics.status().to_string();
+  EXPECT_EQ(metrics->task_retries, metrics->tasks);
+
+  ByteBuffer y = f.fetch_output("y");
+  auto values = y.as<float>();
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(values[i], 2.0f * static_cast<float>(i + 1));
+  }
+}
+
+TEST(SparkJobTest, PersistentFailureAbortsJob) {
+  SparkFixture f;
+  const int64_t n = 16;
+  auto x = iota_floats(n);
+  f.seed_input("x", as_bytes_of(x.data(), x.size()));
+  f.context.set_task_fault_injector(
+      [](int tile, int, int) { return tile == 0; });  // tile 0 always fails
+  auto metrics = f.run(scale2_job(n));
+  EXPECT_EQ(metrics.status().code(), StatusCode::kInternal);
+}
+
+TEST(SparkJobTest, DeadWorkerIsAvoided) {
+  SparkFixture f;
+  const int64_t n = 64;
+  auto x = iota_floats(n);
+  f.seed_input("x", as_bytes_of(x.data(), x.size()));
+  f.cluster.kill_worker(1);
+  f.cluster.kill_worker(2);
+
+  auto metrics = f.run(scale2_job(n));
+  ASSERT_TRUE(metrics.ok()) << metrics.status().to_string();
+  // Slots shrink to the two alive workers.
+  EXPECT_EQ(metrics->slots, 2 * f.cluster.cores_per_worker());
+
+  ByteBuffer y = f.fetch_output("y");
+  auto values = y.as<float>();
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(values[i], 2.0f * static_cast<float>(i + 1));
+  }
+}
+
+TEST(SparkJobTest, StoppedClusterIsUnavailable) {
+  Engine engine;
+  cloud::ClusterSpec spec = SparkFixture::make_spec(2);
+  spec.on_the_fly = true;  // starts stopped
+  cloud::Cluster cluster(engine, spec, cloud::SimProfile{});
+  SparkContext context(cluster, SparkConf{});
+  auto result = std::make_shared<std::optional<Result<JobMetrics>>>();
+  engine.spawn([](SparkContext* ctx, JobSpec job,
+                  std::shared_ptr<std::optional<Result<JobMetrics>>> out)
+                   -> sim::Co<void> {
+    *out = co_await ctx->run_job(std::move(job));
+  }(&context, scale2_job(8), result));
+  engine.run();
+  ASSERT_TRUE(result->has_value());
+  EXPECT_EQ((**result).status().code(), StatusCode::kUnavailable);
+}
+
+// --- Scaling behaviour -------------------------------------------------------------
+
+TEST(SparkScalingTest, MoreCoresReduceJobTime) {
+  // The central claim of Fig. 4: job time falls as dedicated cores rise.
+  auto job_seconds = [](int cores) {
+    SparkConf conf;
+    conf.with_dedicated_cores(cores);
+    SparkFixture f(/*workers=*/16, conf);
+    const int64_t n = 4096;
+    auto x = iota_floats(n);
+    f.seed_input("x", as_bytes_of(x.data(), x.size()));
+    JobSpec job = scale2_job(n);
+    job.loops[0].flops_per_iteration = 1e8;  // compute-heavy (paper-scale)
+    auto metrics = f.run(job);
+    EXPECT_TRUE(metrics.ok()) << metrics.status().to_string();
+    return metrics.ok() ? metrics->job_seconds : -1.0;
+  };
+  double t8 = job_seconds(8);
+  double t64 = job_seconds(64);
+  double t256 = job_seconds(256);
+  EXPECT_GT(t8, t64);
+  EXPECT_GT(t64, t256);
+  // Compute-dominated job: near-linear region early on.
+  EXPECT_GT(t8 / t64, 4.0);
+}
+
+TEST(SparkScalingTest, OverheadShareGrowsWithCores) {
+  // §IV: Spark overhead grows with the number of cores while computation
+  // shrinks (SYRK 17% -> 69%).
+  auto overhead_share = [](int cores) {
+    SparkConf conf;
+    conf.with_dedicated_cores(cores);
+    SparkFixture f(/*workers=*/16, conf);
+    const int64_t n = 4096;
+    auto x = iota_floats(n);
+    f.seed_input("x", as_bytes_of(x.data(), x.size()));
+    JobSpec job = scale2_job(n);
+    job.loops[0].flops_per_iteration = 1e6;
+    auto metrics = f.run(job);
+    EXPECT_TRUE(metrics.ok());
+    return metrics->spark_overhead_seconds() / metrics->job_seconds;
+  };
+  EXPECT_LT(overhead_share(8), overhead_share(256));
+}
+
+TEST(SparkScalingTest, ComputationSecondsMatchCostModel) {
+  SparkConf conf;
+  conf.with_dedicated_cores(16);
+  SparkFixture f(/*workers=*/16, conf);
+  const int64_t n = 1024;
+  auto x = iota_floats(n);
+  f.seed_input("x", as_bytes_of(x.data(), x.size()));
+  JobSpec job = scale2_job(n);
+  job.loops[0].flops_per_iteration = 4e6;
+  auto metrics = f.run(job);
+  ASSERT_TRUE(metrics.ok());
+  // total flops / core_flops = 1024 * 4e6 / 4e9 = 1.024 core-seconds.
+  EXPECT_NEAR(metrics->compute_core_seconds, 1.024, 1e-9);
+  EXPECT_NEAR(metrics->computation_seconds(), 1.024 / 16, 1e-9);
+  EXPECT_EQ(metrics->tasks, 16);
+}
+
+TEST(SparkScalingTest, UntiledJobPaysJniPerIteration) {
+  // Algorithm 1 ablation: explicit_tiles = iterations means one JNI call
+  // per iteration instead of one per core.
+  auto jni_seconds = [](bool tiled) {
+    SparkFixture f(/*workers=*/4);
+    const int64_t n = 512;
+    auto x = iota_floats(n);
+    f.seed_input("x", as_bytes_of(x.data(), x.size()));
+    JobSpec job = scale2_job(n);
+    if (!tiled) job.loops[0].explicit_tiles = n;
+    auto metrics = f.run(job);
+    EXPECT_TRUE(metrics.ok());
+    return metrics->jni_core_seconds;
+  };
+  double tiled = jni_seconds(true);
+  double untiled = jni_seconds(false);
+  // 64 slots vs 512 iterations: 8x more JNI invocations.
+  EXPECT_NEAR(untiled / tiled, 8.0, 0.01);
+}
+
+TEST(SparkJobTest, MetricsAccounting) {
+  SparkFixture f;
+  const int64_t n = 64;
+  auto x = iota_floats(n);
+  f.seed_input("x", as_bytes_of(x.data(), x.size()));
+  auto metrics = f.run(scale2_job(n));
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->input_bytes, n * 4u);
+  EXPECT_EQ(metrics->output_bytes, n * 4u);
+  EXPECT_GT(metrics->intra_cluster_bytes, 0u);
+  EXPECT_GT(metrics->input_read_seconds, 0);
+  EXPECT_GT(metrics->distribute_seconds, 0);
+  EXPECT_GT(metrics->map_collect_seconds, 0);
+  EXPECT_GT(metrics->output_write_seconds, 0);
+  // Phases partition the job duration.
+  EXPECT_LE(metrics->input_read_seconds + metrics->distribute_seconds +
+                metrics->map_collect_seconds + metrics->output_write_seconds,
+            metrics->job_seconds + 1e-9);
+}
+
+}  // namespace
+}  // namespace ompcloud::spark

@@ -1,0 +1,218 @@
+// Tests for sim::any() and Spark speculative execution (straggler
+// mitigation).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "compress/payload.h"
+#include "jnibridge/bridge.h"
+#include "spark/context.h"
+
+namespace ompcloud {
+namespace {
+
+using sim::Completion;
+using sim::Engine;
+using sim::Task;
+
+// --- sim::any ----------------------------------------------------------------
+
+TEST(AnyTest, ReturnsFirstFinisher) {
+  Engine engine;
+  std::vector<Completion> parts;
+  for (double d : {5.0, 1.0, 3.0}) {
+    parts.push_back(engine.spawn([](Engine& e, double d) -> Task {
+      co_await e.sleep(d);
+    }(engine, d)));
+  }
+  size_t winner = 99;
+  double won_at = -1;
+  engine.spawn([](Engine& e, std::vector<Completion> parts, size_t* winner,
+                  double* at) -> Task {
+    *winner = co_await sim::any(e, std::move(parts));
+    *at = e.now();
+  }(engine, parts, &winner, &won_at));
+  engine.run();
+  EXPECT_EQ(winner, 1u);
+  EXPECT_DOUBLE_EQ(won_at, 1.0);
+}
+
+TEST(AnyTest, AlreadyDoneWinsImmediately) {
+  Engine engine;
+  auto fast = engine.spawn([](Engine&) -> Task { co_return; }(engine));
+  engine.run();
+  auto slow = engine.spawn([](Engine& e) -> Task { co_await e.sleep(9); }(engine));
+  size_t winner = 99;
+  engine.spawn([](Engine& e, std::vector<Completion> parts,
+                  size_t* winner) -> Task {
+    *winner = co_await sim::any(e, std::move(parts));
+  }(engine, std::vector<Completion>{slow, fast}, &winner));
+  engine.run();
+  EXPECT_EQ(winner, 1u);
+}
+
+TEST(AnyTest, FailedRacerCountsAsFinished) {
+  Engine engine;
+  auto failing = engine.spawn([](Engine& e) -> Task {
+    co_await e.sleep(1.0);
+    throw std::runtime_error("racer died");
+  }(engine));
+  auto healthy = engine.spawn([](Engine& e) -> Task {
+    co_await e.sleep(5.0);
+  }(engine));
+  size_t winner = 99;
+  engine.spawn([](Engine& e, std::vector<Completion> parts,
+                  size_t* winner) -> Task {
+    *winner = co_await sim::any(e, std::move(parts));
+  }(engine, std::vector<Completion>{failing, healthy}, &winner));
+  try {
+    engine.run();
+  } catch (const std::runtime_error&) {
+    // the failing task's error also surfaces at run(); expected
+  }
+  EXPECT_EQ(winner, 0u);
+}
+
+// --- Spark speculation ---------------------------------------------------------
+
+Status SpecScale2(const jni::KernelArgs& args) {
+  auto in = args.input<float>(0);
+  auto out = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) out[i] = 2.0f * in[i];
+  return Status::ok();
+}
+const jni::KernelRegistrar kSpecReg("spec.scale2", SpecScale2);
+
+struct SpecFixture {
+  Engine engine;
+  cloud::Cluster cluster;
+  spark::SparkContext context;
+
+  explicit SpecFixture(spark::SparkConf conf)
+      : cluster(engine, spec(), cloud::SimProfile{}),
+        context(cluster, std::move(conf)) {
+    EXPECT_TRUE(cluster.store().create_bucket("jobs").is_ok());
+  }
+  static cloud::ClusterSpec spec() {
+    cloud::ClusterSpec spec;
+    spec.workers = 4;
+    return spec;
+  }
+
+  Result<spark::JobMetrics> run_job(int64_t n) {
+    std::vector<float> x(n);
+    std::iota(x.begin(), x.end(), 1.0f);
+    auto framed = compress::encode_payload("gzlite", as_bytes_of(x.data(), n));
+    engine.spawn([](cloud::Cluster* cluster, ByteBuffer framed) -> sim::Co<void> {
+      (void)co_await cluster->store().put("host", "jobs", "x.bin",
+                                          std::move(framed));
+    }(&cluster, std::move(*framed)));
+    engine.run();
+
+    spark::JobSpec job;
+    job.bucket = "jobs";
+    job.vars = {{"x", static_cast<uint64_t>(n) * 4, true, false},
+                {"y", static_cast<uint64_t>(n) * 4, false, true}};
+    spark::LoopSpec loop;
+    loop.kernel = "spec.scale2";
+    loop.iterations = n;
+    loop.flops_per_iteration = 1e9;  // ~1 s per task: compute dominates
+    loop.reads = {{0, spark::LoopAccess::Mode::kReadPartitioned,
+                   spark::AffineRange::rows(4), {}}};
+    loop.writes = {{1, spark::LoopAccess::Mode::kWritePartitioned,
+                    spark::AffineRange::rows(4), {}}};
+    job.loops.push_back(loop);
+
+    auto out = std::make_shared<std::optional<Result<spark::JobMetrics>>>();
+    engine.spawn([](spark::SparkContext* context, spark::JobSpec job,
+                    std::shared_ptr<std::optional<Result<spark::JobMetrics>>>
+                        out) -> sim::Co<void> {
+      *out = co_await context->run_job(std::move(job));
+    }(&context, std::move(job), out));
+    engine.run();
+    if (!out->has_value()) return internal_error("job never finished");
+    return std::move(**out);
+  }
+};
+
+spark::SparkContext::TaskSlowdownInjector worker0_straggles(double factor) {
+  return [factor](int, int worker) { return worker == 0 ? factor : 1.0; };
+}
+
+// Alias to make intent clear in the fixture above.
+using spark::SparkConf;
+
+TEST(SpeculationTest, DuplicateCopyBeatsStraggler) {
+  SparkConf with_spec;
+  with_spec.speculation = true;
+  SparkConf without_spec;
+
+  double slow_time = 0, spec_time = 0;
+  {
+    SpecFixture f(without_spec);
+    f.context.set_task_slowdown_injector(worker0_straggles(10.0));
+    auto metrics = f.run_job(256);
+    ASSERT_TRUE(metrics.ok()) << metrics.status().to_string();
+    slow_time = metrics->job_seconds;
+    EXPECT_EQ(metrics->speculative_launched, 0);
+  }
+  {
+    SpecFixture f(with_spec);
+    f.context.set_task_slowdown_injector(worker0_straggles(10.0));
+    auto metrics = f.run_job(256);
+    ASSERT_TRUE(metrics.ok()) << metrics.status().to_string();
+    spec_time = metrics->job_seconds;
+    EXPECT_GT(metrics->speculative_launched, 0);
+    EXPECT_GT(metrics->speculative_won, 0);
+  }
+  // The duplicate at 1x beats the 10x straggler by a wide margin.
+  EXPECT_LT(spec_time, slow_time * 0.5);
+}
+
+TEST(SpeculationTest, ResultsExactWithSpeculation) {
+  SparkConf conf;
+  conf.speculation = true;
+  SpecFixture f(conf);
+  f.context.set_task_slowdown_injector(worker0_straggles(8.0));
+  const int64_t n = 128;
+  auto metrics = f.run_job(n);
+  ASSERT_TRUE(metrics.ok());
+
+  ByteBuffer y;
+  f.engine.spawn([](cloud::Cluster* cluster, ByteBuffer* out) -> sim::Co<void> {
+    auto framed = co_await cluster->store().get("host", "jobs", "y.out.bin");
+    EXPECT_TRUE(framed.ok());
+    if (!framed.ok()) co_return;
+    auto plain = compress::decode_payload(framed->view());
+    EXPECT_TRUE(plain.ok());
+    if (plain.ok()) *out = std::move(*plain);
+  }(&f.cluster, &y));
+  f.engine.run();
+  auto values = y.as<float>();
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(values[i], 2.0f * static_cast<float>(i + 1)) << i;
+  }
+}
+
+TEST(SpeculationTest, HealthyTasksDontSpawnCopies) {
+  SparkConf conf;
+  conf.speculation = true;
+  SpecFixture f(conf);
+  auto metrics = f.run_job(256);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->speculative_launched, 0);
+}
+
+TEST(SpeculationTest, ConfigKeysParsed) {
+  auto config = *Config::parse(
+      "[spark]\nspeculation = true\nspeculation.multiplier = 2.5\n");
+  auto conf = SparkConf::from_config(config);
+  ASSERT_TRUE(conf.ok());
+  EXPECT_TRUE(conf->speculation);
+  EXPECT_DOUBLE_EQ(conf->speculation_multiplier, 2.5);
+  auto bad = *Config::parse("[spark]\nspeculation.multiplier = 0.5\n");
+  EXPECT_FALSE(SparkConf::from_config(bad).ok());
+}
+
+}  // namespace
+}  // namespace ompcloud

@@ -1,0 +1,505 @@
+// Unit tests for the support module: Status/Result, strings, bytes, config,
+// random, flags.
+#include <gtest/gtest.h>
+
+#include "support/bytes.h"
+#include "support/config.h"
+#include "support/flags.h"
+#include "support/log.h"
+#include "support/random.h"
+#include "support/status.h"
+#include "support/strings.h"
+#include "support/varint.h"
+
+namespace ompcloud {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, OkIsOk) {
+  Status s = Status::ok();
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = not_found("object 'x'");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "object 'x'");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: object 'x'");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = unavailable("cluster down").with_context("CloudPlugin");
+  EXPECT_EQ(s.message(), "CloudPlugin: cluster down");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  EXPECT_TRUE(Status::ok().with_context("x").is_ok());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(to_string(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = invalid_argument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+Result<int> helper_parse(const std::string& s) {
+  auto v = parse_int(s);
+  if (!v) return invalid_argument("not an int: " + s);
+  return static_cast<int>(*v);
+}
+
+Status helper_uses_macros(const std::string& s, int* out) {
+  OC_ASSIGN_OR_RETURN(int v, helper_parse(s));
+  OC_RETURN_IF_ERROR(v >= 0 ? Status::ok() : out_of_range("negative"));
+  *out = v;
+  return Status::ok();
+}
+
+TEST(ResultTest, MacrosPropagate) {
+  int out = 0;
+  EXPECT_TRUE(helper_uses_macros("5", &out).is_ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(helper_uses_macros("zz", &out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(helper_uses_macros("-2", &out).code(), StatusCode::kOutOfRange);
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringsTest, Split) {
+  auto parts = split("a, b ,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+  EXPECT_EQ(split("a,,b", ',')[1], "");
+}
+
+TEST(StringsTest, ParseInt) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" -7 "), -7);
+  EXPECT_FALSE(parse_int("4x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("1.5").has_value());
+}
+
+TEST(StringsTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-1e3"), -1000.0);
+  EXPECT_FALSE(parse_double("abc").has_value());
+}
+
+TEST(StringsTest, ParseBool) {
+  EXPECT_EQ(parse_bool("true"), true);
+  EXPECT_EQ(parse_bool("ON"), true);
+  EXPECT_EQ(parse_bool("0"), false);
+  EXPECT_EQ(parse_bool("no"), false);
+  EXPECT_FALSE(parse_bool("maybe").has_value());
+}
+
+TEST(StringsTest, ParseByteSize) {
+  EXPECT_EQ(parse_byte_size("64"), 64u);
+  EXPECT_EQ(parse_byte_size("4K"), 4096u);
+  EXPECT_EQ(parse_byte_size("4KiB"), 4096u);
+  EXPECT_EQ(parse_byte_size("16MB"), 16u << 20);
+  EXPECT_EQ(parse_byte_size("1g"), 1ull << 30);
+  EXPECT_EQ(parse_byte_size("1.5k"), 1536u);
+  EXPECT_FALSE(parse_byte_size("abc").has_value());
+  EXPECT_FALSE(parse_byte_size("-4K").has_value());
+}
+
+TEST(StringsTest, ParseDuration) {
+  EXPECT_DOUBLE_EQ(*parse_duration_seconds("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*parse_duration_seconds("250ms"), 0.25);
+  EXPECT_DOUBLE_EQ(*parse_duration_seconds("3s"), 3.0);
+  EXPECT_DOUBLE_EQ(*parse_duration_seconds("2m"), 120.0);
+  EXPECT_DOUBLE_EQ(*parse_duration_seconds("1h"), 3600.0);
+  EXPECT_DOUBLE_EQ(*parse_duration_seconds("30us"), 30e-6);
+  EXPECT_FALSE(parse_duration_seconds("xx").has_value());
+}
+
+TEST(StringsTest, FormatBytes) {
+  EXPECT_EQ(format_bytes(17), "17 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(1ull << 30), "1.00 GiB");
+}
+
+TEST(StringsTest, FormatDuration) {
+  EXPECT_EQ(format_duration(0.0000005), "0.5 us");
+  EXPECT_EQ(format_duration(0.045), "45.0 ms");
+  EXPECT_EQ(format_duration(1.5), "1.50 s");
+  EXPECT_EQ(format_duration(125), "2m 05s");
+  EXPECT_EQ(format_duration(3725), "1h 02m");
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(str_format("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(str_format("%s", ""), "");
+}
+
+// ---------------------------------------------------------------------------
+// Bytes
+// ---------------------------------------------------------------------------
+
+TEST(BytesTest, CopyOfAndAs) {
+  float values[] = {1.0f, 2.0f, 3.0f};
+  ByteBuffer buf = ByteBuffer::copy_of(values, 3);
+  EXPECT_EQ(buf.size(), 12u);
+  auto view = buf.as<float>();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[2], 3.0f);
+}
+
+TEST(BytesTest, SubviewClamps) {
+  ByteBuffer buf(10);
+  EXPECT_EQ(buf.subview(4, 100).size(), 6u);
+  EXPECT_EQ(buf.subview(100, 5).size(), 0u);
+}
+
+TEST(BytesTest, AppendAndEquality) {
+  ByteBuffer a = ByteBuffer::from_string("ab");
+  ByteBuffer b = ByteBuffer::from_string("a");
+  b.append(ByteBuffer::from_string("b").view());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.to_string(), "ab");
+}
+
+TEST(BytesTest, Fnv1aKnownValuesAndSensitivity) {
+  EXPECT_EQ(fnv1a({}), 14695981039346656037ull);
+  ByteBuffer a = ByteBuffer::from_string("hello");
+  ByteBuffer b = ByteBuffer::from_string("hellp");
+  EXPECT_NE(fnv1a(a.view()), fnv1a(b.view()));
+}
+
+TEST(BytesTest, BitwiseOrAccumulate) {
+  // The paper reconstructs unpartitioned DOALL outputs by bitwise-or of the
+  // per-iteration partial buffers (Eq. 8/9): untouched regions are zero.
+  ByteBuffer dst(4);
+  ByteBuffer src(4);
+  src.mutable_view()[1] = std::byte{0xf0};
+  dst.mutable_view()[2] = std::byte{0x0f};
+  bitwise_or_accumulate(dst.mutable_view(), src.view());
+  EXPECT_EQ(dst.view()[0], std::byte{0});
+  EXPECT_EQ(dst.view()[1], std::byte{0xf0});
+  EXPECT_EQ(dst.view()[2], std::byte{0x0f});
+}
+
+// ---------------------------------------------------------------------------
+// Varint
+// ---------------------------------------------------------------------------
+
+TEST(VarintTest, RoundTrip) {
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 300ull, 1ull << 20,
+                     1ull << 35, ~0ull}) {
+    ByteBuffer buf;
+    put_varint(buf, v);
+    size_t pos = 0;
+    auto decoded = get_varint(buf.view(), &pos);
+    ASSERT_TRUE(decoded.has_value()) << v;
+    EXPECT_EQ(*decoded, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, TruncatedFails) {
+  ByteBuffer buf;
+  put_varint(buf, 1ull << 40);
+  size_t pos = 0;
+  auto truncated = buf.subview(0, buf.size() - 1);
+  EXPECT_FALSE(get_varint(truncated, &pos).has_value());
+}
+
+TEST(VarintTest, FixedWidthRoundTrip) {
+  ByteBuffer buf;
+  put_u16le(buf, 0xbeef);
+  put_u64le(buf, 0x0123456789abcdefull);
+  size_t pos = 0;
+  EXPECT_EQ(get_u16le(buf.view(), &pos), 0xbeef);
+  EXPECT_EQ(get_u64le(buf.view(), &pos), 0x0123456789abcdefull);
+  EXPECT_FALSE(get_u16le(buf.view(), &pos).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+constexpr const char* kSampleConfig = R"(
+# OmpCloud device configuration (paper §III-A step 4)
+verbose = true
+
+[cluster]
+provider = ec2
+driver-address = spark://203.0.113.10:7077
+workers = 16
+instance-type = c3.8xlarge
+spark.task.cpus = 2   # one task per physical core
+
+[storage]
+type = s3
+bucket = ompcloud-test
+; semicolon comment
+region = us-east-1
+
+[offload]
+compression = gzlite
+compression-min-size = 4KiB
+transfer-timeout = 30s
+)";
+
+TEST(ConfigTest, ParsesSectionsAndTypes) {
+  auto config = Config::parse(kSampleConfig);
+  ASSERT_TRUE(config.ok()) << config.status().to_string();
+  EXPECT_EQ(config->get_string("cluster.provider", ""), "ec2");
+  EXPECT_EQ(config->get_int("cluster.workers", 0), 16);
+  EXPECT_EQ(config->get_string("cluster.spark.task.cpus", ""), "2");
+  EXPECT_EQ(config->get_bool("verbose", false), true);
+  EXPECT_EQ(config->get_byte_size("offload.compression-min-size", 0), 4096u);
+  EXPECT_DOUBLE_EQ(config->get_duration("offload.transfer-timeout", 0), 30.0);
+}
+
+TEST(ConfigTest, InlineCommentsStripped) {
+  auto config = Config::parse("[s]\nk = 2 # comment\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->get_int("s.k", 0), 2);
+}
+
+TEST(ConfigTest, ValueContainingHashWithoutSpaceKept) {
+  auto config = Config::parse("[s]\nk = a#b\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->get_string("s.k", ""), "a#b");
+}
+
+TEST(ConfigTest, MissingKeysUseFallback) {
+  auto config = Config::parse("");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->get_int("nope.x", 7), 7);
+  EXPECT_FALSE(config->get_string("nope.x").has_value());
+}
+
+TEST(ConfigTest, DuplicateKeyLastWins) {
+  auto config = Config::parse("[a]\nk = 1\nk = 2\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->get_int("a.k", 0), 2);
+}
+
+TEST(ConfigTest, MalformedLinesRejected) {
+  EXPECT_FALSE(Config::parse("[unclosed\n").ok());
+  EXPECT_FALSE(Config::parse("novalue\n").ok());
+  EXPECT_FALSE(Config::parse("= v\n").ok());
+}
+
+TEST(ConfigTest, MergeAndRoundTrip) {
+  auto base = *Config::parse("[a]\nk = 1\nj = 2\n");
+  auto overlay = *Config::parse("[a]\nk = 9\n[b]\nz = 3\n");
+  base.merge_from(overlay);
+  EXPECT_EQ(base.get_int("a.k", 0), 9);
+  EXPECT_EQ(base.get_int("a.j", 0), 2);
+  EXPECT_EQ(base.get_int("b.z", 0), 3);
+
+  auto reparsed = Config::parse(base.to_ini());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->get_int("a.k", 0), 9);
+  EXPECT_EQ(reparsed->get_int("b.z", 0), 3);
+}
+
+TEST(ConfigTest, SetDottedAndSections) {
+  Config config;
+  config.set("cluster.workers", "4");
+  config.set("global_key", "x");
+  EXPECT_TRUE(config.has("cluster.workers"));
+  EXPECT_EQ(config.get_string("global_key", ""), "x");
+  auto sections = config.sections();
+  ASSERT_EQ(sections.size(), 2u);
+}
+
+TEST(ConfigTest, LoadFileNotFound) {
+  EXPECT_EQ(Config::load_file("/nonexistent/path.ini").status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Random
+// ---------------------------------------------------------------------------
+
+TEST(RandomTest, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123), c(124);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomTest, NextBelowRespectsBound) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(RandomTest, UniformCoversRangeRoughly) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform(10.0, 20.0);
+  EXPECT_NEAR(sum / n, 15.0, 0.2);
+}
+
+TEST(RandomTest, ExponentialMean) {
+  Xoshiro256 rng(4);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RandomTest, NormalMoments) {
+  Xoshiro256 rng(5);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RandomTest, ForkIsIndependentStream) {
+  Xoshiro256 a(42);
+  Xoshiro256 b = a.fork();
+  EXPECT_NE(a.next(), b.next());
+}
+
+// ---------------------------------------------------------------------------
+// Flags
+// ---------------------------------------------------------------------------
+
+TEST(FlagsTest, DefaultsAndOverrides) {
+  FlagSet flags;
+  flags.define_int("cores", 16, "worker cores")
+      .define("codec", "gzlite", "codec name")
+      .define_bool("dense", false, "use dense data")
+      .define_double("scale", 1.0, "size scale");
+  const char* argv[] = {"prog", "--cores=32", "--dense", "--scale", "2.5"};
+  ASSERT_TRUE(flags.parse(5, argv).is_ok());
+  EXPECT_EQ(flags.get_int("cores"), 32);
+  EXPECT_EQ(flags.get("codec"), "gzlite");
+  EXPECT_TRUE(flags.get_bool("dense"));
+  EXPECT_DOUBLE_EQ(flags.get_double("scale"), 2.5);
+  EXPECT_TRUE(flags.is_set("cores"));
+  EXPECT_FALSE(flags.is_set("codec"));
+}
+
+TEST(FlagsTest, NoPrefixForBool) {
+  FlagSet flags;
+  flags.define_bool("compress", true, "");
+  const char* argv[] = {"prog", "--no-compress"};
+  ASSERT_TRUE(flags.parse(2, argv).is_ok());
+  EXPECT_FALSE(flags.get_bool("compress"));
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagSet flags;
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_EQ(flags.parse(2, argv).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, TypeErrorsFail) {
+  FlagSet flags;
+  flags.define_int("n", 1, "");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_FALSE(flags.parse(2, argv).is_ok());
+}
+
+TEST(FlagsTest, PositionalCollected) {
+  FlagSet flags;
+  flags.define_int("n", 1, "");
+  const char* argv[] = {"prog", "input.dat", "--n=2", "more"};
+  ASSERT_TRUE(flags.parse(4, argv).is_ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.dat");
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  FlagSet flags;
+  flags.define_int("n", 1, "");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_FALSE(flags.parse(2, argv).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Log
+// ---------------------------------------------------------------------------
+
+TEST(LogTest, SinkCapturesAtOrAboveMinLevel) {
+  std::vector<std::string> captured;
+  LogConfig::instance().set_sink(
+      [&](LogLevel level, std::string_view component, std::string_view msg) {
+        captured.push_back(std::string(to_string(level)) + "/" +
+                           std::string(component) + "/" + std::string(msg));
+      });
+  LogConfig::instance().set_min_level(LogLevel::kInfo);
+  Logger logger("spark.driver");
+  logger.debug("hidden %d", 1);
+  logger.info("visible %d", 2);
+  logger.error("bad");
+  LogConfig::instance().set_sink(nullptr);
+  LogConfig::instance().set_min_level(LogLevel::kWarn);
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], "INFO/spark.driver/visible 2");
+  EXPECT_EQ(captured[1], "ERROR/spark.driver/bad");
+}
+
+}  // namespace
+}  // namespace ompcloud

@@ -1,0 +1,60 @@
+// Tests for the workload generators.
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace ompcloud::workload {
+namespace {
+
+TEST(MatrixTest, DenseHasAlmostNoZeros) {
+  auto m = make_matrix({64, 64, false, 7});
+  EXPECT_EQ(m.size(), 64u * 64u);
+  EXPECT_LT(zero_fraction(m), 0.01);
+  for (float v : m) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(MatrixTest, SparseIsMostlyZeros) {
+  auto m = make_matrix({128, 128, true, 7});
+  EXPECT_NEAR(zero_fraction(m), 0.95, 0.02);
+}
+
+TEST(MatrixTest, SeedDeterminism) {
+  auto a = make_matrix({32, 32, false, 9});
+  auto b = make_matrix({32, 32, false, 9});
+  auto c = make_matrix({32, 32, false, 10});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(PointsTest, BiasPlantsCollinearTriples) {
+  auto scattered = make_points(200, 0.0, 3);
+  auto lined = make_points(200, 0.9, 3);
+  EXPECT_EQ(scattered.size(), 400u);
+  // With 90% of 200 points on 4 lines, at least one line holds >= 3 points,
+  // so exact collinear triples must exist; count a few.
+  auto count_triples = [](const std::vector<float>& p) {
+    int64_t n = static_cast<int64_t>(p.size() / 2);
+    int count = 0;
+    for (int64_t i = 0; i < n && count < 10; ++i) {
+      for (int64_t j = i + 1; j < n && count < 10; ++j) {
+        for (int64_t k = j + 1; k < n && count < 10; ++k) {
+          float cross = (p[2 * j] - p[2 * i]) * (p[2 * k + 1] - p[2 * i + 1]) -
+                        (p[2 * k] - p[2 * i]) * (p[2 * j + 1] - p[2 * i + 1]);
+          if (std::abs(cross) < 1e-3f) ++count;
+        }
+      }
+    }
+    return count;
+  };
+  EXPECT_GE(count_triples(lined), 10);
+}
+
+TEST(PointsTest, ZeroFractionEmptyBuffer) {
+  EXPECT_EQ(zero_fraction({}), 0.0);
+}
+
+}  // namespace
+}  // namespace ompcloud::workload
