@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_transfer_threads.dir/ablation_transfer_threads.cpp.o"
+  "CMakeFiles/ablation_transfer_threads.dir/ablation_transfer_threads.cpp.o.d"
+  "ablation_transfer_threads"
+  "ablation_transfer_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transfer_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_model.dir/cost_model.cpp.o"
+  "CMakeFiles/cost_model.dir/cost_model.cpp.o.d"
+  "cost_model"
+  "cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_caching.dir/extension_caching.cpp.o"
+  "CMakeFiles/extension_caching.dir/extension_caching.cpp.o.d"
+  "extension_caching"
+  "extension_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

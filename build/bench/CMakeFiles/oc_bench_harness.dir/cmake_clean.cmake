@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oc_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/oc_bench_harness.dir/harness.cpp.o.d"
+  "liboc_bench_harness.a"
+  "liboc_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oc_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_backends.dir/storage_backends.cpp.o"
+  "CMakeFiles/storage_backends.dir/storage_backends.cpp.o.d"
+  "storage_backends"
+  "storage_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worker_scaling.dir/worker_scaling.cpp.o"
+  "CMakeFiles/worker_scaling.dir/worker_scaling.cpp.o.d"
+  "worker_scaling"
+  "worker_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worker_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cost_explorer.cpp" "examples/CMakeFiles/cost_explorer.dir/cost_explorer.cpp.o" "gcc" "examples/CMakeFiles/cost_explorer.dir/cost_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/oc_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/oc_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/oc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/omp/CMakeFiles/oc_omp.dir/DependInfo.cmake"
+  "/root/repo/build/src/omptarget/CMakeFiles/oc_omptarget.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/oc_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/jnibridge/CMakeFiles/oc_jni.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/oc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/oc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/oc_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/oc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

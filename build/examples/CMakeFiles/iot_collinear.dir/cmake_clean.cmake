@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_collinear.dir/iot_collinear.cpp.o"
+  "CMakeFiles/iot_collinear.dir/iot_collinear.cpp.o.d"
+  "iot_collinear"
+  "iot_collinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_collinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_2mm.dir/pipeline_2mm.cpp.o"
+  "CMakeFiles/pipeline_2mm.dir/pipeline_2mm.cpp.o.d"
+  "pipeline_2mm"
+  "pipeline_2mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_2mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

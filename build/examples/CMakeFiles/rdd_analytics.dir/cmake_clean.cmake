@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdd_analytics.dir/rdd_analytics.cpp.o"
+  "CMakeFiles/rdd_analytics.dir/rdd_analytics.cpp.o.d"
+  "rdd_analytics"
+  "rdd_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdd_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

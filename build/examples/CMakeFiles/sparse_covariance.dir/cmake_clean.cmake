@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_covariance.dir/sparse_covariance.cpp.o"
+  "CMakeFiles/sparse_covariance.dir/sparse_covariance.cpp.o.d"
+  "sparse_covariance"
+  "sparse_covariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_covariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

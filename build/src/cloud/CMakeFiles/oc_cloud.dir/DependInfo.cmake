@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/cluster.cpp" "src/cloud/CMakeFiles/oc_cloud.dir/cluster.cpp.o" "gcc" "src/cloud/CMakeFiles/oc_cloud.dir/cluster.cpp.o.d"
+  "/root/repo/src/cloud/instance.cpp" "src/cloud/CMakeFiles/oc_cloud.dir/instance.cpp.o" "gcc" "src/cloud/CMakeFiles/oc_cloud.dir/instance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/oc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/oc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

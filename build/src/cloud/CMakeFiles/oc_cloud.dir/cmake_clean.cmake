@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oc_cloud.dir/cluster.cpp.o"
+  "CMakeFiles/oc_cloud.dir/cluster.cpp.o.d"
+  "CMakeFiles/oc_cloud.dir/instance.cpp.o"
+  "CMakeFiles/oc_cloud.dir/instance.cpp.o.d"
+  "liboc_cloud.a"
+  "liboc_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oc_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/codec.cpp" "src/compress/CMakeFiles/oc_compress.dir/codec.cpp.o" "gcc" "src/compress/CMakeFiles/oc_compress.dir/codec.cpp.o.d"
+  "/root/repo/src/compress/payload.cpp" "src/compress/CMakeFiles/oc_compress.dir/payload.cpp.o" "gcc" "src/compress/CMakeFiles/oc_compress.dir/payload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/oc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

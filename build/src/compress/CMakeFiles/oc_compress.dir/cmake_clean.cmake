@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oc_compress.dir/codec.cpp.o"
+  "CMakeFiles/oc_compress.dir/codec.cpp.o.d"
+  "CMakeFiles/oc_compress.dir/payload.cpp.o"
+  "CMakeFiles/oc_compress.dir/payload.cpp.o.d"
+  "liboc_compress.a"
+  "liboc_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oc_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

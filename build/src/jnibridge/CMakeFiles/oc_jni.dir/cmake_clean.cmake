@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oc_jni.dir/bridge.cpp.o"
+  "CMakeFiles/oc_jni.dir/bridge.cpp.o.d"
+  "liboc_jni.a"
+  "liboc_jni.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oc_jni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

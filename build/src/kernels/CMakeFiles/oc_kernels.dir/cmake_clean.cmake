@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oc_kernels.dir/benchmark.cpp.o"
+  "CMakeFiles/oc_kernels.dir/benchmark.cpp.o.d"
+  "CMakeFiles/oc_kernels.dir/collinear.cpp.o"
+  "CMakeFiles/oc_kernels.dir/collinear.cpp.o.d"
+  "CMakeFiles/oc_kernels.dir/matrix_benchmarks.cpp.o"
+  "CMakeFiles/oc_kernels.dir/matrix_benchmarks.cpp.o.d"
+  "liboc_kernels.a"
+  "liboc_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oc_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

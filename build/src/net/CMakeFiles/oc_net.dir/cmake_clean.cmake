@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oc_net.dir/link.cpp.o"
+  "CMakeFiles/oc_net.dir/link.cpp.o.d"
+  "CMakeFiles/oc_net.dir/network.cpp.o"
+  "CMakeFiles/oc_net.dir/network.cpp.o.d"
+  "liboc_net.a"
+  "liboc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

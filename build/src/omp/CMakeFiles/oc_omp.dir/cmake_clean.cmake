@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oc_omp.dir/target_region.cpp.o"
+  "CMakeFiles/oc_omp.dir/target_region.cpp.o.d"
+  "liboc_omp.a"
+  "liboc_omp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oc_omp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oc_omptarget.dir/cloud_plugin.cpp.o"
+  "CMakeFiles/oc_omptarget.dir/cloud_plugin.cpp.o.d"
+  "CMakeFiles/oc_omptarget.dir/device.cpp.o"
+  "CMakeFiles/oc_omptarget.dir/device.cpp.o.d"
+  "CMakeFiles/oc_omptarget.dir/host_plugin.cpp.o"
+  "CMakeFiles/oc_omptarget.dir/host_plugin.cpp.o.d"
+  "liboc_omptarget.a"
+  "liboc_omptarget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oc_omptarget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

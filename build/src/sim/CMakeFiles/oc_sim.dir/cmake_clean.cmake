@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oc_sim.dir/engine.cpp.o"
+  "CMakeFiles/oc_sim.dir/engine.cpp.o.d"
+  "liboc_sim.a"
+  "liboc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spark/conf.cpp" "src/spark/CMakeFiles/oc_spark.dir/conf.cpp.o" "gcc" "src/spark/CMakeFiles/oc_spark.dir/conf.cpp.o.d"
+  "/root/repo/src/spark/context.cpp" "src/spark/CMakeFiles/oc_spark.dir/context.cpp.o" "gcc" "src/spark/CMakeFiles/oc_spark.dir/context.cpp.o.d"
+  "/root/repo/src/spark/job.cpp" "src/spark/CMakeFiles/oc_spark.dir/job.cpp.o" "gcc" "src/spark/CMakeFiles/oc_spark.dir/job.cpp.o.d"
+  "/root/repo/src/spark/rdd.cpp" "src/spark/CMakeFiles/oc_spark.dir/rdd.cpp.o" "gcc" "src/spark/CMakeFiles/oc_spark.dir/rdd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/oc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/jnibridge/CMakeFiles/oc_jni.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/oc_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/oc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/oc_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

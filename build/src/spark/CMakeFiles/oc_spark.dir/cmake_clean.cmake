@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oc_spark.dir/conf.cpp.o"
+  "CMakeFiles/oc_spark.dir/conf.cpp.o.d"
+  "CMakeFiles/oc_spark.dir/context.cpp.o"
+  "CMakeFiles/oc_spark.dir/context.cpp.o.d"
+  "CMakeFiles/oc_spark.dir/job.cpp.o"
+  "CMakeFiles/oc_spark.dir/job.cpp.o.d"
+  "CMakeFiles/oc_spark.dir/rdd.cpp.o"
+  "CMakeFiles/oc_spark.dir/rdd.cpp.o.d"
+  "liboc_spark.a"
+  "liboc_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oc_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oc_storage.dir/object_store.cpp.o"
+  "CMakeFiles/oc_storage.dir/object_store.cpp.o.d"
+  "liboc_storage.a"
+  "liboc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oc_support.dir/bytes.cpp.o"
+  "CMakeFiles/oc_support.dir/bytes.cpp.o.d"
+  "CMakeFiles/oc_support.dir/config.cpp.o"
+  "CMakeFiles/oc_support.dir/config.cpp.o.d"
+  "CMakeFiles/oc_support.dir/flags.cpp.o"
+  "CMakeFiles/oc_support.dir/flags.cpp.o.d"
+  "CMakeFiles/oc_support.dir/log.cpp.o"
+  "CMakeFiles/oc_support.dir/log.cpp.o.d"
+  "CMakeFiles/oc_support.dir/random.cpp.o"
+  "CMakeFiles/oc_support.dir/random.cpp.o.d"
+  "CMakeFiles/oc_support.dir/status.cpp.o"
+  "CMakeFiles/oc_support.dir/status.cpp.o.d"
+  "CMakeFiles/oc_support.dir/strings.cpp.o"
+  "CMakeFiles/oc_support.dir/strings.cpp.o.d"
+  "liboc_support.a"
+  "liboc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboc_support.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oc_workload.dir/generators.cpp.o"
+  "CMakeFiles/oc_workload.dir/generators.cpp.o.d"
+  "liboc_workload.a"
+  "liboc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

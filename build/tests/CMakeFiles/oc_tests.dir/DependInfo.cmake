@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/async_offload_test.cpp" "tests/CMakeFiles/oc_tests.dir/async_offload_test.cpp.o" "gcc" "tests/CMakeFiles/oc_tests.dir/async_offload_test.cpp.o.d"
+  "/root/repo/tests/caching_test.cpp" "tests/CMakeFiles/oc_tests.dir/caching_test.cpp.o" "gcc" "tests/CMakeFiles/oc_tests.dir/caching_test.cpp.o.d"
+  "/root/repo/tests/cloud_test.cpp" "tests/CMakeFiles/oc_tests.dir/cloud_test.cpp.o" "gcc" "tests/CMakeFiles/oc_tests.dir/cloud_test.cpp.o.d"
+  "/root/repo/tests/compress_test.cpp" "tests/CMakeFiles/oc_tests.dir/compress_test.cpp.o" "gcc" "tests/CMakeFiles/oc_tests.dir/compress_test.cpp.o.d"
+  "/root/repo/tests/differential_test.cpp" "tests/CMakeFiles/oc_tests.dir/differential_test.cpp.o" "gcc" "tests/CMakeFiles/oc_tests.dir/differential_test.cpp.o.d"
+  "/root/repo/tests/kernels_test.cpp" "tests/CMakeFiles/oc_tests.dir/kernels_test.cpp.o" "gcc" "tests/CMakeFiles/oc_tests.dir/kernels_test.cpp.o.d"
+  "/root/repo/tests/metrics_invariants_test.cpp" "tests/CMakeFiles/oc_tests.dir/metrics_invariants_test.cpp.o" "gcc" "tests/CMakeFiles/oc_tests.dir/metrics_invariants_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/oc_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/oc_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/omptarget_test.cpp" "tests/CMakeFiles/oc_tests.dir/omptarget_test.cpp.o" "gcc" "tests/CMakeFiles/oc_tests.dir/omptarget_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/oc_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/oc_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/rdd_test.cpp" "tests/CMakeFiles/oc_tests.dir/rdd_test.cpp.o" "gcc" "tests/CMakeFiles/oc_tests.dir/rdd_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/oc_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/oc_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/spark_test.cpp" "tests/CMakeFiles/oc_tests.dir/spark_test.cpp.o" "gcc" "tests/CMakeFiles/oc_tests.dir/spark_test.cpp.o.d"
+  "/root/repo/tests/speculation_test.cpp" "tests/CMakeFiles/oc_tests.dir/speculation_test.cpp.o" "gcc" "tests/CMakeFiles/oc_tests.dir/speculation_test.cpp.o.d"
+  "/root/repo/tests/storage_test.cpp" "tests/CMakeFiles/oc_tests.dir/storage_test.cpp.o" "gcc" "tests/CMakeFiles/oc_tests.dir/storage_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/oc_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/oc_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/oc_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/oc_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/oc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/oc_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/oc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/oc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/jnibridge/CMakeFiles/oc_jni.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/oc_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/omptarget/CMakeFiles/oc_omptarget.dir/DependInfo.cmake"
+  "/root/repo/build/src/omp/CMakeFiles/oc_omp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/oc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/oc_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/oc_bench_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
