@@ -1,0 +1,182 @@
+// Ablation: the chunked streaming transfer pipeline.
+//
+// Three questions about the chunked staging path:
+//   1. Does overlapping block compression with the wire beat the strictly
+//      serial compress-then-send pipeline, and how does the win move with
+//      the chunk size?
+//   2. What does block-level delta caching save on an iterative workload
+//      that mutates only a small slice of a large cached input?
+//   3. Where is the chunk-size sweet spot (too small = per-request
+//      latencies dominate, too large = no overlap to exploit)?
+//
+// Results also land in BENCH_offload.json for machine consumption.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "omp/target_region.h"
+#include "support/flags.h"
+#include "support/strings.h"
+#include "workload/generators.h"
+
+using namespace ompcloud;
+
+namespace {
+
+// y = A x: one large input (A) that chunked staging splits into blocks,
+// one small changing one (x).
+Status MatVecBody(int64_t n, const jni::KernelArgs& args) {
+  auto a = args.input<float>(0);
+  auto x = args.input<float>(1);
+  auto y = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) {
+    float acc = 0.0f;
+    for (int64_t k = 0; k < n; ++k) acc += a[i * n + k] * x[k];
+    y[i] = acc;
+  }
+  return Status::ok();
+}
+
+struct RunResult {
+  omptarget::OffloadReport report;
+  omptarget::CloudPlugin::CacheStats cache;
+};
+
+/// One offload of matvec on a fresh cluster with the given staging knobs.
+/// `mutate_rows`: before a second offload, overwrite the first `mutate_rows`
+/// rows of A (rounds = 2 then measures the delta re-offload).
+Result<RunResult> run_matvec(int64_t n, uint64_t chunk_size, bool overlap,
+                             bool cache, int rounds, int64_t mutate_rows) {
+  sim::Engine engine;
+  cloud::ClusterSpec spec;
+  cloud::Cluster cluster(engine, spec, cloud::SimProfile::paper_scale(n));
+  omptarget::CloudPluginOptions options;
+  options.chunk_size = chunk_size;
+  options.overlap_transfers = overlap;
+  options.cache_data = cache;
+  omptarget::DeviceManager devices(engine);
+  int cloud_id = devices.register_device(std::make_unique<omptarget::CloudPlugin>(
+      cluster, spark::SparkConf{}, options));
+  auto& plugin =
+      static_cast<omptarget::CloudPlugin&>(devices.device(cloud_id));
+
+  auto a = workload::make_matrix(
+      {static_cast<size_t>(n), static_cast<size_t>(n), false, 5});
+  std::vector<float> x(static_cast<size_t>(n), 1.0f);
+  std::vector<float> y(static_cast<size_t>(n), 0.0f);
+
+  RunResult result;
+  for (int round = 0; round < rounds; ++round) {
+    if (round > 0) {
+      for (int64_t i = 0; i < mutate_rows * n; ++i) {
+        a[static_cast<size_t>(i)] += 1.0f;
+      }
+    }
+    omp::TargetRegion region(devices, "chunking-matvec");
+    region.device(cloud_id);
+    auto av = region.map_to("A", a.data(), a.size());
+    auto xv = region.map_to("x", x.data(), x.size());
+    auto yv = region.map_from("y", y.data(), y.size());
+    region.parallel_for(n)
+        .read_partitioned(av, omp::rows<float>(n))
+        .read(xv)
+        .write_partitioned(yv, omp::rows<float>(1))
+        .cost_flops(2.0 * static_cast<double>(n))
+        .body("matvec", [n](const jni::KernelArgs& args) {
+          return MatVecBody(n, args);
+        });
+    OC_ASSIGN_OR_RETURN(result.report, omp::offload_blocking(engine, region));
+  }
+  result.cache = plugin.cache_stats();
+  return result;
+}
+
+int run(int argc, const char** argv) {
+  FlagSet flags("Chunked streaming transfer pipeline ablation");
+  flags.define_int("n", 448, "matrix dimension (stands for 16384)");
+  if (Status parsed = flags.parse(argc, argv); !parsed.is_ok()) {
+    return parsed.code() == StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+  const int64_t n = flags.get_int("n");
+  const uint64_t matrix_bytes = static_cast<uint64_t>(n) * n * sizeof(float);
+  bench::BenchJson json("BENCH_offload.json");
+
+  std::printf("Chunked staging ablation (A = %s)\n\n",
+              format_bytes(matrix_bytes).c_str());
+
+  // --- 1/2: chunk-size sweep x overlap on/off (cold uploads, no cache) ----
+  std::printf("%10s %8s | %12s %12s %14s\n", "chunk", "overlap", "upload",
+              "total", "wire-bytes");
+  const std::vector<uint64_t> chunk_sizes = {0, 32ull << 10, 128ull << 10,
+                                             512ull << 10};
+  bool overlap_always_wins = true;
+  for (uint64_t chunk : chunk_sizes) {
+    double serial_upload = 0;
+    for (bool overlap : {false, true}) {
+      auto result = run_matvec(n, chunk, overlap, /*cache=*/false,
+                               /*rounds=*/1, /*mutate_rows=*/0);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+        return 1;
+      }
+      std::string chunk_label =
+          chunk == 0 ? "single" : format_bytes(chunk);
+      std::printf("%10s %8s | %12s %12s %14s\n", chunk_label.c_str(),
+                  overlap ? "on" : "off",
+                  format_duration(result->report.upload_seconds).c_str(),
+                  format_duration(result->report.total_seconds).c_str(),
+                  format_bytes(result->report.uploaded_wire_bytes).c_str());
+      json.add(str_format("sweep chunk=%s overlap=%s", chunk_label.c_str(),
+                          overlap ? "on" : "off"),
+               result->report);
+      // Only buffers strictly larger than the chunk go through the block
+      // pipeline; the rest stage as one frame where overlap cannot apply.
+      if (chunk == 0 || matrix_bytes <= chunk) continue;
+      if (!overlap) {
+        serial_upload = result->report.upload_seconds;
+      } else if (result->report.upload_seconds >= serial_upload) {
+        overlap_always_wins = false;
+      }
+    }
+  }
+  std::printf("\noverlapped upload %s the serial pipeline for every chunked "
+              "configuration\n\n",
+              overlap_always_wins ? "beats" : "DOES NOT beat");
+
+  // --- 3: block-level delta caching on an iterative re-offload -----------
+  // Round 2 mutates ~10% of A's rows; with per-block hashing only the dirty
+  // blocks (plus the manifest) travel again.
+  const uint64_t chunk = 32ull << 10;
+  const int64_t mutate_rows = n / 10;
+  auto cold = run_matvec(n, chunk, true, /*cache=*/true, 1, 0);
+  auto delta = run_matvec(n, chunk, true, /*cache=*/true, 2, mutate_rows);
+  if (!cold.ok() || !delta.ok()) {
+    std::fprintf(stderr, "delta-cache runs failed\n");
+    return 1;
+  }
+  uint64_t cold_wire = cold->report.uploaded_wire_bytes;
+  uint64_t delta_wire = delta->report.uploaded_wire_bytes;  // last round only
+  std::printf("delta cache (chunk=%s, %lld/%lld rows mutated):\n",
+              format_bytes(chunk).c_str(),
+              static_cast<long long>(mutate_rows), static_cast<long long>(n));
+  std::printf("  cold upload  : %14s wire\n", format_bytes(cold_wire).c_str());
+  std::printf("  delta upload : %14s wire (%.1f%% of cold; %llu blocks dirty, "
+              "%llu clean)\n",
+              format_bytes(delta_wire).c_str(),
+              100.0 * static_cast<double>(delta_wire) /
+                  static_cast<double>(cold_wire),
+              static_cast<unsigned long long>(delta->cache.block_dirty),
+              static_cast<unsigned long long>(delta->cache.block_hits));
+  json.add("delta-cache cold", cold->report, &cold->cache);
+  json.add("delta-cache 10pct-mutated", delta->report, &delta->cache);
+  bool delta_ok = delta_wire * 5 <= cold_wire;
+  std::printf("  re-offload wire bytes %s 20%% of the cold run\n\n",
+              delta_ok ? "<=" : "EXCEED");
+
+  json.flush();
+  return overlap_always_wins && delta_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) { return run(argc, argv); }

@@ -1,5 +1,7 @@
 #include "bench/harness.h"
 
+#include <cstdio>
+
 #include "omptarget/host_plugin.h"
 #include "support/strings.h"
 
@@ -87,6 +89,60 @@ Result<double> run_on_host(const std::string& benchmark_name, int64_t n,
 std::string speedup_str(double baseline_seconds, double seconds) {
   if (seconds <= 0) return "-";
   return str_format("%.1fx", baseline_seconds / seconds);
+}
+
+void BenchJson::add(const std::string& label,
+                    const omptarget::OffloadReport& report,
+                    const omptarget::CloudPlugin::CacheStats* cache) {
+  std::string record = str_format(
+      "    {\n"
+      "      \"label\": \"%s\",\n"
+      "      \"seconds\": {\"total\": %.6f, \"upload\": %.6f, "
+      "\"submit\": %.6f, \"job\": %.6f, \"download\": %.6f, "
+      "\"cleanup\": %.6f, \"boot\": %.6f, \"host_codec\": %.6f},\n"
+      "      \"bytes\": {\"uploaded_plain\": %llu, \"uploaded_wire\": %llu, "
+      "\"downloaded_plain\": %llu, \"downloaded_wire\": %llu},\n"
+      "      \"cost_usd\": %.6f",
+      label.c_str(), report.total_seconds, report.upload_seconds,
+      report.submit_seconds, report.job.job_seconds, report.download_seconds,
+      report.cleanup_seconds, report.boot_seconds, report.host_codec_seconds,
+      static_cast<unsigned long long>(report.uploaded_plain_bytes),
+      static_cast<unsigned long long>(report.uploaded_wire_bytes),
+      static_cast<unsigned long long>(report.downloaded_plain_bytes),
+      static_cast<unsigned long long>(report.downloaded_wire_bytes),
+      report.cost_usd);
+  if (cache != nullptr) {
+    record += str_format(
+        ",\n      \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+        "\"block_hits\": %llu, \"block_misses\": %llu, \"block_dirty\": %llu, "
+        "\"bytes_skipped\": %llu, \"bytes_uploaded\": %llu}",
+        static_cast<unsigned long long>(cache->hits),
+        static_cast<unsigned long long>(cache->misses),
+        static_cast<unsigned long long>(cache->block_hits),
+        static_cast<unsigned long long>(cache->block_misses),
+        static_cast<unsigned long long>(cache->block_dirty),
+        static_cast<unsigned long long>(cache->bytes_skipped),
+        static_cast<unsigned long long>(cache->bytes_uploaded));
+  }
+  record += "\n    }";
+  records_.push_back(std::move(record));
+}
+
+bool BenchJson::flush() const {
+  std::FILE* file = std::fopen(path_.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+    return false;
+  }
+  std::fputs("{\n  \"runs\": [\n", file);
+  for (size_t i = 0; i < records_.size(); ++i) {
+    std::fputs(records_[i].c_str(), file);
+    std::fputs(i + 1 < records_.size() ? ",\n" : "\n", file);
+  }
+  std::fputs("  ]\n}\n", file);
+  bool ok = std::fclose(file) == 0;
+  if (ok) std::printf("wrote %s (%zu runs)\n", path_.c_str(), records_.size());
+  return ok;
 }
 
 }  // namespace ompcloud::bench

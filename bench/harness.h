@@ -6,6 +6,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "kernels/benchmark.h"
 #include "omptarget/cloud_plugin.h"
@@ -53,5 +54,26 @@ Result<double> run_on_host(const std::string& benchmark, int64_t n,
 
 /// Formats "123.4x" style speedups.
 std::string speedup_str(double baseline_seconds, double seconds);
+
+/// Accumulates per-run records and writes one machine-readable JSON file
+/// (e.g. `BENCH_offload.json`) so downstream tooling can diff runs without
+/// scraping the human-readable tables. Each record carries the per-phase
+/// timing decomposition, plain/wire byte counts, and (when given) the
+/// plugin's cache counters.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string path) : path_(std::move(path)) {}
+
+  void add(const std::string& label, const omptarget::OffloadReport& report,
+           const omptarget::CloudPlugin::CacheStats* cache = nullptr);
+
+  /// Writes the accumulated records as one JSON array. Returns false on IO
+  /// failure (already reported to stderr).
+  bool flush() const;
+
+ private:
+  std::string path_;
+  std::vector<std::string> records_;
+};
 
 }  // namespace ompcloud::bench

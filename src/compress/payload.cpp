@@ -1,27 +1,14 @@
 #include "compress/payload.h"
 
+#include "support/strings.h"
 #include "support/varint.h"
 
 namespace ompcloud::compress {
 
-Result<ByteBuffer> encode_payload(std::string_view codec_name, ByteView data,
-                                  uint64_t min_compress_size) {
-  std::string_view effective =
-      data.size() < min_compress_size ? "null" : codec_name;
-  OC_ASSIGN_OR_RETURN(const Codec* codec, find_codec(effective));
-  OC_ASSIGN_OR_RETURN(ByteBuffer body, codec->compress(data));
-  ByteBuffer framed;
-  framed.reserve(body.size() + effective.size() + 12);
-  put_varint(framed, effective.size());
-  framed.append(ByteBuffer::from_string(effective).view());
-  // Declared body length: lets decode detect truncation/appended garbage
-  // even for codecs whose own frame is not self-terminating (null).
-  put_varint(framed, body.size());
-  framed.append(body.view());
-  return framed;
-}
-
 namespace {
+
+/// Chunked frame body flags.
+constexpr uint64_t kFlagInlineBlocks = 1;
 
 Result<std::pair<std::string, size_t>> read_header(ByteView framed) {
   size_t pos = 0;
@@ -34,10 +21,42 @@ Result<std::pair<std::string, size_t>> read_header(ByteView framed) {
   return std::make_pair(name, pos + *name_len);
 }
 
+void put_frame_header(ByteBuffer& out, std::string_view name,
+                      uint64_t body_len) {
+  put_varint(out, name.size());
+  out.append(ByteBuffer::from_string(name).view());
+  put_varint(out, body_len);
+}
+
 }  // namespace
+
+Result<EncodedPayload> encode_payload_frame(std::string_view codec_name,
+                                            ByteView data,
+                                            uint64_t min_compress_size) {
+  std::string_view effective =
+      data.size() < min_compress_size ? "null" : codec_name;
+  OC_ASSIGN_OR_RETURN(const Codec* codec, find_codec(effective));
+  OC_ASSIGN_OR_RETURN(ByteBuffer body, codec->compress(data));
+  EncodedPayload encoded;
+  encoded.codec = codec;
+  encoded.frame.reserve(body.size() + effective.size() + 12);
+  // Declared body length: lets decode detect truncation/appended garbage
+  // even for codecs whose own frame is not self-terminating (null).
+  put_frame_header(encoded.frame, effective, body.size());
+  encoded.frame.append(body.view());
+  return encoded;
+}
+
+Result<ByteBuffer> encode_payload(std::string_view codec_name, ByteView data,
+                                  uint64_t min_compress_size) {
+  OC_ASSIGN_OR_RETURN(EncodedPayload encoded,
+                      encode_payload_frame(codec_name, data, min_compress_size));
+  return std::move(encoded.frame);
+}
 
 Result<ByteBuffer> decode_payload(ByteView framed) {
   OC_ASSIGN_OR_RETURN(auto header, read_header(framed));
+  if (header.first == kChunkedFrameName) return decode_chunked_payload(framed);
   auto codec = find_codec(header.first);
   if (!codec.ok()) {
     return data_loss("payload: unknown codec '" + header.first + "'");
@@ -53,6 +72,162 @@ Result<ByteBuffer> decode_payload(ByteView framed) {
 Result<std::string> payload_codec(ByteView framed) {
   OC_ASSIGN_OR_RETURN(auto header, read_header(framed));
   return header.first;
+}
+
+// --- Chunked frames ---------------------------------------------------------
+
+uint64_t chunk_block_count(uint64_t plain_size, uint64_t chunk_size) {
+  if (chunk_size == 0) return 0;
+  return (plain_size + chunk_size - 1) / chunk_size;
+}
+
+namespace {
+
+/// Serializes a chunked frame: header + index + (optionally) inline block
+/// frames. `digests` must be index-aligned with `block_frames` when inline.
+ByteBuffer build_chunked_frame(uint64_t chunk_size, uint64_t plain_size,
+                               std::span<const BlockDigest> digests,
+                               const std::vector<ByteBuffer>* block_frames) {
+  ByteBuffer body;
+  put_varint(body, block_frames != nullptr ? kFlagInlineBlocks : 0);
+  put_varint(body, chunk_size);
+  put_varint(body, plain_size);
+  put_varint(body, digests.size());
+  for (const BlockDigest& digest : digests) {
+    put_varint(body, digest.plain_size);
+    put_varint(body, digest.encoded_size);
+    put_u64le(body, digest.content_hash);
+  }
+  if (block_frames != nullptr) {
+    for (const ByteBuffer& frame : *block_frames) body.append(frame.view());
+  }
+  ByteBuffer framed;
+  framed.reserve(body.size() + kChunkedFrameName.size() + 12);
+  put_frame_header(framed, kChunkedFrameName, body.size());
+  framed.append(body.view());
+  return framed;
+}
+
+}  // namespace
+
+Result<ByteBuffer> encode_chunked_payload(std::string_view codec_name,
+                                          ByteView data, uint64_t chunk_size,
+                                          uint64_t min_compress_size) {
+  if (chunk_size == 0) {
+    return invalid_argument("chunked payload: chunk size must be > 0");
+  }
+  uint64_t count = chunk_block_count(data.size(), chunk_size);
+  std::vector<BlockDigest> digests;
+  std::vector<ByteBuffer> frames;
+  digests.reserve(count);
+  frames.reserve(count);
+  for (uint64_t k = 0; k < count; ++k) {
+    ByteView block = data.subspan(
+        k * chunk_size, std::min<uint64_t>(chunk_size, data.size() - k * chunk_size));
+    OC_ASSIGN_OR_RETURN(EncodedPayload encoded,
+                        encode_payload_frame(codec_name, block,
+                                             min_compress_size));
+    digests.push_back(
+        {block.size(), encoded.frame.size(), fnv1a(block)});
+    frames.push_back(std::move(encoded.frame));
+  }
+  return build_chunked_frame(chunk_size, data.size(), digests, &frames);
+}
+
+Result<ByteBuffer> encode_chunked_manifest(
+    uint64_t chunk_size, uint64_t plain_size,
+    std::span<const BlockDigest> blocks) {
+  if (chunk_size == 0) {
+    return invalid_argument("chunked manifest: chunk size must be > 0");
+  }
+  if (blocks.size() != chunk_block_count(plain_size, chunk_size)) {
+    return invalid_argument("chunked manifest: block count mismatch");
+  }
+  return build_chunked_frame(chunk_size, plain_size, blocks, nullptr);
+}
+
+bool is_chunked_payload(ByteView framed) {
+  auto header = read_header(framed);
+  return header.ok() && header->first == kChunkedFrameName;
+}
+
+Result<ChunkedIndex> parse_chunked_index(ByteView framed) {
+  OC_ASSIGN_OR_RETURN(auto header, read_header(framed));
+  if (header.first != kChunkedFrameName) {
+    return invalid_argument("payload: not a chunked frame");
+  }
+  size_t pos = header.second;
+  auto body_len = get_varint(framed, &pos);
+  if (!body_len || pos + *body_len != framed.size()) {
+    return data_loss("chunked payload: body length mismatch");
+  }
+  auto flags = get_varint(framed, &pos);
+  auto chunk_size = get_varint(framed, &pos);
+  auto plain_size = get_varint(framed, &pos);
+  auto count = get_varint(framed, &pos);
+  if (!flags || !chunk_size || !plain_size || !count || *chunk_size == 0 ||
+      *count != chunk_block_count(*plain_size, *chunk_size)) {
+    return data_loss("chunked payload: malformed index header");
+  }
+  ChunkedIndex index;
+  index.chunk_size = *chunk_size;
+  index.plain_size = *plain_size;
+  index.inline_blocks = (*flags & kFlagInlineBlocks) != 0;
+  index.blocks.reserve(*count);
+  uint64_t plain_offset = 0;
+  uint64_t encoded_total = 0;
+  for (uint64_t k = 0; k < *count; ++k) {
+    auto block_plain = get_varint(framed, &pos);
+    auto block_encoded = get_varint(framed, &pos);
+    auto hash = get_u64le(framed, &pos);
+    if (!block_plain || !block_encoded || !hash ||
+        *block_plain > *chunk_size) {
+      return data_loss("chunked payload: malformed index entry");
+    }
+    index.blocks.push_back({plain_offset, *block_plain, *block_encoded, *hash,
+                            /*frame_offset=*/0});
+    plain_offset += *block_plain;
+    encoded_total += *block_encoded;
+  }
+  if (plain_offset != *plain_size) {
+    return data_loss("chunked payload: index does not cover the buffer");
+  }
+  if (index.inline_blocks) {
+    if (pos + encoded_total != framed.size()) {
+      return data_loss("chunked payload: inline block area size mismatch");
+    }
+    uint64_t frame_offset = pos;
+    for (ChunkedBlock& block : index.blocks) {
+      block.frame_offset = frame_offset;
+      frame_offset += block.encoded_size;
+    }
+  } else if (pos != framed.size()) {
+    return data_loss("chunked payload: trailing bytes after manifest index");
+  }
+  return index;
+}
+
+Result<ByteBuffer> decode_chunked_payload(ByteView framed) {
+  OC_ASSIGN_OR_RETURN(ChunkedIndex index, parse_chunked_index(framed));
+  if (!index.inline_blocks) {
+    return failed_precondition(
+        "chunked payload: manifest frame, blocks are staged externally");
+  }
+  ByteBuffer plain;
+  plain.reserve(index.plain_size);
+  for (size_t k = 0; k < index.blocks.size(); ++k) {
+    const ChunkedBlock& block = index.blocks[k];
+    OC_ASSIGN_OR_RETURN(
+        ByteBuffer restored,
+        decode_payload(framed.subspan(block.frame_offset, block.encoded_size)));
+    if (restored.size() != block.plain_size ||
+        fnv1a(restored.view()) != block.content_hash) {
+      return data_loss(
+          str_format("chunked payload: block %zu failed verification", k));
+    }
+    plain.append(restored.view());
+  }
+  return plain;
 }
 
 double encode_cost_seconds(const Codec& codec, uint64_t input_bytes) {

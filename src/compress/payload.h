@@ -5,9 +5,23 @@
 // every payload is framed as [codec-name-len varint][codec name][codec
 // frame]. The host plugin may choose gzlite while Spark's intra-cluster
 // compression uses another codec; frames make that interoperable.
+//
+// Two frame families exist:
+//   * single frames — one codec, one body (the original format);
+//   * chunked frames — the buffer is split into fixed-size blocks, each
+//     independently compressed as its own single frame and carrying an
+//     FNV-1a content hash. An index header up front makes every block
+//     addressable without touching the others, which is what enables the
+//     streaming transfer pipeline (compress block k+1 while block k is on
+//     the wire) and block-level delta caching (re-upload only dirty blocks).
+//     A chunked frame either carries its blocks inline (self-contained,
+//     `decode_payload` restores it transparently) or acts as a *manifest*
+//     whose blocks live in sibling storage objects.
 #pragma once
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "compress/codec.h"
 #include "support/bytes.h"
@@ -15,17 +29,93 @@
 
 namespace ompcloud::compress {
 
+/// Reserved frame-family name used in the codec-name slot of chunked frames.
+inline constexpr std::string_view kChunkedFrameName = "chunked";
+
+/// A single frame plus the codec that was *actually* used to build it (after
+/// the min-compress-size gate possibly demoted the request to "null"). Time
+/// accounting must charge this codec, never re-derive the decision, so the
+/// charged seconds can not diverge from the bytes on the wire.
+struct EncodedPayload {
+  ByteBuffer frame;
+  const Codec* codec = nullptr;
+};
+
+/// Compresses `data` with the named codec and frames the result, reporting
+/// the effective codec. `min_compress_size`: below this, the "null" codec is
+/// framed instead (the paper's "minimal compression size" knob, §III-A).
+Result<EncodedPayload> encode_payload_frame(std::string_view codec_name,
+                                            ByteView data,
+                                            uint64_t min_compress_size = 0);
+
 /// Compresses `data` with the named codec and frames the result.
-/// `min_compress_size`: below this, the "null" codec is framed instead (the
-/// paper's "minimal compression size" plugin knob, §III-A).
 Result<ByteBuffer> encode_payload(std::string_view codec_name, ByteView data,
                                   uint64_t min_compress_size = 0);
 
-/// Reads the frame header and decompresses with the named codec.
+/// Reads the frame header and decompresses with the named codec. Accepts
+/// both single frames and inline chunked frames (legacy interop).
 Result<ByteBuffer> decode_payload(ByteView framed);
 
-/// Peeks the codec name of a framed payload (diagnostics).
+/// Peeks the codec name of a framed payload (diagnostics). Chunked frames
+/// report `kChunkedFrameName`.
 Result<std::string> payload_codec(ByteView framed);
+
+// --- Chunked frames ---------------------------------------------------------
+
+/// Number of blocks a `plain_size`-byte buffer splits into (0 for an empty
+/// buffer; `chunk_size` must be > 0).
+uint64_t chunk_block_count(uint64_t plain_size, uint64_t chunk_size);
+
+/// Index entry for one block of a chunked frame.
+struct ChunkedBlock {
+  uint64_t plain_offset = 0;  ///< byte offset in the original buffer
+  uint64_t plain_size = 0;    ///< uncompressed block length
+  uint64_t encoded_size = 0;  ///< size of the block's single frame
+  uint64_t content_hash = 0;  ///< fnv1a of the plain block bytes
+  uint64_t frame_offset = 0;  ///< block-frame offset within the chunked
+                              ///< frame; 0 for manifests (external blocks)
+};
+
+/// Parsed index header of a chunked frame.
+struct ChunkedIndex {
+  uint64_t chunk_size = 0;
+  uint64_t plain_size = 0;
+  bool inline_blocks = false;  ///< false: manifest, blocks stored externally
+  std::vector<ChunkedBlock> blocks;
+};
+
+/// What the manifest records per externally staged block.
+struct BlockDigest {
+  uint64_t plain_size = 0;
+  uint64_t encoded_size = 0;
+  uint64_t content_hash = 0;
+};
+
+/// Splits `data` into `chunk_size` blocks, compresses each independently
+/// (per-block min-compress-size gate) and emits one self-contained chunked
+/// frame: index header + concatenated block frames.
+Result<ByteBuffer> encode_chunked_payload(std::string_view codec_name,
+                                          ByteView data, uint64_t chunk_size,
+                                          uint64_t min_compress_size = 0);
+
+/// Emits an index-only chunked frame (a manifest) describing blocks that
+/// are staged as sibling storage objects.
+Result<ByteBuffer> encode_chunked_manifest(uint64_t chunk_size,
+                                           uint64_t plain_size,
+                                           std::span<const BlockDigest> blocks);
+
+/// True if `framed` is a chunked frame (inline or manifest).
+[[nodiscard]] bool is_chunked_payload(ByteView framed);
+
+/// Parses the index header of a chunked frame (inline or manifest).
+Result<ChunkedIndex> parse_chunked_index(ByteView framed);
+
+/// Reassembles the original buffer from an *inline* chunked frame,
+/// verifying every block's length and content hash. Manifests fail with
+/// kFailedPrecondition (their blocks live elsewhere).
+Result<ByteBuffer> decode_chunked_payload(ByteView framed);
+
+// --- Cost models ------------------------------------------------------------
 
 /// Virtual-time cost of encoding `input_bytes` with the codec (0 if free).
 double encode_cost_seconds(const Codec& codec, uint64_t input_bytes);

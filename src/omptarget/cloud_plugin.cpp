@@ -1,5 +1,6 @@
 #include "omptarget/cloud_plugin.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "compress/payload.h"
@@ -17,6 +18,10 @@ Result<CloudPluginOptions> CloudPluginOptions::from_config(
   (void)codec;
   options.min_compress_size = config.get_byte_size(
       "offload.compression-min-size", options.min_compress_size);
+  options.chunk_size =
+      config.get_byte_size("offload.chunk-size", options.chunk_size);
+  options.overlap_transfers =
+      config.get_bool("offload.overlap-transfers", options.overlap_transfers);
   options.transfer_threads = static_cast<int>(
       config.get_int("offload.transfer-threads", options.transfer_threads));
   if (options.transfer_threads < 0) {
@@ -60,9 +65,10 @@ bool CloudPlugin::is_available() const {
   return cluster_->running() || cluster_->spec().on_the_fly;
 }
 
-std::vector<std::string> CloudPlugin::staged_names(const TargetRegion& region) {
+std::vector<std::string> CloudPlugin::staged_names(const TargetRegion& region,
+                                                   bool stable_prefix) {
   std::string prefix =
-      options_.cache_data
+      stable_prefix
           ? region.name + "/"
           : str_format("%s#%llu/", region.name.c_str(),
                        static_cast<unsigned long long>(next_invocation_++));
@@ -72,12 +78,45 @@ std::vector<std::string> CloudPlugin::staged_names(const TargetRegion& region) {
   return names;
 }
 
+sim::Co<Status> CloudPlugin::put_with_retry(std::string key, ByteBuffer frame) {
+  auto& engine = cluster_->engine();
+  Status put = Status::ok();
+  for (int attempt = 0; attempt <= options_.storage_retries; ++attempt) {
+    if (attempt > 0) {
+      co_await engine.sleep(options_.retry_backoff_seconds * attempt);
+    }
+    // put() consumes its buffer, so each attempt ships a fresh copy.
+    put = co_await cluster_->store().put(cloud::Cluster::host_node(),
+                                         options_.bucket, key,
+                                         ByteBuffer(frame.view()));
+    if (put.is_ok() || put.code() != StatusCode::kUnavailable) break;
+  }
+  co_return put;
+}
+
+sim::Co<Result<ByteBuffer>> CloudPlugin::get_with_retry(std::string key) {
+  auto& engine = cluster_->engine();
+  Status got = Status::ok();
+  for (int attempt = 0; attempt <= options_.storage_retries; ++attempt) {
+    if (attempt > 0) {
+      co_await engine.sleep(options_.retry_backoff_seconds * attempt);
+    }
+    auto result = co_await cluster_->store().get(cloud::Cluster::host_node(),
+                                                 options_.bucket, key);
+    if (result.ok()) co_return std::move(*result);
+    got = result.status();
+    if (got.code() != StatusCode::kUnavailable) break;
+  }
+  co_return got;
+}
+
 sim::Co<Status> CloudPlugin::upload_inputs(
     const TargetRegion& region, const std::vector<std::string>& names,
-    OffloadReport& report) {
+    bool cache_eligible, OffloadReport& report) {
   auto& engine = cluster_->engine();
   // One transfer thread per buffer by default; a semaphore models the
-  // configurable thread-pool bound.
+  // configurable thread-pool bound. Chunked buffers draw block transfers
+  // from the same pool.
   int buffer_count = 0;
   for (const MappedVar& var : region.vars) {
     if (var.maps_to()) ++buffer_count;
@@ -89,86 +128,228 @@ sim::Co<Status> CloudPlugin::upload_inputs(
   auto statuses =
       std::make_shared<std::vector<Status>>(region.vars.size(), Status::ok());
 
-  OC_CO_ASSIGN_OR_RETURN(const compress::Codec* codec,
-                         compress::find_codec(options_.codec));
-
   std::vector<sim::Completion> parts;
   for (size_t v = 0; v < region.vars.size(); ++v) {
     const MappedVar& var = region.vars[v];
     if (!var.maps_to()) continue;
     parts.push_back(engine.spawn(
         [](CloudPlugin* self, const MappedVar* var, std::string staged,
-           const compress::Codec* codec, std::shared_ptr<sim::Semaphore> gate,
+           bool cache_eligible, std::shared_ptr<sim::Semaphore> gate,
            OffloadReport* report, std::vector<Status>* statuses,
            size_t v) -> sim::Co<void> {
-          auto& engine = self->cluster_->engine();
-          co_await gate->acquire();
-          ByteView plain = as_bytes_of(
-              static_cast<const std::byte*>(var->host_ptr), var->size_bytes);
-          // Data caching (the paper's future-work item): if this variable
-          // is already staged with identical content, skip the upload. The
-          // hash scan is charged at host memory bandwidth.
-          if (self->options_.cache_data) {
-            uint64_t hash = fnv1a(plain);
-            co_await self->cluster_->host_pool().run(
-                self->cluster_->profile().reconstruct_seconds(plain.size()));
-            auto cached = self->data_cache_.find(staged);
-            if (cached != self->data_cache_.end() &&
-                cached->second.content_hash == hash &&
-                cached->second.size_bytes == plain.size() &&
-                self->cluster_->store().contains(
-                    self->options_.bucket,
-                    spark::SparkContext::input_key(staged))) {
-              ++self->cache_stats_.hits;
-              self->cache_stats_.bytes_skipped += plain.size();
-              gate->release();
-              co_return;
-            }
-            ++self->cache_stats_.misses;
-            self->data_cache_[staged] = CachedInput{hash, plain.size()};
+          Status status;
+          if (self->use_chunking(var->size_bytes)) {
+            status = co_await self->upload_chunked(var, std::move(staged),
+                                                   cache_eligible, gate,
+                                                   report);
+          } else {
+            status = co_await self->upload_single(var, std::move(staged),
+                                                  cache_eligible, gate,
+                                                  report);
           }
-          // gzip on the laptop: real compression, charged on the host pool.
-          auto framed = compress::encode_payload(self->options_.codec, plain,
-                                                 self->options_.min_compress_size);
-          if (!framed.ok()) {
-            (*statuses)[v] = framed.status();
-            gate->release();
-            co_return;
-          }
-          double codec_seconds =
-              plain.size() >= self->options_.min_compress_size
-                  ? self->cluster_->profile().encode_seconds(*codec, plain.size())
-                  : 0.0;
-          co_await self->cluster_->host_pool().run(codec_seconds);
-          report->host_codec_seconds += codec_seconds;
-          report->uploaded_plain_bytes += plain.size();
-          report->uploaded_wire_bytes += framed->size();
-
-          // Transient-failure retry loop (kept inline: coroutine frames
-          // owning callable parameters trip gcc-12 frame-teardown bugs).
-          Status put = Status::ok();
-          for (int attempt = 0; attempt <= self->options_.storage_retries;
-               ++attempt) {
-            if (attempt > 0) {
-              co_await engine.sleep(self->options_.retry_backoff_seconds *
-                                    attempt);
-            }
-            put = co_await self->cluster_->store().put(
-                cloud::Cluster::host_node(), self->options_.bucket,
-                spark::SparkContext::input_key(staged),
-                ByteBuffer(framed->view()));
-            if (put.is_ok() || put.code() != StatusCode::kUnavailable) break;
-          }
-          if (!put.is_ok()) {
+          if (!status.is_ok()) {
             (*statuses)[v] =
-                put.with_context("uploading '" + var->name + "'");
+                status.with_context("uploading '" + var->name + "'");
           }
-          gate->release();
-        }(this, &var, names[v], codec, gate, &report, statuses.get(), v)));
+        }(this, &var, names[v], cache_eligible, gate, &report, statuses.get(),
+          v)));
   }
   co_await sim::all(std::move(parts));
   for (const Status& status : *statuses) {
     if (!status.is_ok()) co_return status;
+  }
+  co_return Status::ok();
+}
+
+sim::Co<Status> CloudPlugin::upload_single(const MappedVar* var,
+                                           std::string staged,
+                                           bool cache_eligible,
+                                           std::shared_ptr<sim::Semaphore> gate,
+                                           OffloadReport* report) {
+  ByteView plain = as_bytes_of(static_cast<const std::byte*>(var->host_ptr),
+                               var->size_bytes);
+  std::string key = spark::SparkContext::input_key(staged);
+  bool use_cache = options_.cache_data && cache_eligible;
+  uint64_t hash = 0;
+  if (use_cache) {
+    // Data caching (the paper's future-work item): if this variable is
+    // already staged with identical content, skip the upload. The hash scan
+    // is charged at host memory bandwidth.
+    hash = fnv1a(plain);
+    co_await cluster_->host_pool().run(
+        cluster_->profile().reconstruct_seconds(plain.size()));
+    auto it = data_cache_.find(staged);
+    const CachedInput* cached =
+        it != data_cache_.end() && it->second.chunk_size == 0 &&
+                it->second.size_bytes == plain.size() &&
+                it->second.blocks.size() == 1
+            ? &it->second
+            : nullptr;
+    if (cached && cached->blocks[0].content_hash == hash &&
+        cluster_->store().contains(options_.bucket, key)) {
+      ++cache_stats_.hits;
+      ++cache_stats_.block_hits;
+      cache_stats_.bytes_skipped += plain.size();
+      co_return Status::ok();
+    }
+    ++cache_stats_.misses;
+    ++(cached != nullptr ? cache_stats_.block_dirty : cache_stats_.block_misses);
+    cache_stats_.bytes_uploaded += plain.size();
+  }
+  co_await gate->acquire();
+  // gzip on the laptop: real compression, charged on the host pool at the
+  // rate of the codec the frame actually carries (the min-size gate may
+  // have demoted to "null").
+  auto encoded = compress::encode_payload_frame(options_.codec, plain,
+                                                options_.min_compress_size);
+  if (!encoded.ok()) {
+    gate->release();
+    co_return encoded.status();
+  }
+  double codec_seconds =
+      cluster_->profile().encode_seconds(*encoded->codec, plain.size());
+  co_await cluster_->host_pool().run(codec_seconds);
+  report->host_codec_seconds += codec_seconds;
+  report->uploaded_plain_bytes += plain.size();
+  report->uploaded_wire_bytes += encoded->frame.size();
+  uint64_t encoded_size = encoded->frame.size();
+  Status put = co_await put_with_retry(key, std::move(encoded->frame));
+  gate->release();
+  OC_CO_RETURN_IF_ERROR(put);
+  if (use_cache) {
+    data_cache_[staged] = CachedInput{
+        0, plain.size(), {{plain.size(), encoded_size, hash}}};
+  }
+  co_return Status::ok();
+}
+
+sim::Co<void> CloudPlugin::put_block(
+    std::string key, ByteBuffer frame, std::shared_ptr<sim::Semaphore> gate,
+    std::shared_ptr<sim::Semaphore> window,
+    std::shared_ptr<std::vector<Status>> statuses, size_t slot) {
+  co_await gate->acquire();
+  Status put = co_await put_with_retry(std::move(key), std::move(frame));
+  gate->release();
+  window->release();
+  if (!put.is_ok()) (*statuses)[slot] = put;
+}
+
+sim::Co<Status> CloudPlugin::upload_chunked(
+    const MappedVar* var, std::string staged, bool cache_eligible,
+    std::shared_ptr<sim::Semaphore> gate, OffloadReport* report) {
+  auto& engine = cluster_->engine();
+  ByteView plain = as_bytes_of(static_cast<const std::byte*>(var->host_ptr),
+                               var->size_bytes);
+  const uint64_t chunk = options_.chunk_size;
+  const uint64_t count = compress::chunk_block_count(plain.size(), chunk);
+  std::string base_key = spark::SparkContext::input_key(staged);
+
+  // Per-block content hashes drive both the manifest and the delta check;
+  // the scan over the buffer is charged at host memory bandwidth.
+  std::vector<uint64_t> hashes(count);
+  for (uint64_t k = 0; k < count; ++k) {
+    uint64_t off = k * chunk;
+    hashes[k] =
+        fnv1a(plain.subspan(off, std::min<uint64_t>(chunk, plain.size() - off)));
+  }
+  co_await cluster_->host_pool().run(
+      cluster_->profile().reconstruct_seconds(plain.size()));
+
+  bool use_cache = options_.cache_data && cache_eligible;
+  const CachedInput* cached = nullptr;
+  if (use_cache) {
+    auto it = data_cache_.find(staged);
+    if (it != data_cache_.end() && it->second.chunk_size == chunk &&
+        it->second.size_bytes == plain.size() &&
+        it->second.blocks.size() == count) {
+      cached = &it->second;
+    }
+  }
+  // A block is dirty when it was never staged, its content changed, or its
+  // object vanished from the bucket (eviction).
+  std::vector<char> dirty(count, 1);
+  if (use_cache) {
+    uint64_t dirty_count = 0;
+    for (uint64_t k = 0; k < count; ++k) {
+      bool clean = cached != nullptr &&
+                   cached->blocks[k].content_hash == hashes[k] &&
+                   cluster_->store().contains(
+                       options_.bucket,
+                       spark::SparkContext::part_key(base_key, k));
+      dirty[k] = clean ? 0 : 1;
+      if (!clean) ++dirty_count;
+    }
+    if (dirty_count == 0 &&
+        cluster_->store().contains(options_.bucket, base_key)) {
+      ++cache_stats_.hits;
+      cache_stats_.block_hits += count;
+      cache_stats_.bytes_skipped += plain.size();
+      co_return Status::ok();
+    }
+    ++cache_stats_.misses;
+  }
+
+  // The streaming pipeline: this producer compresses blocks in order; each
+  // finished block is handed to a spawned transfer task. The window
+  // semaphore bounds runahead — depth 2 overlaps compressing block k+1
+  // with block k's wire time, depth 1 is the strictly serial ablation.
+  auto window = std::make_shared<sim::Semaphore>(
+      engine, options_.overlap_transfers ? 2 : 1);
+  auto statuses = std::make_shared<std::vector<Status>>(count, Status::ok());
+  std::vector<compress::BlockDigest> digests(count);
+  std::vector<sim::Completion> puts;
+  Status produce = Status::ok();
+  for (uint64_t k = 0; k < count; ++k) {
+    uint64_t off = k * chunk;
+    uint64_t len = std::min<uint64_t>(chunk, plain.size() - off);
+    if (!dirty[k]) {
+      digests[k] = cached->blocks[k];
+      ++cache_stats_.block_hits;
+      cache_stats_.bytes_skipped += len;
+      continue;
+    }
+    if (use_cache) {
+      ++(cached != nullptr ? cache_stats_.block_dirty
+                           : cache_stats_.block_misses);
+      cache_stats_.bytes_uploaded += len;
+    }
+    co_await window->acquire();
+    auto encoded = compress::encode_payload_frame(
+        options_.codec, plain.subspan(off, len), options_.min_compress_size);
+    if (!encoded.ok()) {
+      window->release();
+      produce = encoded.status();
+      break;
+    }
+    double codec_seconds =
+        cluster_->profile().encode_seconds(*encoded->codec, len);
+    co_await cluster_->host_pool().run(codec_seconds);
+    report->host_codec_seconds += codec_seconds;
+    digests[k] = {len, encoded->frame.size(), hashes[k]};
+    report->uploaded_plain_bytes += len;
+    report->uploaded_wire_bytes += encoded->frame.size();
+    puts.push_back(engine.spawn(
+        put_block(spark::SparkContext::part_key(base_key, k),
+                  std::move(encoded->frame), gate, window, statuses, k)));
+  }
+  co_await sim::all(std::move(puts));
+  OC_CO_RETURN_IF_ERROR(produce);
+  for (const Status& status : *statuses) {
+    if (!status.is_ok()) co_return status;
+  }
+
+  // Manifest last: a reader that can see the manifest can see every block.
+  OC_CO_ASSIGN_OR_RETURN(
+      ByteBuffer manifest,
+      compress::encode_chunked_manifest(chunk, plain.size(), digests));
+  uint64_t manifest_size = manifest.size();
+  co_await gate->acquire();
+  Status put = co_await put_with_retry(base_key, std::move(manifest));
+  gate->release();
+  OC_CO_RETURN_IF_ERROR(put);
+  report->uploaded_wire_bytes += manifest_size;
+  if (use_cache) {
+    data_cache_[staged] = CachedInput{chunk, plain.size(), std::move(digests)};
   }
   co_return Status::ok();
 }
@@ -177,6 +358,14 @@ sim::Co<Status> CloudPlugin::download_outputs(
     const TargetRegion& region, const std::vector<std::string>& names,
     OffloadReport& report) {
   auto& engine = cluster_->engine();
+  int buffer_count = 0;
+  for (const MappedVar& var : region.vars) {
+    if (var.maps_from()) ++buffer_count;
+  }
+  if (buffer_count == 0) co_return Status::ok();
+  int threads = options_.transfer_threads > 0 ? options_.transfer_threads
+                                              : buffer_count;
+  auto gate = std::make_shared<sim::Semaphore>(engine, threads);
   auto statuses =
       std::make_shared<std::vector<Status>>(region.vars.size(), Status::ok());
   std::vector<sim::Completion> parts;
@@ -185,59 +374,15 @@ sim::Co<Status> CloudPlugin::download_outputs(
     if (!var.maps_from()) continue;
     parts.push_back(engine.spawn(
         [](CloudPlugin* self, const MappedVar* var, std::string staged,
-           OffloadReport* report, std::vector<Status>* statuses,
-           size_t v) -> sim::Co<void> {
-          auto& engine = self->cluster_->engine();
-          ByteBuffer framed;
-          Status got = Status::ok();
-          for (int attempt = 0; attempt <= self->options_.storage_retries;
-               ++attempt) {
-            if (attempt > 0) {
-              co_await engine.sleep(self->options_.retry_backoff_seconds *
-                                    attempt);
-            }
-            auto result = co_await self->cluster_->store().get(
-                cloud::Cluster::host_node(), self->options_.bucket,
-                spark::SparkContext::output_key(staged));
-            if (result.ok()) {
-              framed = std::move(*result);
-              got = Status::ok();
-              break;
-            }
-            got = result.status();
-            if (got.code() != StatusCode::kUnavailable) break;
+           std::shared_ptr<sim::Semaphore> gate, OffloadReport* report,
+           std::vector<Status>* statuses, size_t v) -> sim::Co<void> {
+          Status status = co_await self->download_buffer(
+              var, std::move(staged), gate, report);
+          if (!status.is_ok()) {
+            (*statuses)[v] =
+                status.with_context("downloading '" + var->name + "'");
           }
-          if (!got.is_ok()) {
-            (*statuses)[v] = got.with_context("downloading '" + var->name + "'");
-            co_return;
-          }
-          auto plain = compress::decode_payload(framed.view());
-          if (!plain.ok()) {
-            (*statuses)[v] = plain.status();
-            co_return;
-          }
-          if (plain->size() != var->size_bytes) {
-            (*statuses)[v] = data_loss(str_format(
-                "output '%s': got %zu bytes, expected %llu", var->name.c_str(),
-                plain->size(),
-                static_cast<unsigned long long>(var->size_bytes)));
-            co_return;
-          }
-          auto codec_name = compress::payload_codec(framed.view());
-          double codec_seconds = 0;
-          if (codec_name.ok()) {
-            auto codec = compress::find_codec(*codec_name);
-            if (codec.ok()) {
-              codec_seconds = self->cluster_->profile().decode_seconds(
-                  **codec, plain->size());
-            }
-          }
-          co_await self->cluster_->host_pool().run(codec_seconds);
-          report->host_codec_seconds += codec_seconds;
-          report->downloaded_plain_bytes += plain->size();
-          report->downloaded_wire_bytes += framed.size();
-          std::memcpy(var->host_ptr, plain->data(), plain->size());
-        }(this, &var, names[v], &report, statuses.get(), v)));
+        }(this, &var, names[v], gate, &report, statuses.get(), v)));
   }
   co_await sim::all(std::move(parts));
   for (const Status& status : *statuses) {
@@ -246,26 +391,168 @@ sim::Co<Status> CloudPlugin::download_outputs(
   co_return Status::ok();
 }
 
-sim::Co<Status> CloudPlugin::cleanup_objects(
-    const TargetRegion& region, const std::vector<std::string>& names) {
-  std::vector<sim::Completion> parts;
+sim::Co<void> CloudPlugin::fetch_block(
+    std::string key, const MappedVar* var, compress::ChunkedBlock block,
+    std::shared_ptr<sim::Semaphore> gate,
+    std::shared_ptr<sim::Semaphore> window,
+    std::shared_ptr<std::vector<Status>> statuses, size_t slot,
+    OffloadReport* report) {
+  // The window bounds runahead (mirroring the upload pipeline); the gate is
+  // held only for the wire, so block k decodes while block k+1 transfers.
+  co_await window->acquire();
+  co_await gate->acquire();
+  auto framed = co_await get_with_retry(std::move(key));
+  gate->release();
+  if (!framed.ok()) {
+    window->release();
+    (*statuses)[slot] = framed.status();
+    co_return;
+  }
+  auto plain = compress::decode_payload(framed->view());
+  if (!plain.ok()) {
+    window->release();
+    (*statuses)[slot] = plain.status();
+    co_return;
+  }
+  if (plain->size() != block.plain_size ||
+      fnv1a(plain->view()) != block.content_hash) {
+    window->release();
+    (*statuses)[slot] = data_loss(
+        str_format("block %zu failed content verification", slot));
+    co_return;
+  }
+  double codec_seconds = 0;
+  auto codec_name = compress::payload_codec(framed->view());
+  if (codec_name.ok()) {
+    auto codec = compress::find_codec(*codec_name);
+    if (codec.ok()) {
+      codec_seconds =
+          cluster_->profile().decode_seconds(**codec, plain->size());
+    }
+  }
+  co_await cluster_->host_pool().run(codec_seconds);
+  report->host_codec_seconds += codec_seconds;
+  report->downloaded_plain_bytes += plain->size();
+  report->downloaded_wire_bytes += framed->size();
+  std::memcpy(static_cast<std::byte*>(var->host_ptr) + block.plain_offset,
+              plain->data(), plain->size());
+  window->release();
+}
+
+sim::Co<Status> CloudPlugin::download_buffer(
+    const MappedVar* var, std::string staged,
+    std::shared_ptr<sim::Semaphore> gate, OffloadReport* report) {
   auto& engine = cluster_->engine();
+  std::string base_key = spark::SparkContext::output_key(staged);
+  co_await gate->acquire();
+  auto framed = co_await get_with_retry(base_key);
+  gate->release();
+  OC_CO_RETURN_IF_ERROR(framed.status());
+
+  if (compress::is_chunked_payload(framed->view())) {
+    OC_CO_ASSIGN_OR_RETURN(compress::ChunkedIndex index,
+                           compress::parse_chunked_index(framed->view()));
+    if (index.plain_size != var->size_bytes) {
+      co_return data_loss(str_format(
+          "got %llu bytes, expected %llu",
+          static_cast<unsigned long long>(index.plain_size),
+          static_cast<unsigned long long>(var->size_bytes)));
+    }
+    if (index.inline_blocks) {
+      OC_CO_ASSIGN_OR_RETURN(ByteBuffer plain,
+                             compress::decode_chunked_payload(framed->view()));
+      double codec_seconds = 0;
+      for (const compress::ChunkedBlock& block : index.blocks) {
+        auto codec_name = compress::payload_codec(
+            framed->view().subspan(block.frame_offset, block.encoded_size));
+        if (!codec_name.ok()) continue;
+        auto codec = compress::find_codec(*codec_name);
+        if (codec.ok()) {
+          codec_seconds +=
+              cluster_->profile().decode_seconds(**codec, block.plain_size);
+        }
+      }
+      co_await cluster_->host_pool().run(codec_seconds);
+      report->host_codec_seconds += codec_seconds;
+      report->downloaded_plain_bytes += plain.size();
+      report->downloaded_wire_bytes += framed->size();
+      std::memcpy(var->host_ptr, plain.data(), plain.size());
+      co_return Status::ok();
+    }
+    // Manifest: stream the sibling block objects back through the mirrored
+    // pipeline. Each block verifies independently and lands at its own
+    // offset, so completion order is irrelevant.
+    report->downloaded_wire_bytes += framed->size();
+    auto window = std::make_shared<sim::Semaphore>(
+        engine, options_.overlap_transfers ? 2 : 1);
+    auto statuses = std::make_shared<std::vector<Status>>(index.blocks.size(),
+                                                          Status::ok());
+    std::vector<sim::Completion> fetches;
+    for (size_t k = 0; k < index.blocks.size(); ++k) {
+      fetches.push_back(engine.spawn(
+          fetch_block(spark::SparkContext::part_key(base_key, k), var,
+                      index.blocks[k], gate, window, statuses, k, report)));
+    }
+    co_await sim::all(std::move(fetches));
+    for (size_t k = 0; k < statuses->size(); ++k) {
+      if (!(*statuses)[k].is_ok()) {
+        co_return (*statuses)[k].with_context(
+            str_format("block %zu of '%s'", k, base_key.c_str()));
+      }
+    }
+    co_return Status::ok();
+  }
+
+  // Legacy single frame.
+  OC_CO_ASSIGN_OR_RETURN(ByteBuffer plain,
+                         compress::decode_payload(framed->view()));
+  if (plain.size() != var->size_bytes) {
+    co_return data_loss(str_format(
+        "got %zu bytes, expected %llu", plain.size(),
+        static_cast<unsigned long long>(var->size_bytes)));
+  }
+  auto codec_name = compress::payload_codec(framed->view());
+  double codec_seconds = 0;
+  if (codec_name.ok()) {
+    auto codec = compress::find_codec(*codec_name);
+    if (codec.ok()) {
+      codec_seconds =
+          cluster_->profile().decode_seconds(**codec, plain.size());
+    }
+  }
+  co_await cluster_->host_pool().run(codec_seconds);
+  report->host_codec_seconds += codec_seconds;
+  report->downloaded_plain_bytes += plain.size();
+  report->downloaded_wire_bytes += framed->size();
+  std::memcpy(var->host_ptr, plain.data(), plain.size());
+  co_return Status::ok();
+}
+
+sim::Co<Status> CloudPlugin::cleanup_objects(
+    const TargetRegion& region, const std::vector<std::string>& names,
+    bool cache_eligible) {
+  (void)region;
+  if (names.empty()) co_return Status::ok();
+  // Every staged key of this invocation shares one prefix (names[v] =
+  // "<prefix><var>"). One list finds them all — including block part
+  // objects whose count we may no longer know (a previous invocation could
+  // have staged a different size under the stable prefix).
+  std::string prefix = names[0].substr(0, names[0].rfind('/') + 1);
+  auto keys = co_await cluster_->store().list(cloud::Cluster::host_node(),
+                                              options_.bucket, prefix);
   // Deletions are best-effort (idempotent in S3); drop their statuses.
+  if (!keys.ok()) co_return Status::ok();
+  bool keep_inputs = options_.cache_data && cache_eligible;
+  auto& engine = cluster_->engine();
   auto drop = [](sim::Co<Status> op) -> sim::Co<void> {
     (void)co_await std::move(op);
   };
-  for (size_t v = 0; v < region.vars.size(); ++v) {
-    const MappedVar& var = region.vars[v];
-    if (var.maps_to() && !options_.cache_data) {
-      parts.push_back(engine.spawn(drop(cluster_->store().remove(
-          cloud::Cluster::host_node(), options_.bucket,
-          spark::SparkContext::input_key(names[v])))));
-    }
-    if (var.maps_from()) {
-      parts.push_back(engine.spawn(drop(cluster_->store().remove(
-          cloud::Cluster::host_node(), options_.bucket,
-          spark::SparkContext::output_key(names[v])))));
-    }
+  std::vector<sim::Completion> parts;
+  for (const std::string& key : *keys) {
+    bool is_output = key.find(".out.bin") != std::string::npos;
+    if (!is_output && keep_inputs) continue;
+    parts.push_back(engine.spawn(drop(cluster_->store().remove(
+        cloud::Cluster::host_node(), options_.bucket, key))));
   }
   co_await sim::all(std::move(parts));
   co_return Status::ok();
@@ -282,6 +569,30 @@ sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
   if (options_.stream_spark_logs) {
     log_.info("offloading region '%s' to %s", region.name.c_str(),
               name_.c_str());
+  }
+
+  // Claim the region's stable staging prefix. A concurrent `nowait` offload
+  // of the same region would trample the claim holder's staged objects, so
+  // it falls back to a unique prefix and skips the data cache this once.
+  bool cache_eligible = false;
+  struct RegionClaim {
+    CloudPlugin* plugin = nullptr;
+    std::string region;
+    ~RegionClaim() {
+      if (plugin != nullptr) plugin->active_regions_.erase(region);
+    }
+  } claim;
+  if (options_.cache_data) {
+    if (active_regions_.insert(region.name).second) {
+      claim.plugin = this;
+      claim.region = region.name;
+      cache_eligible = true;
+    } else {
+      log_.warn(
+          "region '%s' is already offloading; staging under a unique prefix "
+          "(data cache skipped for this invocation)",
+          region.name.c_str());
+    }
   }
 
   // On-the-fly EC2 start (§III-A): boot, billed from here.
@@ -301,11 +612,13 @@ sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
     }
   }
 
-  std::vector<std::string> names = staged_names(region);
+  std::vector<std::string> names = staged_names(region, cache_eligible);
 
-  // Fig. 1 step 2: inputs to cloud storage (parallel transfer threads).
+  // Fig. 1 step 2: inputs to cloud storage (parallel transfer threads,
+  // chunked buffers streaming compress/wire overlapped).
   double upload_start = engine.now();
-  OC_CO_RETURN_IF_ERROR(co_await upload_inputs(region, names, report));
+  OC_CO_RETURN_IF_ERROR(
+      co_await upload_inputs(region, names, cache_eligible, report));
   report.upload_seconds = engine.now() - upload_start;
 
   // Fig. 1 step 3: submit the Spark job over SSH and block.
@@ -318,6 +631,7 @@ sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
   job.bucket = options_.bucket;
   job.storage_codec = options_.codec;
   job.storage_min_compress = options_.min_compress_size;
+  job.storage_chunk_size = options_.chunk_size;
   for (size_t v = 0; v < region.vars.size(); ++v) {
     const MappedVar& var = region.vars[v];
     job.vars.push_back(
@@ -333,7 +647,8 @@ sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
 
   if (options_.cleanup) {
     double cleanup_start = engine.now();
-    OC_CO_RETURN_IF_ERROR(co_await cleanup_objects(region, names));
+    OC_CO_RETURN_IF_ERROR(
+        co_await cleanup_objects(region, names, cache_eligible));
     report.cleanup_seconds = engine.now() - cleanup_start;
   }
 

@@ -13,6 +13,12 @@
 //   6. clean up the staged objects and (on-the-fly mode) stop the
 //      instances.
 //
+// Buffers above `chunk_size` travel as *chunked* objects: fixed-size blocks
+// staged as sibling storage objects plus an index manifest (written last).
+// Uploading is a streaming pipeline — block k+1 compresses on the host pool
+// while block k is on the wire — and with `cache_data` on, only blocks whose
+// content hash changed since the previous offload are re-uploaded.
+//
 // Every step advances the virtual clock through the simulated substrate and
 // every byte is really moved, so the OffloadReport decomposition is an
 // honest measurement, not an estimate.
@@ -20,8 +26,10 @@
 
 #include <map>
 #include <optional>
+#include <set>
 
 #include "cloud/cluster.h"
+#include "compress/payload.h"
 #include "omptarget/device.h"
 #include "spark/context.h"
 #include "support/config.h"
@@ -35,6 +43,14 @@ struct CloudPluginOptions {
   std::string codec = "gzlite";
   /// Buffers smaller than this are uploaded uncompressed (§III-A).
   uint64_t min_compress_size = 4096;
+  /// Block size for chunked staging: buffers strictly larger than this are
+  /// split into `chunk_size` blocks that stream through the transfer
+  /// pipeline and delta-cache independently. 0 disables chunking.
+  uint64_t chunk_size = 4ull << 20;
+  /// Overlap block compression with the wire (double-buffered pipeline).
+  /// Off = strictly serial per buffer: compress block k, send block k,
+  /// then start block k+1 (the ablation baseline).
+  bool overlap_transfers = true;
   /// Concurrent transfer threads; 0 = one per offloaded buffer (the paper's
   /// default: "a new thread for transmitting each offloaded data").
   int transfer_threads = 0;
@@ -48,8 +64,9 @@ struct CloudPluginOptions {
   /// Data caching — the paper's stated future work ("we plan to implement
   /// data caching to limit the cost of host-target communications"): keep
   /// staged input objects in cloud storage across offloads and skip the
-  /// upload when the host bytes are unchanged (content-hash check).
-  /// Implies keeping input objects past cleanup.
+  /// upload when the host bytes are unchanged (content-hash check; per
+  /// block for chunked objects, so a small mutation re-uploads only the
+  /// dirty blocks). Implies keeping input objects past cleanup.
   bool cache_data = false;
 
   static Result<CloudPluginOptions> from_config(const Config& config);
@@ -77,11 +94,17 @@ class CloudPlugin final : public Plugin {
   [[nodiscard]] spark::SparkContext& spark_context() { return context_; }
   [[nodiscard]] const CloudPluginOptions& options() const { return options_; }
 
-  /// Cache statistics (diagnostics + the caching bench).
+  /// Cache statistics (diagnostics + the caching bench). Whole-buffer
+  /// hits/misses count staged variables; the block counters break a chunked
+  /// buffer down further (a single-frame buffer counts as one block).
   struct CacheStats {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
+    uint64_t hits = 0;    ///< buffers skipped entirely (every block clean)
+    uint64_t misses = 0;  ///< buffers that uploaded at least one block
+    uint64_t block_hits = 0;    ///< clean blocks skipped
+    uint64_t block_misses = 0;  ///< blocks never staged before (cold)
+    uint64_t block_dirty = 0;   ///< staged blocks whose content changed
     uint64_t bytes_skipped = 0;  ///< plain bytes whose upload was avoided
+    uint64_t bytes_uploaded = 0; ///< plain bytes actually (re)uploaded
   };
   [[nodiscard]] const CacheStats& cache_stats() const { return cache_stats_; }
 
@@ -89,26 +112,75 @@ class CloudPlugin final : public Plugin {
   void clear_data_cache() { data_cache_.clear(); }
 
  private:
-  /// One staged-input record: object key currently in the bucket plus the
-  /// content hash of the host bytes it was built from.
+  /// One staged-input record: per-block digests of the object currently in
+  /// the bucket (one entry, chunk_size 0, for single-frame objects).
   struct CachedInput {
-    uint64_t content_hash = 0;
+    uint64_t chunk_size = 0;
     uint64_t size_bytes = 0;
+    std::vector<compress::BlockDigest> blocks;
   };
   /// Staged object keys are namespaced per region to keep concurrent
-  /// `nowait` offloads from trampling each other: `<region>/<var>` when
-  /// caching (stable across invocations, so hits are possible) or
-  /// `<region>#<seq>/<var>` otherwise (unique per invocation).
-  std::vector<std::string> staged_names(const TargetRegion& region);
+  /// `nowait` offloads from trampling each other: `<region>/<var>` when this
+  /// invocation holds the region's cache claim (stable across invocations,
+  /// so hits are possible) or `<region>#<seq>/<var>` otherwise (unique per
+  /// invocation).
+  std::vector<std::string> staged_names(const TargetRegion& region,
+                                        bool stable_prefix);
+
+  /// True when `size` bytes are staged as blocks rather than one frame.
+  [[nodiscard]] bool use_chunking(uint64_t size) const {
+    return options_.chunk_size > 0 && size > options_.chunk_size;
+  }
+
+  /// Storage put/get with the transient-failure retry loop.
+  sim::Co<Status> put_with_retry(std::string key, ByteBuffer frame);
+  sim::Co<Result<ByteBuffer>> get_with_retry(std::string key);
 
   sim::Co<Status> upload_inputs(const TargetRegion& region,
                                 const std::vector<std::string>& names,
-                                OffloadReport& report);
+                                bool cache_eligible, OffloadReport& report);
+  /// Uploads one buffer as a single frame (legacy path, with whole-buffer
+  /// delta caching).
+  sim::Co<Status> upload_single(const MappedVar* var, std::string staged,
+                                bool cache_eligible,
+                                std::shared_ptr<sim::Semaphore> gate,
+                                OffloadReport* report);
+  /// Uploads one buffer as a block stream: compress block k+1 on the host
+  /// pool while block k is on the wire (bounded by the window semaphore and
+  /// the transfer gate), skipping blocks the delta cache proves unchanged.
+  /// The manifest is written last so readers never observe a partially
+  /// staged object.
+  sim::Co<Status> upload_chunked(const MappedVar* var, std::string staged,
+                                 bool cache_eligible,
+                                 std::shared_ptr<sim::Semaphore> gate,
+                                 OffloadReport* report);
+  /// One in-flight block of the upload pipeline.
+  sim::Co<void> put_block(std::string key, ByteBuffer frame,
+                          std::shared_ptr<sim::Semaphore> gate,
+                          std::shared_ptr<sim::Semaphore> window,
+                          std::shared_ptr<std::vector<Status>> statuses,
+                          size_t slot);
+
   sim::Co<Status> download_outputs(const TargetRegion& region,
                                    const std::vector<std::string>& names,
                                    OffloadReport& report);
+  /// Downloads one output buffer (single frame, inline chunked frame, or a
+  /// manifest whose blocks stream back through the mirrored pipeline).
+  sim::Co<Status> download_buffer(const MappedVar* var, std::string staged,
+                                  std::shared_ptr<sim::Semaphore> gate,
+                                  OffloadReport* report);
+  /// One in-flight block of the download pipeline: fetch through the gate,
+  /// then decode/verify/copy while the next block is on the wire.
+  sim::Co<void> fetch_block(std::string key, const MappedVar* var,
+                            compress::ChunkedBlock block,
+                            std::shared_ptr<sim::Semaphore> gate,
+                            std::shared_ptr<sim::Semaphore> window,
+                            std::shared_ptr<std::vector<Status>> statuses,
+                            size_t slot, OffloadReport* report);
+
   sim::Co<Status> cleanup_objects(const TargetRegion& region,
-                                  const std::vector<std::string>& names);
+                                  const std::vector<std::string>& names,
+                                  bool cache_eligible);
 
   std::unique_ptr<cloud::Cluster> owned_cluster_;  ///< set by from_config
   cloud::Cluster* cluster_;
@@ -117,6 +189,10 @@ class CloudPlugin final : public Plugin {
   std::string name_;
   std::map<std::string, CachedInput> data_cache_;  ///< key: staged name
   CacheStats cache_stats_;
+  /// Regions with an offload in flight under the stable (cache-eligible)
+  /// prefix. A concurrent `nowait` offload of the same region falls back to
+  /// a unique prefix instead of trampling the staged objects.
+  std::set<std::string> active_regions_;
   uint64_t next_invocation_ = 0;
   Logger log_{"omptarget.cloud"};
 };

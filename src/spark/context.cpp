@@ -24,6 +24,12 @@ struct SparkContext::Environment {
 SparkContext::SparkContext(cloud::Cluster& cluster, SparkConf conf)
     : cluster_(&cluster), conf_(std::move(conf)) {}
 
+std::string SparkContext::part_key(const std::string& base_key,
+                                   uint64_t block) {
+  return str_format("%s.part%05llu", base_key.c_str(),
+                    static_cast<unsigned long long>(block));
+}
+
 int SparkContext::total_task_slots() const {
   int per_worker = conf_.slots_per_worker(cluster_->instance().vcpus,
                                           cluster_->instance().physical_cores);
@@ -347,18 +353,28 @@ sim::Co<Status> SparkContext::read_inputs(const JobSpec& spec,
             (*statuses)[v] = framed.status();
             co_return;
           }
-          auto plain = compress::decode_payload(framed->view());
+          Result<ByteBuffer> plain = internal_error("unreachable");
+          if (compress::is_chunked_payload(framed->view())) {
+            plain = co_await self->read_chunked_input(
+                *spec, input_key(var.name), std::move(*framed), *metrics);
+          } else {
+            plain = compress::decode_payload(framed->view());
+            if (plain.ok()) {
+              auto codec = compress::find_codec(
+                  compress::payload_codec(framed->view()).value_or("null"));
+              double cost = codec.ok()
+                                ? self->cluster_->profile().decode_seconds(
+                                      **codec, plain->size())
+                                : 0.0;
+              co_await self->cluster_->driver_pool().run(cost);
+              metrics->codec_core_seconds += cost;
+            }
+          }
           if (!plain.ok()) {
-            (*statuses)[v] = plain.status();
+            (*statuses)[v] =
+                plain.status().with_context("input '" + var.name + "'");
             co_return;
           }
-          auto codec = compress::find_codec(
-              compress::payload_codec(framed->view()).value_or("null"));
-          double cost = codec.ok() ? self->cluster_->profile().decode_seconds(
-                                         **codec, plain->size())
-                                   : 0.0;
-          co_await self->cluster_->driver_pool().run(cost);
-          metrics->codec_core_seconds += cost;
           if (plain->size() != var.size_bytes) {
             (*statuses)[v] = data_loss(
                 str_format("input '%s': stored %zu bytes, expected %llu",
@@ -375,6 +391,121 @@ sim::Co<Status> SparkContext::read_inputs(const JobSpec& spec,
     if (!status.is_ok()) co_return status;
   }
   co_return Status::ok();
+}
+
+sim::Co<Result<ByteBuffer>> SparkContext::read_chunked_input(
+    const JobSpec& spec, std::string base_key, ByteBuffer manifest,
+    JobMetrics& metrics) {
+  OC_CO_ASSIGN_OR_RETURN(compress::ChunkedIndex index,
+                         compress::parse_chunked_index(manifest.view()));
+  if (index.inline_blocks) {
+    // Self-contained chunked frame: decode in place at the driver.
+    OC_CO_ASSIGN_OR_RETURN(ByteBuffer plain,
+                           compress::decode_chunked_payload(manifest.view()));
+    double cost = 0;
+    for (const compress::ChunkedBlock& block : index.blocks) {
+      auto codec = compress::find_codec(
+          compress::payload_codec(manifest.view().subspan(block.frame_offset,
+                                                          block.encoded_size))
+              .value_or("null"));
+      if (codec.ok()) {
+        cost += cluster_->profile().decode_seconds(**codec, block.plain_size);
+      }
+    }
+    co_await cluster_->driver_pool().run(cost);
+    metrics.codec_core_seconds += cost;
+    co_return plain;
+  }
+  // Manifest: blocks are sibling objects; fetch, verify and decode them in
+  // parallel (each block charges its own decode on a driver core).
+  auto assembled = std::make_shared<ByteBuffer>(index.plain_size);
+  auto statuses = std::make_shared<std::vector<Status>>(index.blocks.size(),
+                                                        Status::ok());
+  std::vector<sim::Completion> parts;
+  for (size_t k = 0; k < index.blocks.size(); ++k) {
+    parts.push_back(cluster_->engine().spawn(
+        [](SparkContext* self, std::string bucket, std::string key,
+           compress::ChunkedBlock block, ByteBuffer* assembled,
+           JobMetrics* metrics, Status* status) -> sim::Co<void> {
+          auto got = co_await self->cluster_->store().get(
+              cloud::Cluster::driver_node(), bucket, key);
+          if (!got.ok()) {
+            *status = got.status();
+            co_return;
+          }
+          auto restored = compress::decode_payload(got->view());
+          if (!restored.ok()) {
+            *status = restored.status();
+            co_return;
+          }
+          if (restored->size() != block.plain_size ||
+              fnv1a(restored->view()) != block.content_hash) {
+            *status = data_loss("staged block '" + key +
+                                "' failed content verification");
+            co_return;
+          }
+          auto codec = compress::find_codec(
+              compress::payload_codec(got->view()).value_or("null"));
+          double cost = codec.ok() ? self->cluster_->profile().decode_seconds(
+                                         **codec, restored->size())
+                                   : 0.0;
+          co_await self->cluster_->driver_pool().run(cost);
+          metrics->codec_core_seconds += cost;
+          std::memcpy(assembled->data() + block.plain_offset, restored->data(),
+                      restored->size());
+        }(this, spec.bucket, part_key(base_key, k), index.blocks[k],
+          assembled.get(), &metrics, &(*statuses)[k])));
+  }
+  co_await sim::all(std::move(parts));
+  for (const Status& status : *statuses) {
+    if (!status.is_ok()) co_return status;
+  }
+  co_return std::move(*assembled);
+}
+
+sim::Co<Status> SparkContext::write_chunked_output(const JobSpec& spec,
+                                                   std::string base_key,
+                                                   ByteView plain,
+                                                   JobMetrics& metrics) {
+  auto& engine = cluster_->engine();
+  const uint64_t chunk = spec.storage_chunk_size;
+  const uint64_t count = compress::chunk_block_count(plain.size(), chunk);
+  std::vector<compress::BlockDigest> digests(count);
+  auto statuses = std::make_shared<std::vector<Status>>(count, Status::ok());
+  std::vector<sim::Completion> parts;
+  for (uint64_t k = 0; k < count; ++k) {
+    ByteView block = plain.subspan(
+        k * chunk, std::min<uint64_t>(chunk, plain.size() - k * chunk));
+    OC_CO_ASSIGN_OR_RETURN(
+        compress::EncodedPayload encoded,
+        compress::encode_payload_frame(spec.storage_codec, block,
+                                       spec.storage_min_compress));
+    digests[k] = {block.size(), encoded.frame.size(), fnv1a(block)};
+    double cost =
+        cluster_->profile().encode_seconds(*encoded.codec, block.size());
+    parts.push_back(engine.spawn(
+        [](SparkContext* self, std::string bucket, std::string key,
+           ByteBuffer frame, double cost, JobMetrics* metrics,
+           Status* status) -> sim::Co<void> {
+          co_await self->cluster_->driver_pool().run(cost);
+          metrics->codec_core_seconds += cost;
+          Status put = co_await self->cluster_->store().put(
+              cloud::Cluster::driver_node(), bucket, key, std::move(frame));
+          if (!put.is_ok()) *status = put;
+        }(this, spec.bucket, part_key(base_key, k), std::move(encoded.frame),
+          cost, &metrics, &(*statuses)[k])));
+  }
+  co_await sim::all(std::move(parts));
+  for (const Status& status : *statuses) {
+    if (!status.is_ok()) co_return status;
+  }
+  metrics.output_bytes += plain.size();
+  OC_CO_ASSIGN_OR_RETURN(
+      ByteBuffer manifest,
+      compress::encode_chunked_manifest(chunk, plain.size(), digests));
+  co_return co_await cluster_->store().put(cloud::Cluster::driver_node(),
+                                           spec.bucket, base_key,
+                                           std::move(manifest));
 }
 
 sim::Co<Status> SparkContext::run_loop(const JobSpec& spec,
@@ -587,22 +718,32 @@ sim::Co<Status> SparkContext::write_outputs(const JobSpec& spec,
            JobMetrics* metrics, std::vector<Status>* statuses) -> sim::Co<void> {
           const VarSpec& var = spec->vars[v];
           const ByteBuffer& plain = env->vars[v];
-          auto framed = compress::encode_payload(
-              spec->storage_codec, plain.view(), spec->storage_min_compress);
-          if (!framed.ok()) {
-            (*statuses)[v] = framed.status();
+          if (spec->storage_chunk_size > 0 &&
+              plain.size() > spec->storage_chunk_size) {
+            Status wrote = co_await self->write_chunked_output(
+                *spec, output_key(var.name), plain.view(), *metrics);
+            if (!wrote.is_ok()) {
+              (*statuses)[v] =
+                  wrote.with_context("output '" + var.name + "'");
+            }
             co_return;
           }
-          auto codec = compress::find_codec(spec->storage_codec);
-          double cost = codec.ok() ? self->cluster_->profile().encode_seconds(
-                                         **codec, plain.size())
-                                   : 0.0;
+          auto encoded = compress::encode_payload_frame(
+              spec->storage_codec, plain.view(), spec->storage_min_compress);
+          if (!encoded.ok()) {
+            (*statuses)[v] = encoded.status();
+            co_return;
+          }
+          // Charge the codec the frame actually carries (the min-size gate
+          // may have demoted to "null"), so time never diverges from bytes.
+          double cost = self->cluster_->profile().encode_seconds(
+              *encoded->codec, plain.size());
           co_await self->cluster_->driver_pool().run(cost);
           metrics->codec_core_seconds += cost;
           metrics->output_bytes += plain.size();
           Status put = co_await self->cluster_->store().put(
               cloud::Cluster::driver_node(), spec->bucket,
-              output_key(var.name), std::move(*framed));
+              output_key(var.name), std::move(encoded->frame));
           if (!put.is_ok()) (*statuses)[v] = put;
         }(this, &spec, v, &env, &metrics, statuses.get())));
   }

@@ -62,12 +62,28 @@ class SparkContext {
   static std::string output_key(const std::string& var) {
     return var + ".out.bin";
   }
+  /// Key of block `block` of a chunked staged object whose manifest lives at
+  /// `base_key` (an input_key or output_key). Blocks are sibling objects so
+  /// each is independently addressable — the unit of the streaming transfer
+  /// pipeline and of block-level delta caching.
+  static std::string part_key(const std::string& base_key, uint64_t block);
 
  private:
   struct Environment;  // driver-resident variable buffers
 
   sim::Co<Status> read_inputs(const JobSpec& spec, Environment& env,
                               JobMetrics& metrics);
+  /// Restores a chunked staged input: decodes an inline frame, or fetches
+  /// and verifies the manifest's sibling block objects in parallel.
+  sim::Co<Result<ByteBuffer>> read_chunked_input(const JobSpec& spec,
+                                                 std::string base_key,
+                                                 ByteBuffer manifest,
+                                                 JobMetrics& metrics);
+  /// Stages one output as block objects plus a manifest (written last, so
+  /// readers never observe a partially staged object).
+  sim::Co<Status> write_chunked_output(const JobSpec& spec,
+                                       std::string base_key, ByteView plain,
+                                       JobMetrics& metrics);
   sim::Co<Status> run_loop(const JobSpec& spec, const LoopSpec& loop,
                            Environment& env, JobMetrics& metrics);
   sim::Co<Status> write_outputs(const JobSpec& spec, Environment& env,

@@ -112,6 +112,9 @@ struct JobSpec {
   std::string bucket;               ///< cloud-storage bucket with the inputs
   std::string storage_codec = "gzlite";  ///< codec of stored objects
   uint64_t storage_min_compress = 4096;
+  /// Block size for chunked staging of outputs larger than one block
+  /// (0 = single-frame objects). Mirrors the plugin's `offload.chunk-size`.
+  uint64_t storage_chunk_size = 0;
   std::vector<VarSpec> vars;
   std::vector<LoopSpec> loops;
 

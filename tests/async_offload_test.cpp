@@ -100,6 +100,62 @@ TEST(AsyncOffloadTest, TwoOffloadsOverlapAndShareTheWan) {
   EXPECT_GT(elapsed, serial_seconds / 2.0);
 }
 
+TEST(AsyncOffloadTest, ConcurrentSameRegionOffloadsDoNotTrample) {
+  // Regression: two `nowait` offloads of the SAME region used to share the
+  // stable staging prefix when cache_data was on, so the second upload
+  // overwrote the first's staged objects mid-job and one region computed on
+  // the other's data. The second invocation must detect the in-flight claim
+  // and fall back to a unique prefix.
+  sim::Engine engine;
+  cloud::ClusterSpec spec;
+  spec.workers = 4;
+  cloud::Cluster cluster(engine, spec, cloud::SimProfile{});
+  omptarget::DeviceManager devices(engine);
+  omptarget::CloudPluginOptions options;
+  options.cache_data = true;
+  int cloud_id = devices.register_device(std::make_unique<omptarget::CloudPlugin>(
+      cluster, spark::SparkConf{}, options));
+
+  std::vector<float> x1(4096), y1(4096, 0.0f);
+  std::vector<float> x2(4096), y2(4096, 0.0f);
+  std::iota(x1.begin(), x1.end(), 1.0f);
+  std::iota(x2.begin(), x2.end(), 1000.0f);
+
+  auto make_region = [&](std::vector<float>& x, std::vector<float>& y) {
+    TargetRegion region(devices, "same-region");
+    region.device(cloud_id);
+    auto xv = region.map_to("x", x.data(), x.size());
+    auto yv = region.map_from("y", y.data(), y.size());
+    region.parallel_for(static_cast<int64_t>(x.size()))
+        .read_partitioned(xv, rows<float>(1))
+        .write_partitioned(yv, rows<float>(1))
+        .cost_flops(1e6)
+        .kernel("async.twice");
+    return region;
+  };
+
+  auto region1 = make_region(x1, y1);
+  auto region2 = make_region(x2, y2);
+  auto handle1 = region1.execute_async(engine);
+  auto handle2 = region2.execute_async(engine);
+  engine.run();
+  ASSERT_TRUE(handle1.done() && handle2.done());
+  ASSERT_TRUE(handle1.result().ok()) << handle1.result().status().to_string();
+  ASSERT_TRUE(handle2.result().ok()) << handle2.result().status().to_string();
+  // Each region must have computed on its OWN input.
+  for (size_t i : {size_t{0}, size_t{123}, size_t{4095}}) {
+    EXPECT_EQ(y1[i], 2.0f * x1[i]) << i;
+    EXPECT_EQ(y2[i], 2.0f * x2[i]) << i;
+  }
+
+  // With the offloads drained, the claim is released: a sequential re-run
+  // under the stable prefix works (and may now hit the cache).
+  auto region3 = make_region(x1, y1);
+  auto report = offload_blocking(engine, region3);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(y1[7], 2.0f * x1[7]);
+}
+
 TEST(AsyncOffloadTest, JoinFromCoroutine) {
   AsyncFixture f;
   std::vector<float> x(32, 3.0f), y(32, 0.0f);

@@ -149,5 +149,158 @@ TEST(DataCachingTest, ConfigKeyParsed) {
   EXPECT_TRUE(options->cache_data);
 }
 
+// --- Block-level delta caching ----------------------------------------------
+
+/// 64 KiB input split into 16 4-KiB blocks: small enough to run fast, large
+/// enough that single blocks are individually addressable.
+struct ChunkedCachingFixture {
+  static constexpr uint64_t kChunk = 4096;
+  static constexpr size_t kFloats = 16384;  // 64 KiB
+  static constexpr size_t kFloatsPerBlock = kChunk / sizeof(float);
+
+  sim::Engine engine;
+  cloud::Cluster cluster;
+  DeviceManager devices{engine};
+  int cloud_id;
+  std::vector<float> x, y;
+
+  ChunkedCachingFixture() : cluster(engine, spec(), cloud::SimProfile{}) {
+    CloudPluginOptions options;
+    options.cache_data = true;
+    options.chunk_size = kChunk;
+    cloud_id = devices.register_device(std::make_unique<CloudPlugin>(
+        cluster, spark::SparkConf{}, options));
+    x.resize(kFloats);
+    y.assign(kFloats, 0.0f);
+    std::iota(x.begin(), x.end(), 0.0f);
+  }
+
+  static cloud::ClusterSpec spec() {
+    cloud::ClusterSpec spec;
+    spec.workers = 4;
+    return spec;
+  }
+
+  CloudPlugin& plugin() {
+    return static_cast<CloudPlugin&>(devices.device(cloud_id));
+  }
+
+  Result<OffloadReport> offload_once() {
+    omp::TargetRegion region(devices, "chunkcache");
+    region.device(cloud_id);
+    auto xv = region.map_to("x", x.data(), x.size());
+    auto yv = region.map_from("y", y.data(), y.size());
+    region.parallel_for(static_cast<int64_t>(x.size()))
+        .read_partitioned(xv, omp::rows<float>(1))
+        .write_partitioned(yv, omp::rows<float>(1))
+        .cost_flops(1.0)
+        .kernel("cache.addone");
+    return omp::offload_blocking(engine, region);
+  }
+};
+
+TEST(BlockDeltaCacheTest, AccountingCoversEveryByte) {
+  // Invariant: with caching on, every staged plain byte is either skipped
+  // (clean block) or uploaded (dirty/cold block) — never both, never lost.
+  ChunkedCachingFixture f;
+  const uint64_t plain = f.kFloats * sizeof(float);
+  const uint64_t blocks = plain / f.kChunk;
+
+  ASSERT_TRUE(f.offload_once().ok());
+  auto stats = f.plugin().cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.block_misses, blocks);
+  EXPECT_EQ(stats.block_hits, 0u);
+  EXPECT_EQ(stats.block_dirty, 0u);
+  EXPECT_EQ(stats.bytes_uploaded, plain);
+  EXPECT_EQ(stats.bytes_skipped, 0u);
+
+  ASSERT_TRUE(f.offload_once().ok());
+  stats = f.plugin().cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.block_hits, blocks);
+  EXPECT_EQ(stats.bytes_skipped + stats.bytes_uploaded, 2 * plain);
+  EXPECT_EQ(f.y[10], f.x[10] + 1.0f);
+}
+
+TEST(BlockDeltaCacheTest, SingleByteMutationReuploadsOneBlock) {
+  ChunkedCachingFixture f;
+  auto first = f.offload_once();
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+
+  f.x[5 * f.kFloatsPerBlock + 3] += 1.0f;  // dirty exactly block 5
+  auto second = f.offload_once();
+  ASSERT_TRUE(second.ok()) << second.status().to_string();
+
+  auto stats = f.plugin().cache_stats();
+  EXPECT_EQ(stats.block_dirty, 1u);
+  EXPECT_EQ(stats.block_hits, 16u - 1u);
+  EXPECT_EQ(second->uploaded_plain_bytes, f.kChunk);
+  // The delta re-offload ships one block plus a manifest — a small fraction
+  // of the cold run's wire bytes (the acceptance bar is 20%).
+  EXPECT_LT(second->uploaded_wire_bytes, first->uploaded_wire_bytes / 5);
+  EXPECT_EQ(f.y[5 * f.kFloatsPerBlock + 3], f.x[5 * f.kFloatsPerBlock + 3] + 1.0f);
+}
+
+TEST(BlockDeltaCacheTest, DirtyBlockCountMatchesMutatedRange) {
+  ChunkedCachingFixture f;
+  ASSERT_TRUE(f.offload_once().ok());
+
+  // Mutate a contiguous range straddling blocks 3..6 inclusive.
+  for (size_t i = 3 * f.kFloatsPerBlock + 2; i <= 6 * f.kFloatsPerBlock + 5;
+       ++i) {
+    f.x[i] = -f.x[i] - 1.0f;
+  }
+  auto second = f.offload_once();
+  ASSERT_TRUE(second.ok()) << second.status().to_string();
+
+  auto stats = f.plugin().cache_stats();
+  EXPECT_EQ(stats.block_dirty, 4u);
+  EXPECT_EQ(second->uploaded_plain_bytes, 4 * f.kChunk);
+  EXPECT_EQ(stats.bytes_skipped + stats.bytes_uploaded,
+            2 * f.kFloats * sizeof(float));
+  for (size_t i : {size_t{0}, 3 * f.kFloatsPerBlock + 2, 7 * f.kFloatsPerBlock}) {
+    EXPECT_EQ(f.y[i], f.x[i] + 1.0f) << i;
+  }
+}
+
+TEST(BlockDeltaCacheTest, EvictedBlockObjectIsDetected) {
+  // One part object vanished (lifecycle policy): only that block re-ships.
+  ChunkedCachingFixture f;
+  ASSERT_TRUE(f.offload_once().ok());
+  f.engine.spawn([](cloud::Cluster* cluster) -> sim::Co<void> {
+    (void)co_await cluster->store().remove("host", "ompcloud",
+                                           "chunkcache/x.bin.part00003");
+  }(&f.cluster));
+  f.engine.run();
+
+  auto second = f.offload_once();
+  ASSERT_TRUE(second.ok()) << second.status().to_string();
+  EXPECT_EQ(second->uploaded_plain_bytes, f.kChunk);
+  EXPECT_EQ(f.plugin().cache_stats().block_dirty, 1u);
+  EXPECT_EQ(f.y[0], f.x[0] + 1.0f);
+}
+
+TEST(BlockDeltaCacheTest, ChunkSizeChangeInvalidatesWholeEntry) {
+  // Re-chunking the same variable must not mix digests across chunk sizes.
+  ChunkedCachingFixture f;
+  ASSERT_TRUE(f.offload_once().ok());
+  auto& plugin = f.plugin();
+  const_cast<CloudPluginOptions&>(plugin.options()).chunk_size = 8192;
+  auto second = f.offload_once();
+  ASSERT_TRUE(second.ok()) << second.status().to_string();
+  EXPECT_EQ(second->uploaded_plain_bytes, f.kFloats * sizeof(float));
+  EXPECT_EQ(f.y[1], f.x[1] + 1.0f);
+}
+
+TEST(ChunkingKnobsTest, ConfigKeysParsed) {
+  auto config = *Config::parse(
+      "[offload]\nchunk-size = 2MiB\noverlap-transfers = false\n");
+  auto options = CloudPluginOptions::from_config(config);
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->chunk_size, 2ull << 20);
+  EXPECT_FALSE(options->overlap_transfers);
+}
+
 }  // namespace
 }  // namespace ompcloud::omptarget

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "compress/codec.h"
+#include "compress/payload.h"
 #include "support/random.h"
 
 namespace ompcloud::compress {
@@ -220,6 +221,171 @@ TEST(RleTest, TruncatedInputFailsCleanly) {
   ASSERT_TRUE(compressed.ok());
   auto result = codec.decompress(compressed->subview(0, compressed->size() - 1));
   EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+// --- Chunked payload frames --------------------------------------------------
+
+struct ChunkedCase {
+  std::string codec;
+  size_t size;
+};
+
+class ChunkedRoundTripTest : public ::testing::TestWithParam<ChunkedCase> {};
+
+TEST_P(ChunkedRoundTripTest, RoundTripsExactly) {
+  const auto& param = GetParam();
+  constexpr uint64_t kChunk = 4096;
+  ByteBuffer input = make_sparse(param.size, 0.7, 31);
+
+  auto framed =
+      compress::encode_chunked_payload(param.codec, input.view(), kChunk);
+  ASSERT_TRUE(framed.ok()) << framed.status().to_string();
+  EXPECT_TRUE(compress::is_chunked_payload(framed->view()));
+
+  auto index = compress::parse_chunked_index(framed->view());
+  ASSERT_TRUE(index.ok()) << index.status().to_string();
+  EXPECT_TRUE(index->inline_blocks);
+  EXPECT_EQ(index->plain_size, input.size());
+  EXPECT_EQ(index->blocks.size(),
+            compress::chunk_block_count(input.size(), kChunk));
+  uint64_t covered = 0;
+  for (const auto& block : index->blocks) {
+    EXPECT_EQ(block.plain_offset, covered);
+    EXPECT_LE(block.plain_size, kChunk);
+    covered += block.plain_size;
+  }
+  EXPECT_EQ(covered, input.size());
+
+  // Both the dedicated decoder and the generic one must restore the buffer
+  // (legacy interop: decode_payload accepts either frame family).
+  auto restored = compress::decode_chunked_payload(framed->view());
+  ASSERT_TRUE(restored.ok()) << restored.status().to_string();
+  EXPECT_EQ(*restored, input);
+  auto generic = compress::decode_payload(framed->view());
+  ASSERT_TRUE(generic.ok()) << generic.status().to_string();
+  EXPECT_EQ(*generic, input);
+}
+
+std::vector<ChunkedCase> chunked_cases() {
+  std::vector<ChunkedCase> cases;
+  // Sizes straddling every block boundary: empty, sub-block, exactly one
+  // block, one byte either side, and a multi-block remainder tail.
+  for (const auto& codec : codec_names()) {
+    for (size_t size : {0ul, 1ul, 4095ul, 4096ul, 4097ul, 3 * 4096ul + 17}) {
+      cases.push_back({codec, size});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, ChunkedRoundTripTest, ::testing::ValuesIn(chunked_cases()),
+    [](const ::testing::TestParamInfo<ChunkedCase>& info) {
+      auto name = info.param.codec + "_" + std::to_string(info.param.size);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(ChunkedPayloadTest, ReportsChunkedCodecName) {
+  ByteBuffer input = make_repetitive(10000);
+  auto framed = compress::encode_chunked_payload("gzlite", input.view(), 4096);
+  ASSERT_TRUE(framed.ok());
+  auto name = compress::payload_codec(framed->view());
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, compress::kChunkedFrameName);
+}
+
+TEST(ChunkedPayloadTest, MinCompressGateAppliesPerBlock) {
+  // Blocks below the gate are framed "null" even though the buffer as a
+  // whole is far larger — the gate is a per-block decision.
+  ByteBuffer input = make_repetitive(64 * 1024);
+  auto framed = compress::encode_chunked_payload("gzlite", input.view(), 1024,
+                                                 /*min_compress_size=*/4096);
+  ASSERT_TRUE(framed.ok());
+  auto index = compress::parse_chunked_index(framed->view());
+  ASSERT_TRUE(index.ok());
+  for (const auto& block : index->blocks) {
+    auto sub = compress::payload_codec(
+        framed->view().subspan(block.frame_offset, block.encoded_size));
+    ASSERT_TRUE(sub.ok());
+    EXPECT_EQ(*sub, "null");
+  }
+  auto restored = compress::decode_payload(framed->view());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, input);
+}
+
+TEST(ChunkedPayloadTest, ZeroChunkSizeRejected) {
+  ByteBuffer input = make_repetitive(100);
+  EXPECT_EQ(compress::encode_chunked_payload("null", input.view(), 0)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ChunkedPayloadTest, CorruptedBlockFailsVerification) {
+  ByteBuffer input = make_sparse(20000, 0.5, 41);
+  auto framed = compress::encode_chunked_payload("null", input.view(), 4096);
+  ASSERT_TRUE(framed.ok());
+  auto index = compress::parse_chunked_index(framed->view());
+  ASSERT_TRUE(index.ok());
+  // Flip one byte inside the second block's body: the content hash check
+  // must catch it ("null" has no checksum of its own).
+  ByteBuffer mutated(framed->view());
+  size_t pos = index->blocks[1].frame_offset + index->blocks[1].encoded_size / 2;
+  mutated.mutable_view()[pos] ^= std::byte{0x40};
+  EXPECT_EQ(compress::decode_chunked_payload(mutated.view()).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(ChunkedPayloadTest, TruncationFailsCleanly) {
+  ByteBuffer input = make_repetitive(30000);
+  auto framed = compress::encode_chunked_payload("gzlite", input.view(), 4096);
+  ASSERT_TRUE(framed.ok());
+  for (size_t cut : {framed->size() - 1, framed->size() / 2, size_t{3}}) {
+    auto result = compress::decode_payload(framed->subview(0, cut));
+    EXPECT_FALSE(result.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(ChunkedManifestTest, IndexRoundTrips) {
+  std::vector<compress::BlockDigest> digests = {
+      {4096, 120, 0xdeadbeef}, {4096, 4111, 0xfeedface}, {100, 30, 0x1234}};
+  auto manifest = compress::encode_chunked_manifest(4096, 2 * 4096 + 100,
+                                                    digests);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().to_string();
+  EXPECT_TRUE(compress::is_chunked_payload(manifest->view()));
+  auto index = compress::parse_chunked_index(manifest->view());
+  ASSERT_TRUE(index.ok()) << index.status().to_string();
+  EXPECT_FALSE(index->inline_blocks);
+  ASSERT_EQ(index->blocks.size(), digests.size());
+  for (size_t k = 0; k < digests.size(); ++k) {
+    EXPECT_EQ(index->blocks[k].plain_size, digests[k].plain_size);
+    EXPECT_EQ(index->blocks[k].encoded_size, digests[k].encoded_size);
+    EXPECT_EQ(index->blocks[k].content_hash, digests[k].content_hash);
+  }
+  // A manifest's blocks live elsewhere: decoding it directly must refuse.
+  EXPECT_EQ(compress::decode_chunked_payload(manifest->view()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ChunkedManifestTest, BlockCountMismatchRejected) {
+  std::vector<compress::BlockDigest> digests = {{4096, 100, 1}};
+  EXPECT_EQ(compress::encode_chunked_manifest(4096, 3 * 4096, digests)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EncodedPayloadTest, ReportsEffectiveCodec) {
+  ByteBuffer small = make_repetitive(100);
+  ByteBuffer large = make_repetitive(100000);
+  auto below = compress::encode_payload_frame("gzlite", small.view(), 4096);
+  ASSERT_TRUE(below.ok());
+  EXPECT_EQ(below->codec->name(), "null");
+  auto above = compress::encode_payload_frame("gzlite", large.view(), 4096);
+  ASSERT_TRUE(above.ok());
+  EXPECT_EQ(above->codec->name(), "gzlite");
 }
 
 // --- Registry ---------------------------------------------------------------

@@ -251,5 +251,55 @@ TEST_P(DifferentialTest, CloudMatchesHostBitwise) {
 INSTANTIATE_TEST_SUITE_P(RandomRegions, DifferentialTest,
                          ::testing::Range<uint64_t>(0, 24));
 
+// --- Chunked vs legacy staging ----------------------------------------------
+
+class ChunkedDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChunkedDifferentialTest, ChunkedMatchesLegacyBitwise) {
+  // The same random region staged three ways — legacy single frames, tiny
+  // chunked blocks with the overlapped pipeline, and tiny chunked blocks
+  // strictly serial — must produce bitwise-identical kernel outputs. This
+  // pins payload-format interop end to end: the plugin and the Spark driver
+  // each accept whichever frame family the other staged.
+  RegionPlan plan = RegionPlan::random(GetParam() + 1000);
+
+  auto run_cloud = [&](uint64_t chunk_size, bool overlap, Instance& instance) {
+    sim::Engine engine;
+    cloud::ClusterSpec spec;
+    spec.workers = 4;
+    cloud::Cluster cluster(engine, spec, cloud::SimProfile{});
+    omptarget::DeviceManager devices(engine);
+    omptarget::CloudPluginOptions options;
+    options.chunk_size = chunk_size;
+    options.overlap_transfers = overlap;
+    options.min_compress_size = 64;
+    int cloud_id = devices.register_device(
+        std::make_unique<omptarget::CloudPlugin>(cluster, spark::SparkConf{},
+                                                 options));
+    auto report = instance.run(devices, cloud_id, plan, engine);
+    ASSERT_TRUE(report.ok()) << report.status().to_string();
+    EXPECT_FALSE(report->fell_back_to_host);
+  };
+
+  Instance legacy(plan), overlapped(plan), serial(plan);
+  run_cloud(0, true, legacy);        // single-frame staging
+  run_cloud(256, true, overlapped);  // every buffer > 256 B goes chunked
+  run_cloud(256, false, serial);     // same blocks, serial pipeline
+
+  for (size_t v = 0; v < plan.vars.size(); ++v) {
+    ASSERT_EQ(legacy.buffers[v].size(), overlapped.buffers[v].size());
+    ASSERT_EQ(legacy.buffers[v].size(), serial.buffers[v].size());
+    for (size_t e = 0; e < legacy.buffers[v].size(); ++e) {
+      ASSERT_EQ(legacy.buffers[v][e], overlapped.buffers[v][e])
+          << "seed=" << GetParam() << " var=" << v << " elem=" << e;
+      ASSERT_EQ(legacy.buffers[v][e], serial.buffers[v][e])
+          << "seed=" << GetParam() << " var=" << v << " elem=" << e;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRegions, ChunkedDifferentialTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
 }  // namespace
 }  // namespace ompcloud
