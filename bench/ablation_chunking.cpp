@@ -17,6 +17,7 @@
 #include "omp/target_region.h"
 #include "support/flags.h"
 #include "support/strings.h"
+#include "trace/export.h"
 #include "workload/generators.h"
 
 using namespace ompcloud;
@@ -45,8 +46,11 @@ struct RunResult {
 /// One offload of matvec on a fresh cluster with the given staging knobs.
 /// `mutate_rows`: before a second offload, overwrite the first `mutate_rows`
 /// rows of A (rounds = 2 then measures the delta re-offload).
+/// `trace_path`: when non-empty, the run's span tree is exported there as
+/// Chrome trace-event JSON.
 Result<RunResult> run_matvec(int64_t n, uint64_t chunk_size, bool overlap,
-                             bool cache, int rounds, int64_t mutate_rows) {
+                             bool cache, int rounds, int64_t mutate_rows,
+                             const std::string& trace_path = {}) {
   sim::Engine engine;
   cloud::ClusterSpec spec;
   cloud::Cluster cluster(engine, spec, cloud::SimProfile::paper_scale(n));
@@ -88,6 +92,11 @@ Result<RunResult> run_matvec(int64_t n, uint64_t chunk_size, bool overlap,
     OC_ASSIGN_OR_RETURN(result.report, omp::offload_blocking(engine, region));
   }
   result.cache = plugin.cache_stats();
+  if (!trace_path.empty()) {
+    OC_RETURN_IF_ERROR(trace::write_chrome_json(
+        devices.tracer(), trace_path,
+        "\"report\": " + result.report.to_json(2)));
+  }
   return result;
 }
 
@@ -149,7 +158,8 @@ int run(int argc, const char** argv) {
   const uint64_t chunk = 32ull << 10;
   const int64_t mutate_rows = n / 10;
   auto cold = run_matvec(n, chunk, true, /*cache=*/true, 1, 0);
-  auto delta = run_matvec(n, chunk, true, /*cache=*/true, 2, mutate_rows);
+  auto delta = run_matvec(n, chunk, true, /*cache=*/true, 2, mutate_rows,
+                          "BENCH_offload.trace.json");
   if (!cold.ok() || !delta.ok()) {
     std::fprintf(stderr, "delta-cache runs failed\n");
     return 1;

@@ -4,6 +4,7 @@
 
 #include "omptarget/host_plugin.h"
 #include "support/strings.h"
+#include "trace/export.h"
 
 namespace ompcloud::bench {
 
@@ -50,6 +51,11 @@ Result<CloudRunResult> run_on_cloud_with_injectors(
   if (report.fell_back_to_host) {
     return internal_error("bench run unexpectedly fell back to host");
   }
+  if (!config.trace_path.empty()) {
+    OC_RETURN_IF_ERROR(trace::write_chrome_json(
+        devices.tracer(), config.trace_path,
+        "\"report\": " + report.to_json(2)));
+  }
 
   CloudRunResult result;
   result.report = std::move(report);
@@ -94,35 +100,11 @@ std::string speedup_str(double baseline_seconds, double seconds) {
 void BenchJson::add(const std::string& label,
                     const omptarget::OffloadReport& report,
                     const omptarget::CloudPlugin::CacheStats* cache) {
-  std::string record = str_format(
-      "    {\n"
-      "      \"label\": \"%s\",\n"
-      "      \"seconds\": {\"total\": %.6f, \"upload\": %.6f, "
-      "\"submit\": %.6f, \"job\": %.6f, \"download\": %.6f, "
-      "\"cleanup\": %.6f, \"boot\": %.6f, \"host_codec\": %.6f},\n"
-      "      \"bytes\": {\"uploaded_plain\": %llu, \"uploaded_wire\": %llu, "
-      "\"downloaded_plain\": %llu, \"downloaded_wire\": %llu},\n"
-      "      \"cost_usd\": %.6f",
-      label.c_str(), report.total_seconds, report.upload_seconds,
-      report.submit_seconds, report.job.job_seconds, report.download_seconds,
-      report.cleanup_seconds, report.boot_seconds, report.host_codec_seconds,
-      static_cast<unsigned long long>(report.uploaded_plain_bytes),
-      static_cast<unsigned long long>(report.uploaded_wire_bytes),
-      static_cast<unsigned long long>(report.downloaded_plain_bytes),
-      static_cast<unsigned long long>(report.downloaded_wire_bytes),
-      report.cost_usd);
+  std::string record =
+      str_format("    {\n      \"label\": \"%s\",\n      \"report\": %s",
+                 label.c_str(), report.to_json(6).c_str());
   if (cache != nullptr) {
-    record += str_format(
-        ",\n      \"cache\": {\"hits\": %llu, \"misses\": %llu, "
-        "\"block_hits\": %llu, \"block_misses\": %llu, \"block_dirty\": %llu, "
-        "\"bytes_skipped\": %llu, \"bytes_uploaded\": %llu}",
-        static_cast<unsigned long long>(cache->hits),
-        static_cast<unsigned long long>(cache->misses),
-        static_cast<unsigned long long>(cache->block_hits),
-        static_cast<unsigned long long>(cache->block_misses),
-        static_cast<unsigned long long>(cache->block_dirty),
-        static_cast<unsigned long long>(cache->bytes_skipped),
-        static_cast<unsigned long long>(cache->bytes_uploaded));
+    record += ",\n      \"cache\": " + cache->to_json();
   }
   record += "\n    }";
   records_.push_back(std::move(record));

@@ -29,6 +29,9 @@ struct CloudRunConfig {
   cloud::ClusterSpec cluster;
   /// Profile override; default is SimProfile::paper_scale(n, virtual_n).
   std::optional<cloud::SimProfile> profile;
+  /// When non-empty, the run's span tree is written here as Chrome
+  /// trace-event JSON (with the OffloadReport spliced in as `"report"`).
+  std::string trace_path;
 };
 
 struct CloudRunResult {

@@ -19,6 +19,7 @@
 #include "omptarget/cloud_plugin.h"
 #include "support/flags.h"
 #include "support/strings.h"
+#include "trace/export.h"
 #include "workload/generators.h"
 
 using namespace ompcloud;
@@ -121,5 +122,20 @@ int main(int argc, const char** argv) {
       format_duration(report->job.job_seconds).c_str(), report->job.tasks,
       report->job.slots, format_duration(report->download_seconds).c_str(),
       format_duration(report->total_seconds).c_str(), report->cost_usd);
+
+  // 5. `[trace] export = <path>`: dump the span tree for Perfetto.
+  trace::TraceOptions trace_options = trace::TraceOptions::from_config(config);
+  if (!trace_options.export_path.empty()) {
+    Status wrote = trace::write_chrome_json(devices.tracer(),
+                                            trace_options.export_path,
+                                            "\"report\": " + report->to_json(2));
+    if (!wrote.is_ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   wrote.to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (load it in ui.perfetto.dev)\n",
+                trace_options.export_path.c_str());
+  }
   return 0;
 }

@@ -116,6 +116,7 @@ Cluster::Cluster(sim::Engine& engine, ClusterSpec spec, SimProfile profile)
       spec_(std::move(spec)),
       profile_(profile),
       instance_(*find_instance_type(spec_.instance_type)),
+      tracer_(std::make_shared<trace::Tracer>(engine)),
       cost_(engine),
       state_(spec_.on_the_fly ? ClusterState::kStopped
                               : ClusterState::kRunning) {
@@ -123,6 +124,19 @@ Cluster::Cluster(sim::Engine& engine, ClusterSpec spec, SimProfile profile)
   if (state_ == ClusterState::kRunning) {
     // Pre-provisioned cluster: billing runs from t=0 (driver + workers).
     cost_.on_instances_started(spec_.workers + 1, instance_.price_per_hour);
+    tracer_->metrics().gauge("cluster.billing_instances")
+        .set(spec_.workers + 1);
+  }
+}
+
+void Cluster::set_tracer(std::shared_ptr<trace::Tracer> tracer) {
+  if (tracer == nullptr) return;
+  tracer_ = std::move(tracer);
+  store_->set_tracer(tracer_.get());
+  if (state_ == ClusterState::kRunning) {
+    // The constructor published this gauge on the tracer we just replaced.
+    tracer_->metrics().gauge("cluster.billing_instances")
+        .set(spec_.workers + 1);
   }
 }
 
@@ -194,13 +208,20 @@ void Cluster::build_topology() {
 
   store_ = std::make_unique<storage::ObjectStore>(
       net, storage_node(), storage_profile_for(spec_.storage_type));
+  store_->set_tracer(tracer_.get());
 }
 
 sim::Co<Status> Cluster::ensure_running() {
   if (state_ == ClusterState::kRunning) co_return Status::ok();
+  trace::SpanHandle span =
+      tracer_->span("cluster.boot", tracer_->take_ambient());
+  span.tag("instance_type", spec_.instance_type);
+  span.add("instances", spec_.workers + 1);
   // All instances boot in parallel; the cluster is usable when the slowest
   // is up. Billing starts at the boot request (as EC2 bills).
   cost_.on_instances_started(spec_.workers + 1, instance_.price_per_hour);
+  tracer_->metrics().counter("cluster.boots").add();
+  tracer_->metrics().gauge("cluster.billing_instances").set(spec_.workers + 1);
   co_await engine_->sleep(instance_.boot_seconds);
   state_ = ClusterState::kRunning;
   co_return Status::ok();
@@ -208,8 +229,13 @@ sim::Co<Status> Cluster::ensure_running() {
 
 sim::Co<Status> Cluster::shutdown() {
   if (state_ == ClusterState::kStopped) co_return Status::ok();
+  trace::SpanHandle span =
+      tracer_->span("cluster.shutdown", tracer_->take_ambient());
   cost_.on_instances_stopped(spec_.workers + 1, instance_.price_per_hour);
   state_ = ClusterState::kStopped;
+  tracer_->metrics().counter("cluster.shutdowns").add();
+  tracer_->metrics().gauge("cluster.billing_instances").set(0);
+  tracer_->metrics().gauge("cluster.accrued_usd").set(cost_.accrued_usd());
   // Stop requests return quickly; we do not model the async spin-down tail.
   co_await engine_->sleep(0.5);
   co_return Status::ok();
@@ -226,11 +252,13 @@ sim::Co<Status> Cluster::ssh_submit_roundtrip() {
 void Cluster::kill_worker(int index) {
   assert(index >= 0 && index < spec_.workers);
   worker_alive_[index] = false;
+  tracer_->metrics().counter("cluster.worker_kills").add();
 }
 
 void Cluster::revive_worker(int index) {
   assert(index >= 0 && index < spec_.workers);
   worker_alive_[index] = true;
+  tracer_->metrics().counter("cluster.worker_revives").add();
 }
 
 bool Cluster::worker_alive(int index) const {

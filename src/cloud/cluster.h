@@ -17,6 +17,7 @@
 #include "sim/engine.h"
 #include "storage/object_store.h"
 #include "support/config.h"
+#include "trace/tracer.h"
 
 namespace ompcloud::cloud {
 
@@ -112,6 +113,17 @@ class Cluster {
   [[nodiscard]] const InstanceType& instance() const { return instance_; }
   [[nodiscard]] CostMeter& cost() { return cost_; }
 
+  /// The tracer every layer running on this cluster records into. The
+  /// constructor creates one (so standalone clusters trace out of the box);
+  /// a DeviceManager replaces it via `set_tracer` so offload root spans and
+  /// cluster/storage/Spark spans land in a single tree.
+  [[nodiscard]] trace::Tracer& tracer() { return *tracer_; }
+  [[nodiscard]] const trace::Tracer& tracer() const { return *tracer_; }
+  [[nodiscard]] std::shared_ptr<trace::Tracer> shared_tracer() const {
+    return tracer_;
+  }
+  void set_tracer(std::shared_ptr<trace::Tracer> tracer);
+
   // Node names in the network topology.
   [[nodiscard]] static std::string host_node() { return "host"; }
   [[nodiscard]] static std::string storage_node() { return "storage"; }
@@ -161,6 +173,7 @@ class Cluster {
   ClusterSpec spec_;
   SimProfile profile_;
   InstanceType instance_;
+  std::shared_ptr<trace::Tracer> tracer_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<storage::ObjectStore> store_;
   std::vector<std::unique_ptr<sim::CpuPool>> worker_pools_;

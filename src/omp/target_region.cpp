@@ -136,9 +136,17 @@ sim::Co<Result<omptarget::OffloadReport>> TargetRegion::execute() {
   co_return co_await devices_->offload(std::move(lowered), device_id_);
 }
 
-TargetRegion::Async TargetRegion::execute_async(sim::Engine& engine) {
+Result<omptarget::OffloadReport> TargetRegion::Async::result() const {
+  if (!result_->has_value()) {
+    return failed_precondition(
+        "offload still in flight: await completion() before result()");
+  }
+  return **result_;
+}
+
+TargetRegion::Async TargetRegion::execute_async() {
   Async handle;
-  handle.completion_ = engine.spawn(
+  handle.completion_ = devices_->engine().spawn(
       [](TargetRegion* region,
          std::shared_ptr<std::optional<Result<omptarget::OffloadReport>>> out)
           -> sim::Co<void> {

@@ -130,16 +130,15 @@ class TargetRegion {
 
   /// `#pragma omp target ... nowait`: starts the offload and returns
   /// immediately; the host continues and joins later. The handle's
-  /// `wait()` is awaitable; `result()` is valid once `done()`.
+  /// `completion()` is awaitable; `result()` is safe to call at any time.
   class Async {
    public:
     [[nodiscard]] bool done() const { return result_->has_value(); }
     /// Awaitable join (use inside a coroutine).
     [[nodiscard]] sim::Completion completion() const { return completion_; }
-    /// The report; call only when done().
-    [[nodiscard]] const Result<omptarget::OffloadReport>& result() const {
-      return **result_;
-    }
+    /// The report. Before `done()` this returns kFailedPrecondition rather
+    /// than touching the (not yet produced) report.
+    [[nodiscard]] Result<omptarget::OffloadReport> result() const;
 
    private:
     friend class TargetRegion;
@@ -149,8 +148,9 @@ class TargetRegion {
   };
 
   /// Launches the offload without blocking (the caller must keep this
-  /// region alive until the returned handle is done).
-  [[nodiscard]] Async execute_async(sim::Engine& engine);
+  /// region alive until the returned handle is done). Runs on the device
+  /// manager's engine.
+  [[nodiscard]] Async execute_async();
 
   [[nodiscard]] int device_id() const { return device_id_; }
   [[nodiscard]] const std::string& name() const { return name_; }

@@ -5,8 +5,52 @@
 
 #include "compress/payload.h"
 #include "support/strings.h"
+#include "trace/query.h"
 
 namespace ompcloud::omptarget {
+
+namespace {
+
+/// Rebuilds the report's phase/byte/codec decomposition from the offload
+/// span subtree (the report is a *view* over the trace): phase seconds come
+/// from the root's direct children, bytes from `plain_bytes`/`wire_bytes`
+/// annotations in the upload/download subtrees, and host codec CPU time
+/// from `codec_seconds` annotations (only host-side compress/decode spans
+/// carry that key, so Spark-task codec time cannot leak in).
+void finalize_report_from_trace(const trace::Tracer& tracer, trace::SpanId root,
+                                OffloadReport& report) {
+  if (root == trace::kNoSpan) return;
+  trace::TraceQuery query(tracer);
+  for (const trace::Span* phase : query.children(root)) {
+    if (phase->name == "boot") {
+      report.boot_seconds += phase->duration();
+    } else if (phase->name == "upload") {
+      report.upload_seconds += phase->duration();
+    } else if (phase->name == "spark.submit") {
+      report.submit_seconds += phase->duration();
+    } else if (phase->name == "download") {
+      report.download_seconds += phase->duration();
+    } else if (phase->name == "cleanup") {
+      report.cleanup_seconds += phase->duration();
+    } else {
+      continue;
+    }
+    std::vector<const trace::Span*> spans = query.subtree(phase->id);
+    double plain = trace::TraceQuery::sum_value(spans, "plain_bytes");
+    double wire = trace::TraceQuery::sum_value(spans, "wire_bytes");
+    report.host_codec_seconds +=
+        trace::TraceQuery::sum_value(spans, "codec_seconds");
+    if (phase->name == "upload") {
+      report.uploaded_plain_bytes += static_cast<uint64_t>(plain);
+      report.uploaded_wire_bytes += static_cast<uint64_t>(wire);
+    } else if (phase->name == "download") {
+      report.downloaded_plain_bytes += static_cast<uint64_t>(plain);
+      report.downloaded_wire_bytes += static_cast<uint64_t>(wire);
+    }
+  }
+}
+
+}  // namespace
 
 Result<CloudPluginOptions> CloudPluginOptions::from_config(
     const Config& config) {
@@ -58,7 +102,43 @@ Result<std::unique_ptr<CloudPlugin>> CloudPlugin::from_config(
   auto plugin = std::make_unique<CloudPlugin>(*cluster, std::move(conf),
                                               std::move(options));
   plugin->owned_cluster_ = std::move(cluster);
+  plugin->configured_trace_ = trace::TraceOptions::from_config(config);
+  plugin->cluster_->tracer().configure(*plugin->configured_trace_);
   return plugin;
+}
+
+void CloudPlugin::attach_tracer(std::shared_ptr<trace::Tracer> tracer) {
+  if (tracer == nullptr) return;
+  if (configured_trace_.has_value()) tracer->configure(*configured_trace_);
+  tracer_ = tracer;
+  cluster_->set_tracer(std::move(tracer));
+}
+
+CloudPlugin::CacheStats CloudPlugin::cache_stats() const {
+  const trace::Metrics& metrics = tracer().metrics();
+  CacheStats stats;
+  stats.hits = metrics.counter_value("cache.hits");
+  stats.misses = metrics.counter_value("cache.misses");
+  stats.block_hits = metrics.counter_value("cache.block_hits");
+  stats.block_misses = metrics.counter_value("cache.block_misses");
+  stats.block_dirty = metrics.counter_value("cache.block_dirty");
+  stats.bytes_skipped = metrics.counter_value("cache.bytes_skipped");
+  stats.bytes_uploaded = metrics.counter_value("cache.bytes_uploaded");
+  return stats;
+}
+
+std::string CloudPlugin::CacheStats::to_json() const {
+  return str_format(
+      "{\"hits\": %llu, \"misses\": %llu, "
+      "\"block_hits\": %llu, \"block_misses\": %llu, \"block_dirty\": %llu, "
+      "\"bytes_skipped\": %llu, \"bytes_uploaded\": %llu}",
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses),
+      static_cast<unsigned long long>(block_hits),
+      static_cast<unsigned long long>(block_misses),
+      static_cast<unsigned long long>(block_dirty),
+      static_cast<unsigned long long>(bytes_skipped),
+      static_cast<unsigned long long>(bytes_uploaded));
 }
 
 bool CloudPlugin::is_available() const {
@@ -78,14 +158,18 @@ std::vector<std::string> CloudPlugin::staged_names(const TargetRegion& region,
   return names;
 }
 
-sim::Co<Status> CloudPlugin::put_with_retry(std::string key, ByteBuffer frame) {
+sim::Co<Status> CloudPlugin::put_with_retry(std::string key, ByteBuffer frame,
+                                            trace::SpanId parent) {
   auto& engine = cluster_->engine();
+  trace::Tracer& tr = tracer();
   Status put = Status::ok();
   for (int attempt = 0; attempt <= options_.storage_retries; ++attempt) {
     if (attempt > 0) {
+      tr.metrics().counter("storage.retries").add();
       co_await engine.sleep(options_.retry_backoff_seconds * attempt);
     }
     // put() consumes its buffer, so each attempt ships a fresh copy.
+    tr.set_ambient(parent);
     put = co_await cluster_->store().put(cloud::Cluster::host_node(),
                                          options_.bucket, key,
                                          ByteBuffer(frame.view()));
@@ -94,13 +178,17 @@ sim::Co<Status> CloudPlugin::put_with_retry(std::string key, ByteBuffer frame) {
   co_return put;
 }
 
-sim::Co<Result<ByteBuffer>> CloudPlugin::get_with_retry(std::string key) {
+sim::Co<Result<ByteBuffer>> CloudPlugin::get_with_retry(std::string key,
+                                                        trace::SpanId parent) {
   auto& engine = cluster_->engine();
+  trace::Tracer& tr = tracer();
   Status got = Status::ok();
   for (int attempt = 0; attempt <= options_.storage_retries; ++attempt) {
     if (attempt > 0) {
+      tr.metrics().counter("storage.retries").add();
       co_await engine.sleep(options_.retry_backoff_seconds * attempt);
     }
+    tr.set_ambient(parent);
     auto result = co_await cluster_->store().get(cloud::Cluster::host_node(),
                                                  options_.bucket, key);
     if (result.ok()) co_return std::move(*result);
@@ -112,7 +200,7 @@ sim::Co<Result<ByteBuffer>> CloudPlugin::get_with_retry(std::string key) {
 
 sim::Co<Status> CloudPlugin::upload_inputs(
     const TargetRegion& region, const std::vector<std::string>& names,
-    bool cache_eligible, OffloadReport& report) {
+    bool cache_eligible, trace::SpanId phase) {
   auto& engine = cluster_->engine();
   // One transfer thread per buffer by default; a semaphore models the
   // configurable thread-pool bound. Chunked buffers draw block transfers
@@ -135,23 +223,23 @@ sim::Co<Status> CloudPlugin::upload_inputs(
     parts.push_back(engine.spawn(
         [](CloudPlugin* self, const MappedVar* var, std::string staged,
            bool cache_eligible, std::shared_ptr<sim::Semaphore> gate,
-           OffloadReport* report, std::vector<Status>* statuses,
+           trace::SpanId phase, std::vector<Status>* statuses,
            size_t v) -> sim::Co<void> {
           Status status;
           if (self->use_chunking(var->size_bytes)) {
             status = co_await self->upload_chunked(var, std::move(staged),
                                                    cache_eligible, gate,
-                                                   report);
+                                                   phase);
           } else {
             status = co_await self->upload_single(var, std::move(staged),
                                                   cache_eligible, gate,
-                                                  report);
+                                                  phase);
           }
           if (!status.is_ok()) {
             (*statuses)[v] =
                 status.with_context("uploading '" + var->name + "'");
           }
-        }(this, &var, names[v], cache_eligible, gate, &report, statuses.get(),
+        }(this, &var, names[v], cache_eligible, gate, phase, statuses.get(),
           v)));
   }
   co_await sim::all(std::move(parts));
@@ -165,7 +253,9 @@ sim::Co<Status> CloudPlugin::upload_single(const MappedVar* var,
                                            std::string staged,
                                            bool cache_eligible,
                                            std::shared_ptr<sim::Semaphore> gate,
-                                           OffloadReport* report) {
+                                           trace::SpanId phase) {
+  trace::Tracer& tr = tracer();
+  trace::SpanHandle span = tr.span("upload/" + var->name, phase);
   ByteView plain = as_bytes_of(static_cast<const std::byte*>(var->host_ptr),
                                var->size_bytes);
   std::string key = spark::SparkContext::input_key(staged);
@@ -187,19 +277,23 @@ sim::Co<Status> CloudPlugin::upload_single(const MappedVar* var,
             : nullptr;
     if (cached && cached->blocks[0].content_hash == hash &&
         cluster_->store().contains(options_.bucket, key)) {
-      ++cache_stats_.hits;
-      ++cache_stats_.block_hits;
-      cache_stats_.bytes_skipped += plain.size();
+      tr.metrics().counter("cache.hits").add();
+      tr.metrics().counter("cache.block_hits").add();
+      tr.metrics().counter("cache.bytes_skipped").add(plain.size());
+      span.tag("cache", "hit");
       co_return Status::ok();
     }
-    ++cache_stats_.misses;
-    ++(cached != nullptr ? cache_stats_.block_dirty : cache_stats_.block_misses);
-    cache_stats_.bytes_uploaded += plain.size();
+    tr.metrics().counter("cache.misses").add();
+    tr.metrics()
+        .counter(cached != nullptr ? "cache.block_dirty" : "cache.block_misses")
+        .add();
+    tr.metrics().counter("cache.bytes_uploaded").add(plain.size());
   }
   co_await gate->acquire();
   // gzip on the laptop: real compression, charged on the host pool at the
   // rate of the codec the frame actually carries (the min-size gate may
   // have demoted to "null").
+  trace::SpanHandle compress_span = tr.span("compress", span.id());
   auto encoded = compress::encode_payload_frame(options_.codec, plain,
                                                 options_.min_compress_size);
   if (!encoded.ok()) {
@@ -209,11 +303,15 @@ sim::Co<Status> CloudPlugin::upload_single(const MappedVar* var,
   double codec_seconds =
       cluster_->profile().encode_seconds(*encoded->codec, plain.size());
   co_await cluster_->host_pool().run(codec_seconds);
-  report->host_codec_seconds += codec_seconds;
-  report->uploaded_plain_bytes += plain.size();
-  report->uploaded_wire_bytes += encoded->frame.size();
+  compress_span.add("plain_bytes", static_cast<double>(plain.size()));
+  compress_span.add("codec_seconds", codec_seconds);
+  compress_span.end();
   uint64_t encoded_size = encoded->frame.size();
-  Status put = co_await put_with_retry(key, std::move(encoded->frame));
+  trace::SpanHandle put_span = tr.span("put", span.id());
+  put_span.add("wire_bytes", static_cast<double>(encoded_size));
+  Status put = co_await put_with_retry(key, std::move(encoded->frame),
+                                       put_span.id());
+  put_span.end();
   gate->release();
   OC_CO_RETURN_IF_ERROR(put);
   if (use_cache) {
@@ -226,9 +324,19 @@ sim::Co<Status> CloudPlugin::upload_single(const MappedVar* var,
 sim::Co<void> CloudPlugin::put_block(
     std::string key, ByteBuffer frame, std::shared_ptr<sim::Semaphore> gate,
     std::shared_ptr<sim::Semaphore> window,
-    std::shared_ptr<std::vector<Status>> statuses, size_t slot) {
+    std::shared_ptr<std::vector<Status>> statuses, size_t slot,
+    trace::SpanId parent) {
+  uint64_t wire_bytes = frame.size();
   co_await gate->acquire();
-  Status put = co_await put_with_retry(std::move(key), std::move(frame));
+  // Span covers exactly the gate-held wire time: opened after the acquire,
+  // closed before the releases (so the overlap/concurrency assertions in
+  // trace_test see the transfer itself, not queueing).
+  trace::SpanHandle span =
+      tracer().span(str_format("block[%zu].put", slot), parent);
+  span.add("wire_bytes", static_cast<double>(wire_bytes));
+  Status put = co_await put_with_retry(std::move(key), std::move(frame),
+                                       span.id());
+  span.end();
   gate->release();
   window->release();
   if (!put.is_ok()) (*statuses)[slot] = put;
@@ -236,8 +344,11 @@ sim::Co<void> CloudPlugin::put_block(
 
 sim::Co<Status> CloudPlugin::upload_chunked(
     const MappedVar* var, std::string staged, bool cache_eligible,
-    std::shared_ptr<sim::Semaphore> gate, OffloadReport* report) {
+    std::shared_ptr<sim::Semaphore> gate, trace::SpanId phase) {
   auto& engine = cluster_->engine();
+  trace::Tracer& tr = tracer();
+  trace::SpanHandle span = tr.span("upload/" + var->name, phase);
+  span.tag("chunked", "true");
   ByteView plain = as_bytes_of(static_cast<const std::byte*>(var->host_ptr),
                                var->size_bytes);
   const uint64_t chunk = options_.chunk_size;
@@ -281,12 +392,13 @@ sim::Co<Status> CloudPlugin::upload_chunked(
     }
     if (dirty_count == 0 &&
         cluster_->store().contains(options_.bucket, base_key)) {
-      ++cache_stats_.hits;
-      cache_stats_.block_hits += count;
-      cache_stats_.bytes_skipped += plain.size();
+      tr.metrics().counter("cache.hits").add();
+      tr.metrics().counter("cache.block_hits").add(count);
+      tr.metrics().counter("cache.bytes_skipped").add(plain.size());
+      span.tag("cache", "hit");
       co_return Status::ok();
     }
-    ++cache_stats_.misses;
+    tr.metrics().counter("cache.misses").add();
   }
 
   // The streaming pipeline: this producer compresses blocks in order; each
@@ -304,16 +416,22 @@ sim::Co<Status> CloudPlugin::upload_chunked(
     uint64_t len = std::min<uint64_t>(chunk, plain.size() - off);
     if (!dirty[k]) {
       digests[k] = cached->blocks[k];
-      ++cache_stats_.block_hits;
-      cache_stats_.bytes_skipped += len;
+      tr.metrics().counter("cache.block_hits").add();
+      tr.metrics().counter("cache.bytes_skipped").add(len);
       continue;
     }
     if (use_cache) {
-      ++(cached != nullptr ? cache_stats_.block_dirty
-                           : cache_stats_.block_misses);
-      cache_stats_.bytes_uploaded += len;
+      tr.metrics()
+          .counter(cached != nullptr ? "cache.block_dirty"
+                                     : "cache.block_misses")
+          .add();
+      tr.metrics().counter("cache.bytes_uploaded").add(len);
     }
     co_await window->acquire();
+    trace::SpanHandle compress_span =
+        tr.span(str_format("block[%llu].compress",
+                           static_cast<unsigned long long>(k)),
+                span.id());
     auto encoded = compress::encode_payload_frame(
         options_.codec, plain.subspan(off, len), options_.min_compress_size);
     if (!encoded.ok()) {
@@ -324,13 +442,14 @@ sim::Co<Status> CloudPlugin::upload_chunked(
     double codec_seconds =
         cluster_->profile().encode_seconds(*encoded->codec, len);
     co_await cluster_->host_pool().run(codec_seconds);
-    report->host_codec_seconds += codec_seconds;
+    compress_span.add("plain_bytes", static_cast<double>(len));
+    compress_span.add("codec_seconds", codec_seconds);
+    compress_span.end();
     digests[k] = {len, encoded->frame.size(), hashes[k]};
-    report->uploaded_plain_bytes += len;
-    report->uploaded_wire_bytes += encoded->frame.size();
     puts.push_back(engine.spawn(
         put_block(spark::SparkContext::part_key(base_key, k),
-                  std::move(encoded->frame), gate, window, statuses, k)));
+                  std::move(encoded->frame), gate, window, statuses, k,
+                  span.id())));
   }
   co_await sim::all(std::move(puts));
   OC_CO_RETURN_IF_ERROR(produce);
@@ -344,10 +463,13 @@ sim::Co<Status> CloudPlugin::upload_chunked(
       compress::encode_chunked_manifest(chunk, plain.size(), digests));
   uint64_t manifest_size = manifest.size();
   co_await gate->acquire();
-  Status put = co_await put_with_retry(base_key, std::move(manifest));
+  trace::SpanHandle manifest_span = tr.span("manifest.put", span.id());
+  manifest_span.add("wire_bytes", static_cast<double>(manifest_size));
+  Status put = co_await put_with_retry(base_key, std::move(manifest),
+                                       manifest_span.id());
+  manifest_span.end();
   gate->release();
   OC_CO_RETURN_IF_ERROR(put);
-  report->uploaded_wire_bytes += manifest_size;
   if (use_cache) {
     data_cache_[staged] = CachedInput{chunk, plain.size(), std::move(digests)};
   }
@@ -356,7 +478,7 @@ sim::Co<Status> CloudPlugin::upload_chunked(
 
 sim::Co<Status> CloudPlugin::download_outputs(
     const TargetRegion& region, const std::vector<std::string>& names,
-    OffloadReport& report) {
+    trace::SpanId phase) {
   auto& engine = cluster_->engine();
   int buffer_count = 0;
   for (const MappedVar& var : region.vars) {
@@ -374,15 +496,15 @@ sim::Co<Status> CloudPlugin::download_outputs(
     if (!var.maps_from()) continue;
     parts.push_back(engine.spawn(
         [](CloudPlugin* self, const MappedVar* var, std::string staged,
-           std::shared_ptr<sim::Semaphore> gate, OffloadReport* report,
+           std::shared_ptr<sim::Semaphore> gate, trace::SpanId phase,
            std::vector<Status>* statuses, size_t v) -> sim::Co<void> {
           Status status = co_await self->download_buffer(
-              var, std::move(staged), gate, report);
+              var, std::move(staged), gate, phase);
           if (!status.is_ok()) {
             (*statuses)[v] =
                 status.with_context("downloading '" + var->name + "'");
           }
-        }(this, &var, names[v], gate, &report, statuses.get(), v)));
+        }(this, &var, names[v], gate, phase, statuses.get(), v)));
   }
   co_await sim::all(std::move(parts));
   for (const Status& status : *statuses) {
@@ -396,18 +518,27 @@ sim::Co<void> CloudPlugin::fetch_block(
     std::shared_ptr<sim::Semaphore> gate,
     std::shared_ptr<sim::Semaphore> window,
     std::shared_ptr<std::vector<Status>> statuses, size_t slot,
-    OffloadReport* report) {
+    trace::SpanId parent) {
+  trace::Tracer& tr = tracer();
   // The window bounds runahead (mirroring the upload pipeline); the gate is
   // held only for the wire, so block k decodes while block k+1 transfers.
   co_await window->acquire();
   co_await gate->acquire();
-  auto framed = co_await get_with_retry(std::move(key));
+  trace::SpanHandle fetch_span =
+      tr.span(str_format("block[%zu].fetch", slot), parent);
+  auto framed = co_await get_with_retry(std::move(key), fetch_span.id());
+  if (framed.ok()) {
+    fetch_span.add("wire_bytes", static_cast<double>(framed->size()));
+  }
+  fetch_span.end();
   gate->release();
   if (!framed.ok()) {
     window->release();
     (*statuses)[slot] = framed.status();
     co_return;
   }
+  trace::SpanHandle decode_span =
+      tr.span(str_format("block[%zu].decode", slot), parent);
   auto plain = compress::decode_payload(framed->view());
   if (!plain.ok()) {
     window->release();
@@ -431,9 +562,9 @@ sim::Co<void> CloudPlugin::fetch_block(
     }
   }
   co_await cluster_->host_pool().run(codec_seconds);
-  report->host_codec_seconds += codec_seconds;
-  report->downloaded_plain_bytes += plain->size();
-  report->downloaded_wire_bytes += framed->size();
+  decode_span.add("plain_bytes", static_cast<double>(plain->size()));
+  decode_span.add("codec_seconds", codec_seconds);
+  decode_span.end();
   std::memcpy(static_cast<std::byte*>(var->host_ptr) + block.plain_offset,
               plain->data(), plain->size());
   window->release();
@@ -441,11 +572,18 @@ sim::Co<void> CloudPlugin::fetch_block(
 
 sim::Co<Status> CloudPlugin::download_buffer(
     const MappedVar* var, std::string staged,
-    std::shared_ptr<sim::Semaphore> gate, OffloadReport* report) {
+    std::shared_ptr<sim::Semaphore> gate, trace::SpanId phase) {
   auto& engine = cluster_->engine();
+  trace::Tracer& tr = tracer();
+  trace::SpanHandle span = tr.span("download/" + var->name, phase);
   std::string base_key = spark::SparkContext::output_key(staged);
   co_await gate->acquire();
-  auto framed = co_await get_with_retry(base_key);
+  trace::SpanHandle fetch_span = tr.span("fetch", span.id());
+  auto framed = co_await get_with_retry(base_key, fetch_span.id());
+  if (framed.ok()) {
+    fetch_span.add("wire_bytes", static_cast<double>(framed->size()));
+  }
+  fetch_span.end();
   gate->release();
   OC_CO_RETURN_IF_ERROR(framed.status());
 
@@ -459,6 +597,7 @@ sim::Co<Status> CloudPlugin::download_buffer(
           static_cast<unsigned long long>(var->size_bytes)));
     }
     if (index.inline_blocks) {
+      trace::SpanHandle decode_span = tr.span("decode", span.id());
       OC_CO_ASSIGN_OR_RETURN(ByteBuffer plain,
                              compress::decode_chunked_payload(framed->view()));
       double codec_seconds = 0;
@@ -473,16 +612,15 @@ sim::Co<Status> CloudPlugin::download_buffer(
         }
       }
       co_await cluster_->host_pool().run(codec_seconds);
-      report->host_codec_seconds += codec_seconds;
-      report->downloaded_plain_bytes += plain.size();
-      report->downloaded_wire_bytes += framed->size();
+      decode_span.add("plain_bytes", static_cast<double>(plain.size()));
+      decode_span.add("codec_seconds", codec_seconds);
+      decode_span.end();
       std::memcpy(var->host_ptr, plain.data(), plain.size());
       co_return Status::ok();
     }
     // Manifest: stream the sibling block objects back through the mirrored
     // pipeline. Each block verifies independently and lands at its own
     // offset, so completion order is irrelevant.
-    report->downloaded_wire_bytes += framed->size();
     auto window = std::make_shared<sim::Semaphore>(
         engine, options_.overlap_transfers ? 2 : 1);
     auto statuses = std::make_shared<std::vector<Status>>(index.blocks.size(),
@@ -491,7 +629,7 @@ sim::Co<Status> CloudPlugin::download_buffer(
     for (size_t k = 0; k < index.blocks.size(); ++k) {
       fetches.push_back(engine.spawn(
           fetch_block(spark::SparkContext::part_key(base_key, k), var,
-                      index.blocks[k], gate, window, statuses, k, report)));
+                      index.blocks[k], gate, window, statuses, k, span.id())));
     }
     co_await sim::all(std::move(fetches));
     for (size_t k = 0; k < statuses->size(); ++k) {
@@ -504,6 +642,7 @@ sim::Co<Status> CloudPlugin::download_buffer(
   }
 
   // Legacy single frame.
+  trace::SpanHandle decode_span = tr.span("decode", span.id());
   OC_CO_ASSIGN_OR_RETURN(ByteBuffer plain,
                          compress::decode_payload(framed->view()));
   if (plain.size() != var->size_bytes) {
@@ -521,50 +660,71 @@ sim::Co<Status> CloudPlugin::download_buffer(
     }
   }
   co_await cluster_->host_pool().run(codec_seconds);
-  report->host_codec_seconds += codec_seconds;
-  report->downloaded_plain_bytes += plain.size();
-  report->downloaded_wire_bytes += framed->size();
+  decode_span.add("plain_bytes", static_cast<double>(plain.size()));
+  decode_span.add("codec_seconds", codec_seconds);
+  decode_span.end();
   std::memcpy(var->host_ptr, plain.data(), plain.size());
   co_return Status::ok();
 }
 
 sim::Co<Status> CloudPlugin::cleanup_objects(
     const TargetRegion& region, const std::vector<std::string>& names,
-    bool cache_eligible) {
+    bool cache_eligible, trace::SpanId phase) {
   (void)region;
   if (names.empty()) co_return Status::ok();
+  trace::Tracer& tr = tracer();
   // Every staged key of this invocation shares one prefix (names[v] =
   // "<prefix><var>"). One list finds them all — including block part
   // objects whose count we may no longer know (a previous invocation could
   // have staged a different size under the stable prefix).
   std::string prefix = names[0].substr(0, names[0].rfind('/') + 1);
+  tr.set_ambient(phase);
   auto keys = co_await cluster_->store().list(cloud::Cluster::host_node(),
                                               options_.bucket, prefix);
   // Deletions are best-effort (idempotent in S3); drop their statuses.
   if (!keys.ok()) co_return Status::ok();
   bool keep_inputs = options_.cache_data && cache_eligible;
   auto& engine = cluster_->engine();
-  auto drop = [](sim::Co<Status> op) -> sim::Co<void> {
+  auto drop = [](trace::Tracer* tr, trace::SpanId phase,
+                 sim::Co<Status> op) -> sim::Co<void> {
+    // Re-arm the ambient parent inside the spawned task: the op's body
+    // starts synchronously inside this co_await, so its store.delete span
+    // lands under the cleanup phase.
+    tr->set_ambient(phase);
     (void)co_await std::move(op);
   };
   std::vector<sim::Completion> parts;
   for (const std::string& key : *keys) {
     bool is_output = key.find(".out.bin") != std::string::npos;
     if (!is_output && keep_inputs) continue;
-    parts.push_back(engine.spawn(drop(cluster_->store().remove(
-        cloud::Cluster::host_node(), options_.bucket, key))));
+    parts.push_back(engine.spawn(drop(
+        &tr, phase,
+        cluster_->store().remove(cloud::Cluster::host_node(), options_.bucket,
+                                 key))));
   }
   co_await sim::all(std::move(parts));
   co_return Status::ok();
 }
 
 sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
-    const TargetRegion& region) {
+    const TargetRegion& region, trace::SpanId parent_span) {
   auto& engine = cluster_->engine();
+  trace::Tracer& tr = tracer();
   OffloadReport report;
   report.device_name = name_;
   double start = engine.now();
   double cost_start = cluster_->cost().accrued_usd();
+
+  // Adopt the manager's root `offload` span when given one; standalone
+  // callers get a local root so the phase tree is always complete.
+  trace::SpanHandle local_root;
+  trace::SpanId root = parent_span;
+  if (root == trace::kNoSpan) {
+    local_root = tr.span("offload");
+    local_root.tag("region", region.name);
+    local_root.tag("device", name_);
+    root = local_root.id();
+  }
 
   if (options_.stream_spark_logs) {
     log_.info("offloading region '%s' to %s", region.name.c_str(),
@@ -600,9 +760,9 @@ sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
     if (!cluster_->spec().on_the_fly) {
       co_return unavailable("cluster stopped and on-the-fly mode disabled");
     }
-    double boot_start = engine.now();
+    trace::SpanHandle boot = tr.span("boot", root);
+    tr.set_ambient(boot.id());
     OC_CO_RETURN_IF_ERROR(co_await cluster_->ensure_running());
-    report.boot_seconds = engine.now() - boot_start;
   }
 
   if (!cluster_->store().bucket_exists(options_.bucket)) {
@@ -616,15 +776,17 @@ sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
 
   // Fig. 1 step 2: inputs to cloud storage (parallel transfer threads,
   // chunked buffers streaming compress/wire overlapped).
-  double upload_start = engine.now();
-  OC_CO_RETURN_IF_ERROR(
-      co_await upload_inputs(region, names, cache_eligible, report));
-  report.upload_seconds = engine.now() - upload_start;
+  {
+    trace::SpanHandle upload = tr.span("upload", root);
+    OC_CO_RETURN_IF_ERROR(
+        co_await upload_inputs(region, names, cache_eligible, upload.id()));
+  }
 
   // Fig. 1 step 3: submit the Spark job over SSH and block.
-  double submit_start = engine.now();
-  OC_CO_RETURN_IF_ERROR(co_await cluster_->ssh_submit_roundtrip());
-  report.submit_seconds = engine.now() - submit_start;
+  {
+    trace::SpanHandle submit = tr.span("spark.submit", root);
+    OC_CO_RETURN_IF_ERROR(co_await cluster_->ssh_submit_roundtrip());
+  }
 
   spark::JobSpec job;
   job.name = region.name;
@@ -638,27 +800,32 @@ sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
         {names[v], var.size_bytes, var.maps_to(), var.maps_from()});
   }
   job.loops = region.loops;
-  OC_CO_ASSIGN_OR_RETURN(report.job, co_await context_.run_job(std::move(job)));
+  OC_CO_ASSIGN_OR_RETURN(report.job,
+                         co_await context_.run_job(std::move(job), root));
 
   // Fig. 1 step 8: results back to the host.
-  double download_start = engine.now();
-  OC_CO_RETURN_IF_ERROR(co_await download_outputs(region, names, report));
-  report.download_seconds = engine.now() - download_start;
+  {
+    trace::SpanHandle download = tr.span("download", root);
+    OC_CO_RETURN_IF_ERROR(
+        co_await download_outputs(region, names, download.id()));
+  }
 
   if (options_.cleanup) {
-    double cleanup_start = engine.now();
+    trace::SpanHandle cleanup = tr.span("cleanup", root);
     OC_CO_RETURN_IF_ERROR(
-        co_await cleanup_objects(region, names, cache_eligible));
-    report.cleanup_seconds = engine.now() - cleanup_start;
+        co_await cleanup_objects(region, names, cache_eligible, cleanup.id()));
   }
 
   // On-the-fly: stop billing as soon as the region is done.
   if (cluster_->spec().on_the_fly) {
+    tr.set_ambient(root);
     OC_CO_RETURN_IF_ERROR(co_await cluster_->shutdown());
   }
 
   report.total_seconds = engine.now() - start;
   report.cost_usd = cluster_->cost().accrued_usd() - cost_start;
+  local_root.end();
+  finalize_report_from_trace(tr, root, report);
   if (options_.stream_spark_logs) {
     log_.info("region '%s' done in %s ($%.4f)", region.name.c_str(),
               format_duration(report.total_seconds).c_str(), report.cost_usd);

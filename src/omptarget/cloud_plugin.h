@@ -88,7 +88,13 @@ class CloudPlugin final : public Plugin {
   [[nodiscard]] bool is_available() const override;
 
   [[nodiscard]] sim::Co<Result<OffloadReport>> run_region(
-      const TargetRegion& region) override;
+      const TargetRegion& region,
+      trace::SpanId parent_span = trace::kNoSpan) override;
+
+  /// Applies any `[trace]` config read by `from_config`, then propagates
+  /// the tracer into the cluster (and through it the object store) so the
+  /// whole substrate records into the manager's span tree.
+  void attach_tracer(std::shared_ptr<trace::Tracer> tracer) override;
 
   [[nodiscard]] cloud::Cluster& cluster() { return *cluster_; }
   [[nodiscard]] spark::SparkContext& spark_context() { return context_; }
@@ -97,6 +103,8 @@ class CloudPlugin final : public Plugin {
   /// Cache statistics (diagnostics + the caching bench). Whole-buffer
   /// hits/misses count staged variables; the block counters break a chunked
   /// buffer down further (a single-frame buffer counts as one block).
+  /// Backed by the tracer's `cache.*` metric counters, so this is a
+  /// snapshot view, not live state.
   struct CacheStats {
     uint64_t hits = 0;    ///< buffers skipped entirely (every block clean)
     uint64_t misses = 0;  ///< buffers that uploaded at least one block
@@ -105,8 +113,11 @@ class CloudPlugin final : public Plugin {
     uint64_t block_dirty = 0;   ///< staged blocks whose content changed
     uint64_t bytes_skipped = 0;  ///< plain bytes whose upload was avoided
     uint64_t bytes_uploaded = 0; ///< plain bytes actually (re)uploaded
+
+    /// One-line JSON object (the `"cache"` record of the bench output).
+    [[nodiscard]] std::string to_json() const;
   };
-  [[nodiscard]] const CacheStats& cache_stats() const { return cache_stats_; }
+  [[nodiscard]] CacheStats cache_stats() const;
 
   /// Drops every cache entry (e.g. when the staging bucket was wiped).
   void clear_data_cache() { data_cache_.clear(); }
@@ -132,19 +143,28 @@ class CloudPlugin final : public Plugin {
     return options_.chunk_size > 0 && size > options_.chunk_size;
   }
 
-  /// Storage put/get with the transient-failure retry loop.
-  sim::Co<Status> put_with_retry(std::string key, ByteBuffer frame);
-  sim::Co<Result<ByteBuffer>> get_with_retry(std::string key);
+  /// The tracer every helper records into (the cluster's — identical to the
+  /// manager's once `attach_tracer` ran).
+  [[nodiscard]] trace::Tracer& tracer() const { return cluster_->tracer(); }
 
+  /// Storage put/get with the transient-failure retry loop. `parent` adopts
+  /// the resulting `store.*` spans (via the tracer's ambient slot).
+  sim::Co<Status> put_with_retry(std::string key, ByteBuffer frame,
+                                 trace::SpanId parent);
+  sim::Co<Result<ByteBuffer>> get_with_retry(std::string key,
+                                             trace::SpanId parent);
+
+  /// Stages every map(to:) buffer. Transfer seconds/bytes are recorded as
+  /// spans under `phase` (the report derives its fields from them).
   sim::Co<Status> upload_inputs(const TargetRegion& region,
                                 const std::vector<std::string>& names,
-                                bool cache_eligible, OffloadReport& report);
+                                bool cache_eligible, trace::SpanId phase);
   /// Uploads one buffer as a single frame (legacy path, with whole-buffer
   /// delta caching).
   sim::Co<Status> upload_single(const MappedVar* var, std::string staged,
                                 bool cache_eligible,
                                 std::shared_ptr<sim::Semaphore> gate,
-                                OffloadReport* report);
+                                trace::SpanId phase);
   /// Uploads one buffer as a block stream: compress block k+1 on the host
   /// pool while block k is on the wire (bounded by the window semaphore and
   /// the transfer gate), skipping blocks the delta cache proves unchanged.
@@ -153,22 +173,23 @@ class CloudPlugin final : public Plugin {
   sim::Co<Status> upload_chunked(const MappedVar* var, std::string staged,
                                  bool cache_eligible,
                                  std::shared_ptr<sim::Semaphore> gate,
-                                 OffloadReport* report);
-  /// One in-flight block of the upload pipeline.
+                                 trace::SpanId phase);
+  /// One in-flight block of the upload pipeline. Its `block[k].put` span
+  /// covers exactly the gate-held wire time.
   sim::Co<void> put_block(std::string key, ByteBuffer frame,
                           std::shared_ptr<sim::Semaphore> gate,
                           std::shared_ptr<sim::Semaphore> window,
                           std::shared_ptr<std::vector<Status>> statuses,
-                          size_t slot);
+                          size_t slot, trace::SpanId parent);
 
   sim::Co<Status> download_outputs(const TargetRegion& region,
                                    const std::vector<std::string>& names,
-                                   OffloadReport& report);
+                                   trace::SpanId phase);
   /// Downloads one output buffer (single frame, inline chunked frame, or a
   /// manifest whose blocks stream back through the mirrored pipeline).
   sim::Co<Status> download_buffer(const MappedVar* var, std::string staged,
                                   std::shared_ptr<sim::Semaphore> gate,
-                                  OffloadReport* report);
+                                  trace::SpanId phase);
   /// One in-flight block of the download pipeline: fetch through the gate,
   /// then decode/verify/copy while the next block is on the wire.
   sim::Co<void> fetch_block(std::string key, const MappedVar* var,
@@ -176,19 +197,21 @@ class CloudPlugin final : public Plugin {
                             std::shared_ptr<sim::Semaphore> gate,
                             std::shared_ptr<sim::Semaphore> window,
                             std::shared_ptr<std::vector<Status>> statuses,
-                            size_t slot, OffloadReport* report);
+                            size_t slot, trace::SpanId parent);
 
   sim::Co<Status> cleanup_objects(const TargetRegion& region,
                                   const std::vector<std::string>& names,
-                                  bool cache_eligible);
+                                  bool cache_eligible, trace::SpanId phase);
 
   std::unique_ptr<cloud::Cluster> owned_cluster_;  ///< set by from_config
   cloud::Cluster* cluster_;
   spark::SparkContext context_;
   CloudPluginOptions options_;
+  /// `[trace]` options read by `from_config`; applied to whatever tracer
+  /// `attach_tracer` delivers (and to the owned cluster's own tracer).
+  std::optional<trace::TraceOptions> configured_trace_;
   std::string name_;
   std::map<std::string, CachedInput> data_cache_;  ///< key: staged name
-  CacheStats cache_stats_;
   /// Regions with an offload in flight under the stable (cache-eligible)
   /// prefix. A concurrent `nowait` offload of the same region falls back to
   /// a unique prefix instead of trampling the staged objects.

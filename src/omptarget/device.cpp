@@ -5,6 +5,33 @@
 
 namespace ompcloud::omptarget {
 
+std::string OffloadReport::to_json(int indent) const {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  std::string json = str_format(
+      "{\n"
+      "%s  \"device\": \"%s\",\n"
+      "%s  \"fell_back_to_host\": %s,\n"
+      "%s  \"seconds\": {\"total\": %.6f, \"upload\": %.6f, "
+      "\"submit\": %.6f, \"job\": %.6f, \"download\": %.6f, "
+      "\"cleanup\": %.6f, \"boot\": %.6f, \"host_codec\": %.6f},\n"
+      "%s  \"bytes\": {\"uploaded_plain\": %llu, \"uploaded_wire\": %llu, "
+      "\"downloaded_plain\": %llu, \"downloaded_wire\": %llu},\n"
+      "%s  \"cost_usd\": %.6f\n"
+      "%s}",
+      pad.c_str(), device_name.c_str(),
+      pad.c_str(), fell_back_to_host ? "true" : "false",
+      pad.c_str(), total_seconds, upload_seconds, submit_seconds,
+      job.job_seconds, download_seconds, cleanup_seconds, boot_seconds,
+      host_codec_seconds,
+      pad.c_str(), static_cast<unsigned long long>(uploaded_plain_bytes),
+      static_cast<unsigned long long>(uploaded_wire_bytes),
+      static_cast<unsigned long long>(downloaded_plain_bytes),
+      static_cast<unsigned long long>(downloaded_wire_bytes),
+      pad.c_str(), cost_usd,
+      pad.c_str());
+  return json;
+}
+
 Status TargetRegion::validate() const {
   if (vars.empty()) return invalid_argument("region: no mapped variables");
   if (loops.empty()) return invalid_argument("region: no loops");
@@ -39,19 +66,27 @@ Status TargetRegion::validate() const {
   return Status::ok();
 }
 
-DeviceManager::DeviceManager(sim::Engine& engine) : engine_(&engine) {
+DeviceManager::DeviceManager(sim::Engine& engine)
+    : engine_(&engine),
+      tracer_(std::make_shared<trace::Tracer>(engine)) {
   // Device 0: the host itself (laptop-class fallback: 4 cores, 3 GFLOP/s).
-  devices_.push_back(std::make_unique<HostPlugin>(
+  set_host_device(std::make_unique<HostPlugin>(
       engine, "host(fallback)", /*threads=*/4, /*core_flops=*/3e9));
 }
 
 int DeviceManager::register_device(std::unique_ptr<Plugin> plugin) {
+  plugin->attach_tracer(tracer_);
   devices_.push_back(std::move(plugin));
   return static_cast<int>(devices_.size()) - 1;
 }
 
 void DeviceManager::set_host_device(std::unique_ptr<Plugin> plugin) {
-  devices_[0] = std::move(plugin);
+  plugin->attach_tracer(tracer_);
+  if (devices_.empty()) {
+    devices_.push_back(std::move(plugin));
+  } else {
+    devices_[0] = std::move(plugin);
+  }
 }
 
 sim::Co<Result<OffloadReport>> DeviceManager::offload(TargetRegion region,
@@ -62,9 +97,13 @@ sim::Co<Result<OffloadReport>> DeviceManager::offload(TargetRegion region,
         str_format("no such device %d (have %d)", device_id, num_devices()));
   }
 
+  trace::SpanHandle root = tracer_->span("offload");
+  root.tag("region", region.name);
+
   Plugin& target = *devices_[device_id];
   if (device_id != host_device_id() && target.is_available()) {
-    auto report = co_await target.run_region(region);
+    root.tag("device", std::string(target.name()));
+    auto report = co_await target.run_region(region, root.id());
     if (report.ok()) co_return report;
     // Only unavailability triggers the dynamic fallback; real failures
     // (bad kernel, data loss) surface to the caller.
@@ -75,9 +114,12 @@ sim::Co<Result<OffloadReport>> DeviceManager::offload(TargetRegion region,
 
   // Fig. 1: "if the cloud is not available the computation is performed
   // locally".
-  auto fallback = co_await devices_[host_device_id()]->run_region(region);
+  bool is_fallback = device_id != host_device_id();
+  if (is_fallback) root.tag("fallback", "true");
+  auto fallback =
+      co_await devices_[host_device_id()]->run_region(region, root.id());
   if (!fallback.ok()) co_return fallback.status();
-  fallback->fell_back_to_host = device_id != host_device_id();
+  fallback->fell_back_to_host = is_fallback;
   co_return fallback;
 }
 

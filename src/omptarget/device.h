@@ -16,6 +16,7 @@
 #include "sim/engine.h"
 #include "spark/job.h"
 #include "support/status.h"
+#include "trace/tracer.h"
 
 namespace ompcloud::omptarget {
 
@@ -51,6 +52,12 @@ struct TargetRegion {
 /// What one offload produced: the paper's measurement decomposition.
 /// `total_seconds` is OmpCloud-full, `job.job_seconds` is OmpCloud-spark,
 /// `job.computation_seconds()` is OmpCloud-computation.
+///
+/// The phase/byte/codec fields are a *view derived from the trace*: the
+/// cloud plugin reconstructs them from its offload span subtree after the
+/// region completes (cloud_plugin.cpp, finalize_report_from_trace). With
+/// `trace.enabled = false` they stay zero; totals, data movement, and
+/// correctness are unaffected.
 struct OffloadReport {
   std::string device_name;
   bool fell_back_to_host = false;
@@ -76,6 +83,11 @@ struct OffloadReport {
   [[nodiscard]] double host_target_seconds() const {
     return upload_seconds + download_seconds + cleanup_seconds;
   }
+
+  /// Serializes the report as a JSON object (multi-line; nested lines are
+  /// prefixed with `indent` spaces). Shared by `bench::BenchJson` and the
+  /// trace export so the schema exists exactly once.
+  [[nodiscard]] std::string to_json(int indent = 0) const;
 };
 
 /// Target-specific offloading plugin interface (paper Fig. 2 component 3).
@@ -91,9 +103,23 @@ class Plugin {
   [[nodiscard]] virtual bool is_available() const = 0;
 
   /// Runs the whole region on this device. Data starts and ends in the
-  /// host buffers of `region.vars`.
+  /// host buffers of `region.vars`. `parent_span` is the manager's root
+  /// `offload` span (kNoSpan for direct standalone calls); plugins parent
+  /// their phase spans under it.
   [[nodiscard]] virtual sim::Co<Result<OffloadReport>> run_region(
-      const TargetRegion& region) = 0;
+      const TargetRegion& region,
+      trace::SpanId parent_span = trace::kNoSpan) = 0;
+
+  /// Called by DeviceManager at registration with the manager-owned tracer
+  /// so all devices record into one span tree. Plugins with their own
+  /// substrate (CloudPlugin -> Cluster -> ObjectStore) override to
+  /// propagate it downward.
+  virtual void attach_tracer(std::shared_ptr<trace::Tracer> tracer) {
+    tracer_ = std::move(tracer);
+  }
+
+ protected:
+  std::shared_ptr<trace::Tracer> tracer_;  ///< null until attached
 };
 
 /// Device registry + offload dispatch (component 2). Device 0 is always the
@@ -117,12 +143,23 @@ class DeviceManager {
 
   /// The `__tgt_target` equivalent: validates the region, tries the
   /// requested device, and falls back to the host when the device is
-  /// unavailable (dynamic offloading, §III).
+  /// unavailable (dynamic offloading, §III). Emits the root `offload` span
+  /// (tagged with region/device; `fallback = true` when the host ran it).
   [[nodiscard]] sim::Co<Result<OffloadReport>> offload(TargetRegion region,
                                                        int device_id);
 
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+
+  /// The tracer shared by every registered device (created by the
+  /// constructor; pushed into plugins via `Plugin::attach_tracer`).
+  [[nodiscard]] trace::Tracer& tracer() { return *tracer_; }
+  [[nodiscard]] std::shared_ptr<trace::Tracer> shared_tracer() const {
+    return tracer_;
+  }
+
  private:
   sim::Engine* engine_;
+  std::shared_ptr<trace::Tracer> tracer_;
   std::vector<std::unique_ptr<Plugin>> devices_;
 };
 

@@ -12,8 +12,13 @@ HostPlugin::HostPlugin(sim::Engine& engine, std::string name, int threads,
       core_flops_(core_flops) {}
 
 sim::Co<Result<OffloadReport>> HostPlugin::run_region(
-    const TargetRegion& region) {
+    const TargetRegion& region, trace::SpanId parent_span) {
   double start = engine_->now();
+  trace::SpanHandle span;
+  if (tracer_ != nullptr) {
+    span = tracer_->span("host.exec", parent_span);
+    span.tag("threads", std::to_string(threads_));
+  }
   // Fresh pool per region: OMP_NUM_THREADS workers.
   sim::CpuPool pool(*engine_, static_cast<size_t>(threads_));
 

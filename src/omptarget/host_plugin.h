@@ -26,7 +26,8 @@ class HostPlugin final : public Plugin {
   [[nodiscard]] bool is_available() const override { return true; }
 
   [[nodiscard]] sim::Co<Result<OffloadReport>> run_region(
-      const TargetRegion& region) override;
+      const TargetRegion& region,
+      trace::SpanId parent_span = trace::kNoSpan) override;
 
   [[nodiscard]] int threads() const { return threads_; }
 

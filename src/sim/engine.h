@@ -15,6 +15,7 @@
 //                what most simulation code returns, composed with co_await.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
@@ -380,10 +381,19 @@ class Future {
 class Semaphore {
  public:
   Semaphore(Engine& engine, size_t permits)
-      : engine_(&engine), available_(permits) {}
+      : engine_(&engine), available_(permits), capacity_(permits) {}
 
   [[nodiscard]] size_t available() const { return available_; }
   [[nodiscard]] size_t waiting() const { return waiters_.size(); }
+  [[nodiscard]] size_t capacity() const { return capacity_; }
+  /// Permits currently held (direct-handoff releases keep holders counted).
+  [[nodiscard]] size_t in_use() const {
+    return available_ >= capacity_ ? 0 : capacity_ - available_;
+  }
+  /// High-water mark of `in_use()` over the semaphore's lifetime — lets
+  /// instrumentation cross-check concurrency bounds (e.g. that the
+  /// transfer-thread gate never exceeded its configured width).
+  [[nodiscard]] size_t peak_in_use() const { return peak_in_use_; }
 
   /// Awaitable acquire of one permit.
   [[nodiscard]] auto acquire() {
@@ -392,6 +402,7 @@ class Semaphore {
       bool await_ready() const noexcept {
         if (sem->available_ > 0) {
           --sem->available_;
+          sem->peak_in_use_ = std::max(sem->peak_in_use_, sem->in_use());
           return true;
         }
         return false;
@@ -409,6 +420,8 @@ class Semaphore {
  private:
   Engine* engine_;
   size_t available_;
+  size_t capacity_;
+  size_t peak_in_use_ = 0;
   std::deque<std::coroutine_handle<>> waiters_;
 };
 

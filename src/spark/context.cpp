@@ -57,6 +57,8 @@ struct LoopRun {
   std::vector<ByteBuffer>* env = nullptr;
   JobMetrics* metrics = nullptr;
   const compress::Codec* io_codec = nullptr;
+  trace::Tracer* tracer = nullptr;
+  trace::SpanId stage_span = trace::kNoSpan;
 
   std::vector<std::pair<int64_t, int64_t>> tiles;
   std::vector<int> alive_workers;
@@ -107,12 +109,16 @@ sim::Co<void> run_task(LoopRun* run, int tile_index) {
   const auto [begin, end] = run->tiles[tile_index];
   const LoopSpec& loop = *run->loop;
 
+  trace::SpanHandle span = run->tracer->span(
+      str_format("task[%d]", tile_index), run->stage_span);
+
   int attempts = 0;
   Status final_status = Status::ok();
   while (true) {
     int worker =
         run->alive_workers[(tile_index + attempts) % run->alive_workers.size()];
     ++attempts;
+    span.tag("worker", std::to_string(worker));
     bool inject_failure =
         *run->fault_injector &&
         (*run->fault_injector)(tile_index, attempts, worker);
@@ -320,6 +326,10 @@ sim::Co<void> run_task(LoopRun* run, int tile_index) {
     break;
   }
   run->task_status[tile_index] = final_status;
+  span.tag("attempts", std::to_string(attempts));
+  double seconds = span.duration();
+  span.end();
+  run->tracer->metrics().histogram("spark.task_seconds").record(seconds);
 }
 
 }  // namespace
@@ -330,7 +340,8 @@ sim::Co<void> run_task(LoopRun* run, int tile_index) {
 
 sim::Co<Status> SparkContext::read_inputs(const JobSpec& spec,
                                           Environment& env,
-                                          JobMetrics& metrics) {
+                                          JobMetrics& metrics,
+                                          trace::SpanId phase) {
   auto& engine = cluster_->engine();
   auto statuses = std::make_shared<std::vector<Status>>(spec.vars.size(),
                                                         Status::ok());
@@ -345,8 +356,10 @@ sim::Co<Status> SparkContext::read_inputs(const JobSpec& spec,
     }
     parts.push_back(engine.spawn(
         [](SparkContext* self, const JobSpec* spec, size_t v, Environment* env,
-           JobMetrics* metrics, std::vector<Status>* statuses) -> sim::Co<void> {
+           JobMetrics* metrics, std::vector<Status>* statuses,
+           trace::SpanId phase) -> sim::Co<void> {
           const VarSpec& var = spec->vars[v];
+          self->cluster_->tracer().set_ambient(phase);
           auto framed = co_await self->cluster_->store().get(
               cloud::Cluster::driver_node(), spec->bucket, input_key(var.name));
           if (!framed.ok()) {
@@ -356,7 +369,8 @@ sim::Co<Status> SparkContext::read_inputs(const JobSpec& spec,
           Result<ByteBuffer> plain = internal_error("unreachable");
           if (compress::is_chunked_payload(framed->view())) {
             plain = co_await self->read_chunked_input(
-                *spec, input_key(var.name), std::move(*framed), *metrics);
+                *spec, input_key(var.name), std::move(*framed), *metrics,
+                phase);
           } else {
             plain = compress::decode_payload(framed->view());
             if (plain.ok()) {
@@ -384,7 +398,7 @@ sim::Co<Status> SparkContext::read_inputs(const JobSpec& spec,
           }
           metrics->input_bytes += plain->size();
           env->vars[v] = std::move(*plain);
-        }(this, &spec, v, &env, &metrics, statuses.get())));
+        }(this, &spec, v, &env, &metrics, statuses.get(), phase)));
   }
   co_await sim::all(std::move(parts));
   for (const Status& status : *statuses) {
@@ -395,7 +409,7 @@ sim::Co<Status> SparkContext::read_inputs(const JobSpec& spec,
 
 sim::Co<Result<ByteBuffer>> SparkContext::read_chunked_input(
     const JobSpec& spec, std::string base_key, ByteBuffer manifest,
-    JobMetrics& metrics) {
+    JobMetrics& metrics, trace::SpanId phase) {
   OC_CO_ASSIGN_OR_RETURN(compress::ChunkedIndex index,
                          compress::parse_chunked_index(manifest.view()));
   if (index.inline_blocks) {
@@ -426,7 +440,9 @@ sim::Co<Result<ByteBuffer>> SparkContext::read_chunked_input(
     parts.push_back(cluster_->engine().spawn(
         [](SparkContext* self, std::string bucket, std::string key,
            compress::ChunkedBlock block, ByteBuffer* assembled,
-           JobMetrics* metrics, Status* status) -> sim::Co<void> {
+           JobMetrics* metrics, Status* status,
+           trace::SpanId phase) -> sim::Co<void> {
+          self->cluster_->tracer().set_ambient(phase);
           auto got = co_await self->cluster_->store().get(
               cloud::Cluster::driver_node(), bucket, key);
           if (!got.ok()) {
@@ -454,7 +470,7 @@ sim::Co<Result<ByteBuffer>> SparkContext::read_chunked_input(
           std::memcpy(assembled->data() + block.plain_offset, restored->data(),
                       restored->size());
         }(this, spec.bucket, part_key(base_key, k), index.blocks[k],
-          assembled.get(), &metrics, &(*statuses)[k])));
+          assembled.get(), &metrics, &(*statuses)[k], phase)));
   }
   co_await sim::all(std::move(parts));
   for (const Status& status : *statuses) {
@@ -466,7 +482,8 @@ sim::Co<Result<ByteBuffer>> SparkContext::read_chunked_input(
 sim::Co<Status> SparkContext::write_chunked_output(const JobSpec& spec,
                                                    std::string base_key,
                                                    ByteView plain,
-                                                   JobMetrics& metrics) {
+                                                   JobMetrics& metrics,
+                                                   trace::SpanId phase) {
   auto& engine = cluster_->engine();
   const uint64_t chunk = spec.storage_chunk_size;
   const uint64_t count = compress::chunk_block_count(plain.size(), chunk);
@@ -485,15 +502,16 @@ sim::Co<Status> SparkContext::write_chunked_output(const JobSpec& spec,
         cluster_->profile().encode_seconds(*encoded.codec, block.size());
     parts.push_back(engine.spawn(
         [](SparkContext* self, std::string bucket, std::string key,
-           ByteBuffer frame, double cost, JobMetrics* metrics,
-           Status* status) -> sim::Co<void> {
+           ByteBuffer frame, double cost, JobMetrics* metrics, Status* status,
+           trace::SpanId phase) -> sim::Co<void> {
           co_await self->cluster_->driver_pool().run(cost);
           metrics->codec_core_seconds += cost;
+          self->cluster_->tracer().set_ambient(phase);
           Status put = co_await self->cluster_->store().put(
               cloud::Cluster::driver_node(), bucket, key, std::move(frame));
           if (!put.is_ok()) *status = put;
         }(this, spec.bucket, part_key(base_key, k), std::move(encoded.frame),
-          cost, &metrics, &(*statuses)[k])));
+          cost, &metrics, &(*statuses)[k], phase)));
   }
   co_await sim::all(std::move(parts));
   for (const Status& status : *statuses) {
@@ -503,6 +521,7 @@ sim::Co<Status> SparkContext::write_chunked_output(const JobSpec& spec,
   OC_CO_ASSIGN_OR_RETURN(
       ByteBuffer manifest,
       compress::encode_chunked_manifest(chunk, plain.size(), digests));
+  cluster_->tracer().set_ambient(phase);
   co_return co_await cluster_->store().put(cloud::Cluster::driver_node(),
                                            spec.bucket, base_key,
                                            std::move(manifest));
@@ -510,9 +529,14 @@ sim::Co<Status> SparkContext::write_chunked_output(const JobSpec& spec,
 
 sim::Co<Status> SparkContext::run_loop(const JobSpec& spec,
                                        const LoopSpec& loop, Environment& env,
-                                       JobMetrics& metrics) {
+                                       JobMetrics& metrics, size_t loop_index,
+                                       trace::SpanId job_span) {
   auto& engine = cluster_->engine();
   const auto& profile = cluster_->profile();
+
+  trace::SpanHandle stage = cluster_->tracer().span(
+      str_format("stage[%zu]", loop_index), job_span);
+  stage.tag("kernel", loop.kernel);
 
   LoopRun run;
   run.spec = &spec;
@@ -523,6 +547,8 @@ sim::Co<Status> SparkContext::run_loop(const JobSpec& spec,
   run.conf = &conf_;
   run.env = &env.vars;
   run.metrics = &metrics;
+  run.tracer = &cluster_->tracer();
+  run.stage_span = stage.id();
 
   std::string codec_name = conf_.io_compression ? conf_.io_codec : "null";
   OC_CO_ASSIGN_OR_RETURN(run.io_codec, compress::find_codec(codec_name));
@@ -554,6 +580,8 @@ sim::Co<Status> SparkContext::run_loop(const JobSpec& spec,
                    run.alive_workers.size());
 
   // --- Distribution phase (Fig. 1 step 4 / Fig. 3 steps 2-4). --------------
+  trace::SpanHandle distribute =
+      cluster_->tracer().span("distribute", stage.id());
   double distribute_start = engine.now();
   run.tile_input_encoded.assign(run.tiles.size(), 0);
   run.tile_input_plain.assign(run.tiles.size(), 0);
@@ -657,6 +685,7 @@ sim::Co<Status> SparkContext::run_loop(const JobSpec& spec,
     if (!status.is_ok()) co_return status;
   }
   metrics.distribute_seconds += engine.now() - distribute_start;
+  distribute.end();
 
   // --- Prepare write targets. ----------------------------------------------
   run.shared_accumulators.resize(loop.writes.size());
@@ -706,7 +735,8 @@ sim::Co<Status> SparkContext::run_loop(const JobSpec& spec,
 
 sim::Co<Status> SparkContext::write_outputs(const JobSpec& spec,
                                             Environment& env,
-                                            JobMetrics& metrics) {
+                                            JobMetrics& metrics,
+                                            trace::SpanId phase) {
   auto& engine = cluster_->engine();
   auto statuses = std::make_shared<std::vector<Status>>(spec.vars.size(),
                                                         Status::ok());
@@ -715,13 +745,14 @@ sim::Co<Status> SparkContext::write_outputs(const JobSpec& spec,
     if (!spec.vars[v].map_from) continue;
     parts.push_back(engine.spawn(
         [](SparkContext* self, const JobSpec* spec, size_t v, Environment* env,
-           JobMetrics* metrics, std::vector<Status>* statuses) -> sim::Co<void> {
+           JobMetrics* metrics, std::vector<Status>* statuses,
+           trace::SpanId phase) -> sim::Co<void> {
           const VarSpec& var = spec->vars[v];
           const ByteBuffer& plain = env->vars[v];
           if (spec->storage_chunk_size > 0 &&
               plain.size() > spec->storage_chunk_size) {
             Status wrote = co_await self->write_chunked_output(
-                *spec, output_key(var.name), plain.view(), *metrics);
+                *spec, output_key(var.name), plain.view(), *metrics, phase);
             if (!wrote.is_ok()) {
               (*statuses)[v] =
                   wrote.with_context("output '" + var.name + "'");
@@ -741,11 +772,12 @@ sim::Co<Status> SparkContext::write_outputs(const JobSpec& spec,
           co_await self->cluster_->driver_pool().run(cost);
           metrics->codec_core_seconds += cost;
           metrics->output_bytes += plain.size();
+          self->cluster_->tracer().set_ambient(phase);
           Status put = co_await self->cluster_->store().put(
               cloud::Cluster::driver_node(), spec->bucket,
               output_key(var.name), std::move(encoded->frame));
           if (!put.is_ok()) (*statuses)[v] = put;
-        }(this, &spec, v, &env, &metrics, statuses.get())));
+        }(this, &spec, v, &env, &metrics, statuses.get(), phase)));
   }
   co_await sim::all(std::move(parts));
   for (const Status& status : *statuses) {
@@ -754,7 +786,8 @@ sim::Co<Status> SparkContext::write_outputs(const JobSpec& spec,
   co_return Status::ok();
 }
 
-sim::Co<Result<JobMetrics>> SparkContext::run_job(JobSpec spec) {
+sim::Co<Result<JobMetrics>> SparkContext::run_job(JobSpec spec,
+                                                  trace::SpanId parent_span) {
   OC_CO_RETURN_IF_ERROR(spec.validate());
   for (const LoopSpec& loop : spec.loops) {
     auto kernel = jni::KernelRegistry::instance().find(loop.kernel);
@@ -778,19 +811,32 @@ sim::Co<Result<JobMetrics>> SparkContext::run_job(JobSpec spec) {
   driver_log_.info("job '%s' started (%zu vars, %zu loops)", spec.name.c_str(),
                    spec.vars.size(), spec.loops.size());
 
+  trace::SpanHandle job = cluster_->tracer().span("spark.job", parent_span);
+  job.tag("job", spec.name);
+
   Environment env;
   env.vars.resize(spec.vars.size());
 
   double read_start = engine.now();
-  OC_CO_RETURN_IF_ERROR(co_await read_inputs(spec, env, metrics));
+  {
+    trace::SpanHandle read = cluster_->tracer().span("spark.read_inputs",
+                                                     job.id());
+    OC_CO_RETURN_IF_ERROR(co_await read_inputs(spec, env, metrics, read.id()));
+  }
   metrics.input_read_seconds = engine.now() - read_start;
 
-  for (const LoopSpec& loop : spec.loops) {
-    OC_CO_RETURN_IF_ERROR(co_await run_loop(spec, loop, env, metrics));
+  for (size_t i = 0; i < spec.loops.size(); ++i) {
+    OC_CO_RETURN_IF_ERROR(
+        co_await run_loop(spec, spec.loops[i], env, metrics, i, job.id()));
   }
 
   double write_start = engine.now();
-  OC_CO_RETURN_IF_ERROR(co_await write_outputs(spec, env, metrics));
+  {
+    trace::SpanHandle write = cluster_->tracer().span("spark.write_outputs",
+                                                      job.id());
+    OC_CO_RETURN_IF_ERROR(
+        co_await write_outputs(spec, env, metrics, write.id()));
+  }
   metrics.output_write_seconds = engine.now() - write_start;
 
   metrics.job_seconds = engine.now() - job_start;

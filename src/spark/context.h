@@ -54,8 +54,11 @@ class SparkContext {
 
   /// Runs a job end to end (driver coroutine). Inputs must already be in
   /// `spec.bucket` under `<var>.bin` keys as framed payloads; outputs are
-  /// written back as `<var>.out.bin`.
-  [[nodiscard]] sim::Co<Result<JobMetrics>> run_job(JobSpec spec);
+  /// written back as `<var>.out.bin`. Records a `spark.job` span (child of
+  /// `parent_span` when given) with read/stage/task/write children in the
+  /// cluster's tracer.
+  [[nodiscard]] sim::Co<Result<JobMetrics>> run_job(
+      JobSpec spec, trace::SpanId parent_span = trace::kNoSpan);
 
   /// Storage keys used by jobs.
   static std::string input_key(const std::string& var) { return var + ".bin"; }
@@ -72,22 +75,27 @@ class SparkContext {
   struct Environment;  // driver-resident variable buffers
 
   sim::Co<Status> read_inputs(const JobSpec& spec, Environment& env,
-                              JobMetrics& metrics);
+                              JobMetrics& metrics, trace::SpanId phase);
   /// Restores a chunked staged input: decodes an inline frame, or fetches
   /// and verifies the manifest's sibling block objects in parallel.
   sim::Co<Result<ByteBuffer>> read_chunked_input(const JobSpec& spec,
                                                  std::string base_key,
                                                  ByteBuffer manifest,
-                                                 JobMetrics& metrics);
+                                                 JobMetrics& metrics,
+                                                 trace::SpanId phase);
   /// Stages one output as block objects plus a manifest (written last, so
   /// readers never observe a partially staged object).
   sim::Co<Status> write_chunked_output(const JobSpec& spec,
                                        std::string base_key, ByteView plain,
-                                       JobMetrics& metrics);
+                                       JobMetrics& metrics,
+                                       trace::SpanId phase);
+  /// Runs loop `loop_index` of the job as one Spark stage (a `stage[s]`
+  /// span under `job_span`, with distribute/task children).
   sim::Co<Status> run_loop(const JobSpec& spec, const LoopSpec& loop,
-                           Environment& env, JobMetrics& metrics);
+                           Environment& env, JobMetrics& metrics,
+                           size_t loop_index, trace::SpanId job_span);
   sim::Co<Status> write_outputs(const JobSpec& spec, Environment& env,
-                                JobMetrics& metrics);
+                                JobMetrics& metrics, trace::SpanId phase);
 
   cloud::Cluster* cluster_;
   SparkConf conf_;

@@ -41,6 +41,30 @@ Status ObjectStore::check_fault(std::string_view op, const std::string& bucket,
   return fault_injector_(op, bucket, key);
 }
 
+namespace {
+
+/// Opens a `store.*` span parented through the tracer's ambient slot. Must
+/// run at coroutine-body entry (which is synchronous inside the caller's
+/// co_await) so the ambient parent is still the caller's span.
+trace::SpanHandle op_span(trace::Tracer* tracer, const char* name,
+                          const std::string& bucket, const std::string& key) {
+  if (tracer == nullptr) return {};
+  trace::SpanHandle span = tracer->span(name, tracer->take_ambient());
+  span.tag("key", bucket + "/" + key);
+  return span;
+}
+
+/// Closes `span` and records its duration in the named histogram.
+void finish_op(trace::Tracer* tracer, trace::SpanHandle& span,
+               const char* histogram) {
+  if (tracer == nullptr || !span.active()) return;
+  double seconds = span.duration();
+  span.end();
+  tracer->metrics().histogram(histogram).record(seconds);
+}
+
+}  // namespace
+
 sim::Co<Status> ObjectStore::move_bytes(std::string from, std::string to,
                                         uint64_t bytes,
                                         double request_latency) {
@@ -71,6 +95,8 @@ sim::Co<Status> ObjectStore::move_bytes(std::string from, std::string to,
 
 sim::Co<Status> ObjectStore::put(std::string client_node, std::string bucket,
                                  std::string key, ByteBuffer data) {
+  trace::SpanHandle span = op_span(tracer_, "store.put", bucket, key);
+  span.add("bytes", static_cast<double>(data.size()));
   OC_CO_RETURN_IF_ERROR(check_fault("put", bucket, key));
   auto it = buckets_.find(bucket);
   if (it == buckets_.end()) {
@@ -83,12 +109,14 @@ sim::Co<Status> ObjectStore::put(std::string client_node, std::string bucket,
   ++stats_.puts;
   stats_.bytes_in += bytes;
   it->second[key] = std::move(data);
+  finish_op(tracer_, span, "store.put_seconds");
   co_return Status::ok();
 }
 
 sim::Co<Result<ByteBuffer>> ObjectStore::get(std::string client_node,
                                              std::string bucket,
                                              std::string key) {
+  trace::SpanHandle span = op_span(tracer_, "store.get", bucket, key);
   OC_CO_RETURN_IF_ERROR(check_fault("get", bucket, key));
   auto bucket_it = buckets_.find(bucket);
   if (bucket_it == buckets_.end()) {
@@ -105,11 +133,14 @@ sim::Co<Result<ByteBuffer>> ObjectStore::get(std::string client_node,
   if (!moved.is_ok()) co_return moved;
   ++stats_.gets;
   stats_.bytes_out += data.size();
+  span.add("bytes", static_cast<double>(data.size()));
+  finish_op(tracer_, span, "store.get_seconds");
   co_return data;
 }
 
 sim::Co<Status> ObjectStore::remove(std::string client_node,
                                     std::string bucket, std::string key) {
+  trace::SpanHandle span = op_span(tracer_, "store.delete", bucket, key);
   OC_CO_RETURN_IF_ERROR(check_fault("delete", bucket, key));
   (void)client_node;
   co_await network_->engine().sleep(profile_.put_request_latency);
@@ -119,11 +150,13 @@ sim::Co<Status> ObjectStore::remove(std::string client_node,
   }
   ++stats_.deletes;
   bucket_it->second.erase(key);  // idempotent, like S3 DeleteObject
+  finish_op(tracer_, span, "store.delete_seconds");
   co_return Status::ok();
 }
 
 sim::Co<Result<std::vector<std::string>>> ObjectStore::list(
     std::string client_node, std::string bucket, std::string prefix) {
+  trace::SpanHandle span = op_span(tracer_, "store.list", bucket, prefix);
   OC_CO_RETURN_IF_ERROR(check_fault("list", bucket, ""));
   (void)client_node;
   co_await network_->engine().sleep(profile_.list_request_latency);
@@ -136,12 +169,14 @@ sim::Co<Result<std::vector<std::string>>> ObjectStore::list(
   for (const auto& [key, value] : bucket_it->second) {
     if (starts_with(key, prefix)) keys.push_back(key);
   }
+  finish_op(tracer_, span, "store.list_seconds");
   co_return keys;
 }
 
 sim::Co<Result<ObjectInfo>> ObjectStore::head(std::string client_node,
                                               std::string bucket,
                                               std::string key) {
+  trace::SpanHandle span = op_span(tracer_, "store.head", bucket, key);
   OC_CO_RETURN_IF_ERROR(check_fault("head", bucket, key));
   (void)client_node;
   co_await network_->engine().sleep(profile_.get_request_latency);
@@ -153,6 +188,7 @@ sim::Co<Result<ObjectInfo>> ObjectStore::head(std::string client_node,
   if (object_it == bucket_it->second.end()) {
     co_return not_found("object '" + bucket + "/" + key + "'");
   }
+  finish_op(tracer_, span, "store.head_seconds");
   co_return ObjectInfo{object_it->second.size(), fnv1a(object_it->second.view())};
 }
 

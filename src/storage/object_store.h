@@ -18,6 +18,7 @@
 #include "net/network.h"
 #include "support/bytes.h"
 #include "support/status.h"
+#include "trace/tracer.h"
 
 namespace ompcloud::storage {
 
@@ -111,6 +112,12 @@ class ObjectStore {
     fault_injector_ = std::move(injector);
   }
 
+  /// Attaches a tracer: every put/get/delete/list/head then records a
+  /// `store.*` span (parented through the tracer's ambient slot) plus an
+  /// operation-duration histogram. Null detaches. The store borrows the
+  /// pointer; the owner (Cluster) keeps it alive.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   Status check_fault(std::string_view op, const std::string& bucket,
                      const std::string& key) const;
@@ -124,6 +131,7 @@ class ObjectStore {
   std::map<std::string, std::map<std::string, ByteBuffer>> buckets_;
   StoreStats stats_;
   FaultInjector fault_injector_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace ompcloud::storage

@@ -1,0 +1,176 @@
+#include "trace/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "support/strings.h"
+
+namespace ompcloud::trace {
+
+namespace {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Walks `span`'s parent chain looking for `ancestor`.
+bool has_ancestor(const Tracer& tracer, const Span& span, SpanId ancestor) {
+  SpanId current = span.parent;
+  while (current != kNoSpan) {
+    if (current == ancestor) return true;
+    const Span* parent = tracer.find(current);
+    current = parent != nullptr ? parent->parent : kNoSpan;
+  }
+  return false;
+}
+
+/// Greedy deterministic lane assignment: a span may join a lane iff the
+/// lane's innermost still-open span is one of its ancestors (so "X" events
+/// nest correctly); otherwise it opens the first free lane.
+std::vector<int> assign_lanes(const Tracer& tracer,
+                              const std::vector<const Span*>& ordered) {
+  std::vector<int> lane_of(tracer.spans().size() + 1, 0);
+  std::vector<std::vector<const Span*>> lanes;  // open-span stacks
+  for (const Span* span : ordered) {
+    int chosen = -1;
+    for (size_t l = 0; l < lanes.size(); ++l) {
+      auto& stack = lanes[l];
+      while (!stack.empty() && stack.back()->end <= span->start) {
+        stack.pop_back();
+      }
+      if (stack.empty() || has_ancestor(tracer, *span, stack.back()->id)) {
+        chosen = static_cast<int>(l);
+        break;
+      }
+    }
+    if (chosen < 0) {
+      chosen = static_cast<int>(lanes.size());
+      lanes.emplace_back();
+    }
+    lanes[chosen].push_back(span);
+    lane_of[span->id] = chosen;
+  }
+  return lane_of;
+}
+
+void append_metrics(const Metrics& metrics, std::string& out) {
+  out += "  \"metrics\": {\n    \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : metrics.counters()) {
+    out += str_format("%s\n      \"%s\": %llu", first ? "" : ",",
+                      json_escape(name).c_str(),
+                      static_cast<unsigned long long>(counter.value()));
+    first = false;
+  }
+  out += first ? "},\n" : "\n    },\n";
+  out += "    \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : metrics.gauges()) {
+    out += str_format("%s\n      \"%s\": %.9g", first ? "" : ",",
+                      json_escape(name).c_str(), gauge.value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n    },\n";
+  out += "    \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : metrics.histograms()) {
+    out += str_format(
+        "%s\n      \"%s\": {\"count\": %llu, \"sum\": %.9g, \"min\": %.9g, "
+        "\"max\": %.9g, \"buckets\": [",
+        first ? "" : ",", json_escape(name).c_str(),
+        static_cast<unsigned long long>(histogram.count()), histogram.sum(),
+        histogram.min(), histogram.max());
+    for (size_t b = 0; b < histogram.bucket_counts().size(); ++b) {
+      std::string bound = b < histogram.bounds().size()
+                              ? str_format("%.9g", histogram.bounds()[b])
+                              : std::string("\"inf\"");
+      out += str_format("%s{\"le\": %s, \"count\": %llu}", b == 0 ? "" : ", ",
+                        bound.c_str(),
+                        static_cast<unsigned long long>(
+                            histogram.bucket_counts()[b]));
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n    }\n";
+  out += "  }";
+}
+
+}  // namespace
+
+std::string to_chrome_json(const Tracer& tracer,
+                           std::string_view extra_top_level) {
+  std::vector<const Span*> ordered;
+  ordered.reserve(tracer.spans().size());
+  for (const Span& span : tracer.spans()) {
+    if (span.closed()) ordered.push_back(&span);
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const Span* a, const Span* b) {
+    if (a->start != b->start) return a->start < b->start;
+    return a->id < b->id;
+  });
+  std::vector<int> lane_of = assign_lanes(tracer, ordered);
+
+  std::string out = "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  bool first = true;
+  for (const Span* span : ordered) {
+    out += str_format(
+        "%s\n    {\"name\": \"%s\", \"cat\": \"sim\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d, \"args\": "
+        "{\"id\": %llu, \"parent\": %llu",
+        first ? "" : ",", json_escape(span->name).c_str(), span->start * 1e6,
+        span->duration() * 1e6, lane_of[span->id],
+        static_cast<unsigned long long>(span->id),
+        static_cast<unsigned long long>(span->parent));
+    for (const auto& [key, value] : span->tags) {
+      out += str_format(", \"%s\": \"%s\"", json_escape(key).c_str(),
+                        json_escape(value).c_str());
+    }
+    for (const auto& [key, value] : span->values) {
+      out += str_format(", \"%s\": %.9g", json_escape(key).c_str(), value);
+    }
+    out += "}}";
+    first = false;
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  append_metrics(tracer.metrics(), out);
+  if (!extra_top_level.empty()) {
+    out += ",\n  ";
+    out += extra_top_level;
+  }
+  out += "\n}\n";
+  return out;
+}
+
+Status write_chrome_json(const Tracer& tracer, const std::string& path,
+                         std::string_view extra_top_level) {
+  std::string json = to_chrome_json(tracer, extra_top_level);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return internal_error("cannot open '" + path + "' for writing");
+  }
+  size_t wrote = std::fwrite(json.data(), 1, json.size(), file);
+  bool ok = std::fclose(file) == 0 && wrote == json.size();
+  if (!ok) return internal_error("failed writing '" + path + "'");
+  return Status::ok();
+}
+
+}  // namespace ompcloud::trace

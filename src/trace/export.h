@@ -1,0 +1,32 @@
+// Chrome trace-event JSON export: the recorded span tree serialized as
+// "X" (complete) events, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Virtual seconds map to trace microseconds. Spans are
+// packed onto tracks ("tid" lanes) greedily so that concurrent siblings get
+// separate lanes while nested spans stack — the upload pipeline literally
+// shows block[k+1].compress above block[k].put.
+//
+// The export is deterministic: events are ordered by (start, id), floats
+// are printed with fixed precision, and the metrics registry is emitted in
+// key order — byte-identical across runs of the same scenario.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/status.h"
+#include "trace/tracer.h"
+
+namespace ompcloud::trace {
+
+/// Serializes the tracer's spans + metrics as one JSON document.
+/// `extra_top_level`, when non-empty, is spliced verbatim as additional
+/// top-level members (e.g. "\"report\": {...}") — callers own its validity.
+[[nodiscard]] std::string to_chrome_json(const Tracer& tracer,
+                                         std::string_view extra_top_level = {});
+
+/// to_chrome_json + write to `path`.
+[[nodiscard]] Status write_chrome_json(const Tracer& tracer,
+                                       const std::string& path,
+                                       std::string_view extra_top_level = {});
+
+}  // namespace ompcloud::trace

@@ -1,0 +1,184 @@
+#include "trace/query.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace ompcloud::trace {
+
+namespace {
+constexpr double kEps = 1e-9;  ///< interval-containment float tolerance
+}  // namespace
+
+TraceQuery::TraceQuery(const Tracer& tracer) : tracer_(&tracer) {
+  for (const Span& span : tracer.spans()) {
+    if (span.parent != kNoSpan) children_.emplace(span.parent, span.id);
+  }
+}
+
+std::vector<const Span*> TraceQuery::all() const {
+  std::vector<const Span*> out;
+  out.reserve(tracer_->spans().size());
+  for (const Span& span : tracer_->spans()) out.push_back(&span);
+  return out;
+}
+
+std::vector<const Span*> TraceQuery::named(std::string_view name) const {
+  std::vector<const Span*> out;
+  for (const Span& span : tracer_->spans()) {
+    if (span.name == name) out.push_back(&span);
+  }
+  return out;
+}
+
+std::vector<const Span*> TraceQuery::with_prefix(std::string_view prefix) const {
+  std::vector<const Span*> out;
+  for (const Span& span : tracer_->spans()) {
+    if (std::string_view(span.name).substr(0, prefix.size()) == prefix) {
+      out.push_back(&span);
+    }
+  }
+  return out;
+}
+
+std::vector<const Span*> TraceQuery::children(SpanId parent) const {
+  std::vector<const Span*> out;
+  auto [lo, hi] = children_.equal_range(parent);
+  for (auto it = lo; it != hi; ++it) out.push_back(tracer_->find(it->second));
+  // multimap keeps insertion order per key == creation order (ids ascend).
+  return out;
+}
+
+std::vector<const Span*> TraceQuery::subtree(SpanId root) const {
+  std::vector<const Span*> out;
+  const Span* span = tracer_->find(root);
+  if (span == nullptr) return out;
+  // DFS; collect then sort by id to restore creation order.
+  std::vector<SpanId> stack{root};
+  while (!stack.empty()) {
+    SpanId id = stack.back();
+    stack.pop_back();
+    out.push_back(tracer_->find(id));
+    auto [lo, hi] = children_.equal_range(id);
+    for (auto it = lo; it != hi; ++it) stack.push_back(it->second);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Span* a, const Span* b) { return a->id < b->id; });
+  return out;
+}
+
+const Span* TraceQuery::first_in_subtree(SpanId root,
+                                         std::string_view name) const {
+  for (const Span* span : subtree(root)) {
+    if (span->name == name) return span;
+  }
+  return nullptr;
+}
+
+bool TraceQuery::is_ancestor(SpanId ancestor, SpanId span) const {
+  if (ancestor == kNoSpan || span == kNoSpan) return false;
+  const Span* current = tracer_->find(span);
+  while (current != nullptr && current->parent != kNoSpan) {
+    if (current->parent == ancestor) return true;
+    current = tracer_->find(current->parent);
+  }
+  return false;
+}
+
+bool TraceQuery::overlaps(const Span& a, const Span& b) {
+  if (!a.closed() || !b.closed()) return false;
+  return a.start < b.end && b.start < a.end;
+}
+
+double TraceQuery::sum_value(const std::vector<const Span*>& spans,
+                             std::string_view key) {
+  double sum = 0;
+  for (const Span* span : spans) sum += span->value_or(key, 0.0);
+  return sum;
+}
+
+std::vector<std::pair<double, int>> TraceQuery::concurrency_profile(
+    const std::vector<const Span*>& spans) {
+  // +1 at start, -1 at end; at equal times ends land before starts so a
+  // back-to-back handoff never counts as concurrency.
+  std::vector<std::pair<double, int>> events;
+  for (const Span* span : spans) {
+    if (!span->closed()) continue;
+    events.emplace_back(span->start, +1);
+    events.emplace_back(span->end, -1);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  std::vector<std::pair<double, int>> profile;
+  int depth = 0;
+  for (const auto& [time, delta] : events) {
+    depth += delta;
+    if (!profile.empty() && profile.back().first == time) {
+      profile.back().second = depth;
+    } else {
+      profile.emplace_back(time, depth);
+    }
+  }
+  return profile;
+}
+
+int TraceQuery::max_concurrent(const std::vector<const Span*>& spans) {
+  int peak = 0;
+  for (const auto& [time, depth] : concurrency_profile(spans)) {
+    peak = std::max(peak, depth);
+  }
+  return peak;
+}
+
+std::vector<const Span*> TraceQuery::critical_path(SpanId root) const {
+  std::vector<const Span*> path;
+  const Span* current = tracer_->find(root);
+  while (current != nullptr) {
+    path.push_back(current);
+    const Span* next = nullptr;
+    for (const Span* child : children(current->id)) {
+      if (child == nullptr || !child->closed()) continue;
+      if (next == nullptr || child->end > next->end) next = child;
+    }
+    current = next;
+  }
+  return path;
+}
+
+Status TraceQuery::validate() const {
+  for (const Span& span : tracer_->spans()) {
+    if (!span.closed()) {
+      return internal_error(
+          str_format("span %llu '%s' never closed",
+                     static_cast<unsigned long long>(span.id),
+                     span.name.c_str()));
+    }
+    if (span.parent == kNoSpan) continue;
+    const Span* parent = tracer_->find(span.parent);
+    if (parent == nullptr) {
+      return internal_error(str_format(
+          "span %llu '%s' references missing parent %llu",
+          static_cast<unsigned long long>(span.id), span.name.c_str(),
+          static_cast<unsigned long long>(span.parent)));
+    }
+    if (parent->id >= span.id) {
+      return internal_error(str_format(
+          "span %llu '%s' was created before its parent %llu",
+          static_cast<unsigned long long>(span.id), span.name.c_str(),
+          static_cast<unsigned long long>(parent->id)));
+    }
+    if (span.start < parent->start - kEps || span.end > parent->end + kEps) {
+      return internal_error(str_format(
+          "span %llu '%s' [%.9f, %.9f] escapes parent '%s' [%.9f, %.9f]",
+          static_cast<unsigned long long>(span.id), span.name.c_str(),
+          span.start, span.end, parent->name.c_str(), parent->start,
+          parent->end));
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace ompcloud::trace

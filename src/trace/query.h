@@ -1,0 +1,70 @@
+// Structural queries over a recorded trace: select spans by name/prefix or
+// subtree, measure concurrency over time, extract the critical path, and
+// validate that the span tree is balanced. This is what lets tests assert
+// *how* the pipeline executed (block k+1 compressed while block k was on
+// the wire; at most `transfer_threads` puts in flight) instead of only
+// comparing end-to-end durations.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+#include "trace/tracer.h"
+
+namespace ompcloud::trace {
+
+class TraceQuery {
+ public:
+  explicit TraceQuery(const Tracer& tracer);
+
+  /// All recorded spans, in creation order.
+  [[nodiscard]] std::vector<const Span*> all() const;
+  /// Spans whose name matches exactly.
+  [[nodiscard]] std::vector<const Span*> named(std::string_view name) const;
+  /// Spans whose name starts with `prefix`.
+  [[nodiscard]] std::vector<const Span*> with_prefix(
+      std::string_view prefix) const;
+  /// Direct children of `parent`, in creation order.
+  [[nodiscard]] std::vector<const Span*> children(SpanId parent) const;
+  /// `root` plus every descendant, in creation order.
+  [[nodiscard]] std::vector<const Span*> subtree(SpanId root) const;
+  /// First span named `name` inside `root`'s subtree (root included);
+  /// nullptr when absent.
+  [[nodiscard]] const Span* first_in_subtree(SpanId root,
+                                             std::string_view name) const;
+  /// Whether `ancestor` is on `span`'s parent chain (a span is not its own
+  /// ancestor).
+  [[nodiscard]] bool is_ancestor(SpanId ancestor, SpanId span) const;
+
+  /// Interval intersection with positive measure (touching endpoints do not
+  /// overlap — pipeline handoffs at the same virtual instant are serial).
+  [[nodiscard]] static bool overlaps(const Span& a, const Span& b);
+  /// Sum of a numeric annotation over a span selection.
+  [[nodiscard]] static double sum_value(const std::vector<const Span*>& spans,
+                                        std::string_view key);
+  /// Peak number of simultaneously open spans in the selection.
+  [[nodiscard]] static int max_concurrent(const std::vector<const Span*>& spans);
+  /// Concurrency step function: (time, open-span count) at each change
+  /// point, time-ordered.
+  [[nodiscard]] static std::vector<std::pair<double, int>> concurrency_profile(
+      const std::vector<const Span*>& spans);
+
+  /// Greedy critical path from `root`: at each level, descend into the
+  /// child that finishes last (earliest-created wins ties). Returns the
+  /// chain root-first; just {root} for a leaf.
+  [[nodiscard]] std::vector<const Span*> critical_path(SpanId root) const;
+
+  /// Balanced-tree check: every span closed, every parent exists and was
+  /// created first, and every child's interval lies within its parent's
+  /// (tolerance for float arithmetic).
+  [[nodiscard]] Status validate() const;
+
+ private:
+  const Tracer* tracer_;
+  std::multimap<SpanId, SpanId> children_;  ///< parent -> child ids
+};
+
+}  // namespace ompcloud::trace

@@ -1,0 +1,128 @@
+#include "trace/tracer.h"
+
+#include <algorithm>
+
+namespace ompcloud::trace {
+
+double Span::value_or(std::string_view key, double fallback) const {
+  for (const auto& [k, v] : values) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+const std::string* Span::tag(std::string_view key) const {
+  for (const auto& [k, v] : tags) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double value) {
+  size_t bucket = 0;
+  while (bucket < bounds_.size() && value > bounds_[bucket]) ++bucket;
+  ++counts_[bucket];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+uint64_t Metrics::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+TraceOptions TraceOptions::from_config(const Config& config) {
+  TraceOptions options;
+  options.enabled = config.get_bool("trace.enabled", options.enabled);
+  options.max_spans = static_cast<uint64_t>(
+      config.get_int("trace.max-spans", static_cast<int64_t>(options.max_spans)));
+  options.export_path = config.get_string("trace.export", options.export_path);
+  return options;
+}
+
+void SpanHandle::end() {
+  if (tracer_ == nullptr) return;
+  if (Span* span = tracer_->mutable_span(id_); span != nullptr && !span->closed()) {
+    span->end = tracer_->now();
+  }
+  tracer_ = nullptr;
+}
+
+void SpanHandle::tag(std::string key, std::string value) {
+  if (tracer_ == nullptr) return;
+  Span* span = tracer_->mutable_span(id_);
+  if (span == nullptr) return;
+  for (auto& [k, v] : span->tags) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  span->tags.emplace_back(std::move(key), std::move(value));
+}
+
+void SpanHandle::add(std::string key, double delta) {
+  if (tracer_ == nullptr) return;
+  Span* span = tracer_->mutable_span(id_);
+  if (span == nullptr) return;
+  for (auto& [k, v] : span->values) {
+    if (k == key) {
+      v += delta;
+      return;
+    }
+  }
+  span->values.emplace_back(std::move(key), delta);
+}
+
+SpanHandle SpanHandle::child(std::string name) const {
+  if (tracer_ == nullptr) return {};
+  return tracer_->span(std::move(name), id_);
+}
+
+double SpanHandle::duration() const {
+  if (tracer_ == nullptr) return 0;
+  const Span* span = tracer_->find(id_);
+  if (span == nullptr) return 0;
+  return span->closed() ? span->duration() : tracer_->now() - span->start;
+}
+
+Tracer::Tracer(sim::Engine& engine, TraceOptions options)
+    : engine_(&engine), options_(std::move(options)) {}
+
+SpanHandle Tracer::span(std::string name, SpanId parent) {
+  if (!options_.enabled) return {};
+  if (spans_.size() >= options_.max_spans) {
+    ++dropped_;
+    return {};
+  }
+  Span span;
+  span.id = static_cast<SpanId>(spans_.size()) + 1;
+  span.parent = parent;
+  span.name = std::move(name);
+  span.start = now();
+  spans_.push_back(std::move(span));
+  return SpanHandle(this, spans_.back().id);
+}
+
+const Span* Tracer::find(SpanId id) const {
+  if (id == kNoSpan || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+Span* Tracer::mutable_span(SpanId id) {
+  if (id == kNoSpan || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+}  // namespace ompcloud::trace

@@ -1,0 +1,256 @@
+// Span-based virtual-time tracing + metrics registry.
+//
+// Every interesting interval in the offload stack — a buffer upload, one
+// block's compression, a Spark task, an S3 PUT — is recorded as a `Span` in
+// *virtual* time: timestamps come from the sim engine's clock, never the
+// wall clock, so two runs of the same scenario produce byte-identical
+// traces. Spans form a per-offload tree:
+//
+//   offload
+//   ├── boot                      (on-the-fly instance start, if any)
+//   ├── upload
+//   │   └── upload/<var>
+//   │       ├── block[k].compress  block[k].put   (chunked pipeline)
+//   │       └── manifest.put
+//   ├── spark.submit
+//   ├── spark.job
+//   │   ├── spark.read_inputs
+//   │   ├── stage[s] ── task[t], distribute, broadcast
+//   │   └── spark.write_outputs
+//   ├── download ── download/<var> ── block[k].fetch / block[k].decode
+//   └── cleanup
+//
+// with `store.put`/`store.get`/... leaf spans under whichever operation
+// issued them. The `OffloadReport` phase/byte fields are *derived* from
+// this tree (see cloud_plugin.cpp), so the report is a view over the trace
+// rather than a second bookkeeping system.
+//
+// Handles are RAII and coroutine-friendly: a `SpanHandle` living in a
+// coroutine frame closes its span when the frame unwinds (co_return or
+// exception), always at the current virtual instant. Parenting across an
+// ownership boundary (e.g. the plugin calling into ObjectStore) uses the
+// *ambient* slot: the caller does `tracer.set_ambient(span.id())`
+// immediately before `co_await store.put(...)`; the callee's first act is
+// `take_ambient()` (read + clear). This is race-free because `sim::Co`
+// bodies start synchronously inside the caller's co_await — the ambient
+// value never survives a suspension.
+//
+// The registry (`Metrics`) holds named counters/gauges/histograms in
+// deterministic (std::map) order; cache statistics and cluster lifecycle
+// counts live here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.h"
+#include "support/config.h"
+
+namespace ompcloud::trace {
+
+using SpanId = uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+/// One closed (or still-open) interval in virtual time.
+struct Span {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  std::string name;
+  sim::SimTime start = 0;
+  sim::SimTime end = -1;  ///< < start while the span is open
+  /// Small, ordered annotation lists (insertion order preserved; spans
+  /// typically carry 0-3 of each, so linear scans beat map overhead).
+  std::vector<std::pair<std::string, std::string>> tags;
+  std::vector<std::pair<std::string, double>> values;
+
+  [[nodiscard]] bool closed() const { return end >= start; }
+  [[nodiscard]] double duration() const { return closed() ? end - start : 0.0; }
+  /// Numeric annotation lookup; `fallback` when absent.
+  [[nodiscard]] double value_or(std::string_view key, double fallback) const;
+  /// Tag lookup; nullptr when absent.
+  [[nodiscard]] const std::string* tag(std::string_view key) const;
+};
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bound histogram (upper bounds; an implicit +inf bucket catches the
+/// rest). Tracks count/sum/min/max alongside the buckets.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds = default_bounds());
+  void record(double value);
+
+  [[nodiscard]] uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// bucket_counts()[i] = samples <= bounds()[i]; the final entry is +inf.
+  [[nodiscard]] const std::vector<uint64_t>& bucket_counts() const {
+    return counts_;
+  }
+
+  /// Duration-flavored default: 1ms .. 100s, decade steps.
+  static std::vector<double> default_bounds() {
+    return {0.001, 0.01, 0.1, 1.0, 10.0, 100.0};
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;  ///< bounds_.size() + 1 (overflow last)
+  uint64_t count_ = 0;
+  double sum_ = 0, min_ = 0, max_ = 0;
+};
+
+/// Named metric registry. Lookup creates on first use; iteration order is
+/// the key order (deterministic export).
+class Metrics {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  /// Read-only counter value; 0 when the counter was never touched.
+  [[nodiscard]] uint64_t counter_value(const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// The `[trace]` section of the device configuration file.
+struct TraceOptions {
+  /// Off = spans become no-ops. Note the OffloadReport phase/byte
+  /// decomposition is *derived* from spans, so disabling tracing also
+  /// disables that measurement (totals and correctness are unaffected).
+  bool enabled = true;
+  /// Hard cap on recorded spans (runaway protection); spans past the cap
+  /// are counted in `Tracer::dropped_spans()`.
+  uint64_t max_spans = 1ull << 22;
+  /// If non-empty, callers that own a run (examples, benches) write the
+  /// Chrome trace-event JSON here after the engine drains.
+  std::string export_path;
+
+  static TraceOptions from_config(const Config& config);
+};
+
+class Tracer;
+
+/// RAII span handle. Movable, not copyable; destroying an open handle ends
+/// the span at the current virtual time. A default-constructed (or
+/// tracing-disabled) handle is inert: every member is a safe no-op.
+class SpanHandle {
+ public:
+  SpanHandle() = default;
+  SpanHandle(SpanHandle&& other) noexcept
+      : tracer_(std::exchange(other.tracer_, nullptr)),
+        id_(std::exchange(other.id_, kNoSpan)) {}
+  SpanHandle& operator=(SpanHandle&& other) noexcept {
+    if (this != &other) {
+      end();
+      tracer_ = std::exchange(other.tracer_, nullptr);
+      id_ = std::exchange(other.id_, kNoSpan);
+    }
+    return *this;
+  }
+  SpanHandle(const SpanHandle&) = delete;
+  SpanHandle& operator=(const SpanHandle&) = delete;
+  ~SpanHandle() { end(); }
+
+  [[nodiscard]] bool active() const { return tracer_ != nullptr; }
+  [[nodiscard]] SpanId id() const { return id_; }
+
+  /// Closes the span at the current virtual time (idempotent).
+  void end();
+  /// String annotation (last write wins per key).
+  void tag(std::string key, std::string value);
+  /// Numeric annotation; repeated adds to the same key accumulate.
+  void add(std::string key, double delta);
+  /// Opens a child span of this one.
+  [[nodiscard]] SpanHandle child(std::string name) const;
+  /// Duration so far (0 for inert handles).
+  [[nodiscard]] double duration() const;
+
+ private:
+  friend class Tracer;
+  SpanHandle(Tracer* tracer, SpanId id) : tracer_(tracer), id_(id) {}
+
+  Tracer* tracer_ = nullptr;
+  SpanId id_ = kNoSpan;
+};
+
+/// Span recorder bound to one sim engine. Append-only; ids are 1-based
+/// indices into `spans()`, so creation order (and therefore export) is
+/// deterministic.
+class Tracer {
+ public:
+  explicit Tracer(sim::Engine& engine, TraceOptions options = {});
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void configure(TraceOptions options) { options_ = std::move(options); }
+  [[nodiscard]] const TraceOptions& options() const { return options_; }
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] sim::SimTime now() const { return engine_->now(); }
+
+  /// Opens a span starting now. Returns an inert handle when tracing is
+  /// disabled or the span cap is reached.
+  [[nodiscard]] SpanHandle span(std::string name, SpanId parent = kNoSpan);
+
+  /// Ambient-parent handoff (see file comment). `take` reads and clears.
+  void set_ambient(SpanId id) { ambient_ = id; }
+  [[nodiscard]] SpanId take_ambient() { return std::exchange(ambient_, kNoSpan); }
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] const Span* find(SpanId id) const;
+  [[nodiscard]] uint64_t dropped_spans() const { return dropped_; }
+
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+
+ private:
+  friend class SpanHandle;
+  Span* mutable_span(SpanId id);
+
+  sim::Engine* engine_;
+  TraceOptions options_;
+  std::vector<Span> spans_;
+  SpanId ambient_ = kNoSpan;
+  uint64_t dropped_ = 0;
+  Metrics metrics_;
+};
+
+}  // namespace ompcloud::trace

@@ -54,7 +54,7 @@ TEST(AsyncOffloadTest, HandleResolvesWithResult) {
   std::vector<float> x(64), y(64, 0.0f);
   std::iota(x.begin(), x.end(), 1.0f);
   auto region = f.make_region(x, y, "r");
-  auto handle = region.execute_async(f.engine);
+  auto handle = region.execute_async();
   EXPECT_FALSE(handle.done());  // nothing ran yet
   f.engine.run();
   ASSERT_TRUE(handle.done());
@@ -86,8 +86,8 @@ TEST(AsyncOffloadTest, TwoOffloadsOverlapAndShareTheWan) {
 
   auto region1 = f.make_region(x1, y1, "r1");
   auto region2 = f.make_region(x2, y2, "r2");
-  auto handle1 = region1.execute_async(f.engine);
-  auto handle2 = region2.execute_async(f.engine);
+  auto handle1 = region1.execute_async();
+  auto handle2 = region2.execute_async();
   double elapsed = f.engine.run();
   ASSERT_TRUE(handle1.done() && handle2.done());
   ASSERT_TRUE(handle1.result().ok());
@@ -136,8 +136,8 @@ TEST(AsyncOffloadTest, ConcurrentSameRegionOffloadsDoNotTrample) {
 
   auto region1 = make_region(x1, y1);
   auto region2 = make_region(x2, y2);
-  auto handle1 = region1.execute_async(engine);
-  auto handle2 = region2.execute_async(engine);
+  auto handle1 = region1.execute_async();
+  auto handle2 = region2.execute_async();
   engine.run();
   ASSERT_TRUE(handle1.done() && handle2.done());
   ASSERT_TRUE(handle1.result().ok()) << handle1.result().status().to_string();
@@ -156,11 +156,28 @@ TEST(AsyncOffloadTest, ConcurrentSameRegionOffloadsDoNotTrample) {
   EXPECT_EQ(y1[7], 2.0f * x1[7]);
 }
 
+TEST(AsyncOffloadTest, ResultBeforeDoneIsFailedPrecondition) {
+  // Regression: result() used to dereference the not-yet-produced report
+  // (undefined behavior) when called before the offload completed. It must
+  // instead return a kFailedPrecondition status.
+  AsyncFixture f;
+  std::vector<float> x(64, 1.0f), y(64, 0.0f);
+  auto region = f.make_region(x, y, "early-result");
+  auto handle = region.execute_async();
+  ASSERT_FALSE(handle.done());
+  auto early = handle.result();
+  EXPECT_FALSE(early.ok());
+  EXPECT_EQ(early.status().code(), StatusCode::kFailedPrecondition);
+  f.engine.run();
+  ASSERT_TRUE(handle.done());
+  EXPECT_TRUE(handle.result().ok()) << handle.result().status().to_string();
+}
+
 TEST(AsyncOffloadTest, JoinFromCoroutine) {
   AsyncFixture f;
   std::vector<float> x(32, 3.0f), y(32, 0.0f);
   auto region = f.make_region(x, y, "join");
-  auto handle = region.execute_async(f.engine);
+  auto handle = region.execute_async();
   bool joined_after_done = false;
   f.engine.spawn([](TargetRegion::Async handle, bool* flag) -> sim::Task {
     co_await handle.completion();
