@@ -41,6 +41,8 @@ Status MatVecBody(int64_t n, const jni::KernelArgs& args) {
 struct RunResult {
   omptarget::OffloadReport report;
   omptarget::CloudPlugin::CacheStats cache;
+  /// Live-mode trace analysis of the measured (last) offload round.
+  std::optional<trace::OffloadAnalysis> analysis;
 };
 
 /// One offload of matvec on a fresh cluster with the given staging knobs.
@@ -92,6 +94,9 @@ Result<RunResult> run_matvec(int64_t n, uint64_t chunk_size, bool overlap,
     OC_ASSIGN_OR_RETURN(result.report, omp::offload_blocking(engine, region));
   }
   result.cache = plugin.cache_stats();
+  trace::TraceAnalyzer analyzer(devices.tracer());
+  std::vector<trace::OffloadAnalysis> analyses = analyzer.analyze_all();
+  if (!analyses.empty()) result.analysis = std::move(analyses.back());
   if (!trace_path.empty()) {
     OC_RETURN_IF_ERROR(trace::write_chrome_json(
         devices.tracer(), trace_path,
@@ -137,7 +142,8 @@ int run(int argc, const char** argv) {
                   format_bytes(result->report.uploaded_wire_bytes).c_str());
       json.add(str_format("sweep chunk=%s overlap=%s", chunk_label.c_str(),
                           overlap ? "on" : "off"),
-               result->report);
+               result->report, nullptr,
+               result->analysis ? &*result->analysis : nullptr);
       // Only buffers strictly larger than the chunk go through the block
       // pipeline; the rest stage as one frame where overlap cannot apply.
       if (chunk == 0 || matrix_bytes <= chunk) continue;
@@ -177,8 +183,10 @@ int run(int argc, const char** argv) {
                   static_cast<double>(cold_wire),
               static_cast<unsigned long long>(delta->cache.block_dirty),
               static_cast<unsigned long long>(delta->cache.block_hits));
-  json.add("delta-cache cold", cold->report, &cold->cache);
-  json.add("delta-cache 10pct-mutated", delta->report, &delta->cache);
+  json.add("delta-cache cold", cold->report, &cold->cache,
+           cold->analysis ? &*cold->analysis : nullptr);
+  json.add("delta-cache 10pct-mutated", delta->report, &delta->cache,
+           delta->analysis ? &*delta->analysis : nullptr);
   bool delta_ok = delta_wire * 5 <= cold_wire;
   std::printf("  re-offload wire bytes %s 20%% of the cold run\n\n",
               delta_ok ? "<=" : "EXCEED");

@@ -5,6 +5,7 @@
 #include "omptarget/host_plugin.h"
 #include "support/strings.h"
 #include "trace/export.h"
+#include "trace/tracer.h"
 
 namespace ompcloud::bench {
 
@@ -28,6 +29,7 @@ Result<CloudRunResult> run_on_cloud_with_injectors(
   conf.with_dedicated_cores(config.dedicated_cores);
 
   omptarget::DeviceManager devices(engine);
+  trace::ScopedLogCapture log_capture(devices.tracer());
   auto plugin = std::make_unique<omptarget::CloudPlugin>(cluster, conf,
                                                          config.plugin);
   if (faults) plugin->spark_context().set_task_fault_injector(std::move(faults));
@@ -60,6 +62,9 @@ Result<CloudRunResult> run_on_cloud_with_injectors(
   CloudRunResult result;
   result.report = std::move(report);
   result.total_flops = benchmark->total_flops();
+  trace::TraceAnalyzer analyzer(devices.tracer());
+  std::vector<trace::OffloadAnalysis> analyses = analyzer.analyze_all();
+  if (!analyses.empty()) result.analysis = std::move(analyses.front());
   if (config.verify) {
     benchmark->run_reference();
     result.max_error = benchmark->max_error();
@@ -99,12 +104,16 @@ std::string speedup_str(double baseline_seconds, double seconds) {
 
 void BenchJson::add(const std::string& label,
                     const omptarget::OffloadReport& report,
-                    const omptarget::CloudPlugin::CacheStats* cache) {
+                    const omptarget::CloudPlugin::CacheStats* cache,
+                    const trace::OffloadAnalysis* analysis) {
   std::string record =
       str_format("    {\n      \"label\": \"%s\",\n      \"report\": %s",
                  label.c_str(), report.to_json(6).c_str());
   if (cache != nullptr) {
     record += ",\n      \"cache\": " + cache->to_json();
+  }
+  if (analysis != nullptr) {
+    record += ",\n      \"analysis\": " + analysis->to_json(6);
   }
   record += "\n    }";
   records_.push_back(std::move(record));

@@ -11,6 +11,7 @@
 #include "kernels/benchmark.h"
 #include "omptarget/cloud_plugin.h"
 #include "support/status.h"
+#include "trace/analysis.h"
 
 namespace ompcloud::bench {
 
@@ -38,6 +39,9 @@ struct CloudRunResult {
   omptarget::OffloadReport report;
   uint64_t total_flops = 0;
   double max_error = 0;  ///< only meaningful when config.verify
+  /// In-process trace analysis of the offload (phases, critical path,
+  /// skew, transfer overlap, cost) — the "live mode" of `octrace`.
+  std::optional<trace::OffloadAnalysis> analysis;
 };
 
 /// Offloads one benchmark to a fresh simulated cluster. Deterministic.
@@ -68,7 +72,8 @@ class BenchJson {
   explicit BenchJson(std::string path) : path_(std::move(path)) {}
 
   void add(const std::string& label, const omptarget::OffloadReport& report,
-           const omptarget::CloudPlugin::CacheStats* cache = nullptr);
+           const omptarget::CloudPlugin::CacheStats* cache = nullptr,
+           const trace::OffloadAnalysis* analysis = nullptr);
 
   /// Writes the accumulated records as one JSON array. Returns false on IO
   /// failure (already reported to stderr).

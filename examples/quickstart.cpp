@@ -20,6 +20,7 @@
 #include "support/flags.h"
 #include "support/strings.h"
 #include "trace/export.h"
+#include "trace/tracer.h"
 #include "workload/generators.h"
 
 using namespace ompcloud;
@@ -73,6 +74,9 @@ int main(int argc, const char** argv) {
     return 1;
   }
   const int kCloud = devices.register_device(std::move(*plugin));
+  // `[trace] log-events = true` mirrors WARN/ERROR logs into the trace as
+  // instant events; the capture is a no-op otherwise.
+  trace::ScopedLogCapture log_capture(devices.tracer());
 
   // 3. The user program: local data, one annotated loop.
   auto a = workload::make_matrix({static_cast<size_t>(n),

@@ -123,9 +123,10 @@ Cluster::Cluster(sim::Engine& engine, ClusterSpec spec, SimProfile profile)
   build_topology();
   if (state_ == ClusterState::kRunning) {
     // Pre-provisioned cluster: billing runs from t=0 (driver + workers).
+    // Published as gauges directly (not an instance_state_change callback:
+    // nothing transitioned — the fleet was already up).
     cost_.on_instances_started(spec_.workers + 1, instance_.price_per_hour);
-    tracer_->metrics().gauge("cluster.billing_instances")
-        .set(spec_.workers + 1);
+    publish_billing_gauges();
   }
 }
 
@@ -134,10 +135,15 @@ void Cluster::set_tracer(std::shared_ptr<trace::Tracer> tracer) {
   tracer_ = std::move(tracer);
   store_->set_tracer(tracer_.get());
   if (state_ == ClusterState::kRunning) {
-    // The constructor published this gauge on the tracer we just replaced.
-    tracer_->metrics().gauge("cluster.billing_instances")
-        .set(spec_.workers + 1);
+    // The constructor published these gauges on the tracer we just replaced.
+    publish_billing_gauges();
   }
+}
+
+void Cluster::publish_billing_gauges() {
+  tracer_->metrics().gauge("cluster.billing_instances").set(spec_.workers + 1);
+  tracer_->metrics().gauge("cluster.price_per_hour")
+      .set(instance_.price_per_hour);
 }
 
 std::string Cluster::worker_node(int index) const {
@@ -217,11 +223,14 @@ sim::Co<Status> Cluster::ensure_running() {
       tracer_->span("cluster.boot", tracer_->take_ambient());
   span.tag("instance_type", spec_.instance_type);
   span.add("instances", spec_.workers + 1);
+  span.add("price_per_hour", instance_.price_per_hour);
   // All instances boot in parallel; the cluster is usable when the slowest
-  // is up. Billing starts at the boot request (as EC2 bills).
+  // is up. Billing starts at the boot request (as EC2 bills). The boots
+  // counter and billing gauges derive from this callback (MetricsTool).
   cost_.on_instances_started(spec_.workers + 1, instance_.price_per_hour);
-  tracer_->metrics().counter("cluster.boots").add();
-  tracer_->metrics().gauge("cluster.billing_instances").set(spec_.workers + 1);
+  tracer_->tools().emit_instance_state_change(
+      {tools::InstanceStateInfo::Kind::kBoot, spec_.workers + 1,
+       instance_.price_per_hour, spec_.instance_type, engine_->now()});
   co_await engine_->sleep(instance_.boot_seconds);
   state_ = ClusterState::kRunning;
   co_return Status::ok();
@@ -233,8 +242,9 @@ sim::Co<Status> Cluster::shutdown() {
       tracer_->span("cluster.shutdown", tracer_->take_ambient());
   cost_.on_instances_stopped(spec_.workers + 1, instance_.price_per_hour);
   state_ = ClusterState::kStopped;
-  tracer_->metrics().counter("cluster.shutdowns").add();
-  tracer_->metrics().gauge("cluster.billing_instances").set(0);
+  tracer_->tools().emit_instance_state_change(
+      {tools::InstanceStateInfo::Kind::kStop, spec_.workers + 1,
+       instance_.price_per_hour, spec_.instance_type, engine_->now()});
   tracer_->metrics().gauge("cluster.accrued_usd").set(cost_.accrued_usd());
   // Stop requests return quickly; we do not model the async spin-down tail.
   co_await engine_->sleep(0.5);

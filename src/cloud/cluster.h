@@ -168,6 +168,9 @@ class Cluster {
 
  private:
   void build_topology();
+  /// Publishes cluster.billing_instances / cluster.price_per_hour on the
+  /// current tracer (pre-provisioned clusters, where no boot event fires).
+  void publish_billing_gauges();
 
   sim::Engine* engine_;
   ClusterSpec spec_;

@@ -5,6 +5,7 @@
 
 #include "compress/payload.h"
 #include "support/strings.h"
+#include "tools/tools.h"
 #include "trace/query.h"
 
 namespace ompcloud::omptarget {
@@ -260,6 +261,14 @@ sim::Co<Status> CloudPlugin::upload_single(const MappedVar* var,
                                var->size_bytes);
   std::string key = spark::SparkContext::input_key(staged);
   bool use_cache = options_.cache_data && cache_eligible;
+  // ompt_callback_target_data_op equivalent: one record per buffer, emitted
+  // when the operation settles (cache-hit return or successful put). The
+  // cache.* metric counters derive from it (Tracer::MetricsTool).
+  tools::DataOpInfo op;
+  op.kind = tools::DataOpKind::kTransferTo;
+  op.var = var->name;
+  op.cache_eligible = use_cache;
+  op.start = cluster_->engine().now();
   uint64_t hash = 0;
   if (use_cache) {
     // Data caching (the paper's future-work item): if this variable is
@@ -277,17 +286,20 @@ sim::Co<Status> CloudPlugin::upload_single(const MappedVar* var,
             : nullptr;
     if (cached && cached->blocks[0].content_hash == hash &&
         cluster_->store().contains(options_.bucket, key)) {
-      tr.metrics().counter("cache.hits").add();
-      tr.metrics().counter("cache.block_hits").add();
-      tr.metrics().counter("cache.bytes_skipped").add(plain.size());
       span.tag("cache", "hit");
+      op.cache_hit = true;
+      op.block_hits = 1;
+      op.bytes_skipped = plain.size();
+      op.end = cluster_->engine().now();
+      tr.tools().emit_data_op(op);
       co_return Status::ok();
     }
-    tr.metrics().counter("cache.misses").add();
-    tr.metrics()
-        .counter(cached != nullptr ? "cache.block_dirty" : "cache.block_misses")
-        .add();
-    tr.metrics().counter("cache.bytes_uploaded").add(plain.size());
+    if (cached != nullptr) {
+      op.block_dirty = 1;
+    } else {
+      op.block_misses = 1;
+    }
+    op.bytes_uploaded = plain.size();
   }
   co_await gate->acquire();
   // gzip on the laptop: real compression, charged on the host pool at the
@@ -318,6 +330,11 @@ sim::Co<Status> CloudPlugin::upload_single(const MappedVar* var,
     data_cache_[staged] = CachedInput{
         0, plain.size(), {{plain.size(), encoded_size, hash}}};
   }
+  op.codec = options_.codec;
+  op.plain_bytes = plain.size();
+  op.wire_bytes = encoded_size;
+  op.end = cluster_->engine().now();
+  tr.tools().emit_data_op(op);
   co_return Status::ok();
 }
 
@@ -367,6 +384,14 @@ sim::Co<Status> CloudPlugin::upload_chunked(
       cluster_->profile().reconstruct_seconds(plain.size()));
 
   bool use_cache = options_.cache_data && cache_eligible;
+  // Accumulated across the block loop and emitted once per buffer after the
+  // manifest lands (or at the full-hit return).
+  tools::DataOpInfo op;
+  op.kind = tools::DataOpKind::kTransferTo;
+  op.var = var->name;
+  op.chunked = true;
+  op.cache_eligible = use_cache;
+  op.start = engine.now();
   const CachedInput* cached = nullptr;
   if (use_cache) {
     auto it = data_cache_.find(staged);
@@ -392,13 +417,14 @@ sim::Co<Status> CloudPlugin::upload_chunked(
     }
     if (dirty_count == 0 &&
         cluster_->store().contains(options_.bucket, base_key)) {
-      tr.metrics().counter("cache.hits").add();
-      tr.metrics().counter("cache.block_hits").add(count);
-      tr.metrics().counter("cache.bytes_skipped").add(plain.size());
       span.tag("cache", "hit");
+      op.cache_hit = true;
+      op.block_hits = count;
+      op.bytes_skipped = plain.size();
+      op.end = engine.now();
+      tr.tools().emit_data_op(op);
       co_return Status::ok();
     }
-    tr.metrics().counter("cache.misses").add();
   }
 
   // The streaming pipeline: this producer compresses blocks in order; each
@@ -416,16 +442,17 @@ sim::Co<Status> CloudPlugin::upload_chunked(
     uint64_t len = std::min<uint64_t>(chunk, plain.size() - off);
     if (!dirty[k]) {
       digests[k] = cached->blocks[k];
-      tr.metrics().counter("cache.block_hits").add();
-      tr.metrics().counter("cache.bytes_skipped").add(len);
+      op.block_hits += 1;
+      op.bytes_skipped += len;
       continue;
     }
     if (use_cache) {
-      tr.metrics()
-          .counter(cached != nullptr ? "cache.block_dirty"
-                                     : "cache.block_misses")
-          .add();
-      tr.metrics().counter("cache.bytes_uploaded").add(len);
+      if (cached != nullptr) {
+        op.block_dirty += 1;
+      } else {
+        op.block_misses += 1;
+      }
+      op.bytes_uploaded += len;
     }
     co_await window->acquire();
     trace::SpanHandle compress_span =
@@ -446,6 +473,8 @@ sim::Co<Status> CloudPlugin::upload_chunked(
     compress_span.add("codec_seconds", codec_seconds);
     compress_span.end();
     digests[k] = {len, encoded->frame.size(), hashes[k]};
+    op.plain_bytes += len;
+    op.wire_bytes += encoded->frame.size();
     puts.push_back(engine.spawn(
         put_block(spark::SparkContext::part_key(base_key, k),
                   std::move(encoded->frame), gate, window, statuses, k,
@@ -473,6 +502,10 @@ sim::Co<Status> CloudPlugin::upload_chunked(
   if (use_cache) {
     data_cache_[staged] = CachedInput{chunk, plain.size(), std::move(digests)};
   }
+  op.codec = options_.codec;
+  op.wire_bytes += manifest_size;
+  op.end = engine.now();
+  tr.tools().emit_data_op(op);
   co_return Status::ok();
 }
 
@@ -518,7 +551,7 @@ sim::Co<void> CloudPlugin::fetch_block(
     std::shared_ptr<sim::Semaphore> gate,
     std::shared_ptr<sim::Semaphore> window,
     std::shared_ptr<std::vector<Status>> statuses, size_t slot,
-    trace::SpanId parent) {
+    std::shared_ptr<DownloadTally> tally, trace::SpanId parent) {
   trace::Tracer& tr = tracer();
   // The window bounds runahead (mirroring the upload pipeline); the gate is
   // held only for the wire, so block k decodes while block k+1 transfers.
@@ -529,6 +562,7 @@ sim::Co<void> CloudPlugin::fetch_block(
   auto framed = co_await get_with_retry(std::move(key), fetch_span.id());
   if (framed.ok()) {
     fetch_span.add("wire_bytes", static_cast<double>(framed->size()));
+    tally->wire_bytes += framed->size();
   }
   fetch_span.end();
   gate->release();
@@ -565,6 +599,7 @@ sim::Co<void> CloudPlugin::fetch_block(
   decode_span.add("plain_bytes", static_cast<double>(plain->size()));
   decode_span.add("codec_seconds", codec_seconds);
   decode_span.end();
+  tally->plain_bytes += plain->size();
   std::memcpy(static_cast<std::byte*>(var->host_ptr) + block.plain_offset,
               plain->data(), plain->size());
   window->release();
@@ -577,11 +612,19 @@ sim::Co<Status> CloudPlugin::download_buffer(
   trace::Tracer& tr = tracer();
   trace::SpanHandle span = tr.span("download/" + var->name, phase);
   std::string base_key = spark::SparkContext::output_key(staged);
+  // One data-op record per buffer regardless of the path (single frame,
+  // inline chunked, or manifest + block pipeline); emitted on success only.
+  tools::DataOpInfo op;
+  op.kind = tools::DataOpKind::kTransferFrom;
+  op.var = var->name;
+  op.codec = options_.codec;
+  op.start = engine.now();
   co_await gate->acquire();
   trace::SpanHandle fetch_span = tr.span("fetch", span.id());
   auto framed = co_await get_with_retry(base_key, fetch_span.id());
   if (framed.ok()) {
     fetch_span.add("wire_bytes", static_cast<double>(framed->size()));
+    op.wire_bytes += framed->size();
   }
   fetch_span.end();
   gate->release();
@@ -616,6 +659,10 @@ sim::Co<Status> CloudPlugin::download_buffer(
       decode_span.add("codec_seconds", codec_seconds);
       decode_span.end();
       std::memcpy(var->host_ptr, plain.data(), plain.size());
+      op.chunked = true;
+      op.plain_bytes += plain.size();
+      op.end = engine.now();
+      tr.tools().emit_data_op(op);
       co_return Status::ok();
     }
     // Manifest: stream the sibling block objects back through the mirrored
@@ -625,11 +672,13 @@ sim::Co<Status> CloudPlugin::download_buffer(
         engine, options_.overlap_transfers ? 2 : 1);
     auto statuses = std::make_shared<std::vector<Status>>(index.blocks.size(),
                                                           Status::ok());
+    auto tally = std::make_shared<DownloadTally>();
     std::vector<sim::Completion> fetches;
     for (size_t k = 0; k < index.blocks.size(); ++k) {
       fetches.push_back(engine.spawn(
           fetch_block(spark::SparkContext::part_key(base_key, k), var,
-                      index.blocks[k], gate, window, statuses, k, span.id())));
+                      index.blocks[k], gate, window, statuses, k, tally,
+                      span.id())));
     }
     co_await sim::all(std::move(fetches));
     for (size_t k = 0; k < statuses->size(); ++k) {
@@ -638,6 +687,11 @@ sim::Co<Status> CloudPlugin::download_buffer(
             str_format("block %zu of '%s'", k, base_key.c_str()));
       }
     }
+    op.chunked = true;
+    op.plain_bytes += tally->plain_bytes;
+    op.wire_bytes += tally->wire_bytes;
+    op.end = engine.now();
+    tr.tools().emit_data_op(op);
     co_return Status::ok();
   }
 
@@ -664,6 +718,9 @@ sim::Co<Status> CloudPlugin::download_buffer(
   decode_span.add("codec_seconds", codec_seconds);
   decode_span.end();
   std::memcpy(var->host_ptr, plain.data(), plain.size());
+  op.plain_bytes += plain.size();
+  op.end = engine.now();
+  tr.tools().emit_data_op(op);
   co_return Status::ok();
 }
 
@@ -685,22 +742,29 @@ sim::Co<Status> CloudPlugin::cleanup_objects(
   if (!keys.ok()) co_return Status::ok();
   bool keep_inputs = options_.cache_data && cache_eligible;
   auto& engine = cluster_->engine();
-  auto drop = [](trace::Tracer* tr, trace::SpanId phase,
-                 sim::Co<Status> op) -> sim::Co<void> {
-    // Re-arm the ambient parent inside the spawned task: the op's body
+  auto drop = [](CloudPlugin* self, trace::SpanId phase,
+                 std::string key) -> sim::Co<void> {
+    // Re-arm the ambient parent inside the spawned task: the remove's body
     // starts synchronously inside this co_await, so its store.delete span
     // lands under the cleanup phase.
-    tr->set_ambient(phase);
-    (void)co_await std::move(op);
+    trace::Tracer& tr = self->tracer();
+    double start = self->cluster_->engine().now();
+    tr.set_ambient(phase);
+    Status removed = co_await self->cluster_->store().remove(
+        cloud::Cluster::host_node(), self->options_.bucket, key);
+    if (!removed.is_ok()) co_return;
+    tools::DataOpInfo op;
+    op.kind = tools::DataOpKind::kDelete;
+    op.var = key;
+    op.start = start;
+    op.end = self->cluster_->engine().now();
+    tr.tools().emit_data_op(op);
   };
   std::vector<sim::Completion> parts;
   for (const std::string& key : *keys) {
     bool is_output = key.find(".out.bin") != std::string::npos;
     if (!is_output && keep_inputs) continue;
-    parts.push_back(engine.spawn(drop(
-        &tr, phase,
-        cluster_->store().remove(cloud::Cluster::host_node(), options_.bucket,
-                                 key))));
+    parts.push_back(engine.spawn(drop(this, phase, key)));
   }
   co_await sim::all(std::move(parts));
   co_return Status::ok();
@@ -773,6 +837,19 @@ sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
   }
 
   std::vector<std::string> names = staged_names(region, cache_eligible);
+
+  // map(from:)/map(alloc:) variables only exist device-side until download:
+  // report their allocation as data ops (ompt_target_data_alloc flavor).
+  for (const MappedVar& var : region.vars) {
+    if (var.maps_to()) continue;
+    tools::DataOpInfo alloc;
+    alloc.kind = tools::DataOpKind::kAlloc;
+    alloc.var = var.name;
+    alloc.plain_bytes = var.size_bytes;
+    alloc.start = engine.now();
+    alloc.end = alloc.start;
+    tr.tools().emit_data_op(alloc);
+  }
 
   // Fig. 1 step 2: inputs to cloud storage (parallel transfer threads,
   // chunked buffers streaming compress/wire overlapped).

@@ -190,6 +190,12 @@ class CloudPlugin final : public Plugin {
   sim::Co<Status> download_buffer(const MappedVar* var, std::string staged,
                                   std::shared_ptr<sim::Semaphore> gate,
                                   trace::SpanId phase);
+  /// Byte totals accumulated across the concurrent block fetches of one
+  /// buffer, folded into the buffer's data-op callback at the end.
+  struct DownloadTally {
+    uint64_t plain_bytes = 0;
+    uint64_t wire_bytes = 0;
+  };
   /// One in-flight block of the download pipeline: fetch through the gate,
   /// then decode/verify/copy while the next block is on the wire.
   sim::Co<void> fetch_block(std::string key, const MappedVar* var,
@@ -197,7 +203,8 @@ class CloudPlugin final : public Plugin {
                             std::shared_ptr<sim::Semaphore> gate,
                             std::shared_ptr<sim::Semaphore> window,
                             std::shared_ptr<std::vector<Status>> statuses,
-                            size_t slot, trace::SpanId parent);
+                            size_t slot, std::shared_ptr<DownloadTally> tally,
+                            trace::SpanId parent);
 
   sim::Co<Status> cleanup_objects(const TargetRegion& region,
                                   const std::vector<std::string>& names,

@@ -74,10 +74,20 @@ DeviceManager::DeviceManager(sim::Engine& engine)
       engine, "host(fallback)", /*threads=*/4, /*core_flops=*/3e9));
 }
 
+DeviceManager::~DeviceManager() {
+  for (int id = num_devices() - 1; id >= 0; --id) {
+    tracer_->tools().emit_device_fini(
+        {id, devices_[static_cast<size_t>(id)]->name(), engine_->now()});
+  }
+}
+
 int DeviceManager::register_device(std::unique_ptr<Plugin> plugin) {
   plugin->attach_tracer(tracer_);
   devices_.push_back(std::move(plugin));
-  return static_cast<int>(devices_.size()) - 1;
+  int id = static_cast<int>(devices_.size()) - 1;
+  tracer_->tools().emit_device_init(
+      {id, devices_.back()->name(), engine_->now()});
+  return id;
 }
 
 void DeviceManager::set_host_device(std::unique_ptr<Plugin> plugin) {
@@ -87,6 +97,8 @@ void DeviceManager::set_host_device(std::unique_ptr<Plugin> plugin) {
   } else {
     devices_[0] = std::move(plugin);
   }
+  tracer_->tools().emit_device_init(
+      {host_device_id(), devices_[0]->name(), engine_->now()});
 }
 
 sim::Co<Result<OffloadReport>> DeviceManager::offload(TargetRegion region,
@@ -100,14 +112,29 @@ sim::Co<Result<OffloadReport>> DeviceManager::offload(TargetRegion region,
   trace::SpanHandle root = tracer_->span("offload");
   root.tag("region", region.name);
 
-  Plugin& target = *devices_[device_id];
-  if (device_id != host_device_id() && target.is_available()) {
-    root.tag("device", std::string(target.name()));
-    auto report = co_await target.run_region(region, root.id());
-    if (report.ok()) co_return report;
+  // ompt_callback_target begin/end pair around the whole dispatch,
+  // including the host-fallback path.
+  tools::ToolRegistry& tools = tracer_->tools();
+  const uint64_t target_id = tools.next_target_id();
+  Plugin& requested = *devices_[device_id];
+  tools.emit_target_begin(
+      {target_id, region.name, device_id, requested.name(), engine_->now()});
+  auto finish = [&](bool ok, bool fell_back) {
+    tools.emit_target_end({target_id, region.name, device_id, ok, fell_back,
+                           engine_->now()});
+  };
+
+  if (device_id != host_device_id() && requested.is_available()) {
+    root.tag("device", std::string(requested.name()));
+    auto report = co_await requested.run_region(region, root.id());
+    if (report.ok()) {
+      finish(/*ok=*/true, /*fell_back=*/false);
+      co_return report;
+    }
     // Only unavailability triggers the dynamic fallback; real failures
     // (bad kernel, data loss) surface to the caller.
     if (report.status().code() != StatusCode::kUnavailable) {
+      finish(/*ok=*/false, /*fell_back=*/false);
       co_return report.status();
     }
   }
@@ -118,8 +145,12 @@ sim::Co<Result<OffloadReport>> DeviceManager::offload(TargetRegion region,
   if (is_fallback) root.tag("fallback", "true");
   auto fallback =
       co_await devices_[host_device_id()]->run_region(region, root.id());
-  if (!fallback.ok()) co_return fallback.status();
+  if (!fallback.ok()) {
+    finish(/*ok=*/false, is_fallback);
+    co_return fallback.status();
+  }
   fallback->fell_back_to_host = is_fallback;
+  finish(/*ok=*/true, is_fallback);
   co_return fallback;
 }
 

@@ -127,6 +127,7 @@ class Plugin {
 class DeviceManager {
  public:
   explicit DeviceManager(sim::Engine& engine);
+  ~DeviceManager();
 
   /// Registers a device plugin; returns its device id (>= 1; 0 is host).
   int register_device(std::unique_ptr<Plugin> plugin);

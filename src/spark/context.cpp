@@ -6,6 +6,7 @@
 #include "compress/payload.h"
 #include "jnibridge/bridge.h"
 #include "support/strings.h"
+#include "tools/tools.h"
 
 namespace ompcloud::spark {
 
@@ -59,6 +60,7 @@ struct LoopRun {
   const compress::Codec* io_codec = nullptr;
   trace::Tracer* tracer = nullptr;
   trace::SpanId stage_span = trace::kNoSpan;
+  int stage_index = 0;  ///< loop index within the job
 
   std::vector<std::pair<int64_t, int64_t>> tiles;
   std::vector<int> alive_workers;
@@ -112,12 +114,27 @@ sim::Co<void> run_task(LoopRun* run, int tile_index) {
   trace::SpanHandle span = run->tracer->span(
       str_format("task[%d]", tile_index), run->stage_span);
 
+  // ompt_callback_target_submit equivalent: one kernel dispatch per Spark
+  // map task, completed below with the worker it actually ran on.
+  const double task_start = engine.now();
+  tools::KernelInfo kernel_info;
+  kernel_info.job = run->spec->name;
+  kernel_info.kernel = loop.kernel;
+  kernel_info.stage = run->stage_index;
+  kernel_info.task = tile_index;
+  kernel_info.worker = run->tile_worker[tile_index];
+  kernel_info.start = task_start;
+  kernel_info.time = task_start;
+  run->tracer->tools().emit_kernel_submit(kernel_info);
+
   int attempts = 0;
+  int last_worker = -1;
   Status final_status = Status::ok();
   while (true) {
     int worker =
         run->alive_workers[(tile_index + attempts) % run->alive_workers.size()];
     ++attempts;
+    last_worker = worker;
     span.tag("worker", std::to_string(worker));
     bool inject_failure =
         *run->fault_injector &&
@@ -327,9 +344,13 @@ sim::Co<void> run_task(LoopRun* run, int tile_index) {
   }
   run->task_status[tile_index] = final_status;
   span.tag("attempts", std::to_string(attempts));
-  double seconds = span.duration();
   span.end();
-  run->tracer->metrics().histogram("spark.task_seconds").record(seconds);
+  // The spark.task_seconds histogram derives from this callback
+  // (Tracer::MetricsTool), so external tools see exactly what it records.
+  kernel_info.worker = last_worker;
+  kernel_info.attempts = attempts;
+  kernel_info.time = engine.now();
+  run->tracer->tools().emit_kernel_complete(kernel_info);
 }
 
 }  // namespace
@@ -549,6 +570,7 @@ sim::Co<Status> SparkContext::run_loop(const JobSpec& spec,
   run.metrics = &metrics;
   run.tracer = &cluster_->tracer();
   run.stage_span = stage.id();
+  run.stage_index = static_cast<int>(loop_index);
 
   std::string codec_name = conf_.io_compression ? conf_.io_codec : "null";
   OC_CO_ASSIGN_OR_RETURN(run.io_codec, compress::find_codec(codec_name));

@@ -34,14 +34,22 @@ void LogConfig::set_sink(Sink sink) {
   sink_ = std::move(sink);
 }
 
+void LogConfig::set_tap(Sink tap) {
+  std::lock_guard lock(mu_);
+  tap_ = std::move(tap);
+}
+
 void LogConfig::emit(LogLevel level, std::string_view component,
                      std::string_view message) {
   Sink sink;
+  Sink tap;
   {
     std::lock_guard lock(mu_);
     if (level < min_level_) return;
     sink = sink_;
+    tap = tap_;
   }
+  if (tap) tap(level, component, message);
   if (sink) {
     sink(level, component, message);
   } else {

@@ -35,6 +35,12 @@ class LogConfig {
   /// Installs a sink; pass nullptr to restore the default stderr sink.
   void set_sink(Sink sink);
 
+  /// Installs a tap invoked *in addition to* the sink (or the default
+  /// stderr print) for every emitted record — observers such as the trace
+  /// log capture listen here without displacing the output sink. Pass
+  /// nullptr to remove.
+  void set_tap(Sink tap);
+
   void emit(LogLevel level, std::string_view component, std::string_view message);
 
  private:
@@ -42,6 +48,7 @@ class LogConfig {
   mutable std::mutex mu_;
   LogLevel min_level_ = LogLevel::kWarn;
   Sink sink_;
+  Sink tap_;
 };
 
 /// Named logger handle; cheap to copy.

@@ -1,0 +1,59 @@
+#include "tools/tools.h"
+
+#include <algorithm>
+
+namespace ompcloud::tools {
+
+std::string_view to_string(DataOpKind kind) {
+  switch (kind) {
+    case DataOpKind::kAlloc: return "alloc";
+    case DataOpKind::kTransferTo: return "transfer_to";
+    case DataOpKind::kTransferFrom: return "transfer_from";
+    case DataOpKind::kDelete: return "delete";
+  }
+  return "?";
+}
+
+void ToolRegistry::attach(Tool* tool) {
+  if (tool == nullptr) return;
+  if (std::find(tools_.begin(), tools_.end(), tool) != tools_.end()) return;
+  tools_.push_back(tool);
+}
+
+void ToolRegistry::detach(Tool* tool) {
+  tools_.erase(std::remove(tools_.begin(), tools_.end(), tool), tools_.end());
+}
+
+void ToolRegistry::emit_device_init(const DeviceInfo& info) {
+  for (Tool* tool : tools_) tool->on_device_init(info);
+}
+
+void ToolRegistry::emit_device_fini(const DeviceInfo& info) {
+  for (Tool* tool : tools_) tool->on_device_fini(info);
+}
+
+void ToolRegistry::emit_target_begin(const TargetInfo& info) {
+  for (Tool* tool : tools_) tool->on_target_begin(info);
+}
+
+void ToolRegistry::emit_target_end(const TargetEndInfo& info) {
+  for (Tool* tool : tools_) tool->on_target_end(info);
+}
+
+void ToolRegistry::emit_data_op(const DataOpInfo& info) {
+  for (Tool* tool : tools_) tool->on_data_op(info);
+}
+
+void ToolRegistry::emit_kernel_submit(const KernelInfo& info) {
+  for (Tool* tool : tools_) tool->on_kernel_submit(info);
+}
+
+void ToolRegistry::emit_kernel_complete(const KernelInfo& info) {
+  for (Tool* tool : tools_) tool->on_kernel_complete(info);
+}
+
+void ToolRegistry::emit_instance_state_change(const InstanceStateInfo& info) {
+  for (Tool* tool : tools_) tool->on_instance_state_change(info);
+}
+
+}  // namespace ompcloud::tools

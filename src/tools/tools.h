@@ -1,0 +1,147 @@
+// OMPT-flavored tools interface: first-class observer callbacks at the
+// runtime boundary, modeled on the OpenMP Tools interface that the paper's
+// production counterpart (LLVM libomptarget) exposes:
+//
+//   on_target_begin/end        ~ ompt_callback_target
+//   on_data_op                 ~ ompt_callback_target_data_op
+//   on_kernel_submit/complete  ~ ompt_callback_target_submit
+//   on_device_init/fini        ~ ompt_callback_device_initialize/finalize
+//   on_instance_state_change   (no OMPT equivalent; the paper's §III-A
+//                               cloud-elasticity cost metering)
+//
+// `DeviceManager`, `CloudPlugin`, `SparkContext`, and `Cluster` emit these
+// at the same points they open trace spans, through the `ToolRegistry`
+// owned by the shared `trace::Tracer`. The tracer's own metrics derivation
+// is itself just the first registered tool (trace/tracer.cpp), so external
+// observers see exactly what the built-in bookkeeping sees.
+//
+// All callbacks fire synchronously at a virtual-time instant; `time`
+// fields carry the sim clock. string_view fields borrow from the emitter
+// and are valid only for the duration of the callback.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace ompcloud::tools {
+
+/// What a data operation did with the bytes (ompt_target_data_op_t).
+enum class DataOpKind {
+  kAlloc,         ///< device-side allocation, no host data shipped
+  kTransferTo,    ///< host -> device (upload of one mapped buffer)
+  kTransferFrom,  ///< device -> host (download of one mapped buffer)
+  kDelete,        ///< staged object removed during cleanup
+};
+
+std::string_view to_string(DataOpKind kind);
+
+struct DeviceInfo {
+  int device_id = -1;
+  std::string_view name;
+  double time = 0;
+};
+
+/// One `#pragma omp target` dispatch through the device manager.
+struct TargetInfo {
+  uint64_t target_id = 0;  ///< unique per DeviceManager::offload call
+  std::string_view region;
+  int device_id = -1;
+  std::string_view device_name;
+  double time = 0;
+};
+
+struct TargetEndInfo {
+  uint64_t target_id = 0;
+  std::string_view region;
+  int device_id = -1;
+  bool ok = true;
+  bool fell_back_to_host = false;
+  double time = 0;
+};
+
+/// One mapped-buffer data operation. Transfer ops carry the byte/codec
+/// decomposition; cache_* fields describe the delta-cache outcome when the
+/// data cache was consulted (`cache_eligible`).
+struct DataOpInfo {
+  DataOpKind kind = DataOpKind::kTransferTo;
+  std::string_view var;    ///< variable name (kDelete: staged object key)
+  std::string_view codec;  ///< configured codec for transfers, else empty
+  uint64_t plain_bytes = 0;  ///< bytes that crossed the codec
+  uint64_t wire_bytes = 0;   ///< bytes that crossed the wire
+  bool chunked = false;      ///< went through the block pipeline
+  bool cache_eligible = false;  ///< data cache consulted for this buffer
+  bool cache_hit = false;       ///< every block clean; nothing shipped
+  uint64_t block_hits = 0;      ///< clean blocks skipped
+  uint64_t block_misses = 0;    ///< blocks never staged before
+  uint64_t block_dirty = 0;     ///< staged blocks whose content changed
+  uint64_t bytes_skipped = 0;   ///< plain bytes the cache kept off the wire
+  uint64_t bytes_uploaded = 0;  ///< plain bytes the cache had to re-ship
+  double start = 0;
+  double end = 0;
+};
+
+/// One Spark map task (the runtime's kernel-submission granule).
+struct KernelInfo {
+  std::string_view job;     ///< region/job name
+  std::string_view kernel;  ///< kernel symbol the task executes
+  int stage = 0;            ///< loop index within the job
+  int task = 0;             ///< partition/tile index within the stage
+  int worker = -1;  ///< submit: initial placement; complete: where it ran
+  int attempts = 0;  ///< complete only: 1 = first try succeeded
+  double start = 0;  ///< complete only: virtual start of the task
+  double time = 0;   ///< submit instant / completion instant
+};
+
+/// Cluster instance lifecycle (the paper's on-the-fly EC2 start/stop).
+struct InstanceStateInfo {
+  enum class Kind { kBoot, kStop };
+  Kind kind = Kind::kBoot;
+  int instances = 0;  ///< driver + workers affected by the transition
+  double price_per_hour = 0;  ///< per instance
+  std::string_view instance_type;
+  double time = 0;
+};
+
+/// Observer base class: override the callbacks you care about. Tools are
+/// borrowed (not owned) by the registry and must outlive it or detach.
+class Tool {
+ public:
+  virtual ~Tool() = default;
+
+  virtual void on_device_init(const DeviceInfo&) {}
+  virtual void on_device_fini(const DeviceInfo&) {}
+  virtual void on_target_begin(const TargetInfo&) {}
+  virtual void on_target_end(const TargetEndInfo&) {}
+  virtual void on_data_op(const DataOpInfo&) {}
+  virtual void on_kernel_submit(const KernelInfo&) {}
+  virtual void on_kernel_complete(const KernelInfo&) {}
+  virtual void on_instance_state_change(const InstanceStateInfo&) {}
+};
+
+/// Registration + dispatch. Tools fire in attach order (deterministic);
+/// attach/detach during a dispatch is not supported.
+class ToolRegistry {
+ public:
+  void attach(Tool* tool);
+  void detach(Tool* tool);
+  [[nodiscard]] size_t size() const { return tools_.size(); }
+
+  /// Monotonic id source for TargetInfo::target_id.
+  [[nodiscard]] uint64_t next_target_id() { return ++last_target_id_; }
+
+  void emit_device_init(const DeviceInfo& info);
+  void emit_device_fini(const DeviceInfo& info);
+  void emit_target_begin(const TargetInfo& info);
+  void emit_target_end(const TargetEndInfo& info);
+  void emit_data_op(const DataOpInfo& info);
+  void emit_kernel_submit(const KernelInfo& info);
+  void emit_kernel_complete(const KernelInfo& info);
+  void emit_instance_state_change(const InstanceStateInfo& info);
+
+ private:
+  std::vector<Tool*> tools_;
+  uint64_t last_target_id_ = 0;
+};
+
+}  // namespace ompcloud::tools

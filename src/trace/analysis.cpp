@@ -1,0 +1,408 @@
+#include "trace/analysis.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/strings.h"
+
+namespace ompcloud::trace {
+
+namespace {
+
+/// Canonical phase order for attribution priority and output.
+constexpr const char* kPhaseOrder[] = {
+    "boot",    "upload",   "submit", "compute", "download",
+    "cleanup", "shutdown", "other",  "idle",
+};
+constexpr size_t kPhaseCount = sizeof(kPhaseOrder) / sizeof(kPhaseOrder[0]);
+constexpr size_t kIdlePhase = kPhaseCount - 1;
+
+size_t phase_category(const std::string& name) {
+  if (name == "boot") return 0;
+  if (name == "upload") return 1;
+  if (name == "spark.submit") return 2;
+  if (name == "spark.job" || name == "host.exec") return 3;
+  if (name == "download") return 4;
+  if (name == "cleanup") return 5;
+  if (name == "cluster.shutdown") return 6;
+  return 7;  // other
+}
+
+bool ends_with(const std::string& name, std::string_view suffix) {
+  return name.size() >= suffix.size() &&
+         std::string_view(name).substr(name.size() - suffix.size()) == suffix;
+}
+
+/// Parses the index out of names like "task[12]"; -1 on mismatch.
+int bracket_index(const std::string& name, std::string_view prefix) {
+  if (name.size() <= prefix.size() + 1) return -1;
+  if (std::string_view(name).substr(0, prefix.size()) != prefix) return -1;
+  return std::atoi(name.c_str() + prefix.size());
+}
+
+double quantized_sum(const std::vector<const Span*>& spans,
+                     std::string_view key) {
+  double sum = 0;
+  for (const Span* span : spans) {
+    sum += quantize_value(span->value_or(key, 0.0));
+  }
+  return sum;
+}
+
+PipelineStats pipeline_stats(const std::vector<const Span*>& subtree) {
+  PipelineStats stats;
+  // Quantized copies of the stage spans, so the concurrency sweep sees the
+  // same boundaries live and after import.
+  std::vector<Span> staged;
+  for (const Span* span : subtree) {
+    // Storage leaf spans (store.put/store.get/...) sit under the pipeline
+    // stage spans; counting them too would double-charge the wire.
+    if (std::string_view(span->name).substr(0, 6) == "store.") continue;
+    bool codec = span->name == "compress" || span->name == "decode" ||
+                 ends_with(span->name, ".compress") ||
+                 ends_with(span->name, ".decode");
+    bool wire = span->name == "put" || span->name == "fetch" ||
+                ends_with(span->name, ".put") ||
+                ends_with(span->name, ".fetch");
+    if (!codec && !wire) continue;
+    auto [qs, qe] = quantized_interval(*span);
+    if (codec) stats.codec_seconds += qe - qs;
+    if (wire) stats.wire_seconds += qe - qs;
+    if (std::string_view(span->name).substr(0, 6) == "block[") {
+      stats.blocks += 1;
+    }
+    Span copy;
+    copy.id = span->id;
+    copy.start = qs;
+    copy.end = qe;
+    staged.push_back(std::move(copy));
+  }
+  std::vector<const Span*> pointers;
+  pointers.reserve(staged.size());
+  for (const Span& span : staged) pointers.push_back(&span);
+  auto profile = TraceQuery::concurrency_profile(pointers);
+  for (size_t i = 0; i + 1 < profile.size(); ++i) {
+    double width = profile[i + 1].first - profile[i].first;
+    if (profile[i].second >= 1) stats.busy_seconds += width;
+    if (profile[i].second >= 2) stats.overlapped_seconds += width;
+  }
+  // Abutting quantized spans leave sub-nanosecond summation residue; the
+  // export grid is 1 ns, so anything below it is no overlap at all.
+  if (stats.busy_seconds < 1e-10) stats.busy_seconds = 0;
+  if (stats.overlapped_seconds < 1e-10) stats.overlapped_seconds = 0;
+  stats.ideal_overlap_seconds =
+      std::min(stats.wire_seconds, stats.codec_seconds);
+  if (stats.ideal_overlap_seconds > 0) {
+    stats.overlap_efficiency = std::min(
+        1.0, stats.overlapped_seconds / stats.ideal_overlap_seconds);
+  }
+  return stats;
+}
+
+std::string pipeline_json(const PipelineStats& stats) {
+  return str_format(
+      "{\"blocks\": %llu, \"wire_seconds\": %.9g, \"codec_seconds\": %.9g, "
+      "\"busy_seconds\": %.9g, \"overlapped_seconds\": %.9g, "
+      "\"ideal_overlap_seconds\": %.9g, \"overlap_efficiency\": %.9g}",
+      static_cast<unsigned long long>(stats.blocks), stats.wire_seconds,
+      stats.codec_seconds, stats.busy_seconds, stats.overlapped_seconds,
+      stats.ideal_overlap_seconds, stats.overlap_efficiency);
+}
+
+}  // namespace
+
+double quantize_time(double seconds) {
+  return std::strtod(str_format("%.3f", seconds * 1e6).c_str(), nullptr) / 1e6;
+}
+
+double quantize_value(double value) {
+  return std::strtod(str_format("%.9g", value).c_str(), nullptr);
+}
+
+std::pair<double, double> quantized_interval(const Span& span) {
+  double start = quantize_time(span.start);
+  return {start, start + quantize_time(span.duration())};
+}
+
+TraceAnalyzer::TraceAnalyzer(const Tracer& tracer)
+    : tracer_(&tracer), query_(tracer) {}
+
+std::vector<const Span*> TraceAnalyzer::offload_roots() const {
+  std::vector<const Span*> roots;
+  for (const Span* span : query_.named("offload")) {
+    if (span->closed()) roots.push_back(span);
+  }
+  return roots;
+}
+
+std::vector<OffloadAnalysis> TraceAnalyzer::analyze_all() const {
+  std::vector<OffloadAnalysis> out;
+  for (const Span* root : offload_roots()) out.push_back(analyze(*root));
+  return out;
+}
+
+OffloadAnalysis TraceAnalyzer::analyze(const Span& root) const {
+  OffloadAnalysis analysis;
+  if (const std::string* region = root.tag("region")) {
+    analysis.region = *region;
+  }
+  if (const std::string* device = root.tag("device")) {
+    analysis.device = *device;
+  }
+  if (const std::string* fallback = root.tag("fallback")) {
+    analysis.fallback = *fallback == "true";
+  }
+  auto [root_start, root_end] = quantized_interval(root);
+  analysis.start = root_start;
+  analysis.total_seconds = root_end - root_start;
+
+  // --- Phase attribution: a segment sweep over the root's direct children.
+  // Boundaries partition the root interval; each elementary segment is
+  // attributed to the highest-priority phase covering it (idle when none
+  // does), so the slices add up to the root duration by construction.
+  struct Covering {
+    double start, end;
+    size_t category;
+  };
+  std::vector<Covering> coverings;
+  std::vector<double> boundaries{root_start, root_end};
+  for (const Span* child : query_.children(root.id)) {
+    if (!child->closed() || child->instant) continue;
+    auto [qs, qe] = quantized_interval(*child);
+    qs = std::max(qs, root_start);
+    qe = std::min(qe, root_end);
+    if (qe <= qs) continue;
+    coverings.push_back({qs, qe, phase_category(child->name)});
+    boundaries.push_back(qs);
+    boundaries.push_back(qe);
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+  double phase_seconds[kPhaseCount] = {};
+  for (size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    double a = boundaries[i];
+    double b = boundaries[i + 1];
+    size_t category = kIdlePhase;
+    for (const Covering& covering : coverings) {
+      if (covering.start <= a && covering.end >= b &&
+          covering.category < category) {
+        category = covering.category;
+      }
+    }
+    phase_seconds[category] += b - a;
+  }
+  for (size_t p = 0; p < kPhaseCount; ++p) {
+    if (phase_seconds[p] <= 0) continue;
+    PhaseSlice slice;
+    slice.phase = kPhaseOrder[p];
+    slice.seconds = phase_seconds[p];
+    slice.percent = analysis.total_seconds > 0
+                        ? phase_seconds[p] / analysis.total_seconds * 100.0
+                        : 0.0;
+    analysis.phases.push_back(std::move(slice));
+  }
+
+  // --- Critical path (greedy last-finisher walk).
+  for (const Span* step : query_.critical_path(root.id)) {
+    auto [qs, qe] = quantized_interval(*step);
+    analysis.critical_path.push_back({step->name, qs, qe - qs});
+  }
+
+  // --- Task skew over the `task[t]` spans of this offload. Quantiles come
+  // from a Histogram whose bounds are the observed durations themselves, so
+  // the interpolation is near-exact and identical across export round trips.
+  std::vector<const Span*> subtree = query_.subtree(root.id);
+  struct TaskSample {
+    int task;
+    int worker;
+    double seconds;
+  };
+  std::vector<TaskSample> samples;
+  std::vector<double> durations;
+  for (const Span* span : subtree) {
+    int task = bracket_index(span->name, "task[");
+    if (task < 0) continue;
+    auto [qs, qe] = quantized_interval(*span);
+    int worker = -1;
+    if (const std::string* tag = span->tag("worker")) {
+      worker = std::atoi(tag->c_str());
+    }
+    samples.push_back({task, worker, qe - qs});
+    durations.push_back(qe - qs);
+  }
+  analysis.skew.tasks = samples.size();
+  if (!samples.empty()) {
+    std::vector<double> bounds = durations;
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    Histogram histogram(bounds);
+    for (double d : durations) histogram.record(d);
+    analysis.skew.p50 = histogram.quantile(0.5);
+    analysis.skew.p95 = histogram.quantile(0.95);
+    analysis.skew.max = histogram.max();
+    if (analysis.skew.p50 > 0) {
+      analysis.skew.straggler_ratio = analysis.skew.max / analysis.skew.p50;
+    }
+    double threshold = 1.5 * analysis.skew.p50;
+    for (const TaskSample& sample : samples) {
+      if (sample.seconds > threshold) {
+        analysis.skew.stragglers.push_back(
+            {sample.task, sample.worker, sample.seconds});
+      }
+    }
+  }
+
+  // --- Transfer-pipeline overlap, per direction.
+  for (const Span* child : query_.children(root.id)) {
+    if (child->name == "upload") {
+      std::vector<const Span*> phase = query_.subtree(child->id);
+      analysis.transfer.upload = pipeline_stats(phase);
+      analysis.transfer.uploaded_plain_bytes =
+          quantized_sum(phase, "plain_bytes");
+      analysis.transfer.uploaded_wire_bytes =
+          quantized_sum(phase, "wire_bytes");
+    } else if (child->name == "download") {
+      std::vector<const Span*> phase = query_.subtree(child->id);
+      analysis.transfer.download = pipeline_stats(phase);
+      analysis.transfer.downloaded_plain_bytes =
+          quantized_sum(phase, "plain_bytes");
+      analysis.transfer.downloaded_wire_bytes =
+          quantized_sum(phase, "wire_bytes");
+    }
+  }
+
+  // --- Dollar-cost attribution (§III-A). On-the-fly offloads meter from
+  // the boot request to the shutdown completion using the boot span's
+  // instance metadata; pre-provisioned runs meter the root interval against
+  // the billing gauges the cluster published.
+  const Span* boot = query_.first_in_subtree(root.id, "cluster.boot");
+  if (boot != nullptr) {
+    analysis.cost.on_the_fly = true;
+    analysis.cost.instances = quantize_value(boot->value_or("instances", 0));
+    analysis.cost.price_per_hour =
+        quantize_value(boot->value_or("price_per_hour", 0));
+    double window_start = quantized_interval(*boot).first;
+    double window_end = root_end;
+    const Span* stop = query_.first_in_subtree(root.id, "cluster.shutdown");
+    if (stop != nullptr) window_end = quantized_interval(*stop).second;
+    analysis.cost.billed_seconds = window_end - window_start;
+  } else {
+    const auto& gauges = tracer_->metrics().gauges();
+    auto instances = gauges.find("cluster.billing_instances");
+    auto price = gauges.find("cluster.price_per_hour");
+    if (instances != gauges.end()) {
+      analysis.cost.instances = quantize_value(instances->second.value());
+    }
+    if (price != gauges.end()) {
+      analysis.cost.price_per_hour = quantize_value(price->second.value());
+    }
+    analysis.cost.billed_seconds = analysis.total_seconds;
+  }
+  analysis.cost.cost_usd = analysis.cost.instances *
+                           analysis.cost.price_per_hour *
+                           analysis.cost.billed_seconds / 3600.0;
+  return analysis;
+}
+
+std::string OffloadAnalysis::to_json(int indent) const {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  std::string json = "{\n";
+  json += str_format("%s  \"region\": \"%s\",\n", pad.c_str(), region.c_str());
+  json += str_format("%s  \"device\": \"%s\",\n", pad.c_str(), device.c_str());
+  json += str_format("%s  \"fallback\": %s,\n", pad.c_str(),
+                     fallback ? "true" : "false");
+  json += str_format("%s  \"start\": %.9g,\n", pad.c_str(), start);
+  json += str_format("%s  \"total_seconds\": %.9g,\n", pad.c_str(),
+                     total_seconds);
+  json += str_format("%s  \"phases\": [", pad.c_str());
+  for (size_t p = 0; p < phases.size(); ++p) {
+    json += str_format(
+        "%s\n%s    {\"phase\": \"%s\", \"seconds\": %.9g, \"percent\": %.9g}",
+        p == 0 ? "" : ",", pad.c_str(), phases[p].phase.c_str(),
+        phases[p].seconds, phases[p].percent);
+  }
+  json += phases.empty() ? "],\n" : str_format("\n%s  ],\n", pad.c_str());
+  json += str_format("%s  \"critical_path\": [", pad.c_str());
+  for (size_t s = 0; s < critical_path.size(); ++s) {
+    json += str_format(
+        "%s\n%s    {\"name\": \"%s\", \"start\": %.9g, \"seconds\": %.9g}",
+        s == 0 ? "" : ",", pad.c_str(), critical_path[s].name.c_str(),
+        critical_path[s].start, critical_path[s].seconds);
+  }
+  json += critical_path.empty() ? "],\n"
+                                : str_format("\n%s  ],\n", pad.c_str());
+  json += str_format(
+      "%s  \"skew\": {\"tasks\": %llu, \"p50\": %.9g, \"p95\": %.9g, "
+      "\"max\": %.9g, \"straggler_ratio\": %.9g, \"stragglers\": [",
+      pad.c_str(), static_cast<unsigned long long>(skew.tasks), skew.p50,
+      skew.p95, skew.max, skew.straggler_ratio);
+  for (size_t s = 0; s < skew.stragglers.size(); ++s) {
+    json += str_format(
+        "%s{\"task\": %d, \"worker\": %d, \"seconds\": %.9g}",
+        s == 0 ? "" : ", ", skew.stragglers[s].task, skew.stragglers[s].worker,
+        skew.stragglers[s].seconds);
+  }
+  json += "]},\n";
+  json += str_format("%s  \"transfer\": {\n", pad.c_str());
+  json += str_format("%s    \"upload\": %s,\n", pad.c_str(),
+                     pipeline_json(transfer.upload).c_str());
+  json += str_format("%s    \"download\": %s,\n", pad.c_str(),
+                     pipeline_json(transfer.download).c_str());
+  json += str_format(
+      "%s    \"bytes\": {\"uploaded_plain\": %.9g, \"uploaded_wire\": %.9g, "
+      "\"downloaded_plain\": %.9g, \"downloaded_wire\": %.9g}\n",
+      pad.c_str(), transfer.uploaded_plain_bytes, transfer.uploaded_wire_bytes,
+      transfer.downloaded_plain_bytes, transfer.downloaded_wire_bytes);
+  json += str_format("%s  },\n", pad.c_str());
+  json += str_format(
+      "%s  \"cost\": {\"on_the_fly\": %s, \"instances\": %.9g, "
+      "\"price_per_hour\": %.9g, \"billed_seconds\": %.9g, "
+      "\"cost_usd\": %.9g}\n",
+      pad.c_str(), cost.on_the_fly ? "true" : "false", cost.instances,
+      cost.price_per_hour, cost.billed_seconds, cost.cost_usd);
+  json += str_format("%s}", pad.c_str());
+  return json;
+}
+
+std::string OffloadAnalysis::to_text() const {
+  std::string out = str_format(
+      "offload '%s' on %s%s — %.6f s\n", region.c_str(), device.c_str(),
+      fallback ? " (host fallback)" : "", total_seconds);
+  out += "  phases:\n";
+  for (const PhaseSlice& slice : phases) {
+    out += str_format("    %-10s %12.6f s  %6.2f%%\n", slice.phase.c_str(),
+                      slice.seconds, slice.percent);
+  }
+  out += "  critical path:";
+  for (size_t s = 0; s < critical_path.size(); ++s) {
+    out += str_format("%s %s (%.6f s)", s == 0 ? "" : " >",
+                      critical_path[s].name.c_str(), critical_path[s].seconds);
+  }
+  out += "\n";
+  out += str_format(
+      "  skew: %llu tasks  p50 %.6f s  p95 %.6f s  max %.6f s  "
+      "straggler-ratio %.3f\n",
+      static_cast<unsigned long long>(skew.tasks), skew.p50, skew.p95,
+      skew.max, skew.straggler_ratio);
+  for (const SkewTask& straggler : skew.stragglers) {
+    out += str_format("    straggler task[%d] on worker %d: %.6f s\n",
+                      straggler.task, straggler.worker, straggler.seconds);
+  }
+  out += str_format(
+      "  transfer: upload %llu blocks, overlap %.0f%% of ideal "
+      "(wire %.6f s, codec %.6f s); download %llu blocks, overlap %.0f%% "
+      "of ideal\n",
+      static_cast<unsigned long long>(transfer.upload.blocks),
+      transfer.upload.overlap_efficiency * 100.0,
+      transfer.upload.wire_seconds, transfer.upload.codec_seconds,
+      static_cast<unsigned long long>(transfer.download.blocks),
+      transfer.download.overlap_efficiency * 100.0);
+  out += str_format(
+      "  cost: $%.6f  (%.9g instances x $%.9g/h x %.6f s%s)\n", cost.cost_usd,
+      cost.instances, cost.price_per_hour, cost.billed_seconds,
+      cost.on_the_fly ? ", on-the-fly" : "");
+  return out;
+}
+
+}  // namespace ompcloud::trace

@@ -1,0 +1,137 @@
+// Trace analyzer: turns an offload span tree into a verdict — the phase
+// decomposition of Fig. 5, per-task skew statistics (which Spark task
+// straggles, on which worker), transfer-pipeline overlap achieved vs. the
+// double-buffered ideal, and dollar-cost attribution per offload.
+//
+// Determinism contract: every timestamp and numeric annotation is first
+// *quantized* through the exact printf formats the Chrome exporter uses
+// (`%.3f` microseconds for times, `%.9g` for values), so analyzing a live
+// in-process trace and analyzing the same trace after an export → import
+// round trip produce byte-identical text and JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/query.h"
+#include "trace/tracer.h"
+
+namespace ompcloud::trace {
+
+/// Rounds a time (seconds) through the exporter's microsecond `%.3f`
+/// format — the value an importer reconstructs for a span boundary.
+[[nodiscard]] double quantize_time(double seconds);
+/// Rounds a numeric annotation / gauge through the exporter's `%.9g`.
+[[nodiscard]] double quantize_value(double value);
+/// The [start, end] interval an importer reconstructs for `span` (start
+/// from `ts`, end from `ts` + `dur`, both quantized independently).
+[[nodiscard]] std::pair<double, double> quantized_interval(const Span& span);
+
+/// One bucket of the offload timeline decomposition. Every instant of the
+/// root interval is attributed to exactly one phase, so `percent` sums to
+/// 100 across the slices of one analysis (idle time has its own bucket).
+struct PhaseSlice {
+  std::string phase;   ///< boot|upload|submit|compute|download|cleanup|...
+  double seconds = 0;
+  double percent = 0;  ///< of the root span's duration
+};
+
+/// One step of the greedy critical path (root first).
+struct CriticalStep {
+  std::string name;
+  double start = 0;    ///< absolute virtual time, quantized
+  double seconds = 0;  ///< quantized duration
+};
+
+/// A flagged straggler task (duration > 1.5x the stage median).
+struct SkewTask {
+  int task = -1;    ///< partition/tile index (from the `task[t]` span name)
+  int worker = -1;  ///< worker it ran on (-1 when the span carries no tag)
+  double seconds = 0;
+};
+
+/// Distribution of `task[t]` span durations under one offload. Quantiles
+/// come from a Histogram built over the observed durations (so the same
+/// interpolation is used live and after import).
+struct SkewStats {
+  uint64_t tasks = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double max = 0;
+  double straggler_ratio = 0;  ///< max over median; 0 when no tasks ran
+  std::vector<SkewTask> stragglers;
+};
+
+/// Concurrency accounting over the block-level spans of one direction of
+/// the transfer pipeline (block[k].compress/put uploading, .fetch/.decode
+/// downloading). `overlap_efficiency` compares the time two pipeline
+/// stages actually ran concurrently against the double-buffered ideal
+/// (codec fully hidden behind the wire, or vice versa).
+struct PipelineStats {
+  uint64_t blocks = 0;            ///< block-level spans observed
+  double wire_seconds = 0;        ///< summed put/fetch durations
+  double codec_seconds = 0;       ///< summed compress/decode durations
+  double busy_seconds = 0;        ///< >= 1 block-level span open
+  double overlapped_seconds = 0;  ///< >= 2 block-level spans open
+  double ideal_overlap_seconds = 0;  ///< min(wire, codec)
+  double overlap_efficiency = 0;     ///< overlapped / ideal, in [0, 1]
+};
+
+struct TransferStats {
+  PipelineStats upload;
+  PipelineStats download;
+  double uploaded_plain_bytes = 0;
+  double uploaded_wire_bytes = 0;
+  double downloaded_plain_bytes = 0;
+  double downloaded_wire_bytes = 0;
+};
+
+/// Dollar attribution for one offload (§III-A cost metering). On-the-fly
+/// runs meter from the boot request to the shutdown completion using the
+/// `cluster.boot` span's instance metadata; pre-provisioned runs meter the
+/// root interval against the `cluster.*` billing gauges.
+struct CostStats {
+  bool on_the_fly = false;
+  double instances = 0;
+  double price_per_hour = 0;
+  double billed_seconds = 0;
+  double cost_usd = 0;
+};
+
+/// Everything the analyzer derives from one `offload` root span.
+struct OffloadAnalysis {
+  std::string region;
+  std::string device;
+  bool fallback = false;
+  double start = 0;          ///< quantized root start
+  double total_seconds = 0;  ///< quantized root duration
+  std::vector<PhaseSlice> phases;
+  std::vector<CriticalStep> critical_path;
+  SkewStats skew;
+  TransferStats transfer;
+  CostStats cost;
+
+  /// Stable JSON object (nested lines prefixed with `indent` spaces).
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+  /// Stable human-readable block (what `octrace summary` prints).
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Runs the analyses over a recorded (or imported) trace.
+class TraceAnalyzer {
+ public:
+  explicit TraceAnalyzer(const Tracer& tracer);
+
+  /// Top-level `offload` spans, in creation order.
+  [[nodiscard]] std::vector<const Span*> offload_roots() const;
+  [[nodiscard]] OffloadAnalysis analyze(const Span& root) const;
+  /// `analyze` for every offload root.
+  [[nodiscard]] std::vector<OffloadAnalysis> analyze_all() const;
+
+ private:
+  const Tracer* tracer_;
+  TraceQuery query_;
+};
+
+}  // namespace ompcloud::trace

@@ -50,6 +50,7 @@ std::vector<int> assign_lanes(const Tracer& tracer,
   std::vector<int> lane_of(tracer.spans().size() + 1, 0);
   std::vector<std::vector<const Span*>> lanes;  // open-span stacks
   for (const Span* span : ordered) {
+    if (span->instant) continue;  // "i" events render on lane 0
     int chosen = -1;
     for (size_t l = 0; l < lanes.size(); ++l) {
       auto& stack = lanes[l];
@@ -132,14 +133,26 @@ std::string to_chrome_json(const Tracer& tracer,
   std::string out = "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
   bool first = true;
   for (const Span* span : ordered) {
-    out += str_format(
-        "%s\n    {\"name\": \"%s\", \"cat\": \"sim\", \"ph\": \"X\", "
-        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d, \"args\": "
-        "{\"id\": %llu, \"parent\": %llu",
-        first ? "" : ",", json_escape(span->name).c_str(), span->start * 1e6,
-        span->duration() * 1e6, lane_of[span->id],
-        static_cast<unsigned long long>(span->id),
-        static_cast<unsigned long long>(span->parent));
+    if (span->instant) {
+      // Zero-duration point event (log records routed into the trace):
+      // Chrome "i" phase, thread-scoped so Perfetto draws it in-lane.
+      out += str_format(
+          "%s\n    {\"name\": \"%s\", \"cat\": \"log\", \"ph\": \"i\", "
+          "\"ts\": %.3f, \"pid\": 1, \"tid\": 0, \"s\": \"t\", \"args\": "
+          "{\"id\": %llu, \"parent\": %llu",
+          first ? "" : ",", json_escape(span->name).c_str(), span->start * 1e6,
+          static_cast<unsigned long long>(span->id),
+          static_cast<unsigned long long>(span->parent));
+    } else {
+      out += str_format(
+          "%s\n    {\"name\": \"%s\", \"cat\": \"sim\", \"ph\": \"X\", "
+          "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d, \"args\": "
+          "{\"id\": %llu, \"parent\": %llu",
+          first ? "" : ",", json_escape(span->name).c_str(), span->start * 1e6,
+          span->duration() * 1e6, lane_of[span->id],
+          static_cast<unsigned long long>(span->id),
+          static_cast<unsigned long long>(span->parent));
+    }
     for (const auto& [key, value] : span->tags) {
       out += str_format(", \"%s\": \"%s\"", json_escape(key).c_str(),
                         json_escape(value).c_str());

@@ -1,0 +1,378 @@
+#include "trace/import.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "support/strings.h"
+
+namespace ompcloud::trace {
+
+namespace {
+
+/// Minimal JSON value: enough to round-trip what export.cpp writes.
+/// Object members keep document order; number tokens keep their raw text
+/// so integers re-parse exactly (%llu counters) while doubles go through
+/// strtod — the same function the analyzer's quantizers use.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string text;  ///< string payload, or the raw number token
+  std::vector<std::pair<std::string, JsonValue>> members;
+  std::vector<JsonValue> items;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    for (const auto& [name, value] : members) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const {
+    const JsonValue* value = find(key);
+    return value != nullptr && value->kind == Kind::kNumber ? value->number
+                                                            : fallback;
+  }
+  [[nodiscard]] uint64_t u64_or(std::string_view key,
+                                uint64_t fallback) const {
+    const JsonValue* value = find(key);
+    if (value == nullptr || value->kind != Kind::kNumber) return fallback;
+    return std::strtoull(value->text.c_str(), nullptr, 10);
+  }
+};
+
+/// Recursive-descent parser over the full document.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view src) : src_(src) {}
+
+  Result<JsonValue> parse() {
+    JsonValue value;
+    OC_RETURN_IF_ERROR(parse_value(value));
+    skip_whitespace();
+    if (pos_ != src_.size()) {
+      return fail("trailing content after the top-level value");
+    }
+    return value;
+  }
+
+ private:
+  Status fail(const std::string& what) const {
+    return invalid_argument(
+        str_format("trace JSON: %s at offset %zu", what.c_str(), pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < src_.size() &&
+           (src_[pos_] == ' ' || src_[pos_] == '\t' || src_[pos_] == '\n' ||
+            src_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_whitespace();
+    if (pos_ < src_.size() && src_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status parse_value(JsonValue& out) {
+    skip_whitespace();
+    if (pos_ >= src_.size()) return fail("unexpected end of input");
+    char c = src_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.text);
+    }
+    if (c == 't' || c == 'f') return parse_keyword(out);
+    if (c == 'n') return parse_keyword(out);
+    return parse_number(out);
+  }
+
+  Status parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    if (consume('}')) return Status::ok();
+    while (true) {
+      skip_whitespace();
+      if (pos_ >= src_.size() || src_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      std::string key;
+      OC_RETURN_IF_ERROR(parse_string(key));
+      if (!consume(':')) return fail("expected ':' after object key");
+      JsonValue value;
+      OC_RETURN_IF_ERROR(parse_value(value));
+      out.members.emplace_back(std::move(key), std::move(value));
+      if (consume(',')) continue;
+      if (consume('}')) return Status::ok();
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    if (consume(']')) return Status::ok();
+    while (true) {
+      JsonValue value;
+      OC_RETURN_IF_ERROR(parse_value(value));
+      out.items.push_back(std::move(value));
+      if (consume(',')) continue;
+      if (consume(']')) return Status::ok();
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < src_.size()) {
+      char c = src_[pos_++];
+      if (c == '"') return Status::ok();
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= src_.size()) break;
+      char escape = src_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > src_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = src_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("invalid \\u escape");
+            }
+          }
+          // Exporter only emits \u00xx control codes; encode as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Status parse_keyword(JsonValue& out) {
+    auto matches = [&](std::string_view word) {
+      return src_.substr(pos_, word.size()) == word;
+    };
+    if (matches("true")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      pos_ += 4;
+      return Status::ok();
+    }
+    if (matches("false")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      pos_ += 5;
+      return Status::ok();
+    }
+    if (matches("null")) {
+      out.kind = JsonValue::Kind::kNull;
+      pos_ += 4;
+      return Status::ok();
+    }
+    return fail("unknown keyword");
+  }
+
+  Status parse_number(JsonValue& out) {
+    size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == begin) return fail("expected a value");
+    out.kind = JsonValue::Kind::kNumber;
+    out.text = std::string(src_.substr(begin, pos_ - begin));
+    out.number = std::strtod(out.text.c_str(), nullptr);
+    return Status::ok();
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+};
+
+Status restore_metrics(const JsonValue& metrics, Metrics& out) {
+  if (const JsonValue* counters = metrics.find("counters")) {
+    for (const auto& [name, value] : counters->members) {
+      out.counter(name).add(std::strtoull(value.text.c_str(), nullptr, 10));
+    }
+  }
+  if (const JsonValue* gauges = metrics.find("gauges")) {
+    for (const auto& [name, value] : gauges->members) {
+      out.gauge(name).set(value.number);
+    }
+  }
+  if (const JsonValue* histograms = metrics.find("histograms")) {
+    for (const auto& [name, value] : histograms->members) {
+      std::vector<double> bounds;
+      std::vector<uint64_t> counts;
+      if (const JsonValue* buckets = value.find("buckets")) {
+        for (const JsonValue& bucket : buckets->items) {
+          const JsonValue* le = bucket.find("le");
+          // The final bucket's bound is the string "inf" (implicit +inf).
+          if (le != nullptr && le->kind == JsonValue::Kind::kNumber) {
+            bounds.push_back(le->number);
+          }
+          counts.push_back(bucket.u64_or("count", 0));
+        }
+      }
+      if (counts.size() != bounds.size() + 1) {
+        return invalid_argument("trace JSON: malformed histogram '" + name +
+                                "' bucket list");
+      }
+      out.histogram(name).restore(std::move(bounds), std::move(counts),
+                                  value.u64_or("count", 0),
+                                  value.number_or("sum", 0),
+                                  value.number_or("min", 0),
+                                  value.number_or("max", 0));
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<ImportedTrace> import_chrome_json(std::string_view json) {
+  JsonParser parser(json);
+  OC_ASSIGN_OR_RETURN(JsonValue document, parser.parse());
+  if (document.kind != JsonValue::Kind::kObject) {
+    return invalid_argument("trace JSON: top level is not an object");
+  }
+  const JsonValue* events = document.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    return invalid_argument("trace JSON: missing traceEvents array");
+  }
+
+  struct PendingSpan {
+    uint64_t original_id;
+    Span span;
+  };
+  std::vector<PendingSpan> pending;
+  pending.reserve(events->items.size());
+  for (const JsonValue& event : events->items) {
+    const JsonValue* phase = event.find("ph");
+    if (phase == nullptr || phase->kind != JsonValue::Kind::kString) continue;
+    bool instant = phase->text == "i";
+    if (phase->text != "X" && !instant) continue;  // metadata etc.
+    const JsonValue* args = event.find("args");
+    if (args == nullptr || args->kind != JsonValue::Kind::kObject) {
+      return invalid_argument("trace JSON: event without args");
+    }
+    uint64_t original_id = args->u64_or("id", 0);
+    if (original_id == 0) {
+      return invalid_argument(
+          "trace JSON: event lacks the exporter's args.id span id");
+    }
+    PendingSpan record;
+    record.original_id = original_id;
+    Span& span = record.span;
+    span.parent = args->u64_or("parent", 0);
+    if (const JsonValue* name = event.find("name")) span.name = name->text;
+    span.start = event.number_or("ts", 0) / 1e6;
+    span.instant = instant;
+    span.end = instant ? span.start
+                       : span.start + event.number_or("dur", 0) / 1e6;
+    for (const auto& [key, value] : args->members) {
+      if (key == "id" || key == "parent") continue;
+      if (value.kind == JsonValue::Kind::kString) {
+        span.tags.emplace_back(key, value.text);
+      } else if (value.kind == JsonValue::Kind::kNumber) {
+        span.values.emplace_back(key, value.number);
+      }
+    }
+    pending.push_back(std::move(record));
+  }
+
+  // The export omits never-closed spans, so original ids can have holes:
+  // remap to the dense 1..N sequence restore_span requires, preserving the
+  // original (creation) order. Parents that were dropped become roots.
+  std::sort(pending.begin(), pending.end(),
+            [](const PendingSpan& a, const PendingSpan& b) {
+              return a.original_id < b.original_id;
+            });
+  std::map<uint64_t, SpanId> remap;
+  for (size_t i = 0; i < pending.size(); ++i) {
+    if (!remap.emplace(pending[i].original_id, i + 1).second) {
+      return invalid_argument("trace JSON: duplicate span id");
+    }
+  }
+
+  ImportedTrace imported;
+  imported.engine = std::make_unique<sim::Engine>();
+  imported.tracer = std::make_unique<Tracer>(*imported.engine);
+  for (size_t i = 0; i < pending.size(); ++i) {
+    Span span = std::move(pending[i].span);
+    span.id = i + 1;
+    auto parent = remap.find(span.parent);
+    span.parent = parent != remap.end() ? parent->second : kNoSpan;
+    OC_RETURN_IF_ERROR(imported.tracer->restore_span(std::move(span)));
+  }
+
+  if (const JsonValue* metrics = document.find("metrics")) {
+    OC_RETURN_IF_ERROR(restore_metrics(*metrics, imported.tracer->metrics()));
+  }
+  return imported;
+}
+
+Result<ImportedTrace> load_trace_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return invalid_argument("cannot open '" + path + "'");
+  }
+  std::string content;
+  char buffer[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, got);
+  }
+  bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) return internal_error("failed reading '" + path + "'");
+  return import_chrome_json(content);
+}
+
+}  // namespace ompcloud::trace

@@ -1,0 +1,36 @@
+// Chrome trace-event importer — the inverse of trace/export.h. Reads the
+// JSON the exporter writes ("X" duration events, "i" instants, the metrics
+// block) and reconstructs a Tracer whose spans and metrics match what the
+// exporting process recorded, quantized to the export precision (`%.3f`
+// microseconds, `%.9g` values). `octrace` analyzes traces through this;
+// the analyzer quantizes live traces the same way, so export → import →
+// analyze is byte-identical to analyzing in-process.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "sim/engine.h"
+#include "support/status.h"
+#include "trace/tracer.h"
+
+namespace ompcloud::trace {
+
+/// A trace reconstructed from exported JSON. The engine exists only
+/// because a Tracer needs a clock source; its time never advances.
+struct ImportedTrace {
+  std::unique_ptr<sim::Engine> engine;
+  std::unique_ptr<Tracer> tracer;
+};
+
+/// Parses exported Chrome trace JSON. Span ids are remapped to a dense
+/// 1..N sequence in original-id order (the export omits never-closed
+/// spans, so the original sequence may have holes); events other than
+/// "X"/"i" phases are skipped.
+[[nodiscard]] Result<ImportedTrace> import_chrome_json(std::string_view json);
+
+/// Reads `path` and imports it.
+[[nodiscard]] Result<ImportedTrace> load_trace_file(const std::string& path);
+
+}  // namespace ompcloud::trace

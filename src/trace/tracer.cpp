@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/log.h"
+
 namespace ompcloud::trace {
 
 double Span::value_or(std::string_view key, double fallback) const {
@@ -37,6 +39,46 @@ void Histogram::record(double value) {
   }
 }
 
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    uint64_t in_bucket = counts_[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      // The q-th sample lies in this bucket: interpolate linearly between
+      // the bucket edges, tightened to the observed extrema (the overflow
+      // bucket has no upper bound; bucket 0 no lower bound).
+      double lower = b > 0 ? bounds_[b - 1] : min_;
+      double upper = b < bounds_.size() ? bounds_[b] : max_;
+      lower = std::max(lower, min_);
+      upper = std::min(upper, max_);
+      if (upper < lower) upper = lower;
+      double position =
+          std::clamp((rank - static_cast<double>(seen)) /
+                         static_cast<double>(in_bucket),
+                     0.0, 1.0);
+      return lower + position * (upper - lower);
+    }
+    seen += in_bucket;
+  }
+  return max_;
+}
+
+void Histogram::restore(std::vector<double> bounds,
+                        std::vector<uint64_t> bucket_counts, uint64_t count,
+                        double sum, double min, double max) {
+  bounds_ = std::move(bounds);
+  counts_ = std::move(bucket_counts);
+  counts_.resize(bounds_.size() + 1, 0);
+  count_ = count;
+  sum_ = sum;
+  min_ = min;
+  max_ = max;
+}
+
 uint64_t Metrics::counter_value(const std::string& name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
@@ -48,6 +90,7 @@ TraceOptions TraceOptions::from_config(const Config& config) {
   options.max_spans = static_cast<uint64_t>(
       config.get_int("trace.max-spans", static_cast<int64_t>(options.max_spans)));
   options.export_path = config.get_string("trace.export", options.export_path);
+  options.log_events = config.get_bool("trace.log-events", options.log_events);
   return options;
 }
 
@@ -98,7 +141,48 @@ double SpanHandle::duration() const {
 }
 
 Tracer::Tracer(sim::Engine& engine, TraceOptions options)
-    : engine_(&engine), options_(std::move(options)) {}
+    : engine_(&engine), options_(std::move(options)) {
+  // The tracer's own metrics derivation is just the first registered tool:
+  // emitters publish one callback and every observer (built-in or external)
+  // sees the same stream.
+  tools_.attach(&metrics_tool_);
+}
+
+void Tracer::MetricsTool::on_data_op(const tools::DataOpInfo& info) {
+  if (!info.cache_eligible) return;
+  metrics_->counter(info.cache_hit ? "cache.hits" : "cache.misses").add();
+  if (info.block_hits > 0) {
+    metrics_->counter("cache.block_hits").add(info.block_hits);
+  }
+  if (info.block_misses > 0) {
+    metrics_->counter("cache.block_misses").add(info.block_misses);
+  }
+  if (info.block_dirty > 0) {
+    metrics_->counter("cache.block_dirty").add(info.block_dirty);
+  }
+  if (info.bytes_skipped > 0) {
+    metrics_->counter("cache.bytes_skipped").add(info.bytes_skipped);
+  }
+  if (info.bytes_uploaded > 0) {
+    metrics_->counter("cache.bytes_uploaded").add(info.bytes_uploaded);
+  }
+}
+
+void Tracer::MetricsTool::on_kernel_complete(const tools::KernelInfo& info) {
+  metrics_->histogram("spark.task_seconds").record(info.time - info.start);
+}
+
+void Tracer::MetricsTool::on_instance_state_change(
+    const tools::InstanceStateInfo& info) {
+  if (info.kind == tools::InstanceStateInfo::Kind::kBoot) {
+    metrics_->counter("cluster.boots").add();
+    metrics_->gauge("cluster.billing_instances").set(info.instances);
+    metrics_->gauge("cluster.price_per_hour").set(info.price_per_hour);
+  } else {
+    metrics_->counter("cluster.shutdowns").add();
+    metrics_->gauge("cluster.billing_instances").set(0);
+  }
+}
 
 SpanHandle Tracer::span(std::string name, SpanId parent) {
   if (!options_.enabled) return {};
@@ -115,6 +199,38 @@ SpanHandle Tracer::span(std::string name, SpanId parent) {
   return SpanHandle(this, spans_.back().id);
 }
 
+SpanId Tracer::instant(
+    std::string name, std::vector<std::pair<std::string, std::string>> tags) {
+  if (!options_.enabled) return kNoSpan;
+  if (spans_.size() >= options_.max_spans) {
+    ++dropped_;
+    return kNoSpan;
+  }
+  Span span;
+  span.id = static_cast<SpanId>(spans_.size()) + 1;
+  span.name = std::move(name);
+  span.start = now();
+  span.end = span.start;
+  span.instant = true;
+  span.tags = std::move(tags);
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+Status Tracer::restore_span(Span span) {
+  if (span.id != static_cast<SpanId>(spans_.size()) + 1) {
+    return invalid_argument("restored span ids must be sequential");
+  }
+  if (span.parent >= span.id) {
+    return invalid_argument("restored span parent must precede it");
+  }
+  if (!span.closed()) {
+    return invalid_argument("restored spans must be closed");
+  }
+  spans_.push_back(std::move(span));
+  return Status::ok();
+}
+
 const Span* Tracer::find(SpanId id) const {
   if (id == kNoSpan || id > spans_.size()) return nullptr;
   return &spans_[id - 1];
@@ -123,6 +239,23 @@ const Span* Tracer::find(SpanId id) const {
 Span* Tracer::mutable_span(SpanId id) {
   if (id == kNoSpan || id > spans_.size()) return nullptr;
   return &spans_[id - 1];
+}
+
+ScopedLogCapture::ScopedLogCapture(Tracer& tracer) {
+  LogConfig::instance().set_tap(
+      [&tracer](LogLevel level, std::string_view component,
+                std::string_view message) {
+        if (level < LogLevel::kWarn) return;
+        if (!tracer.options().log_events) return;
+        (void)tracer.instant(
+            level == LogLevel::kError ? "log.error" : "log.warn",
+            {{"component", std::string(component)},
+             {"message", std::string(message)}});
+      });
+}
+
+ScopedLogCapture::~ScopedLogCapture() {
+  LogConfig::instance().set_tap(nullptr);
 }
 
 }  // namespace ompcloud::trace

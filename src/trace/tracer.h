@@ -49,6 +49,7 @@
 
 #include "sim/engine.h"
 #include "support/config.h"
+#include "tools/tools.h"
 
 namespace ompcloud::trace {
 
@@ -62,6 +63,9 @@ struct Span {
   std::string name;
   sim::SimTime start = 0;
   sim::SimTime end = -1;  ///< < start while the span is open
+  /// Zero-duration point event (exported as a Chrome "i" instant); log
+  /// records routed into the trace use this.
+  bool instant = false;
   /// Small, ordered annotation lists (insertion order preserved; spans
   /// typically carry 0-3 of each, so linear scans beat map overhead).
   std::vector<std::pair<std::string, std::string>> tags;
@@ -101,6 +105,17 @@ class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds = default_bounds());
   void record(double value);
+
+  /// Interpolated quantile estimate, q in [0, 1]: finds the bucket holding
+  /// the q-th sample and interpolates linearly inside it (bucket edges,
+  /// tightened to the observed min/max). Returns 0 when empty; exact for
+  /// q=0/q=1 (min/max are tracked exactly).
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Replaces the histogram's entire state (trace import / normalization).
+  /// `bucket_counts` must have bounds.size() + 1 entries.
+  void restore(std::vector<double> bounds, std::vector<uint64_t> bucket_counts,
+               uint64_t count, double sum, double min, double max);
 
   [[nodiscard]] uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
@@ -163,6 +178,9 @@ struct TraceOptions {
   /// If non-empty, callers that own a run (examples, benches) write the
   /// Chrome trace-event JSON here after the engine drains.
   std::string export_path;
+  /// Route WARN/ERROR log records into the trace as instant events (needs a
+  /// `ScopedLogCapture` installed by the run owner).
+  bool log_events = false;
 
   static TraceOptions from_config(const Config& config);
 };
@@ -230,6 +248,17 @@ class Tracer {
   /// disabled or the span cap is reached.
   [[nodiscard]] SpanHandle span(std::string name, SpanId parent = kNoSpan);
 
+  /// Records a zero-duration instant event at the current virtual time
+  /// (exported as a Chrome "i" event). Subject to the same enable/cap rules
+  /// as span(); returns the event's id (kNoSpan when dropped).
+  SpanId instant(std::string name,
+                 std::vector<std::pair<std::string, std::string>> tags = {});
+
+  /// Appends a fully-formed span (trace import). The span must be closed
+  /// and carry the next sequential id (spans().size() + 1) with an
+  /// already-recorded parent.
+  Status restore_span(Span span);
+
   /// Ambient-parent handoff (see file comment). `take` reads and clears.
   void set_ambient(SpanId id) { ambient_ = id; }
   [[nodiscard]] SpanId take_ambient() { return std::exchange(ambient_, kNoSpan); }
@@ -241,9 +270,29 @@ class Tracer {
   [[nodiscard]] Metrics& metrics() { return metrics_; }
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
 
+  /// The OMPT-style tool registry (tools/tools.h) shared by every emitter
+  /// holding this tracer. The tracer's own metrics derivation is the first
+  /// registered tool; external observers attach after it.
+  [[nodiscard]] tools::ToolRegistry& tools() { return tools_; }
+
  private:
   friend class SpanHandle;
   Span* mutable_span(SpanId id);
+
+  /// The built-in first tool: derives the cache.*, cluster.*, and
+  /// spark.task_seconds metrics from the callback stream, so emission sites
+  /// publish events once and the metrics registry stays a pure consumer.
+  class MetricsTool : public tools::Tool {
+   public:
+    explicit MetricsTool(Metrics* metrics) : metrics_(metrics) {}
+    void on_data_op(const tools::DataOpInfo& info) override;
+    void on_kernel_complete(const tools::KernelInfo& info) override;
+    void on_instance_state_change(
+        const tools::InstanceStateInfo& info) override;
+
+   private:
+    Metrics* metrics_;
+  };
 
   sim::Engine* engine_;
   TraceOptions options_;
@@ -251,6 +300,20 @@ class Tracer {
   SpanId ambient_ = kNoSpan;
   uint64_t dropped_ = 0;
   Metrics metrics_;
+  MetricsTool metrics_tool_{&metrics_};
+  tools::ToolRegistry tools_;
+};
+
+/// RAII: routes WARN/ERROR log records (support/log.h) into `tracer` as
+/// `log.warn`/`log.error` instant events while alive, when the tracer's
+/// `log_events` option is on. Installs the global LogConfig tap, so only
+/// one capture may be active at a time; the destructor clears the tap.
+class ScopedLogCapture {
+ public:
+  explicit ScopedLogCapture(Tracer& tracer);
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+  ~ScopedLogCapture();
 };
 
 }  // namespace ompcloud::trace

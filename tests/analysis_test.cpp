@@ -1,0 +1,192 @@
+// Tests for the trace analyzer (trace/analysis.h) and the octrace import
+// path (trace/import.h): phase attribution partitions the offload wall
+// time, an injected slow worker is flagged as a straggler with its worker
+// id, transfer-overlap efficiency tracks the pipeline mode, cost matches
+// the report's metering, and export -> import -> analyze reproduces the
+// in-process analysis byte for byte.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "omp/target_region.h"
+#include "trace/export.h"
+#include "trace/import.h"
+
+namespace ompcloud::bench {
+namespace {
+
+Status TwiceKernel(const jni::KernelArgs& args) {
+  auto in = args.input<float>(0);
+  auto out = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) out[i] = 2.0f * in[i];
+  return Status::ok();
+}
+const jni::KernelRegistrar kAnalysisReg("analysistest.twice", TwiceKernel);
+
+/// Upload-pipeline stats of one single-input chunked offload (the single
+/// buffer keeps cross-buffer concurrency out of the overlap measurement).
+trace::PipelineStats single_buffer_upload_stats(bool overlap) {
+  sim::Engine engine;
+  cloud::ClusterSpec spec;
+  spec.workers = 4;
+  cloud::Cluster cluster(engine, spec, cloud::SimProfile{});
+  omptarget::CloudPluginOptions options;
+  options.chunk_size = 16ull << 10;
+  options.overlap_transfers = overlap;
+  omptarget::DeviceManager devices(engine);
+  int cloud_id = devices.register_device(
+      std::make_unique<omptarget::CloudPlugin>(cluster, spark::SparkConf{},
+                                               options));
+
+  std::vector<float> x(32768, 1.0f), y(32768, 0.0f);  // 128 KiB -> 8 blocks
+  std::iota(x.begin(), x.end(), 0.0f);
+  omp::TargetRegion region(devices, overlap ? "overlap-on" : "overlap-off");
+  region.device(cloud_id);
+  auto xv = region.map_to("x", x.data(), x.size());
+  auto yv = region.map_from("y", y.data(), y.size());
+  region.parallel_for(static_cast<int64_t>(x.size()))
+      .read_partitioned(xv, omp::rows<float>(1))
+      .write_partitioned(yv, omp::rows<float>(1))
+      .cost_flops(1e4)
+      .kernel("analysistest.twice");
+  EXPECT_TRUE(omp::offload_blocking(engine, region).ok());
+
+  trace::TraceAnalyzer analyzer(devices.tracer());
+  auto analyses = analyzer.analyze_all();
+  EXPECT_EQ(analyses.size(), 1u);
+  return analyses.empty() ? trace::PipelineStats{}
+                          : analyses.front().transfer.upload;
+}
+
+CloudRunConfig small_config() {
+  CloudRunConfig config;
+  config.benchmark = "gemm";
+  config.n = 96;
+  config.dedicated_cores = 32;
+  return config;
+}
+
+TEST(AnalysisTest, PhasePercentagesPartitionTheWallTime) {
+  auto run = run_on_cloud(small_config());
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  ASSERT_TRUE(run->analysis.has_value());
+  const trace::OffloadAnalysis& analysis = *run->analysis;
+
+  EXPECT_EQ(analysis.region, "gemm");
+  EXPECT_FALSE(analysis.fallback);
+  double percent = 0, seconds = 0;
+  for (const trace::PhaseSlice& slice : analysis.phases) {
+    EXPECT_GE(slice.seconds, 0.0) << slice.phase;
+    percent += slice.percent;
+    seconds += slice.seconds;
+  }
+  // The slices partition the root interval, so they sum to the wall time.
+  EXPECT_NEAR(percent, 100.0, 0.1);
+  EXPECT_NEAR(seconds, analysis.total_seconds,
+              1e-6 * analysis.total_seconds);
+
+  // At paper scale the compute phase exists and dominates (Fig. 5).
+  double compute = 0;
+  for (const trace::PhaseSlice& slice : analysis.phases) {
+    if (slice.phase == "compute") compute = slice.percent;
+  }
+  EXPECT_GT(compute, 50.0);
+
+  // The critical path starts at the offload start and is ordered.
+  ASSERT_FALSE(analysis.critical_path.empty());
+  for (size_t i = 1; i < analysis.critical_path.size(); ++i) {
+    EXPECT_GE(analysis.critical_path[i].start,
+              analysis.critical_path[i - 1].start);
+  }
+}
+
+TEST(AnalysisTest, InjectedSlowWorkerIsFlaggedAsStraggler) {
+  auto run = run_on_cloud_with_injectors(
+      small_config(), nullptr,
+      [](int /*tile*/, int worker) { return worker == 0 ? 5.0 : 1.0; });
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  ASSERT_TRUE(run->analysis.has_value());
+  const trace::SkewStats& skew = run->analysis->skew;
+
+  EXPECT_GT(skew.tasks, 0u);
+  EXPECT_GT(skew.straggler_ratio, 1.5);  // max well above the median
+  EXPECT_GE(skew.p95, skew.p50);
+  EXPECT_GE(skew.max, skew.p95);
+  ASSERT_FALSE(skew.stragglers.empty());
+  for (const trace::SkewTask& straggler : skew.stragglers) {
+    EXPECT_EQ(straggler.worker, 0) << "task " << straggler.task;
+    EXPECT_GT(straggler.seconds, 1.5 * skew.p50);
+  }
+}
+
+TEST(AnalysisTest, BalancedRunHasNoStragglers) {
+  auto run = run_on_cloud(small_config());
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->analysis.has_value());
+  const trace::SkewStats& skew = run->analysis->skew;
+  EXPECT_TRUE(skew.stragglers.empty());
+  EXPECT_LT(skew.straggler_ratio, 1.5);
+}
+
+TEST(AnalysisTest, OverlapEfficiencyTracksThePipelineMode) {
+  trace::PipelineStats on = single_buffer_upload_stats(/*overlap=*/true);
+  EXPECT_GT(on.blocks, 1u);
+  EXPECT_GT(on.overlapped_seconds, 0.0);
+  EXPECT_GT(on.overlap_efficiency, 0.0);
+  EXPECT_LE(on.overlap_efficiency, 1.0);
+
+  // Serial pipeline: compress k+1 starts only after put k left the wire,
+  // so no two upload-stage spans ever overlap.
+  trace::PipelineStats off = single_buffer_upload_stats(/*overlap=*/false);
+  EXPECT_GT(off.blocks, 1u);
+  EXPECT_EQ(off.overlapped_seconds, 0.0);
+  EXPECT_EQ(off.overlap_efficiency, 0.0);
+}
+
+TEST(AnalysisTest, CostAttributionMatchesTheReportMetering) {
+  auto run = run_on_cloud(small_config());
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->analysis.has_value());
+  const trace::CostStats& cost = run->analysis->cost;
+  EXPECT_FALSE(cost.on_the_fly);
+  EXPECT_EQ(cost.instances, 17.0);  // driver + 16 workers
+  EXPECT_GT(cost.price_per_hour, 0.0);
+  // Same formula as the report (instances x price x hours); the analyzer
+  // works on quantized span times, so allow the export precision delta.
+  EXPECT_NEAR(cost.cost_usd, run->report.cost_usd,
+              1e-3 * run->report.cost_usd);
+}
+
+TEST(AnalysisTest, ExportImportAnalyzeRoundTripsByteIdentical) {
+  CloudRunConfig config = small_config();
+  config.trace_path = ::testing::TempDir() + "oc_analysis_roundtrip.json";
+  auto run = run_on_cloud(config);
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  ASSERT_TRUE(run->analysis.has_value());
+
+  auto imported = trace::load_trace_file(config.trace_path);
+  ASSERT_TRUE(imported.ok()) << imported.status().to_string();
+  trace::TraceAnalyzer analyzer(*imported->tracer);
+  auto analyses = analyzer.analyze_all();
+  ASSERT_EQ(analyses.size(), 1u);
+
+  // Byte-for-byte: both renderings of the imported analysis equal the
+  // in-process one (the analyzer quantizes live spans to export precision).
+  EXPECT_EQ(analyses[0].to_json(), run->analysis->to_json());
+  EXPECT_EQ(analyses[0].to_text(), run->analysis->to_text());
+  std::remove(config.trace_path.c_str());
+}
+
+TEST(AnalysisTest, ImportRejectsMalformedJson) {
+  EXPECT_FALSE(trace::import_chrome_json("not json").ok());
+  EXPECT_FALSE(trace::import_chrome_json("{}").ok());
+  EXPECT_FALSE(
+      trace::import_chrome_json("{\"traceEvents\": [{\"ph\": \"X\"}]}").ok());
+}
+
+}  // namespace
+}  // namespace ompcloud::bench

@@ -1,0 +1,317 @@
+// Tests for the OMPT-style tools interface (src/tools): a recording tool
+// attached to the tracer's registry must observe a paired, byte-coherent
+// callback stream at the same points the runtime opens spans — every
+// target_begin matched by a target_end, data-op byte sums equal to the
+// OffloadReport's derived byte counts, and one kernel submit/complete pair
+// per Spark map task.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "omp/target_region.h"
+#include "omptarget/cloud_plugin.h"
+#include "tools/tools.h"
+
+namespace ompcloud::omptarget {
+namespace {
+
+using sim::Engine;
+
+Status TwiceKernel(const jni::KernelArgs& args) {
+  auto in = args.input<float>(0);
+  auto out = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) out[i] = 2.0f * in[i];
+  return Status::ok();
+}
+const jni::KernelRegistrar kToolsReg("toolstest.twice", TwiceKernel);
+
+/// Copies every callback into owned storage (the info structs borrow
+/// string_views that die when the callback returns).
+struct RecordingTool : tools::Tool {
+  struct DeviceEvent {
+    int device_id;
+    std::string name;
+  };
+  struct TargetEvent {
+    uint64_t target_id;
+    std::string region;
+    int device_id;
+    bool ok;
+    bool fell_back;
+  };
+  struct DataOp {
+    tools::DataOpKind kind;
+    std::string var;
+    uint64_t plain_bytes, wire_bytes;
+    bool chunked, cache_eligible, cache_hit;
+    uint64_t block_hits, block_dirty, bytes_skipped;
+    double start, end;
+  };
+  struct Kernel {
+    std::string kernel;
+    int stage, task, worker, attempts;
+    double start, time;
+  };
+  struct InstanceEvent {
+    tools::InstanceStateInfo::Kind kind;
+    int instances;
+    double price_per_hour;
+  };
+
+  std::vector<DeviceEvent> inits, finis;
+  std::vector<TargetEvent> begins, ends;
+  std::vector<DataOp> data_ops;
+  std::vector<Kernel> submits, completes;
+  std::vector<InstanceEvent> instance_events;
+
+  void on_device_init(const tools::DeviceInfo& info) override {
+    inits.push_back({info.device_id, std::string(info.name)});
+  }
+  void on_device_fini(const tools::DeviceInfo& info) override {
+    finis.push_back({info.device_id, std::string(info.name)});
+  }
+  void on_target_begin(const tools::TargetInfo& info) override {
+    begins.push_back(
+        {info.target_id, std::string(info.region), info.device_id, true, false});
+  }
+  void on_target_end(const tools::TargetEndInfo& info) override {
+    ends.push_back({info.target_id, std::string(info.region), info.device_id,
+                    info.ok, info.fell_back_to_host});
+  }
+  void on_data_op(const tools::DataOpInfo& info) override {
+    data_ops.push_back({info.kind, std::string(info.var), info.plain_bytes,
+                        info.wire_bytes, info.chunked, info.cache_eligible,
+                        info.cache_hit, info.block_hits, info.block_dirty,
+                        info.bytes_skipped, info.start, info.end});
+  }
+  void on_kernel_submit(const tools::KernelInfo& info) override {
+    submits.push_back({std::string(info.kernel), info.stage, info.task,
+                       info.worker, info.attempts, info.start, info.time});
+  }
+  void on_kernel_complete(const tools::KernelInfo& info) override {
+    completes.push_back({std::string(info.kernel), info.stage, info.task,
+                         info.worker, info.attempts, info.start, info.time});
+  }
+  void on_instance_state_change(const tools::InstanceStateInfo& info) override {
+    instance_events.push_back({info.kind, info.instances, info.price_per_hour});
+  }
+
+  void clear() {
+    inits.clear();
+    finis.clear();
+    begins.clear();
+    ends.clear();
+    data_ops.clear();
+    submits.clear();
+    completes.clear();
+    instance_events.clear();
+  }
+
+  [[nodiscard]] uint64_t sum_bytes(tools::DataOpKind kind,
+                                   uint64_t DataOp::* field) const {
+    uint64_t total = 0;
+    for (const DataOp& op : data_ops) {
+      if (op.kind == kind) total += op.*field;
+    }
+    return total;
+  }
+};
+
+struct ToolsFixture {
+  Engine engine;
+  cloud::Cluster cluster;
+  DeviceManager devices{engine};
+  RecordingTool tool;
+  int cloud_id;
+
+  explicit ToolsFixture(int workers = 4, bool on_the_fly = false,
+                        CloudPluginOptions options = CloudPluginOptions{})
+      : cluster(engine, spec(workers, on_the_fly), cloud::SimProfile{}) {
+    devices.tracer().tools().attach(&tool);
+    cloud_id = devices.register_device(std::make_unique<CloudPlugin>(
+        cluster, spark::SparkConf{}, options));
+  }
+
+  static cloud::ClusterSpec spec(int workers, bool on_the_fly) {
+    cloud::ClusterSpec spec;
+    spec.workers = workers;
+    spec.on_the_fly = on_the_fly;
+    return spec;
+  }
+
+  Result<OffloadReport> offload(std::vector<float>& x, std::vector<float>& y,
+                                const std::string& name) {
+    omp::TargetRegion region(devices, name);
+    region.device(cloud_id);
+    auto xv = region.map_to("x", x.data(), x.size());
+    auto yv = region.map_from("y", y.data(), y.size());
+    region.parallel_for(static_cast<int64_t>(x.size()))
+        .read_partitioned(xv, omp::rows<float>(1))
+        .write_partitioned(yv, omp::rows<float>(1))
+        .cost_flops(1e4)
+        .kernel("toolstest.twice");
+    return omp::offload_blocking(engine, region);
+  }
+};
+
+TEST(ToolsTest, TargetCallbacksPairAndDataOpsMatchReportBytes) {
+  ToolsFixture f;
+  std::vector<float> x(4096, 1.0f), y(4096, 0.0f);
+  auto report = f.offload(x, y, "paired");
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+
+  // Exactly one begin/end pair, same non-zero target id, clean completion.
+  ASSERT_EQ(f.tool.begins.size(), 1u);
+  ASSERT_EQ(f.tool.ends.size(), 1u);
+  EXPECT_NE(f.tool.begins[0].target_id, 0u);
+  EXPECT_EQ(f.tool.begins[0].target_id, f.tool.ends[0].target_id);
+  EXPECT_EQ(f.tool.begins[0].region, "paired");
+  EXPECT_EQ(f.tool.begins[0].device_id, f.cloud_id);
+  EXPECT_TRUE(f.tool.ends[0].ok);
+  EXPECT_FALSE(f.tool.ends[0].fell_back);
+
+  // Transfer data-op byte sums are exactly the report's derived counts.
+  using RT = RecordingTool;
+  EXPECT_EQ(f.tool.sum_bytes(tools::DataOpKind::kTransferTo,
+                             &RT::DataOp::plain_bytes),
+            report->uploaded_plain_bytes);
+  EXPECT_EQ(f.tool.sum_bytes(tools::DataOpKind::kTransferTo,
+                             &RT::DataOp::wire_bytes),
+            report->uploaded_wire_bytes);
+  EXPECT_EQ(f.tool.sum_bytes(tools::DataOpKind::kTransferFrom,
+                             &RT::DataOp::plain_bytes),
+            report->downloaded_plain_bytes);
+  EXPECT_EQ(f.tool.sum_bytes(tools::DataOpKind::kTransferFrom,
+                             &RT::DataOp::wire_bytes),
+            report->downloaded_wire_bytes);
+  for (const RT::DataOp& op : f.tool.data_ops) {
+    EXPECT_LE(op.start, op.end) << op.var;
+  }
+  // Default options clean up staged objects: delete ops were observed.
+  bool any_delete = false;
+  for (const RT::DataOp& op : f.tool.data_ops) {
+    any_delete |= op.kind == tools::DataOpKind::kDelete;
+  }
+  EXPECT_TRUE(any_delete);
+
+  // One kernel submit + complete per Spark map task.
+  EXPECT_EQ(f.tool.submits.size(), static_cast<size_t>(report->job.tasks));
+  ASSERT_EQ(f.tool.completes.size(), static_cast<size_t>(report->job.tasks));
+  for (const RT::Kernel& kernel : f.tool.completes) {
+    EXPECT_EQ(kernel.kernel, "toolstest.twice");
+    EXPECT_EQ(kernel.attempts, 1);
+    EXPECT_GE(kernel.worker, 0);
+    EXPECT_LT(kernel.worker, 4);
+    EXPECT_LE(kernel.start, kernel.time);
+  }
+}
+
+TEST(ToolsTest, OnTheFlyClusterEmitsInstanceLifecycle) {
+  ToolsFixture f(4, /*on_the_fly=*/true);
+  std::vector<float> x(256, 1.0f), y(256, 0.0f);
+  ASSERT_TRUE(f.offload(x, y, "metered").ok());
+
+  ASSERT_EQ(f.tool.instance_events.size(), 2u);
+  EXPECT_EQ(f.tool.instance_events[0].kind,
+            tools::InstanceStateInfo::Kind::kBoot);
+  EXPECT_EQ(f.tool.instance_events[0].instances, 5);  // driver + 4 workers
+  EXPECT_GT(f.tool.instance_events[0].price_per_hour, 0.0);
+  EXPECT_EQ(f.tool.instance_events[1].kind,
+            tools::InstanceStateInfo::Kind::kStop);
+  EXPECT_EQ(f.tool.instance_events[1].instances, 5);
+  // The tracer's built-in metrics tool consumed the same stream.
+  EXPECT_EQ(f.devices.tracer().metrics().counter_value("cluster.boots"), 1u);
+  EXPECT_EQ(f.devices.tracer().metrics().counter_value("cluster.shutdowns"),
+            1u);
+}
+
+TEST(ToolsTest, ChunkedDeltaCacheHitReportsSkippedBytes) {
+  CloudPluginOptions options;
+  options.chunk_size = 16ull << 10;
+  options.cache_data = true;
+  ToolsFixture f(4, false, options);
+  std::vector<float> x(32768, 1.0f), y(32768, 0.0f);
+  ASSERT_TRUE(f.offload(x, y, "cached").ok());
+  f.tool.clear();
+  auto report = f.offload(x, y, "cached");  // unchanged input: full hit
+  ASSERT_TRUE(report.ok());
+
+  using RT = RecordingTool;
+  const RT::DataOp* hit = nullptr;
+  for (const RT::DataOp& op : f.tool.data_ops) {
+    if (op.kind == tools::DataOpKind::kTransferTo && op.var == "x") hit = &op;
+  }
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(hit->cache_eligible);
+  EXPECT_TRUE(hit->cache_hit);
+  EXPECT_TRUE(hit->chunked);
+  EXPECT_GE(hit->block_hits, 2u);
+  EXPECT_EQ(hit->bytes_skipped, x.size() * sizeof(float));
+  // Nothing crossed codec or wire, matching the second report.
+  EXPECT_EQ(hit->plain_bytes, 0u);
+  EXPECT_EQ(hit->wire_bytes, 0u);
+  EXPECT_EQ(f.tool.sum_bytes(tools::DataOpKind::kTransferTo,
+                             &RT::DataOp::wire_bytes),
+            report->uploaded_wire_bytes);
+}
+
+TEST(ToolsTest, HostFallbackPairsTargetWithNoDeviceTraffic) {
+  ToolsFixture f;
+  f.engine.spawn([](cloud::Cluster* cluster) -> sim::Co<void> {
+    (void)co_await cluster->shutdown();
+  }(&f.cluster));
+  f.engine.run();
+  f.tool.clear();  // drop the boot/shutdown lifecycle noise
+
+  std::vector<float> x(64, 2.0f), y(64, 0.0f);
+  auto report = f.offload(x, y, "fallback");
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(report->fell_back_to_host);
+
+  ASSERT_EQ(f.tool.begins.size(), 1u);
+  ASSERT_EQ(f.tool.ends.size(), 1u);
+  EXPECT_EQ(f.tool.begins[0].target_id, f.tool.ends[0].target_id);
+  EXPECT_TRUE(f.tool.ends[0].ok);
+  EXPECT_TRUE(f.tool.ends[0].fell_back);
+  // The host path moves no mapped bytes and submits no Spark kernels.
+  EXPECT_TRUE(f.tool.data_ops.empty());
+  EXPECT_TRUE(f.tool.submits.empty());
+  EXPECT_TRUE(f.tool.completes.empty());
+}
+
+TEST(ToolsTest, DeviceLifecycleInitsAndFinisInReverseOrder) {
+  Engine engine;
+  cloud::Cluster cluster(engine, ToolsFixture::spec(4, false),
+                         cloud::SimProfile{});
+  RecordingTool tool;
+  int cloud_id = -1;
+  {
+    DeviceManager devices(engine);
+    devices.tracer().tools().attach(&tool);  // after the built-in host init
+    cloud_id = devices.register_device(std::make_unique<CloudPlugin>(
+        cluster, spark::SparkConf{}, CloudPluginOptions{}));
+    ASSERT_EQ(tool.inits.size(), 1u);
+    EXPECT_EQ(tool.inits[0].device_id, cloud_id);
+    EXPECT_FALSE(tool.inits[0].name.empty());
+    EXPECT_TRUE(tool.finis.empty());
+  }
+  // Teardown finalizes every device, last-registered first.
+  ASSERT_EQ(tool.finis.size(), 2u);
+  EXPECT_EQ(tool.finis[0].device_id, cloud_id);
+  EXPECT_EQ(tool.finis[1].device_id, DeviceManager::host_device_id());
+}
+
+TEST(ToolsTest, DetachStopsCallbackDelivery) {
+  ToolsFixture f;
+  f.devices.tracer().tools().detach(&f.tool);
+  f.tool.clear();
+  std::vector<float> x(64, 1.0f), y(64, 0.0f);
+  ASSERT_TRUE(f.offload(x, y, "detached").ok());
+  EXPECT_TRUE(f.tool.begins.empty());
+  EXPECT_TRUE(f.tool.data_ops.empty());
+  EXPECT_TRUE(f.tool.completes.empty());
+}
+
+}  // namespace
+}  // namespace ompcloud::omptarget

@@ -13,6 +13,7 @@
 
 #include "omp/target_region.h"
 #include "omptarget/cloud_plugin.h"
+#include "support/log.h"
 #include "trace/export.h"
 #include "trace/query.h"
 
@@ -311,6 +312,77 @@ TEST(TraceStructureTest, HostFallbackIsTaggedAndTransfersStayZero) {
   ASSERT_NE(tag, nullptr);
   EXPECT_EQ(*tag, "true");
   EXPECT_NE(query.first_in_subtree(roots[0]->id, "host.exec"), nullptr);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBuckets) {
+  trace::Histogram h({1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.5, 2.5, 3.5}) h.record(v);
+
+  // Exact at the extremes (min/max are tracked outside the buckets).
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.5);
+  // Bucket edges: the 1st sample tops out bucket (min, 1], the 2nd (1, 2].
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  // Linear interpolation inside (2, max]: rank 3 of 4 is halfway through
+  // the two samples in that bucket -> 2 + 0.5 * (3.5 - 2).
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 2.75);
+  // Out-of-range q clamps; an empty histogram reports 0.
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), 3.5);
+  EXPECT_DOUBLE_EQ(trace::Histogram({1.0}).quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantileIsExactForSingleSampleBuckets) {
+  // Bounds at every observed value: each bucket holds one sample, so the
+  // interpolated quantile lands on observed values exactly (the skew
+  // analyzer builds its histogram this way).
+  trace::Histogram h({1.0, 2.0, 3.0, 10.0});
+  for (double v : {1.0, 2.0, 3.0, 10.0}) h.record(v);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(TraceLogEventsTest, WarnAndErrorBecomeInstantsWhenEnabled) {
+  sim::Engine engine;
+  trace::TraceOptions options;
+  options.log_events = true;
+  trace::Tracer tracer(engine, options);
+  // Silence the default stderr sink; the tap fires regardless.
+  LogConfig::instance().set_sink(
+      [](LogLevel, std::string_view, std::string_view) {});
+  {
+    trace::ScopedLogCapture capture(tracer);
+    Logger log("testcomp");
+    log.warn("disk %d%% full", 93);
+    log.error("boom");
+    log.info("below the capture threshold");
+  }
+  Logger("testcomp").warn("after the capture: not recorded");
+  LogConfig::instance().set_sink(nullptr);
+
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const trace::Span& warn = tracer.spans()[0];
+  EXPECT_TRUE(warn.instant);
+  EXPECT_EQ(warn.name, "log.warn");
+  ASSERT_NE(warn.tag("component"), nullptr);
+  EXPECT_EQ(*warn.tag("component"), "testcomp");
+  ASSERT_NE(warn.tag("message"), nullptr);
+  EXPECT_EQ(*warn.tag("message"), "disk 93% full");
+  EXPECT_EQ(tracer.spans()[1].name, "log.error");
+}
+
+TEST(TraceLogEventsTest, CaptureIsInertWhenOptionOff) {
+  sim::Engine engine;
+  trace::Tracer tracer(engine);  // log_events defaults to false
+  LogConfig::instance().set_sink(
+      [](LogLevel, std::string_view, std::string_view) {});
+  {
+    trace::ScopedLogCapture capture(tracer);
+    Logger("testcomp").warn("gated out");
+  }
+  LogConfig::instance().set_sink(nullptr);
+  EXPECT_TRUE(tracer.spans().empty());
 }
 
 TEST(TraceStructureTest, DisabledTracingStillComputesCorrectly) {

@@ -1,0 +1,214 @@
+// octrace — inspect an exported offload trace from the command line.
+//
+//   octrace summary       trace.json   phase breakdown + skew + cost
+//   octrace critical-path trace.json   the greedy last-finisher chain
+//   octrace skew          trace.json   per-task skew / straggler report
+//   octrace cost          trace.json   dollar attribution per offload
+//
+// `--json` switches every command to a stable JSON schema (CI jq-validates
+// it). Exit codes: 0 = analyzed, 1 = the trace holds no offload spans,
+// 2 = usage or load error. Flags are parsed by hand: unlike FlagSet this
+// binary must fail loudly (exit 2) on an unknown flag so CI can't silently
+// run the wrong command.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/strings.h"
+#include "trace/analysis.h"
+#include "trace/import.h"
+
+using namespace ompcloud;
+
+namespace {
+
+int usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: octrace <summary|critical-path|skew|cost> "
+               "<trace.json> [--json]\n"
+               "\n"
+               "Loads a Chrome trace exported by the offload runtime and\n"
+               "analyzes each `offload` span tree: phase attribution,\n"
+               "critical path, task skew, transfer overlap, and cost.\n");
+  return 2;
+}
+
+std::string skew_json(const trace::OffloadAnalysis& analysis) {
+  const trace::SkewStats& skew = analysis.skew;
+  std::string json = str_format(
+      "{\"region\": \"%s\", \"skew\": {\"tasks\": %llu, \"p50\": %.9g, "
+      "\"p95\": %.9g, \"max\": %.9g, \"straggler_ratio\": %.9g, "
+      "\"stragglers\": [",
+      analysis.region.c_str(), static_cast<unsigned long long>(skew.tasks),
+      skew.p50, skew.p95, skew.max, skew.straggler_ratio);
+  for (size_t s = 0; s < skew.stragglers.size(); ++s) {
+    json += str_format(
+        "%s{\"task\": %d, \"worker\": %d, \"seconds\": %.9g}",
+        s == 0 ? "" : ", ", skew.stragglers[s].task,
+        skew.stragglers[s].worker, skew.stragglers[s].seconds);
+  }
+  json += "]}}";
+  return json;
+}
+
+std::string cost_json(const trace::OffloadAnalysis& analysis) {
+  const trace::CostStats& cost = analysis.cost;
+  return str_format(
+      "{\"region\": \"%s\", \"cost\": {\"on_the_fly\": %s, "
+      "\"instances\": %.9g, \"price_per_hour\": %.9g, "
+      "\"billed_seconds\": %.9g, \"cost_usd\": %.9g}}",
+      analysis.region.c_str(), cost.on_the_fly ? "true" : "false",
+      cost.instances, cost.price_per_hour, cost.billed_seconds,
+      cost.cost_usd);
+}
+
+std::string critical_path_json(const trace::OffloadAnalysis& analysis) {
+  std::string json = str_format("{\"region\": \"%s\", \"critical_path\": [",
+                                analysis.region.c_str());
+  for (size_t s = 0; s < analysis.critical_path.size(); ++s) {
+    json += str_format(
+        "%s{\"name\": \"%s\", \"start\": %.9g, \"seconds\": %.9g}",
+        s == 0 ? "" : ", ", analysis.critical_path[s].name.c_str(),
+        analysis.critical_path[s].start, analysis.critical_path[s].seconds);
+  }
+  json += "]}";
+  return json;
+}
+
+/// Wraps per-offload JSON objects in the shared top-level schema.
+void print_offloads_json(const std::vector<std::string>& objects) {
+  std::string out = "{\"offloads\": [";
+  for (size_t i = 0; i < objects.size(); ++i) {
+    out += i == 0 ? "" : ", ";
+    out += objects[i];
+  }
+  out += "]}\n";
+  std::fputs(out.c_str(), stdout);
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  std::string command;
+  std::string path;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "octrace: unknown flag '%s'\n", arg.c_str());
+      return usage(stderr);
+    } else if (command.empty()) {
+      command = arg;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "octrace: unexpected argument '%s'\n", arg.c_str());
+      return usage(stderr);
+    }
+  }
+  if (command != "summary" && command != "critical-path" &&
+      command != "skew" && command != "cost") {
+    if (!command.empty()) {
+      std::fprintf(stderr, "octrace: unknown command '%s'\n", command.c_str());
+    }
+    return usage(stderr);
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "octrace: missing trace file\n");
+    return usage(stderr);
+  }
+
+  auto imported = trace::load_trace_file(path);
+  if (!imported.ok()) {
+    std::fprintf(stderr, "octrace: %s\n",
+                 imported.status().to_string().c_str());
+    return 2;
+  }
+
+  trace::TraceAnalyzer analyzer(*imported->tracer);
+  std::vector<trace::OffloadAnalysis> analyses = analyzer.analyze_all();
+  if (analyses.empty()) {
+    if (json) {
+      std::fputs("{\"offloads\": []}\n", stdout);
+    } else {
+      std::fprintf(stderr, "octrace: no offload spans in '%s'\n",
+                   path.c_str());
+    }
+    return 1;
+  }
+
+  if (command == "summary") {
+    if (json) {
+      std::vector<std::string> objects;
+      for (const trace::OffloadAnalysis& analysis : analyses) {
+        objects.push_back(analysis.to_json());
+      }
+      print_offloads_json(objects);
+    } else {
+      for (const trace::OffloadAnalysis& analysis : analyses) {
+        std::fputs(analysis.to_text().c_str(), stdout);
+      }
+    }
+  } else if (command == "critical-path") {
+    if (json) {
+      std::vector<std::string> objects;
+      for (const trace::OffloadAnalysis& analysis : analyses) {
+        objects.push_back(critical_path_json(analysis));
+      }
+      print_offloads_json(objects);
+    } else {
+      for (const trace::OffloadAnalysis& analysis : analyses) {
+        std::printf("offload '%s' critical path:\n", analysis.region.c_str());
+        for (const trace::CriticalStep& step : analysis.critical_path) {
+          std::printf("  %-24s start %12.6f s  %12.6f s\n", step.name.c_str(),
+                      step.start, step.seconds);
+        }
+      }
+    }
+  } else if (command == "skew") {
+    if (json) {
+      std::vector<std::string> objects;
+      for (const trace::OffloadAnalysis& analysis : analyses) {
+        objects.push_back(skew_json(analysis));
+      }
+      print_offloads_json(objects);
+    } else {
+      for (const trace::OffloadAnalysis& analysis : analyses) {
+        const trace::SkewStats& skew = analysis.skew;
+        std::printf(
+            "offload '%s': %llu tasks  p50 %.6f s  p95 %.6f s  max %.6f s  "
+            "straggler-ratio %.3f\n",
+            analysis.region.c_str(),
+            static_cast<unsigned long long>(skew.tasks), skew.p50, skew.p95,
+            skew.max, skew.straggler_ratio);
+        for (const trace::SkewTask& straggler : skew.stragglers) {
+          std::printf("  straggler task[%d] on worker %d: %.6f s\n",
+                      straggler.task, straggler.worker, straggler.seconds);
+        }
+      }
+    }
+  } else {  // cost
+    if (json) {
+      std::vector<std::string> objects;
+      for (const trace::OffloadAnalysis& analysis : analyses) {
+        objects.push_back(cost_json(analysis));
+      }
+      print_offloads_json(objects);
+    } else {
+      for (const trace::OffloadAnalysis& analysis : analyses) {
+        const trace::CostStats& cost = analysis.cost;
+        std::printf(
+            "offload '%s': $%.6f  (%.9g instances x $%.9g/h x %.6f s%s)\n",
+            analysis.region.c_str(), cost.cost_usd, cost.instances,
+            cost.price_per_hour, cost.billed_seconds,
+            cost.on_the_fly ? ", on-the-fly" : "");
+      }
+    }
+  }
+  return 0;
+}
