@@ -1,0 +1,297 @@
+// Ablation: elastic autoscaling vs. a static fleet.
+//
+// An open-loop stream of target regions arrives at fixed intervals (two
+// tenants, interleaved). Three cluster configurations serve it:
+//
+//   static-16   the paper's setup: 16 workers provisioned for the whole
+//               run, FIFO admission.
+//   elastic     autoscaler (min 2 / max 16 workers, 4 per active offload)
+//               with FAIR weighted admission; workers boot on demand and
+//               are reaped after an idle cooldown.
+//   elastic+spot  the same, with periodic spot-style preemptions feeding
+//               the task-retry fault-tolerance path.
+//
+// The question §III-A's cost model raises: does scaling the fleet with
+// admission pressure actually cut the bill without losing throughput?
+// Results land in BENCH_elastic.json for the CI regression gate.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/harness.h"
+#include "cloud/autoscaler.h"
+#include "omp/target_region.h"
+#include "omptarget/scheduler.h"
+#include "support/flags.h"
+#include "support/strings.h"
+#include "trace/export.h"
+#include "workload/generators.h"
+
+using namespace ompcloud;
+
+namespace {
+
+Status MatVecBody(int64_t n, const jni::KernelArgs& args) {
+  auto a = args.input<float>(0);
+  auto x = args.input<float>(1);
+  auto y = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) {
+    float acc = 0.0f;
+    for (int64_t k = 0; k < n; ++k) acc += a[i * n + k] * x[k];
+    y[i] = acc;
+  }
+  return Status::ok();
+}
+
+struct ModeConfig {
+  std::string label;
+  bool elastic = false;
+  double spot_interval = 0;  ///< 0 = no preemptions
+};
+
+struct Outcome {
+  bool ok = false;
+  double done = 0;  ///< absolute completion time (virtual seconds)
+  double boot = 0;
+  int retries = 0;
+};
+
+/// One arriving region: sleeps until its arrival time, offloads one matvec
+/// (64 tiles — one wave on 4 workers, so per-offload latency does not
+/// depend on fleet size beyond that), records when it finished.
+sim::Co<void> offload_one(sim::Engine* engine, omptarget::DeviceManager* devices,
+                          int device_id, int index, double arrival,
+                          std::string tenant, int64_t n, std::vector<float>* a,
+                          std::vector<float>* x, Outcome* out) {
+  co_await engine->sleep(arrival);
+  omp::TargetRegion region(*devices, str_format("elastic[%d]", index));
+  region.device(device_id);
+  region.tenant(std::move(tenant));
+  auto av = region.map_to("A", a->data(), a->size());
+  auto xv = region.map_to("x", x->data(), x->size());
+  std::vector<float> y(static_cast<size_t>(n), 0.0f);
+  auto yv = region.map_from("y", y.data(), y.size());
+  region.parallel_for(n)
+      .read_partitioned(av, omp::rows<float>(n))
+      .read(xv)
+      .write_partitioned(yv, omp::rows<float>(1))
+      // Heavier than a plain matvec (stands for a few fused passes over
+      // A): gives each of the 64 tasks a visible compute phase, so fleet
+      // utilization is non-trivial in both configurations.
+      .cost_flops(80.0 * static_cast<double>(n))
+      .tiles(64)
+      .body("matvec",
+            [n](const jni::KernelArgs& args) { return MatVecBody(n, args); });
+  auto result = co_await region.execute();
+  out->done = engine->now();
+  if (result.ok()) {
+    out->ok = true;
+    out->boot = result->boot_seconds;
+    out->retries = result->job.task_retries;
+  }
+}
+
+struct ModeResult {
+  int completed = 0;
+  double makespan = 0;
+  double throughput_per_hour = 0;
+  double cost_usd = 0;
+  double instance_seconds = 0;
+  int task_retries = 0;
+  trace::ClusterScalingAnalysis fleet;
+};
+
+Result<ModeResult> run_mode(const ModeConfig& mode, int offloads, double gap,
+                            int64_t n, const std::string& trace_path) {
+  sim::Engine engine;
+  cloud::ClusterSpec spec;
+  spec.workers = 16;
+  // Half the paper's virtual scale: each region moves ~256 MB and runs
+  // ~20 s, so the arrival stream (one per minute) leaves the fleet idle
+  // most of the time — the regime where elasticity should pay.
+  cloud::Cluster cluster(engine, spec,
+                         cloud::SimProfile::paper_scale(n, 8192));
+  omptarget::DeviceManager devices(engine);
+  int cloud_id = devices.register_device(std::make_unique<omptarget::CloudPlugin>(
+      cluster, spark::SparkConf{}, omptarget::CloudPluginOptions{}));
+
+  omptarget::SchedulerOptions sched;
+  sched.mode = mode.elastic ? omptarget::SchedulerOptions::Mode::kFair
+                            : omptarget::SchedulerOptions::Mode::kFifo;
+  sched.tenant_weights.emplace_back("interactive", 3.0);
+  omptarget::OffloadScheduler& scheduler = devices.configure_scheduler(sched);
+
+  if (mode.elastic) {
+    cloud::AutoscalerOptions autoscale;
+    autoscale.enabled = true;
+    autoscale.min_workers = 2;
+    autoscale.max_workers = 16;
+    autoscale.workers_per_offload = 4;
+    autoscale.idle_cooldown = 150.0;
+    autoscale.spot_interval = mode.spot_interval;
+    cloud::Autoscaler& autoscaler = cluster.enable_autoscaler(autoscale);
+    scheduler.set_demand_listener(
+        [&autoscaler](int queued, int /*active*/) {
+          autoscaler.set_queued_offloads(queued);
+        });
+  }
+
+  // Every offload ships a distinct matrix, so uploads are cold (no delta
+  // cache shortcut) and the WAN stays the per-offload bottleneck.
+  std::vector<std::vector<float>> matrices;
+  std::vector<float> x(static_cast<size_t>(n), 1.0f);
+  for (int i = 0; i < offloads; ++i) {
+    matrices.push_back(workload::make_matrix(
+        {static_cast<size_t>(n), static_cast<size_t>(n), false,
+         static_cast<uint64_t>(100 + i)}));
+  }
+  std::vector<Outcome> outcomes(static_cast<size_t>(offloads));
+  for (int i = 0; i < offloads; ++i) {
+    engine.spawn(offload_one(&engine, &devices, cloud_id, i, i * gap,
+                             i % 2 == 0 ? "batch" : "interactive", n,
+                             &matrices[static_cast<size_t>(i)], &x,
+                             &outcomes[static_cast<size_t>(i)]));
+  }
+  engine.run();
+  // No shutdown: CostMeter::accrued_usd bills still-running instances
+  // pro-rata to the last event, so the static fleet is charged through the
+  // final completion and the elastic floor through its last reap — exactly
+  // the window each configuration actually held instances.
+
+  ModeResult result;
+  for (const Outcome& outcome : outcomes) {
+    if (!outcome.ok) continue;
+    result.completed += 1;
+    result.makespan = std::max(result.makespan, outcome.done);
+    result.task_retries += outcome.retries;
+  }
+  if (result.makespan > 0) {
+    result.throughput_per_hour = result.completed / result.makespan * 3600.0;
+  }
+  result.cost_usd = cluster.cost().accrued_usd();
+  result.instance_seconds = cluster.cost().instance_seconds();
+  result.fleet = trace::TraceAnalyzer(devices.tracer()).analyze_cluster();
+  if (!trace_path.empty()) {
+    OC_RETURN_IF_ERROR(trace::write_chrome_json(
+        devices.tracer(), trace_path,
+        "\"cluster\": " + result.fleet.to_json(2)));
+  }
+  return result;
+}
+
+std::string mode_json(const std::string& label, int offloads,
+                      const ModeResult& result) {
+  return str_format(
+      "{\"label\": \"%s\", \"offloads\": %d, \"completed\": %d, "
+      "\"makespan_seconds\": %.9g, \"throughput_per_hour\": %.9g, "
+      "\"cost_usd\": %.9g, \"instance_seconds\": %.9g, "
+      "\"peak_workers\": %.9g, \"avg_workers\": %.9g, "
+      "\"utilization\": %.9g, \"scale_ups\": %llu, \"scale_downs\": %llu, "
+      "\"preemptions\": %llu, \"task_retries\": %d}",
+      label.c_str(), offloads, result.completed, result.makespan,
+      result.throughput_per_hour, result.cost_usd, result.instance_seconds,
+      result.fleet.peak_workers, result.fleet.avg_workers,
+      result.fleet.utilization,
+      static_cast<unsigned long long>(result.fleet.scale_ups),
+      static_cast<unsigned long long>(result.fleet.scale_downs),
+      static_cast<unsigned long long>(result.fleet.preemptions),
+      result.task_retries);
+}
+
+int run(int argc, const char** argv) {
+  FlagSet flags("Elastic autoscaling vs. static fleet ablation");
+  flags.define_int("n", 256, "matrix dimension (stands for 16384)");
+  flags.define_int("offloads", 8, "regions in the arrival stream");
+  flags.define_int("gap", 60, "seconds between arrivals (virtual)");
+  if (Status parsed = flags.parse(argc, argv); !parsed.is_ok()) {
+    return parsed.code() == StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+  const int64_t n = flags.get_int("n");
+  const int offloads = static_cast<int>(flags.get_int("offloads"));
+  const double gap = static_cast<double>(flags.get_int("gap"));
+
+  const std::vector<ModeConfig> modes = {
+      {"static-16", false, 0},
+      {"elastic", true, 0},
+      {"elastic+spot", true, 75.0},
+  };
+
+  std::printf("Elastic autoscaling ablation (%d offloads, one every %.0f s)\n\n",
+              offloads, gap);
+  std::printf("%14s | %6s %12s %10s %10s %8s %8s %6s %6s\n", "mode", "done",
+              "makespan", "offl/h", "cost", "inst-s", "peak-w", "util",
+              "retry");
+
+  std::vector<ModeResult> results;
+  std::vector<std::string> records;
+  for (const ModeConfig& mode : modes) {
+    auto result = run_mode(mode, offloads, gap, n,
+                           mode.label == "elastic"
+                               ? "BENCH_elastic.trace.json"
+                               : std::string());
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", mode.label.c_str(),
+                   result.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%14s | %3d/%-2d %12s %10.2f %9s$ %8.0f %8.3g %5.1f%% %6d\n",
+                mode.label.c_str(), result->completed, offloads,
+                format_duration(result->makespan).c_str(),
+                result->throughput_per_hour,
+                str_format("%.4f", result->cost_usd).c_str(),
+                result->instance_seconds, result->fleet.peak_workers,
+                result->fleet.utilization * 100.0, result->task_retries);
+    records.push_back(mode_json(mode.label, offloads, *result));
+    results.push_back(std::move(*result));
+  }
+
+  const ModeResult& st = results[0];
+  const ModeResult& el = results[1];
+  const ModeResult& spot = results[2];
+  bool all_completed = st.completed == offloads && el.completed == offloads &&
+                       spot.completed == offloads;
+  bool cheaper = el.cost_usd < st.cost_usd;
+  // "Equal or better" with a 1% grace for the boot ramp of the very first
+  // arrivals (the steady-state fleet serves later arrivals at full speed).
+  bool throughput_held = el.throughput_per_hour >= 0.99 * st.throughput_per_hour;
+  // Retries depend on a preemption landing inside a task-launch window;
+  // the unit tests pin that timing down. Here the bar is survival: spot
+  // reclamations happened and every offload still completed.
+  bool spot_survived = spot.fleet.preemptions > 0;
+
+  std::printf("\nelastic fleet: avg %.2f workers (static %.0f), %llu scale-ups"
+              ", %llu scale-downs — %.1f%% of static worker-seconds avoided\n",
+              el.fleet.avg_workers, st.fleet.peak_workers,
+              static_cast<unsigned long long>(el.fleet.scale_ups),
+              static_cast<unsigned long long>(el.fleet.scale_downs),
+              el.fleet.scaling_savings * 100.0);
+  std::printf("elastic %s static on $-cost ($%.4f vs $%.4f) at %s throughput "
+              "(%.2f vs %.2f offloads/h)\n",
+              cheaper ? "beats" : "DOES NOT beat", el.cost_usd, st.cost_usd,
+              throughput_held ? "held" : "DEGRADED", el.throughput_per_hour,
+              st.throughput_per_hour);
+  std::printf("spot preemptions: %llu reclaimed, %d task retries, %d/%d "
+              "offloads still correct\n",
+              static_cast<unsigned long long>(spot.fleet.preemptions),
+              spot.task_retries, spot.completed, offloads);
+
+  std::string json = "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    json += "  " + records[i] + (i + 1 < records.size() ? ",\n" : "\n");
+  }
+  json += "]\n";
+  if (FILE* out = std::fopen("BENCH_elastic.json", "w")) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("\nwrote BENCH_elastic.json (%zu records)\n", records.size());
+  } else {
+    std::fprintf(stderr, "cannot write BENCH_elastic.json\n");
+    return 1;
+  }
+  return all_completed && cheaper && throughput_held && spot_survived ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) { return run(argc, argv); }

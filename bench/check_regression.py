@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh bench JSON against the committed
+baseline and fail only when a headline metric moved in the *bad* direction
+by more than the tolerance.
+
+Usage:
+    check_regression.py <baseline.json> <current.json> [--tolerance 0.05]
+
+Understands both bench schemas in this repo:
+  - BENCH_offload.json: {"runs": [{"label", "report": {"seconds", ...}}]}
+  - BENCH_elastic.json: [{"label", "makespan_seconds", "cost_usd", ...}]
+
+Improvements never fail the gate (they print a hint to refresh the
+baseline); labels present in the baseline must stay present.
+"""
+
+import argparse
+import json
+import sys
+
+# Gated metrics and the direction that counts as a regression.
+LOWER_IS_BETTER = (
+    "seconds.total",
+    "makespan_seconds",
+    "instance_seconds",
+    "cost_usd",
+)
+HIGHER_IS_BETTER = (
+    "throughput_per_hour",
+    "completed",
+)
+
+
+def flatten(prefix, value, out):
+    if isinstance(value, dict):
+        for key, child in value.items():
+            flatten(f"{prefix}.{key}" if prefix else key, child, out)
+    elif isinstance(value, (int, float)) and not isinstance(value, bool):
+        out[prefix] = float(value)
+
+
+def load_records(path):
+    """Returns {label: {metric: value}} for either bench schema."""
+    with open(path) as f:
+        data = json.load(f)
+    rows = data["runs"] if isinstance(data, dict) else data
+    records = {}
+    for row in rows:
+        metrics = {}
+        flatten("", row, metrics)
+        records[row["label"]] = metrics
+    return records
+
+
+def gated(metric):
+    if any(metric.endswith(name) for name in LOWER_IS_BETTER):
+        return "lower"
+    if any(metric.endswith(name) for name in HIGHER_IS_BETTER):
+        return "higher"
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed fractional slack (default 5%%)")
+    args = parser.parse_args()
+
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+
+    failures = []
+    improvements = 0
+    checked = 0
+    for label, base_metrics in baseline.items():
+        if label not in current:
+            failures.append(f"[{label}] missing from current results")
+            continue
+        cur_metrics = current[label]
+        for metric, base in base_metrics.items():
+            direction = gated(metric)
+            if direction is None or metric not in cur_metrics:
+                continue
+            cur = cur_metrics[metric]
+            checked += 1
+            slack = abs(base) * args.tolerance
+            if direction == "lower":
+                regressed = cur > base + slack
+                improved = cur < base - slack
+            else:
+                regressed = cur < base - slack
+                improved = cur > base + slack
+            if regressed:
+                failures.append(
+                    f"[{label}] {metric}: {cur:.6g} vs baseline {base:.6g} "
+                    f"({direction} is better, tolerance "
+                    f"{args.tolerance:.0%})")
+            elif improved:
+                improvements += 1
+                print(f"note: [{label}] {metric} improved: "
+                      f"{cur:.6g} vs baseline {base:.6g}")
+
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    print(f"{args.current}: {checked} metrics checked against "
+          f"{args.baseline}: {len(failures)} regression(s), "
+          f"{improvements} improvement(s)")
+    if improvements and not failures:
+        print("baseline is stale on the improved metrics; consider "
+              "refreshing bench/baseline/")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,186 @@
+#include "cloud/autoscaler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "cloud/cluster.h"
+
+namespace ompcloud::cloud {
+
+AutoscalerOptions AutoscalerOptions::from_config(const Config& config) {
+  AutoscalerOptions options;
+  options.enabled = config.get_bool("autoscale.enabled", options.enabled);
+  options.min_workers = static_cast<int>(
+      config.get_int("autoscale.min-workers", options.min_workers));
+  options.max_workers = static_cast<int>(
+      config.get_int("autoscale.max-workers", options.max_workers));
+  options.workers_per_offload = static_cast<int>(config.get_int(
+      "autoscale.workers-per-offload", options.workers_per_offload));
+  options.idle_cooldown =
+      config.get_duration("autoscale.idle-cooldown", options.idle_cooldown);
+  options.spot_interval =
+      config.get_duration("autoscale.spot-interval", options.spot_interval);
+  options.spot_seed = static_cast<uint64_t>(config.get_int(
+      "autoscale.spot-seed", static_cast<int64_t>(options.spot_seed)));
+  return options;
+}
+
+Autoscaler::Autoscaler(Cluster& cluster, AutoscalerOptions options)
+    : cluster_(&cluster),
+      engine_(&cluster.engine()),
+      options_(options),
+      capacity_changed_(cluster.engine()),
+      rng_(options.spot_seed) {
+  if (options_.max_workers <= 0 ||
+      options_.max_workers > cluster_->worker_count()) {
+    options_.max_workers = cluster_->worker_count();
+  }
+  options_.min_workers =
+      std::clamp(options_.min_workers, 0, options_.max_workers);
+  options_.workers_per_offload =
+      std::clamp(options_.workers_per_offload, 1, options_.max_workers);
+  options_.idle_cooldown = std::max(0.0, options_.idle_cooldown);
+  // A pre-provisioned fleet hands over to the policy: everything beyond the
+  // floor is parked. At construction time (t=0) the parked instances have
+  // accrued nothing, so a static cluster converts to elastic for free.
+  int parked = 0;
+  for (int w = cluster_->worker_count() - 1;
+       w >= 0 && cluster_->running_worker_count() + cluster_->booting_worker_count() >
+                     options_.min_workers;
+       --w) {
+    if (cluster_->worker_state(w) != InstanceState::kRunning) continue;
+    (void)cluster_->stop_worker(w);
+    ++parked;
+  }
+  if (parked > 0) {
+    trace::SpanHandle span = cluster_->tracer().span("autoscale.down");
+    span.add("workers", parked);
+    span.end();
+    emit_decision(tools::AutoscaleInfo::Kind::kScaleDown, parked);
+  }
+}
+
+int Autoscaler::desired_workers() const {
+  const int demand = active_ + queued_;
+  return std::clamp(demand * options_.workers_per_offload,
+                    options_.min_workers, options_.max_workers);
+}
+
+sim::Co<Status> Autoscaler::acquire_for_offload() {
+  ++active_;
+  arm_spot_timer();
+  request_scale_up();
+  const int needed =
+      std::min(std::max(1, options_.workers_per_offload), options_.max_workers);
+  while (cluster_->usable_worker_count() < needed) {
+    co_await capacity_changed_;
+    capacity_changed_.reset();
+  }
+  co_return Status::ok();
+}
+
+void Autoscaler::release_offload() {
+  active_ = std::max(0, active_ - 1);
+  // Only the newest release's timer survives (older ones are duplicates:
+  // they would reap to the same target). New *acquires* do not cancel it —
+  // reap_idle re-reads the desired size at fire time, so demand that
+  // arrived during the cooldown keeps its workers.
+  const uint64_t generation = ++generation_;
+  engine_->schedule_after(options_.idle_cooldown,
+                          [this, generation] { reap_idle(generation); });
+}
+
+void Autoscaler::set_queued_offloads(int queued) {
+  queued_ = std::max(0, queued);
+  if (queued_ > 0) request_scale_up();
+}
+
+void Autoscaler::request_scale_up() {
+  const int target = desired_workers();
+  int provisioned =
+      cluster_->running_worker_count() + cluster_->booting_worker_count();
+  int started = 0;
+  for (int w = 0; w < cluster_->worker_count() && provisioned < target; ++w) {
+    if (cluster_->worker_state(w) != InstanceState::kStopped) continue;
+    ++provisioned;
+    ++started;
+    (void)engine_->spawn(boot_worker(w));
+  }
+  if (started > 0) {
+    trace::SpanHandle span = cluster_->tracer().span("autoscale.up");
+    span.add("workers", started);
+    span.end();
+    emit_decision(tools::AutoscaleInfo::Kind::kScaleUp, started);
+  }
+}
+
+sim::Co<void> Autoscaler::boot_worker(int index) {
+  // start_worker only fails when the slot is not stopped, which the
+  // request loop already excluded; races with preemption are benign (the
+  // replacement boot wins).
+  (void)co_await cluster_->start_worker(index);
+  capacity_changed_.trigger();
+  capacity_changed_.reset();
+}
+
+void Autoscaler::reap_idle(uint64_t generation) {
+  if (generation != generation_) return;  // a newer release re-armed the timer
+  const int target = desired_workers();
+  int removed = 0;
+  for (int w = cluster_->worker_count() - 1; w >= 0; --w) {
+    if (cluster_->running_worker_count() + cluster_->booting_worker_count() <=
+        target) {
+      break;
+    }
+    if (cluster_->worker_state(w) != InstanceState::kRunning) continue;
+    (void)cluster_->stop_worker(w);
+    ++removed;
+  }
+  if (removed > 0) {
+    trace::SpanHandle span = cluster_->tracer().span("autoscale.down");
+    span.add("workers", removed);
+    span.end();
+    emit_decision(tools::AutoscaleInfo::Kind::kScaleDown, removed);
+  }
+}
+
+void Autoscaler::arm_spot_timer() {
+  if (options_.spot_interval <= 0 || spot_armed_) return;
+  spot_armed_ = true;
+  engine_->schedule_after(options_.spot_interval, [this] { spot_tick(); });
+}
+
+void Autoscaler::spot_tick() {
+  spot_armed_ = false;
+  if (active_ <= 0) return;  // quiesce; the next acquire re-arms the market
+  std::vector<int> running;
+  for (int w = 0; w < cluster_->worker_count(); ++w) {
+    if (cluster_->worker_usable(w)) running.push_back(w);
+  }
+  // Always leave one usable worker so in-flight jobs can make progress.
+  if (running.size() > 1) {
+    const int victim =
+        running[static_cast<size_t>(rng_.next_below(running.size()))];
+    cluster_->preempt_worker(victim);
+    trace::SpanHandle span = cluster_->tracer().span("autoscale.preempt");
+    span.add("workers", 1);
+    span.end();
+    emit_decision(tools::AutoscaleInfo::Kind::kPreempt, 1);
+    request_scale_up();  // provision the replacement VM
+  }
+  arm_spot_timer();
+}
+
+void Autoscaler::emit_decision(tools::AutoscaleInfo::Kind kind, int delta) {
+  tools::AutoscaleInfo info;
+  info.kind = kind;
+  info.delta = delta;
+  info.running_workers = cluster_->running_worker_count();
+  info.booting_workers = cluster_->booting_worker_count();
+  info.active_offloads = active_;
+  info.queued_offloads = queued_;
+  info.time = engine_->now();
+  cluster_->tracer().tools().emit_autoscale_decision(info);
+}
+
+}  // namespace ompcloud::cloud

@@ -1,0 +1,85 @@
+// Elastic worker-fleet policy: the paper's §III-A on-the-fly instance
+// management taken to per-VM granularity. The autoscaler grows the fleet
+// when offload demand (active + queued target regions) exceeds capacity,
+// reaps idle workers after a cooldown so a bursty workload pays only for
+// what it used, and can optionally model spot-market preemption feeding
+// the Spark task-retry fault-tolerance path.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.h"
+#include "support/config.h"
+#include "support/random.h"
+#include "support/status.h"
+#include "tools/tools.h"
+
+namespace ompcloud::cloud {
+
+class Cluster;
+
+struct AutoscalerOptions {
+  /// Gate read by CloudPlugin::from_config; the Autoscaler itself ignores
+  /// it (constructing one means elasticity is on).
+  bool enabled = false;
+  int min_workers = 1;        ///< floor the reaper never goes below
+  int max_workers = 0;        ///< 0 = the cluster spec's worker count
+  int workers_per_offload = 4;  ///< capacity target per in-flight offload
+  double idle_cooldown = 60.0;  ///< seconds of idleness before reaping
+  double spot_interval = 0;     ///< >0: preempt one worker this often
+  uint64_t spot_seed = 42;      ///< victim-selection RNG seed
+
+  /// Reads the `[autoscale]` section (autoscale.enabled, .min-workers,
+  /// .max-workers, .workers-per-offload, .idle-cooldown, .spot-interval,
+  /// .spot-seed).
+  static AutoscalerOptions from_config(const Config& config);
+};
+
+class Autoscaler {
+ public:
+  /// Applies the policy immediately: workers beyond `min_workers` that are
+  /// running when elasticity takes over are parked (at t=0 this is free).
+  Autoscaler(Cluster& cluster, AutoscalerOptions options);
+
+  [[nodiscard]] const AutoscalerOptions& options() const { return options_; }
+  [[nodiscard]] int active_offloads() const { return active_; }
+  [[nodiscard]] int queued_offloads() const { return queued_; }
+
+  /// Fleet size the current demand implies: clamp((active + queued) *
+  /// workers_per_offload, min, max).
+  [[nodiscard]] int desired_workers() const;
+
+  /// Called at offload start: claims capacity, requests any needed
+  /// scale-up, and waits until enough workers are usable to place tasks.
+  /// Boot latency therefore lands on the offload critical path when the
+  /// fleet is cold and costs ~nothing when it is warm.
+  [[nodiscard]] sim::Co<Status> acquire_for_offload();
+
+  /// Called at offload end: drops the capacity claim and arms the
+  /// idle-reap timer. Any acquire before the cooldown expires cancels it.
+  void release_offload();
+
+  /// Demand hint from the admission scheduler: offloads admitted but not
+  /// yet dispatched also want capacity.
+  void set_queued_offloads(int queued);
+
+ private:
+  void request_scale_up();
+  [[nodiscard]] sim::Co<void> boot_worker(int index);
+  void reap_idle(uint64_t generation);
+  void arm_spot_timer();
+  void spot_tick();
+  void emit_decision(tools::AutoscaleInfo::Kind kind, int delta);
+
+  Cluster* cluster_;
+  sim::Engine* engine_;
+  AutoscalerOptions options_;
+  int active_ = 0;
+  int queued_ = 0;
+  uint64_t generation_ = 0;  ///< bumped on demand; stale reap timers no-op
+  bool spot_armed_ = false;
+  sim::Event capacity_changed_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace ompcloud::cloud

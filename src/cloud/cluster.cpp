@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "cloud/autoscaler.h"
+
 namespace ompcloud::cloud {
 
 SimProfile SimProfile::from_config(const Config& config) {
@@ -121,29 +123,52 @@ Cluster::Cluster(sim::Engine& engine, ClusterSpec spec, SimProfile profile)
       state_(spec_.on_the_fly ? ClusterState::kStopped
                               : ClusterState::kRunning) {
   build_topology();
+  worker_state_.assign(spec_.workers, spec_.on_the_fly
+                                          ? InstanceState::kStopped
+                                          : InstanceState::kRunning);
+  boot_epoch_.assign(spec_.workers, 0);
   if (state_ == ClusterState::kRunning) {
     // Pre-provisioned cluster: billing runs from t=0 (driver + workers).
     // Published as gauges directly (not an instance_state_change callback:
     // nothing transitioned — the fleet was already up).
     cost_.on_instances_started(spec_.workers + 1, instance_.price_per_hour);
-    publish_billing_gauges();
+    billed_instances_ = spec_.workers + 1;
   }
+  publish_billing_gauges();
+}
+
+Cluster::~Cluster() = default;
+
+Autoscaler& Cluster::enable_autoscaler(const AutoscalerOptions& options) {
+  autoscaler_ = std::make_unique<Autoscaler>(*this, options);
+  // Anchor the fleet-size timeline so analysis can integrate provisioned
+  // instance-seconds from the moment elasticity took over.
+  record_fleet_size();
+  return *autoscaler_;
 }
 
 void Cluster::set_tracer(std::shared_ptr<trace::Tracer> tracer) {
   if (tracer == nullptr) return;
   tracer_ = std::move(tracer);
   store_->set_tracer(tracer_.get());
-  if (state_ == ClusterState::kRunning) {
-    // The constructor published these gauges on the tracer we just replaced.
-    publish_billing_gauges();
-  }
+  // The constructor published these gauges on the tracer we just replaced.
+  publish_billing_gauges();
 }
 
 void Cluster::publish_billing_gauges() {
-  tracer_->metrics().gauge("cluster.billing_instances").set(spec_.workers + 1);
+  tracer_->metrics().gauge("cluster.billing_instances").set(billed_instances_);
   tracer_->metrics().gauge("cluster.price_per_hour")
       .set(instance_.price_per_hour);
+  tracer_->metrics().gauge("cluster.workers_provisioned").set(spec_.workers);
+  tracer_->metrics().gauge("cluster.cores_per_worker")
+      .set(instance_.physical_cores);
+}
+
+void Cluster::record_fleet_size() {
+  trace::SpanHandle span = tracer_->span("cluster.workers");
+  span.add("running", running_worker_count());
+  span.add("booting", booting_worker_count());
+  span.end();
 }
 
 std::string Cluster::worker_node(int index) const {
@@ -218,37 +243,187 @@ void Cluster::build_topology() {
 }
 
 sim::Co<Status> Cluster::ensure_running() {
-  if (state_ == ClusterState::kRunning) co_return Status::ok();
+  std::vector<int> to_boot;
+  for (int w = 0; w < spec_.workers; ++w) {
+    if (worker_state_[w] == InstanceState::kStopped) to_boot.push_back(w);
+  }
+  const bool boot_driver = state_ == ClusterState::kStopped;
+  if (!boot_driver && to_boot.empty()) co_return Status::ok();
+  const int count = static_cast<int>(to_boot.size()) + (boot_driver ? 1 : 0);
   trace::SpanHandle span =
       tracer_->span("cluster.boot", tracer_->take_ambient());
   span.tag("instance_type", spec_.instance_type);
-  span.add("instances", spec_.workers + 1);
+  span.add("instances", count);
   span.add("price_per_hour", instance_.price_per_hour);
   // All instances boot in parallel; the cluster is usable when the slowest
   // is up. Billing starts at the boot request (as EC2 bills). The boots
   // counter and billing gauges derive from this callback (MetricsTool).
-  cost_.on_instances_started(spec_.workers + 1, instance_.price_per_hour);
-  tracer_->tools().emit_instance_state_change(
-      {tools::InstanceStateInfo::Kind::kBoot, spec_.workers + 1,
-       instance_.price_per_hour, spec_.instance_type, engine_->now()});
+  cost_.on_instances_started(count, instance_.price_per_hour);
+  billed_instances_ += count;
+  for (int w : to_boot) {
+    worker_state_[w] = InstanceState::kBooting;
+    worker_alive_[w] = true;
+  }
+  tools::InstanceStateInfo info;
+  info.kind = tools::InstanceStateInfo::Kind::kBoot;
+  info.instances = count;
+  info.price_per_hour = instance_.price_per_hour;
+  info.instance_type = spec_.instance_type;
+  info.billing_after = billed_instances_;
+  info.time = engine_->now();
+  tracer_->tools().emit_instance_state_change(info);
+  record_fleet_size();
   co_await engine_->sleep(instance_.boot_seconds);
+  for (int w : to_boot) {
+    if (worker_state_[w] == InstanceState::kBooting) {
+      worker_state_[w] = InstanceState::kRunning;
+    }
+  }
   state_ = ClusterState::kRunning;
+  record_fleet_size();
   co_return Status::ok();
 }
 
 sim::Co<Status> Cluster::shutdown() {
-  if (state_ == ClusterState::kStopped) co_return Status::ok();
+  std::vector<int> to_stop;
+  for (int w = 0; w < spec_.workers; ++w) {
+    if (worker_state_[w] != InstanceState::kStopped) to_stop.push_back(w);
+  }
+  const bool stop_driver = state_ == ClusterState::kRunning;
+  if (!stop_driver && to_stop.empty()) co_return Status::ok();
+  const int count = static_cast<int>(to_stop.size()) + (stop_driver ? 1 : 0);
   trace::SpanHandle span =
       tracer_->span("cluster.shutdown", tracer_->take_ambient());
-  cost_.on_instances_stopped(spec_.workers + 1, instance_.price_per_hour);
+  cost_.on_instances_stopped(count, instance_.price_per_hour);
+  billed_instances_ -= count;
+  for (int w : to_stop) worker_state_[w] = InstanceState::kStopped;
   state_ = ClusterState::kStopped;
-  tracer_->tools().emit_instance_state_change(
-      {tools::InstanceStateInfo::Kind::kStop, spec_.workers + 1,
-       instance_.price_per_hour, spec_.instance_type, engine_->now()});
+  tools::InstanceStateInfo info;
+  info.kind = tools::InstanceStateInfo::Kind::kStop;
+  info.instances = count;
+  info.price_per_hour = instance_.price_per_hour;
+  info.instance_type = spec_.instance_type;
+  info.billing_after = billed_instances_;
+  info.time = engine_->now();
+  tracer_->tools().emit_instance_state_change(info);
   tracer_->metrics().gauge("cluster.accrued_usd").set(cost_.accrued_usd());
+  record_fleet_size();
   // Stop requests return quickly; we do not model the async spin-down tail.
   co_await engine_->sleep(0.5);
   co_return Status::ok();
+}
+
+InstanceState Cluster::worker_state(int index) const {
+  assert(index >= 0 && index < spec_.workers);
+  return worker_state_[index];
+}
+
+int Cluster::running_worker_count() const {
+  int count = 0;
+  for (InstanceState state : worker_state_) {
+    if (state == InstanceState::kRunning) ++count;
+  }
+  return count;
+}
+
+int Cluster::booting_worker_count() const {
+  int count = 0;
+  for (InstanceState state : worker_state_) {
+    if (state == InstanceState::kBooting) ++count;
+  }
+  return count;
+}
+
+int Cluster::usable_worker_count() const {
+  int count = 0;
+  for (int w = 0; w < spec_.workers; ++w) {
+    if (worker_usable(w)) ++count;
+  }
+  return count;
+}
+
+sim::Co<Status> Cluster::start_worker(int index) {
+  if (index < 0 || index >= spec_.workers) {
+    co_return invalid_argument("start_worker: index out of range");
+  }
+  if (worker_state_[index] != InstanceState::kStopped) {
+    co_return failed_precondition("worker " + std::to_string(index) +
+                                  " is not stopped");
+  }
+  // A dead slot gets a replacement VM: alive again once the boot completes.
+  worker_alive_[index] = true;
+  worker_state_[index] = InstanceState::kBooting;
+  const uint64_t epoch = ++boot_epoch_[index];
+  cost_.on_instances_started(1, instance_.price_per_hour);
+  ++billed_instances_;
+  trace::SpanHandle span = tracer_->span("instance.boot");
+  span.tag("worker", std::to_string(index));
+  span.add("price_per_hour", instance_.price_per_hour);
+  tools::InstanceStateInfo info;
+  info.kind = tools::InstanceStateInfo::Kind::kBoot;
+  info.instances = 1;
+  info.price_per_hour = instance_.price_per_hour;
+  info.instance_type = spec_.instance_type;
+  info.worker = index;
+  info.billing_after = billed_instances_;
+  info.time = engine_->now();
+  tracer_->tools().emit_instance_state_change(info);
+  record_fleet_size();
+  co_await engine_->sleep(instance_.boot_seconds);
+  // The instance may have been stopped, preempted, or re-booted while this
+  // boot slept; only the newest boot may flip the slot to running.
+  if (worker_state_[index] == InstanceState::kBooting &&
+      boot_epoch_[index] == epoch) {
+    worker_state_[index] = InstanceState::kRunning;
+    record_fleet_size();
+  }
+  co_return Status::ok();
+}
+
+Status Cluster::stop_worker(int index) {
+  if (index < 0 || index >= spec_.workers) {
+    return invalid_argument("stop_worker: index out of range");
+  }
+  if (worker_state_[index] == InstanceState::kStopped) return Status::ok();
+  worker_state_[index] = InstanceState::kStopped;
+  cost_.on_instances_stopped(1, instance_.price_per_hour);
+  --billed_instances_;
+  (void)tracer_->instant("instance.stop",
+                         {{"worker", std::to_string(index)}});
+  tools::InstanceStateInfo info;
+  info.kind = tools::InstanceStateInfo::Kind::kStop;
+  info.instances = 1;
+  info.price_per_hour = instance_.price_per_hour;
+  info.instance_type = spec_.instance_type;
+  info.worker = index;
+  info.billing_after = billed_instances_;
+  info.time = engine_->now();
+  tracer_->tools().emit_instance_state_change(info);
+  record_fleet_size();
+  return Status::ok();
+}
+
+void Cluster::preempt_worker(int index) {
+  assert(index >= 0 && index < spec_.workers);
+  if (worker_state_[index] == InstanceState::kStopped) return;
+  worker_state_[index] = InstanceState::kStopped;
+  cost_.on_instances_stopped(1, instance_.price_per_hour);
+  --billed_instances_;
+  // The slot goes dead exactly like a hard failure: in-flight tasks on it
+  // fail and retry elsewhere through Spark's lineage path.
+  kill_worker(index);
+  (void)tracer_->instant("instance.preempt",
+                         {{"worker", std::to_string(index)}});
+  tools::InstanceStateInfo info;
+  info.kind = tools::InstanceStateInfo::Kind::kPreempt;
+  info.instances = 1;
+  info.price_per_hour = instance_.price_per_hour;
+  info.instance_type = spec_.instance_type;
+  info.worker = index;
+  info.billing_after = billed_instances_;
+  info.time = engine_->now();
+  tracer_->tools().emit_instance_state_change(info);
+  record_fleet_size();
 }
 
 sim::Co<Status> Cluster::ssh_submit_roundtrip() {

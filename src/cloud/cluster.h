@@ -93,9 +93,14 @@ struct ClusterSpec {
   static Result<ClusterSpec> from_config(const Config& config);
 };
 
-/// Lifecycle states for the whole cluster (all instances move together, as
-/// cgcloud scripts do).
+/// Lifecycle states for the driver / the cluster as a whole.
 enum class ClusterState { kStopped, kRunning };
+
+/// Lifecycle of one worker instance (per-instance elasticity, §III-A's
+/// "start/stop EC2 instances on the fly" at single-VM granularity).
+enum class InstanceState { kStopped, kBooting, kRunning };
+
+class Autoscaler;
 
 class Cluster {
  public:
@@ -104,6 +109,7 @@ class Cluster {
   /// assumes a pre-provisioned, already-running cluster (the paper's
   /// default setup: the user ran cgcloud beforehand).
   Cluster(sim::Engine& engine, ClusterSpec spec, SimProfile profile);
+  ~Cluster();
 
   [[nodiscard]] sim::Engine& engine() { return *engine_; }
   [[nodiscard]] net::Network& network() { return *network_; }
@@ -148,12 +154,52 @@ class Cluster {
   [[nodiscard]] ClusterState state() const { return state_; }
   [[nodiscard]] bool running() const { return state_ == ClusterState::kRunning; }
 
-  /// Boots all instances if stopped (cold-start latency + billing starts).
-  /// No-op when already running.
+  /// Boots the driver and every stopped worker (cold-start latency +
+  /// billing starts). No-op when everything is already running.
   [[nodiscard]] sim::Co<Status> ensure_running();
 
-  /// Stops all instances (billing stops). Only meaningful with on_the_fly.
+  /// Stops every running instance (billing stops). Only meaningful with
+  /// on_the_fly or elastic operation.
   [[nodiscard]] sim::Co<Status> shutdown();
+
+  // --- Per-instance elasticity -------------------------------------------
+  // Workers start and stop individually; the driver follows the cluster
+  // state. Billing is metered per instance from the boot request (as EC2
+  // bills) to the stop request.
+
+  [[nodiscard]] InstanceState worker_state(int index) const;
+  [[nodiscard]] bool worker_running(int index) const {
+    return worker_state(index) == InstanceState::kRunning;
+  }
+  /// Alive (not failed/preempted) *and* running — what the Spark scheduler
+  /// consults before placing a task.
+  [[nodiscard]] bool worker_usable(int index) const {
+    return worker_alive(index) && worker_running(index);
+  }
+  [[nodiscard]] int running_worker_count() const;
+  [[nodiscard]] int booting_worker_count() const;
+  [[nodiscard]] int usable_worker_count() const;
+
+  /// Boots one worker instance: billing starts now, the worker becomes
+  /// usable after the flavor's boot latency. Booting a dead (failed or
+  /// preempted) worker provisions a replacement VM in the same slot, so the
+  /// index becomes alive again. Fails on a worker that is not stopped.
+  [[nodiscard]] sim::Co<Status> start_worker(int index);
+
+  /// Stops one running worker (billing stops immediately). Tasks already
+  /// placed on its CPU pool keep running; the Spark scheduler consults
+  /// `worker_usable` before placing new ones.
+  Status stop_worker(int index);
+
+  /// Spot-style preemption: the instance is reclaimed mid-flight — billing
+  /// stops, the worker goes dead (feeding the task-retry fault-tolerance
+  /// path), and only a fresh `start_worker` revives the slot.
+  void preempt_worker(int index);
+
+  /// The optional elasticity policy driving start/stop decisions. Created
+  /// by `enable_autoscaler`; null until then.
+  [[nodiscard]] Autoscaler* autoscaler() { return autoscaler_.get(); }
+  Autoscaler& enable_autoscaler(const struct AutoscalerOptions& options);
 
   /// SSH control round-trip from the host to the driver: how the plugin
   /// submits Spark jobs (§III-A step 3). Pays WAN RTT + submit latency.
@@ -171,6 +217,10 @@ class Cluster {
   /// Publishes cluster.billing_instances / cluster.price_per_hour on the
   /// current tracer (pre-provisioned clusters, where no boot event fires).
   void publish_billing_gauges();
+  /// Drops a zero-duration "cluster.workers" span carrying the current
+  /// running/booting counts: the step timeline trace/analysis integrates
+  /// into provisioned instance-seconds and utilization.
+  void record_fleet_size();
 
   sim::Engine* engine_;
   ClusterSpec spec_;
@@ -183,8 +233,14 @@ class Cluster {
   std::unique_ptr<sim::CpuPool> driver_pool_;
   std::unique_ptr<sim::CpuPool> host_pool_;
   std::vector<bool> worker_alive_;
+  std::vector<InstanceState> worker_state_;
+  /// Per-slot boot sequence: a boot completing only marks the worker
+  /// running if no preemption/stop/reboot intervened while it slept.
+  std::vector<uint64_t> boot_epoch_;
   CostMeter cost_;
   ClusterState state_;
+  int billed_instances_ = 0;  ///< instances currently metered (driver incl.)
+  std::unique_ptr<Autoscaler> autoscaler_;
 };
 
 }  // namespace ompcloud::cloud

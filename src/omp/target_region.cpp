@@ -91,6 +91,11 @@ TargetRegion& TargetRegion::device(int device_id) {
   return *this;
 }
 
+TargetRegion& TargetRegion::tenant(std::string name) {
+  tenant_ = name.empty() ? "default" : std::move(name);
+  return *this;
+}
+
 VarHandle TargetRegion::add_var(const std::string& name, void* data,
                                 uint64_t bytes, omptarget::MapType type) {
   region_.vars.push_back({name, data, bytes, type});
@@ -133,7 +138,8 @@ Result<omptarget::TargetRegion> TargetRegion::lower() const {
 
 sim::Co<Result<omptarget::OffloadReport>> TargetRegion::execute() {
   OC_CO_ASSIGN_OR_RETURN(omptarget::TargetRegion lowered, lower());
-  co_return co_await devices_->offload(std::move(lowered), device_id_);
+  co_return co_await devices_->offload_queued(std::move(lowered), device_id_,
+                                              tenant_);
 }
 
 Result<omptarget::OffloadReport> TargetRegion::Async::result() const {

@@ -90,6 +90,11 @@ class TargetRegion {
   /// device(N) clause. Defaults to the host device.
   TargetRegion& device(int device_id);
 
+  /// Tenant (scheduling pool) this region is attributed to when the device
+  /// manager has an admission scheduler in FAIR mode. Defaults to
+  /// "default".
+  TargetRegion& tenant(std::string name);
+
   /// map clauses; `count` is in elements of T.
   template <typename T>
   VarHandle map_to(const std::string& name, const T* data, size_t count) {
@@ -154,6 +159,7 @@ class TargetRegion {
 
   [[nodiscard]] int device_id() const { return device_id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& tenant() const { return tenant_; }
 
  private:
   friend class ParallelFor;
@@ -162,6 +168,7 @@ class TargetRegion {
 
   omptarget::DeviceManager* devices_;
   std::string name_;
+  std::string tenant_ = "default";
   int device_id_ = omptarget::DeviceManager::host_device_id();
   omptarget::TargetRegion region_;
   Status poison_ = Status::ok();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "cloud/autoscaler.h"
 #include "compress/payload.h"
 #include "support/strings.h"
 #include "tools/tools.h"
@@ -98,6 +99,13 @@ Result<std::unique_ptr<CloudPlugin>> CloudPlugin::from_config(
   OC_ASSIGN_OR_RETURN(spark::SparkConf conf, spark::SparkConf::from_config(config));
   OC_ASSIGN_OR_RETURN(CloudPluginOptions options,
                       CloudPluginOptions::from_config(config));
+  cloud::AutoscalerOptions autoscale =
+      cloud::AutoscalerOptions::from_config(config);
+  if (autoscale.enabled && spec.on_the_fly) {
+    return invalid_argument(
+        "autoscale.enabled and cluster.on-the-fly are mutually exclusive: "
+        "elastic mode keeps the driver up and scales workers individually");
+  }
   auto cluster = std::make_unique<cloud::Cluster>(
       engine, std::move(spec), cloud::SimProfile::from_config(config));
   auto plugin = std::make_unique<CloudPlugin>(*cluster, std::move(conf),
@@ -105,6 +113,7 @@ Result<std::unique_ptr<CloudPlugin>> CloudPlugin::from_config(
   plugin->owned_cluster_ = std::move(cluster);
   plugin->configured_trace_ = trace::TraceOptions::from_config(config);
   plugin->cluster_->tracer().configure(*plugin->configured_trace_);
+  if (autoscale.enabled) plugin->cluster_->enable_autoscaler(autoscale);
   return plugin;
 }
 
@@ -819,8 +828,22 @@ sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
     }
   }
 
-  // On-the-fly EC2 start (§III-A): boot, billed from here.
-  if (!cluster_->running()) {
+  // Capacity acquisition. Elastic fleets (autoscaler) claim workers per
+  // offload: any scale-up boot latency sits on the offload critical path,
+  // under the same `boot` span the on-the-fly whole-cluster start uses, so
+  // report.boot_seconds means "provisioning wait" in both modes.
+  struct CapacityClaim {
+    cloud::Autoscaler* autoscaler = nullptr;
+    ~CapacityClaim() {
+      if (autoscaler != nullptr) autoscaler->release_offload();
+    }
+  } capacity;
+  if (cloud::Autoscaler* autoscaler = cluster_->autoscaler()) {
+    trace::SpanHandle boot = tr.span("boot", root);
+    OC_CO_RETURN_IF_ERROR(co_await autoscaler->acquire_for_offload());
+    capacity.autoscaler = autoscaler;
+  } else if (!cluster_->running()) {
+    // On-the-fly EC2 start (§III-A): boot everything, billed from here.
     if (!cluster_->spec().on_the_fly) {
       co_return unavailable("cluster stopped and on-the-fly mode disabled");
     }

@@ -1,6 +1,7 @@
 #include "omptarget/device.h"
 
 #include "omptarget/host_plugin.h"
+#include "omptarget/scheduler.h"
 #include "support/strings.h"
 
 namespace ompcloud::omptarget {
@@ -99,6 +100,21 @@ void DeviceManager::set_host_device(std::unique_ptr<Plugin> plugin) {
   }
   tracer_->tools().emit_device_init(
       {host_device_id(), devices_[0]->name(), engine_->now()});
+}
+
+OffloadScheduler& DeviceManager::configure_scheduler(
+    const SchedulerOptions& options) {
+  scheduler_ = std::make_unique<OffloadScheduler>(*this, options);
+  return *scheduler_;
+}
+
+sim::Co<Result<OffloadReport>> DeviceManager::offload_queued(
+    TargetRegion region, int device_id, std::string tenant) {
+  if (scheduler_ != nullptr) {
+    co_return co_await scheduler_->submit(std::move(region), device_id,
+                                          std::move(tenant));
+  }
+  co_return co_await offload(std::move(region), device_id);
 }
 
 sim::Co<Result<OffloadReport>> DeviceManager::offload(TargetRegion region,

@@ -20,6 +20,9 @@
 
 namespace ompcloud::omptarget {
 
+class OffloadScheduler;
+struct SchedulerOptions;
+
 /// OpenMP map-type of one variable (map(to:) / map(from:) / map(tofrom:) /
 /// device-only allocation).
 enum class MapType { kTo, kFrom, kToFrom, kAlloc };
@@ -149,6 +152,18 @@ class DeviceManager {
   [[nodiscard]] sim::Co<Result<OffloadReport>> offload(TargetRegion region,
                                                        int device_id);
 
+  /// Installs an admission scheduler (FIFO/FAIR multi-tenant queue),
+  /// replacing any previous one — only call while no submission is in
+  /// flight.
+  OffloadScheduler& configure_scheduler(const SchedulerOptions& options);
+  /// The installed scheduler; null when offloads dispatch directly.
+  [[nodiscard]] OffloadScheduler* scheduler() { return scheduler_.get(); }
+
+  /// Routes through the admission scheduler when one is configured (with
+  /// the tenant attributed for FAIR sharing), else straight to `offload`.
+  [[nodiscard]] sim::Co<Result<OffloadReport>> offload_queued(
+      TargetRegion region, int device_id, std::string tenant = "default");
+
   [[nodiscard]] sim::Engine& engine() { return *engine_; }
 
   /// The tracer shared by every registered device (created by the
@@ -162,6 +177,7 @@ class DeviceManager {
   sim::Engine* engine_;
   std::shared_ptr<trace::Tracer> tracer_;
   std::vector<std::unique_ptr<Plugin>> devices_;
+  std::unique_ptr<OffloadScheduler> scheduler_;
 };
 
 }  // namespace ompcloud::omptarget

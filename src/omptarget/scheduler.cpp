@@ -1,0 +1,162 @@
+#include "omptarget/scheduler.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace ompcloud::omptarget {
+
+std::string_view to_string(SchedulerOptions::Mode mode) {
+  switch (mode) {
+    case SchedulerOptions::Mode::kFifo: return "fifo";
+    case SchedulerOptions::Mode::kFair: return "fair";
+  }
+  return "?";
+}
+
+double SchedulerOptions::weight_for(std::string_view tenant) const {
+  for (const auto& [name, weight] : tenant_weights) {
+    if (name == tenant) return weight > 0 ? weight : default_weight;
+  }
+  return default_weight > 0 ? default_weight : 1.0;
+}
+
+Result<SchedulerOptions> SchedulerOptions::from_config(const Config& config) {
+  SchedulerOptions options;
+  std::string mode = config.get_string("scheduler.mode", "fifo");
+  if (mode == "fifo" || mode == "FIFO") {
+    options.mode = Mode::kFifo;
+  } else if (mode == "fair" || mode == "FAIR") {
+    options.mode = Mode::kFair;
+  } else {
+    return invalid_argument("scheduler.mode must be fifo|fair, got '" + mode +
+                            "'");
+  }
+  options.max_concurrent = static_cast<int>(
+      config.get_int("scheduler.max-concurrent", options.max_concurrent));
+  options.default_weight =
+      config.get_double("scheduler.default-weight", options.default_weight);
+  if (options.default_weight <= 0) {
+    return invalid_argument("scheduler.default-weight must be positive");
+  }
+  // Per-tenant pool weights: one `weight.<tenant>` key per pool.
+  for (const std::string& key : config.keys_in("scheduler")) {
+    constexpr std::string_view kPrefix = "weight.";
+    if (key.size() <= kPrefix.size() || key.compare(0, kPrefix.size(), kPrefix) != 0) {
+      continue;
+    }
+    std::string tenant = key.substr(kPrefix.size());
+    double weight = config.get_double("scheduler." + key, 0);
+    if (weight <= 0) {
+      return invalid_argument("scheduler." + key + " must be positive");
+    }
+    options.tenant_weights.emplace_back(std::move(tenant), weight);
+  }
+  return options;
+}
+
+OffloadScheduler::OffloadScheduler(DeviceManager& manager,
+                                   SchedulerOptions options)
+    : manager_(&manager), options_(std::move(options)) {}
+
+sim::Co<Result<OffloadReport>> OffloadScheduler::submit(TargetRegion region,
+                                                        int device_id,
+                                                        std::string tenant) {
+  Pending pending;
+  pending.seq = ++next_seq_;
+  pending.region = std::move(region);
+  pending.device_id = device_id;
+  pending.tenant = tenant.empty() ? "default" : std::move(tenant);
+  pending.enqueue_time = manager_->engine().now();
+  pending.queue_span = manager_->tracer().span("sched.queue");
+  pending.queue_span.tag("region", pending.region.name);
+  pending.queue_span.tag("tenant", pending.tenant);
+  pending.done = std::make_shared<sim::Future<Result<OffloadReport>>>(
+      manager_->engine());
+  auto done = pending.done;
+  queue_.push_back(std::move(pending));
+  emit_event(tools::SchedulerEventInfo::Kind::kAdmit, queue_.back(), 0);
+  notify_demand();
+  maybe_dispatch();
+  co_await done->wait();
+  co_return done->peek();
+}
+
+void OffloadScheduler::maybe_dispatch() {
+  while (!queue_.empty() &&
+         (options_.max_concurrent <= 0 || active_ < options_.max_concurrent)) {
+    const size_t index = pick_next();
+    Pending pending = std::move(queue_[index]);
+    queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(index));
+    pending.dispatch_time = manager_->engine().now();
+    pending.queue_span.end();
+    ++active_;
+    ++running_per_tenant_[pending.tenant];
+    emit_event(tools::SchedulerEventInfo::Kind::kDispatch, pending,
+               pending.dispatch_time - pending.enqueue_time);
+    notify_demand();
+    (void)manager_->engine().spawn(run_one(std::move(pending)));
+  }
+}
+
+size_t OffloadScheduler::pick_next() const {
+  if (options_.mode == SchedulerOptions::Mode::kFifo) return 0;
+  // FAIR: dispatch the tenant with the lowest weighted share of in-flight
+  // offloads; within a tenant, oldest submission first (queue_ holds
+  // ascending seq, so the first hit per tenant is its oldest).
+  size_t best = 0;
+  double best_share = 0;
+  bool have_best = false;
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    const Pending& pending = queue_[i];
+    auto it = running_per_tenant_.find(pending.tenant);
+    const int running = it == running_per_tenant_.end() ? 0 : it->second;
+    const double share =
+        static_cast<double>(running) / options_.weight_for(pending.tenant);
+    if (!have_best || share < best_share) {
+      have_best = true;
+      best_share = share;
+      best = i;
+    }
+  }
+  return best;
+}
+
+sim::Co<void> OffloadScheduler::run_one(Pending pending) {
+  const std::string region_name = pending.region.name;
+  auto result =
+      co_await manager_->offload(std::move(pending.region), pending.device_id);
+  pending.region.name = region_name;  // restore for the completion event
+  active_ = std::max(0, active_ - 1);
+  if (auto it = running_per_tenant_.find(pending.tenant);
+      it != running_per_tenant_.end() && it->second > 0) {
+    --it->second;
+  }
+  emit_event(tools::SchedulerEventInfo::Kind::kComplete, pending,
+             pending.dispatch_time - pending.enqueue_time);
+  notify_demand();
+  pending.done->set(std::move(result));
+  maybe_dispatch();
+}
+
+void OffloadScheduler::emit_event(tools::SchedulerEventInfo::Kind kind,
+                                  const Pending& pending,
+                                  double wait_seconds) {
+  tools::SchedulerEventInfo info;
+  info.kind = kind;
+  info.region = pending.region.name;
+  info.tenant = pending.tenant;
+  info.queue_depth = queue_.size();
+  info.active = active_;
+  info.wait_seconds = wait_seconds;
+  info.time = manager_->engine().now();
+  manager_->tracer().tools().emit_scheduler_event(info);
+}
+
+void OffloadScheduler::notify_demand() {
+  if (demand_listener_) {
+    demand_listener_(static_cast<int>(queue_.size()), active_);
+  }
+}
+
+}  // namespace ompcloud::omptarget

@@ -1,0 +1,102 @@
+// Multi-tenant offload admission scheduler.
+//
+// Concurrent target regions (`nowait` / `execute_async`) do not hit the
+// device directly: they enter an admission queue and are dispatched under a
+// FIFO or FAIR policy, mirroring Spark's job scheduler
+// (`spark.scheduler.mode`) one level up — at the offload granularity. FAIR
+// mode implements weighted fair sharing across tenants (per-tenant pools):
+// the next region dispatched belongs to the tenant with the lowest
+// running-count/weight share, so a heavy tenant cannot starve a light one.
+//
+// Every queue transition emits an `on_scheduler_event` tool callback and
+// the queued interval is recorded as a `sched.queue` span, so queue wait is
+// first-class in traces and the derived metrics
+// (scheduler.admitted/dispatched/completed, scheduler.queue_wait_seconds).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "omptarget/device.h"
+#include "sim/engine.h"
+#include "support/config.h"
+#include "support/status.h"
+#include "trace/tracer.h"
+
+namespace ompcloud::omptarget {
+
+struct SchedulerOptions {
+  enum class Mode { kFifo, kFair };
+  Mode mode = Mode::kFifo;
+  /// Offloads allowed in flight at once; 0 = unbounded (admission queue
+  /// never holds anything back).
+  int max_concurrent = 0;
+  /// Weight for tenants without an explicit `scheduler.weight.<tenant>`.
+  double default_weight = 1.0;
+  std::vector<std::pair<std::string, double>> tenant_weights;
+
+  [[nodiscard]] double weight_for(std::string_view tenant) const;
+
+  /// Reads the `[scheduler]` section: scheduler.mode (fifo|fair, the
+  /// spark.scheduler.mode spellings FIFO|FAIR also accepted),
+  /// scheduler.max-concurrent, scheduler.default-weight, and one
+  /// scheduler.weight.<tenant> entry per tenant pool.
+  static Result<SchedulerOptions> from_config(const Config& config);
+};
+
+std::string_view to_string(SchedulerOptions::Mode mode);
+
+class OffloadScheduler {
+ public:
+  OffloadScheduler(DeviceManager& manager, SchedulerOptions options);
+
+  [[nodiscard]] const SchedulerOptions& options() const { return options_; }
+  [[nodiscard]] int active() const { return active_; }
+  [[nodiscard]] size_t queue_depth() const { return queue_.size(); }
+
+  /// Admits the region, waits for dispatch under the configured policy,
+  /// runs it through DeviceManager::offload, and returns its report.
+  [[nodiscard]] sim::Co<Result<OffloadReport>> submit(
+      TargetRegion region, int device_id, std::string tenant = "default");
+
+  /// Observer for demand changes (queued, active counts after each
+  /// transition). The elastic path wires this to
+  /// `Autoscaler::set_queued_offloads` so admission pressure drives
+  /// scale-up before dispatch.
+  void set_demand_listener(std::function<void(int queued, int active)> fn) {
+    demand_listener_ = std::move(fn);
+  }
+
+ private:
+  struct Pending {
+    uint64_t seq = 0;
+    TargetRegion region;
+    int device_id = -1;
+    std::string tenant;
+    double enqueue_time = 0;
+    double dispatch_time = 0;
+    trace::SpanHandle queue_span;
+    std::shared_ptr<sim::Future<Result<OffloadReport>>> done;
+  };
+
+  void maybe_dispatch();
+  [[nodiscard]] size_t pick_next() const;
+  [[nodiscard]] sim::Co<void> run_one(Pending pending);
+  void emit_event(tools::SchedulerEventInfo::Kind kind, const Pending& pending,
+                  double wait_seconds);
+  void notify_demand();
+
+  DeviceManager* manager_;
+  SchedulerOptions options_;
+  std::vector<Pending> queue_;
+  std::map<std::string, int> running_per_tenant_;
+  int active_ = 0;
+  uint64_t next_seq_ = 0;
+  std::function<void(int, int)> demand_listener_;
+};
+
+}  // namespace ompcloud::omptarget

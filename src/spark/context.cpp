@@ -36,7 +36,7 @@ int SparkContext::total_task_slots() const {
                                           cluster_->instance().physical_cores);
   int alive_slots = 0;
   for (int w = 0; w < cluster_->worker_count(); ++w) {
-    if (cluster_->worker_alive(w)) alive_slots += per_worker;
+    if (cluster_->worker_usable(w)) alive_slots += per_worker;
   }
   int cap = conf_.max_concurrent_tasks();
   return cap > 0 ? std::min(cap, alive_slots) : alive_slots;
@@ -148,8 +148,9 @@ sim::Co<void> run_task(LoopRun* run, int tile_index) {
     run->driver_sched->release();
     co_await engine.sleep(profile.task_launch_latency);
 
-    if (!run->cluster->worker_alive(worker)) {
-      // Executor lost: the scheduler notices at launch and retries.
+    if (!run->cluster->worker_usable(worker)) {
+      // Executor lost (failed, stopped, or preempted): the scheduler
+      // notices at launch and retries.
       ++run->metrics->task_retries;
       if (attempts >= run->conf->task_max_failures) {
         final_status = internal_error(
@@ -588,7 +589,7 @@ sim::Co<Status> SparkContext::run_loop(const JobSpec& spec,
   run.task_status.assign(run.tiles.size(), Status::ok());
 
   for (int w = 0; w < cluster_->worker_count(); ++w) {
-    if (cluster_->worker_alive(w)) run.alive_workers.push_back(w);
+    if (cluster_->worker_usable(w)) run.alive_workers.push_back(w);
   }
   if (run.alive_workers.empty()) co_return unavailable("no alive workers");
   run.tile_worker.resize(run.tiles.size());

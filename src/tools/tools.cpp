@@ -14,6 +14,33 @@ std::string_view to_string(DataOpKind kind) {
   return "?";
 }
 
+std::string_view to_string(InstanceStateInfo::Kind kind) {
+  switch (kind) {
+    case InstanceStateInfo::Kind::kBoot: return "boot";
+    case InstanceStateInfo::Kind::kStop: return "stop";
+    case InstanceStateInfo::Kind::kPreempt: return "preempt";
+  }
+  return "?";
+}
+
+std::string_view to_string(AutoscaleInfo::Kind kind) {
+  switch (kind) {
+    case AutoscaleInfo::Kind::kScaleUp: return "scale_up";
+    case AutoscaleInfo::Kind::kScaleDown: return "scale_down";
+    case AutoscaleInfo::Kind::kPreempt: return "preempt";
+  }
+  return "?";
+}
+
+std::string_view to_string(SchedulerEventInfo::Kind kind) {
+  switch (kind) {
+    case SchedulerEventInfo::Kind::kAdmit: return "admit";
+    case SchedulerEventInfo::Kind::kDispatch: return "dispatch";
+    case SchedulerEventInfo::Kind::kComplete: return "complete";
+  }
+  return "?";
+}
+
 void ToolRegistry::attach(Tool* tool) {
   if (tool == nullptr) return;
   if (std::find(tools_.begin(), tools_.end(), tool) != tools_.end()) return;
@@ -54,6 +81,14 @@ void ToolRegistry::emit_kernel_complete(const KernelInfo& info) {
 
 void ToolRegistry::emit_instance_state_change(const InstanceStateInfo& info) {
   for (Tool* tool : tools_) tool->on_instance_state_change(info);
+}
+
+void ToolRegistry::emit_autoscale_decision(const AutoscaleInfo& info) {
+  for (Tool* tool : tools_) tool->on_autoscale_decision(info);
+}
+
+void ToolRegistry::emit_scheduler_event(const SchedulerEventInfo& info) {
+  for (Tool* tool : tools_) tool->on_scheduler_event(info);
 }
 
 }  // namespace ompcloud::tools

@@ -93,15 +93,53 @@ struct KernelInfo {
   double time = 0;   ///< submit instant / completion instant
 };
 
-/// Cluster instance lifecycle (the paper's on-the-fly EC2 start/stop).
+/// Cluster instance lifecycle (the paper's on-the-fly EC2 start/stop, plus
+/// per-instance elasticity: individual worker boots, stops, and spot-style
+/// preemptions).
 struct InstanceStateInfo {
-  enum class Kind { kBoot, kStop };
+  enum class Kind { kBoot, kStop, kPreempt };
   Kind kind = Kind::kBoot;
-  int instances = 0;  ///< driver + workers affected by the transition
+  int instances = 0;  ///< instances affected by this transition
   double price_per_hour = 0;  ///< per instance
   std::string_view instance_type;
+  /// Worker index for single-instance transitions; -1 for whole-cluster
+  /// transitions (ensure_running/shutdown) and the driver.
+  int worker = -1;
+  /// Instances billed after the transition settles (driver included), so
+  /// observers can track the fleet size without replaying history.
+  int billing_after = 0;
   double time = 0;
 };
+
+std::string_view to_string(InstanceStateInfo::Kind kind);
+
+/// One autoscaler decision (scale-up, idle reap, or spot preemption).
+struct AutoscaleInfo {
+  enum class Kind { kScaleUp, kScaleDown, kPreempt };
+  Kind kind = Kind::kScaleUp;
+  int delta = 0;            ///< workers added (up) or removed (down/preempt)
+  int running_workers = 0;  ///< running workers after the decision
+  int booting_workers = 0;  ///< still booting after the decision
+  int active_offloads = 0;  ///< offloads holding capacity
+  int queued_offloads = 0;  ///< offloads waiting in the admission queue
+  double time = 0;
+};
+
+std::string_view to_string(AutoscaleInfo::Kind kind);
+
+/// One admission-queue transition of the offload scheduler.
+struct SchedulerEventInfo {
+  enum class Kind { kAdmit, kDispatch, kComplete };
+  Kind kind = Kind::kAdmit;
+  std::string_view region;
+  std::string_view tenant;
+  uint64_t queue_depth = 0;  ///< queued submissions after this event
+  int active = 0;            ///< in-flight offloads after this event
+  double wait_seconds = 0;   ///< dispatch/complete: time spent queued
+  double time = 0;
+};
+
+std::string_view to_string(SchedulerEventInfo::Kind kind);
 
 /// Observer base class: override the callbacks you care about. Tools are
 /// borrowed (not owned) by the registry and must outlive it or detach.
@@ -117,6 +155,8 @@ class Tool {
   virtual void on_kernel_submit(const KernelInfo&) {}
   virtual void on_kernel_complete(const KernelInfo&) {}
   virtual void on_instance_state_change(const InstanceStateInfo&) {}
+  virtual void on_autoscale_decision(const AutoscaleInfo&) {}
+  virtual void on_scheduler_event(const SchedulerEventInfo&) {}
 };
 
 /// Registration + dispatch. Tools fire in attach order (deterministic);
@@ -138,6 +178,8 @@ class ToolRegistry {
   void emit_kernel_submit(const KernelInfo& info);
   void emit_kernel_complete(const KernelInfo& info);
   void emit_instance_state_change(const InstanceStateInfo& info);
+  void emit_autoscale_decision(const AutoscaleInfo& info);
+  void emit_scheduler_event(const SchedulerEventInfo& info);
 
  private:
   std::vector<Tool*> tools_;

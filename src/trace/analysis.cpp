@@ -405,4 +405,164 @@ std::string OffloadAnalysis::to_text() const {
   return out;
 }
 
+ClusterScalingAnalysis TraceAnalyzer::analyze_cluster() const {
+  ClusterScalingAnalysis analysis;
+
+  // Horizon: t=0 through the last closed span end anywhere in the trace —
+  // the window over which a static fleet would have been billed.
+  for (const Span* span : query_.all()) {
+    if (!span->closed()) continue;
+    analysis.horizon_seconds =
+        std::max(analysis.horizon_seconds, quantized_interval(*span).second);
+  }
+
+  const auto& gauges = tracer_->metrics().gauges();
+  auto gauge = [&gauges](const char* name) {
+    auto it = gauges.find(name);
+    return it == gauges.end() ? 0.0 : quantize_value(it->second.value());
+  };
+  double workers_provisioned = gauge("cluster.workers_provisioned");
+  analysis.cores_per_worker = gauge("cluster.cores_per_worker");
+
+  // Fleet timeline: each `cluster.workers` marker records the fleet size
+  // (running + booting) right after a transition; the level holds until the
+  // next marker. Before the first marker the fleet is empty (elastic and
+  // on-the-fly clusters record their initial size at creation).
+  struct FleetEvent {
+    double time;
+    double level;
+  };
+  std::vector<FleetEvent> events;
+  for (const Span* span : query_.named("cluster.workers")) {
+    double level = quantize_value(span->value_or("running", 0)) +
+                   quantize_value(span->value_or("booting", 0));
+    events.push_back({quantize_time(span->start), level});
+  }
+  // Ties must keep recording order (a scale-down parks workers one at a
+  // time at the same instant; only the last level of such a cascade is a
+  // state the fleet actually held for any time).
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FleetEvent& a, const FleetEvent& b) {
+                     return a.time < b.time;
+                   });
+  if (!events.empty()) {
+    analysis.found = true;
+    double level = 0;
+    double cursor = 0;
+    for (size_t i = 0; i < events.size();) {
+      const double time = events[i].time;
+      double until = std::min(time, analysis.horizon_seconds);
+      if (until > cursor) {
+        analysis.provisioned_worker_seconds += level * (until - cursor);
+        cursor = until;
+      }
+      while (i < events.size() && events[i].time == time) ++i;
+      const double next = events[i - 1].level;  // cascade collapses to last
+      if (next != level) analysis.elastic = true;
+      level = next;
+      analysis.peak_workers = std::max(analysis.peak_workers, level);
+    }
+    if (analysis.horizon_seconds > cursor) {
+      analysis.provisioned_worker_seconds +=
+          level * (analysis.horizon_seconds - cursor);
+    }
+  } else if (workers_provisioned > 0) {
+    // Static always-on cluster: constant fleet for the whole horizon.
+    analysis.found = true;
+    analysis.peak_workers = workers_provisioned;
+    analysis.provisioned_worker_seconds =
+        workers_provisioned * analysis.horizon_seconds;
+  }
+  if (analysis.horizon_seconds > 0) {
+    analysis.avg_workers =
+        analysis.provisioned_worker_seconds / analysis.horizon_seconds;
+  }
+
+  // Busy time: what the Spark tasks actually consumed, against the capacity
+  // that was provisioned to run them.
+  for (const Span* span : query_.with_prefix("task[")) {
+    if (!span->closed()) continue;
+    auto [qs, qe] = quantized_interval(*span);
+    analysis.busy_core_seconds += qe - qs;
+  }
+  double capacity =
+      analysis.provisioned_worker_seconds * analysis.cores_per_worker;
+  if (capacity > 0) {
+    analysis.utilization =
+        std::min(1.0, analysis.busy_core_seconds / capacity);
+  }
+
+  analysis.scale_ups = query_.named("autoscale.up").size();
+  analysis.scale_downs = query_.named("autoscale.down").size();
+  analysis.preemptions = query_.named("autoscale.preempt").size();
+
+  analysis.static_worker_seconds =
+      workers_provisioned * analysis.horizon_seconds;
+  if (analysis.static_worker_seconds > 0) {
+    analysis.scaling_savings = 1.0 - analysis.provisioned_worker_seconds /
+                                         analysis.static_worker_seconds;
+    if (analysis.scaling_savings < 0) analysis.scaling_savings = 0;
+  }
+  return analysis;
+}
+
+std::string ClusterScalingAnalysis::to_json(int indent) const {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  std::string json = "{\n";
+  json += str_format("%s  \"found\": %s,\n", pad.c_str(),
+                     found ? "true" : "false");
+  json += str_format("%s  \"elastic\": %s,\n", pad.c_str(),
+                     elastic ? "true" : "false");
+  json += str_format("%s  \"horizon_seconds\": %.9g,\n", pad.c_str(),
+                     horizon_seconds);
+  json += str_format("%s  \"avg_workers\": %.9g,\n", pad.c_str(), avg_workers);
+  json += str_format("%s  \"peak_workers\": %.9g,\n", pad.c_str(),
+                     peak_workers);
+  json += str_format("%s  \"provisioned_worker_seconds\": %.9g,\n",
+                     pad.c_str(), provisioned_worker_seconds);
+  json += str_format("%s  \"busy_core_seconds\": %.9g,\n", pad.c_str(),
+                     busy_core_seconds);
+  json += str_format("%s  \"cores_per_worker\": %.9g,\n", pad.c_str(),
+                     cores_per_worker);
+  json += str_format("%s  \"utilization\": %.9g,\n", pad.c_str(), utilization);
+  json += str_format(
+      "%s  \"scaling\": {\"scale_ups\": %llu, \"scale_downs\": %llu, "
+      "\"preemptions\": %llu},\n",
+      pad.c_str(), static_cast<unsigned long long>(scale_ups),
+      static_cast<unsigned long long>(scale_downs),
+      static_cast<unsigned long long>(preemptions));
+  json += str_format("%s  \"static_worker_seconds\": %.9g,\n", pad.c_str(),
+                     static_worker_seconds);
+  json += str_format("%s  \"scaling_savings\": %.9g\n", pad.c_str(),
+                     scaling_savings);
+  json += str_format("%s}", pad.c_str());
+  return json;
+}
+
+std::string ClusterScalingAnalysis::to_text() const {
+  if (!found) return "cluster: no fleet information in trace\n";
+  std::string out = str_format(
+      "cluster (%s) — horizon %.6f s\n", elastic ? "elastic" : "static",
+      horizon_seconds);
+  out += str_format(
+      "  fleet: avg %.3f workers, peak %.9g, %.6f worker-seconds "
+      "provisioned\n",
+      avg_workers, peak_workers, provisioned_worker_seconds);
+  out += str_format(
+      "  utilization: %.2f%%  (%.6f busy core-seconds / %.9g cores per "
+      "worker)\n",
+      utilization * 100.0, busy_core_seconds, cores_per_worker);
+  out += str_format(
+      "  scaling: %llu up, %llu down, %llu preemptions\n",
+      static_cast<unsigned long long>(scale_ups),
+      static_cast<unsigned long long>(scale_downs),
+      static_cast<unsigned long long>(preemptions));
+  out += str_format(
+      "  efficiency: %.2f%% of static worker-seconds avoided "
+      "(%.6f vs %.6f static)\n",
+      scaling_savings * 100.0, provisioned_worker_seconds,
+      static_worker_seconds);
+  return out;
+}
+
 }  // namespace ompcloud::trace

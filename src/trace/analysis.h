@@ -118,6 +118,38 @@ struct OffloadAnalysis {
   [[nodiscard]] std::string to_text() const;
 };
 
+/// Fleet-wide utilization + scaling efficiency over the whole trace (not
+/// one offload): integrates the `cluster.workers` step timeline the
+/// cluster records on every instance transition into provisioned
+/// worker-seconds, compares against the busy core-seconds of the Spark
+/// tasks that actually ran, and counts the autoscaler's decisions. Static
+/// (never-scaled) clusters fall back to the `cluster.workers_provisioned`
+/// gauge, so the section is meaningful for every trace.
+struct ClusterScalingAnalysis {
+  bool found = false;          ///< any fleet information in the trace
+  bool elastic = false;        ///< fleet size changed over the run
+  double horizon_seconds = 0;  ///< t=0 .. last closed span end
+  double avg_workers = 0;      ///< provisioned_worker_seconds / horizon
+  double peak_workers = 0;     ///< max running+booting observed
+  double provisioned_worker_seconds = 0;  ///< billed worker time (no driver)
+  double busy_core_seconds = 0;           ///< summed Spark task durations
+  double cores_per_worker = 0;
+  /// busy_core_seconds / (provisioned_worker_seconds * cores_per_worker).
+  double utilization = 0;
+  uint64_t scale_ups = 0;
+  uint64_t scale_downs = 0;
+  uint64_t preemptions = 0;
+  /// What the same horizon costs with the full static fleet always on.
+  double static_worker_seconds = 0;
+  /// 1 - provisioned/static: fraction of worker time elasticity avoided.
+  double scaling_savings = 0;
+
+  /// Stable JSON object (nested lines prefixed with `indent` spaces).
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+  /// Stable human-readable block (what `octrace util` prints).
+  [[nodiscard]] std::string to_text() const;
+};
+
 /// Runs the analyses over a recorded (or imported) trace.
 class TraceAnalyzer {
  public:
@@ -128,6 +160,8 @@ class TraceAnalyzer {
   [[nodiscard]] OffloadAnalysis analyze(const Span& root) const;
   /// `analyze` for every offload root.
   [[nodiscard]] std::vector<OffloadAnalysis> analyze_all() const;
+  /// Fleet utilization + scaling efficiency over the whole trace.
+  [[nodiscard]] ClusterScalingAnalysis analyze_cluster() const;
 
  private:
   const Tracer* tracer_;

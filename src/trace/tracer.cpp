@@ -176,12 +176,52 @@ void Tracer::MetricsTool::on_instance_state_change(
     const tools::InstanceStateInfo& info) {
   if (info.kind == tools::InstanceStateInfo::Kind::kBoot) {
     metrics_->counter("cluster.boots").add();
-    metrics_->gauge("cluster.billing_instances").set(info.instances);
     metrics_->gauge("cluster.price_per_hour").set(info.price_per_hour);
-  } else {
+  } else if (info.kind == tools::InstanceStateInfo::Kind::kStop) {
     metrics_->counter("cluster.shutdowns").add();
-    metrics_->gauge("cluster.billing_instances").set(0);
+  } else {
+    metrics_->counter("cluster.preemptions").add();
   }
+  metrics_->gauge("cluster.billing_instances").set(info.billing_after);
+}
+
+void Tracer::MetricsTool::on_autoscale_decision(
+    const tools::AutoscaleInfo& info) {
+  switch (info.kind) {
+    case tools::AutoscaleInfo::Kind::kScaleUp:
+      metrics_->counter("autoscale.scale_ups").add();
+      metrics_->counter("autoscale.workers_added").add(
+          static_cast<uint64_t>(info.delta));
+      break;
+    case tools::AutoscaleInfo::Kind::kScaleDown:
+      metrics_->counter("autoscale.scale_downs").add();
+      metrics_->counter("autoscale.workers_removed").add(
+          static_cast<uint64_t>(info.delta));
+      break;
+    case tools::AutoscaleInfo::Kind::kPreempt:
+      metrics_->counter("autoscale.preemptions").add();
+      break;
+  }
+  metrics_->gauge("autoscale.running_workers").set(info.running_workers);
+}
+
+void Tracer::MetricsTool::on_scheduler_event(
+    const tools::SchedulerEventInfo& info) {
+  switch (info.kind) {
+    case tools::SchedulerEventInfo::Kind::kAdmit:
+      metrics_->counter("scheduler.admitted").add();
+      break;
+    case tools::SchedulerEventInfo::Kind::kDispatch:
+      metrics_->counter("scheduler.dispatched").add();
+      metrics_->histogram("scheduler.queue_wait_seconds")
+          .record(info.wait_seconds);
+      break;
+    case tools::SchedulerEventInfo::Kind::kComplete:
+      metrics_->counter("scheduler.completed").add();
+      break;
+  }
+  metrics_->gauge("scheduler.queue_depth").set(
+      static_cast<double>(info.queue_depth));
 }
 
 SpanHandle Tracer::span(std::string name, SpanId parent) {

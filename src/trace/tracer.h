@@ -289,6 +289,8 @@ class Tracer {
     void on_kernel_complete(const tools::KernelInfo& info) override;
     void on_instance_state_change(
         const tools::InstanceStateInfo& info) override;
+    void on_autoscale_decision(const tools::AutoscaleInfo& info) override;
+    void on_scheduler_event(const tools::SchedulerEventInfo& info) override;
 
    private:
     Metrics* metrics_;

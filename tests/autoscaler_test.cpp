@@ -1,0 +1,321 @@
+// Tests for per-instance elasticity: cost metering across partial
+// scale-up/down, boot latency on the offload critical path, idle reaping
+// back to the floor, spot preemption feeding the Spark task-retry path,
+// autoscale tool callbacks, and [autoscale] config parsing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cloud/autoscaler.h"
+#include "cloud/cluster.h"
+#include "omp/target_region.h"
+#include "omptarget/cloud_plugin.h"
+
+namespace ompcloud::cloud {
+namespace {
+
+using sim::Engine;
+
+Status DoubleKernel(const jni::KernelArgs& args) {
+  auto in = args.input<float>(0);
+  auto out = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) out[i] = 2.0f * in[i];
+  return Status::ok();
+}
+
+const jni::KernelRegistrar kDoubleReg("asc.double", DoubleKernel);
+
+ClusterSpec make_spec(int workers, bool on_the_fly = false) {
+  ClusterSpec spec;
+  spec.workers = workers;
+  spec.on_the_fly = on_the_fly;
+  return spec;
+}
+
+// c3.8xlarge is $1.68/h; use the flavor as-is and compare instance-seconds,
+// which are price-independent.
+TEST(ElasticBillingTest, PartialScaleDownBillsOnlyRunningTime) {
+  Engine engine;
+  // Pre-provisioned: driver + 4 workers billed from t=0.
+  Cluster cluster(engine, make_spec(4), SimProfile{});
+  engine.schedule_at(100.0, [&] { EXPECT_TRUE(cluster.stop_worker(3).is_ok()); });
+  engine.schedule_at(250.0, [&] { EXPECT_TRUE(cluster.stop_worker(2).is_ok()); });
+  engine.schedule_at(400.0, [] {});  // pin the horizon
+  engine.run();
+  ASSERT_DOUBLE_EQ(engine.now(), 400.0);
+  // driver + w0 + w1 run the full 400 s; w3 stops at 100, w2 at 250.
+  // accrual is pro-rata at read time, no shutdown needed.
+  EXPECT_NEAR(cluster.cost().instance_seconds(), 3 * 400.0 + 100.0 + 250.0,
+              1e-9);
+  EXPECT_EQ(cluster.running_worker_count(), 2);
+}
+
+TEST(ElasticBillingTest, BootIsBilledFromTheRequestNotFromUsable) {
+  Engine engine;
+  // on-the-fly: everything starts stopped, nothing billed until requested.
+  Cluster cluster(engine, make_spec(4, /*on_the_fly=*/true), SimProfile{});
+  engine.spawn([](Cluster* cluster) -> sim::Co<void> {
+    (void)co_await cluster->start_worker(0);
+  }(&cluster));
+  engine.schedule_at(10.0, [&] {
+    // Mid-boot (c3 cold start is 45 s): already billing, not yet usable.
+    EXPECT_EQ(cluster.worker_state(0), InstanceState::kBooting);
+    EXPECT_FALSE(cluster.worker_usable(0));
+    EXPECT_NEAR(cluster.cost().instance_seconds(), 10.0, 1e-9);
+  });
+  engine.schedule_at(50.0, [&] {
+    EXPECT_EQ(cluster.worker_state(0), InstanceState::kRunning);
+    EXPECT_TRUE(cluster.worker_usable(0));
+  });
+  engine.schedule_at(100.0, [&] { EXPECT_TRUE(cluster.stop_worker(0).is_ok()); });
+  engine.run();
+  // Billed from the boot request (as EC2 bills) to the stop: 100 s exactly;
+  // parked workers and the stopped driver accrue nothing.
+  EXPECT_NEAR(cluster.cost().instance_seconds(), 100.0, 1e-9);
+}
+
+TEST(AutoscalerTest, ParksDownToFloorAtConstructionForFree) {
+  Engine engine;
+  Cluster cluster(engine, make_spec(8), SimProfile{});
+  AutoscalerOptions options;
+  options.min_workers = 2;
+  cluster.enable_autoscaler(options);
+  EXPECT_EQ(cluster.running_worker_count(), 2);
+  engine.schedule_at(500.0, [] {});
+  engine.run();
+  // Only the floor (plus the driver) accrues after the t=0 parking.
+  EXPECT_NEAR(cluster.cost().instance_seconds(), 3 * 500.0, 1e-9);
+}
+
+TEST(AutoscalerTest, AcquireScalesUpAndIdleReapReturnsToFloor) {
+  Engine engine;
+  Cluster cluster(engine, make_spec(8), SimProfile{});
+  AutoscalerOptions options;
+  options.min_workers = 2;
+  options.workers_per_offload = 4;
+  options.idle_cooldown = 30.0;
+  Autoscaler& autoscaler = cluster.enable_autoscaler(options);
+  double acquired_at = -1;
+  engine.spawn([](Engine* engine, Cluster* cluster, Autoscaler* autoscaler,
+                  double* acquired_at) -> sim::Co<void> {
+    EXPECT_TRUE((co_await autoscaler->acquire_for_offload()).is_ok());
+    *acquired_at = engine->now();
+    EXPECT_GE(cluster->usable_worker_count(), 4);
+    co_await engine->sleep(10.0);
+    autoscaler->release_offload();
+  }(&engine, &cluster, &autoscaler, &acquired_at));
+  engine.run();
+  // The cold acquire waited out the c3 boot latency...
+  EXPECT_NEAR(acquired_at, 45.0, 1.0);
+  // ...and the reap timer (release + cooldown) returned the fleet to the
+  // floor once demand went away.
+  EXPECT_EQ(autoscaler.active_offloads(), 0);
+  EXPECT_EQ(cluster.running_worker_count(), 2);
+}
+
+struct ElasticFixture {
+  Engine engine;
+  Cluster cluster;
+  omptarget::DeviceManager devices{engine};
+  int cloud_id;
+
+  explicit ElasticFixture(int workers = 8)
+      : cluster(engine, make_spec(workers), SimProfile{}) {
+    cloud_id = devices.register_device(std::make_unique<omptarget::CloudPlugin>(
+        cluster, spark::SparkConf{}, omptarget::CloudPluginOptions{}));
+  }
+
+  omp::TargetRegion make_region(const std::string& name, std::vector<float>& x,
+                                std::vector<float>& y) {
+    omp::TargetRegion region(devices, name);
+    region.device(cloud_id);
+    auto xv = region.map_to("x", x.data(), x.size());
+    auto yv = region.map_from("y", y.data(), y.size());
+    region.parallel_for(static_cast<int64_t>(x.size()))
+        .read_partitioned(xv, omp::rows<float>(1))
+        .write_partitioned(yv, omp::rows<float>(1))
+        .cost_flops(1.0)
+        .kernel("asc.double");
+    return region;
+  }
+};
+
+TEST(AutoscalerTest, ColdOffloadPaysBootLatencyWarmOffloadDoesNot) {
+  ElasticFixture f;
+  AutoscalerOptions options;
+  options.min_workers = 1;
+  options.workers_per_offload = 4;
+  options.idle_cooldown = 600.0;  // keep the fleet warm between offloads
+  f.cluster.enable_autoscaler(options);
+
+  std::vector<float> x(64, 3.0f), y(64, 0.0f), y2(64, 0.0f);
+  auto cold = f.make_region("cold", x, y);
+  auto warm = f.make_region("warm", x, y2);
+  // Run back-to-back inside one engine run: draining the engine between
+  // offloads would let the idle-cooldown reap fire and re-park the fleet.
+  double cold_boot = -1, warm_boot = -1;
+  f.engine.spawn([](omp::TargetRegion* cold, omp::TargetRegion* warm,
+                    double* cold_boot, double* warm_boot) -> sim::Co<void> {
+    auto cold_report = co_await cold->execute();
+    EXPECT_TRUE(cold_report.ok()) << cold_report.status().to_string();
+    if (cold_report.ok()) *cold_boot = cold_report->boot_seconds;
+    auto warm_report = co_await warm->execute();
+    EXPECT_TRUE(warm_report.ok()) << warm_report.status().to_string();
+    if (warm_report.ok()) *warm_boot = warm_report->boot_seconds;
+  }(&cold, &warm, &cold_boot, &warm_boot));
+  f.engine.run();
+  // Scale-up boot latency sits on the cold offload's critical path, under
+  // the same `boot` span on-the-fly provisioning uses...
+  EXPECT_GT(cold_boot, 40.0);
+  EXPECT_EQ(y[0], 6.0f);
+  // ...while the still-provisioned fleet serves the next one immediately.
+  EXPECT_GE(warm_boot, 0.0);
+  EXPECT_LT(warm_boot, 0.5);
+  EXPECT_EQ(y2[0], 6.0f);
+}
+
+TEST(AutoscalerTest, PreemptionMidLaunchBurstRetriesTasksAndStaysCorrect) {
+  // 2 workers, one tile per iteration: the serialized driver scheduler
+  // (6 ms per task) stretches the launch burst past the preemption instant,
+  // so tasks placed on the dead worker retry at launch onto the survivor.
+  ElasticFixture f(/*workers=*/2);
+  const int64_t n = 256;
+  std::vector<float> x(n, 1.5f), y(n, 0.0f);
+  omp::TargetRegion region(f.devices, "spotty");
+  region.device(f.cloud_id);
+  auto xv = region.map_to("x", x.data(), x.size());
+  auto yv = region.map_from("y", y.data(), y.size());
+  region.parallel_for(n)
+      .read_partitioned(xv, omp::rows<float>(1))
+      .write_partitioned(yv, omp::rows<float>(1))
+      .cost_flops(1.0)
+      .tiles(n)
+      .kernel("asc.double");
+  // The launch burst spans ~[1.3 s (ssh submit), 1.3 + 256 * 6 ms]; t=2.0
+  // lands inside it with wide margins on both sides.
+  f.engine.schedule_after(2.0, [&] { f.cluster.preempt_worker(1); });
+  auto report = omp::offload_blocking(f.engine, region);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_GT(report->job.task_retries, 0);
+  EXPECT_FALSE(f.cluster.worker_alive(1));
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(y[i], 3.0f) << "i=" << i;
+}
+
+/// Captures autoscaler decisions and instance transitions.
+struct RecordingTool : tools::Tool {
+  std::vector<tools::AutoscaleInfo> decisions;
+  std::vector<tools::InstanceStateInfo::Kind> transitions;
+  void on_autoscale_decision(const tools::AutoscaleInfo& info) override {
+    decisions.push_back(info);
+  }
+  void on_instance_state_change(const tools::InstanceStateInfo& info) override {
+    transitions.push_back(info.kind);
+  }
+};
+
+TEST(AutoscalerTest, DecisionsAndInstanceTransitionsReachTools) {
+  Engine engine;
+  Cluster cluster(engine, make_spec(6), SimProfile{});
+  RecordingTool tool;
+  cluster.tracer().tools().attach(&tool);
+  AutoscalerOptions options;
+  options.min_workers = 1;
+  options.workers_per_offload = 4;
+  options.idle_cooldown = 20.0;
+  Autoscaler& autoscaler = cluster.enable_autoscaler(options);
+  engine.spawn([](Engine* engine, Autoscaler* autoscaler) -> sim::Co<void> {
+    EXPECT_TRUE((co_await autoscaler->acquire_for_offload()).is_ok());
+    co_await engine->sleep(5.0);
+    autoscaler->release_offload();
+  }(&engine, &autoscaler));
+  engine.run();
+  cluster.tracer().tools().detach(&tool);
+
+  // Parking at t=0 (down), the acquire's scale-up, and the idle reap.
+  ASSERT_GE(tool.decisions.size(), 3u);
+  using Kind = tools::AutoscaleInfo::Kind;
+  EXPECT_EQ(tool.decisions[0].kind, Kind::kScaleDown);
+  EXPECT_EQ(tool.decisions[0].delta, 5);  // 6 workers parked to floor 1
+  EXPECT_EQ(tool.decisions[1].kind, Kind::kScaleUp);
+  EXPECT_EQ(tool.decisions[1].delta, 3);  // 1 running -> 4 desired
+  EXPECT_EQ(tool.decisions[1].active_offloads, 1);
+  EXPECT_EQ(tool.decisions.back().kind, Kind::kScaleDown);
+  EXPECT_EQ(tool.decisions.back().delta, 3);
+  // Each scaled-up worker produced an individual boot transition.
+  int boots = 0;
+  for (auto kind : tool.transitions) {
+    if (kind == tools::InstanceStateInfo::Kind::kBoot) ++boots;
+  }
+  EXPECT_EQ(boots, 3);
+  // Derived metrics follow the same callbacks.
+  const trace::Metrics& metrics = cluster.tracer().metrics();
+  EXPECT_EQ(metrics.counter_value("autoscale.scale_ups"), 1u);
+  EXPECT_EQ(metrics.counter_value("autoscale.scale_downs"), 2u);
+}
+
+TEST(AutoscalerTest, SpotPreemptionReplacesTheVictim) {
+  Engine engine;
+  Cluster cluster(engine, make_spec(4), SimProfile{});
+  AutoscalerOptions options;
+  options.min_workers = 2;
+  options.workers_per_offload = 2;
+  options.idle_cooldown = 10.0;
+  options.spot_interval = 30.0;
+  Autoscaler& autoscaler = cluster.enable_autoscaler(options);
+  engine.spawn([](Engine* engine, Cluster* cluster,
+                  Autoscaler* autoscaler) -> sim::Co<void> {
+    EXPECT_TRUE((co_await autoscaler->acquire_for_offload()).is_ok());
+    // Hold capacity across the first spot tick (t=30), then wait out the
+    // replacement boot so usable capacity is restored before release. The
+    // t=60 tick finds a single usable worker and spares it.
+    co_await engine->sleep(70.0);
+    while (cluster->usable_worker_count() < 2) co_await engine->sleep(5.0);
+    autoscaler->release_offload();
+  }(&engine, &cluster, &autoscaler));
+  engine.run();
+  EXPECT_EQ(cluster.tracer().metrics().counter_value("autoscale.preemptions"),
+            1u);
+  EXPECT_EQ(cluster.tracer().metrics().counter_value("cluster.preemptions"),
+            1u);
+  // Every preemption requested a replacement VM; after the reap the fleet
+  // is back at the floor and all billing groups are consistent.
+  EXPECT_EQ(cluster.running_worker_count(), 2);
+  EXPECT_GT(cluster.cost().accrued_usd(), 0);
+}
+
+TEST(AutoscalerOptionsTest, FromConfigReadsTheAutoscaleSection) {
+  auto config = *Config::parse(R"(
+[autoscale]
+enabled = true
+min-workers = 2
+max-workers = 12
+workers-per-offload = 3
+idle-cooldown = 90
+spot-interval = 120
+spot-seed = 7
+)");
+  AutoscalerOptions options = AutoscalerOptions::from_config(config);
+  EXPECT_TRUE(options.enabled);
+  EXPECT_EQ(options.min_workers, 2);
+  EXPECT_EQ(options.max_workers, 12);
+  EXPECT_EQ(options.workers_per_offload, 3);
+  EXPECT_DOUBLE_EQ(options.idle_cooldown, 90.0);
+  EXPECT_DOUBLE_EQ(options.spot_interval, 120.0);
+  EXPECT_EQ(options.spot_seed, 7u);
+}
+
+TEST(AutoscalerOptionsTest, ElasticAndOnTheFlyAreMutuallyExclusive) {
+  Engine engine;
+  auto config = *Config::parse(R"(
+[cluster]
+on-the-fly = true
+[autoscale]
+enabled = true
+)");
+  auto plugin = omptarget::CloudPlugin::from_config(engine, config);
+  ASSERT_FALSE(plugin.ok());
+  EXPECT_EQ(plugin.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ompcloud::cloud

@@ -1,0 +1,238 @@
+// Tests for the multi-tenant offload admission scheduler: FIFO dispatch
+// order, FAIR weighted sharing across tenant pools, queue metrics, tenant
+// defaulting, and [scheduler] config parsing.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "omp/target_region.h"
+#include "omptarget/cloud_plugin.h"
+#include "omptarget/scheduler.h"
+
+namespace ompcloud::omptarget {
+namespace {
+
+using sim::Engine;
+
+Status DoubleKernel(const jni::KernelArgs& args) {
+  auto in = args.input<float>(0);
+  auto out = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) out[i] = 2.0f * in[i];
+  return Status::ok();
+}
+
+const jni::KernelRegistrar kDoubleReg("sched.double", DoubleKernel);
+
+/// Copies scheduler events out of their borrowed string_views.
+struct QueueRecorder : tools::Tool {
+  struct Event {
+    tools::SchedulerEventInfo::Kind kind;
+    std::string region;
+    std::string tenant;
+    double wait_seconds;
+  };
+  std::vector<Event> events;
+
+  void on_scheduler_event(const tools::SchedulerEventInfo& info) override {
+    events.push_back({info.kind, std::string(info.region),
+                      std::string(info.tenant), info.wait_seconds});
+  }
+
+  [[nodiscard]] std::vector<std::string> order_of(
+      tools::SchedulerEventInfo::Kind kind) const {
+    std::vector<std::string> regions;
+    for (const Event& event : events) {
+      if (event.kind == kind) regions.push_back(event.region);
+    }
+    return regions;
+  }
+};
+
+struct SchedulerFixture {
+  Engine engine;
+  cloud::Cluster cluster;
+  DeviceManager devices{engine};
+  int cloud_id;
+  QueueRecorder recorder;
+  // Regions must outlive their async handles; deque keeps addresses stable.
+  std::deque<omp::TargetRegion> regions;
+  std::deque<std::vector<float>> buffers;
+
+  explicit SchedulerFixture(const SchedulerOptions& options)
+      : cluster(engine, make_spec(), cloud::SimProfile{}) {
+    cloud_id = devices.register_device(std::make_unique<CloudPlugin>(
+        cluster, spark::SparkConf{}, CloudPluginOptions{}));
+    devices.configure_scheduler(options);
+    devices.tracer().tools().attach(&recorder);
+  }
+  ~SchedulerFixture() { devices.tracer().tools().detach(&recorder); }
+
+  static cloud::ClusterSpec make_spec() {
+    cloud::ClusterSpec spec;
+    spec.workers = 4;
+    return spec;
+  }
+
+  /// Queues a y = 2x offload named `name` under `tenant` ("" = builder
+  /// default) and returns its nowait handle.
+  omp::TargetRegion::Async submit(const std::string& name,
+                                  const std::string& tenant) {
+    buffers.emplace_back(64, 1.0f);
+    std::vector<float>& x = buffers.back();
+    buffers.emplace_back(64, 0.0f);
+    std::vector<float>& y = buffers.back();
+    regions.emplace_back(devices, name);
+    omp::TargetRegion& region = regions.back();
+    region.device(cloud_id);
+    if (!tenant.empty()) region.tenant(tenant);
+    auto xv = region.map_to("x", x.data(), x.size());
+    auto yv = region.map_from("y", y.data(), y.size());
+    region.parallel_for(static_cast<int64_t>(x.size()))
+        .read_partitioned(xv, omp::rows<float>(1))
+        .write_partitioned(yv, omp::rows<float>(1))
+        .cost_flops(1.0)
+        .kernel("sched.double");
+    return region.execute_async();
+  }
+};
+
+TEST(SchedulerTest, FifoDispatchesInSubmissionOrder) {
+  SchedulerOptions options;
+  options.max_concurrent = 2;
+  SchedulerFixture f(options);
+  std::vector<omp::TargetRegion::Async> handles;
+  handles.push_back(f.submit("A1", "alpha"));
+  handles.push_back(f.submit("A2", "alpha"));
+  handles.push_back(f.submit("A3", "alpha"));
+  handles.push_back(f.submit("B1", "beta"));
+  f.engine.run();
+  for (const auto& handle : handles) {
+    ASSERT_TRUE(handle.done());
+    EXPECT_TRUE(handle.result().ok()) << handle.result().status().to_string();
+  }
+  using Kind = tools::SchedulerEventInfo::Kind;
+  EXPECT_EQ(f.recorder.order_of(Kind::kAdmit),
+            (std::vector<std::string>{"A1", "A2", "A3", "B1"}));
+  // Strict arrival order: the late beta submission waits its turn.
+  EXPECT_EQ(f.recorder.order_of(Kind::kDispatch),
+            (std::vector<std::string>{"A1", "A2", "A3", "B1"}));
+}
+
+TEST(SchedulerTest, FairWeightedSharePrefersTheStarvedTenant) {
+  SchedulerOptions options;
+  options.mode = SchedulerOptions::Mode::kFair;
+  options.max_concurrent = 2;
+  options.tenant_weights = {{"beta", 3.0}};
+  SchedulerFixture f(options);
+  std::vector<omp::TargetRegion::Async> handles;
+  handles.push_back(f.submit("A1", "alpha"));
+  handles.push_back(f.submit("A2", "alpha"));
+  handles.push_back(f.submit("A3", "alpha"));
+  handles.push_back(f.submit("B1", "beta"));
+  f.engine.run();
+  for (const auto& handle : handles) {
+    ASSERT_TRUE(handle.done());
+    EXPECT_TRUE(handle.result().ok()) << handle.result().status().to_string();
+  }
+  // When the first slot frees, alpha already holds a running offload
+  // (share 1/1) while beta holds none (share 0/3): B1 overtakes A3.
+  using Kind = tools::SchedulerEventInfo::Kind;
+  EXPECT_EQ(f.recorder.order_of(Kind::kDispatch),
+            (std::vector<std::string>{"A1", "A2", "B1", "A3"}));
+  // Queued offloads record their wait; the overtaken one waited longest.
+  double a3_wait = 0, b1_wait = 0;
+  for (const auto& event : f.recorder.events) {
+    if (event.kind != Kind::kDispatch) continue;
+    if (event.region == "A3") a3_wait = event.wait_seconds;
+    if (event.region == "B1") b1_wait = event.wait_seconds;
+  }
+  EXPECT_GT(b1_wait, 0);
+  EXPECT_GE(a3_wait, b1_wait);
+}
+
+TEST(SchedulerTest, QueueTransitionsDriveDerivedMetrics) {
+  SchedulerOptions options;
+  options.max_concurrent = 1;  // serialize so every later offload queues
+  SchedulerFixture f(options);
+  std::vector<omp::TargetRegion::Async> handles;
+  handles.push_back(f.submit("first", ""));
+  handles.push_back(f.submit("second", ""));
+  handles.push_back(f.submit("third", ""));
+  f.engine.run();
+  for (const auto& handle : handles) ASSERT_TRUE(handle.result().ok());
+
+  const trace::Metrics& metrics = f.devices.tracer().metrics();
+  EXPECT_EQ(metrics.counter_value("scheduler.admitted"), 3u);
+  EXPECT_EQ(metrics.counter_value("scheduler.dispatched"), 3u);
+  EXPECT_EQ(metrics.counter_value("scheduler.completed"), 3u);
+  const trace::Histogram& wait =
+      metrics.histograms().at("scheduler.queue_wait_seconds");
+  EXPECT_EQ(wait.count(), 3u);
+  EXPECT_GT(wait.max(), 1.0);  // the serialized tail waited a whole offload
+  EXPECT_DOUBLE_EQ(metrics.gauges().at("scheduler.queue_depth").value(), 0.0);
+}
+
+TEST(SchedulerTest, EmptyTenantFallsBackToDefaultPool) {
+  SchedulerOptions options;
+  SchedulerFixture f(options);
+  auto handle = f.submit("anon", "");
+  f.engine.run();
+  ASSERT_TRUE(handle.result().ok());
+  ASSERT_FALSE(f.recorder.events.empty());
+  for (const auto& event : f.recorder.events) {
+    EXPECT_EQ(event.tenant, "default");
+  }
+}
+
+TEST(SchedulerOptionsTest, FromConfigReadsModesAndWeights) {
+  auto config = *Config::parse(R"(
+[scheduler]
+mode = FAIR
+max-concurrent = 3
+default-weight = 2
+weight.batch = 0.5
+weight.interactive = 4
+)");
+  auto options = SchedulerOptions::from_config(config);
+  ASSERT_TRUE(options.ok()) << options.status().to_string();
+  EXPECT_EQ(options->mode, SchedulerOptions::Mode::kFair);
+  EXPECT_EQ(options->max_concurrent, 3);
+  EXPECT_DOUBLE_EQ(options->default_weight, 2.0);
+  EXPECT_DOUBLE_EQ(options->weight_for("batch"), 0.5);
+  EXPECT_DOUBLE_EQ(options->weight_for("interactive"), 4.0);
+  EXPECT_DOUBLE_EQ(options->weight_for("anyone-else"), 2.0);
+}
+
+TEST(SchedulerOptionsTest, AcceptsSparkSchedulerModeSpellings) {
+  auto lower = SchedulerOptions::from_config(
+      *Config::parse("[scheduler]\nmode = fair\n"));
+  ASSERT_TRUE(lower.ok());
+  EXPECT_EQ(lower->mode, SchedulerOptions::Mode::kFair);
+  auto upper = SchedulerOptions::from_config(
+      *Config::parse("[scheduler]\nmode = FIFO\n"));
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(upper->mode, SchedulerOptions::Mode::kFifo);
+}
+
+TEST(SchedulerOptionsTest, RejectsUnknownModeAndBadWeights) {
+  EXPECT_EQ(SchedulerOptions::from_config(
+                *Config::parse("[scheduler]\nmode = round-robin\n"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SchedulerOptions::from_config(
+                *Config::parse("[scheduler]\ndefault-weight = 0\n"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SchedulerOptions::from_config(
+                *Config::parse("[scheduler]\nweight.batch = -1\n"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ompcloud::omptarget

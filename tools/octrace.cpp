@@ -4,6 +4,7 @@
 //   octrace critical-path trace.json   the greedy last-finisher chain
 //   octrace skew          trace.json   per-task skew / straggler report
 //   octrace cost          trace.json   dollar attribution per offload
+//   octrace util          trace.json   fleet utilization + scaling efficiency
 //
 // `--json` switches every command to a stable JSON schema (CI jq-validates
 // it). Exit codes: 0 = analyzed, 1 = the trace holds no offload spans,
@@ -24,12 +25,14 @@ namespace {
 
 int usage(std::FILE* out) {
   std::fprintf(out,
-               "usage: octrace <summary|critical-path|skew|cost> "
+               "usage: octrace <summary|critical-path|skew|cost|util> "
                "<trace.json> [--json]\n"
                "\n"
                "Loads a Chrome trace exported by the offload runtime and\n"
                "analyzes each `offload` span tree: phase attribution,\n"
-               "critical path, task skew, transfer overlap, and cost.\n");
+               "critical path, task skew, transfer overlap, and cost.\n"
+               "`util` reports fleet-wide cluster utilization and scaling\n"
+               "efficiency instead of per-offload analyses.\n");
   return 2;
 }
 
@@ -112,7 +115,7 @@ int main(int argc, const char** argv) {
     }
   }
   if (command != "summary" && command != "critical-path" &&
-      command != "skew" && command != "cost") {
+      command != "skew" && command != "cost" && command != "util") {
     if (!command.empty()) {
       std::fprintf(stderr, "octrace: unknown command '%s'\n", command.c_str());
     }
@@ -131,6 +134,19 @@ int main(int argc, const char** argv) {
   }
 
   trace::TraceAnalyzer analyzer(*imported->tracer);
+
+  // `util` is a whole-trace analysis: it works even when the trace holds
+  // no offload spans (e.g. a fleet-only capture).
+  if (command == "util") {
+    trace::ClusterScalingAnalysis cluster = analyzer.analyze_cluster();
+    if (json) {
+      std::printf("{\"cluster\": %s}\n", cluster.to_json().c_str());
+    } else {
+      std::fputs(cluster.to_text().c_str(), stdout);
+    }
+    return cluster.found ? 0 : 1;
+  }
+
   std::vector<trace::OffloadAnalysis> analyses = analyzer.analyze_all();
   if (analyses.empty()) {
     if (json) {
