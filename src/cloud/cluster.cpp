@@ -147,6 +147,28 @@ Autoscaler& Cluster::enable_autoscaler(const AutoscalerOptions& options) {
   return *autoscaler_;
 }
 
+fault::FaultInjector* Cluster::enable_faults(const fault::FaultPlan& plan) {
+  if (!plan.enabled) return nullptr;
+  faults_ = std::make_unique<fault::FaultInjector>(
+      plan, [this] { return engine_->now(); });
+  // Every injected fault becomes a tools callback (fault.* counters via
+  // MetricsTool) plus a `fault` instant in the trace. The lambda reads
+  // tracer_ at fire time: DeviceManager may swap the tracer after arming.
+  faults_->set_listener([this](const fault::FaultEvent& event) {
+    tools::FaultEventInfo info;
+    info.kind = tools::FaultEventInfo::Kind::kInjected;
+    info.point = event.point;
+    info.detail = event.detail;
+    info.time = event.time;
+    tracer_->tools().emit_fault_event(info);
+    (void)tracer_->instant(
+        "fault", {{"point", event.point}, {"detail", event.detail}});
+  });
+  network_->set_fault_injector(faults_.get());
+  store_->attach_faults(faults_.get());
+  return faults_.get();
+}
+
 void Cluster::set_tracer(std::shared_ptr<trace::Tracer> tracer) {
   if (tracer == nullptr) return;
   tracer_ = std::move(tracer);
@@ -249,6 +271,10 @@ sim::Co<Status> Cluster::ensure_running() {
   }
   const bool boot_driver = state_ == ClusterState::kStopped;
   if (!boot_driver && to_boot.empty()) co_return Status::ok();
+  if (faults_ != nullptr && faults_->should_fail("cloud.boot-failure",
+                                                 "ensure_running")) {
+    co_return unavailable("fault:cloud.boot-failure ensure_running");
+  }
   const int count = static_cast<int>(to_boot.size()) + (boot_driver ? 1 : 0);
   trace::SpanHandle span =
       tracer_->span("cluster.boot", tracer_->take_ambient());
@@ -349,6 +375,14 @@ sim::Co<Status> Cluster::start_worker(int index) {
   if (worker_state_[index] != InstanceState::kStopped) {
     co_return failed_precondition("worker " + std::to_string(index) +
                                   " is not stopped");
+  }
+  // Boot failure: the start request is rejected before any state changes,
+  // so the slot stays stopped and the caller (autoscaler) retries later.
+  if (faults_ != nullptr &&
+      faults_->should_fail("cloud.boot-failure",
+                           "worker" + std::to_string(index))) {
+    co_return unavailable("fault:cloud.boot-failure worker" +
+                          std::to_string(index));
   }
   // A dead slot gets a replacement VM: alive again once the boot completes.
   worker_alive_[index] = true;

@@ -17,6 +17,7 @@
 #include "sim/engine.h"
 #include "storage/object_store.h"
 #include "support/config.h"
+#include "support/fault.h"
 #include "trace/tracer.h"
 
 namespace ompcloud::cloud {
@@ -201,6 +202,18 @@ class Cluster {
   [[nodiscard]] Autoscaler* autoscaler() { return autoscaler_.get(); }
   Autoscaler& enable_autoscaler(const struct AutoscalerOptions& options);
 
+  /// Arms the plan-driven fault injector (support/fault.h): binds the sim
+  /// clock, installs the hooks into the network and the object store, adds
+  /// `cloud.boot-failure` probes to instance starts, and forwards every
+  /// injected fault to the tools registry (`on_fault_event`) plus a `fault`
+  /// instant in the trace. Idempotent per plan; a disabled plan is a no-op.
+  fault::FaultInjector* enable_faults(const fault::FaultPlan& plan);
+  /// The armed injector; null when `enable_faults` was never called (the
+  /// default — the harness costs nothing when disabled).
+  [[nodiscard]] fault::FaultInjector* fault_injector() {
+    return faults_.get();
+  }
+
   /// SSH control round-trip from the host to the driver: how the plugin
   /// submits Spark jobs (§III-A step 3). Pays WAN RTT + submit latency.
   [[nodiscard]] sim::Co<Status> ssh_submit_roundtrip();
@@ -241,6 +254,7 @@ class Cluster {
   ClusterState state_;
   int billed_instances_ = 0;  ///< instances currently metered (driver incl.)
   std::unique_ptr<Autoscaler> autoscaler_;
+  std::unique_ptr<fault::FaultInjector> faults_;
 };
 
 }  // namespace ompcloud::cloud

@@ -54,9 +54,54 @@ Result<ByteBuffer> encode_payload(std::string_view codec_name, ByteView data,
   return std::move(encoded.frame);
 }
 
+Result<EncodedPayload> encode_sealed_payload_frame(std::string_view codec_name,
+                                                   ByteView data,
+                                                   uint64_t min_compress_size) {
+  OC_ASSIGN_OR_RETURN(
+      EncodedPayload inner,
+      encode_payload_frame(codec_name, data, min_compress_size));
+  EncodedPayload sealed;
+  sealed.codec = inner.codec;
+  sealed.frame.reserve(inner.frame.size() + kSealedFrameName.size() + 20);
+  put_frame_header(sealed.frame, kSealedFrameName, 8 + inner.frame.size());
+  put_u64le(sealed.frame, fnv1a(data));
+  sealed.frame.append(inner.frame.view());
+  return sealed;
+}
+
+bool is_sealed_payload(ByteView framed) {
+  auto header = read_header(framed);
+  return header.ok() && header->first == kSealedFrameName;
+}
+
+namespace {
+
+/// Unwraps a sealed envelope: returns {expected plain hash, inner frame}.
+Result<std::pair<uint64_t, ByteView>> open_sealed(ByteView framed,
+                                                  size_t header_end) {
+  size_t pos = header_end;
+  auto body_len = get_varint(framed, &pos);
+  if (!body_len || pos + *body_len != framed.size() || *body_len < 8) {
+    return data_loss("sealed payload: body length mismatch");
+  }
+  auto hash = get_u64le(framed, &pos);
+  if (!hash) return data_loss("sealed payload: truncated checksum");
+  return std::make_pair(*hash, framed.subspan(pos, framed.size() - pos));
+}
+
+}  // namespace
+
 Result<ByteBuffer> decode_payload(ByteView framed) {
   OC_ASSIGN_OR_RETURN(auto header, read_header(framed));
   if (header.first == kChunkedFrameName) return decode_chunked_payload(framed);
+  if (header.first == kSealedFrameName) {
+    OC_ASSIGN_OR_RETURN(auto sealed, open_sealed(framed, header.second));
+    OC_ASSIGN_OR_RETURN(ByteBuffer plain, decode_payload(sealed.second));
+    if (fnv1a(plain.view()) != sealed.first) {
+      return data_loss("sealed payload: end-to-end checksum mismatch");
+    }
+    return plain;
+  }
   auto codec = find_codec(header.first);
   if (!codec.ok()) {
     return data_loss("payload: unknown codec '" + header.first + "'");
@@ -71,6 +116,10 @@ Result<ByteBuffer> decode_payload(ByteView framed) {
 
 Result<std::string> payload_codec(ByteView framed) {
   OC_ASSIGN_OR_RETURN(auto header, read_header(framed));
+  if (header.first == kSealedFrameName) {
+    OC_ASSIGN_OR_RETURN(auto sealed, open_sealed(framed, header.second));
+    return payload_codec(sealed.second);
+  }
   return header.first;
 }
 

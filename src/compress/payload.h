@@ -32,6 +32,16 @@ namespace ompcloud::compress {
 /// Reserved frame-family name used in the codec-name slot of chunked frames.
 inline constexpr std::string_view kChunkedFrameName = "chunked";
 
+/// Reserved frame-family name for sealed single frames: a thin wrapper
+/// [header][u64le fnv1a-of-plain-bytes][inner single frame] that gives
+/// whole-payload end-to-end integrity. Chunked frames already carry
+/// per-block content hashes; sealing covers the unchunked path, where a
+/// bit flipped in flight would otherwise decompress into silently wrong
+/// bytes. `decode_payload` unwraps sealed frames transparently and fails
+/// with kDataLoss on checksum mismatch, which the offload plugin treats as
+/// retryable (re-download/re-upload the pristine copy).
+inline constexpr std::string_view kSealedFrameName = "sealed";
+
 /// A single frame plus the codec that was *actually* used to build it (after
 /// the min-compress-size gate possibly demoted the request to "null"). Time
 /// accounting must charge this codec, never re-derive the decision, so the
@@ -52,12 +62,22 @@ Result<EncodedPayload> encode_payload_frame(std::string_view codec_name,
 Result<ByteBuffer> encode_payload(std::string_view codec_name, ByteView data,
                                   uint64_t min_compress_size = 0);
 
+/// Like `encode_payload_frame`, but wraps the single frame in a sealed
+/// envelope carrying the FNV-1a hash of the plain bytes. `decode_payload`
+/// verifies the hash on the way out.
+Result<EncodedPayload> encode_sealed_payload_frame(
+    std::string_view codec_name, ByteView data, uint64_t min_compress_size = 0);
+
+/// True if `framed` is a sealed single frame.
+[[nodiscard]] bool is_sealed_payload(ByteView framed);
+
 /// Reads the frame header and decompresses with the named codec. Accepts
-/// both single frames and inline chunked frames (legacy interop).
+/// single frames, sealed frames (checksum-verified; kDataLoss on mismatch)
+/// and inline chunked frames (legacy interop).
 Result<ByteBuffer> decode_payload(ByteView framed);
 
 /// Peeks the codec name of a framed payload (diagnostics). Chunked frames
-/// report `kChunkedFrameName`.
+/// report `kChunkedFrameName`; sealed frames report their inner codec.
 Result<std::string> payload_codec(ByteView framed);
 
 // --- Chunked frames ---------------------------------------------------------

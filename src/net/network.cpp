@@ -43,6 +43,21 @@ sim::Co<Status> Network::transfer(std::string from, std::string to,
                                   uint64_t bytes, double weight) {
   auto links = route(from, to);
   if (!links.ok()) co_return links.status();
+  if (fault_injector_ != nullptr) {
+    std::string flow = from + "->" + to;
+    if (fault_injector_->should_fail("net.partition", flow)) {
+      co_return unavailable("fault:net.partition " + flow);
+    }
+    if (fault_injector_->should_fail("net.flap", flow)) {
+      co_return unavailable("fault:net.flap " + flow);
+    }
+    if (fault_injector_->should_fail("net.stall", flow)) {
+      // Gray failure: the flow eventually completes, but only after a stall
+      // long enough that a per-op deadline should have abandoned it.
+      co_await engine_->sleep(
+          fault_injector_->param("net.stall-seconds", 30.0));
+    }
+  }
   // Charge all hops concurrently; the flow completes when the slowest
   // (most contended) hop finishes.
   std::vector<sim::Completion> hops;

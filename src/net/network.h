@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/link.h"
+#include "support/fault.h"
 #include "support/status.h"
 
 namespace ompcloud::net {
@@ -80,7 +81,20 @@ class Network {
   /// Total bytes carried across all links (each hop counts).
   [[nodiscard]] uint64_t total_bytes_carried() const;
 
+  /// Attaches a fault injector (support/fault.h); every `transfer` then
+  /// probes `net.flap` (mid-flight failure), `net.partition` (scheduled
+  /// outage window), and `net.stall` (`net.stall-seconds` of extra delay, a
+  /// hung-transfer model that per-op deadlines must cut short). Null
+  /// detaches; the network borrows the pointer (owner: cloud::Cluster).
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  [[nodiscard]] fault::FaultInjector* fault_injector() {
+    return fault_injector_;
+  }
+
  private:
+  fault::FaultInjector* fault_injector_ = nullptr;
   sim::Engine* engine_;
   std::vector<std::unique_ptr<Link>> links_;
   std::map<std::string, Link*> links_by_name_;

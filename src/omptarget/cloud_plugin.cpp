@@ -77,6 +77,19 @@ Result<CloudPluginOptions> CloudPluginOptions::from_config(
       config.get_int("offload.storage-retries", options.storage_retries));
   options.retry_backoff_seconds = config.get_duration(
       "offload.retry-backoff", options.retry_backoff_seconds);
+  options.retry_backoff_cap_seconds = config.get_duration(
+      "offload.retry-backoff-cap", options.retry_backoff_cap_seconds);
+  options.op_deadline_seconds =
+      config.get_duration("offload.op-deadline", options.op_deadline_seconds);
+  options.offload_deadline_seconds =
+      config.get_duration("offload.deadline", options.offload_deadline_seconds);
+  options.job_retries = static_cast<int>(
+      config.get_int("offload.job-retries", options.job_retries));
+  if (options.job_retries < 0) {
+    return invalid_argument("offload.job-retries must be >= 0");
+  }
+  options.verify_transfers = config.get_bool(
+      "offload.verify-transfers", config.get_bool("fault.enabled", false));
   options.cleanup = config.get_bool("offload.cleanup", options.cleanup);
   options.stream_spark_logs =
       config.get_bool("offload.stream-spark-logs", options.stream_spark_logs);
@@ -114,6 +127,11 @@ Result<std::unique_ptr<CloudPlugin>> CloudPlugin::from_config(
   plugin->configured_trace_ = trace::TraceOptions::from_config(config);
   plugin->cluster_->tracer().configure(*plugin->configured_trace_);
   if (autoscale.enabled) plugin->cluster_->enable_autoscaler(autoscale);
+  // [fault]: the chaos plan wires into every layer through the cluster
+  // (network, object store, Spark probes, boot path).
+  OC_ASSIGN_OR_RETURN(fault::FaultPlan plan,
+                      fault::FaultPlan::from_config(config));
+  plugin->cluster_->enable_faults(plan);
   return plugin;
 }
 
@@ -168,42 +186,175 @@ std::vector<std::string> CloudPlugin::staged_names(const TargetRegion& region,
   return names;
 }
 
+void CloudPlugin::note_fault(tools::FaultEventInfo::Kind kind,
+                             std::string_view point, std::string_view detail) {
+  tools::FaultEventInfo info;
+  info.kind = kind;
+  info.point = point;
+  info.detail = detail;
+  info.time = cluster_->engine().now();
+  tracer().tools().emit_fault_event(info);
+}
+
+sim::Co<void> CloudPlugin::backoff_sleep(double* prev_sleep) {
+  // Decorrelated jitter (capped): sleep ~ U(base, 3 * previous sleep).
+  double sleep = std::min(
+      options_.retry_backoff_cap_seconds,
+      retry_rng_.uniform(options_.retry_backoff_seconds,
+                         std::max(options_.retry_backoff_seconds,
+                                  *prev_sleep * 3.0)));
+  *prev_sleep = sleep;
+  co_await cluster_->engine().sleep(sleep);
+}
+
+sim::Co<Status> CloudPlugin::timed_put(std::string key, ByteBuffer frame,
+                                       trace::SpanId parent) {
+  trace::Tracer& tr = tracer();
+  if (options_.op_deadline_seconds <= 0) {
+    tr.set_ambient(parent);
+    co_return co_await cluster_->store().put(cloud::Cluster::host_node(),
+                                             options_.bucket, std::move(key),
+                                             std::move(frame));
+  }
+  auto& engine = cluster_->engine();
+  auto status = std::make_shared<Status>(Status::ok());
+  std::string what = key;
+  std::vector<sim::Completion> racers;
+  racers.push_back(engine.spawn(
+      [](CloudPlugin* self, std::string key, ByteBuffer frame,
+         trace::SpanId parent, std::shared_ptr<Status> status) -> sim::Co<void> {
+        self->tracer().set_ambient(parent);
+        *status = co_await self->cluster_->store().put(
+            cloud::Cluster::host_node(), self->options_.bucket, std::move(key),
+            std::move(frame));
+      }(this, std::move(key), std::move(frame), parent, status)));
+  racers.push_back(engine.spawn(
+      [](sim::Engine* engine, double dt) -> sim::Co<void> {
+        co_await engine->sleep(dt);
+      }(&engine, options_.op_deadline_seconds)));
+  size_t first = co_await sim::any(engine, racers);
+  if (first == 1) {
+    // The abandoned put keeps running unobserved (a late success is a
+    // harmless idempotent overwrite); this attempt is charged as a miss.
+    note_fault(tools::FaultEventInfo::Kind::kDeadlineExceeded, "storage.put",
+               what);
+    co_return deadline_exceeded(
+        str_format("put '%s' exceeded the %.3fs op deadline", what.c_str(),
+                   options_.op_deadline_seconds));
+  }
+  co_return *status;
+}
+
+sim::Co<Result<ByteBuffer>> CloudPlugin::timed_get(std::string key,
+                                                   trace::SpanId parent) {
+  trace::Tracer& tr = tracer();
+  if (options_.op_deadline_seconds <= 0) {
+    tr.set_ambient(parent);
+    co_return co_await cluster_->store().get(cloud::Cluster::host_node(),
+                                             options_.bucket, std::move(key));
+  }
+  auto& engine = cluster_->engine();
+  auto result = std::make_shared<Result<ByteBuffer>>(
+      internal_error("storage get never ran"));
+  std::string what = key;
+  std::vector<sim::Completion> racers;
+  racers.push_back(engine.spawn(
+      [](CloudPlugin* self, std::string key, trace::SpanId parent,
+         std::shared_ptr<Result<ByteBuffer>> result) -> sim::Co<void> {
+        self->tracer().set_ambient(parent);
+        *result = co_await self->cluster_->store().get(
+            cloud::Cluster::host_node(), self->options_.bucket, std::move(key));
+      }(this, std::move(key), parent, result)));
+  racers.push_back(engine.spawn(
+      [](sim::Engine* engine, double dt) -> sim::Co<void> {
+        co_await engine->sleep(dt);
+      }(&engine, options_.op_deadline_seconds)));
+  size_t first = co_await sim::any(engine, racers);
+  if (first == 1) {
+    note_fault(tools::FaultEventInfo::Kind::kDeadlineExceeded, "storage.get",
+               what);
+    co_return deadline_exceeded(
+        str_format("get '%s' exceeded the %.3fs op deadline", what.c_str(),
+                   options_.op_deadline_seconds));
+  }
+  co_return std::move(*result);
+}
+
 sim::Co<Status> CloudPlugin::put_with_retry(std::string key, ByteBuffer frame,
                                             trace::SpanId parent) {
-  auto& engine = cluster_->engine();
   trace::Tracer& tr = tracer();
+  const uint64_t frame_size = frame.size();
+  const uint64_t frame_hash =
+      options_.verify_transfers ? fnv1a(frame.view()) : 0;
   Status put = Status::ok();
+  double prev_sleep = options_.retry_backoff_seconds;
   for (int attempt = 0; attempt <= options_.storage_retries; ++attempt) {
+    trace::SpanHandle recovery;
     if (attempt > 0) {
+      // The recovery span stays open across the re-attempt: backoff + redo
+      // is exactly the time this object lost to the fault.
+      recovery = tr.span("recovery", parent);
+      recovery.tag("op", "put");
+      recovery.tag("key", key);
       tr.metrics().counter("storage.retries").add();
-      co_await engine.sleep(options_.retry_backoff_seconds * attempt);
+      note_fault(tools::FaultEventInfo::Kind::kRetry, "storage.put",
+                 put.message());
+      co_await backoff_sleep(&prev_sleep);
     }
     // put() consumes its buffer, so each attempt ships a fresh copy.
-    tr.set_ambient(parent);
-    put = co_await cluster_->store().put(cloud::Cluster::host_node(),
-                                         options_.bucket, key,
-                                         ByteBuffer(frame.view()));
-    if (put.is_ok() || put.code() != StatusCode::kUnavailable) break;
+    put = co_await timed_put(key, ByteBuffer(frame.view()), parent);
+    if (put.is_ok() && options_.verify_transfers) {
+      // Read-after-write verification: a cheap HEAD catches torn writes
+      // (acked PUT, truncated object) before anyone consumes the object.
+      tr.set_ambient(parent);
+      auto info = co_await cluster_->store().head(cloud::Cluster::host_node(),
+                                                  options_.bucket, key);
+      if (!info.ok()) {
+        put = info.status();
+      } else if (info->size != frame_size || info->content_hash != frame_hash) {
+        note_fault(tools::FaultEventInfo::Kind::kCorruptionDetected,
+                   "storage.torn-write", key);
+        put = data_loss(str_format(
+            "object '%s' failed post-upload verification (stored %llu bytes)",
+            key.c_str(), static_cast<unsigned long long>(info->size)));
+      }
+    }
+    recovery.end();
+    if (put.is_ok()) break;
+    // kDataLoss is retryable here — we still hold the frame, so a detected
+    // torn write is repaired by re-uploading. Permanent errors (invalid
+    // argument, missing bucket) fail fast after one attempt.
+    if (!is_retryable(put.code()) && put.code() != StatusCode::kDataLoss) {
+      break;
+    }
   }
   co_return put;
 }
 
 sim::Co<Result<ByteBuffer>> CloudPlugin::get_with_retry(std::string key,
                                                         trace::SpanId parent) {
-  auto& engine = cluster_->engine();
   trace::Tracer& tr = tracer();
   Status got = Status::ok();
+  double prev_sleep = options_.retry_backoff_seconds;
   for (int attempt = 0; attempt <= options_.storage_retries; ++attempt) {
+    trace::SpanHandle recovery;
     if (attempt > 0) {
+      recovery = tr.span("recovery", parent);
+      recovery.tag("op", "get");
+      recovery.tag("key", key);
       tr.metrics().counter("storage.retries").add();
-      co_await engine.sleep(options_.retry_backoff_seconds * attempt);
+      note_fault(tools::FaultEventInfo::Kind::kRetry, "storage.get",
+                 got.message());
+      co_await backoff_sleep(&prev_sleep);
     }
-    tr.set_ambient(parent);
-    auto result = co_await cluster_->store().get(cloud::Cluster::host_node(),
-                                                 options_.bucket, key);
+    auto result = co_await timed_get(key, parent);
+    recovery.end();
     if (result.ok()) co_return std::move(*result);
     got = result.status();
-    if (got.code() != StatusCode::kUnavailable) break;
+    // A raw get cannot re-produce lost bytes, so kDataLoss is NOT retryable
+    // here (decode-level corruption retries live in the download paths,
+    // which can re-download).
+    if (!is_retryable(got.code())) break;
   }
   co_return got;
 }
@@ -315,8 +466,14 @@ sim::Co<Status> CloudPlugin::upload_single(const MappedVar* var,
   // rate of the codec the frame actually carries (the min-size gate may
   // have demoted to "null").
   trace::SpanHandle compress_span = tr.span("compress", span.id());
-  auto encoded = compress::encode_payload_frame(options_.codec, plain,
-                                                options_.min_compress_size);
+  // With transfer verification on, the frame is sealed with a plain-bytes
+  // checksum so the Spark driver detects in-flight corruption on decode.
+  auto encoded =
+      options_.verify_transfers
+          ? compress::encode_sealed_payload_frame(options_.codec, plain,
+                                                  options_.min_compress_size)
+          : compress::encode_payload_frame(options_.codec, plain,
+                                           options_.min_compress_size);
   if (!encoded.ok()) {
     gate->release();
     co_return encoded.status();
@@ -565,52 +722,75 @@ sim::Co<void> CloudPlugin::fetch_block(
   // The window bounds runahead (mirroring the upload pipeline); the gate is
   // held only for the wire, so block k decodes while block k+1 transfers.
   co_await window->acquire();
-  co_await gate->acquire();
-  trace::SpanHandle fetch_span =
-      tr.span(str_format("block[%zu].fetch", slot), parent);
-  auto framed = co_await get_with_retry(std::move(key), fetch_span.id());
-  if (framed.ok()) {
-    fetch_span.add("wire_bytes", static_cast<double>(framed->size()));
-    tally->wire_bytes += framed->size();
-  }
-  fetch_span.end();
-  gate->release();
-  if (!framed.ok()) {
-    window->release();
-    (*statuses)[slot] = framed.status();
-    co_return;
-  }
-  trace::SpanHandle decode_span =
-      tr.span(str_format("block[%zu].decode", slot), parent);
-  auto plain = compress::decode_payload(framed->view());
-  if (!plain.ok()) {
-    window->release();
-    (*statuses)[slot] = plain.status();
-    co_return;
-  }
-  if (plain->size() != block.plain_size ||
-      fnv1a(plain->view()) != block.content_hash) {
-    window->release();
-    (*statuses)[slot] = data_loss(
-        str_format("block %zu failed content verification", slot));
-    co_return;
-  }
-  double codec_seconds = 0;
-  auto codec_name = compress::payload_codec(framed->view());
-  if (codec_name.ok()) {
-    auto codec = compress::find_codec(*codec_name);
-    if (codec.ok()) {
-      codec_seconds =
-          cluster_->profile().decode_seconds(**codec, plain->size());
+  // Fetch + decode + verify retries as one unit: a content-hash mismatch
+  // (kDataLoss) means the copy was corrupted in flight — the stored object
+  // may be intact, so re-download instead of surfacing silent data loss.
+  double prev_sleep = options_.retry_backoff_seconds;
+  for (int attempt = 0; attempt <= options_.storage_retries; ++attempt) {
+    trace::SpanHandle recovery;
+    if (attempt > 0) {
+      recovery = tr.span("recovery", parent);
+      recovery.tag("op", "refetch");
+      recovery.tag("key", key);
+      note_fault(tools::FaultEventInfo::Kind::kRetry, "storage.get",
+                 (*statuses)[slot].message());
+      co_await backoff_sleep(&prev_sleep);
     }
+    co_await gate->acquire();
+    trace::SpanHandle fetch_span =
+        tr.span(str_format("block[%zu].fetch", slot), parent);
+    auto framed = co_await get_with_retry(key, fetch_span.id());
+    if (framed.ok()) {
+      fetch_span.add("wire_bytes", static_cast<double>(framed->size()));
+      tally->wire_bytes += framed->size();
+    }
+    fetch_span.end();
+    gate->release();
+    if (!framed.ok()) {
+      (*statuses)[slot] = framed.status();
+      recovery.end();
+      break;  // get_with_retry already exhausted the transient retries
+    }
+    trace::SpanHandle decode_span =
+        tr.span(str_format("block[%zu].decode", slot), parent);
+    auto plain = compress::decode_payload(framed->view());
+    if (plain.ok() && (plain->size() != block.plain_size ||
+                       fnv1a(plain->view()) != block.content_hash)) {
+      plain = data_loss(
+          str_format("block %zu failed content verification", slot));
+    }
+    if (!plain.ok()) {
+      decode_span.tag("fault", "corruption");
+      decode_span.end();
+      recovery.end();
+      (*statuses)[slot] = plain.status();
+      if (plain.status().code() == StatusCode::kDataLoss) {
+        note_fault(tools::FaultEventInfo::Kind::kCorruptionDetected,
+                   "net.corrupt", key);
+        continue;  // re-download
+      }
+      break;
+    }
+    double codec_seconds = 0;
+    auto codec_name = compress::payload_codec(framed->view());
+    if (codec_name.ok()) {
+      auto codec = compress::find_codec(*codec_name);
+      if (codec.ok()) {
+        codec_seconds =
+            cluster_->profile().decode_seconds(**codec, plain->size());
+      }
+    }
+    co_await cluster_->host_pool().run(codec_seconds);
+    decode_span.add("plain_bytes", static_cast<double>(plain->size()));
+    decode_span.add("codec_seconds", codec_seconds);
+    decode_span.end();
+    recovery.end();
+    tally->plain_bytes += plain->size();
+    std::memcpy(static_cast<std::byte*>(var->host_ptr) + block.plain_offset,
+                plain->data(), plain->size());
+    (*statuses)[slot] = Status::ok();
+    break;
   }
-  co_await cluster_->host_pool().run(codec_seconds);
-  decode_span.add("plain_bytes", static_cast<double>(plain->size()));
-  decode_span.add("codec_seconds", codec_seconds);
-  decode_span.end();
-  tally->plain_bytes += plain->size();
-  std::memcpy(static_cast<std::byte*>(var->host_ptr) + block.plain_offset,
-              plain->data(), plain->size());
   window->release();
 }
 
@@ -704,33 +884,67 @@ sim::Co<Status> CloudPlugin::download_buffer(
     co_return Status::ok();
   }
 
-  // Legacy single frame.
-  trace::SpanHandle decode_span = tr.span("decode", span.id());
-  OC_CO_ASSIGN_OR_RETURN(ByteBuffer plain,
-                         compress::decode_payload(framed->view()));
-  if (plain.size() != var->size_bytes) {
-    co_return data_loss(str_format(
-        "got %zu bytes, expected %llu", plain.size(),
-        static_cast<unsigned long long>(var->size_bytes)));
-  }
-  auto codec_name = compress::payload_codec(framed->view());
-  double codec_seconds = 0;
-  if (codec_name.ok()) {
-    auto codec = compress::find_codec(*codec_name);
-    if (codec.ok()) {
-      codec_seconds =
-          cluster_->profile().decode_seconds(**codec, plain.size());
+  // Legacy single frame (possibly sealed). Decode failures and size/checksum
+  // mismatches are kDataLoss from in-flight corruption: re-download (the
+  // stored object may be intact) instead of surfacing silent data loss.
+  Status last = Status::ok();
+  double prev_sleep = options_.retry_backoff_seconds;
+  for (int attempt = 0; attempt <= options_.storage_retries; ++attempt) {
+    if (attempt > 0) {
+      trace::SpanHandle recovery = tr.span("recovery", span.id());
+      recovery.tag("op", "refetch");
+      recovery.tag("key", base_key);
+      note_fault(tools::FaultEventInfo::Kind::kCorruptionDetected,
+                 "net.corrupt", base_key);
+      note_fault(tools::FaultEventInfo::Kind::kRetry, "storage.get",
+                 last.message());
+      co_await backoff_sleep(&prev_sleep);
+      co_await gate->acquire();
+      trace::SpanHandle refetch_span = tr.span("fetch", span.id());
+      framed = co_await get_with_retry(base_key, refetch_span.id());
+      if (framed.ok()) {
+        refetch_span.add("wire_bytes", static_cast<double>(framed->size()));
+        op.wire_bytes += framed->size();
+      }
+      refetch_span.end();
+      gate->release();
+      recovery.end();
+      OC_CO_RETURN_IF_ERROR(framed.status());
     }
+    trace::SpanHandle decode_span = tr.span("decode", span.id());
+    auto plain = compress::decode_payload(framed->view());
+    if (plain.ok() && plain->size() != var->size_bytes) {
+      plain = data_loss(str_format(
+          "got %zu bytes, expected %llu", plain->size(),
+          static_cast<unsigned long long>(var->size_bytes)));
+    }
+    if (!plain.ok()) {
+      decode_span.tag("fault", "corruption");
+      decode_span.end();
+      last = plain.status();
+      if (last.code() == StatusCode::kDataLoss) continue;
+      co_return last;
+    }
+    auto codec_name = compress::payload_codec(framed->view());
+    double codec_seconds = 0;
+    if (codec_name.ok()) {
+      auto codec = compress::find_codec(*codec_name);
+      if (codec.ok()) {
+        codec_seconds =
+            cluster_->profile().decode_seconds(**codec, plain->size());
+      }
+    }
+    co_await cluster_->host_pool().run(codec_seconds);
+    decode_span.add("plain_bytes", static_cast<double>(plain->size()));
+    decode_span.add("codec_seconds", codec_seconds);
+    decode_span.end();
+    std::memcpy(var->host_ptr, plain->data(), plain->size());
+    op.plain_bytes += plain->size();
+    op.end = engine.now();
+    tr.tools().emit_data_op(op);
+    co_return Status::ok();
   }
-  co_await cluster_->host_pool().run(codec_seconds);
-  decode_span.add("plain_bytes", static_cast<double>(plain.size()));
-  decode_span.add("codec_seconds", codec_seconds);
-  decode_span.end();
-  std::memcpy(var->host_ptr, plain.data(), plain.size());
-  op.plain_bytes += plain.size();
-  op.end = engine.now();
-  tr.tools().emit_data_op(op);
-  co_return Status::ok();
+  co_return last;
 }
 
 sim::Co<Status> CloudPlugin::cleanup_objects(
@@ -874,6 +1088,22 @@ sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
     tr.tools().emit_data_op(alloc);
   }
 
+  // Whole-offload deadline: checked at phase boundaries (never mid-phase,
+  // so a partial phase can not leave buffers half-written unnoticed — the
+  // device manager restores the snapshot before any host fallback anyway).
+  auto past_deadline = [&](const char* phase) -> Status {
+    if (options_.offload_deadline_seconds <= 0) return Status::ok();
+    double elapsed = engine.now() - start;
+    if (elapsed <= options_.offload_deadline_seconds) return Status::ok();
+    note_fault(tools::FaultEventInfo::Kind::kDeadlineExceeded, "offload",
+               region.name);
+    return deadline_exceeded(str_format(
+        "region '%s' missed its %.1fs deadline after %s (%.1fs elapsed)",
+        region.name.c_str(), options_.offload_deadline_seconds, phase,
+        elapsed));
+  };
+  OC_CO_RETURN_IF_ERROR(past_deadline("boot"));
+
   // Fig. 1 step 2: inputs to cloud storage (parallel transfer threads,
   // chunked buffers streaming compress/wire overlapped).
   {
@@ -881,27 +1111,58 @@ sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
     OC_CO_RETURN_IF_ERROR(
         co_await upload_inputs(region, names, cache_eligible, upload.id()));
   }
+  OC_CO_RETURN_IF_ERROR(past_deadline("upload"));
 
-  // Fig. 1 step 3: submit the Spark job over SSH and block.
-  {
-    trace::SpanHandle submit = tr.span("spark.submit", root);
-    OC_CO_RETURN_IF_ERROR(co_await cluster_->ssh_submit_roundtrip());
+  // Fig. 1 steps 3-7, with job-level resubmission: a driver crash or a
+  // mid-job outage (kUnavailable) and driver-detected input corruption
+  // (kDataLoss) re-run only the job — the inputs are still staged, so the
+  // upload is not repeated.
+  double job_prev_sleep = options_.retry_backoff_seconds;
+  for (int job_attempt = 0;; ++job_attempt) {
+    {
+      trace::SpanHandle submit = tr.span("spark.submit", root);
+      OC_CO_RETURN_IF_ERROR(co_await cluster_->ssh_submit_roundtrip());
+    }
+    spark::JobSpec job;
+    job.name = region.name;
+    job.bucket = options_.bucket;
+    job.storage_codec = options_.codec;
+    job.storage_min_compress = options_.min_compress_size;
+    job.storage_chunk_size = options_.chunk_size;
+    job.storage_seal = options_.verify_transfers;
+    for (size_t v = 0; v < region.vars.size(); ++v) {
+      const MappedVar& var = region.vars[v];
+      job.vars.push_back(
+          {names[v], var.size_bytes, var.maps_to(), var.maps_from()});
+    }
+    job.loops = region.loops;
+    auto ran = co_await context_.run_job(std::move(job), root);
+    if (ran.ok()) {
+      report.job = std::move(*ran);
+      break;
+    }
+    StatusCode code = ran.status().code();
+    bool resubmittable =
+        code == StatusCode::kUnavailable || code == StatusCode::kDataLoss;
+    if (!resubmittable || job_attempt >= options_.job_retries) {
+      co_return ran.status();
+    }
+    OC_CO_RETURN_IF_ERROR(past_deadline("spark job failure"));
+    if (code == StatusCode::kDataLoss) {
+      note_fault(tools::FaultEventInfo::Kind::kCorruptionDetected,
+                 "spark.input", ran.status().message());
+    }
+    note_fault(tools::FaultEventInfo::Kind::kResubmit, "spark.job",
+               ran.status().message());
+    log_.warn("job '%s' failed (%s); resubmitting (%d/%d)",
+              region.name.c_str(), ran.status().to_string().c_str(),
+              job_attempt + 1, options_.job_retries);
+    trace::SpanHandle recovery = tr.span("recovery", root);
+    recovery.tag("op", "resubmit");
+    co_await backoff_sleep(&job_prev_sleep);
+    recovery.end();
   }
-
-  spark::JobSpec job;
-  job.name = region.name;
-  job.bucket = options_.bucket;
-  job.storage_codec = options_.codec;
-  job.storage_min_compress = options_.min_compress_size;
-  job.storage_chunk_size = options_.chunk_size;
-  for (size_t v = 0; v < region.vars.size(); ++v) {
-    const MappedVar& var = region.vars[v];
-    job.vars.push_back(
-        {names[v], var.size_bytes, var.maps_to(), var.maps_from()});
-  }
-  job.loops = region.loops;
-  OC_CO_ASSIGN_OR_RETURN(report.job,
-                         co_await context_.run_job(std::move(job), root));
+  OC_CO_RETURN_IF_ERROR(past_deadline("spark job"));
 
   // Fig. 1 step 8: results back to the host.
   {
@@ -909,6 +1170,7 @@ sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
     OC_CO_RETURN_IF_ERROR(
         co_await download_outputs(region, names, download.id()));
   }
+  OC_CO_RETURN_IF_ERROR(past_deadline("download"));
 
   if (options_.cleanup) {
     trace::SpanHandle cleanup = tr.span("cleanup", root);

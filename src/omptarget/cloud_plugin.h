@@ -34,6 +34,8 @@
 #include "spark/context.h"
 #include "support/config.h"
 #include "support/log.h"
+#include "support/random.h"
+#include "tools/tools.h"
 
 namespace ompcloud::omptarget {
 
@@ -56,7 +58,29 @@ struct CloudPluginOptions {
   int transfer_threads = 0;
   /// Transient-storage-failure retries per object.
   int storage_retries = 3;
+  /// Base backoff between retries. Attempt N sleeps a decorrelated-jitter
+  /// draw from U(base, 3 * previous-sleep), capped below — exponential on
+  /// average, desynchronized across concurrent transfers.
   double retry_backoff_seconds = 0.5;
+  double retry_backoff_cap_seconds = 10.0;
+  /// Per storage-operation deadline (0 = none): a put/get attempt that is
+  /// still in flight after this long is abandoned (it keeps running
+  /// unobserved in the simulation, like a dropped TCP connection) and the
+  /// attempt counts as DEADLINE_EXCEEDED, which is retryable.
+  double op_deadline_seconds = 0;
+  /// Whole-offload deadline (0 = none), checked at phase boundaries and
+  /// before every job resubmission. A miss aborts the region with
+  /// DEADLINE_EXCEEDED so the device manager can fall back to the host.
+  double offload_deadline_seconds = 0;
+  /// Spark job resubmissions after a driver crash / mid-job outage. Staged
+  /// inputs are reused (delta cache), so only the job re-runs.
+  int job_retries = 1;
+  /// End-to-end integrity: seal single-frame payloads with a plain-bytes
+  /// checksum, verify objects after PUT with a HEAD round trip (catches
+  /// torn writes), and re-download on checksum mismatch instead of
+  /// surfacing silent corruption. Defaults to on exactly when `[fault]
+  /// enabled` is set, so the fault-free path pays nothing.
+  bool verify_transfers = false;
   /// Delete staged objects after the region completes.
   bool cleanup = true;
   /// Mirror Spark log messages to the host stdout (§III-A).
@@ -147,8 +171,31 @@ class CloudPlugin final : public Plugin {
   /// manager's once `attach_tracer` ran).
   [[nodiscard]] trace::Tracer& tracer() const { return cluster_->tracer(); }
 
-  /// Storage put/get with the transient-failure retry loop. `parent` adopts
-  /// the resulting `store.*` spans (via the tracer's ambient slot).
+  /// One put/get attempt under the per-op deadline (when configured): the
+  /// operation races a timer; if the timer wins, the abandoned op keeps
+  /// running unobserved and the attempt reports DEADLINE_EXCEEDED.
+  sim::Co<Status> timed_put(std::string key, ByteBuffer frame,
+                            trace::SpanId parent);
+  sim::Co<Result<ByteBuffer>> timed_get(std::string key, trace::SpanId parent);
+
+  /// Decorrelated-jitter backoff before retry `attempt` (1-based), wrapped
+  /// in a `recovery` span under `parent` together with nothing else — the
+  /// caller keeps the span open across the re-attempt so "time lost to
+  /// recovery" covers backoff + redo. `prev_sleep` carries the jitter state.
+  sim::Co<void> backoff_sleep(double* prev_sleep);
+
+  /// Emits a fault-accounting tool event (retry / corruption / deadline /
+  /// resubmit) through the tracer's tool registry.
+  void note_fault(tools::FaultEventInfo::Kind kind, std::string_view point,
+                  std::string_view detail);
+
+  /// Storage put/get with the retry loop: transient statuses
+  /// (`is_retryable`) retry with jittered backoff; everything else fails
+  /// fast. `put_with_retry` additionally treats kDataLoss as retryable —
+  /// it holds the frame, so a torn write (caught by the post-upload HEAD
+  /// verification when `verify_transfers` is on) is repaired by
+  /// re-uploading. `parent` adopts the resulting `store.*` spans (via the
+  /// tracer's ambient slot).
   sim::Co<Status> put_with_retry(std::string key, ByteBuffer frame,
                                  trace::SpanId parent);
   sim::Co<Result<ByteBuffer>> get_with_retry(std::string key,
@@ -224,6 +271,9 @@ class CloudPlugin final : public Plugin {
   /// a unique prefix instead of trampling the staged objects.
   std::set<std::string> active_regions_;
   uint64_t next_invocation_ = 0;
+  /// Jitter source for retry backoff. Consulted only when a retry actually
+  /// happens, so a fault-free run draws nothing and stays bit-identical.
+  Xoshiro256 retry_rng_{0x0cfa17eu};
   Logger log_{"omptarget.cloud"};
 };
 

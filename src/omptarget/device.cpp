@@ -1,5 +1,7 @@
 #include "omptarget/device.h"
 
+#include <cstring>
+
 #include "omptarget/host_plugin.h"
 #include "omptarget/scheduler.h"
 #include "support/strings.h"
@@ -67,6 +69,17 @@ Status TargetRegion::validate() const {
   return Status::ok();
 }
 
+DeviceManagerOptions DeviceManagerOptions::from_config(const Config& config) {
+  DeviceManagerOptions options;
+  options.fallback_on_failure = config.get_bool("device.fallback-on-failure",
+                                                options.fallback_on_failure);
+  options.breaker_threshold = static_cast<int>(
+      config.get_int("device.breaker-threshold", options.breaker_threshold));
+  options.breaker_open_seconds = config.get_duration(
+      "device.breaker-open-seconds", options.breaker_open_seconds);
+  return options;
+}
+
 DeviceManager::DeviceManager(sim::Engine& engine)
     : engine_(&engine),
       tracer_(std::make_shared<trace::Tracer>(engine)) {
@@ -85,6 +98,7 @@ DeviceManager::~DeviceManager() {
 int DeviceManager::register_device(std::unique_ptr<Plugin> plugin) {
   plugin->attach_tracer(tracer_);
   devices_.push_back(std::move(plugin));
+  breakers_.resize(devices_.size());
   int id = static_cast<int>(devices_.size()) - 1;
   tracer_->tools().emit_device_init(
       {id, devices_.back()->name(), engine_->now()});
@@ -98,8 +112,92 @@ void DeviceManager::set_host_device(std::unique_ptr<Plugin> plugin) {
   } else {
     devices_[0] = std::move(plugin);
   }
+  breakers_.resize(devices_.size());
   tracer_->tools().emit_device_init(
       {host_device_id(), devices_[0]->name(), engine_->now()});
+}
+
+bool DeviceManager::fallback_eligible(StatusCode code) const {
+  if (!options_.fallback_on_failure) {
+    // Historical behavior (`device.fallback-on-failure = false`): only
+    // unavailability triggers the dynamic fallback; every other failure
+    // surfaces to the caller.
+    return code == StatusCode::kUnavailable;
+  }
+  // Programmer errors would fail identically on the host — surface them.
+  return code != StatusCode::kInvalidArgument &&
+         code != StatusCode::kUnimplemented &&
+         code != StatusCode::kNotFound &&
+         code != StatusCode::kFailedPrecondition;
+}
+
+void DeviceManager::emit_breaker_event(int device_id,
+                                       tools::FaultEventInfo::Kind kind,
+                                       trace::SpanHandle& root) {
+  tools::FaultEventInfo info;
+  info.kind = kind;
+  info.point = "breaker";
+  info.device_id = device_id;
+  info.time = engine_->now();
+  tracer_->tools().emit_fault_event(info);
+  trace::SpanHandle span = root.child("breaker");
+  span.tag("transition", std::string(tools::to_string(kind)));
+  span.tag("device", std::to_string(device_id));
+  span.end();
+}
+
+bool DeviceManager::breaker_allows(int device_id, trace::SpanHandle& root) {
+  if (options_.breaker_threshold <= 0) return true;
+  Breaker& breaker = breakers_[static_cast<size_t>(device_id)];
+  switch (breaker.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (engine_->now() - breaker.opened_at >=
+          options_.breaker_open_seconds) {
+        // Cooldown elapsed: this offload is the half-open probe.
+        breaker.state = BreakerState::kHalfOpen;
+        emit_breaker_event(device_id,
+                           tools::FaultEventInfo::Kind::kBreakerHalfOpen,
+                           root);
+        return true;
+      }
+      root.tag("breaker", "open");
+      return false;
+    case BreakerState::kHalfOpen:
+      // A probe is already in flight; route everyone else to the host.
+      root.tag("breaker", "half_open");
+      return false;
+  }
+  return true;
+}
+
+void DeviceManager::breaker_on_success(int device_id,
+                                       trace::SpanHandle& root) {
+  if (options_.breaker_threshold <= 0) return;
+  Breaker& breaker = breakers_[static_cast<size_t>(device_id)];
+  if (breaker.state != BreakerState::kClosed) {
+    emit_breaker_event(device_id, tools::FaultEventInfo::Kind::kBreakerClose,
+                       root);
+  }
+  breaker.state = BreakerState::kClosed;
+  breaker.consecutive_failures = 0;
+}
+
+void DeviceManager::breaker_on_failure(int device_id,
+                                       trace::SpanHandle& root) {
+  if (options_.breaker_threshold <= 0) return;
+  Breaker& breaker = breakers_[static_cast<size_t>(device_id)];
+  ++breaker.consecutive_failures;
+  bool failed_probe = breaker.state == BreakerState::kHalfOpen;
+  if (failed_probe ||
+      (breaker.state == BreakerState::kClosed &&
+       breaker.consecutive_failures >= options_.breaker_threshold)) {
+    breaker.state = BreakerState::kOpen;
+    breaker.opened_at = engine_->now();
+    emit_breaker_event(device_id, tools::FaultEventInfo::Kind::kBreakerOpen,
+                       root);
+  }
 }
 
 OffloadScheduler& DeviceManager::configure_scheduler(
@@ -140,25 +238,56 @@ sim::Co<Result<OffloadReport>> DeviceManager::offload(TargetRegion region,
                            engine_->now()});
   };
 
-  if (device_id != host_device_id() && requested.is_available()) {
+  if (device_id != host_device_id() && requested.is_available() &&
+      breaker_allows(device_id, root)) {
     root.tag("device", std::string(requested.name()));
+    // Snapshot every mapped host buffer before the attempt: a mid-flight
+    // failure can leave partial downloads in map(from:) buffers or trample
+    // map(tofrom:) inputs, and the host fallback must start from pristine
+    // memory. Host-side memcpy costs no virtual time.
+    std::vector<ByteBuffer> snapshot(region.vars.size());
+    for (size_t v = 0; v < region.vars.size(); ++v) {
+      const MappedVar& var = region.vars[v];
+      if (var.host_ptr == nullptr) continue;
+      snapshot[v] = ByteBuffer(as_bytes_of(
+          static_cast<const std::byte*>(var.host_ptr), var.size_bytes));
+    }
     auto report = co_await requested.run_region(region, root.id());
     if (report.ok()) {
+      breaker_on_success(device_id, root);
       finish(/*ok=*/true, /*fell_back=*/false);
       co_return report;
     }
-    // Only unavailability triggers the dynamic fallback; real failures
-    // (bad kernel, data loss) surface to the caller.
-    if (report.status().code() != StatusCode::kUnavailable) {
+    breaker_on_failure(device_id, root);
+    // `device.fallback-on-failure` (default on): any infrastructure
+    // failure — unavailability, a missed deadline, unrecovered data loss —
+    // recovers locally. Programmer errors (bad kernel, invalid region)
+    // always surface: they would fail on the host too. With the knob off,
+    // only kUnavailable falls back (the historical behavior).
+    if (!fallback_eligible(report.status().code())) {
       finish(/*ok=*/false, /*fell_back=*/false);
       co_return report.status();
+    }
+    root.tag("fault", report.status().message());
+    for (size_t v = 0; v < region.vars.size(); ++v) {
+      const MappedVar& var = region.vars[v];
+      if (var.host_ptr == nullptr) continue;
+      std::memcpy(var.host_ptr, snapshot[v].data(), snapshot[v].size());
     }
   }
 
   // Fig. 1: "if the cloud is not available the computation is performed
   // locally".
   bool is_fallback = device_id != host_device_id();
-  if (is_fallback) root.tag("fallback", "true");
+  if (is_fallback) {
+    root.tag("fallback", "true");
+    tools::FaultEventInfo fell;
+    fell.kind = tools::FaultEventInfo::Kind::kFallback;
+    fell.point = "device";
+    fell.device_id = device_id;
+    fell.time = engine_->now();
+    tracer_->tools().emit_fault_event(fell);
+  }
   auto fallback =
       co_await devices_[host_device_id()]->run_region(region, root.id());
   if (!fallback.ok()) {

@@ -15,6 +15,8 @@
 
 #include "sim/engine.h"
 #include "spark/job.h"
+#include "support/bytes.h"
+#include "support/config.h"
 #include "support/status.h"
 #include "trace/tracer.h"
 
@@ -125,12 +127,40 @@ class Plugin {
   std::shared_ptr<trace::Tracer> tracer_;  ///< null until attached
 };
 
+/// The `[device]` section: dynamic-fallback policy and the per-device
+/// circuit breaker.
+struct DeviceManagerOptions {
+  /// true (the default): any device failure except programmer errors
+  /// (kInvalidArgument, kUnimplemented, kNotFound, kFailedPrecondition)
+  /// routes the region to the host —
+  /// mid-flight infrastructure failures (kUnavailable, kDeadlineExceeded,
+  /// unrecovered kDataLoss, kInternal) all recover locally. `false`
+  /// restores the historical behavior where only kUnavailable triggered
+  /// the dynamic fallback and every other failure surfaced to the caller.
+  bool fallback_on_failure = true;
+  /// Consecutive fallback-eligible failures that open a device's circuit
+  /// breaker (0 disables the breaker). While open, offloads skip the
+  /// device and run on the host immediately — no doomed upload attempts.
+  int breaker_threshold = 3;
+  /// How long an open breaker routes straight to the host before letting
+  /// one half-open probe try the device again. The probe's outcome closes
+  /// the breaker (success) or re-opens it (failure).
+  double breaker_open_seconds = 120;
+
+  /// Reads `device.fallback-on-failure`, `device.breaker-threshold`,
+  /// `device.breaker-open-seconds`.
+  static DeviceManagerOptions from_config(const Config& config);
+};
+
 /// Device registry + offload dispatch (component 2). Device 0 is always the
 /// host device; `omp_get_num_devices()`-style accessors included.
 class DeviceManager {
  public:
   explicit DeviceManager(sim::Engine& engine);
   ~DeviceManager();
+
+  /// Per-device circuit-breaker state (exposed for tests/diagnostics).
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
 
   /// Registers a device plugin; returns its device id (>= 1; 0 is host).
   int register_device(std::unique_ptr<Plugin> plugin);
@@ -164,6 +194,15 @@ class DeviceManager {
   [[nodiscard]] sim::Co<Result<OffloadReport>> offload_queued(
       TargetRegion region, int device_id, std::string tenant = "default");
 
+  /// Installs the fallback/breaker policy (defaults apply otherwise).
+  void configure(DeviceManagerOptions options) { options_ = options; }
+  [[nodiscard]] const DeviceManagerOptions& options() const {
+    return options_;
+  }
+  [[nodiscard]] BreakerState breaker_state(int device_id) const {
+    return breakers_.at(static_cast<size_t>(device_id)).state;
+  }
+
   [[nodiscard]] sim::Engine& engine() { return *engine_; }
 
   /// The tracer shared by every registered device (created by the
@@ -174,10 +213,32 @@ class DeviceManager {
   }
 
  private:
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    double opened_at = 0;
+  };
+
+  /// Whether `code` routes to the host fallback under the current policy.
+  [[nodiscard]] bool fallback_eligible(StatusCode code) const;
+  /// Gatekeeper before a device attempt: false when the breaker is open
+  /// (and the cooldown has not elapsed) — the region goes straight to the
+  /// host. An elapsed cooldown flips the breaker half-open and lets this
+  /// attempt through as the probe.
+  bool breaker_allows(int device_id, trace::SpanHandle& root);
+  void breaker_on_success(int device_id, trace::SpanHandle& root);
+  void breaker_on_failure(int device_id, trace::SpanHandle& root);
+  /// Emits the breaker transition as a tool event plus a zero-duration
+  /// `breaker` child span of the offload root (per-offload attribution).
+  void emit_breaker_event(int device_id, tools::FaultEventInfo::Kind kind,
+                          trace::SpanHandle& root);
+
   sim::Engine* engine_;
   std::shared_ptr<trace::Tracer> tracer_;
   std::vector<std::unique_ptr<Plugin>> devices_;
   std::unique_ptr<OffloadScheduler> scheduler_;
+  DeviceManagerOptions options_;
+  std::vector<Breaker> breakers_;  ///< index-aligned with devices_
 };
 
 }  // namespace ompcloud::omptarget

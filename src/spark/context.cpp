@@ -5,6 +5,7 @@
 
 #include "compress/payload.h"
 #include "jnibridge/bridge.h"
+#include "support/fault.h"
 #include "support/strings.h"
 #include "tools/tools.h"
 
@@ -139,6 +140,14 @@ sim::Co<void> run_task(LoopRun* run, int tile_index) {
     bool inject_failure =
         *run->fault_injector &&
         (*run->fault_injector)(tile_index, attempts, worker);
+    fault::FaultInjector* chaos = run->cluster->fault_injector();
+    if (!inject_failure && chaos != nullptr &&
+        chaos->should_fail("spark.task-fail",
+                           str_format("task%d attempt%d worker%d", tile_index,
+                                      attempts, worker))) {
+      inject_failure = true;
+      span.tag("fault", "spark.task-fail");
+    }
 
     // Driver-side scheduling is serialized (one TaskScheduler thread): this
     // is the overhead term that grows linearly with the task count and
@@ -258,6 +267,15 @@ sim::Co<void> run_task(LoopRun* run, int tile_index) {
         *run->slowdown_injector
             ? std::max(1.0, (*run->slowdown_injector)(tile_index, worker))
             : 1.0;
+    if (!inject_failure && chaos != nullptr &&
+        chaos->should_fail("spark.slowdown",
+                           str_format("task%d worker%d", tile_index, worker))) {
+      // Gray failure: the task neither fails nor finishes on time. Composes
+      // with the test-only slowdown injector so speculation still kicks in.
+      slow_factor =
+          std::max(slow_factor, chaos->param("spark.slowdown-factor", 4.0));
+      span.tag("fault", "spark.slowdown");
+    }
     if (run->conf->speculation && slow_factor > run->conf->speculation_multiplier) {
       // Straggler: race the slow primary against a duplicate launched after
       // the detection delay on the next alive worker. DOALL determinism
@@ -782,8 +800,14 @@ sim::Co<Status> SparkContext::write_outputs(const JobSpec& spec,
             }
             co_return;
           }
-          auto encoded = compress::encode_payload_frame(
-              spec->storage_codec, plain.view(), spec->storage_min_compress);
+          auto encoded =
+              spec->storage_seal
+                  ? compress::encode_sealed_payload_frame(
+                        spec->storage_codec, plain.view(),
+                        spec->storage_min_compress)
+                  : compress::encode_payload_frame(spec->storage_codec,
+                                                   plain.view(),
+                                                   spec->storage_min_compress);
           if (!encoded.ok()) {
             (*statuses)[v] = encoded.status();
             co_return;
@@ -837,6 +861,21 @@ sim::Co<Result<JobMetrics>> SparkContext::run_job(JobSpec spec,
   trace::SpanHandle job = cluster_->tracer().span("spark.job", parent_span);
   job.tag("job", spec.name);
 
+  // Driver-crash probes sit at stage boundaries: the driver process dies
+  // between phases and the whole job aborts (the plugin may resubmit it,
+  // reusing already-staged inputs via the delta cache).
+  fault::FaultInjector* chaos = cluster_->fault_injector();
+  auto driver_crash = [&](const char* where) -> Status {
+    if (chaos != nullptr &&
+        chaos->should_fail("spark.driver-crash",
+                           spec.name + " at " + where)) {
+      job.tag("fault", "spark.driver-crash");
+      return unavailable(str_format("fault:spark.driver-crash job '%s' at %s",
+                                    spec.name.c_str(), where));
+    }
+    return Status::ok();
+  };
+
   Environment env;
   env.vars.resize(spec.vars.size());
 
@@ -847,10 +886,12 @@ sim::Co<Result<JobMetrics>> SparkContext::run_job(JobSpec spec,
     OC_CO_RETURN_IF_ERROR(co_await read_inputs(spec, env, metrics, read.id()));
   }
   metrics.input_read_seconds = engine.now() - read_start;
+  OC_CO_RETURN_IF_ERROR(driver_crash("read_inputs"));
 
   for (size_t i = 0; i < spec.loops.size(); ++i) {
     OC_CO_RETURN_IF_ERROR(
         co_await run_loop(spec, spec.loops[i], env, metrics, i, job.id()));
+    OC_CO_RETURN_IF_ERROR(driver_crash(str_format("loop%zu", i).c_str()));
   }
 
   double write_start = engine.now();

@@ -115,6 +115,10 @@ struct JobSpec {
   /// Block size for chunked staging of outputs larger than one block
   /// (0 = single-frame objects). Mirrors the plugin's `offload.chunk-size`.
   uint64_t storage_chunk_size = 0;
+  /// Seal single-frame outputs with a plain-bytes checksum so the host
+  /// detects in-flight corruption on download (chunked outputs already
+  /// carry per-block hashes). Mirrors `offload.verify-transfers`.
+  bool storage_seal = false;
   std::vector<VarSpec> vars;
   std::vector<LoopSpec> loops;
 

@@ -63,6 +63,27 @@ void finish_op(trace::Tracer* tracer, trace::SpanHandle& span,
   tracer->metrics().histogram(histogram).record(seconds);
 }
 
+/// Plan-driven transient failure for one op. Tags the op span so the trace
+/// analyzer can count faults per offload subtree.
+Status probe_transient(fault::FaultInjector* chaos, trace::SpanHandle& span,
+                       std::string_view op, const std::string& bucket,
+                       const std::string& key) {
+  if (chaos == nullptr) return Status::ok();
+  std::string detail = std::string(op) + " " + bucket + "/" + key;
+  if (!chaos->should_fail("storage.transient", detail)) return Status::ok();
+  span.tag("fault", "storage.transient");
+  return unavailable("fault:storage.transient " + detail);
+}
+
+/// A transfer that failed because of an injected network fault also gets a
+/// `fault` tag on the enclosing op span (genuine errors stay untagged).
+void tag_injected_transfer_fault(trace::SpanHandle& span,
+                                 const Status& moved) {
+  if (starts_with(moved.message(), "fault:")) {
+    span.tag("fault", moved.message());
+  }
+}
+
 }  // namespace
 
 sim::Co<Status> ObjectStore::move_bytes(std::string from, std::string to,
@@ -98,6 +119,7 @@ sim::Co<Status> ObjectStore::put(std::string client_node, std::string bucket,
   trace::SpanHandle span = op_span(tracer_, "store.put", bucket, key);
   span.add("bytes", static_cast<double>(data.size()));
   OC_CO_RETURN_IF_ERROR(check_fault("put", bucket, key));
+  OC_CO_RETURN_IF_ERROR(probe_transient(chaos_, span, "put", bucket, key));
   auto it = buckets_.find(bucket);
   if (it == buckets_.end()) {
     co_return not_found("bucket '" + bucket + "'");
@@ -105,10 +127,21 @@ sim::Co<Status> ObjectStore::put(std::string client_node, std::string bucket,
   uint64_t bytes = data.size();
   Status moved = co_await move_bytes(client_node, node_, bytes,
                                      profile_.put_request_latency);
-  if (!moved.is_ok()) co_return moved;
+  if (!moved.is_ok()) {
+    tag_injected_transfer_fault(span, moved);
+    co_return moved;
+  }
   ++stats_.puts;
   stats_.bytes_in += bytes;
-  it->second[key] = std::move(data);
+  ByteBuffer& stored = (it->second[key] = std::move(data));
+  // Torn write: the PUT is acked but the stored object is silently
+  // truncated — only detectable by an end-to-end integrity check
+  // (verify-after-put HEAD, or the checksum carried in the payload frame).
+  if (chaos_ != nullptr && stored.size() > 1 &&
+      chaos_->should_fail("storage.torn-write", bucket + "/" + key)) {
+    span.tag("fault", "storage.torn-write");
+    stored.resize(stored.size() - std::max<size_t>(1, stored.size() / 4));
+  }
   finish_op(tracer_, span, "store.put_seconds");
   co_return Status::ok();
 }
@@ -118,6 +151,7 @@ sim::Co<Result<ByteBuffer>> ObjectStore::get(std::string client_node,
                                              std::string key) {
   trace::SpanHandle span = op_span(tracer_, "store.get", bucket, key);
   OC_CO_RETURN_IF_ERROR(check_fault("get", bucket, key));
+  OC_CO_RETURN_IF_ERROR(probe_transient(chaos_, span, "get", bucket, key));
   auto bucket_it = buckets_.find(bucket);
   if (bucket_it == buckets_.end()) {
     co_return not_found("bucket '" + bucket + "'");
@@ -130,7 +164,19 @@ sim::Co<Result<ByteBuffer>> ObjectStore::get(std::string client_node,
   ByteBuffer data(object_it->second.view());
   Status moved = co_await move_bytes(node_, client_node, data.size(),
                                      profile_.get_request_latency);
-  if (!moved.is_ok()) co_return moved;
+  if (!moved.is_ok()) {
+    tag_injected_transfer_fault(span, moved);
+    co_return moved;
+  }
+  // In-flight corruption: one bit of the *copy* flips (the stored object is
+  // intact), so an integrity check + re-download recovers. The flipped bit
+  // is derived from the content hash — deterministic, no RNG draw ordering.
+  if (chaos_ != nullptr && !data.empty() &&
+      chaos_->should_fail("net.corrupt", bucket + "/" + key)) {
+    span.tag("fault", "net.corrupt");
+    uint64_t bit = fnv1a(data.view()) % (data.size() * 8);
+    data.data()[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+  }
   ++stats_.gets;
   stats_.bytes_out += data.size();
   span.add("bytes", static_cast<double>(data.size()));
@@ -142,6 +188,7 @@ sim::Co<Status> ObjectStore::remove(std::string client_node,
                                     std::string bucket, std::string key) {
   trace::SpanHandle span = op_span(tracer_, "store.delete", bucket, key);
   OC_CO_RETURN_IF_ERROR(check_fault("delete", bucket, key));
+  OC_CO_RETURN_IF_ERROR(probe_transient(chaos_, span, "delete", bucket, key));
   (void)client_node;
   co_await network_->engine().sleep(profile_.put_request_latency);
   auto bucket_it = buckets_.find(bucket);
@@ -158,6 +205,7 @@ sim::Co<Result<std::vector<std::string>>> ObjectStore::list(
     std::string client_node, std::string bucket, std::string prefix) {
   trace::SpanHandle span = op_span(tracer_, "store.list", bucket, prefix);
   OC_CO_RETURN_IF_ERROR(check_fault("list", bucket, ""));
+  OC_CO_RETURN_IF_ERROR(probe_transient(chaos_, span, "list", bucket, prefix));
   (void)client_node;
   co_await network_->engine().sleep(profile_.list_request_latency);
   auto bucket_it = buckets_.find(bucket);
@@ -178,6 +226,7 @@ sim::Co<Result<ObjectInfo>> ObjectStore::head(std::string client_node,
                                               std::string key) {
   trace::SpanHandle span = op_span(tracer_, "store.head", bucket, key);
   OC_CO_RETURN_IF_ERROR(check_fault("head", bucket, key));
+  OC_CO_RETURN_IF_ERROR(probe_transient(chaos_, span, "head", bucket, key));
   (void)client_node;
   co_await network_->engine().sleep(profile_.get_request_latency);
   auto bucket_it = buckets_.find(bucket);

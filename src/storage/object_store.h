@@ -17,6 +17,7 @@
 
 #include "net/network.h"
 #include "support/bytes.h"
+#include "support/fault.h"
 #include "support/status.h"
 #include "trace/tracer.h"
 
@@ -112,6 +113,15 @@ class ObjectStore {
     fault_injector_ = std::move(injector);
   }
 
+  /// Attaches the plan-driven injector (support/fault.h), generalizing the
+  /// ad-hoc hook above: ops probe `storage.transient` (fail UNAVAILABLE),
+  /// acked PUTs probe `storage.torn-write` (the stored object is silently
+  /// truncated), and GETs probe `net.corrupt` (one bit of the in-flight
+  /// copy flips — the stored object stays intact, so a re-download
+  /// recovers). Null detaches; the store borrows the pointer (owner:
+  /// cloud::Cluster). Both hooks may be active; the ad-hoc one wins ties.
+  void attach_faults(fault::FaultInjector* injector) { chaos_ = injector; }
+
   /// Attaches a tracer: every put/get/delete/list/head then records a
   /// `store.*` span (parented through the tracer's ambient slot) plus an
   /// operation-duration histogram. Null detaches. The store borrows the
@@ -131,6 +141,7 @@ class ObjectStore {
   std::map<std::string, std::map<std::string, ByteBuffer>> buckets_;
   StoreStats stats_;
   FaultInjector fault_injector_;
+  fault::FaultInjector* chaos_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
 };
 

@@ -1,0 +1,157 @@
+#include "support/fault.h"
+
+#include "support/bytes.h"
+#include "support/strings.h"
+
+namespace ompcloud::fault {
+
+namespace {
+
+/// "10s net.partition 2s" -> ScheduledFault. The duration is optional.
+Result<ScheduledFault> parse_schedule_entry(std::string_view entry) {
+  std::vector<std::string> tokens;
+  for (const std::string& token : split(entry, ' ')) {
+    if (!token.empty()) tokens.push_back(token);
+  }
+  if (tokens.size() < 2 || tokens.size() > 3) {
+    return invalid_argument("fault.schedule entry '" + std::string(entry) +
+                            "' is not 'AT POINT [DURATION]'");
+  }
+  ScheduledFault fault;
+  std::optional<double> at = parse_duration_seconds(tokens[0]);
+  if (!at || *at < 0) {
+    return invalid_argument("fault.schedule entry '" + std::string(entry) +
+                            "': bad time '" + tokens[0] + "'");
+  }
+  fault.at = *at;
+  fault.point = tokens[1];
+  if (tokens.size() == 3) {
+    std::optional<double> duration = parse_duration_seconds(tokens[2]);
+    if (!duration || *duration <= 0) {
+      return invalid_argument("fault.schedule entry '" + std::string(entry) +
+                              "': bad duration '" + tokens[2] + "'");
+    }
+    fault.duration = *duration;
+  }
+  return fault;
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::from_config(const Config& config) {
+  FaultPlan plan;
+  plan.enabled = config.get_bool("fault.enabled", false);
+  plan.seed = static_cast<uint64_t>(config.get_int("fault.seed", 1));
+  for (const std::string& key : config.keys_in("fault")) {
+    if (key == "enabled" || key == "seed") continue;
+    std::string dotted = "fault." + key;
+    if (key == "schedule") {
+      for (const std::string& entry :
+           split(config.get_string(dotted, ""), ';')) {
+        if (entry.empty()) continue;
+        OC_ASSIGN_OR_RETURN(ScheduledFault fault, parse_schedule_entry(entry));
+        plan.schedule.push_back(std::move(fault));
+      }
+      continue;
+    }
+    std::optional<double> value = config.get_double(dotted);
+    if (!value) {
+      return invalid_argument("[fault] key '" + key + "' is not numeric");
+    }
+    if (ends_with(key, "-rate")) {
+      if (*value < 0 || *value > 1) {
+        return invalid_argument("[fault] rate '" + key +
+                                "' outside [0, 1]: " + std::to_string(*value));
+      }
+      plan.rates[key.substr(0, key.size() - 5)] = *value;
+    } else {
+      plan.params[key] = *value;
+    }
+  }
+  return plan;
+}
+
+double FaultPlan::rate(const std::string& point) const {
+  auto it = rates.find(point);
+  return it == rates.end() ? 0.0 : it->second;
+}
+
+double FaultPlan::param(const std::string& key, double fallback) const {
+  auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, Clock clock)
+    : plan_(std::move(plan)), clock_(std::move(clock)),
+      consumed_(plan_.schedule.size(), false) {}
+
+bool FaultInjector::should_fail(const std::string& point,
+                                std::string_view detail) {
+  if (!plan_.enabled) return false;
+  double now = clock_();
+  // Scheduled outage window: every probe inside it fails.
+  if (window_open(point)) {
+    fire(point, detail);
+    return true;
+  }
+  // Due one-shot: fires exactly once, at the first probe at/after `at`.
+  for (size_t i = 0; i < plan_.schedule.size(); ++i) {
+    const ScheduledFault& fault = plan_.schedule[i];
+    if (consumed_[i] || fault.duration > 0 || fault.point != point ||
+        fault.at > now) {
+      continue;
+    }
+    consumed_[i] = true;
+    fire(point, detail);
+    return true;
+  }
+  // Rate draw, from the point's own stream (see header: per-point streams
+  // keep the verdict sequence independent of cross-point interleaving).
+  double rate = plan_.rate(point);
+  if (rate > 0 && stream(point).chance(rate)) {
+    fire(point, detail);
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::window_open(const std::string& point) const {
+  if (!plan_.enabled) return false;
+  double now = clock_();
+  for (const ScheduledFault& fault : plan_.schedule) {
+    if (fault.duration > 0 && fault.point == point && fault.at <= now &&
+        now < fault.at + fault.duration) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t FaultInjector::injected(const std::string& point) const {
+  auto it = injected_.find(point);
+  return it == injected_.end() ? 0 : it->second;
+}
+
+uint64_t FaultInjector::total_injected() const {
+  uint64_t total = 0;
+  for (const auto& [point, count] : injected_) total += count;
+  return total;
+}
+
+void FaultInjector::fire(const std::string& point, std::string_view detail) {
+  ++injected_[point];
+  if (listener_) {
+    listener_(FaultEvent{clock_(), point, std::string(detail)});
+  }
+}
+
+Xoshiro256& FaultInjector::stream(const std::string& point) {
+  auto it = streams_.find(point);
+  if (it == streams_.end()) {
+    uint64_t seed = plan_.seed ^ fnv1a(as_bytes_of(point.data(), point.size()));
+    it = streams_.emplace(point, Xoshiro256(seed)).first;
+  }
+  return it->second;
+}
+
+}  // namespace ompcloud::fault

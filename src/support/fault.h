@@ -1,0 +1,130 @@
+// Deterministic, seeded, INI-driven fault injection.
+//
+// The paper's resilience story ("the host can be used as a fallback in case
+// the cloud provider is not available", §III) is only testable if failure is
+// a first-class input to the simulation. A `FaultPlan` — parsed from the
+// `[fault]` config section — describes per-layer fault rates, one-shot
+// scheduled events, and timed outage windows; a `FaultInjector` turns the
+// plan into yes/no answers at named *fault points* that each subsystem
+// probes at its natural failure site:
+//
+//   storage.transient    object-store op fails with UNAVAILABLE
+//   storage.torn-write   stored object is truncated after an acked PUT
+//   net.corrupt          one bit flips in a payload copy during a GET
+//   net.flap             a network transfer fails mid-flight
+//   net.partition        (window) every transfer fails while it is open
+//   net.stall            a transfer hangs for `net.stall-seconds` extra
+//   spark.driver-crash   the Spark driver dies during a job
+//   spark.task-fail      one task attempt fails (lineage retry absorbs it)
+//   spark.slowdown       gray failure: task compute x `spark.slowdown-factor`
+//   cloud.boot-failure   an instance start request fails
+//
+// Determinism: every point draws from its own xoshiro stream seeded from
+// `seed ^ fnv1a(point)`, so the verdict sequence at one point is independent
+// of how probes interleave across points — two runs with the same plan and
+// the same per-point probe sequence inject identical faults.
+//
+// This lives in support/ (depends only on config/random/status), so probe
+// sites carry no clock of their own: the owner (cloud::Cluster) binds the
+// sim engine's virtual clock at construction and forwards fault events to
+// the trace/tools layer via the listener.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/config.h"
+#include "support/random.h"
+#include "support/status.h"
+
+namespace ompcloud::fault {
+
+/// One injected fault, reported to the listener at the instant it fires.
+struct FaultEvent {
+  double time = 0;      ///< virtual time of the probe
+  std::string point;    ///< fault-point name (e.g. "storage.transient")
+  std::string detail;   ///< probe-site context (op, key, worker, ...)
+};
+
+/// One entry of the `[fault] schedule`: a fault forced at a virtual time.
+/// `duration == 0` is a one-shot (fires at the first probe at/after `at`);
+/// `duration > 0` opens a window during which every probe of `point` fails
+/// (network partitions).
+struct ScheduledFault {
+  double at = 0;
+  std::string point;
+  double duration = 0;
+};
+
+/// The parsed `[fault]` section. With `enabled = false` (the default) the
+/// injector is never even constructed, so the harness costs nothing.
+struct FaultPlan {
+  bool enabled = false;
+  uint64_t seed = 1;
+  /// point -> per-probe failure probability in [0, 1].
+  std::map<std::string, double> rates;
+  /// Non-rate numeric tuning values (e.g. "spark.slowdown-factor").
+  std::map<std::string, double> params;
+  std::vector<ScheduledFault> schedule;
+
+  /// Parses the `[fault]` section: `enabled`, `seed`, `<point>-rate` keys,
+  /// free-form numeric params, and `schedule = AT POINT [DURATION]; ...`
+  /// (durations in "10s"/"250ms" form). Unknown non-numeric keys and rates
+  /// outside [0, 1] are INVALID_ARGUMENT.
+  static Result<FaultPlan> from_config(const Config& config);
+
+  [[nodiscard]] double rate(const std::string& point) const;
+  [[nodiscard]] double param(const std::string& key, double fallback) const;
+};
+
+/// Turns a FaultPlan into deterministic per-probe verdicts. Subsystems hold
+/// a borrowed pointer (null = no injection) and call `should_fail` at their
+/// natural failure sites.
+class FaultInjector {
+ public:
+  using Clock = std::function<double()>;
+  using Listener = std::function<void(const FaultEvent&)>;
+
+  FaultInjector(FaultPlan plan, Clock clock);
+
+  /// Observer for every injected fault (wired by cloud::Cluster to the
+  /// tools registry + metrics). At most one; set before the run starts.
+  void set_listener(Listener listener) { listener_ = std::move(listener); }
+
+  /// The probe: true when `point` fails now — because an outage window is
+  /// open, a scheduled one-shot is due, or the point's rate draw trips.
+  /// Fires the listener and bumps the injection counter on every true.
+  bool should_fail(const std::string& point, std::string_view detail = {});
+
+  /// True while a scheduled window covering `point` is open (no rate draw,
+  /// no counter bump) — for sites that need to poll an outage passively.
+  [[nodiscard]] bool window_open(const std::string& point) const;
+
+  [[nodiscard]] double param(const std::string& key, double fallback) const {
+    return plan_.param(key, fallback);
+  }
+
+  /// Faults injected at one point / across all points so far.
+  [[nodiscard]] uint64_t injected(const std::string& point) const;
+  [[nodiscard]] uint64_t total_injected() const;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void fire(const std::string& point, std::string_view detail);
+  Xoshiro256& stream(const std::string& point);
+
+  FaultPlan plan_;
+  Clock clock_;
+  Listener listener_;
+  std::map<std::string, Xoshiro256> streams_;
+  std::map<std::string, uint64_t> injected_;
+  /// Parallel to plan_.schedule: one-shots already fired.
+  std::vector<bool> consumed_;
+};
+
+}  // namespace ompcloud::fault

@@ -15,6 +15,7 @@ std::string_view to_string(StatusCode code) {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -27,6 +27,7 @@ enum class StatusCode {
   kResourceExhausted,
   kDataLoss,       ///< corrupt object / failed decompression
   kInternal,
+  kDeadlineExceeded,  ///< per-op / whole-offload deadline expired
 };
 
 /// Human-readable name for a status code (stable, used in logs and tests).
@@ -101,6 +102,22 @@ inline Status data_loss(std::string msg) {
 }
 inline Status internal_error(std::string msg) {
   return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status deadline_exceeded(std::string msg) {
+  return {StatusCode::kDeadlineExceeded, std::move(msg)};
+}
+
+/// Whether a failed operation is worth retrying: the condition is transient
+/// (service flap, contention, expired deadline, in-flight corruption that a
+/// re-transfer can repair). Permanent conditions — bad arguments, missing
+/// objects, internal bugs — fail fast instead of burning the retry budget.
+/// `kDataLoss` is retryable only when the caller can re-ship the bytes
+/// (re-download / re-upload); callers without a source of truth must treat
+/// it as permanent.
+inline bool is_retryable(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kDeadlineExceeded;
 }
 
 /// Result<T>: either a value or a failure Status.

@@ -41,6 +41,21 @@ std::string_view to_string(SchedulerEventInfo::Kind kind) {
   return "?";
 }
 
+std::string_view to_string(FaultEventInfo::Kind kind) {
+  switch (kind) {
+    case FaultEventInfo::Kind::kInjected: return "injected";
+    case FaultEventInfo::Kind::kRetry: return "retry";
+    case FaultEventInfo::Kind::kCorruptionDetected: return "corruption";
+    case FaultEventInfo::Kind::kDeadlineExceeded: return "deadline";
+    case FaultEventInfo::Kind::kResubmit: return "resubmit";
+    case FaultEventInfo::Kind::kBreakerOpen: return "breaker_open";
+    case FaultEventInfo::Kind::kBreakerHalfOpen: return "breaker_half_open";
+    case FaultEventInfo::Kind::kBreakerClose: return "breaker_close";
+    case FaultEventInfo::Kind::kFallback: return "fallback";
+  }
+  return "?";
+}
+
 void ToolRegistry::attach(Tool* tool) {
   if (tool == nullptr) return;
   if (std::find(tools_.begin(), tools_.end(), tool) != tools_.end()) return;
@@ -89,6 +104,10 @@ void ToolRegistry::emit_autoscale_decision(const AutoscaleInfo& info) {
 
 void ToolRegistry::emit_scheduler_event(const SchedulerEventInfo& info) {
   for (Tool* tool : tools_) tool->on_scheduler_event(info);
+}
+
+void ToolRegistry::emit_fault_event(const FaultEventInfo& info) {
+  for (Tool* tool : tools_) tool->on_fault_event(info);
 }
 
 }  // namespace ompcloud::tools

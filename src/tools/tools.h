@@ -141,6 +141,31 @@ struct SchedulerEventInfo {
 
 std::string_view to_string(SchedulerEventInfo::Kind kind);
 
+/// One fault-injection or recovery action in the self-healing offload path
+/// (no OMPT equivalent; chaos-engineering observability). `kInjected` fires
+/// for every fault the plan-driven injector (support/fault.h) trips;
+/// recovery kinds fire as the runtime absorbs them.
+struct FaultEventInfo {
+  enum class Kind {
+    kInjected,          ///< a fault point tripped
+    kRetry,             ///< a storage op is being retried after a failure
+    kCorruptionDetected,///< end-to-end checksum mismatch caught
+    kDeadlineExceeded,  ///< per-op or whole-offload deadline expired
+    kResubmit,          ///< Spark job resubmitted after a driver crash
+    kBreakerOpen,       ///< device circuit breaker tripped open
+    kBreakerHalfOpen,   ///< cooldown elapsed; probe offload admitted
+    kBreakerClose,      ///< probe succeeded; device healthy again
+    kFallback,          ///< region rerouted to the host device
+  };
+  Kind kind = Kind::kInjected;
+  std::string_view point;   ///< fault-point / failing-op name
+  std::string_view detail;  ///< site context (key, region, status, ...)
+  int device_id = -1;       ///< breaker/fallback events: the cloud device
+  double time = 0;
+};
+
+std::string_view to_string(FaultEventInfo::Kind kind);
+
 /// Observer base class: override the callbacks you care about. Tools are
 /// borrowed (not owned) by the registry and must outlive it or detach.
 class Tool {
@@ -157,6 +182,7 @@ class Tool {
   virtual void on_instance_state_change(const InstanceStateInfo&) {}
   virtual void on_autoscale_decision(const AutoscaleInfo&) {}
   virtual void on_scheduler_event(const SchedulerEventInfo&) {}
+  virtual void on_fault_event(const FaultEventInfo&) {}
 };
 
 /// Registration + dispatch. Tools fire in attach order (deterministic);
@@ -180,6 +206,7 @@ class ToolRegistry {
   void emit_instance_state_change(const InstanceStateInfo& info);
   void emit_autoscale_decision(const AutoscaleInfo& info);
   void emit_scheduler_event(const SchedulerEventInfo& info);
+  void emit_fault_event(const FaultEventInfo& info);
 
  private:
   std::vector<Tool*> tools_;

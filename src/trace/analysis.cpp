@@ -9,23 +9,26 @@ namespace ompcloud::trace {
 
 namespace {
 
-/// Canonical phase order for attribution priority and output.
+/// Canonical phase order for attribution priority and output. `recovery`
+/// outranks everything: backoff + re-attempt windows count as time lost to
+/// faults even while an enclosing upload/download phase span is open.
 constexpr const char* kPhaseOrder[] = {
-    "boot",    "upload",   "submit", "compute", "download",
-    "cleanup", "shutdown", "other",  "idle",
+    "recovery", "boot",    "upload",   "submit", "compute",
+    "download", "cleanup", "shutdown", "other",  "idle",
 };
 constexpr size_t kPhaseCount = sizeof(kPhaseOrder) / sizeof(kPhaseOrder[0]);
+constexpr size_t kRecoveryPhase = 0;
 constexpr size_t kIdlePhase = kPhaseCount - 1;
 
 size_t phase_category(const std::string& name) {
-  if (name == "boot") return 0;
-  if (name == "upload") return 1;
-  if (name == "spark.submit") return 2;
-  if (name == "spark.job" || name == "host.exec") return 3;
-  if (name == "download") return 4;
-  if (name == "cleanup") return 5;
-  if (name == "cluster.shutdown") return 6;
-  return 7;  // other
+  if (name == "boot") return 1;
+  if (name == "upload") return 2;
+  if (name == "spark.submit") return 3;
+  if (name == "spark.job" || name == "host.exec") return 4;
+  if (name == "download") return 5;
+  if (name == "cleanup") return 6;
+  if (name == "cluster.shutdown") return 7;
+  return 8;  // other
 }
 
 bool ends_with(const std::string& name, std::string_view suffix) {
@@ -156,25 +159,47 @@ OffloadAnalysis TraceAnalyzer::analyze(const Span& root) const {
   analysis.start = root_start;
   analysis.total_seconds = root_end - root_start;
 
+  std::vector<const Span*> subtree = query_.subtree(root.id);
+
+  // --- Fault/recovery accounting over the whole offload subtree. `fault`
+  // tags mark spans where an injected fault (or detected corruption) was
+  // observed; `recovery` spans wrap each backoff + re-attempt window;
+  // `breaker` markers record circuit-breaker transitions for this offload.
+  for (const Span* span : subtree) {
+    if (span->tag("fault") != nullptr) analysis.faults.faults += 1;
+    if (span->name == "recovery") analysis.faults.retries += 1;
+    if (span->name == "breaker") analysis.faults.breaker_transitions += 1;
+  }
+
   // --- Phase attribution: a segment sweep over the root's direct children.
   // Boundaries partition the root interval; each elementary segment is
   // attributed to the highest-priority phase covering it (idle when none
   // does), so the slices add up to the root duration by construction.
+  // `recovery` spans live deeper in the tree (under the op they retried)
+  // but still join the sweep, at top priority, so fault-recovery time is
+  // carved out of whatever phase it interrupted.
   struct Covering {
     double start, end;
     size_t category;
   };
   std::vector<Covering> coverings;
   std::vector<double> boundaries{root_start, root_end};
-  for (const Span* child : query_.children(root.id)) {
-    if (!child->closed() || child->instant) continue;
-    auto [qs, qe] = quantized_interval(*child);
+  auto add_covering = [&](const Span& span, size_t category) {
+    auto [qs, qe] = quantized_interval(span);
     qs = std::max(qs, root_start);
     qe = std::min(qe, root_end);
-    if (qe <= qs) continue;
-    coverings.push_back({qs, qe, phase_category(child->name)});
+    if (qe <= qs) return;
+    coverings.push_back({qs, qe, category});
     boundaries.push_back(qs);
     boundaries.push_back(qe);
+  };
+  for (const Span* child : query_.children(root.id)) {
+    if (!child->closed() || child->instant) continue;
+    add_covering(*child, phase_category(child->name));
+  }
+  for (const Span* span : subtree) {
+    if (span->name != "recovery" || !span->closed() || span->instant) continue;
+    add_covering(*span, kRecoveryPhase);
   }
   std::sort(boundaries.begin(), boundaries.end());
   boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
@@ -202,6 +227,7 @@ OffloadAnalysis TraceAnalyzer::analyze(const Span& root) const {
                         : 0.0;
     analysis.phases.push_back(std::move(slice));
   }
+  analysis.faults.recovery_seconds = phase_seconds[kRecoveryPhase];
 
   // --- Critical path (greedy last-finisher walk).
   for (const Span* step : query_.critical_path(root.id)) {
@@ -212,7 +238,6 @@ OffloadAnalysis TraceAnalyzer::analyze(const Span& root) const {
   // --- Task skew over the `task[t]` spans of this offload. Quantiles come
   // from a Histogram whose bounds are the observed durations themselves, so
   // the interpolation is near-exact and identical across export round trips.
-  std::vector<const Span*> subtree = query_.subtree(root.id);
   struct TaskSample {
     int task;
     int worker;
@@ -356,6 +381,13 @@ std::string OffloadAnalysis::to_json(int indent) const {
       transfer.downloaded_plain_bytes, transfer.downloaded_wire_bytes);
   json += str_format("%s  },\n", pad.c_str());
   json += str_format(
+      "%s  \"faults\": {\"observed\": %llu, \"retries\": %llu, "
+      "\"breaker_transitions\": %llu, \"recovery_seconds\": %.9g},\n",
+      pad.c_str(), static_cast<unsigned long long>(faults.faults),
+      static_cast<unsigned long long>(faults.retries),
+      static_cast<unsigned long long>(faults.breaker_transitions),
+      faults.recovery_seconds);
+  json += str_format(
       "%s  \"cost\": {\"on_the_fly\": %s, \"instances\": %.9g, "
       "\"price_per_hour\": %.9g, \"billed_seconds\": %.9g, "
       "\"cost_usd\": %.9g}\n",
@@ -398,6 +430,16 @@ std::string OffloadAnalysis::to_text() const {
       transfer.upload.wire_seconds, transfer.upload.codec_seconds,
       static_cast<unsigned long long>(transfer.download.blocks),
       transfer.download.overlap_efficiency * 100.0);
+  if (faults.faults > 0 || faults.retries > 0 ||
+      faults.breaker_transitions > 0) {
+    out += str_format(
+        "  faults: %llu observed  %llu retries  %llu breaker transitions  "
+        "%.6f s lost to recovery\n",
+        static_cast<unsigned long long>(faults.faults),
+        static_cast<unsigned long long>(faults.retries),
+        static_cast<unsigned long long>(faults.breaker_transitions),
+        faults.recovery_seconds);
+  }
   out += str_format(
       "  cost: $%.6f  (%.9g instances x $%.9g/h x %.6f s%s)\n", cost.cost_usd,
       cost.instances, cost.price_per_hour, cost.billed_seconds,

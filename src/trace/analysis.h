@@ -32,7 +32,7 @@ namespace ompcloud::trace {
 /// root interval is attributed to exactly one phase, so `percent` sums to
 /// 100 across the slices of one analysis (idle time has its own bucket).
 struct PhaseSlice {
-  std::string phase;   ///< boot|upload|submit|compute|download|cleanup|...
+  std::string phase;   ///< recovery|boot|upload|submit|compute|download|...
   double seconds = 0;
   double percent = 0;  ///< of the root span's duration
 };
@@ -87,6 +87,17 @@ struct TransferStats {
   double downloaded_wire_bytes = 0;
 };
 
+/// Fault/recovery accounting for one offload: what the injected faults and
+/// the self-healing machinery (retries, breaker, resubmission) cost it.
+/// `recovery_seconds` equals the `recovery` phase slice — wall time the
+/// offload spent inside backoff + re-attempt windows.
+struct FaultStats {
+  uint64_t faults = 0;   ///< subtree spans tagged `fault` (observed faults)
+  uint64_t retries = 0;  ///< `recovery` spans (storage retries + resubmits)
+  uint64_t breaker_transitions = 0;  ///< `breaker` marker spans
+  double recovery_seconds = 0;       ///< union of recovery-span intervals
+};
+
 /// Dollar attribution for one offload (§III-A cost metering). On-the-fly
 /// runs meter from the boot request to the shutdown completion using the
 /// `cluster.boot` span's instance metadata; pre-provisioned runs meter the
@@ -110,6 +121,7 @@ struct OffloadAnalysis {
   std::vector<CriticalStep> critical_path;
   SkewStats skew;
   TransferStats transfer;
+  FaultStats faults;
   CostStats cost;
 
   /// Stable JSON object (nested lines prefixed with `indent` spaces).

@@ -224,6 +224,39 @@ void Tracer::MetricsTool::on_scheduler_event(
       static_cast<double>(info.queue_depth));
 }
 
+void Tracer::MetricsTool::on_fault_event(const tools::FaultEventInfo& info) {
+  switch (info.kind) {
+    case tools::FaultEventInfo::Kind::kInjected:
+      metrics_->counter("fault.injected").add();
+      metrics_->counter("fault.injected." + std::string(info.point)).add();
+      break;
+    case tools::FaultEventInfo::Kind::kRetry:
+      metrics_->counter("fault.retries").add();
+      break;
+    case tools::FaultEventInfo::Kind::kCorruptionDetected:
+      metrics_->counter("fault.corruption_detected").add();
+      break;
+    case tools::FaultEventInfo::Kind::kDeadlineExceeded:
+      metrics_->counter("fault.deadline_exceeded").add();
+      break;
+    case tools::FaultEventInfo::Kind::kResubmit:
+      metrics_->counter("fault.resubmits").add();
+      break;
+    case tools::FaultEventInfo::Kind::kBreakerOpen:
+      metrics_->counter("breaker.opens").add();
+      break;
+    case tools::FaultEventInfo::Kind::kBreakerHalfOpen:
+      metrics_->counter("breaker.half_opens").add();
+      break;
+    case tools::FaultEventInfo::Kind::kBreakerClose:
+      metrics_->counter("breaker.closes").add();
+      break;
+    case tools::FaultEventInfo::Kind::kFallback:
+      metrics_->counter("fault.fallbacks").add();
+      break;
+  }
+}
+
 SpanHandle Tracer::span(std::string name, SpanId parent) {
   if (!options_.enabled) return {};
   if (spans_.size() >= options_.max_spans) {

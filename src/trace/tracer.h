@@ -291,6 +291,7 @@ class Tracer {
         const tools::InstanceStateInfo& info) override;
     void on_autoscale_decision(const tools::AutoscaleInfo& info) override;
     void on_scheduler_event(const tools::SchedulerEventInfo& info) override;
+    void on_fault_event(const tools::FaultEventInfo& info) override;
 
    private:
     Metrics* metrics_;

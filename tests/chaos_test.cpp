@@ -1,0 +1,273 @@
+// Chaos soak: many offloads under a randomized fault schedule must produce
+// results byte-identical to a fault-free run — the self-healing machinery
+// (retries, integrity re-downloads, job resubmission, breaker + host
+// fallback) absorbs every injected fault, and no offload escapes its
+// deadline budget.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jnibridge/bridge.h"
+#include "omptarget/cloud_plugin.h"
+#include "support/strings.h"
+#include "trace/analysis.h"
+
+namespace ompcloud {
+namespace {
+
+using omptarget::CloudPlugin;
+using omptarget::DeviceManager;
+using omptarget::DeviceManagerOptions;
+using omptarget::MapType;
+using omptarget::OffloadReport;
+using omptarget::TargetRegion;
+using sim::Engine;
+
+Status ChaosKernel(const jni::KernelArgs& args) {
+  auto in = args.input<float>(0);
+  auto out = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) out[i] = 2.0f * in[i];
+  return Status::ok();
+}
+
+const jni::KernelRegistrar kChaosReg("chaos.double", ChaosKernel);
+
+constexpr double kDeadlineSeconds = 20.0;
+
+/// Config with every self-healing knob armed; `fault_section` appended.
+std::string soak_config(const std::string& fault_section) {
+  return str_format(R"(
+[cluster]
+provider = ec2
+instance-type = c3.4xlarge
+workers = 4
+[offload]
+bucket = chaos
+storage-retries = 4
+retry-backoff = 250ms
+retry-backoff-cap = 2s
+op-deadline = 5s
+deadline = %.0fs
+job-retries = 2
+verify-transfers = true
+)",
+                    kDeadlineSeconds) +
+         fault_section;
+}
+
+TargetRegion chaos_region(std::vector<float>& x, std::vector<float>& y,
+                          int index) {
+  TargetRegion region;
+  region.name = str_format("chaos[%d]", index);
+  region.vars = {{"x", x.data(), x.size() * 4, MapType::kTo},
+                 {"y", y.data(), y.size() * 4, MapType::kFrom}};
+  spark::LoopSpec loop;
+  loop.kernel = "chaos.double";
+  loop.iterations = static_cast<int64_t>(x.size());
+  loop.flops_per_iteration = 1.0;
+  loop.reads = {{0, spark::LoopAccess::Mode::kReadPartitioned,
+                 spark::AffineRange::rows(4), {}}};
+  loop.writes = {{1, spark::LoopAccess::Mode::kWritePartitioned,
+                  spark::AffineRange::rows(4), {}}};
+  region.loops.push_back(loop);
+  return region;
+}
+
+Result<OffloadReport> offload_once(Engine& engine, DeviceManager& devices,
+                                   TargetRegion region, int device_id) {
+  std::optional<Result<OffloadReport>> out;
+  engine.spawn([](DeviceManager* devices, TargetRegion region, int device_id,
+                  std::optional<Result<OffloadReport>>* out) -> sim::Co<void> {
+    *out = co_await devices->offload(std::move(region), device_id);
+  }(&devices, std::move(region), device_id, &out));
+  engine.run();
+  return std::move(*out);
+}
+
+struct SoakRun {
+  std::vector<std::vector<float>> outputs;  ///< one vector per offload
+  uint64_t faults_injected = 0;
+  uint64_t retries = 0;
+  int fallbacks = 0;
+};
+
+/// Runs `offloads` deterministic regions through one plugin stack built
+/// from `config_text`; every offload must succeed and stay within its
+/// deadline budget (fallbacks get one extra deadline of host slack).
+void run_soak(const std::string& config_text, int offloads, SoakRun* run) {
+  Engine engine;
+  auto config = Config::parse(config_text);
+  ASSERT_TRUE(config.ok()) << config.status().to_string();
+  auto plugin = CloudPlugin::from_config(engine, *config);
+  ASSERT_TRUE(plugin.ok()) << plugin.status().to_string();
+  DeviceManager devices(engine);
+  devices.configure(DeviceManagerOptions::from_config(*config));
+  cloud::Cluster& cluster = (*plugin)->cluster();
+  int id = devices.register_device(std::move(*plugin));
+
+  for (int k = 0; k < offloads; ++k) {
+    const size_t n = 32 + static_cast<size_t>(k % 5) * 16;
+    std::vector<float> x(n), y(n, 0.0f);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<float>(k * 1000 + static_cast<int>(i));
+    }
+    auto report = offload_once(engine, devices, chaos_region(x, y, k), id);
+    ASSERT_TRUE(report.ok())
+        << "offload " << k << ": " << report.status().to_string();
+    if (report->fell_back_to_host) {
+      run->fallbacks += 1;
+      // A deadline miss aborts the cloud path at a phase boundary, then the
+      // host recomputes: grant the fallback one extra deadline of slack.
+      EXPECT_LE(report->total_seconds, 2 * kDeadlineSeconds)
+          << "offload " << k << " blew through its deadline budget";
+    } else {
+      EXPECT_LE(report->total_seconds, kDeadlineSeconds)
+          << "offload " << k << " exceeded its deadline";
+    }
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(y[i], 2.0f * x[i])
+          << "offload " << k << " produced a wrong value at " << i;
+    }
+    run->outputs.push_back(std::move(y));
+  }
+  if (cluster.fault_injector() != nullptr) {
+    run->faults_injected = cluster.fault_injector()->total_injected();
+  }
+  const auto& counters = devices.tracer().metrics().counters();
+  auto retries = counters.find("fault.retries");
+  if (retries != counters.end()) run->retries = retries->second.value();
+}
+
+class ChaosSoakTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosSoakTest, FaultyRunMatchesFaultFreeRunByteForByte) {
+  const uint64_t seed = GetParam();
+  std::string faults = str_format(R"(
+[fault]
+enabled = true
+seed = %llu
+storage.transient-rate = 0.06
+storage.torn-write-rate = 0.02
+net.corrupt-rate = 0.04
+net.flap-rate = 0.02
+spark.task-fail-rate = 0.04
+spark.driver-crash-rate = 0.01
+spark.slowdown-rate = 0.04
+)",
+                                  static_cast<unsigned long long>(seed));
+
+  SoakRun chaotic;
+  run_soak(soak_config(faults), /*offloads=*/100, &chaotic);
+  if (HasFatalFailure()) return;
+  SoakRun clean;
+  run_soak(soak_config(""), /*offloads=*/100, &clean);
+  if (HasFatalFailure()) return;
+
+  // The soak proves nothing unless faults actually fired.
+  EXPECT_GT(chaotic.faults_injected, 0u) << "seed " << seed;
+  EXPECT_EQ(clean.faults_injected, 0u);
+
+  ASSERT_EQ(chaotic.outputs.size(), clean.outputs.size());
+  for (size_t k = 0; k < clean.outputs.size(); ++k) {
+    ASSERT_EQ(chaotic.outputs[k].size(), clean.outputs[k].size());
+    EXPECT_EQ(std::memcmp(chaotic.outputs[k].data(), clean.outputs[k].data(),
+                          clean.outputs[k].size() * sizeof(float)),
+              0)
+        << "offload " << k << " diverged from the fault-free run (seed "
+        << seed << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoakTest,
+                         ::testing::Values(1u, 7u, 42u));
+
+TEST(ChaosBreakerTest, PartitionOpensBreakerAndOffloadsFinishOnHost) {
+  // A scheduled 40 s network partition makes every cloud attempt fail:
+  // consecutive failures open the per-device breaker, later offloads route
+  // straight to the host, and after the outage + cooldown a half-open
+  // probe closes the breaker again.
+  Engine engine;
+  std::string text = soak_config(R"(
+[fault]
+enabled = true
+seed = 3
+schedule = 0 net.partition 40
+)") + R"(
+[device]
+breaker-threshold = 2
+breaker-open-seconds = 30s
+)";
+  auto config = Config::parse(text);
+  ASSERT_TRUE(config.ok()) << config.status().to_string();
+  auto plugin = CloudPlugin::from_config(engine, *config);
+  ASSERT_TRUE(plugin.ok()) << plugin.status().to_string();
+  DeviceManager devices(engine);
+  devices.configure(DeviceManagerOptions::from_config(*config));
+  int id = devices.register_device(std::move(*plugin));
+
+  auto offload_number = [&](int k) {
+    const size_t n = 64;
+    std::vector<float> x(n), y(n, 0.0f);
+    for (size_t i = 0; i < n; ++i) x[i] = static_cast<float>(k * 100 + 1);
+    auto report = offload_once(engine, devices, chaos_region(x, y, k), id);
+    EXPECT_TRUE(report.ok()) << report.status().to_string();
+    if (report.ok()) {
+      EXPECT_EQ(y[0], 2.0f * x[0]) << "offload " << k;
+      return report->fell_back_to_host;
+    }
+    return false;
+  };
+
+  // Two failed attempts inside the partition open the breaker.
+  EXPECT_TRUE(offload_number(0));
+  EXPECT_TRUE(offload_number(1));
+  EXPECT_EQ(devices.breaker_state(id), DeviceManager::BreakerState::kOpen);
+  // While open, offloads skip the device and still finish on the host.
+  EXPECT_TRUE(offload_number(2));
+  EXPECT_EQ(devices.breaker_state(id), DeviceManager::BreakerState::kOpen);
+
+  // Wait out the partition window and the breaker cooldown, then probe.
+  engine.spawn([](Engine* engine) -> sim::Co<void> {
+    co_await engine->sleep(80.0);
+  }(&engine));
+  engine.run();
+  EXPECT_FALSE(offload_number(3));  // probe succeeds on the cloud
+  EXPECT_EQ(devices.breaker_state(id), DeviceManager::BreakerState::kClosed);
+
+  // The trace carries the whole story: injected faults, retries spent,
+  // breaker transitions, and a `recovery` slice in the 100% attribution.
+  const auto& counters = devices.tracer().metrics().counters();
+  auto count = [&](const char* name) {
+    auto it = counters.find(name);
+    return it == counters.end() ? uint64_t{0} : it->second.value();
+  };
+  EXPECT_GT(count("fault.injected"), 0u);
+  EXPECT_GT(count("fault.retries"), 0u);
+  EXPECT_GT(count("breaker.opens"), 0u);
+  EXPECT_GT(count("breaker.closes"), 0u);
+  EXPECT_GT(count("fault.fallbacks"), 0u);
+
+  trace::TraceAnalyzer analyzer(devices.tracer());
+  auto analyses = analyzer.analyze_all();
+  ASSERT_EQ(analyses.size(), 4u);
+  uint64_t retries = 0;
+  uint64_t transitions = 0;
+  double recovery_seconds = 0;
+  for (const auto& analysis : analyses) {
+    retries += analysis.faults.retries;
+    transitions += analysis.faults.breaker_transitions;
+    recovery_seconds += analysis.faults.recovery_seconds;
+    double percent = 0;
+    for (const auto& slice : analysis.phases) percent += slice.percent;
+    EXPECT_NEAR(percent, 100.0, 0.1);  // recovery stays inside the 100%
+  }
+  EXPECT_GT(retries, 0u);
+  EXPECT_GT(transitions, 0u);
+  EXPECT_GT(recovery_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace ompcloud

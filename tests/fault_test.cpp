@@ -1,0 +1,376 @@
+// Tests for the fault-injection framework and the self-healing offload
+// machinery built on it: FaultPlan parsing, injector determinism, scheduled
+// one-shots and outage windows, sealed-payload integrity frames, the
+// per-device circuit breaker, and the `device.fallback-on-failure` policy
+// knob.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "compress/payload.h"
+#include "jnibridge/bridge.h"
+#include "omptarget/device.h"
+#include "omptarget/host_plugin.h"
+#include "support/fault.h"
+
+namespace ompcloud {
+namespace {
+
+using omptarget::DeviceManager;
+using omptarget::DeviceManagerOptions;
+using omptarget::MapType;
+using omptarget::OffloadReport;
+using omptarget::Plugin;
+using omptarget::TargetRegion;
+using sim::Engine;
+
+// --- FaultPlan parsing ------------------------------------------------------
+
+TEST(FaultPlanTest, ParsesRatesSeedParamsSchedule) {
+  auto config = *Config::parse(R"(
+[fault]
+enabled = true
+seed = 42
+storage.transient-rate = 0.25
+net.corrupt-rate = 0.01
+spark.slowdown-factor = 8
+net.stall-seconds = 12
+schedule = 5 spark.driver-crash; 10 net.partition 30s
+)");
+  auto plan = fault::FaultPlan::from_config(config);
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  EXPECT_TRUE(plan->enabled);
+  EXPECT_EQ(plan->seed, 42u);
+  EXPECT_DOUBLE_EQ(plan->rate("storage.transient"), 0.25);
+  EXPECT_DOUBLE_EQ(plan->rate("net.corrupt"), 0.01);
+  EXPECT_DOUBLE_EQ(plan->rate("spark.driver-crash"), 0.0);
+  EXPECT_DOUBLE_EQ(plan->param("spark.slowdown-factor", 4.0), 8.0);
+  EXPECT_DOUBLE_EQ(plan->param("net.stall-seconds", 30.0), 12.0);
+  ASSERT_EQ(plan->schedule.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan->schedule[0].at, 5.0);
+  EXPECT_EQ(plan->schedule[0].point, "spark.driver-crash");
+  EXPECT_DOUBLE_EQ(plan->schedule[0].duration, 0.0);
+  EXPECT_DOUBLE_EQ(plan->schedule[1].at, 10.0);
+  EXPECT_EQ(plan->schedule[1].point, "net.partition");
+  EXPECT_DOUBLE_EQ(plan->schedule[1].duration, 30.0);
+}
+
+TEST(FaultPlanTest, DisabledByDefault) {
+  auto config = *Config::parse("[offload]\nbucket = b\n");
+  auto plan = fault::FaultPlan::from_config(config);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->enabled);
+}
+
+TEST(FaultPlanTest, RejectsOutOfRangeRate) {
+  auto config = *Config::parse("[fault]\nenabled = true\nnet.flap-rate = 1.5\n");
+  auto plan = fault::FaultPlan::from_config(config);
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- FaultInjector determinism ---------------------------------------------
+
+fault::FaultPlan chaos_plan(uint64_t seed) {
+  fault::FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = seed;
+  plan.rates["storage.transient"] = 0.3;
+  plan.rates["net.flap"] = 0.2;
+  return plan;
+}
+
+TEST(FaultInjectorTest, DeterministicAcrossRuns) {
+  auto verdicts = [](uint64_t seed) {
+    fault::FaultInjector injector(chaos_plan(seed), [] { return 0.0; });
+    std::vector<bool> out;
+    for (int i = 0; i < 200; ++i) {
+      out.push_back(injector.should_fail("storage.transient"));
+    }
+    return out;
+  };
+  EXPECT_EQ(verdicts(7), verdicts(7));
+  EXPECT_NE(verdicts(7), verdicts(8));
+}
+
+TEST(FaultInjectorTest, StreamsIndependentAcrossPoints) {
+  // The verdict sequence at one point must not depend on how probes at
+  // other points interleave (per-point xoshiro streams).
+  fault::FaultInjector alone(chaos_plan(7), [] { return 0.0; });
+  fault::FaultInjector mixed(chaos_plan(7), [] { return 0.0; });
+  std::vector<bool> a;
+  std::vector<bool> b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(alone.should_fail("storage.transient"));
+    mixed.should_fail("net.flap");  // interleaved noise
+    b.push_back(mixed.should_fail("storage.transient"));
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultInjectorTest, ScheduledOneShotFiresOnce) {
+  fault::FaultPlan plan;
+  plan.enabled = true;
+  plan.schedule.push_back({5.0, "spark.driver-crash", 0.0});
+  double now = 0.0;
+  fault::FaultInjector injector(plan, [&now] { return now; });
+  EXPECT_FALSE(injector.should_fail("spark.driver-crash"));  // before `at`
+  now = 6.0;
+  EXPECT_TRUE(injector.should_fail("spark.driver-crash"));  // due
+  EXPECT_FALSE(injector.should_fail("spark.driver-crash"));  // consumed
+  EXPECT_EQ(injector.injected("spark.driver-crash"), 1u);
+}
+
+TEST(FaultInjectorTest, WindowCoversInterval) {
+  fault::FaultPlan plan;
+  plan.enabled = true;
+  plan.schedule.push_back({10.0, "net.partition", 20.0});
+  double now = 0.0;
+  fault::FaultInjector injector(plan, [&now] { return now; });
+  EXPECT_FALSE(injector.window_open("net.partition"));
+  EXPECT_FALSE(injector.should_fail("net.partition"));
+  now = 15.0;
+  EXPECT_TRUE(injector.window_open("net.partition"));
+  EXPECT_TRUE(injector.should_fail("net.partition"));
+  EXPECT_TRUE(injector.should_fail("net.partition"));  // every probe fails
+  now = 31.0;
+  EXPECT_FALSE(injector.window_open("net.partition"));
+  EXPECT_FALSE(injector.should_fail("net.partition"));
+  EXPECT_EQ(injector.injected("net.partition"), 2u);
+}
+
+// --- Sealed payload frames --------------------------------------------------
+
+TEST(SealedPayloadTest, RoundTrips) {
+  std::vector<std::byte> data(1000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i * 13);
+  }
+  auto sealed = compress::encode_sealed_payload_frame("gzlite", data, 0);
+  ASSERT_TRUE(sealed.ok()) << sealed.status().to_string();
+  EXPECT_TRUE(compress::is_sealed_payload(sealed->frame.view()));
+  auto codec = compress::payload_codec(sealed->frame.view());
+  ASSERT_TRUE(codec.ok());
+  EXPECT_EQ(*codec, "gzlite");  // reports the inner codec, not "sealed"
+  auto plain = compress::decode_payload(sealed->frame.view());
+  ASSERT_TRUE(plain.ok()) << plain.status().to_string();
+  ASSERT_EQ(plain->size(), data.size());
+  EXPECT_EQ(std::memcmp(plain->data(), data.data(), data.size()), 0);
+}
+
+TEST(SealedPayloadTest, DetectsBitFlip) {
+  std::vector<std::byte> data(1000, std::byte{0x5a});
+  auto sealed = compress::encode_sealed_payload_frame("null", data, 0);
+  ASSERT_TRUE(sealed.ok());
+  ByteBuffer corrupted(sealed->frame.view());
+  // Flip one bit deep inside the inner body, past all frame headers.
+  corrupted.data()[corrupted.size() - 1] ^= std::byte{0x04};
+  auto plain = compress::decode_payload(corrupted.view());
+  EXPECT_EQ(plain.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SealedPayloadTest, PlainFramesStillDecode) {
+  std::vector<std::byte> data(64, std::byte{0x11});
+  auto frame = compress::encode_payload("gzlite", data, 0);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_FALSE(compress::is_sealed_payload(frame->view()));
+  auto plain = compress::decode_payload(frame->view());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->size(), data.size());
+}
+
+// --- Circuit breaker + fallback policy --------------------------------------
+
+Status FaultDoubleKernel(const jni::KernelArgs& args) {
+  auto in = args.input<float>(0);
+  auto out = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) out[i] = 2.0f * in[i];
+  return Status::ok();
+}
+
+const jni::KernelRegistrar kFaultDoubleReg("fault.double", FaultDoubleKernel);
+
+/// A device whose failures are scripted from the test body.
+class FlakyPlugin final : public Plugin {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "flaky"; }
+  [[nodiscard]] bool is_available() const override { return true; }
+  [[nodiscard]] sim::Co<Result<OffloadReport>> run_region(
+      const TargetRegion&, trace::SpanId) override {
+    ++runs;
+    if (!fail_with.is_ok()) co_return fail_with;
+    OffloadReport report;
+    report.device_name = "flaky";
+    co_return report;
+  }
+
+  int runs = 0;
+  Status fail_with = unavailable("flaky device down");
+};
+
+TargetRegion double_region(std::vector<float>& x, std::vector<float>& y) {
+  TargetRegion region;
+  region.name = "double";
+  region.vars = {{"x", x.data(), x.size() * 4, MapType::kTo},
+                 {"y", y.data(), y.size() * 4, MapType::kFrom}};
+  spark::LoopSpec loop;
+  loop.kernel = "fault.double";
+  loop.iterations = static_cast<int64_t>(x.size());
+  loop.flops_per_iteration = 1.0;
+  loop.reads = {{0, spark::LoopAccess::Mode::kReadPartitioned,
+                 spark::AffineRange::rows(4), {}}};
+  loop.writes = {{1, spark::LoopAccess::Mode::kWritePartitioned,
+                  spark::AffineRange::rows(4), {}}};
+  region.loops.push_back(loop);
+  return region;
+}
+
+Result<OffloadReport> offload_once(Engine& engine, DeviceManager& devices,
+                                   TargetRegion region, int device_id) {
+  std::optional<Result<OffloadReport>> out;
+  engine.spawn([](DeviceManager* devices, TargetRegion region, int device_id,
+                  std::optional<Result<OffloadReport>>* out) -> sim::Co<void> {
+    *out = co_await devices->offload(std::move(region), device_id);
+  }(&devices, std::move(region), device_id, &out));
+  engine.run();
+  return std::move(*out);
+}
+
+void advance(Engine& engine, double seconds) {
+  engine.spawn([](Engine* engine, double seconds) -> sim::Co<void> {
+    co_await engine->sleep(seconds);
+  }(&engine, seconds));
+  engine.run();
+}
+
+TEST(BreakerTest, OpensAfterThresholdProbesAndCloses) {
+  Engine engine;
+  DeviceManager devices(engine);
+  DeviceManagerOptions options;
+  options.breaker_threshold = 2;
+  options.breaker_open_seconds = 50;
+  devices.configure(options);
+  auto owned = std::make_unique<FlakyPlugin>();
+  FlakyPlugin* flaky = owned.get();
+  int id = devices.register_device(std::move(owned));
+  std::vector<float> x(16, 1.0f), y(16, 0.0f);
+
+  // Failure 1: device attempted, host fallback, breaker still closed.
+  auto r1 = offload_once(engine, devices, double_region(x, y), id);
+  ASSERT_TRUE(r1.ok()) << r1.status().to_string();
+  EXPECT_TRUE(r1->fell_back_to_host);
+  EXPECT_EQ(flaky->runs, 1);
+  EXPECT_EQ(devices.breaker_state(id), DeviceManager::BreakerState::kClosed);
+
+  // Failure 2 reaches the threshold: breaker opens.
+  auto r2 = offload_once(engine, devices, double_region(x, y), id);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(flaky->runs, 2);
+  EXPECT_EQ(devices.breaker_state(id), DeviceManager::BreakerState::kOpen);
+
+  // While open, the device is skipped entirely — straight to the host.
+  auto r3 = offload_once(engine, devices, double_region(x, y), id);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r3->fell_back_to_host);
+  EXPECT_EQ(flaky->runs, 2);  // not attempted
+  EXPECT_EQ(y[3], 2.0f);      // host still computed the region
+
+  // After the cooldown one half-open probe goes through; it fails, so the
+  // breaker re-opens.
+  advance(engine, 60);
+  auto r4 = offload_once(engine, devices, double_region(x, y), id);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(flaky->runs, 3);
+  EXPECT_EQ(devices.breaker_state(id), DeviceManager::BreakerState::kOpen);
+
+  // A successful probe closes it again.
+  flaky->fail_with = Status::ok();
+  advance(engine, 60);
+  auto r5 = offload_once(engine, devices, double_region(x, y), id);
+  ASSERT_TRUE(r5.ok());
+  EXPECT_FALSE(r5->fell_back_to_host);
+  EXPECT_EQ(flaky->runs, 4);
+  EXPECT_EQ(devices.breaker_state(id), DeviceManager::BreakerState::kClosed);
+}
+
+TEST(BreakerTest, ZeroThresholdDisablesBreaker) {
+  Engine engine;
+  DeviceManager devices(engine);
+  DeviceManagerOptions options;
+  options.breaker_threshold = 0;
+  devices.configure(options);
+  auto owned = std::make_unique<FlakyPlugin>();
+  FlakyPlugin* flaky = owned.get();
+  int id = devices.register_device(std::move(owned));
+  std::vector<float> x(16, 1.0f), y(16, 0.0f);
+  for (int i = 0; i < 5; ++i) {
+    auto report = offload_once(engine, devices, double_region(x, y), id);
+    ASSERT_TRUE(report.ok());
+  }
+  EXPECT_EQ(flaky->runs, 5);  // never skipped
+  EXPECT_EQ(devices.breaker_state(id), DeviceManager::BreakerState::kClosed);
+}
+
+TEST(FallbackPolicyTest, InfrastructureFailuresFallBackByDefault) {
+  Engine engine;
+  DeviceManager devices(engine);
+  auto owned = std::make_unique<FlakyPlugin>();
+  owned->fail_with = internal_error("device exploded mid-download");
+  int id = devices.register_device(std::move(owned));
+  std::vector<float> x(16, 3.0f), y(16, 0.0f);
+  auto report = offload_once(engine, devices, double_region(x, y), id);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(report->fell_back_to_host);
+  EXPECT_EQ(y[0], 6.0f);
+}
+
+TEST(FallbackPolicyTest, KnobOffRestoresUnavailabilityOnlyFallback) {
+  Engine engine;
+  DeviceManager devices(engine);
+  DeviceManagerOptions options;
+  options.fallback_on_failure = false;
+  devices.configure(options);
+  auto owned = std::make_unique<FlakyPlugin>();
+  FlakyPlugin* flaky = owned.get();
+  flaky->fail_with = internal_error("device exploded mid-download");
+  int id = devices.register_device(std::move(owned));
+  std::vector<float> x(16, 3.0f), y(16, 0.0f);
+
+  // Historical behavior: only kUnavailable falls back; kInternal surfaces.
+  auto report = offload_once(engine, devices, double_region(x, y), id);
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+
+  flaky->fail_with = unavailable("cluster gone");
+  report = offload_once(engine, devices, double_region(x, y), id);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(report->fell_back_to_host);
+}
+
+TEST(FallbackPolicyTest, ProgrammerErrorsNeverFallBack) {
+  Engine engine;
+  DeviceManager devices(engine);
+  auto owned = std::make_unique<FlakyPlugin>();
+  owned->fail_with = invalid_argument("bad mapping");
+  int id = devices.register_device(std::move(owned));
+  std::vector<float> x(16, 1.0f), y(16, 0.0f);
+  auto report = offload_once(engine, devices, double_region(x, y), id);
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(y[0], 0.0f);  // host never ran
+}
+
+TEST(DeviceManagerOptionsTest, FromConfigReadsKnobs) {
+  auto config = *Config::parse(R"(
+[device]
+fallback-on-failure = false
+breaker-threshold = 7
+breaker-open-seconds = 45s
+)");
+  auto options = DeviceManagerOptions::from_config(config);
+  EXPECT_FALSE(options.fallback_on_failure);
+  EXPECT_EQ(options.breaker_threshold, 7);
+  EXPECT_DOUBLE_EQ(options.breaker_open_seconds, 45.0);
+}
+
+}  // namespace
+}  // namespace ompcloud

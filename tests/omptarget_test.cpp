@@ -240,6 +240,53 @@ TEST(CloudPluginTest, ExhaustedRetriesSurfaceAsUnavailable) {
   EXPECT_EQ(y[0], 2.0f);  // computed locally, still correct
 }
 
+TEST(CloudPluginTest, PermanentPutErrorFailsFastWithoutRetry) {
+  CloudPluginOptions options;
+  options.storage_retries = 3;
+  OffloadFixture f(4, false, spark::SparkConf{}, options);
+  int put_attempts = 0;
+  f.cluster.store().set_fault_injector(
+      [&](std::string_view op, const std::string&, const std::string& key) {
+        if (op == "put" && key.find("x.bin") != std::string::npos) {
+          ++put_attempts;
+          return invalid_argument("malformed key");
+        }
+        return Status::ok();
+      });
+  std::vector<float> x(64, 1.0f), y(64, 0.0f);
+  auto region = f.make_region(x, y, f.cloud_id);
+  auto report = omp::offload_blocking(f.engine, region);
+  // A permanent error is not retried: exactly one attempt, no backoff, and
+  // the device manager surfaces it (programmer errors never fall back).
+  EXPECT_EQ(put_attempts, 1);
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CloudPluginTest, DataLossOnRawGetFailsFastWithoutRetry) {
+  CloudPluginOptions options;
+  options.storage_retries = 3;
+  OffloadFixture f(4, false, spark::SparkConf{}, options);
+  int get_attempts = 0;
+  f.cluster.store().set_fault_injector(
+      [&](std::string_view op, const std::string&, const std::string& key) {
+        if (op == "get" && key.find("y.out.bin") != std::string::npos) {
+          ++get_attempts;
+          return data_loss("bitrot");
+        }
+        return Status::ok();
+      });
+  std::vector<float> x(64, 2.0f), y(64, 0.0f);
+  auto region = f.make_region(x, y, f.cloud_id);
+  auto report = omp::offload_blocking(f.engine, region);
+  // Raw-get kDataLoss means the *stored* object is bad; re-fetching the
+  // same bytes cannot help, so no retry is spent. The device manager
+  // recovers by running the region on the host.
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(get_attempts, 1);
+  EXPECT_TRUE(report->fell_back_to_host);
+  EXPECT_EQ(y[0], 4.0f);
+}
+
 TEST(FallbackTest, StoppedClusterFallsBackToHost) {
   // Fig. 1: "if the cloud is not available the computation is performed
   // locally". A stopped, non-on-the-fly cluster is unavailable.
