@@ -1,0 +1,337 @@
+// Ablation: cloud-resident data environments on chained kernels.
+//
+// The paper's workloads round-trip every mapped buffer through the host per
+// target region; §V names "data caching in the cloud" as the missing
+// optimization. This ablation measures what the `target data`-style
+// DataEnvironment (omptarget/data_env.h) buys on the canonical chained
+// workloads, 2MM and 3MM, iterated L times:
+//
+//   round-trip: each link uploads its inputs and downloads its output.
+//               Transfer bytes grow linearly with the chain length (the
+//               block-level delta cache still dedups the *unchanged*
+//               operand matrices, so this is the strongest baseline).
+//   resident:   links run inside one DataEnvironment. Link k+1 consumes
+//               link k's cloud-side output object directly; the host copy
+//               materializes once, at environment exit. Transfer bytes are
+//               ~constant in the chain length.
+//
+// Acceptance (exit code): the 3MM resident chain-8 run moves no more than
+// 1.25x the transfer bytes of chain-1, resident beats round-trip at chain
+// 8, and both modes produce byte-identical final states.
+//
+// Results land in BENCH_resident.json; the 3MM resident chain-8 span tree
+// is exported to BENCH_resident.trace.json for `octrace summary`.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+
+#include "bench/harness.h"
+#include "omp/target_region.h"
+#include "omptarget/data_env.h"
+#include "support/flags.h"
+#include "support/strings.h"
+#include "trace/export.h"
+#include "workload/generators.h"
+
+using namespace ompcloud;
+
+namespace {
+
+jni::LoopBodyFn matmul_body(int64_t n) {
+  return [n](const jni::KernelArgs& args) {
+    auto x = args.input<float>(0);
+    auto y = args.input<float>(1);
+    auto out = args.output<float>(0);
+    for (int64_t i = args.begin; i < args.end; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t k = 0; k < n; ++k) acc += x[i * n + k] * y[k * n + j];
+        out[i * n + j] = acc;
+      }
+    }
+    return Status::ok();
+  };
+}
+
+struct ChainResult {
+  /// Byte and time fields summed over every link plus the environment
+  /// exit; `job` is the last link's (per-link Spark stats don't sum).
+  omptarget::OffloadReport totals;
+  omptarget::CloudPlugin::CacheStats cache;
+  std::optional<trace::OffloadAnalysis> analysis;  ///< last link's offload
+  std::vector<float> final_state;
+
+  [[nodiscard]] uint64_t transfer_bytes() const {
+    return totals.uploaded_plain_bytes + totals.downloaded_plain_bytes;
+  }
+};
+
+void accumulate(omptarget::OffloadReport& totals,
+                const omptarget::OffloadReport& link) {
+  totals.device_name = link.device_name;
+  totals.total_seconds += link.total_seconds;
+  totals.upload_seconds += link.upload_seconds;
+  totals.submit_seconds += link.submit_seconds;
+  totals.download_seconds += link.download_seconds;
+  totals.cleanup_seconds += link.cleanup_seconds;
+  totals.boot_seconds += link.boot_seconds;
+  totals.host_codec_seconds += link.host_codec_seconds;
+  totals.uploaded_plain_bytes += link.uploaded_plain_bytes;
+  totals.uploaded_wire_bytes += link.uploaded_wire_bytes;
+  totals.downloaded_plain_bytes += link.downloaded_plain_bytes;
+  totals.downloaded_wire_bytes += link.downloaded_wire_bytes;
+  totals.resident_upload_skipped_bytes += link.resident_upload_skipped_bytes;
+  totals.resident_download_deferred_bytes +=
+      link.resident_download_deferred_bytes;
+  totals.cost_usd += link.cost_usd;
+  totals.job = link.job;
+}
+
+/// Runs one L-link chain of `muls`-matmul links (2 = 2MM, 3 = 3MM) on a
+/// fresh cluster. The chain state ping-pongs between two buffers: link k
+/// reads s[k%2] and writes the other; operand matrices are fixed. With
+/// `resident`, every buffer lives in one DataEnvironment spanning the
+/// whole chain.
+Result<ChainResult> run_chain(int muls, int64_t n, int links, bool resident,
+                              const std::string& trace_path = {}) {
+  sim::Engine engine;
+  cloud::ClusterSpec spec;
+  cloud::Cluster cluster(engine, spec, cloud::SimProfile::paper_scale(n));
+  omptarget::CloudPluginOptions options;
+  options.chunk_size = 32ull << 10;  // chunked staging: residency per block
+  options.cache_data = true;         // strongest round-trip baseline
+  omptarget::DeviceManager devices(engine);
+  int cloud_id = devices.register_device(
+      std::make_unique<omptarget::CloudPlugin>(cluster, spark::SparkConf{},
+                                               options));
+  auto& plugin =
+      static_cast<omptarget::CloudPlugin&>(devices.device(cloud_id));
+
+  const auto cells = static_cast<size_t>(n) * n;
+  const uint64_t bytes = cells * sizeof(float);
+  auto a = workload::make_matrix(
+      {static_cast<size_t>(n), static_cast<size_t>(n), false, 21});
+  auto b = workload::make_matrix(
+      {static_cast<size_t>(n), static_cast<size_t>(n), false, 22});
+  auto c = workload::make_matrix(
+      {static_cast<size_t>(n), static_cast<size_t>(n), false, 23});
+  // Scale the fixed operands by 2/n so chained products stay bounded
+  // (each matmul at most doubles the state's magnitude).
+  for (auto* m : {&a, &b, &c}) {
+    for (float& v : *m) v *= 2.0f / static_cast<float>(n);
+  }
+  std::vector<float> s0 = workload::make_matrix(
+      {static_cast<size_t>(n), static_cast<size_t>(n), false, 20});
+  std::vector<float> s1(cells, 0.0f);
+  std::vector<float> tmp(cells, 0.0f);
+  std::vector<float> tmp2(cells, 0.0f);
+
+  // After L links the live state is s[L%2]; only it needs copy-out.
+  const bool final_is_s0 = links % 2 == 0;
+  std::optional<omptarget::DataEnvironment> env;
+  if (resident) {
+    env.emplace(devices, cloud_id);
+    OC_RETURN_IF_ERROR(env->map(
+        "S0", s0.data(), bytes,
+        final_is_s0 ? omptarget::MapType::kToFrom : omptarget::MapType::kTo));
+    OC_RETURN_IF_ERROR(env->map(
+        "S1", s1.data(), bytes,
+        final_is_s0 ? omptarget::MapType::kAlloc : omptarget::MapType::kFrom));
+    OC_RETURN_IF_ERROR(
+        env->map("A", a.data(), bytes, omptarget::MapType::kTo));
+    OC_RETURN_IF_ERROR(
+        env->map("B", b.data(), bytes, omptarget::MapType::kTo));
+    OC_RETURN_IF_ERROR(
+        env->map("tmp", tmp.data(), bytes, omptarget::MapType::kAlloc));
+    if (muls == 3) {
+      OC_RETURN_IF_ERROR(
+          env->map("C", c.data(), bytes, omptarget::MapType::kTo));
+      OC_RETURN_IF_ERROR(
+          env->map("tmp2", tmp2.data(), bytes, omptarget::MapType::kAlloc));
+    }
+    OC_RETURN_IF_ERROR(env->enter());
+  }
+
+  ChainResult out;
+  for (int link = 0; link < links; ++link) {
+    float* sin = link % 2 == 0 ? s0.data() : s1.data();
+    float* sout = link % 2 == 0 ? s1.data() : s0.data();
+    omp::TargetRegion region(devices,
+                             str_format("%dmm-link%d", muls, link));
+    region.device(cloud_id);
+    if (env) region.in_environment(*env);
+    auto Sin = region.map_to("S_in", sin, cells);
+    auto A = region.map_to("A", a.data(), cells);
+    auto B = region.map_to("B", b.data(), cells);
+    auto T1 = region.map_alloc("tmp", tmp.data(), cells);
+    auto Sout = region.map_from("S_out", sout, cells);
+    const double flops = 2.0 * static_cast<double>(n) * n;
+    region.parallel_for(n)
+        .read_partitioned(Sin, omp::rows<float>(n))
+        .read(A)
+        .write_partitioned(T1, omp::rows<float>(n))
+        .cost_flops(flops)
+        .body("mm1", matmul_body(n));
+    if (muls == 2) {
+      region.parallel_for(n)
+          .read_partitioned(T1, omp::rows<float>(n))
+          .read(B)
+          .write_partitioned(Sout, omp::rows<float>(n))
+          .cost_flops(flops)
+          .body("mm2", matmul_body(n));
+    } else {
+      auto C = region.map_to("C", c.data(), cells);
+      auto T2 = region.map_alloc("tmp2", tmp2.data(), cells);
+      region.parallel_for(n)
+          .read_partitioned(T1, omp::rows<float>(n))
+          .read(B)
+          .write_partitioned(T2, omp::rows<float>(n))
+          .cost_flops(flops)
+          .body("mm2", matmul_body(n));
+      region.parallel_for(n)
+          .read_partitioned(T2, omp::rows<float>(n))
+          .read(C)
+          .write_partitioned(Sout, omp::rows<float>(n))
+          .cost_flops(flops)
+          .body("mm3", matmul_body(n));
+    }
+    OC_ASSIGN_OR_RETURN(auto report, omp::offload_blocking(engine, region));
+    accumulate(out.totals, report);
+  }
+
+  if (env) {
+    std::optional<Result<omptarget::DataEnvReport>> exit_result;
+    engine.spawn(
+        [](omptarget::DataEnvironment* env,
+           std::optional<Result<omptarget::DataEnvReport>>* out)
+            -> sim::Co<void> { *out = co_await env->exit(); }(&*env,
+                                                              &exit_result));
+    engine.run();
+    OC_ASSIGN_OR_RETURN(omptarget::DataEnvReport exit_report,
+                        std::move(*exit_result));
+    out.totals.total_seconds += exit_report.seconds;
+    out.totals.download_seconds += exit_report.seconds;
+    out.totals.downloaded_plain_bytes += exit_report.downloaded_plain_bytes;
+    out.totals.downloaded_wire_bytes += exit_report.downloaded_wire_bytes;
+  }
+
+  out.cache = plugin.cache_stats();
+  trace::TraceAnalyzer analyzer(devices.tracer());
+  std::vector<trace::OffloadAnalysis> analyses = analyzer.analyze_all();
+  if (!analyses.empty()) out.analysis = std::move(analyses.back());
+  out.final_state = final_is_s0 ? s0 : s1;
+  if (!trace_path.empty()) {
+    OC_RETURN_IF_ERROR(trace::write_chrome_json(
+        devices.tracer(), trace_path,
+        "\"report\": " + out.totals.to_json(2)));
+  }
+  return out;
+}
+
+int run(int argc, const char** argv) {
+  FlagSet flags("Cloud-resident data environment ablation (chained 2MM/3MM)");
+  flags.define_int("n", 160, "matrix dimension per link");
+  if (Status parsed = flags.parse(argc, argv); !parsed.is_ok()) {
+    return parsed.code() == StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+  const int64_t n = flags.get_int("n");
+  const uint64_t matrix_bytes = static_cast<uint64_t>(n) * n * sizeof(float);
+  bench::BenchJson json("BENCH_resident.json");
+
+  std::printf("Resident data-environment ablation (matrix = %s)\n\n",
+              format_bytes(matrix_bytes).c_str());
+  std::printf("%4s %6s %10s | %12s %12s %12s %12s\n", "kind", "chain",
+              "mode", "upload", "download", "transfer", "saved");
+
+  bool ok = true;
+  uint64_t resident_3mm_chain1 = 0;
+  uint64_t resident_3mm_chain8 = 0;
+  for (int muls : {2, 3}) {
+    uint64_t round_trip_chain8 = 0;
+    uint64_t resident_chain8 = 0;
+    for (int links : {1, 2, 4, 8}) {
+      auto round_trip = run_chain(muls, n, links, /*resident=*/false);
+      const std::string trace_path =
+          muls == 3 && links == 8 ? "BENCH_resident.trace.json" : "";
+      auto resident = run_chain(muls, n, links, /*resident=*/true,
+                                trace_path);
+      if (!round_trip.ok() || !resident.ok()) {
+        const Status& status = round_trip.ok() ? resident.status()
+                                               : round_trip.status();
+        std::fprintf(stderr, "%dmm chain=%d failed: %s\n", muls, links,
+                     status.to_string().c_str());
+        return 1;
+      }
+      for (const ChainResult* chain : {&*round_trip, &*resident}) {
+        bool is_resident = chain == &*resident;
+        std::printf(
+            "%3dmm %6d %10s | %12s %12s %12s %12s\n", muls, links,
+            is_resident ? "resident" : "round-trip",
+            format_bytes(chain->totals.uploaded_plain_bytes).c_str(),
+            format_bytes(chain->totals.downloaded_plain_bytes).c_str(),
+            format_bytes(chain->transfer_bytes()).c_str(),
+            format_bytes(chain->totals.resident_upload_skipped_bytes +
+                         chain->totals.resident_download_deferred_bytes)
+                .c_str());
+        json.add(str_format("%dmm %s chain=%d", muls,
+                            is_resident ? "resident" : "roundtrip", links),
+                 chain->totals, &chain->cache,
+                 chain->analysis ? &*chain->analysis : nullptr);
+      }
+      // Residency must not change the math: the final chain state has to
+      // be byte-identical to the round-trip run's.
+      if (round_trip->final_state.size() != resident->final_state.size() ||
+          std::memcmp(round_trip->final_state.data(),
+                      resident->final_state.data(),
+                      round_trip->final_state.size() * sizeof(float)) != 0) {
+        std::fprintf(stderr,
+                     "%dmm chain=%d: resident final state DIVERGES from "
+                     "round-trip\n",
+                     muls, links);
+        ok = false;
+      }
+      // Resident links after the first must never re-stage a pinned block
+      // through the delta cache: all their input bytes are skipped outright.
+      if (resident->totals.resident_upload_skipped_bytes == 0 && links > 1) {
+        std::fprintf(stderr, "%dmm chain=%d: no resident upload skips\n",
+                     muls, links);
+        ok = false;
+      }
+      if (links == 8) {
+        round_trip_chain8 = round_trip->transfer_bytes();
+        resident_chain8 = resident->transfer_bytes();
+      }
+      if (muls == 3 && links == 1) {
+        resident_3mm_chain1 = resident->transfer_bytes();
+      }
+      if (muls == 3 && links == 8) {
+        resident_3mm_chain8 = resident->transfer_bytes();
+      }
+    }
+    bool beats = resident_chain8 < round_trip_chain8;
+    std::printf(
+        "\n%dmm chain=8: resident moves %s vs round-trip %s (%s)\n\n", muls,
+        format_bytes(resident_chain8).c_str(),
+        format_bytes(round_trip_chain8).c_str(),
+        beats ? "resident wins" : "resident DOES NOT win");
+    ok = ok && beats;
+  }
+
+  // The headline acceptance: chained-kernel transfer is ~constant in the
+  // chain length once the working set is cloud-resident.
+  double ratio = resident_3mm_chain1 == 0
+                     ? 0.0
+                     : static_cast<double>(resident_3mm_chain8) /
+                           static_cast<double>(resident_3mm_chain1);
+  bool constant_transfer = resident_3mm_chain1 > 0 && ratio <= 1.25;
+  std::printf("3mm resident transfer: chain-8 / chain-1 = %.3f (%s 1.25)\n",
+              ratio, constant_transfer ? "<=" : "EXCEEDS");
+  ok = ok && constant_transfer;
+
+  json.flush();
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) { return run(argc, argv); }

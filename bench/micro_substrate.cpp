@@ -159,7 +159,7 @@ void BM_SparkSmallJobEndToEnd(benchmark::State& state) {
 
     spark::JobSpec job;
     job.bucket = "b";
-    job.vars = {{"x", n * 4, true, false}, {"y", n * 4, false, true}};
+    job.vars = {{"x", n * 4, true, false, {}}, {"y", n * 4, false, true, {}}};
     spark::LoopSpec loop;
     loop.kernel = "micro.kernel";
     loop.iterations = n;

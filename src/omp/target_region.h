@@ -95,6 +95,15 @@ class TargetRegion {
   /// "default".
   TargetRegion& tenant(std::string name);
 
+  /// `#pragma omp target data`-style enclosing environment: mapped buffers
+  /// registered in `env` stay cloud-resident between consecutive regions
+  /// (uploads are skipped, downloads deferred to environment exit). The
+  /// environment must outlive every execution of this region.
+  TargetRegion& in_environment(omptarget::DataEnvironment& env) {
+    region_.env = &env;
+    return *this;
+  }
+
   /// map clauses; `count` is in elements of T.
   template <typename T>
   VarHandle map_to(const std::string& name, const T* data, size_t count) {

@@ -5,6 +5,7 @@
 
 #include "cloud/autoscaler.h"
 #include "compress/payload.h"
+#include "omptarget/data_env.h"
 #include "support/strings.h"
 #include "tools/tools.h"
 #include "trace/query.h"
@@ -45,9 +46,14 @@ void finalize_report_from_trace(const trace::Tracer& tracer, trace::SpanId root,
     if (phase->name == "upload") {
       report.uploaded_plain_bytes += static_cast<uint64_t>(plain);
       report.uploaded_wire_bytes += static_cast<uint64_t>(wire);
+      // `resident/<var>` spans mark uploads the data environment elided.
+      report.resident_upload_skipped_bytes += static_cast<uint64_t>(
+          trace::TraceQuery::sum_value(spans, "bytes_saved"));
     } else if (phase->name == "download") {
       report.downloaded_plain_bytes += static_cast<uint64_t>(plain);
       report.downloaded_wire_bytes += static_cast<uint64_t>(wire);
+      report.resident_download_deferred_bytes += static_cast<uint64_t>(
+          trace::TraceQuery::sum_value(spans, "bytes_deferred"));
     }
   }
 }
@@ -361,16 +367,40 @@ sim::Co<Result<ByteBuffer>> CloudPlugin::get_with_retry(std::string key,
 
 sim::Co<Status> CloudPlugin::upload_inputs(
     const TargetRegion& region, const std::vector<std::string>& names,
-    bool cache_eligible, trace::SpanId phase) {
+    const std::vector<char>& resident_in, bool cache_eligible,
+    trace::SpanId phase) {
   auto& engine = cluster_->engine();
+  trace::Tracer& tr = tracer();
+  // Cloud-resident inputs skip the upload outright: the current version is
+  // already in the bucket (identity + version check — zero hashing), so the
+  // only trace of the transfer is a zero-duration `resident/<var>` span and
+  // a data-op marking the elision.
+  int buffer_count = 0;
+  for (size_t v = 0; v < region.vars.size(); ++v) {
+    const MappedVar& var = region.vars[v];
+    if (!var.maps_to()) continue;
+    if (resident_in[v] != 0) {
+      trace::SpanHandle skip = tr.span("resident/" + var.name, phase);
+      skip.tag("mode", "upload-skip");
+      skip.add("bytes_saved", static_cast<double>(var.size_bytes));
+      skip.end();
+      tools::DataOpInfo op;
+      op.kind = tools::DataOpKind::kTransferTo;
+      op.var = var.name;
+      op.resident = true;
+      op.resident_hit = true;
+      op.bytes_resident = var.size_bytes;
+      op.start = engine.now();
+      op.end = op.start;
+      tr.tools().emit_data_op(op);
+      continue;
+    }
+    ++buffer_count;
+  }
+  if (buffer_count == 0) co_return Status::ok();
   // One transfer thread per buffer by default; a semaphore models the
   // configurable thread-pool bound. Chunked buffers draw block transfers
   // from the same pool.
-  int buffer_count = 0;
-  for (const MappedVar& var : region.vars) {
-    if (var.maps_to()) ++buffer_count;
-  }
-  if (buffer_count == 0) co_return Status::ok();
   int threads = options_.transfer_threads > 0 ? options_.transfer_threads
                                               : buffer_count;
   auto gate = std::make_shared<sim::Semaphore>(engine, threads);
@@ -380,28 +410,28 @@ sim::Co<Status> CloudPlugin::upload_inputs(
   std::vector<sim::Completion> parts;
   for (size_t v = 0; v < region.vars.size(); ++v) {
     const MappedVar& var = region.vars[v];
-    if (!var.maps_to()) continue;
+    if (!var.maps_to() || resident_in[v] != 0) continue;
     parts.push_back(engine.spawn(
         [](CloudPlugin* self, const MappedVar* var, std::string staged,
-           bool cache_eligible, std::shared_ptr<sim::Semaphore> gate,
-           trace::SpanId phase, std::vector<Status>* statuses,
-           size_t v) -> sim::Co<void> {
+           DataEnvironment* env, bool cache_eligible,
+           std::shared_ptr<sim::Semaphore> gate, trace::SpanId phase,
+           std::vector<Status>* statuses, size_t v) -> sim::Co<void> {
           Status status;
           if (self->use_chunking(var->size_bytes)) {
             status = co_await self->upload_chunked(var, std::move(staged),
-                                                   cache_eligible, gate,
+                                                   env, cache_eligible, gate,
                                                    phase);
           } else {
             status = co_await self->upload_single(var, std::move(staged),
-                                                  cache_eligible, gate,
+                                                  env, cache_eligible, gate,
                                                   phase);
           }
           if (!status.is_ok()) {
             (*statuses)[v] =
                 status.with_context("uploading '" + var->name + "'");
           }
-        }(this, &var, names[v], cache_eligible, gate, phase, statuses.get(),
-          v)));
+        }(this, &var, names[v], region.env, cache_eligible, gate, phase,
+          statuses.get(), v)));
   }
   co_await sim::all(std::move(parts));
   for (const Status& status : *statuses) {
@@ -412,6 +442,7 @@ sim::Co<Status> CloudPlugin::upload_inputs(
 
 sim::Co<Status> CloudPlugin::upload_single(const MappedVar* var,
                                            std::string staged,
+                                           DataEnvironment* env,
                                            bool cache_eligible,
                                            std::shared_ptr<sim::Semaphore> gate,
                                            trace::SpanId phase) {
@@ -452,6 +483,7 @@ sim::Co<Status> CloudPlugin::upload_single(const MappedVar* var,
       op.bytes_skipped = plain.size();
       op.end = cluster_->engine().now();
       tr.tools().emit_data_op(op);
+      if (env != nullptr) env->note_staged(var->host_ptr, key);
       co_return Status::ok();
     }
     if (cached != nullptr) {
@@ -496,6 +528,10 @@ sim::Co<Status> CloudPlugin::upload_single(const MappedVar* var,
     data_cache_[staged] = CachedInput{
         0, plain.size(), {{plain.size(), encoded_size, hash}}};
   }
+  // The environment now considers this host version cloud-resident — the
+  // next region inside the environment skips this upload by version check
+  // alone (no re-hashing).
+  if (env != nullptr) env->note_staged(var->host_ptr, key);
   op.codec = options_.codec;
   op.plain_bytes = plain.size();
   op.wire_bytes = encoded_size;
@@ -526,8 +562,9 @@ sim::Co<void> CloudPlugin::put_block(
 }
 
 sim::Co<Status> CloudPlugin::upload_chunked(
-    const MappedVar* var, std::string staged, bool cache_eligible,
-    std::shared_ptr<sim::Semaphore> gate, trace::SpanId phase) {
+    const MappedVar* var, std::string staged, DataEnvironment* env,
+    bool cache_eligible, std::shared_ptr<sim::Semaphore> gate,
+    trace::SpanId phase) {
   auto& engine = cluster_->engine();
   trace::Tracer& tr = tracer();
   trace::SpanHandle span = tr.span("upload/" + var->name, phase);
@@ -589,6 +626,7 @@ sim::Co<Status> CloudPlugin::upload_chunked(
       op.bytes_skipped = plain.size();
       op.end = engine.now();
       tr.tools().emit_data_op(op);
+      if (env != nullptr) env->note_staged(var->host_ptr, base_key);
       co_return Status::ok();
     }
   }
@@ -668,6 +706,7 @@ sim::Co<Status> CloudPlugin::upload_chunked(
   if (use_cache) {
     data_cache_[staged] = CachedInput{chunk, plain.size(), std::move(digests)};
   }
+  if (env != nullptr) env->note_staged(var->host_ptr, base_key);
   op.codec = options_.codec;
   op.wire_bytes += manifest_size;
   op.end = engine.now();
@@ -679,9 +718,35 @@ sim::Co<Status> CloudPlugin::download_outputs(
     const TargetRegion& region, const std::vector<std::string>& names,
     trace::SpanId phase) {
   auto& engine = cluster_->engine();
+  trace::Tracer& tr = tracer();
+  // Outputs registered in the region's data environment stay cloud-resident:
+  // the object remains in the bucket as the buffer's latest version and the
+  // host copy is materialized lazily (update_from / environment exit).
   int buffer_count = 0;
-  for (const MappedVar& var : region.vars) {
-    if (var.maps_from()) ++buffer_count;
+  std::vector<char> deferred(region.vars.size(), 0);
+  for (size_t v = 0; v < region.vars.size(); ++v) {
+    const MappedVar& var = region.vars[v];
+    if (!var.maps_from()) continue;
+    if (region.env != nullptr && region.env->find(var.host_ptr) != nullptr) {
+      deferred[v] = 1;
+      region.env->note_output(var.host_ptr,
+                              spark::SparkContext::output_key(names[v]));
+      trace::SpanHandle defer = tr.span("resident/" + var.name, phase);
+      defer.tag("mode", "download-defer");
+      defer.add("bytes_deferred", static_cast<double>(var.size_bytes));
+      defer.end();
+      tools::DataOpInfo op;
+      op.kind = tools::DataOpKind::kTransferFrom;
+      op.var = var.name;
+      op.resident = true;
+      op.resident_deferred = true;
+      op.bytes_resident = var.size_bytes;
+      op.start = engine.now();
+      op.end = op.start;
+      tr.tools().emit_data_op(op);
+      continue;
+    }
+    ++buffer_count;
   }
   if (buffer_count == 0) co_return Status::ok();
   int threads = options_.transfer_threads > 0 ? options_.transfer_threads
@@ -692,13 +757,13 @@ sim::Co<Status> CloudPlugin::download_outputs(
   std::vector<sim::Completion> parts;
   for (size_t v = 0; v < region.vars.size(); ++v) {
     const MappedVar& var = region.vars[v];
-    if (!var.maps_from()) continue;
+    if (!var.maps_from() || deferred[v] != 0) continue;
     parts.push_back(engine.spawn(
         [](CloudPlugin* self, const MappedVar* var, std::string staged,
            std::shared_ptr<sim::Semaphore> gate, trace::SpanId phase,
            std::vector<Status>* statuses, size_t v) -> sim::Co<void> {
-          Status status = co_await self->download_buffer(
-              var, std::move(staged), gate, phase);
+          Status status = co_await self->download_object(
+              var, spark::SparkContext::output_key(staged), gate, phase);
           if (!status.is_ok()) {
             (*statuses)[v] =
                 status.with_context("downloading '" + var->name + "'");
@@ -794,13 +859,13 @@ sim::Co<void> CloudPlugin::fetch_block(
   window->release();
 }
 
-sim::Co<Status> CloudPlugin::download_buffer(
-    const MappedVar* var, std::string staged,
-    std::shared_ptr<sim::Semaphore> gate, trace::SpanId phase) {
+sim::Co<Status> CloudPlugin::download_object(
+    const MappedVar* var, std::string base_key,
+    std::shared_ptr<sim::Semaphore> gate, trace::SpanId phase,
+    DownloadTally* totals) {
   auto& engine = cluster_->engine();
   trace::Tracer& tr = tracer();
   trace::SpanHandle span = tr.span("download/" + var->name, phase);
-  std::string base_key = spark::SparkContext::output_key(staged);
   // One data-op record per buffer regardless of the path (single frame,
   // inline chunked, or manifest + block pipeline); emitted on success only.
   tools::DataOpInfo op;
@@ -852,6 +917,7 @@ sim::Co<Status> CloudPlugin::download_buffer(
       op.plain_bytes += plain.size();
       op.end = engine.now();
       tr.tools().emit_data_op(op);
+      if (totals != nullptr) *totals = {op.plain_bytes, op.wire_bytes};
       co_return Status::ok();
     }
     // Manifest: stream the sibling block objects back through the mirrored
@@ -881,6 +947,7 @@ sim::Co<Status> CloudPlugin::download_buffer(
     op.wire_bytes += tally->wire_bytes;
     op.end = engine.now();
     tr.tools().emit_data_op(op);
+    if (totals != nullptr) *totals = {op.plain_bytes, op.wire_bytes};
     co_return Status::ok();
   }
 
@@ -942,15 +1009,60 @@ sim::Co<Status> CloudPlugin::download_buffer(
     op.plain_bytes += plain->size();
     op.end = engine.now();
     tr.tools().emit_data_op(op);
+    if (totals != nullptr) *totals = {op.plain_bytes, op.wire_bytes};
     co_return Status::ok();
   }
   co_return last;
 }
 
+sim::Co<Result<MaterializeStats>> CloudPlugin::materialize(
+    const MappedVar& var, const std::string& object_key,
+    trace::SpanId parent) {
+  // A deferred download finally forced (environment exit / update_from):
+  // reuse the whole download pipeline — retries, corruption re-fetch,
+  // chunked block streaming — against the resident object's key.
+  auto gate = std::make_shared<sim::Semaphore>(cluster_->engine(), 1);
+  trace::SpanHandle span = tracer().span("materialize", parent);
+  span.tag("var", var.name);
+  DownloadTally tally;
+  Status fetched =
+      co_await download_object(&var, object_key, gate, span.id(), &tally);
+  if (!fetched.is_ok()) {
+    co_return fetched.with_context("materializing '" + var.name + "'");
+  }
+  co_return MaterializeStats{tally.plain_bytes, tally.wire_bytes};
+}
+
+sim::Co<Status> CloudPlugin::discard_object(const std::string& object_key,
+                                            trace::SpanId parent) {
+  if (object_key.empty()) co_return Status::ok();
+  trace::Tracer& tr = tracer();
+  // The prefix listing catches the object itself plus its chunked sibling
+  // blocks (`<key>.partNNNNN`). Best-effort, mirroring cleanup: a failed
+  // delete leaves an orphan object, never a wrong result.
+  tr.set_ambient(parent);
+  auto keys = co_await cluster_->store().list(cloud::Cluster::host_node(),
+                                              options_.bucket, object_key);
+  if (!keys.ok()) co_return Status::ok();
+  for (const std::string& key : *keys) {
+    double start = cluster_->engine().now();
+    tr.set_ambient(parent);
+    Status removed = co_await cluster_->store().remove(
+        cloud::Cluster::host_node(), options_.bucket, key);
+    if (!removed.is_ok()) continue;
+    tools::DataOpInfo op;
+    op.kind = tools::DataOpKind::kDelete;
+    op.var = key;
+    op.start = start;
+    op.end = cluster_->engine().now();
+    tr.tools().emit_data_op(op);
+  }
+  co_return Status::ok();
+}
+
 sim::Co<Status> CloudPlugin::cleanup_objects(
     const TargetRegion& region, const std::vector<std::string>& names,
     bool cache_eligible, trace::SpanId phase) {
-  (void)region;
   if (names.empty()) co_return Status::ok();
   trace::Tracer& tr = tracer();
   // Every staged key of this invocation shares one prefix (names[v] =
@@ -987,7 +1099,25 @@ sim::Co<Status> CloudPlugin::cleanup_objects(
   for (const std::string& key : *keys) {
     bool is_output = key.find(".out.bin") != std::string::npos;
     if (!is_output && keep_inputs) continue;
+    // Environment-resident objects survive cleanup: they ARE the next
+    // region's inputs (and the deferred copy-out source on exit).
+    if (region.env != nullptr && region.env->is_resident_key(key)) continue;
     parts.push_back(engine.spawn(drop(this, phase, key)));
+  }
+  // Objects superseded mid-chain (a buffer re-staged under a new key) had
+  // their deletion deferred so residency bookkeeping stays synchronous;
+  // reclaim them now, inside this region's cleanup phase.
+  if (region.env != nullptr) {
+    for (const std::string& key : region.env->take_stale_keys()) {
+      if (region.env->is_resident_key(key)) continue;  // key was reused
+      tr.set_ambient(phase);
+      auto stale = co_await cluster_->store().list(cloud::Cluster::host_node(),
+                                                   options_.bucket, key);
+      if (!stale.ok()) continue;
+      for (const std::string& part : *stale) {
+        parts.push_back(engine.spawn(drop(this, phase, part)));
+      }
+    }
   }
   co_await sim::all(std::move(parts));
   co_return Status::ok();
@@ -1075,6 +1205,35 @@ sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
 
   std::vector<std::string> names = staged_names(region, cache_eligible);
 
+  // Residency resolution (data_env.h): an input whose current version is
+  // already cloud-resident is consumed in place — the job reads the object
+  // the previous region produced (`VarSpec::input_object`) and the upload is
+  // skipped entirely. The check is identity + version, no hashing. A buffer
+  // whose only valid copy was cloud-side but whose object vanished is
+  // unrecoverable here; kDataLoss sends the manager down the recovery path
+  // (residency replay + host fallback).
+  std::vector<char> resident_in(region.vars.size(), 0);
+  std::vector<std::string> input_objects(region.vars.size());
+  if (region.env != nullptr) {
+    for (size_t v = 0; v < region.vars.size(); ++v) {
+      const MappedVar& var = region.vars[v];
+      if (!var.maps_to()) continue;
+      const ResidencyTable::Buffer* buffer = region.env->find(var.host_ptr);
+      if (buffer == nullptr) continue;
+      bool present = buffer->resident_current() &&
+                     cluster_->store().contains(options_.bucket,
+                                                buffer->cloud_key);
+      if (present) {
+        resident_in[v] = 1;
+        input_objects[v] = buffer->cloud_key;
+      } else if (!buffer->host_valid) {
+        co_return data_loss("resident input '" + var.name +
+                            "' lost its cloud copy ('" + buffer->cloud_key +
+                            "') and the host copy is stale");
+      }
+    }
+  }
+
   // map(from:)/map(alloc:) variables only exist device-side until download:
   // report their allocation as data ops (ompt_target_data_alloc flavor).
   for (const MappedVar& var : region.vars) {
@@ -1108,8 +1267,8 @@ sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
   // chunked buffers streaming compress/wire overlapped).
   {
     trace::SpanHandle upload = tr.span("upload", root);
-    OC_CO_RETURN_IF_ERROR(
-        co_await upload_inputs(region, names, cache_eligible, upload.id()));
+    OC_CO_RETURN_IF_ERROR(co_await upload_inputs(region, names, resident_in,
+                                                 cache_eligible, upload.id()));
   }
   OC_CO_RETURN_IF_ERROR(past_deadline("upload"));
 
@@ -1132,8 +1291,14 @@ sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
     job.storage_seal = options_.verify_transfers;
     for (size_t v = 0; v < region.vars.size(); ++v) {
       const MappedVar& var = region.vars[v];
-      job.vars.push_back(
-          {names[v], var.size_bytes, var.maps_to(), var.maps_from()});
+      spark::VarSpec spec;
+      spec.name = names[v];
+      spec.size_bytes = var.size_bytes;
+      spec.map_to = var.maps_to();
+      spec.map_from = var.maps_from();
+      // Resident inputs read the previous region's output object directly.
+      if (resident_in[v] != 0) spec.input_object = input_objects[v];
+      job.vars.push_back(std::move(spec));
     }
     job.loops = region.loops;
     auto ran = co_await context_.run_job(std::move(job), root);

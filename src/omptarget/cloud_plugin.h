@@ -115,6 +115,19 @@ class CloudPlugin final : public Plugin {
       const TargetRegion& region,
       trace::SpanId parent_span = trace::kNoSpan) override;
 
+  /// Deferred-download completion (data_env.h): fetches the resident object
+  /// at `object_key` into `var.host_ptr` through the regular download
+  /// pipeline (retries, corruption re-fetch, chunked streaming).
+  [[nodiscard]] sim::Co<Result<MaterializeStats>> materialize(
+      const MappedVar& var, const std::string& object_key,
+      trace::SpanId parent = trace::kNoSpan) override;
+
+  /// Deletes the object at `object_key` plus any sibling `.part` block
+  /// objects (best-effort, like cleanup).
+  [[nodiscard]] sim::Co<Status> discard_object(
+      const std::string& object_key,
+      trace::SpanId parent = trace::kNoSpan) override;
+
   /// Applies any `[trace]` config read by `from_config`, then propagates
   /// the tracer into the cluster (and through it the object store) so the
   /// whole substrate records into the manager's span tree.
@@ -203,13 +216,18 @@ class CloudPlugin final : public Plugin {
 
   /// Stages every map(to:) buffer. Transfer seconds/bytes are recorded as
   /// spans under `phase` (the report derives its fields from them).
+  /// `resident_in[v]` marks variables whose current version is already
+  /// cloud-resident (data_env.h): their upload is skipped outright — no
+  /// hashing, no wire traffic — and a `resident/<var>` span records the
+  /// saved bytes.
   sim::Co<Status> upload_inputs(const TargetRegion& region,
                                 const std::vector<std::string>& names,
+                                const std::vector<char>& resident_in,
                                 bool cache_eligible, trace::SpanId phase);
   /// Uploads one buffer as a single frame (legacy path, with whole-buffer
   /// delta caching).
   sim::Co<Status> upload_single(const MappedVar* var, std::string staged,
-                                bool cache_eligible,
+                                DataEnvironment* env, bool cache_eligible,
                                 std::shared_ptr<sim::Semaphore> gate,
                                 trace::SpanId phase);
   /// Uploads one buffer as a block stream: compress block k+1 on the host
@@ -218,7 +236,7 @@ class CloudPlugin final : public Plugin {
   /// The manifest is written last so readers never observe a partially
   /// staged object.
   sim::Co<Status> upload_chunked(const MappedVar* var, std::string staged,
-                                 bool cache_eligible,
+                                 DataEnvironment* env, bool cache_eligible,
                                  std::shared_ptr<sim::Semaphore> gate,
                                  trace::SpanId phase);
   /// One in-flight block of the upload pipeline. Its `block[k].put` span
@@ -229,20 +247,27 @@ class CloudPlugin final : public Plugin {
                           std::shared_ptr<std::vector<Status>> statuses,
                           size_t slot, trace::SpanId parent);
 
+  /// Downloads every map(from:) output. Variables registered in the
+  /// region's data environment are *deferred* instead: the output object
+  /// stays in the bucket, the environment records it as the buffer's latest
+  /// version, and a `resident/<var>` span records the deferred bytes.
   sim::Co<Status> download_outputs(const TargetRegion& region,
                                    const std::vector<std::string>& names,
                                    trace::SpanId phase);
-  /// Downloads one output buffer (single frame, inline chunked frame, or a
-  /// manifest whose blocks stream back through the mirrored pipeline).
-  sim::Co<Status> download_buffer(const MappedVar* var, std::string staged,
-                                  std::shared_ptr<sim::Semaphore> gate,
-                                  trace::SpanId phase);
   /// Byte totals accumulated across the concurrent block fetches of one
   /// buffer, folded into the buffer's data-op callback at the end.
   struct DownloadTally {
     uint64_t plain_bytes = 0;
     uint64_t wire_bytes = 0;
   };
+  /// Downloads one object at `base_key` into `var->host_ptr` (single frame,
+  /// inline chunked frame, or a manifest whose blocks stream back through
+  /// the mirrored pipeline). `totals`, when given, receives the buffer's
+  /// byte tally (the materialize path reports it upward).
+  sim::Co<Status> download_object(const MappedVar* var, std::string base_key,
+                                  std::shared_ptr<sim::Semaphore> gate,
+                                  trace::SpanId phase,
+                                  DownloadTally* totals = nullptr);
   /// One in-flight block of the download pipeline: fetch through the gate,
   /// then decode/verify/copy while the next block is on the wire.
   sim::Co<void> fetch_block(std::string key, const MappedVar* var,

@@ -1,0 +1,370 @@
+#include "omptarget/data_env.h"
+
+#include <utility>
+
+namespace ompcloud::omptarget {
+
+// ---------------------------------------------------------------------------
+// ResidencyTable
+
+ResidencyTable::Buffer* ResidencyTable::find(int device_id,
+                                             const void* host_ptr) {
+  auto it = buffers_.find({device_id, host_ptr});
+  return it == buffers_.end() ? nullptr : &it->second;
+}
+
+const ResidencyTable::Buffer* ResidencyTable::find(
+    int device_id, const void* host_ptr) const {
+  auto it = buffers_.find({device_id, host_ptr});
+  return it == buffers_.end() ? nullptr : &it->second;
+}
+
+Result<ResidencyTable::Buffer*> ResidencyTable::pin(int device_id,
+                                                    std::string name,
+                                                    void* host_ptr,
+                                                    uint64_t size_bytes) {
+  if (host_ptr == nullptr) {
+    return invalid_argument("cannot pin a null host pointer ('" + name + "')");
+  }
+  if (size_bytes == 0) {
+    return invalid_argument("cannot pin a zero-byte buffer ('" + name + "')");
+  }
+  auto [it, inserted] = buffers_.try_emplace({device_id, host_ptr});
+  Buffer& buffer = it->second;
+  if (inserted) {
+    buffer.name = std::move(name);
+    buffer.host_ptr = host_ptr;
+    buffer.size_bytes = size_bytes;
+    buffer.device_id = device_id;
+  } else if (buffer.size_bytes != size_bytes) {
+    return invalid_argument("buffer '" + buffer.name + "' is already pinned with " +
+                            std::to_string(buffer.size_bytes) +
+                            " bytes; remapping with " +
+                            std::to_string(size_bytes) + " is not supported");
+  }
+  ++buffer.refcount;
+  return &buffer;
+}
+
+bool ResidencyTable::unpin(int device_id, const void* host_ptr) {
+  auto it = buffers_.find({device_id, host_ptr});
+  if (it == buffers_.end()) return false;
+  if (--it->second.refcount > 0) return false;
+  buffers_.erase(it);
+  return true;
+}
+
+bool ResidencyTable::is_resident_key(int device_id,
+                                     std::string_view key) const {
+  for (const auto& [id, buffer] : buffers_) {
+    if (id.first != device_id) continue;
+    if (!buffer.cloud_valid || buffer.cloud_key.empty()) continue;
+    if (key == buffer.cloud_key) return true;
+    // Chunked objects stage sibling blocks as `<key>.partK`.
+    if (key.size() > buffer.cloud_key.size() &&
+        key.substr(0, buffer.cloud_key.size()) == buffer.cloud_key &&
+        key.substr(buffer.cloud_key.size()).substr(0, 5) == ".part") {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ResidencyTable::add_stale_key(int device_id, std::string key) {
+  if (key.empty()) return;
+  stale_[device_id].push_back(std::move(key));
+}
+
+std::vector<std::string> ResidencyTable::take_stale_keys(int device_id) {
+  auto it = stale_.find(device_id);
+  if (it == stale_.end()) return {};
+  std::vector<std::string> keys = std::move(it->second);
+  stale_.erase(it);
+  return keys;
+}
+
+// ---------------------------------------------------------------------------
+// DataEnvironment
+
+DataEnvironment::DataEnvironment(DeviceManager& manager, int device_id)
+    : manager_(&manager), device_id_(device_id) {}
+
+ResidencyTable& DataEnvironment::table() const {
+  return manager_->residency();
+}
+
+trace::Tracer& DataEnvironment::tracer() const { return manager_->tracer(); }
+
+Status DataEnvironment::map(std::string name, void* host_ptr,
+                            uint64_t size_bytes, MapType intent) {
+  if (entered_) {
+    return failed_precondition(
+        "data environment mappings must be declared before enter()");
+  }
+  if (host_ptr == nullptr) {
+    return invalid_argument("mapping '" + name + "' has a null host pointer");
+  }
+  for (const Mapping& existing : mappings_) {
+    if (existing.host_ptr == host_ptr) {
+      return invalid_argument("host pointer of '" + name +
+                              "' is already mapped as '" + existing.name + "'");
+    }
+  }
+  mappings_.push_back(
+      Mapping{std::move(name), host_ptr, size_bytes, intent});
+  return Status::ok();
+}
+
+Status DataEnvironment::enter() {
+  if (entered_) {
+    return failed_precondition("data environment is already entered");
+  }
+  if (mappings_.empty()) {
+    return failed_precondition("data environment has no mappings");
+  }
+  for (size_t i = 0; i < mappings_.size(); ++i) {
+    const Mapping& m = mappings_[i];
+    auto pinned = table().pin(device_id_, m.name, m.host_ptr, m.size_bytes);
+    if (!pinned.ok()) {
+      for (size_t k = 0; k < i; ++k) {
+        (void)table().unpin(device_id_, mappings_[k].host_ptr);
+      }
+      return pinned.status().with_context("data environment enter");
+    }
+  }
+  entered_ = true;
+  return Status::ok();
+}
+
+sim::Co<Result<DataEnvReport>> DataEnvironment::exit() {
+  if (!entered_) {
+    co_return failed_precondition("data environment is not entered");
+  }
+  Plugin& device = manager_->device(device_id_);
+  DataEnvReport report;
+  double start = manager_->engine().now();
+  auto span = tracer().span("data_env.exit");
+  span.tag("device", std::string(device.name()));
+
+  for (const Mapping& m : mappings_) {
+    ResidencyTable::Buffer* buffer = find(m.host_ptr);
+    if (buffer == nullptr) continue;  // unpinned by a failed enter, be lenient
+    bool last_reference = buffer->refcount == 1;
+    bool maps_from = m.intent == MapType::kFrom || m.intent == MapType::kToFrom;
+    if (last_reference && maps_from && !buffer->host_valid &&
+        buffer->cloud_valid) {
+      MappedVar var{m.name, m.host_ptr, m.size_bytes, MapType::kFrom};
+      auto moved = co_await device.materialize(var, buffer->cloud_key,
+                                               span.id());
+      if (!moved.ok()) {
+        co_return moved.status().with_context("data environment exit: '" +
+                                              m.name + "'");
+      }
+      buffer->host_valid = true;
+      report.downloaded_plain_bytes += moved->plain_bytes;
+      report.downloaded_wire_bytes += moved->wire_bytes;
+      ++report.materialized;
+    }
+    if (last_reference && buffer->cloud_valid && !buffer->cloud_key.empty()) {
+      OC_CO_RETURN_IF_ERROR(
+          co_await device.discard_object(buffer->cloud_key, span.id()));
+      ++report.released_objects;
+    }
+    (void)table().unpin(device_id_, m.host_ptr);
+  }
+
+  // Superseded object versions whose deletion was deferred mid-chain.
+  for (const std::string& key : table().take_stale_keys(device_id_)) {
+    if (table().is_resident_key(device_id_, key)) continue;  // key was reused
+    OC_CO_RETURN_IF_ERROR(co_await device.discard_object(key, span.id()));
+    ++report.released_objects;
+  }
+
+  replay_log_.clear();
+  entered_ = false;
+  report.seconds = manager_->engine().now() - start;
+  span.add("materialized", report.materialized);
+  span.add("released_objects", report.released_objects);
+  span.add("downloaded_plain_bytes",
+           static_cast<double>(report.downloaded_plain_bytes));
+  co_return report;
+}
+
+sim::Co<Result<MaterializeStats>> DataEnvironment::update_from(
+    const void* host_ptr) {
+  ResidencyTable::Buffer* buffer = find(host_ptr);
+  if (buffer == nullptr) {
+    co_return failed_precondition(
+        "update_from: pointer is not mapped in this data environment");
+  }
+  if (buffer->host_valid) co_return MaterializeStats{};
+  if (!buffer->cloud_valid) {
+    co_return failed_precondition("update_from: buffer '" + buffer->name +
+                                  "' has no valid copy on either side");
+  }
+  const Mapping* mapping = nullptr;
+  for (const Mapping& m : mappings_) {
+    if (m.host_ptr == host_ptr) mapping = &m;
+  }
+  if (mapping == nullptr) {
+    co_return failed_precondition(
+        "update_from: pointer is pinned but not mapped here");
+  }
+  auto span = tracer().span("data_env.update_from");
+  span.tag("var", mapping->name);
+  MappedVar var{mapping->name, mapping->host_ptr, mapping->size_bytes,
+                MapType::kFrom};
+  auto moved = co_await manager_->device(device_id_).materialize(
+      var, buffer->cloud_key, span.id());
+  if (!moved.ok()) {
+    co_return moved.status().with_context("update_from '" + mapping->name +
+                                          "'");
+  }
+  buffer->host_valid = true;
+  span.add("plain_bytes", static_cast<double>(moved->plain_bytes));
+  co_return *moved;
+}
+
+Status DataEnvironment::update_to(const void* host_ptr) {
+  ResidencyTable::Buffer* buffer = find(host_ptr);
+  if (buffer == nullptr) {
+    return failed_precondition(
+        "update_to: pointer is not mapped in this data environment");
+  }
+  // The host wrote the buffer: the host copy is truth and any cloud copy is
+  // stale (its version no longer matches). The object itself is reclaimed
+  // when the next staging supersedes it or at environment exit.
+  ++buffer->version;
+  buffer->host_valid = true;
+  return Status::ok();
+}
+
+bool DataEnvironment::host_stale(const void* host_ptr) const {
+  const ResidencyTable::Buffer* buffer = find(host_ptr);
+  return buffer != nullptr && !buffer->host_valid;
+}
+
+ResidencyTable::Buffer* DataEnvironment::find(const void* host_ptr) {
+  return table().find(device_id_, host_ptr);
+}
+
+const ResidencyTable::Buffer* DataEnvironment::find(
+    const void* host_ptr) const {
+  return table().find(device_id_, host_ptr);
+}
+
+void DataEnvironment::note_staged(const void* host_ptr, std::string key) {
+  ResidencyTable::Buffer* buffer = find(host_ptr);
+  if (buffer == nullptr) return;
+  if (buffer->cloud_valid && !buffer->cloud_key.empty() &&
+      buffer->cloud_key != key) {
+    table().add_stale_key(device_id_, buffer->cloud_key);
+  }
+  buffer->cloud_valid = true;
+  buffer->staged_version = buffer->version;
+  buffer->cloud_key = std::move(key);
+}
+
+void DataEnvironment::note_output(const void* host_ptr, std::string key) {
+  ResidencyTable::Buffer* buffer = find(host_ptr);
+  if (buffer == nullptr) return;
+  if (buffer->cloud_valid && !buffer->cloud_key.empty() &&
+      buffer->cloud_key != key) {
+    table().add_stale_key(device_id_, buffer->cloud_key);
+  }
+  ++buffer->version;  // the device produced a new version of the content
+  buffer->staged_version = buffer->version;
+  buffer->cloud_valid = true;
+  buffer->host_valid = false;  // download deferred
+  buffer->cloud_key = std::move(key);
+}
+
+bool DataEnvironment::is_resident_key(std::string_view key) const {
+  return table().is_resident_key(device_id_, key);
+}
+
+std::vector<std::string> DataEnvironment::take_stale_keys() {
+  return table().take_stale_keys(device_id_);
+}
+
+void DataEnvironment::on_device_success(const TargetRegion& region) {
+  bool produces_resident_output = false;
+  for (const MappedVar& var : region.vars) {
+    if (var.maps_from() && find(var.host_ptr) != nullptr) {
+      produces_resident_output = true;
+      break;
+    }
+  }
+  if (!produces_resident_output) return;
+  TargetRegion logged = region;
+  logged.env = nullptr;  // replays run host-side, outside the environment
+  replay_log_.push_back(std::move(logged));
+}
+
+void DataEnvironment::note_host_run(const TargetRegion& region) {
+  for (const MappedVar& var : region.vars) {
+    if (!var.maps_from()) continue;
+    ResidencyTable::Buffer* buffer = find(var.host_ptr);
+    if (buffer == nullptr) continue;
+    ++buffer->version;
+    buffer->host_valid = true;
+    if (buffer->cloud_valid) {
+      table().add_stale_key(device_id_, buffer->cloud_key);
+      buffer->cloud_valid = false;
+      buffer->staged_version = 0;
+      buffer->cloud_key.clear();
+    }
+  }
+}
+
+void DataEnvironment::emit_invalidation(
+    const ResidencyTable::Buffer& buffer) {
+  tools::FaultEventInfo info;
+  info.kind = tools::FaultEventInfo::Kind::kResidencyInvalidated;
+  info.point = buffer.name;
+  info.detail = buffer.cloud_key;
+  info.device_id = device_id_;
+  info.time = tracer().now();
+  tracer().tools().emit_fault_event(info);
+}
+
+sim::Co<Status> DataEnvironment::recover_on_host(trace::SpanId parent) {
+  // Step 1: stop trusting the cloud. Every resident object may be
+  // corrupt/unreachable; queue them for deletion and mark the host copies
+  // as the (about to be recomputed) truth.
+  for (const Mapping& m : mappings_) {
+    ResidencyTable::Buffer* buffer = find(m.host_ptr);
+    if (buffer == nullptr || !buffer->cloud_valid) continue;
+    emit_invalidation(*buffer);
+    table().add_stale_key(device_id_, buffer->cloud_key);
+    buffer->cloud_valid = false;
+    buffer->staged_version = 0;
+    buffer->cloud_key.clear();
+  }
+  if (replay_log_.empty()) co_return Status::ok();
+
+  // Step 2: recompute deferred outputs from host truth. Replaying the
+  // logged producers in order restores every host buffer: the first logged
+  // region's inputs are host-valid by construction (they were uploaded from
+  // the host), and each replay makes the next one's inputs valid.
+  auto span = tracer().span("residency.replay", parent);
+  span.tag("regions", std::to_string(replay_log_.size()));
+  Plugin& host = manager_->device(DeviceManager::host_device_id());
+  for (const TargetRegion& logged : replay_log_) {
+    auto rerun = co_await host.run_region(logged, span.id());
+    if (!rerun.ok()) {
+      co_return rerun.status().with_context("residency replay of '" +
+                                            logged.name + "'");
+    }
+    for (const MappedVar& var : logged.vars) {
+      if (!var.maps_from()) continue;
+      if (ResidencyTable::Buffer* buffer = find(var.host_ptr)) {
+        buffer->host_valid = true;
+      }
+    }
+  }
+  replay_log_.clear();
+  co_return Status::ok();
+}
+
+}  // namespace ompcloud::omptarget

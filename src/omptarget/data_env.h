@@ -1,0 +1,222 @@
+// `target data`-style device data environments (the "data caching" future
+// work of the paper, §V, generalized): buffers mapped into an environment
+// stay *cloud-resident* across consecutive target regions instead of
+// round-tripping through the host per region.
+//
+//   omptarget::DataEnvironment env(devices, cloud_id);
+//   env.map("S", S.data(), bytes, MapType::kToFrom);
+//   env.enter();                       // pin (staging stays lazy)
+//   ... offload region 1 ... region N ...  // region.env = &env
+//   auto report = co_await env.exit(); // copy-out + release
+//
+// While a buffer is pinned:
+//   - an upload is *skipped* when the cloud copy is current (the plugin
+//     checks `staged_version == version`), with zero hashing — the delta
+//     cache is only consulted for genuinely dirty buffers;
+//   - a download is *deferred*: the output object stays in the bucket and
+//     the residency table records it as the buffer's latest version. The
+//     next region consumes the object directly (`VarSpec::input_object`);
+//     the host copy is materialized lazily on `update_from` or exit.
+//
+// Reference counts live in a per-DeviceManager `ResidencyTable` keyed by
+// (device, host pointer), so nested environments and shared buffers follow
+// OpenMP present-table semantics: copy-out and release happen when the last
+// reference exits.
+//
+// Failure semantics (extends the PR-5 self-healing path): when a device
+// attempt fails, `DataEnvironment::recover_on_host` invalidates every
+// cloud-resident buffer (emitting `kResidencyInvalidated` tool events) and
+// replays the logged producer regions on the host device so the host
+// buffers become the source of truth again before the manager's fallback
+// reruns the failing region locally.
+//
+// Host-side mutation of a pinned buffer between regions must be announced
+// with `update_to` (the OpenMP `target update to` analogue); mutating the
+// buffer silently while a stale cloud copy is considered current is a data
+// race in real OpenMP and is likewise undefined here.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "omptarget/device.h"
+#include "sim/engine.h"
+#include "support/status.h"
+#include "trace/tracer.h"
+
+namespace ompcloud::omptarget {
+
+/// Residency + reference-count table, one per DeviceManager (shared by all
+/// environments so refcounts compose across nesting). Pure bookkeeping: no
+/// storage traffic happens here.
+class ResidencyTable {
+ public:
+  /// The tracked state of one pinned host buffer on one device.
+  struct Buffer {
+    std::string name;
+    void* host_ptr = nullptr;
+    uint64_t size_bytes = 0;
+    int device_id = -1;
+    int refcount = 0;
+    /// Monotonic host-content version; bumped by `update_to` and by every
+    /// device-side write (note_output).
+    uint64_t version = 1;
+    /// Version the cloud object holds; the upload is skippable iff
+    /// `cloud_valid && staged_version == version`.
+    uint64_t staged_version = 0;
+    bool cloud_valid = false;  ///< bucket holds the latest version
+    bool host_valid = true;    ///< host buffer holds the latest version
+    /// Storage key of the latest cloud copy (a manifest key for chunked
+    /// objects — sibling `.part` blocks ride along).
+    std::string cloud_key;
+
+    [[nodiscard]] bool resident_current() const {
+      return cloud_valid && staged_version == version;
+    }
+  };
+
+  [[nodiscard]] Buffer* find(int device_id, const void* host_ptr);
+  [[nodiscard]] const Buffer* find(int device_id, const void* host_ptr) const;
+
+  /// Pins (or re-pins) a buffer: creates the entry on first use, then
+  /// increments the refcount. Size mismatches against an existing entry are
+  /// an error (same-pointer different-extent mappings are not supported).
+  Result<Buffer*> pin(int device_id, std::string name, void* host_ptr,
+                      uint64_t size_bytes);
+
+  /// Drops one reference; erases the entry (and returns true) when the
+  /// count reaches zero. The caller is responsible for any copy-out /
+  /// object release *before* unpinning.
+  bool unpin(int device_id, const void* host_ptr);
+
+  /// Whether `key` is (or belongs to) a live resident object on `device_id`
+  /// — the object itself or one of its chunked sibling blocks. Cleanup uses
+  /// this to keep resident outputs in the bucket.
+  [[nodiscard]] bool is_resident_key(int device_id,
+                                     std::string_view key) const;
+
+  /// Queues a superseded object key for deletion at the next cleanup /
+  /// environment exit (deletes are deferred so bookkeeping stays sync).
+  void add_stale_key(int device_id, std::string key);
+  [[nodiscard]] std::vector<std::string> take_stale_keys(int device_id);
+
+  [[nodiscard]] size_t size() const { return buffers_.size(); }
+
+ private:
+  std::map<std::pair<int, const void*>, Buffer> buffers_;
+  std::map<int, std::vector<std::string>> stale_;
+};
+
+/// What `DataEnvironment::exit` (plus any `update_from`) moved and freed.
+struct DataEnvReport {
+  double seconds = 0;  ///< virtual time spent in exit (copy-out + release)
+  uint64_t downloaded_plain_bytes = 0;
+  uint64_t downloaded_wire_bytes = 0;
+  int materialized = 0;      ///< buffers copied out on exit
+  int released_objects = 0;  ///< cloud objects discarded
+};
+
+/// One `#pragma omp target data` construct bound to a device. See the file
+/// comment for the lifecycle; regions run inside it by setting
+/// `TargetRegion::env`.
+class DataEnvironment {
+ public:
+  DataEnvironment(DeviceManager& manager, int device_id);
+
+  DataEnvironment(const DataEnvironment&) = delete;
+  DataEnvironment& operator=(const DataEnvironment&) = delete;
+
+  [[nodiscard]] int device_id() const { return device_id_; }
+
+  /// Declares one mapping of the environment (before `enter`). The intent
+  /// mirrors the OpenMP map type: `kTo`/`kToFrom` buffers have meaningful
+  /// host content on entry; `kFrom`/`kToFrom` buffers are copied out on
+  /// exit; `kAlloc` buffers are device-scratch (never copied either way).
+  Status map(std::string name, void* host_ptr, uint64_t size_bytes,
+             MapType intent);
+
+  /// Pins every declared mapping in the residency table (refcount++).
+  /// Purely synchronous — staging stays lazy until the first region that
+  /// actually uploads the buffer.
+  Status enter();
+
+  /// Unpins every mapping: for each buffer whose refcount reaches zero,
+  /// copies the device-resident version out (when the intent maps from the
+  /// device and the host copy is stale) and discards its cloud objects.
+  /// Also drains deferred deletions of superseded objects.
+  [[nodiscard]] sim::Co<Result<DataEnvReport>> exit();
+
+  /// `target update from(...)`: materializes the device-resident version of
+  /// one mapped buffer into the host copy *now* (no-op when the host copy
+  /// is already current).
+  [[nodiscard]] sim::Co<Result<MaterializeStats>> update_from(
+      const void* host_ptr);
+
+  /// `target update to(...)`: announces a host-side write — the cloud copy
+  /// (if any) is stale and the next region re-stages the buffer.
+  Status update_to(const void* host_ptr);
+
+  /// Whether `host_ptr` currently has a cloud copy newer than the host one.
+  [[nodiscard]] bool host_stale(const void* host_ptr) const;
+
+  // -- Plugin/manager-facing hooks (not part of the user API) --------------
+
+  [[nodiscard]] ResidencyTable::Buffer* find(const void* host_ptr);
+  [[nodiscard]] const ResidencyTable::Buffer* find(
+      const void* host_ptr) const;
+
+  /// Records that the plugin staged `host_ptr`'s current host content at
+  /// `key` (the upload completed): the cloud copy is now current.
+  void note_staged(const void* host_ptr, std::string key);
+
+  /// Records that a device-side region wrote a new version of `host_ptr`
+  /// at `key`: the cloud copy is the latest version and the host copy is
+  /// stale (its download was deferred).
+  void note_output(const void* host_ptr, std::string key);
+
+  /// Forwarders into the shared residency table, scoped to this device.
+  [[nodiscard]] bool is_resident_key(std::string_view key) const;
+  [[nodiscard]] std::vector<std::string> take_stale_keys();
+
+  /// Called by DeviceManager after a successful device run of `region`:
+  /// regions producing environment-resident outputs are appended to the
+  /// replay log so a later fault can recompute them from host truth.
+  void on_device_success(const TargetRegion& region);
+
+  /// Called by DeviceManager after the *host* ran `region` (fallback or a
+  /// direct host offload inside the environment): the host buffers now hold
+  /// the region's outputs, so their versions bump and any cloud copies are
+  /// stale.
+  void note_host_run(const TargetRegion& region);
+
+  /// Called by DeviceManager when a device attempt failed and the host
+  /// fallback is about to run: invalidates all cloud residency (emitting
+  /// `kResidencyInvalidated` per buffer) and replays the logged producer
+  /// regions on the host device, restoring the host buffers as the source
+  /// of truth. `parent` adopts the replay spans.
+  [[nodiscard]] sim::Co<Status> recover_on_host(trace::SpanId parent);
+
+ private:
+  struct Mapping {
+    std::string name;
+    void* host_ptr = nullptr;
+    uint64_t size_bytes = 0;
+    MapType intent = MapType::kTo;
+  };
+
+  [[nodiscard]] ResidencyTable& table() const;
+  [[nodiscard]] trace::Tracer& tracer() const;
+  void emit_invalidation(const ResidencyTable::Buffer& buffer);
+
+  DeviceManager* manager_;
+  int device_id_;
+  std::vector<Mapping> mappings_;
+  bool entered_ = false;
+  /// Device-successful regions whose resident outputs the host would need
+  /// recomputed on fallback; cleared on exit and after each recovery.
+  std::vector<TargetRegion> replay_log_;
+};
+
+}  // namespace ompcloud::omptarget

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "omptarget/data_env.h"
 #include "omptarget/host_plugin.h"
 #include "omptarget/scheduler.h"
 #include "support/strings.h"
@@ -18,7 +19,9 @@ std::string OffloadReport::to_json(int indent) const {
       "\"submit\": %.6f, \"job\": %.6f, \"download\": %.6f, "
       "\"cleanup\": %.6f, \"boot\": %.6f, \"host_codec\": %.6f},\n"
       "%s  \"bytes\": {\"uploaded_plain\": %llu, \"uploaded_wire\": %llu, "
-      "\"downloaded_plain\": %llu, \"downloaded_wire\": %llu},\n"
+      "\"downloaded_plain\": %llu, \"downloaded_wire\": %llu, "
+      "\"resident_upload_skipped\": %llu, "
+      "\"resident_download_deferred\": %llu},\n"
       "%s  \"cost_usd\": %.6f\n"
       "%s}",
       pad.c_str(), device_name.c_str(),
@@ -30,6 +33,8 @@ std::string OffloadReport::to_json(int indent) const {
       static_cast<unsigned long long>(uploaded_wire_bytes),
       static_cast<unsigned long long>(downloaded_plain_bytes),
       static_cast<unsigned long long>(downloaded_wire_bytes),
+      static_cast<unsigned long long>(resident_upload_skipped_bytes),
+      static_cast<unsigned long long>(resident_download_deferred_bytes),
       pad.c_str(), cost_usd,
       pad.c_str());
   return json;
@@ -82,7 +87,8 @@ DeviceManagerOptions DeviceManagerOptions::from_config(const Config& config) {
 
 DeviceManager::DeviceManager(sim::Engine& engine)
     : engine_(&engine),
-      tracer_(std::make_shared<trace::Tracer>(engine)) {
+      tracer_(std::make_shared<trace::Tracer>(engine)),
+      residency_(std::make_unique<ResidencyTable>()) {
   // Device 0: the host itself (laptop-class fallback: 4 cores, 3 GFLOP/s).
   set_host_device(std::make_unique<HostPlugin>(
       engine, "host(fallback)", /*threads=*/4, /*core_flops=*/3e9));
@@ -255,6 +261,9 @@ sim::Co<Result<OffloadReport>> DeviceManager::offload(TargetRegion region,
     auto report = co_await requested.run_region(region, root.id());
     if (report.ok()) {
       breaker_on_success(device_id, root);
+      // Log producer regions so a later fault inside the same data
+      // environment can recompute their resident outputs from host truth.
+      if (region.env != nullptr) region.env->on_device_success(region);
       finish(/*ok=*/true, /*fell_back=*/false);
       co_return report;
     }
@@ -288,12 +297,28 @@ sim::Co<Result<OffloadReport>> DeviceManager::offload(TargetRegion region,
     fell.time = engine_->now();
     tracer_->tools().emit_fault_event(fell);
   }
+  // Inside a data environment the host buffers may be stale (downloads of
+  // earlier regions' outputs were deferred to the cloud): invalidate all
+  // residency and replay the logged producers locally so the host run below
+  // starts from the true latest versions.
+  if (region.env != nullptr) {
+    trace::SpanHandle recovery = root.child("recovery");
+    recovery.tag("op", "residency-replay");
+    Status recovered = co_await region.env->recover_on_host(recovery.id());
+    if (!recovered.is_ok()) {
+      finish(/*ok=*/false, is_fallback);
+      co_return recovered.with_context("host fallback recovery");
+    }
+  }
   auto fallback =
       co_await devices_[host_device_id()]->run_region(region, root.id());
   if (!fallback.ok()) {
     finish(/*ok=*/false, is_fallback);
     co_return fallback.status();
   }
+  // The host wrote this region's outputs: bump their versions so the next
+  // cloud region re-stages them instead of trusting any cloud copy.
+  if (region.env != nullptr) region.env->note_host_run(region);
   fallback->fell_back_to_host = is_fallback;
   finish(/*ok=*/true, is_fallback);
   co_return fallback;

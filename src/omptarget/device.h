@@ -24,6 +24,8 @@ namespace ompcloud::omptarget {
 
 class OffloadScheduler;
 struct SchedulerOptions;
+class DataEnvironment;
+class ResidencyTable;
 
 /// OpenMP map-type of one variable (map(to:) / map(from:) / map(tofrom:) /
 /// device-only allocation).
@@ -50,6 +52,12 @@ struct TargetRegion {
   std::string name = "target-region";
   std::vector<MappedVar> vars;
   std::vector<spark::LoopSpec> loops;
+  /// Enclosing `target data` environment, when the region runs inside one
+  /// (data_env.h). Borrowed; null for the classic per-region round trip.
+  /// Buffers registered there stay cloud-resident across regions: uploads
+  /// of current resident inputs are skipped and downloads of registered
+  /// outputs are deferred until host access or environment exit.
+  DataEnvironment* env = nullptr;
 
   [[nodiscard]] Status validate() const;
 };
@@ -79,6 +87,11 @@ struct OffloadReport {
   uint64_t uploaded_wire_bytes = 0;   ///< after compression
   uint64_t downloaded_plain_bytes = 0;
   uint64_t downloaded_wire_bytes = 0;
+  /// Transfers the data environment elided (data_env.h): upload bytes whose
+  /// cloud copy was already current, and output bytes left resident instead
+  /// of downloaded.
+  uint64_t resident_upload_skipped_bytes = 0;
+  uint64_t resident_download_deferred_bytes = 0;
 
   double cost_usd = 0;  ///< $ metered against the cluster for this offload
 
@@ -93,6 +106,13 @@ struct OffloadReport {
   /// prefixed with `indent` spaces). Shared by `bench::BenchJson` and the
   /// trace export so the schema exists exactly once.
   [[nodiscard]] std::string to_json(int indent = 0) const;
+};
+
+/// Bytes moved by one `Plugin::materialize` call (a deferred download that
+/// the host finally forced).
+struct MaterializeStats {
+  uint64_t plain_bytes = 0;
+  uint64_t wire_bytes = 0;
 };
 
 /// Target-specific offloading plugin interface (paper Fig. 2 component 3).
@@ -114,6 +134,28 @@ class Plugin {
   [[nodiscard]] virtual sim::Co<Result<OffloadReport>> run_region(
       const TargetRegion& region,
       trace::SpanId parent_span = trace::kNoSpan) = 0;
+
+  /// Forces a deferred download: fetches the device-side object at
+  /// `object_key` into `var.host_ptr`. Called by `DataEnvironment` on
+  /// environment exit and `target update from`. Devices without remote
+  /// storage (the host plugin) have nothing to move.
+  [[nodiscard]] virtual sim::Co<Result<MaterializeStats>> materialize(
+      const MappedVar& var, const std::string& object_key,
+      trace::SpanId parent = trace::kNoSpan) {
+    (void)var;
+    (void)object_key;
+    (void)parent;
+    co_return MaterializeStats{};
+  }
+
+  /// Releases a device-side object (and any sibling block objects) whose
+  /// residency refcount dropped to zero. Best-effort, like cleanup.
+  [[nodiscard]] virtual sim::Co<Status> discard_object(
+      const std::string& object_key, trace::SpanId parent = trace::kNoSpan) {
+    (void)object_key;
+    (void)parent;
+    co_return Status::ok();
+  }
 
   /// Called by DeviceManager at registration with the manager-owned tracer
   /// so all devices record into one span tree. Plugins with their own
@@ -205,6 +247,11 @@ class DeviceManager {
 
   [[nodiscard]] sim::Engine& engine() { return *engine_; }
 
+  /// The residency/refcount table shared by every `DataEnvironment` bound
+  /// to this manager (data_env.h). Owned here so reference counts compose
+  /// across nested environments on the same device.
+  [[nodiscard]] ResidencyTable& residency() { return *residency_; }
+
   /// The tracer shared by every registered device (created by the
   /// constructor; pushed into plugins via `Plugin::attach_tracer`).
   [[nodiscard]] trace::Tracer& tracer() { return *tracer_; }
@@ -237,6 +284,7 @@ class DeviceManager {
   std::shared_ptr<trace::Tracer> tracer_;
   std::vector<std::unique_ptr<Plugin>> devices_;
   std::unique_ptr<OffloadScheduler> scheduler_;
+  std::unique_ptr<ResidencyTable> residency_;
   DeviceManagerOptions options_;
   std::vector<Breaker> breakers_;  ///< index-aligned with devices_
 };

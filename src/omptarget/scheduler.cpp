@@ -71,6 +71,7 @@ sim::Co<Result<OffloadReport>> OffloadScheduler::submit(TargetRegion region,
   pending.queue_span = manager_->tracer().span("sched.queue");
   pending.queue_span.tag("region", pending.region.name);
   pending.queue_span.tag("tenant", pending.tenant);
+  pending.footprint = footprint_of(pending.region);
   pending.done = std::make_shared<sim::Future<Result<OffloadReport>>>(
       manager_->engine());
   auto done = pending.done;
@@ -82,16 +83,77 @@ sim::Co<Result<OffloadReport>> OffloadScheduler::submit(TargetRegion region,
   co_return done->peek();
 }
 
+OffloadScheduler::Footprint OffloadScheduler::footprint_of(
+    const TargetRegion& region) {
+  Footprint fp;
+  for (const MappedVar& var : region.vars) {
+    if (var.host_ptr == nullptr) continue;
+    const bool writes = var.maps_from() || !var.maps_to();
+    // map(alloc:) counts as a write: the region materializes device-side
+    // state at that address and a later download may land there, so
+    // overlapping it with a concurrent reader would race.
+    if (var.maps_to()) fp.reads.push_back(var.host_ptr);
+    if (writes) fp.writes.push_back(var.host_ptr);
+  }
+  return fp;
+}
+
+bool OffloadScheduler::conflicts(const Footprint& a, const Footprint& b) {
+  auto intersects = [](const std::vector<const void*>& x,
+                       const std::vector<const void*>& y) {
+    for (const void* p : x) {
+      if (std::find(y.begin(), y.end(), p) != y.end()) return true;
+    }
+    return false;
+  };
+  return intersects(a.writes, b.reads) ||   // RAW
+         intersects(a.reads, b.writes) ||   // WAR
+         intersects(a.writes, b.writes);    // WAW
+}
+
+bool OffloadScheduler::blocked_by_dependence(size_t index) const {
+  const Pending& pending = queue_[index];
+  for (const auto& [seq, footprint] : active_footprints_) {
+    if (conflicts(footprint, pending.footprint)) return true;
+  }
+  // Conflicting regions dispatch in submission order: an entry also waits
+  // for every older queued entry it conflicts with (queue_ is seq-ascending
+  // within a dispatch round because dispatched entries are erased).
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].seq >= pending.seq) continue;
+    if (conflicts(queue_[i].footprint, pending.footprint)) return true;
+  }
+  return false;
+}
+
 void OffloadScheduler::maybe_dispatch() {
   while (!queue_.empty() &&
          (options_.max_concurrent <= 0 || active_ < options_.max_concurrent)) {
-    const size_t index = pick_next();
+    std::vector<size_t> ready;
+    ready.reserve(queue_.size());
+    for (size_t i = 0; i < queue_.size(); ++i) {
+      if (!blocked_by_dependence(i)) {
+        ready.push_back(i);
+        continue;
+      }
+      Pending& blocked = queue_[i];
+      if (!blocked.dep_tagged) {
+        blocked.dep_tagged = true;
+        blocked.queue_span.tag("dep_wait", "true");
+        manager_->tracer().metrics().counter("scheduler.dep_blocked").add();
+      }
+    }
+    // Nothing dependence-free: wait for an in-flight offload to retire
+    // (run_one re-enters maybe_dispatch after erasing its footprint).
+    if (ready.empty()) return;
+    const size_t index = pick_next(ready);
     Pending pending = std::move(queue_[index]);
     queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(index));
     pending.dispatch_time = manager_->engine().now();
     pending.queue_span.end();
     ++active_;
     ++running_per_tenant_[pending.tenant];
+    active_footprints_[pending.seq] = pending.footprint;
     emit_event(tools::SchedulerEventInfo::Kind::kDispatch, pending,
                pending.dispatch_time - pending.enqueue_time);
     notify_demand();
@@ -99,15 +161,15 @@ void OffloadScheduler::maybe_dispatch() {
   }
 }
 
-size_t OffloadScheduler::pick_next() const {
-  if (options_.mode == SchedulerOptions::Mode::kFifo) return 0;
+size_t OffloadScheduler::pick_next(const std::vector<size_t>& ready) const {
+  if (options_.mode == SchedulerOptions::Mode::kFifo) return ready.front();
   // FAIR: dispatch the tenant with the lowest weighted share of in-flight
   // offloads; within a tenant, oldest submission first (queue_ holds
-  // ascending seq, so the first hit per tenant is its oldest).
-  size_t best = 0;
+  // ascending seq, so the first ready hit per tenant is its oldest).
+  size_t best = ready.front();
   double best_share = 0;
   bool have_best = false;
-  for (size_t i = 0; i < queue_.size(); ++i) {
+  for (size_t i : ready) {
     const Pending& pending = queue_[i];
     auto it = running_per_tenant_.find(pending.tenant);
     const int running = it == running_per_tenant_.end() ? 0 : it->second;
@@ -128,6 +190,7 @@ sim::Co<void> OffloadScheduler::run_one(Pending pending) {
       co_await manager_->offload(std::move(pending.region), pending.device_id);
   pending.region.name = region_name;  // restore for the completion event
   active_ = std::max(0, active_ - 1);
+  active_footprints_.erase(pending.seq);
   if (auto it = running_per_tenant_.find(pending.tenant);
       it != running_per_tenant_.end() && it->second > 0) {
     --it->second;

@@ -12,6 +12,16 @@
 // the queued interval is recorded as a `sched.queue` span, so queue wait is
 // first-class in traces and the derived metrics
 // (scheduler.admitted/dispatched/completed, scheduler.queue_wait_seconds).
+//
+// Dispatch is dependence-aware: each region's mapped variables form a
+// read/write footprint (map(to:) reads, map(from:) writes, tofrom both,
+// alloc conservatively writes), and a queued region is only eligible when
+// it has no RAW/WAR/WAW conflict with any in-flight offload or any older
+// queued region. Independent regions still overlap freely; conflicting
+// chains serialize in submission order, which is what lets the residency
+// layer (data_env.h) hand region N's cloud-resident output straight to
+// region N+1. Blocked entries tag their `sched.queue` span with
+// `dep_wait` and bump the `scheduler.dep_blocked` counter.
 #pragma once
 
 #include <functional>
@@ -72,6 +82,12 @@ class OffloadScheduler {
   }
 
  private:
+  /// Host buffers a region reads and writes, derived from its map clauses.
+  struct Footprint {
+    std::vector<const void*> reads;
+    std::vector<const void*> writes;
+  };
+
   struct Pending {
     uint64_t seq = 0;
     TargetRegion region;
@@ -80,11 +96,18 @@ class OffloadScheduler {
     double enqueue_time = 0;
     double dispatch_time = 0;
     trace::SpanHandle queue_span;
+    Footprint footprint;
+    bool dep_tagged = false;  ///< span already tagged dep_wait once
     std::shared_ptr<sim::Future<Result<OffloadReport>>> done;
   };
 
+  [[nodiscard]] static Footprint footprint_of(const TargetRegion& region);
+  [[nodiscard]] static bool conflicts(const Footprint& a, const Footprint& b);
+  /// True when queue_[index] has a data conflict with an in-flight offload
+  /// or with an older queued entry (program order wins for conflicts).
+  [[nodiscard]] bool blocked_by_dependence(size_t index) const;
   void maybe_dispatch();
-  [[nodiscard]] size_t pick_next() const;
+  [[nodiscard]] size_t pick_next(const std::vector<size_t>& ready) const;
   [[nodiscard]] sim::Co<void> run_one(Pending pending);
   void emit_event(tools::SchedulerEventInfo::Kind kind, const Pending& pending,
                   double wait_seconds);
@@ -93,6 +116,7 @@ class OffloadScheduler {
   DeviceManager* manager_;
   SchedulerOptions options_;
   std::vector<Pending> queue_;
+  std::map<uint64_t, Footprint> active_footprints_;
   std::map<std::string, int> running_per_tenant_;
   int active_ = 0;
   uint64_t next_seq_ = 0;

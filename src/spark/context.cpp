@@ -399,9 +399,12 @@ sim::Co<Status> SparkContext::read_inputs(const JobSpec& spec,
            JobMetrics* metrics, std::vector<Status>* statuses,
            trace::SpanId phase) -> sim::Co<void> {
           const VarSpec& var = spec->vars[v];
+          const std::string key = var.input_object.empty()
+                                      ? input_key(var.name)
+                                      : var.input_object;
           self->cluster_->tracer().set_ambient(phase);
           auto framed = co_await self->cluster_->store().get(
-              cloud::Cluster::driver_node(), spec->bucket, input_key(var.name));
+              cloud::Cluster::driver_node(), spec->bucket, key);
           if (!framed.ok()) {
             (*statuses)[v] = framed.status();
             co_return;
@@ -409,8 +412,7 @@ sim::Co<Status> SparkContext::read_inputs(const JobSpec& spec,
           Result<ByteBuffer> plain = internal_error("unreachable");
           if (compress::is_chunked_payload(framed->view())) {
             plain = co_await self->read_chunked_input(
-                *spec, input_key(var.name), std::move(*framed), *metrics,
-                phase);
+                *spec, key, std::move(*framed), *metrics, phase);
           } else {
             plain = compress::decode_payload(framed->view());
             if (plain.ok()) {

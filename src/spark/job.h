@@ -26,6 +26,11 @@ struct VarSpec {
   uint64_t size_bytes = 0;
   bool map_to = false;     ///< host -> device before the region
   bool map_from = false;   ///< device -> host after the region
+  /// Full storage key to read this input from instead of the default
+  /// `input_key(name)`. Set by the residency layer (omptarget/data_env.h)
+  /// when the job should consume an earlier region's cloud-resident output
+  /// in place — the buffer never round-trips through the host.
+  std::string input_object;
 };
 
 /// Affine byte range per loop iteration: [lo(i), hi(i)) with

@@ -52,6 +52,8 @@ std::string_view to_string(FaultEventInfo::Kind kind) {
     case FaultEventInfo::Kind::kBreakerHalfOpen: return "breaker_half_open";
     case FaultEventInfo::Kind::kBreakerClose: return "breaker_close";
     case FaultEventInfo::Kind::kFallback: return "fallback";
+    case FaultEventInfo::Kind::kResidencyInvalidated:
+      return "residency_invalidated";
   }
   return "?";
 }

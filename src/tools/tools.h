@@ -62,7 +62,9 @@ struct TargetEndInfo {
 
 /// One mapped-buffer data operation. Transfer ops carry the byte/codec
 /// decomposition; cache_* fields describe the delta-cache outcome when the
-/// data cache was consulted (`cache_eligible`).
+/// data cache was consulted (`cache_eligible`); resident_* fields describe
+/// buffers pinned in a device data environment whose transfer the residency
+/// tracker elided entirely (no hashing, no wire traffic).
 struct DataOpInfo {
   DataOpKind kind = DataOpKind::kTransferTo;
   std::string_view var;    ///< variable name (kDelete: staged object key)
@@ -77,6 +79,10 @@ struct DataOpInfo {
   uint64_t block_dirty = 0;     ///< staged blocks whose content changed
   uint64_t bytes_skipped = 0;   ///< plain bytes the cache kept off the wire
   uint64_t bytes_uploaded = 0;  ///< plain bytes the cache had to re-ship
+  bool resident = false;        ///< buffer pinned in a device data environment
+  bool resident_hit = false;    ///< upload skipped: cloud copy already current
+  bool resident_deferred = false;  ///< download deferred: output stays resident
+  uint64_t bytes_resident = 0;  ///< plain bytes residency kept off the wire
   double start = 0;
   double end = 0;
 };
@@ -156,6 +162,7 @@ struct FaultEventInfo {
     kBreakerHalfOpen,   ///< cooldown elapsed; probe offload admitted
     kBreakerClose,      ///< probe succeeded; device healthy again
     kFallback,          ///< region rerouted to the host device
+    kResidencyInvalidated,  ///< cloud-resident buffer dropped; host is truth
   };
   Kind kind = Kind::kInjected;
   std::string_view point;   ///< fault-point / failing-op name

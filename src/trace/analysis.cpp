@@ -278,7 +278,15 @@ OffloadAnalysis TraceAnalyzer::analyze(const Span& root) const {
     }
   }
 
-  // --- Transfer-pipeline overlap, per direction.
+  // --- Transfer-pipeline overlap, per direction. The `resident/<var>`
+  // marker spans in the same phases count the transfers the data
+  // environment eliminated (upload skipped / download deferred).
+  auto count_resident = [](const std::vector<const Span*>& phase,
+                           uint64_t& count) {
+    for (const Span* span : phase) {
+      if (std::string_view(span->name).substr(0, 9) == "resident/") count += 1;
+    }
+  };
   for (const Span* child : query_.children(root.id)) {
     if (child->name == "upload") {
       std::vector<const Span*> phase = query_.subtree(child->id);
@@ -287,6 +295,8 @@ OffloadAnalysis TraceAnalyzer::analyze(const Span& root) const {
           quantized_sum(phase, "plain_bytes");
       analysis.transfer.uploaded_wire_bytes =
           quantized_sum(phase, "wire_bytes");
+      analysis.residency.bytes_saved = quantized_sum(phase, "bytes_saved");
+      count_resident(phase, analysis.residency.upload_skips);
     } else if (child->name == "download") {
       std::vector<const Span*> phase = query_.subtree(child->id);
       analysis.transfer.download = pipeline_stats(phase);
@@ -294,6 +304,9 @@ OffloadAnalysis TraceAnalyzer::analyze(const Span& root) const {
           quantized_sum(phase, "plain_bytes");
       analysis.transfer.downloaded_wire_bytes =
           quantized_sum(phase, "wire_bytes");
+      analysis.residency.bytes_deferred =
+          quantized_sum(phase, "bytes_deferred");
+      count_resident(phase, analysis.residency.download_defers);
     }
   }
 
@@ -381,6 +394,12 @@ std::string OffloadAnalysis::to_json(int indent) const {
       transfer.downloaded_plain_bytes, transfer.downloaded_wire_bytes);
   json += str_format("%s  },\n", pad.c_str());
   json += str_format(
+      "%s  \"residency\": {\"upload_skips\": %llu, \"download_defers\": %llu, "
+      "\"bytes_saved\": %.9g, \"bytes_deferred\": %.9g},\n",
+      pad.c_str(), static_cast<unsigned long long>(residency.upload_skips),
+      static_cast<unsigned long long>(residency.download_defers),
+      residency.bytes_saved, residency.bytes_deferred);
+  json += str_format(
       "%s  \"faults\": {\"observed\": %llu, \"retries\": %llu, "
       "\"breaker_transitions\": %llu, \"recovery_seconds\": %.9g},\n",
       pad.c_str(), static_cast<unsigned long long>(faults.faults),
@@ -430,6 +449,15 @@ std::string OffloadAnalysis::to_text() const {
       transfer.upload.wire_seconds, transfer.upload.codec_seconds,
       static_cast<unsigned long long>(transfer.download.blocks),
       transfer.download.overlap_efficiency * 100.0);
+  if (residency.upload_skips > 0 || residency.download_defers > 0) {
+    out += str_format(
+        "  residency: %llu uploads skipped (%.0f bytes saved)  "
+        "%llu downloads deferred (%.0f bytes)\n",
+        static_cast<unsigned long long>(residency.upload_skips),
+        residency.bytes_saved,
+        static_cast<unsigned long long>(residency.download_defers),
+        residency.bytes_deferred);
+  }
   if (faults.faults > 0 || faults.retries > 0 ||
       faults.breaker_transitions > 0) {
     out += str_format(

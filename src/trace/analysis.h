@@ -87,6 +87,20 @@ struct TransferStats {
   double downloaded_wire_bytes = 0;
 };
 
+/// Transfers a cloud-resident data environment (omptarget/data_env.h)
+/// eliminated from this offload: uploads skipped because the input's
+/// current version already lives in the bucket, and downloads deferred
+/// because the output stays device-side until environment exit. Counted
+/// from the zero-duration `resident/<var>` marker spans the plugin plants
+/// under the upload/download phases, so `octrace summary` can attribute
+/// the saved transfer time.
+struct ResidencyStats {
+  uint64_t upload_skips = 0;
+  uint64_t download_defers = 0;
+  double bytes_saved = 0;     ///< upload bytes not re-staged
+  double bytes_deferred = 0;  ///< download bytes left cloud-resident
+};
+
 /// Fault/recovery accounting for one offload: what the injected faults and
 /// the self-healing machinery (retries, breaker, resubmission) cost it.
 /// `recovery_seconds` equals the `recovery` phase slice — wall time the
@@ -121,6 +135,7 @@ struct OffloadAnalysis {
   std::vector<CriticalStep> critical_path;
   SkewStats skew;
   TransferStats transfer;
+  ResidencyStats residency;
   FaultStats faults;
   CostStats cost;
 

@@ -149,6 +149,18 @@ Tracer::Tracer(sim::Engine& engine, TraceOptions options)
 }
 
 void Tracer::MetricsTool::on_data_op(const tools::DataOpInfo& info) {
+  if (info.resident) {
+    // Residency elides the transfer before the delta cache is even
+    // consulted, so the resident.* counters are disjoint from cache.*.
+    if (info.resident_hit) {
+      metrics_->counter("resident.upload_skips").add();
+      metrics_->counter("resident.bytes_saved").add(info.bytes_resident);
+    }
+    if (info.resident_deferred) {
+      metrics_->counter("resident.download_defers").add();
+      metrics_->counter("resident.bytes_deferred").add(info.bytes_resident);
+    }
+  }
   if (!info.cache_eligible) return;
   metrics_->counter(info.cache_hit ? "cache.hits" : "cache.misses").add();
   if (info.block_hits > 0) {
@@ -250,6 +262,9 @@ void Tracer::MetricsTool::on_fault_event(const tools::FaultEventInfo& info) {
       break;
     case tools::FaultEventInfo::Kind::kBreakerClose:
       metrics_->counter("breaker.closes").add();
+      break;
+    case tools::FaultEventInfo::Kind::kResidencyInvalidated:
+      metrics_->counter("resident.invalidations").add();
       break;
     case tools::FaultEventInfo::Kind::kFallback:
       metrics_->counter("fault.fallbacks").add();

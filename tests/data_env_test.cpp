@@ -1,0 +1,653 @@
+// Tests for `target data`-style cloud-resident data environments
+// (omptarget/data_env.h) and the dependence-aware offload DAG: enter/exit
+// mapping semantics, present-table reference counts, upload skips and
+// deferred downloads across chained regions, zero re-staging through the
+// delta cache, residency invalidation + host replay under faults, a
+// chaos soak proving resident chains byte-identical to round-trip runs,
+// and conflict-serialized scheduling of dependent nowait regions.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <deque>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "omp/target_region.h"
+#include "omptarget/cloud_plugin.h"
+#include "omptarget/data_env.h"
+#include "omptarget/scheduler.h"
+#include "support/strings.h"
+#include "trace/analysis.h"
+
+namespace ompcloud::omptarget {
+namespace {
+
+using sim::Engine;
+
+Status DoubleKernel(const jni::KernelArgs& args) {
+  auto in = args.input<float>(0);
+  auto out = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) out[i] = 2.0f * in[i];
+  return Status::ok();
+}
+const jni::KernelRegistrar kDoubleReg("denv.double", DoubleKernel);
+
+uint64_t counter_value(DeviceManager& devices, const char* name) {
+  const auto& counters = devices.tracer().metrics().counters();
+  auto it = counters.find(name);
+  return it == counters.end() ? uint64_t{0} : it->second.value();
+}
+
+Result<DataEnvReport> exit_blocking(Engine& engine, DataEnvironment& env) {
+  std::optional<Result<DataEnvReport>> out;
+  engine.spawn(
+      [](DataEnvironment* env,
+         std::optional<Result<DataEnvReport>>* out) -> sim::Co<void> {
+        *out = co_await env->exit();
+      }(&env, &out));
+  engine.run();
+  return std::move(*out);
+}
+
+Result<MaterializeStats> update_from_blocking(Engine& engine,
+                                              DataEnvironment& env,
+                                              const void* ptr) {
+  std::optional<Result<MaterializeStats>> out;
+  engine.spawn(
+      [](DataEnvironment* env, const void* ptr,
+         std::optional<Result<MaterializeStats>>* out) -> sim::Co<void> {
+        *out = co_await env->update_from(ptr);
+      }(&env, ptr, &out));
+  engine.run();
+  return std::move(*out);
+}
+
+/// A ping-pong chain: link k reads one buffer and writes the other, so the
+/// output of every link is exactly the input of the next — the canonical
+/// consumer of cloud residency. After L links the live buffer holds
+/// 2^L * initial.
+struct ChainFixture {
+  Engine engine;
+  cloud::Cluster cluster;
+  DeviceManager devices{engine};
+  int cloud_id;
+  std::vector<float> a, b;
+
+  explicit ChainFixture(CloudPluginOptions options = {},
+                        size_t floats = 1024)
+      : cluster(engine, spec(), cloud::SimProfile{}) {
+    cloud_id = devices.register_device(
+        std::make_unique<CloudPlugin>(cluster, spark::SparkConf{}, options));
+    a.resize(floats);
+    b.assign(floats, 0.0f);
+    std::iota(a.begin(), a.end(), 1.0f);
+  }
+
+  static cloud::ClusterSpec spec() {
+    cloud::ClusterSpec spec;
+    spec.workers = 4;
+    return spec;
+  }
+
+  CloudPlugin& plugin() {
+    return static_cast<CloudPlugin&>(devices.device(cloud_id));
+  }
+
+  std::vector<float>& input_of(int link) { return link % 2 == 0 ? a : b; }
+  std::vector<float>& output_of(int link) { return link % 2 == 0 ? b : a; }
+
+  Result<OffloadReport> run_link(int link, DataEnvironment* env) {
+    std::vector<float>& in = input_of(link);
+    std::vector<float>& out = output_of(link);
+    omp::TargetRegion region(devices, str_format("link%d", link));
+    region.device(cloud_id);
+    if (env != nullptr) region.in_environment(*env);
+    auto iv = region.map_to("in", in.data(), in.size());
+    auto ov = region.map_from("out", out.data(), out.size());
+    region.parallel_for(static_cast<int64_t>(in.size()))
+        .read_partitioned(iv, omp::rows<float>(1))
+        .write_partitioned(ov, omp::rows<float>(1))
+        .cost_flops(1.0)
+        .kernel("denv.double");
+    return omp::offload_blocking(engine, region);
+  }
+};
+
+TEST(DataEnvTest, ChainSkipsUploadsAndDefersDownloads) {
+  ChainFixture f;
+  DataEnvironment env(f.devices, f.cloud_id);
+  ASSERT_TRUE(env.map("a", f.a.data(), f.a.size() * 4, MapType::kToFrom).is_ok());
+  ASSERT_TRUE(env.map("b", f.b.data(), f.b.size() * 4, MapType::kToFrom).is_ok());
+  ASSERT_TRUE(env.enter().is_ok());
+
+  const uint64_t bytes = f.a.size() * sizeof(float);
+
+  // Link 0: cold — the input uploads, the output stays cloud-resident.
+  auto first = f.run_link(0, &env);
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  EXPECT_EQ(first->uploaded_plain_bytes, bytes);
+  EXPECT_EQ(first->resident_upload_skipped_bytes, 0u);
+  EXPECT_EQ(first->downloaded_plain_bytes, 0u);
+  EXPECT_EQ(first->resident_download_deferred_bytes, bytes);
+  EXPECT_TRUE(env.host_stale(f.b.data()));
+  EXPECT_EQ(f.b[0], 0.0f);  // download deferred: host copy untouched
+
+  // Links 1..2: the input is the previous link's cloud-resident output —
+  // zero transfer in either direction.
+  for (int link = 1; link <= 2; ++link) {
+    auto report = f.run_link(link, &env);
+    ASSERT_TRUE(report.ok()) << "link " << link << ": "
+                             << report.status().to_string();
+    EXPECT_EQ(report->uploaded_plain_bytes, 0u) << "link " << link;
+    EXPECT_EQ(report->resident_upload_skipped_bytes, bytes) << "link " << link;
+    EXPECT_EQ(report->downloaded_plain_bytes, 0u) << "link " << link;
+    EXPECT_EQ(report->resident_download_deferred_bytes, bytes)
+        << "link " << link;
+  }
+
+  // Exit materializes both tofrom buffers (each holds a deferred output)
+  // and releases every cloud object.
+  auto exit = exit_blocking(f.engine, env);
+  ASSERT_TRUE(exit.ok()) << exit.status().to_string();
+  EXPECT_EQ(exit->materialized, 2);
+  EXPECT_EQ(exit->downloaded_plain_bytes, 2 * bytes);
+  EXPECT_GT(exit->released_objects, 0);
+  for (size_t i = 0; i < f.a.size(); ++i) {
+    float x0 = static_cast<float>(i + 1);
+    ASSERT_EQ(f.a[i], 4.0f * x0) << i;  // link 1 output
+    ASSERT_EQ(f.b[i], 8.0f * x0) << i;  // link 2 output (2^3 * initial)
+  }
+  EXPECT_EQ(f.devices.residency().size(), 0u);
+
+  // The tools interface saw every skip and deferral.
+  EXPECT_EQ(counter_value(f.devices, "resident.upload_skips"), 2u);
+  EXPECT_EQ(counter_value(f.devices, "resident.download_defers"), 3u);
+  EXPECT_EQ(counter_value(f.devices, "resident.bytes_saved"), 2 * bytes);
+
+  // ... and the trace analyzer attributes the eliminated transfers.
+  trace::TraceAnalyzer analyzer(f.devices.tracer());
+  auto analyses = analyzer.analyze_all();
+  ASSERT_EQ(analyses.size(), 3u);
+  EXPECT_EQ(analyses[1].residency.upload_skips, 1u);
+  EXPECT_EQ(analyses[1].residency.bytes_saved, static_cast<double>(bytes));
+  EXPECT_EQ(analyses[1].residency.download_defers, 1u);
+  EXPECT_NE(analyses[1].to_text().find("residency:"), std::string::npos);
+  EXPECT_NE(analyses[1].to_json().find("\"residency\""), std::string::npos);
+  // A residency-free offload still emits the (zeroed) JSON section.
+  EXPECT_NE(analyses[0].to_json().find("\"upload_skips\": 0"),
+            std::string::npos);
+}
+
+TEST(DataEnvTest, EnterExitValidation) {
+  ChainFixture f;
+  DataEnvironment env(f.devices, f.cloud_id);
+  EXPECT_TRUE(env.enter().is_ok() == false);  // no mappings
+  EXPECT_TRUE(
+      env.map("x", nullptr, 16, MapType::kTo).is_ok() == false);  // null pointer
+  ASSERT_TRUE(env.map("a", f.a.data(), f.a.size() * 4, MapType::kTo).is_ok());
+  EXPECT_TRUE(env.map("a2", f.a.data(), 64, MapType::kTo).is_ok() == false);
+  EXPECT_TRUE(exit_blocking(f.engine, env).status().is_ok() == false);  // not entered
+  ASSERT_TRUE(env.enter().is_ok());
+  EXPECT_TRUE(env.enter().is_ok() == false);  // double enter
+  EXPECT_TRUE(env.map("b", f.b.data(), 64, MapType::kTo)
+                  .is_ok() == false);  // map after enter
+  ASSERT_TRUE(exit_blocking(f.engine, env).ok());
+  // Re-enterable after a clean exit.
+  ASSERT_TRUE(env.enter().is_ok());
+  ASSERT_TRUE(exit_blocking(f.engine, env).ok());
+}
+
+TEST(DataEnvTest, RefcountsComposeAcrossNestedEnvironments) {
+  ChainFixture f;
+  DataEnvironment outer(f.devices, f.cloud_id);
+  ASSERT_TRUE(
+      outer.map("a", f.a.data(), f.a.size() * 4, MapType::kToFrom).is_ok());
+  ASSERT_TRUE(
+      outer.map("b", f.b.data(), f.b.size() * 4, MapType::kToFrom).is_ok());
+  ASSERT_TRUE(outer.enter().is_ok());
+
+  DataEnvironment inner(f.devices, f.cloud_id);
+  ASSERT_TRUE(
+      inner.map("a", f.a.data(), f.a.size() * 4, MapType::kToFrom).is_ok());
+  ASSERT_TRUE(
+      inner.map("b", f.b.data(), f.b.size() * 4, MapType::kToFrom).is_ok());
+  ASSERT_TRUE(inner.enter().is_ok());
+  EXPECT_EQ(f.devices.residency().find(f.cloud_id, f.a.data())->refcount, 2);
+
+  ASSERT_TRUE(f.run_link(0, &inner).ok());
+  EXPECT_TRUE(inner.host_stale(f.b.data()));
+
+  // Inner exit: not the last reference — no copy-out, objects stay, and
+  // the deferred output is still resident for the outer environment.
+  auto inner_exit = exit_blocking(f.engine, inner);
+  ASSERT_TRUE(inner_exit.ok()) << inner_exit.status().to_string();
+  EXPECT_EQ(inner_exit->materialized, 0);
+  EXPECT_EQ(inner_exit->released_objects, 0);
+  EXPECT_EQ(f.b[0], 0.0f);
+  ASSERT_NE(f.devices.residency().find(f.cloud_id, f.b.data()), nullptr);
+  EXPECT_EQ(f.devices.residency().find(f.cloud_id, f.b.data())->refcount, 1);
+
+  // A region under the outer environment still consumes the resident output.
+  auto second = f.run_link(1, &outer);
+  ASSERT_TRUE(second.ok()) << second.status().to_string();
+  EXPECT_EQ(second->uploaded_plain_bytes, 0u);
+  EXPECT_GT(second->resident_upload_skipped_bytes, 0u);
+
+  // Outer exit is the last reference: copy-out + release.
+  auto outer_exit = exit_blocking(f.engine, outer);
+  ASSERT_TRUE(outer_exit.ok()) << outer_exit.status().to_string();
+  EXPECT_EQ(outer_exit->materialized, 2);
+  EXPECT_EQ(f.devices.residency().size(), 0u);
+  EXPECT_EQ(f.b[1], 4.0f);  // link 0 output: 2 * a0[1] where a0[1] = 2
+}
+
+TEST(DataEnvTest, UpdateFromMaterializesNowAndUpdateToForcesRestage) {
+  ChainFixture f;
+  DataEnvironment env(f.devices, f.cloud_id);
+  ASSERT_TRUE(env.map("a", f.a.data(), f.a.size() * 4, MapType::kToFrom).is_ok());
+  ASSERT_TRUE(env.map("b", f.b.data(), f.b.size() * 4, MapType::kToFrom).is_ok());
+  ASSERT_TRUE(env.enter().is_ok());
+  ASSERT_TRUE(f.run_link(0, &env).ok());
+
+  // update_from: the deferred output lands on the host now.
+  EXPECT_TRUE(env.host_stale(f.b.data()));
+  auto moved = update_from_blocking(f.engine, env, f.b.data());
+  ASSERT_TRUE(moved.ok()) << moved.status().to_string();
+  EXPECT_EQ(moved->plain_bytes, f.b.size() * sizeof(float));
+  EXPECT_FALSE(env.host_stale(f.b.data()));
+  EXPECT_EQ(f.b[3], 2.0f * f.a[3]);
+  // Idempotent: the host copy is current, nothing moves.
+  auto again = update_from_blocking(f.engine, env, f.b.data());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->plain_bytes, 0u);
+
+  // update_to: a host-side write makes the cloud copy stale, so the next
+  // region re-stages instead of consuming the resident object.
+  for (float& v : f.b) v += 1.0f;
+  ASSERT_TRUE(env.update_to(f.b.data()).is_ok());
+  auto report = f.run_link(1, &env);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(report->resident_upload_skipped_bytes, 0u);
+  EXPECT_EQ(report->uploaded_plain_bytes, f.b.size() * sizeof(float));
+
+  ASSERT_TRUE(exit_blocking(f.engine, env).ok());
+  EXPECT_EQ(f.a[5], 2.0f * f.b[5]);  // link 1 ran on the updated input
+
+  // Unknown pointers are rejected.
+  float stray = 0;
+  EXPECT_TRUE(env.update_to(&stray).is_ok() == false);
+}
+
+TEST(DataEnvTest, ResidentBlocksAreNeverRestagedThroughTheDeltaCache) {
+  // Satellite regression: residency is decided by buffer identity +
+  // version, *before* the delta cache — a resident input costs zero
+  // hashing and zero block re-staging. The cache counters must not move
+  // at all for the resident links.
+  CloudPluginOptions options;
+  options.cache_data = true;
+  options.chunk_size = 4096;
+  ChainFixture f(options, /*floats=*/4096);  // 16 KiB => 4 blocks
+  DataEnvironment env(f.devices, f.cloud_id);
+  ASSERT_TRUE(env.map("a", f.a.data(), f.a.size() * 4, MapType::kToFrom).is_ok());
+  ASSERT_TRUE(env.map("b", f.b.data(), f.b.size() * 4, MapType::kToFrom).is_ok());
+  ASSERT_TRUE(env.enter().is_ok());
+
+  ASSERT_TRUE(f.run_link(0, &env).ok());
+  auto cold = f.plugin().cache_stats();
+  EXPECT_EQ(cold.misses, 1u);
+  EXPECT_EQ(cold.block_misses, 4u);
+
+  for (int link = 1; link <= 3; ++link) {
+    auto report = f.run_link(link, &env);
+    ASSERT_TRUE(report.ok()) << report.status().to_string();
+    EXPECT_EQ(report->uploaded_plain_bytes, 0u) << "link " << link;
+  }
+  auto warm = f.plugin().cache_stats();
+  EXPECT_EQ(warm.hits, cold.hits);            // cache never consulted
+  EXPECT_EQ(warm.misses, cold.misses);        // no hash scans
+  EXPECT_EQ(warm.block_misses, cold.block_misses);
+  EXPECT_EQ(warm.block_hits, cold.block_hits);
+  EXPECT_EQ(warm.block_dirty, 0u);            // zero re-staging
+  EXPECT_EQ(warm.bytes_uploaded, cold.bytes_uploaded);
+  EXPECT_EQ(counter_value(f.devices, "resident.upload_skips"), 3u);
+
+  ASSERT_TRUE(exit_blocking(f.engine, env).ok());
+  EXPECT_EQ(f.a[7], 16.0f * 8.0f);  // 2^4 * (7+1)
+}
+
+TEST(DataEnvTest, LostResidentObjectInvalidatesAndReplaysOnHost) {
+  // The resident input's object vanishes from the bucket while its host
+  // copy is stale (the download was deferred): the plugin reports data
+  // loss, the manager invalidates all residency, replays the logged
+  // producer chain on the host, and the fallback recomputes — results stay
+  // byte-correct and the invalidation is visible to tools.
+  ChainFixture f;
+  DataEnvironment env(f.devices, f.cloud_id);
+  ASSERT_TRUE(env.map("a", f.a.data(), f.a.size() * 4, MapType::kToFrom).is_ok());
+  ASSERT_TRUE(env.map("b", f.b.data(), f.b.size() * 4, MapType::kToFrom).is_ok());
+  ASSERT_TRUE(env.enter().is_ok());
+  ASSERT_TRUE(f.run_link(0, &env).ok());
+
+  const ResidencyTable::Buffer* resident =
+      f.devices.residency().find(f.cloud_id, f.b.data());
+  ASSERT_NE(resident, nullptr);
+  std::string lost_key = resident->cloud_key;
+  ASSERT_FALSE(lost_key.empty());
+  f.engine.spawn([](cloud::Cluster* cluster, std::string key) -> sim::Co<void> {
+    (void)co_await cluster->store().remove("host", "ompcloud", key);
+  }(&f.cluster, lost_key));
+  f.engine.run();
+
+  auto report = f.run_link(1, &env);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(report->fell_back_to_host);
+  EXPECT_GT(counter_value(f.devices, "resident.invalidations"), 0u);
+
+  // The fallback's output is host-valid; link 0's deferred output was
+  // recomputed by the replay.
+  EXPECT_FALSE(env.host_stale(f.a.data()));
+  EXPECT_FALSE(env.host_stale(f.b.data()));
+  EXPECT_EQ(f.b[2], 2.0f * 3.0f);
+  EXPECT_EQ(f.a[2], 4.0f * 3.0f);
+
+  // The chain continues: the next link re-stages from host truth.
+  auto next = f.run_link(2, &env);
+  ASSERT_TRUE(next.ok()) << next.status().to_string();
+  EXPECT_FALSE(next->fell_back_to_host);
+  EXPECT_GT(next->uploaded_plain_bytes, 0u);
+  ASSERT_TRUE(exit_blocking(f.engine, env).ok());
+  EXPECT_EQ(f.b[2], 8.0f * 3.0f);
+}
+
+// --- Chaos soak: resident chains match round-trip chains byte for byte ------
+
+std::string chain_config(const std::string& fault_section) {
+  return std::string(R"(
+[cluster]
+provider = ec2
+instance-type = c3.4xlarge
+workers = 4
+[offload]
+bucket = ompcloud
+storage-retries = 4
+retry-backoff = 250ms
+retry-backoff-cap = 2s
+op-deadline = 5s
+deadline = 20s
+job-retries = 2
+verify-transfers = true
+chunk-size = 4KiB
+cache-data = true
+)") + fault_section;
+}
+
+/// Runs an L-link ping-pong chain, resident (with a data environment) or
+/// round-trip (without). Returns the final contents of both buffers.
+void run_chain(const std::string& config_text, bool resident, int links,
+               std::vector<float>* a_out, std::vector<float>* b_out,
+               uint64_t* faults_injected) {
+  Engine engine;
+  auto config = Config::parse(config_text);
+  ASSERT_TRUE(config.ok()) << config.status().to_string();
+  auto plugin = CloudPlugin::from_config(engine, *config);
+  ASSERT_TRUE(plugin.ok()) << plugin.status().to_string();
+  DeviceManager devices(engine);
+  devices.configure(DeviceManagerOptions::from_config(*config));
+  cloud::Cluster& cluster = (*plugin)->cluster();
+  int id = devices.register_device(std::move(*plugin));
+
+  const size_t n = 1024;
+  std::vector<float> a(n), b(n, 0.0f);
+  std::iota(a.begin(), a.end(), 1.0f);
+
+  DataEnvironment env(devices, id);
+  if (resident) {
+    ASSERT_TRUE(env.map("a", a.data(), n * 4, MapType::kToFrom).is_ok());
+    ASSERT_TRUE(env.map("b", b.data(), n * 4, MapType::kToFrom).is_ok());
+    ASSERT_TRUE(env.enter().is_ok());
+  }
+  for (int link = 0; link < links; ++link) {
+    std::vector<float>& in = link % 2 == 0 ? a : b;
+    std::vector<float>& out = link % 2 == 0 ? b : a;
+    omp::TargetRegion region(devices, str_format("link%d", link));
+    region.device(id);
+    if (resident) region.in_environment(env);
+    auto iv = region.map_to("in", in.data(), n);
+    auto ov = region.map_from("out", out.data(), n);
+    region.parallel_for(static_cast<int64_t>(n))
+        .read_partitioned(iv, omp::rows<float>(1))
+        .write_partitioned(ov, omp::rows<float>(1))
+        .cost_flops(1.0)
+        .kernel("denv.double");
+    auto report = omp::offload_blocking(engine, region);
+    ASSERT_TRUE(report.ok())
+        << "link " << link << ": " << report.status().to_string();
+  }
+  if (resident) {
+    auto exit = exit_blocking(engine, env);
+    ASSERT_TRUE(exit.ok()) << exit.status().to_string();
+  }
+  *a_out = std::move(a);
+  *b_out = std::move(b);
+  *faults_injected = cluster.fault_injector() != nullptr
+                         ? cluster.fault_injector()->total_injected()
+                         : 0;
+}
+
+class DataEnvChaosSoakTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DataEnvChaosSoakTest, ResidentChainMatchesRoundTripByteForByte) {
+  const uint64_t seed = GetParam();
+  std::string faults = str_format(R"(
+[fault]
+enabled = true
+seed = %llu
+storage.transient-rate = 0.06
+storage.torn-write-rate = 0.02
+net.corrupt-rate = 0.04
+net.flap-rate = 0.02
+spark.task-fail-rate = 0.04
+spark.slowdown-rate = 0.04
+)",
+                                  static_cast<unsigned long long>(seed));
+
+  constexpr int kLinks = 6;
+  std::vector<float> a_ref, b_ref, a_res, b_res, a_chaos, b_chaos;
+  uint64_t faults_clean = 0, faults_resident = 0, faults_chaotic = 0;
+
+  // Reference: fault-free round-trip chain (no environment).
+  run_chain(chain_config(""), /*resident=*/false, kLinks, &a_ref, &b_ref,
+            &faults_clean);
+  if (HasFatalFailure()) return;
+  EXPECT_EQ(faults_clean, 0u);
+  // Fault-free resident chain.
+  run_chain(chain_config(""), /*resident=*/true, kLinks, &a_res, &b_res,
+            &faults_resident);
+  if (HasFatalFailure()) return;
+  // Resident chain under injected faults (self-healing + replay).
+  run_chain(chain_config(faults), /*resident=*/true, kLinks, &a_chaos,
+            &b_chaos, &faults_chaotic);
+  if (HasFatalFailure()) return;
+  EXPECT_GT(faults_chaotic, 0u) << "seed " << seed;
+
+  auto expect_same = [](const std::vector<float>& x,
+                        const std::vector<float>& y, const char* what) {
+    ASSERT_EQ(x.size(), y.size());
+    EXPECT_EQ(std::memcmp(x.data(), y.data(), x.size() * sizeof(float)), 0)
+        << what;
+  };
+  expect_same(a_res, a_ref, "resident vs round-trip (a)");
+  expect_same(b_res, b_ref, "resident vs round-trip (b)");
+  expect_same(a_chaos, a_ref, "chaotic resident vs round-trip (a)");
+  expect_same(b_chaos, b_ref, "chaotic resident vs round-trip (b)");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DataEnvChaosSoakTest,
+                         ::testing::Values(1u, 7u, 42u));
+
+// --- Dependence-aware offload DAG -------------------------------------------
+
+struct DagRecorder : tools::Tool {
+  struct Event {
+    tools::SchedulerEventInfo::Kind kind;
+    std::string region;
+    double wait_seconds;
+  };
+  std::vector<Event> events;
+
+  void on_scheduler_event(const tools::SchedulerEventInfo& info) override {
+    events.push_back(
+        {info.kind, std::string(info.region), info.wait_seconds});
+  }
+
+  [[nodiscard]] const Event* dispatch_of(const std::string& region) const {
+    for (const Event& event : events) {
+      if (event.kind == tools::SchedulerEventInfo::Kind::kDispatch &&
+          event.region == region) {
+        return &event;
+      }
+    }
+    return nullptr;
+  }
+};
+
+struct DagFixture {
+  Engine engine;
+  cloud::Cluster cluster;
+  DeviceManager devices{engine};
+  int cloud_id;
+  DagRecorder recorder;
+  std::deque<omp::TargetRegion> regions;
+
+  DagFixture() : cluster(engine, ChainFixture::spec(), cloud::SimProfile{}) {
+    cloud_id = devices.register_device(std::make_unique<CloudPlugin>(
+        cluster, spark::SparkConf{}, CloudPluginOptions{}));
+    devices.configure_scheduler(SchedulerOptions{});  // FIFO, unbounded
+    devices.tracer().tools().attach(&recorder);
+  }
+  ~DagFixture() { devices.tracer().tools().detach(&recorder); }
+
+  omp::TargetRegion::Async submit(const std::string& name,
+                                  std::vector<float>& in,
+                                  std::vector<float>& out) {
+    regions.emplace_back(devices, name);
+    omp::TargetRegion& region = regions.back();
+    region.device(cloud_id);
+    auto iv = region.map_to("in", in.data(), in.size());
+    auto ov = region.map_from("out", out.data(), out.size());
+    region.parallel_for(static_cast<int64_t>(in.size()))
+        .read_partitioned(iv, omp::rows<float>(1))
+        .write_partitioned(ov, omp::rows<float>(1))
+        .cost_flops(1.0)
+        .kernel("denv.double");
+    return region.execute_async();
+  }
+};
+
+TEST(OffloadDagTest, DependentNowaitRegionsSerializeInDataflowOrder) {
+  // R2 reads what R1 writes (RAW): even with an unbounded concurrent
+  // scheduler, R2 must wait for R1, so the chained nowait result is the
+  // deterministic composition y = 2x, z = 2y = 4x. R3 is independent and
+  // dispatches immediately alongside R1.
+  DagFixture f;
+  const size_t n = 64;
+  std::vector<float> x(n, 1.0f), y(n, 0.0f), z(n, 0.0f);
+  std::vector<float> p(n, 3.0f), q(n, 0.0f);
+
+  auto h1 = f.submit("R1", x, y);
+  auto h2 = f.submit("R2", y, z);  // RAW on y
+  auto h3 = f.submit("R3", p, q);  // independent
+  f.engine.run();
+  ASSERT_TRUE(h1.result().ok());
+  ASSERT_TRUE(h2.result().ok());
+  ASSERT_TRUE(h3.result().ok());
+
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(y[i], 2.0f) << i;
+    ASSERT_EQ(z[i], 4.0f) << i;  // consumed R1's output, not the zeros
+    ASSERT_EQ(q[i], 6.0f) << i;
+  }
+
+  const auto* d1 = f.recorder.dispatch_of("R1");
+  const auto* d2 = f.recorder.dispatch_of("R2");
+  const auto* d3 = f.recorder.dispatch_of("R3");
+  ASSERT_NE(d1, nullptr);
+  ASSERT_NE(d2, nullptr);
+  ASSERT_NE(d3, nullptr);
+  EXPECT_EQ(d1->wait_seconds, 0.0);
+  EXPECT_EQ(d3->wait_seconds, 0.0);   // independent: no dependence stall
+  EXPECT_GT(d2->wait_seconds, 0.0);   // waited for R1 to retire
+  EXPECT_GE(counter_value(f.devices, "scheduler.dep_blocked"), 1u);
+}
+
+TEST(OffloadDagTest, WriteWriteConflictsKeepSubmissionOrder) {
+  // Two regions writing the same output buffer (WAW) serialize in
+  // submission order: the final contents are the *second* region's result.
+  DagFixture f;
+  const size_t n = 64;
+  std::vector<float> x1(n, 1.0f), x2(n, 5.0f), y(n, 0.0f);
+
+  auto h1 = f.submit("W1", x1, y);
+  auto h2 = f.submit("W2", x2, y);
+  f.engine.run();
+  ASSERT_TRUE(h1.result().ok());
+  ASSERT_TRUE(h2.result().ok());
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(y[i], 10.0f) << i;
+
+  const auto* d2 = f.recorder.dispatch_of("W2");
+  ASSERT_NE(d2, nullptr);
+  EXPECT_GT(d2->wait_seconds, 0.0);
+}
+
+TEST(OffloadDagTest, ResidentChainThroughSchedulerStaysConstantTransfer) {
+  // End to end: nowait chain inside a data environment, submitted through
+  // the scheduler. The DAG serializes the links; residency eliminates
+  // every intermediate transfer.
+  DagFixture f;
+  const size_t n = 1024;
+  std::vector<float> a(n), b(n, 0.0f);
+  std::iota(a.begin(), a.end(), 1.0f);
+
+  DataEnvironment env(f.devices, f.cloud_id);
+  ASSERT_TRUE(env.map("a", a.data(), n * 4, MapType::kToFrom).is_ok());
+  ASSERT_TRUE(env.map("b", b.data(), n * 4, MapType::kToFrom).is_ok());
+  ASSERT_TRUE(env.enter().is_ok());
+
+  std::vector<omp::TargetRegion::Async> handles;
+  for (int link = 0; link < 4; ++link) {
+    std::vector<float>& in = link % 2 == 0 ? a : b;
+    std::vector<float>& out = link % 2 == 0 ? b : a;
+    f.regions.emplace_back(f.devices, str_format("chain%d", link));
+    omp::TargetRegion& region = f.regions.back();
+    region.device(f.cloud_id);
+    region.in_environment(env);
+    auto iv = region.map_to("in", in.data(), n);
+    auto ov = region.map_from("out", out.data(), n);
+    region.parallel_for(static_cast<int64_t>(n))
+        .read_partitioned(iv, omp::rows<float>(1))
+        .write_partitioned(ov, omp::rows<float>(1))
+        .cost_flops(1.0)
+        .kernel("denv.double");
+    handles.push_back(region.execute_async());
+  }
+  f.engine.run();
+
+  uint64_t uploaded = 0;
+  for (size_t k = 0; k < handles.size(); ++k) {
+    auto result = handles[k].result();
+    ASSERT_TRUE(result.ok()) << "link " << k << ": "
+                             << result.status().to_string();
+    uploaded += result->uploaded_plain_bytes;
+  }
+  EXPECT_EQ(uploaded, n * sizeof(float));  // only the cold link uploads
+
+  ASSERT_TRUE(exit_blocking(f.engine, env).ok());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(a[i], 16.0f * static_cast<float>(i + 1)) << i;  // 2^4
+  }
+}
+
+}  // namespace
+}  // namespace ompcloud::omptarget
