@@ -1,0 +1,250 @@
+// Ablation: micro-batch coalescing in the offload service layer.
+//
+// An open-loop stream of small inference-style requests (y = W.x over a
+// shared weight matrix) arrives through Session handles from several
+// tenants. Two service configurations serve each arrival count:
+//
+//   unbatched   every request runs as its own Spark job (batching off).
+//   batched     the admission queue coalesces up to 16 compatible queued
+//               requests into one merged job with per-tenant
+//               sub-partitions (scheduler.batch-regions = 16).
+//
+// The question the service layer raises: does coalescing amortize the
+// per-job overhead (spark-submit round trips, staging, task launch) enough
+// to cut tail latency AND the per-request bill, without changing results?
+// Results land in BENCH_service.json for the CI regression gate, which
+// asserts batched p99 <= unbatched p99 and a strictly lower $/request at
+// the largest arrival count.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/harness.h"
+#include "omp/target_region.h"
+#include "omptarget/service.h"
+#include "support/flags.h"
+#include "support/strings.h"
+#include "trace/analysis.h"
+
+using namespace ompcloud;
+
+namespace {
+
+constexpr int64_t kRows = 64;  ///< outputs per request
+constexpr int64_t kK = 256;    ///< reduction depth (weights length)
+
+Status InferKernel(const jni::KernelArgs& args) {
+  auto x = args.input<float>(0);
+  auto w = args.input<float>(1);
+  auto y = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) {
+    float acc = 0.0f;
+    for (int64_t k = 0; k < kK; ++k) acc += w[k] * x[i * kK + k];
+    y[i] = acc;
+  }
+  return Status::ok();
+}
+
+const jni::KernelRegistrar kInferReg("bench.infer", InferKernel);
+
+struct Request {
+  std::vector<float> x;
+  std::vector<float> y;
+  double arrival = 0;
+  double done = -1;  ///< completion (virtual seconds); -1 = failed
+  int batch_size = 0;
+};
+
+/// Sleeps until the request's arrival, submits it through the session, and
+/// records its completion time.
+sim::Co<void> run_request(sim::Engine* engine, omptarget::DeviceManager* devices,
+                          Session session, int device_id, int index,
+                          std::vector<float>* weights, Request* request) {
+  co_await engine->sleep(request->arrival);
+  omp::TargetRegion region(*devices, str_format("req[%d]", index));
+  region.device(device_id);
+  auto xv = region.map_to("x", request->x.data(), request->x.size());
+  auto wv = region.map_to("w", weights->data(), weights->size());
+  auto yv = region.map_from("y", request->y.data(), request->y.size());
+  region.parallel_for(kRows)
+      .read_partitioned(xv, omp::rows<float>(kK))
+      .read(wv)
+      .write_partitioned(yv, omp::rows<float>(1))
+      .cost_flops(2.0 * static_cast<double>(kK))
+      .kernel("bench.infer");
+  auto lowered = region.lower();
+  if (!lowered.ok()) co_return;
+  omptarget::SubmitOptions options;
+  options.device_id = device_id;
+  auto result = co_await session.submit(std::move(*lowered), options);
+  if (result.ok()) {
+    request->done = engine->now();
+    request->batch_size = result->batch_size;
+  }
+}
+
+struct ModeResult {
+  int completed = 0;
+  double p50 = 0;
+  double p99 = 0;
+  double makespan = 0;
+  double cost_usd = 0;
+  double cost_per_request = 0;
+  uint64_t batch_jobs = 0;
+  uint64_t batched_requests = 0;
+};
+
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t index = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+Result<ModeResult> run_mode(bool batched, int requests, double gap) {
+  sim::Engine engine;
+  cloud::ClusterSpec spec;
+  spec.workers = 4;
+  cloud::Cluster cluster(engine, spec, cloud::SimProfile{});
+  omptarget::DeviceManager devices(engine);
+  int cloud_id = devices.register_device(std::make_unique<omptarget::CloudPlugin>(
+      cluster, spark::SparkConf{}, omptarget::CloudPluginOptions{}));
+
+  ServiceOptions options;
+  options.default_device = cloud_id;
+  options.scheduler.max_concurrent = 8;
+  if (batched) {
+    options.scheduler.batch_regions = 16;
+    options.scheduler.batch_bytes = 4 << 20;
+    options.scheduler.batch_linger_seconds = 0.05;
+  }
+  Service service(devices, options);
+
+  // One shared weight buffer: batch eligibility matches broadcast inputs by
+  // host pointer, exactly the "many requests, one model" shape.
+  std::vector<float> weights(static_cast<size_t>(kK));
+  for (size_t k = 0; k < weights.size(); ++k) {
+    weights[k] = static_cast<float>((k * 13 + 5) % 17) * 0.0625f;
+  }
+  std::vector<Request> stream(static_cast<size_t>(requests));
+  const char* tenants[] = {"teamA", "teamB", "teamC", "teamD"};
+  for (int i = 0; i < requests; ++i) {
+    Request& request = stream[static_cast<size_t>(i)];
+    request.arrival = i * gap;
+    request.x.resize(static_cast<size_t>(kRows * kK));
+    for (size_t j = 0; j < request.x.size(); ++j) {
+      request.x[j] = static_cast<float>((j + static_cast<size_t>(i) * 31) % 23);
+    }
+    request.y.assign(static_cast<size_t>(kRows), 0.0f);
+    Session session = service.session(tenants[i % 4]);
+    engine.spawn(run_request(&engine, &devices, session, cloud_id, i, &weights,
+                             &request));
+  }
+  engine.run();
+
+  ModeResult result;
+  std::vector<double> latencies;
+  for (const Request& request : stream) {
+    if (request.done < 0) continue;
+    result.completed += 1;
+    latencies.push_back(request.done - request.arrival);
+    result.makespan = std::max(result.makespan, request.done);
+    if (request.batch_size > 1) result.batched_requests += 1;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  result.p50 = quantile(latencies, 0.50);
+  result.p99 = quantile(latencies, 0.99);
+  result.cost_usd = cluster.cost().accrued_usd();
+  if (result.completed > 0) {
+    result.cost_per_request = result.cost_usd / result.completed;
+  }
+  result.batch_jobs =
+      devices.tracer().metrics().counter_value("batch.jobs");
+  return result;
+}
+
+std::string mode_json(const std::string& label, int requests,
+                      const ModeResult& result) {
+  return str_format(
+      "{\"label\": \"%s\", \"requests\": %d, \"completed\": %d, "
+      "\"p50_seconds\": %.9g, \"p99_seconds\": %.9g, "
+      "\"makespan_seconds\": %.9g, \"cost_usd\": %.9g, "
+      "\"cost_per_request_usd\": %.9g, \"batch_jobs\": %llu, "
+      "\"batched_requests\": %llu}",
+      label.c_str(), requests, result.completed, result.p50, result.p99,
+      result.makespan, result.cost_usd, result.cost_per_request,
+      static_cast<unsigned long long>(result.batch_jobs),
+      static_cast<unsigned long long>(result.batched_requests));
+}
+
+int run(int argc, const char** argv) {
+  FlagSet flags("Service-layer micro-batching ablation");
+  flags.define_int("gap-ms", 20, "milliseconds between arrivals (virtual)");
+  if (Status parsed = flags.parse(argc, argv); !parsed.is_ok()) {
+    return parsed.code() == StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+  const double gap = static_cast<double>(flags.get_int("gap-ms")) / 1000.0;
+  const std::vector<int> counts = {100, 1000};
+
+  std::printf("Service micro-batching ablation (arrivals every %.0f ms)\n\n",
+              gap * 1000.0);
+  std::printf("%16s | %5s %10s %10s %12s %12s %7s\n", "mode", "done", "p50",
+              "p99", "makespan", "$/request", "jobs");
+
+  std::vector<std::string> records;
+  bool all_completed = true;
+  bool tail_win = true;
+  bool cost_win = true;
+  for (int requests : counts) {
+    ModeResult modes[2];
+    for (int b = 0; b < 2; ++b) {
+      auto result = run_mode(b == 1, requests, gap);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+        return 1;
+      }
+      modes[b] = *result;
+      const std::string label =
+          str_format("%s-%d", b == 1 ? "batched" : "unbatched", requests);
+      std::printf("%16s | %5d %9.3fs %9.3fs %11.1fs %12.8f %7llu\n",
+                  label.c_str(), modes[b].completed, modes[b].p50,
+                  modes[b].p99, modes[b].makespan, modes[b].cost_per_request,
+                  static_cast<unsigned long long>(modes[b].batch_jobs));
+      records.push_back(mode_json(label, requests, modes[b]));
+      all_completed = all_completed && modes[b].completed == requests;
+    }
+    // The headline claim, checked at every arrival count: coalescing must
+    // not hurt the tail and must cut the per-request bill.
+    tail_win = tail_win && modes[1].p99 <= modes[0].p99;
+    cost_win = cost_win && modes[1].cost_per_request < modes[0].cost_per_request;
+    std::printf("%16s | p99 %.3fs -> %.3fs, $/request %.8f -> %.8f "
+                "(%llu requests in %llu merged jobs)\n",
+                str_format("@%d", requests).c_str(), modes[0].p99,
+                modes[1].p99, modes[0].cost_per_request,
+                modes[1].cost_per_request,
+                static_cast<unsigned long long>(modes[1].batched_requests),
+                static_cast<unsigned long long>(modes[1].batch_jobs));
+  }
+
+  std::printf("\nbatching %s the tail and %s the per-request bill\n",
+              tail_win ? "holds" : "DEGRADES", cost_win ? "cuts" : "RAISES");
+
+  std::string json = "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    json += "  " + records[i] + (i + 1 < records.size() ? ",\n" : "\n");
+  }
+  json += "]\n";
+  if (FILE* out = std::fopen("BENCH_service.json", "w")) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("wrote BENCH_service.json (%zu records)\n", records.size());
+  } else {
+    std::fprintf(stderr, "cannot write BENCH_service.json\n");
+    return 1;
+  }
+  return all_completed && tail_win && cost_win ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) { return run(argc, argv); }

@@ -24,6 +24,8 @@ LOWER_IS_BETTER = (
     "makespan_seconds",
     "instance_seconds",
     "cost_usd",
+    "p99_seconds",
+    "cost_per_request_usd",
 )
 HIGHER_IS_BETTER = (
     "throughput_per_hour",

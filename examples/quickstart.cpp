@@ -15,8 +15,11 @@
 #include <cstdio>
 #include <vector>
 
+#include <optional>
+
 #include "omp/target_region.h"
 #include "omptarget/cloud_plugin.h"
+#include "omptarget/service.h"
 #include "support/flags.h"
 #include "support/strings.h"
 #include "trace/export.h"
@@ -99,7 +102,33 @@ int main(int argc, const char** argv) {
         return MatMulBody(n, args);
       });
 
-  auto report = omp::offload_blocking(engine, region);
+  // Submit through the service layer: a Service installs the admission
+  // scheduler from [service]/[scheduler] config, a Session attributes the
+  // submission to a tenant (quota, FAIR share, SLO defaults).
+  auto service_options = ServiceOptions::from_config(config);
+  if (!service_options.ok()) {
+    std::fprintf(stderr, "bad [service] config: %s\n",
+                 service_options.status().to_string().c_str());
+    return 1;
+  }
+  service_options->default_device = kCloud;
+  Service service(devices, std::move(*service_options));
+  Session session = service.session();
+
+  std::optional<Result<omptarget::OffloadReport>> outcome;
+  engine.spawn(
+      [](Session session, omp::TargetRegion* region,
+         std::optional<Result<omptarget::OffloadReport>>* out) -> sim::Co<void> {
+        auto lowered = region->lower();
+        if (!lowered.ok()) {
+          *out = lowered.status();
+          co_return;
+        }
+        *out = co_await session.submit(std::move(*lowered));
+      }(session, &region, &outcome));
+  engine.run();
+  Result<omptarget::OffloadReport> report =
+      outcome.value_or(Status(StatusCode::kInternal, "offload never ran"));
   if (!report.ok()) {
     std::fprintf(stderr, "offload failed: %s\n",
                  report.status().to_string().c_str());

@@ -136,10 +136,17 @@ Result<omptarget::TargetRegion> TargetRegion::lower() const {
   return region_;
 }
 
+omptarget::SubmitOptions TargetRegion::submit_options() const {
+  omptarget::SubmitOptions options = options_;
+  options.device_id = device_id_;
+  options.tenant = tenant_;
+  return options;
+}
+
 sim::Co<Result<omptarget::OffloadReport>> TargetRegion::execute() {
   OC_CO_ASSIGN_OR_RETURN(omptarget::TargetRegion lowered, lower());
-  co_return co_await devices_->offload_queued(std::move(lowered), device_id_,
-                                              tenant_);
+  co_return co_await devices_->offload_queued(std::move(lowered),
+                                              submit_options());
 }
 
 Result<omptarget::OffloadReport> TargetRegion::Async::result() const {
@@ -151,6 +158,7 @@ Result<omptarget::OffloadReport> TargetRegion::Async::result() const {
 }
 
 TargetRegion::Async TargetRegion::execute_async() {
+  options_.nowait = true;  // observability: tagged on the sched.queue span
   Async handle;
   handle.completion_ = devices_->engine().spawn(
       [](TargetRegion* region,

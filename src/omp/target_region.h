@@ -95,6 +95,32 @@ class TargetRegion {
   /// "default".
   TargetRegion& tenant(std::string name);
 
+  /// Scheduling priority (higher dispatches first; may preempt queued
+  /// lower-priority work when the admission queue is full).
+  TargetRegion& priority(int priority) {
+    options_.priority = priority;
+    return *this;
+  }
+
+  /// SLO completion budget in virtual seconds (0 = none). Hopeless or
+  /// expired deadlines fail with kDeadlineExceeded.
+  TargetRegion& deadline(double seconds) {
+    options_.deadline_seconds = seconds;
+    return *this;
+  }
+
+  /// Informational SLO bucket ("interactive", "batch", ...).
+  TargetRegion& latency_class(std::string name) {
+    options_.latency_class = std::move(name);
+    return *this;
+  }
+
+  /// Opts this region out of micro-batch coalescing.
+  TargetRegion& no_batching() {
+    options_.allow_batching = false;
+    return *this;
+  }
+
   /// `#pragma omp target data`-style enclosing environment: mapped buffers
   /// registered in `env` stay cloud-resident between consecutive regions
   /// (uploads are skipped, downloads deferred to environment exit). The
@@ -170,6 +196,10 @@ class TargetRegion {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const std::string& tenant() const { return tenant_; }
 
+  /// The SubmitOptions this region's clauses lower to (what `execute()`
+  /// hands the admission scheduler).
+  [[nodiscard]] omptarget::SubmitOptions submit_options() const;
+
  private:
   friend class ParallelFor;
   VarHandle add_var(const std::string& name, void* data, uint64_t bytes,
@@ -179,6 +209,7 @@ class TargetRegion {
   std::string name_;
   std::string tenant_ = "default";
   int device_id_ = omptarget::DeviceManager::host_device_id();
+  omptarget::SubmitOptions options_;  ///< device/tenant filled at lowering
   omptarget::TargetRegion region_;
   Status poison_ = Status::ok();
 };

@@ -1,0 +1,262 @@
+#include "omptarget/batch.h"
+
+#include <cstring>
+
+#include "support/strings.h"
+
+namespace ompcloud::omptarget::batch {
+
+namespace {
+
+/// How the merger treats one variable of an eligible region.
+struct VarClass {
+  bool concat = false;   ///< member buffers concatenated along iterations
+  bool has_ptr = false;  ///< host shadow present (alloc vars may have none)
+  int64_t stride = 0;    ///< rows-partition stride in bytes (0: unpartitioned)
+};
+
+/// Classifies every variable of `region`, or nullopt when the region cannot
+/// coalesce. Shared rules for signature() and coalesce() so they never
+/// disagree.
+std::optional<std::vector<VarClass>> classify(const TargetRegion& region) {
+  if (region.env != nullptr) return std::nullopt;   // residency: never batch
+  if (!region.slices.empty()) return std::nullopt;  // already a batch
+  if (region.vars.empty() || region.loops.empty()) return std::nullopt;
+
+  const int64_t n = region.loops.front().iterations;
+  if (n <= 0) return std::nullopt;
+
+  enum Seen : uint8_t { kNone = 0, kBroadcast = 1, kPartitioned = 2 };
+  std::vector<uint8_t> seen(region.vars.size(), kNone);
+  std::vector<int64_t> stride(region.vars.size(), 0);
+
+  auto note = [&](const spark::LoopAccess& access, bool write) -> bool {
+    if (access.var < 0 || access.var >= static_cast<int>(region.vars.size())) {
+      return false;
+    }
+    auto v = static_cast<size_t>(access.var);
+    switch (access.mode) {
+      case spark::LoopAccess::Mode::kReadBroadcast:
+        if (write) return false;
+        seen[v] |= kBroadcast;
+        return true;
+      case spark::LoopAccess::Mode::kReadPartitioned:
+      case spark::LoopAccess::Mode::kWritePartitioned: {
+        // Only exact row partitions concatenate: [b*i, b*(i+1)) per
+        // iteration, covering the variable exactly (size == b*n).
+        const spark::AffineRange& p = access.partition;
+        if (p.lo_base != 0 || p.lo_coeff <= 0 || p.hi_coeff != p.lo_coeff ||
+            p.hi_base != p.hi_coeff) {
+          return false;
+        }
+        if (stride[v] != 0 && stride[v] != p.lo_coeff) return false;
+        stride[v] = p.lo_coeff;
+        if (region.vars[v].size_bytes !=
+            static_cast<uint64_t>(p.lo_coeff) * static_cast<uint64_t>(n)) {
+          return false;
+        }
+        seen[v] |= kPartitioned;
+        return true;
+      }
+      case spark::LoopAccess::Mode::kWriteShared:
+        return false;  // reductions / bit-or recombination: never batch
+    }
+    return false;
+  };
+
+  for (const spark::LoopSpec& loop : region.loops) {
+    if (loop.kernel.empty()) return std::nullopt;
+    if (loop.explicit_tiles != 0) return std::nullopt;  // tiling ablations
+    if (loop.iterations != n) return std::nullopt;
+    for (const spark::LoopAccess& access : loop.reads) {
+      if (!note(access, /*write=*/false)) return std::nullopt;
+    }
+    for (const spark::LoopAccess& access : loop.writes) {
+      if (!note(access, /*write=*/true)) return std::nullopt;
+    }
+  }
+
+  std::vector<VarClass> classes(region.vars.size());
+  for (size_t v = 0; v < region.vars.size(); ++v) {
+    const MappedVar& var = region.vars[v];
+    // A variable read broadcast anywhere must be broadcast-read-only input:
+    // merging would otherwise expose one member's concatenated data to all.
+    if ((seen[v] & kBroadcast) != 0) {
+      if ((seen[v] & kPartitioned) != 0) return std::nullopt;
+      if (var.maps_from() || var.map_type == MapType::kAlloc) {
+        return std::nullopt;
+      }
+      classes[v] = {/*concat=*/false, var.host_ptr != nullptr, 0};
+      continue;
+    }
+    // Everything else — partitioned, alloc scratch, or unreferenced —
+    // concatenates along the iteration axis.
+    classes[v] = {/*concat=*/true, var.host_ptr != nullptr, stride[v]};
+  }
+  return classes;
+}
+
+}  // namespace
+
+uint64_t mapped_bytes(const TargetRegion& region) {
+  uint64_t total = 0;
+  for (const MappedVar& var : region.vars) total += var.size_bytes;
+  return total;
+}
+
+std::optional<std::string> signature(const TargetRegion& region,
+                                     uint64_t max_bytes) {
+  auto classes = classify(region);
+  if (!classes.has_value()) return std::nullopt;
+  if (max_bytes > 0 && mapped_bytes(region) > max_bytes) return std::nullopt;
+
+  std::string sig =
+      str_format("n=%lld", static_cast<long long>(region.loops.front().iterations));
+  for (size_t v = 0; v < region.vars.size(); ++v) {
+    const MappedVar& var = region.vars[v];
+    const VarClass& cls = (*classes)[v];
+    sig += str_format(";v%zu=%d:%c:%llu", v, static_cast<int>(var.map_type),
+                      cls.concat ? 'c' : 's',
+                      static_cast<unsigned long long>(var.size_bytes));
+    if (!cls.concat) {
+      // Shared broadcast inputs only merge when they are literally the same
+      // host buffer (staged once for the whole batch) — the pointer is the
+      // identity.
+      sig += str_format(":%p", var.host_ptr);
+    } else {
+      sig += cls.has_ptr ? ":p" : ":0";
+    }
+  }
+  for (const spark::LoopSpec& loop : region.loops) {
+    sig += ";l=" + loop.kernel + str_format(":%g", loop.flops_per_iteration);
+    auto add_access = [&sig](const spark::LoopAccess& access) {
+      sig += str_format(",%d/%d/%lld", static_cast<int>(access.mode),
+                        access.var,
+                        static_cast<long long>(access.partition.lo_coeff));
+    };
+    sig += ":r";
+    for (const spark::LoopAccess& access : loop.reads) add_access(access);
+    sig += ":w";
+    for (const spark::LoopAccess& access : loop.writes) add_access(access);
+  }
+  return sig;
+}
+
+Result<BatchPlan> BatchPlan::coalesce(std::vector<Member> members,
+                                      uint64_t batch_id) {
+  if (members.size() < 2) {
+    return invalid_argument("batch: need at least two member regions");
+  }
+  auto classes = classify(members.front().region);
+  if (!classes.has_value()) {
+    return invalid_argument("batch: member region is not batch-eligible");
+  }
+  {
+    const TargetRegion& proto = members.front().region;
+    for (const Member& member : members) {
+      if (member.region.vars.size() != proto.vars.size() ||
+          member.region.loops.size() != proto.loops.size() ||
+          member.region.loops.front().iterations !=
+              proto.loops.front().iterations) {
+        return internal_error("batch: members have mismatched shapes");
+      }
+    }
+  }
+
+  BatchPlan plan;
+  plan.batch_id_ = batch_id;
+  plan.members_ = std::move(members);
+  const TargetRegion& first = plan.members_.front().region;
+  const size_t count = plan.members_.size();
+  const int64_t n = first.loops.front().iterations;
+
+  plan.merged_.name = str_format("batch#%llu",
+                                 static_cast<unsigned long long>(batch_id));
+  plan.merged_.env = nullptr;
+
+  plan.vars_.resize(first.vars.size());
+  plan.merged_.vars.resize(first.vars.size());
+  for (size_t v = 0; v < first.vars.size(); ++v) {
+    const MappedVar& proto = plan.members_.front().region.vars[v];
+    VarMerge& merge = plan.vars_[v];
+    MappedVar merged_var = proto;
+    if (!(*classes)[v].concat) {
+      // Shared broadcast input: identical buffer in every member (enforced
+      // by the signature); mapped once.
+      plan.merged_.vars[v] = merged_var;
+      continue;
+    }
+    merge.concatenated = true;
+    uint64_t total = 0;
+    merge.member_offsets.reserve(count);
+    merge.member_sizes.reserve(count);
+    for (const Member& member : plan.members_) {
+      merge.member_offsets.push_back(total);
+      merge.member_sizes.push_back(member.region.vars[v].size_bytes);
+      total += member.region.vars[v].size_bytes;
+    }
+    merged_var.size_bytes = total;
+    if ((*classes)[v].has_ptr) {
+      merge.storage = ByteBuffer(total);
+      for (size_t m = 0; m < count; ++m) {
+        const MappedVar& src = plan.members_[m].region.vars[v];
+        if (src.host_ptr == nullptr) {
+          return internal_error("batch: mixed alloc shadows across members");
+        }
+        std::memcpy(merge.storage.data() + merge.member_offsets[m],
+                    src.host_ptr, merge.member_sizes[m]);
+      }
+      merged_var.host_ptr = merge.storage.data();
+    } else {
+      merged_var.host_ptr = nullptr;  // device-only scratch in every member
+    }
+    plan.merged_.vars[v] = merged_var;
+  }
+
+  plan.merged_.loops = first.loops;
+  for (spark::LoopSpec& loop : plan.merged_.loops) {
+    loop.iterations = n * static_cast<int64_t>(count);
+  }
+  plan.merged_.slices.reserve(count);
+  for (size_t m = 0; m < count; ++m) {
+    plan.merged_.slices.push_back(
+        {plan.members_[m].region.name, plan.members_[m].tenant,
+         static_cast<int64_t>(m) * n, static_cast<int64_t>(m + 1) * n});
+  }
+  return plan;
+}
+
+void BatchPlan::scatter() {
+  for (size_t v = 0; v < merged_.vars.size(); ++v) {
+    const VarMerge& merge = vars_[v];
+    if (!merge.concatenated || merge.storage.size() == 0) continue;
+    if (!merged_.vars[v].maps_from()) continue;
+    for (size_t m = 0; m < members_.size(); ++m) {
+      void* dst = members_[m].region.vars[v].host_ptr;
+      if (dst == nullptr) continue;
+      std::memcpy(dst, merge.storage.data() + merge.member_offsets[m],
+                  merge.member_sizes[m]);
+    }
+  }
+}
+
+OffloadReport BatchPlan::member_report(const OffloadReport& batch) const {
+  OffloadReport report = batch;
+  const double share = 1.0 / static_cast<double>(members_.size());
+  auto scale = [share](uint64_t bytes) {
+    return static_cast<uint64_t>(static_cast<double>(bytes) * share);
+  };
+  report.uploaded_plain_bytes = scale(batch.uploaded_plain_bytes);
+  report.uploaded_wire_bytes = scale(batch.uploaded_wire_bytes);
+  report.downloaded_plain_bytes = scale(batch.downloaded_plain_bytes);
+  report.downloaded_wire_bytes = scale(batch.downloaded_wire_bytes);
+  report.resident_upload_skipped_bytes =
+      scale(batch.resident_upload_skipped_bytes);
+  report.resident_download_deferred_bytes =
+      scale(batch.resident_download_deferred_bytes);
+  report.cost_usd = batch.cost_usd * share;
+  report.batch_size = static_cast<int>(members_.size());
+  return report;
+}
+
+}  // namespace ompcloud::omptarget::batch

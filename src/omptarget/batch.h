@@ -1,0 +1,95 @@
+// Micro-batch coalescer: merges compatible small target regions queued by
+// different sessions/tenants into ONE shared Spark job, amortizing the
+// per-job driver spin-up (SSH + spark-submit + JVM, ~seconds) and JNI setup
+// the same way the paper's Algorithm 1 tiling amortizes per-iteration
+// overhead — applied across tenants instead of across iterations.
+//
+// Mergeability is structural: two regions coalesce when they run the same
+// kernels over the same loop shapes (iteration count, flops, partition
+// strides), their partitioned variables are exact row partitions
+// (`AffineRange::rows`), and every broadcast-read-only variable is
+// *literally the same host buffer* in both (the shared-weights model: one
+// model, many requests — the broadcast is staged once for the whole batch).
+// Per-member buffers are concatenated along the iteration axis; because JNI
+// kernels index slices with *global* loop subscripts (jnibridge/bridge.h,
+// SliceView subtracts the slice offset), member kernels run unchanged over
+// their sub-range of the concatenation, so a batched run is byte-identical
+// to the same members run one by one.
+//
+// Regions inside a data environment, with reductions/shared writes, or with
+// explicit tile overrides never coalesce.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "omptarget/device.h"
+#include "support/bytes.h"
+
+namespace ompcloud::omptarget::batch {
+
+/// Structural compatibility key of `region`: regions with equal signatures
+/// (and mapped footprint <= `max_bytes`) may coalesce into one job.
+/// Returns nullopt when the region is batch-ineligible.
+[[nodiscard]] std::optional<std::string> signature(const TargetRegion& region,
+                                                   uint64_t max_bytes);
+
+/// Total bytes the region maps (the `scheduler.batch-bytes` eligibility
+/// measure).
+[[nodiscard]] uint64_t mapped_bytes(const TargetRegion& region);
+
+/// One region admitted into a batch.
+struct Member {
+  TargetRegion region;
+  std::string tenant = "default";
+};
+
+/// A coalesced batch: owns the concatenated buffers backing the merged
+/// region's variables. Lifetime: coalesce -> offload merged() -> scatter()
+/// -> member_report() per member.
+class BatchPlan {
+ public:
+  /// Merges `members` (all sharing one `signature`) into one region named
+  /// `batch#<batch_id>`. Gathers member buffers into batch-owned
+  /// concatenations (host-side memcpy: free in virtual time, like the
+  /// fallback snapshots in device.cpp).
+  [[nodiscard]] static Result<BatchPlan> coalesce(std::vector<Member> members,
+                                                  uint64_t batch_id);
+
+  [[nodiscard]] const TargetRegion& merged() const { return merged_; }
+  /// The merged region to offload. The plan stays the owner of the
+  /// concatenated buffers — keep it alive until `scatter()`.
+  [[nodiscard]] TargetRegion merged_region() const { return merged_; }
+
+  [[nodiscard]] size_t size() const { return members_.size(); }
+  [[nodiscard]] uint64_t batch_id() const { return batch_id_; }
+  [[nodiscard]] const std::vector<Member>& members() const { return members_; }
+
+  /// After the merged region completed (device or host-fallback path):
+  /// copies each member's slice of every map(from:)/map(tofrom:)
+  /// concatenation back into the member's own host buffers.
+  void scatter();
+
+  /// Per-member view of the batch-level report: seconds are the batch's
+  /// wall clock (every member waited for the shared job), bytes and cost
+  /// are the member's pro-rata share (members are shape-identical, so the
+  /// share is 1/size), `batch_size` is the member count.
+  [[nodiscard]] OffloadReport member_report(const OffloadReport& batch) const;
+
+ private:
+  /// How one merged variable maps onto member buffers.
+  struct VarMerge {
+    bool concatenated = false;  ///< false: shared broadcast buffer, as-is
+    ByteBuffer storage;         ///< owns the concatenation
+    std::vector<uint64_t> member_offsets;  ///< byte offset of each member
+    std::vector<uint64_t> member_sizes;
+  };
+
+  std::vector<Member> members_;
+  TargetRegion merged_;
+  std::vector<VarMerge> vars_;  ///< index-aligned with merged_.vars
+  uint64_t batch_id_ = 0;
+};
+
+}  // namespace ompcloud::omptarget::batch

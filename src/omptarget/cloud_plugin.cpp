@@ -64,12 +64,26 @@ Result<CloudPluginOptions> CloudPluginOptions::from_config(
     const Config& config) {
   CloudPluginOptions options;
   options.bucket = config.get_string("offload.bucket", options.bucket);
-  options.codec = config.get_string("offload.compression", options.codec);
+  // Canonical spelling `codec` (matches what the knob selects); the
+  // pre-service `compression` names are still honored, with a WARN.
+  options.codec = config.get_string("offload.codec", options.codec);
+  if (!config.has("offload.codec") && config.has("offload.compression")) {
+    Logger("config").warn("offload.compression is deprecated; use offload.codec");
+    options.codec = config.get_string("offload.compression", options.codec);
+  }
   OC_ASSIGN_OR_RETURN(const compress::Codec* codec,
                       compress::find_codec(options.codec));
   (void)codec;
   options.min_compress_size = config.get_byte_size(
-      "offload.compression-min-size", options.min_compress_size);
+      "offload.codec-min-size", options.min_compress_size);
+  if (!config.has("offload.codec-min-size") &&
+      config.has("offload.compression-min-size")) {
+    Logger("config").warn(
+        "offload.compression-min-size is deprecated; use "
+        "offload.codec-min-size");
+    options.min_compress_size = config.get_byte_size(
+        "offload.compression-min-size", options.min_compress_size);
+  }
   options.chunk_size =
       config.get_byte_size("offload.chunk-size", options.chunk_size);
   options.overlap_transfers =
@@ -1301,6 +1315,12 @@ sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
       job.vars.push_back(std::move(spec));
     }
     job.loops = region.loops;
+    // Coalesced batch regions carry their member sub-ranges down to Spark:
+    // tiling respects them and tasks are attributed to the owning tenant.
+    for (const RegionSlice& slice : region.slices) {
+      job.sub_partitions.push_back(
+          {slice.label, slice.tenant, slice.begin, slice.end});
+    }
     auto ran = co_await context_.run_job(std::move(job), root);
     if (ran.ok()) {
       report.job = std::move(*ran);

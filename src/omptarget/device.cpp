@@ -213,12 +213,12 @@ OffloadScheduler& DeviceManager::configure_scheduler(
 }
 
 sim::Co<Result<OffloadReport>> DeviceManager::offload_queued(
-    TargetRegion region, int device_id, std::string tenant) {
+    TargetRegion region, SubmitOptions options) {
   if (scheduler_ != nullptr) {
-    co_return co_await scheduler_->submit(std::move(region), device_id,
-                                          std::move(tenant));
+    co_return co_await scheduler_->submit(std::move(region),
+                                          std::move(options));
   }
-  co_return co_await offload(std::move(region), device_id);
+  co_return co_await offload(std::move(region), options.device_id);
 }
 
 sim::Co<Result<OffloadReport>> DeviceManager::offload(TargetRegion region,

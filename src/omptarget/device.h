@@ -46,6 +46,18 @@ struct MappedVar {
   }
 };
 
+/// One tenant's iteration sub-range inside a coalesced (micro-batched)
+/// region: the batch coalescer (batch.h) concatenates compatible member
+/// regions along the iteration axis and records each member here so the
+/// Spark layer can tile every member independently (no tile straddles a
+/// tenant boundary) and attribute tasks to the owning tenant.
+struct RegionSlice {
+  std::string label;   ///< member region name (diagnostics)
+  std::string tenant;  ///< owning tenant pool
+  int64_t begin = 0;   ///< first iteration of the member (inclusive)
+  int64_t end = 0;     ///< one past the member's last iteration
+};
+
 /// A complete `#pragma omp target` region: data environment + the DOALL
 /// loops inside it (loop access indices refer to `vars`).
 struct TargetRegion {
@@ -58,8 +70,42 @@ struct TargetRegion {
   /// of current resident inputs are skipped and downloads of registered
   /// outputs are deferred until host access or environment exit.
   DataEnvironment* env = nullptr;
+  /// Per-tenant sub-partitions of a coalesced batch region (empty for an
+  /// ordinary single-tenant region). Forwarded to `spark::JobSpec` as
+  /// sub-partitions.
+  std::vector<RegionSlice> slices;
 
   [[nodiscard]] Status validate() const;
+};
+
+/// Declarative submission surface for the offload-as-a-service layer: one
+/// struct carries everything the admission scheduler needs — tenant,
+/// priority, SLO deadline, latency class — instead of positional arguments.
+/// Built by `ompcloud::Session` (service.h) and by the `omp::TargetRegion`
+/// DSL; consumed by `OffloadScheduler::submit`.
+struct SubmitOptions {
+  /// Target device (0 = host). `Session::submit` fills this from
+  /// `service.default-device` when the caller leaves it at -1.
+  int device_id = 0;
+  /// Scheduling pool for quotas and FAIR weighted sharing. Empty maps to
+  /// "default".
+  std::string tenant = "default";
+  /// Higher dispatches first; a higher-priority arrival may preempt the
+  /// lowest-priority *queued* (never running) entry when the queue is full.
+  int priority = 0;
+  /// Relative completion budget in virtual seconds (0 = none). Admission
+  /// rejects with kDeadlineExceeded when the budget cannot be met (already
+  /// below the observed service-time estimate, or expired while queued).
+  double deadline_seconds = 0;
+  /// Informational SLO bucket ("interactive", "batch", ...): tagged on the
+  /// sched.queue span and scheduler events.
+  std::string latency_class;
+  /// `#pragma omp target nowait`: the caller does not block on completion.
+  /// Carried for observability; the async/await behavior itself lives in
+  /// `Session::submit_nowait` / `omp::TargetRegion::execute_async`.
+  bool nowait = false;
+  /// Opt out of micro-batch coalescing for this submission.
+  bool allow_batching = true;
 };
 
 /// What one offload produced: the paper's measurement decomposition.
@@ -94,6 +140,11 @@ struct OffloadReport {
   uint64_t resident_download_deferred_bytes = 0;
 
   double cost_usd = 0;  ///< $ metered against the cluster for this offload
+
+  /// Member regions the offload served (1 = ordinary region; >1 = this
+  /// report is a per-member pro-rata view of a coalesced batch job: bytes
+  /// and cost are the member's share, seconds are the batch's wall clock).
+  int batch_size = 1;
 
   spark::JobMetrics job;  ///< zero-initialized for host execution
 
@@ -231,10 +282,22 @@ class DeviceManager {
   /// The installed scheduler; null when offloads dispatch directly.
   [[nodiscard]] OffloadScheduler* scheduler() { return scheduler_.get(); }
 
-  /// Routes through the admission scheduler when one is configured (with
-  /// the tenant attributed for FAIR sharing), else straight to `offload`.
+  /// Routes through the admission scheduler when one is configured (tenant
+  /// quota + FAIR share + SLO admission applied), else straight to
+  /// `offload`. `options.device_id` selects the device.
   [[nodiscard]] sim::Co<Result<OffloadReport>> offload_queued(
-      TargetRegion region, int device_id, std::string tenant = "default");
+      TargetRegion region, SubmitOptions options);
+
+  /// Deprecated positional-argument spelling; forwards to the
+  /// SubmitOptions overload (and logs a deprecation WARN once per process).
+  [[deprecated("use offload_queued(region, SubmitOptions)")]]
+  [[nodiscard]] sim::Co<Result<OffloadReport>> offload_queued(
+      TargetRegion region, int device_id, std::string tenant = "default") {
+    SubmitOptions options;
+    options.device_id = device_id;
+    options.tenant = tenant.empty() ? "default" : std::move(tenant);
+    return offload_queued(std::move(region), std::move(options));
+  }
 
   /// Installs the fallback/breaker policy (defaults apply otherwise).
   void configure(DeviceManagerOptions options) { options_ = options; }

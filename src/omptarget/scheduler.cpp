@@ -1,7 +1,10 @@
 #include "omptarget/scheduler.h"
 
 #include <algorithm>
+#include <limits>
+#include <unordered_set>
 
+#include "omptarget/batch.h"
 #include "support/strings.h"
 
 namespace ompcloud::omptarget {
@@ -21,6 +24,13 @@ double SchedulerOptions::weight_for(std::string_view tenant) const {
   return default_weight > 0 ? default_weight : 1.0;
 }
 
+int SchedulerOptions::quota_for(std::string_view tenant) const {
+  for (const auto& [name, quota] : tenant_quotas) {
+    if (name == tenant) return quota;
+  }
+  return default_quota;
+}
+
 Result<SchedulerOptions> SchedulerOptions::from_config(const Config& config) {
   SchedulerOptions options;
   std::string mode = config.get_string("scheduler.mode", "fifo");
@@ -34,23 +44,64 @@ Result<SchedulerOptions> SchedulerOptions::from_config(const Config& config) {
   }
   options.max_concurrent = static_cast<int>(
       config.get_int("scheduler.max-concurrent", options.max_concurrent));
+  // Canonical spelling `weight-default` (one scheme with weight.<tenant>);
+  // the pre-service `default-weight` is still honored, with a WARN.
   options.default_weight =
-      config.get_double("scheduler.default-weight", options.default_weight);
-  if (options.default_weight <= 0) {
-    return invalid_argument("scheduler.default-weight must be positive");
+      config.get_double("scheduler.weight-default", options.default_weight);
+  if (!config.has("scheduler.weight-default") &&
+      config.has("scheduler.default-weight")) {
+    Logger("config").warn(
+        "scheduler.default-weight is deprecated; use scheduler.weight-default");
+    options.default_weight =
+        config.get_double("scheduler.default-weight", options.default_weight);
   }
-  // Per-tenant pool weights: one `weight.<tenant>` key per pool.
+  if (options.default_weight <= 0) {
+    return invalid_argument("scheduler.weight-default must be positive");
+  }
+  options.queue_limit = static_cast<int>(
+      config.get_int("scheduler.queue-limit", options.queue_limit));
+  if (options.queue_limit < 0) {
+    return invalid_argument("scheduler.queue-limit must be >= 0");
+  }
+  options.default_quota = static_cast<int>(
+      config.get_int("scheduler.quota-default", options.default_quota));
+  if (options.default_quota < 0) {
+    return invalid_argument("scheduler.quota-default must be >= 0");
+  }
+  options.batch_regions = static_cast<int>(
+      config.get_int("scheduler.batch-regions", options.batch_regions));
+  if (options.batch_regions < 0) {
+    return invalid_argument("scheduler.batch-regions must be >= 0");
+  }
+  options.batch_bytes =
+      config.get_byte_size("scheduler.batch-bytes", options.batch_bytes);
+  options.batch_linger_seconds = config.get_duration(
+      "scheduler.batch-linger", options.batch_linger_seconds);
+  if (options.batch_linger_seconds < 0) {
+    return invalid_argument("scheduler.batch-linger must be >= 0");
+  }
+  // Per-tenant pool weights and quotas: `weight.<tenant>` / `quota.<tenant>`.
   for (const std::string& key : config.keys_in("scheduler")) {
-    constexpr std::string_view kPrefix = "weight.";
-    if (key.size() <= kPrefix.size() || key.compare(0, kPrefix.size(), kPrefix) != 0) {
-      continue;
+    constexpr std::string_view kWeight = "weight.";
+    constexpr std::string_view kQuota = "quota.";
+    if (key.size() > kWeight.size() &&
+        key.compare(0, kWeight.size(), kWeight) == 0) {
+      std::string tenant = key.substr(kWeight.size());
+      double weight = config.get_double("scheduler." + key, 0);
+      if (weight <= 0) {
+        return invalid_argument("scheduler." + key + " must be positive");
+      }
+      options.tenant_weights.emplace_back(std::move(tenant), weight);
+    } else if (key.size() > kQuota.size() &&
+               key.compare(0, kQuota.size(), kQuota) == 0) {
+      std::string tenant = key.substr(kQuota.size());
+      int64_t quota = config.get_int("scheduler." + key, -1);
+      if (quota < 0) {
+        return invalid_argument("scheduler." + key + " must be >= 0");
+      }
+      options.tenant_quotas.emplace_back(std::move(tenant),
+                                         static_cast<int>(quota));
     }
-    std::string tenant = key.substr(kPrefix.size());
-    double weight = config.get_double("scheduler." + key, 0);
-    if (weight <= 0) {
-      return invalid_argument("scheduler." + key + " must be positive");
-    }
-    options.tenant_weights.emplace_back(std::move(tenant), weight);
   }
   return options;
 }
@@ -59,21 +110,89 @@ OffloadScheduler::OffloadScheduler(DeviceManager& manager,
                                    SchedulerOptions options)
     : manager_(&manager), options_(std::move(options)) {}
 
+void OffloadScheduler::warn_deprecated_submit() {
+  if (warned_deprecated_) return;
+  warned_deprecated_ = true;
+  log_.warn(
+      "OffloadScheduler::submit(region, device_id, tenant) is deprecated; "
+      "submit(region, SubmitOptions) carries tenant/priority/deadline");
+}
+
 sim::Co<Result<OffloadReport>> OffloadScheduler::submit(TargetRegion region,
-                                                        int device_id,
-                                                        std::string tenant) {
+                                                        SubmitOptions options) {
+  if (options.tenant.empty()) options.tenant = "default";
+
   Pending pending;
   pending.seq = ++next_seq_;
   pending.region = std::move(region);
-  pending.device_id = device_id;
-  pending.tenant = tenant.empty() ? "default" : std::move(tenant);
+  pending.options = std::move(options);
   pending.enqueue_time = manager_->engine().now();
+  if (pending.options.deadline_seconds > 0) {
+    pending.absolute_deadline =
+        pending.enqueue_time + pending.options.deadline_seconds;
+  }
   pending.queue_span = manager_->tracer().span("sched.queue");
   pending.queue_span.tag("region", pending.region.name);
-  pending.queue_span.tag("tenant", pending.tenant);
+  pending.queue_span.tag("tenant", pending.options.tenant);
+  if (pending.options.priority != 0) {
+    pending.queue_span.tag("priority",
+                           std::to_string(pending.options.priority));
+  }
+  if (pending.options.deadline_seconds > 0) {
+    pending.queue_span.tag(
+        "deadline", str_format("%g", pending.options.deadline_seconds));
+  }
+  if (!pending.options.latency_class.empty()) {
+    pending.queue_span.tag("class", pending.options.latency_class);
+  }
+  if (pending.options.nowait) pending.queue_span.tag("nowait", "true");
   pending.footprint = footprint_of(pending.region);
   pending.done = std::make_shared<sim::Future<Result<OffloadReport>>>(
       manager_->engine());
+
+  // --- SLO-aware admission (fail fast; nothing below queues a hopeless
+  // submission). ---
+  const int quota = options_.quota_for(pending.options.tenant);
+  if (quota > 0 && in_system(pending.options.tenant) >= quota) {
+    Status status = resource_exhausted(
+        str_format("tenant '%s' quota exhausted (%d in flight)",
+                   pending.options.tenant.c_str(), quota));
+    reject(pending, tools::SchedulerEventInfo::Kind::kReject, "quota", status);
+    co_return status;
+  }
+  if (pending.options.deadline_seconds > 0 && service_ewma_ > 0 &&
+      pending.options.deadline_seconds < service_ewma_) {
+    Status status = deadline_exceeded(str_format(
+        "deadline %.3fs below observed service time %.3fs — rejected at "
+        "admission",
+        pending.options.deadline_seconds, service_ewma_));
+    reject(pending, tools::SchedulerEventInfo::Kind::kReject, "deadline",
+           status);
+    co_return status;
+  }
+  if (options_.queue_limit > 0 &&
+      static_cast<int>(queue_.size()) >= options_.queue_limit &&
+      !preempt_for_priority(pending.options.priority)) {
+    Status status = resource_exhausted(
+        str_format("admission queue full (%d queued)", options_.queue_limit));
+    reject(pending, tools::SchedulerEventInfo::Kind::kReject, "queue-full",
+           status);
+    co_return status;
+  }
+
+  // Micro-batch eligibility: structural signature + device id. Computed at
+  // admission so dispatch-time grouping is a string compare.
+  if (options_.batch_regions > 1 && pending.options.allow_batching) {
+    auto sig = batch::signature(pending.region, options_.batch_bytes);
+    if (sig.has_value()) {
+      pending.batch_key =
+          str_format("d%d|", pending.options.device_id) + *sig;
+    }
+  }
+
+  if (pending.absolute_deadline > 0) {
+    arm_deadline_timer(pending.absolute_deadline);
+  }
   auto done = pending.done;
   queue_.push_back(std::move(pending));
   emit_event(tools::SchedulerEventInfo::Kind::kAdmit, queue_.back(), 0);
@@ -81,6 +200,101 @@ sim::Co<Result<OffloadReport>> OffloadScheduler::submit(TargetRegion region,
   maybe_dispatch();
   co_await done->wait();
   co_return done->peek();
+}
+
+int OffloadScheduler::in_system(std::string_view tenant) const {
+  int count = 0;
+  for (const Pending& pending : queue_) {
+    if (pending.options.tenant == tenant) ++count;
+  }
+  if (auto it = running_per_tenant_.find(std::string(tenant));
+      it != running_per_tenant_.end()) {
+    count += it->second;
+  }
+  return count;
+}
+
+void OffloadScheduler::reject(Pending& pending,
+                              tools::SchedulerEventInfo::Kind kind,
+                              std::string_view reason, Status status) {
+  pending.queue_span.tag("reject", std::string(reason));
+  pending.queue_span.end();
+  emit_event(kind, pending, manager_->engine().now() - pending.enqueue_time,
+             reason);
+  if (pending.done != nullptr && !pending.done->ready()) {
+    pending.done->set(std::move(status));
+  }
+}
+
+bool OffloadScheduler::preempt_for_priority(int priority) {
+  // Victim: strictly lower priority than the arrival, lowest first,
+  // youngest on ties — never running work, only queued.
+  size_t victim = queue_.size();
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].options.priority >= priority) continue;
+    if (victim == queue_.size() ||
+        queue_[i].options.priority < queue_[victim].options.priority ||
+        (queue_[i].options.priority == queue_[victim].options.priority &&
+         queue_[i].seq > queue_[victim].seq)) {
+      victim = i;
+    }
+  }
+  if (victim == queue_.size()) return false;
+  Pending evicted = std::move(queue_[victim]);
+  queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(victim));
+  reject(evicted, tools::SchedulerEventInfo::Kind::kPreempt, "preempt",
+         resource_exhausted(str_format(
+             "preempted while queued by a priority-%d submission", priority)));
+  notify_demand();
+  return true;
+}
+
+void OffloadScheduler::expire_deadlines() {
+  const double now = manager_->engine().now();
+  for (size_t i = 0; i < queue_.size();) {
+    Pending& pending = queue_[i];
+    if (pending.absolute_deadline > 0 && now >= pending.absolute_deadline) {
+      Pending expired = std::move(pending);
+      queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(i));
+      reject(expired, tools::SchedulerEventInfo::Kind::kReject, "deadline",
+             deadline_exceeded(str_format(
+                 "deadline expired after %.3fs in the admission queue",
+                 now - expired.enqueue_time)));
+      notify_demand();
+      continue;
+    }
+    ++i;
+  }
+}
+
+void OffloadScheduler::arm_deadline_timer(double at) {
+  if (armed_deadline_ > manager_->engine().now() && armed_deadline_ <= at) {
+    return;  // an earlier (or equal) wakeup is already scheduled
+  }
+  armed_deadline_ = at;
+  manager_->engine().schedule_at(at, [this] {
+    expire_deadlines();
+    maybe_dispatch();
+    // Re-arm for the next queued deadline, if any.
+    double next = 0;
+    for (const Pending& pending : queue_) {
+      if (pending.absolute_deadline > 0 &&
+          (next == 0 || pending.absolute_deadline < next)) {
+        next = pending.absolute_deadline;
+      }
+    }
+    armed_deadline_ = 0;
+    if (next > 0) arm_deadline_timer(next);
+  });
+}
+
+void OffloadScheduler::arm_linger_timer(double at) {
+  if (armed_linger_ > manager_->engine().now() && armed_linger_ <= at) return;
+  armed_linger_ = at;
+  manager_->engine().schedule_at(at, [this] {
+    armed_linger_ = 0;
+    maybe_dispatch();
+  });
 }
 
 OffloadScheduler::Footprint OffloadScheduler::footprint_of(
@@ -111,108 +325,321 @@ bool OffloadScheduler::conflicts(const Footprint& a, const Footprint& b) {
          intersects(a.writes, b.writes);    // WAW
 }
 
-bool OffloadScheduler::blocked_by_dependence(size_t index) const {
-  const Pending& pending = queue_[index];
+std::vector<size_t> OffloadScheduler::ready_indices() {
+  // One linear pass in submission order: an entry is ready when none of its
+  // pointers conflict with anything in flight or anything older (program
+  // order wins for conflicts). The running read/write sets make this
+  // O(queue * vars) instead of the pairwise O(queue^2) scan — at
+  // service scale (thousands queued) that difference is the ballgame.
+  std::unordered_set<const void*> written;
+  std::unordered_set<const void*> read;
   for (const auto& [seq, footprint] : active_footprints_) {
-    if (conflicts(footprint, pending.footprint)) return true;
+    written.insert(footprint.writes.begin(), footprint.writes.end());
+    read.insert(footprint.reads.begin(), footprint.reads.end());
   }
-  // Conflicting regions dispatch in submission order: an entry also waits
-  // for every older queued entry it conflicts with (queue_ is seq-ascending
-  // within a dispatch round because dispatched entries are erased).
+  std::vector<size_t> ready;
+  ready.reserve(queue_.size());
   for (size_t i = 0; i < queue_.size(); ++i) {
-    if (queue_[i].seq >= pending.seq) continue;
-    if (conflicts(queue_[i].footprint, pending.footprint)) return true;
+    Pending& pending = queue_[i];
+    bool blocked = false;
+    for (const void* p : pending.footprint.reads) {
+      if (written.contains(p)) { blocked = true; break; }  // RAW
+    }
+    if (!blocked) {
+      for (const void* p : pending.footprint.writes) {
+        if (written.contains(p) || read.contains(p)) {  // WAW / WAR
+          blocked = true;
+          break;
+        }
+      }
+    }
+    if (!blocked) {
+      ready.push_back(i);
+    } else if (!pending.dep_tagged) {
+      pending.dep_tagged = true;
+      pending.queue_span.tag("dep_wait", "true");
+      manager_->tracer().metrics().counter("scheduler.dep_blocked").add();
+    }
+    written.insert(pending.footprint.writes.begin(),
+                   pending.footprint.writes.end());
+    read.insert(pending.footprint.reads.begin(), pending.footprint.reads.end());
+  }
+  return ready;
+}
+
+void OffloadScheduler::maybe_dispatch() {
+  expire_deadlines();
+  while (!queue_.empty() &&
+         (options_.max_concurrent <= 0 || active_ < options_.max_concurrent)) {
+    std::vector<size_t> ready = ready_indices();
+    // Nothing dependence-free: wait for an in-flight offload to retire
+    // (run_one/run_batch re-enter maybe_dispatch after erasing footprints).
+    if (ready.empty()) return;
+    if (!dispatch_round(ready)) return;  // everything ready is lingering
+  }
+}
+
+bool OffloadScheduler::dispatch_round(const std::vector<size_t>& ready) {
+  const double now = manager_->engine().now();
+  std::vector<size_t> candidates = ready;
+  while (!candidates.empty()) {
+    const size_t index = pick_next(candidates);
+    const Pending& head = queue_[index];
+    if (!head.batch_key.empty()) {
+      // Collect the head's compatible peers (seq order == queue order).
+      std::vector<size_t> group;
+      for (size_t i : ready) {
+        if (queue_[i].batch_key == head.batch_key) group.push_back(i);
+        if (static_cast<int>(group.size()) >= options_.batch_regions) break;
+      }
+      if (group.size() >= 2) {
+        dispatch_batch(group);
+        return true;
+      }
+      if (options_.batch_linger_seconds > 0 &&
+          now < head.enqueue_time + options_.batch_linger_seconds &&
+          (head.absolute_deadline == 0 ||
+           head.enqueue_time + options_.batch_linger_seconds <
+               head.absolute_deadline)) {
+        // Lone eligible region: hold for peers, bounded by the linger
+        // budget (and never past its own deadline).
+        arm_linger_timer(head.enqueue_time + options_.batch_linger_seconds);
+        candidates.erase(
+            std::find(candidates.begin(), candidates.end(), index));
+        continue;
+      }
+    }
+    dispatch_single(index);
+    return true;
   }
   return false;
 }
 
-void OffloadScheduler::maybe_dispatch() {
-  while (!queue_.empty() &&
-         (options_.max_concurrent <= 0 || active_ < options_.max_concurrent)) {
-    std::vector<size_t> ready;
-    ready.reserve(queue_.size());
-    for (size_t i = 0; i < queue_.size(); ++i) {
-      if (!blocked_by_dependence(i)) {
-        ready.push_back(i);
-        continue;
-      }
-      Pending& blocked = queue_[i];
-      if (!blocked.dep_tagged) {
-        blocked.dep_tagged = true;
-        blocked.queue_span.tag("dep_wait", "true");
-        manager_->tracer().metrics().counter("scheduler.dep_blocked").add();
-      }
-    }
-    // Nothing dependence-free: wait for an in-flight offload to retire
-    // (run_one re-enters maybe_dispatch after erasing its footprint).
-    if (ready.empty()) return;
-    const size_t index = pick_next(ready);
-    Pending pending = std::move(queue_[index]);
-    queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(index));
-    pending.dispatch_time = manager_->engine().now();
-    pending.queue_span.end();
-    ++active_;
-    ++running_per_tenant_[pending.tenant];
-    active_footprints_[pending.seq] = pending.footprint;
-    emit_event(tools::SchedulerEventInfo::Kind::kDispatch, pending,
-               pending.dispatch_time - pending.enqueue_time);
-    notify_demand();
-    (void)manager_->engine().spawn(run_one(std::move(pending)));
-  }
-}
-
 size_t OffloadScheduler::pick_next(const std::vector<size_t>& ready) const {
-  if (options_.mode == SchedulerOptions::Mode::kFifo) return ready.front();
-  // FAIR: dispatch the tenant with the lowest weighted share of in-flight
-  // offloads; within a tenant, oldest submission first (queue_ holds
-  // ascending seq, so the first ready hit per tenant is its oldest).
+  // Priority first; then (FAIR) the tenant with the lowest weighted share
+  // of in-flight offloads; then earliest deadline (EDF, none = +inf); then
+  // submission order.
   size_t best = ready.front();
-  double best_share = 0;
   bool have_best = false;
+  int best_priority = 0;
+  double best_share = 0;
+  double best_deadline = 0;
+  auto deadline_of = [](const Pending& pending) {
+    return pending.absolute_deadline > 0
+               ? pending.absolute_deadline
+               : std::numeric_limits<double>::infinity();
+  };
   for (size_t i : ready) {
     const Pending& pending = queue_[i];
-    auto it = running_per_tenant_.find(pending.tenant);
-    const int running = it == running_per_tenant_.end() ? 0 : it->second;
-    const double share =
-        static_cast<double>(running) / options_.weight_for(pending.tenant);
-    if (!have_best || share < best_share) {
+    double share = 0;
+    if (options_.mode == SchedulerOptions::Mode::kFair) {
+      auto it = running_per_tenant_.find(pending.options.tenant);
+      const int running = it == running_per_tenant_.end() ? 0 : it->second;
+      share = static_cast<double>(running) /
+              options_.weight_for(pending.options.tenant);
+    }
+    const int priority = pending.options.priority;
+    const double deadline = deadline_of(pending);
+    bool wins = false;
+    if (!have_best) {
+      wins = true;
+    } else if (priority != best_priority) {
+      wins = priority > best_priority;
+    } else if (share != best_share) {
+      wins = share < best_share;
+    } else if (deadline != best_deadline) {
+      wins = deadline < best_deadline;
+    }  // else: ready is seq-ascending, first hit stays
+    if (wins) {
       have_best = true;
-      best_share = share;
       best = i;
+      best_priority = priority;
+      best_share = share;
+      best_deadline = deadline;
     }
   }
   return best;
 }
 
-sim::Co<void> OffloadScheduler::run_one(Pending pending) {
-  const std::string region_name = pending.region.name;
-  auto result =
-      co_await manager_->offload(std::move(pending.region), pending.device_id);
-  pending.region.name = region_name;  // restore for the completion event
-  active_ = std::max(0, active_ - 1);
-  active_footprints_.erase(pending.seq);
-  if (auto it = running_per_tenant_.find(pending.tenant);
+void OffloadScheduler::dispatch_single(size_t index) {
+  Pending pending = std::move(queue_[index]);
+  queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(index));
+  pending.dispatch_time = manager_->engine().now();
+  pending.queue_span.end();
+  ++active_;
+  ++running_per_tenant_[pending.options.tenant];
+  active_footprints_[pending.seq] = pending.footprint;
+  emit_event(tools::SchedulerEventInfo::Kind::kDispatch, pending,
+             pending.dispatch_time - pending.enqueue_time);
+  notify_demand();
+  (void)manager_->engine().spawn(run_one(std::move(pending)));
+}
+
+void OffloadScheduler::dispatch_batch(const std::vector<size_t>& indices) {
+  const uint64_t batch_id = ++next_batch_id_;
+  const double now = manager_->engine().now();
+  const std::string batch_name =
+      str_format("batch#%llu", static_cast<unsigned long long>(batch_id));
+  std::vector<Pending> members;
+  members.reserve(indices.size());
+  // indices are ascending (ready order); erase from the back so earlier
+  // indices stay valid.
+  for (size_t k = indices.size(); k-- > 0;) {
+    members.push_back(std::move(queue_[indices[k]]));
+    queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(indices[k]));
+  }
+  std::reverse(members.begin(), members.end());  // back to seq order
+
+  // The batch occupies ONE concurrency slot (it is one Spark job), but
+  // counts per member for tenant shares and quotas.
+  ++active_;
+  Footprint combined;
+  for (Pending& member : members) {
+    member.dispatch_time = now;
+    member.queue_span.tag("batch", batch_name);
+    member.queue_span.end();
+    ++running_per_tenant_[member.options.tenant];
+    combined.reads.insert(combined.reads.end(), member.footprint.reads.begin(),
+                          member.footprint.reads.end());
+    combined.writes.insert(combined.writes.end(),
+                           member.footprint.writes.begin(),
+                           member.footprint.writes.end());
+  }
+  active_footprints_[members.front().seq] = std::move(combined);
+  for (const Pending& member : members) {
+    emit_event(tools::SchedulerEventInfo::Kind::kDispatch, member,
+               now - member.enqueue_time, {}, batch_id,
+               static_cast<int>(members.size()));
+  }
+  manager_->tracer().metrics().counter("batch.jobs").add();
+  manager_->tracer().metrics().counter("batch.regions").add(members.size());
+  notify_demand();
+  (void)manager_->engine().spawn(run_batch(std::move(members), batch_id));
+}
+
+void OffloadScheduler::observe_service_time(double seconds) {
+  constexpr double kAlpha = 0.25;
+  service_ewma_ = service_ewma_ == 0
+                      ? seconds
+                      : (1 - kAlpha) * service_ewma_ + kAlpha * seconds;
+}
+
+void OffloadScheduler::finish_entry(Pending& pending, uint64_t batch_id,
+                                    int batch_size) {
+  if (auto it = running_per_tenant_.find(pending.options.tenant);
       it != running_per_tenant_.end() && it->second > 0) {
     --it->second;
   }
   emit_event(tools::SchedulerEventInfo::Kind::kComplete, pending,
-             pending.dispatch_time - pending.enqueue_time);
+             pending.dispatch_time - pending.enqueue_time, {}, batch_id,
+             batch_size);
+}
+
+sim::Co<void> OffloadScheduler::run_one(Pending pending) {
+  const std::string region_name = pending.region.name;
+  auto result = co_await manager_->offload(std::move(pending.region),
+                                           pending.options.device_id);
+  pending.region.name = region_name;  // restore for the completion event
+  active_ = std::max(0, active_ - 1);
+  active_footprints_.erase(pending.seq);
+  observe_service_time(manager_->engine().now() - pending.dispatch_time);
+  finish_entry(pending, 0, 1);
   notify_demand();
   pending.done->set(std::move(result));
   maybe_dispatch();
 }
 
+sim::Co<void> OffloadScheduler::run_batch(std::vector<Pending> members,
+                                          uint64_t batch_id) {
+  const uint64_t leader_seq = members.front().seq;
+  const int device_id = members.front().options.device_id;
+  const std::string batch_name =
+      str_format("batch#%llu", static_cast<unsigned long long>(batch_id));
+
+  // Root `batch` span, sibling of the merged job's `offload` root (matched
+  // by the analyzer through the region tag), carrying the membership.
+  trace::SpanHandle span = manager_->tracer().span("batch");
+  span.tag("region", batch_name);
+  span.tag("id", std::to_string(batch_id));
+  span.tag("members", std::to_string(members.size()));
+  {
+    std::string tenants;
+    std::string regions;
+    uint64_t bytes = 0;
+    for (const Pending& member : members) {
+      if (!tenants.empty()) tenants += ",";
+      tenants += member.options.tenant;
+      if (!regions.empty()) regions += ",";
+      regions += member.region.name;
+      bytes += batch::mapped_bytes(member.region);
+    }
+    span.tag("tenants", tenants);
+    span.tag("regions", regions);
+    span.tag("bytes", std::to_string(bytes));
+  }
+
+  std::vector<batch::Member> batch_members;
+  batch_members.reserve(members.size());
+  for (Pending& member : members) {
+    const std::string name = member.region.name;
+    batch_members.push_back({std::move(member.region), member.options.tenant});
+    member.region.name = name;  // keep the name for completion events
+  }
+  auto plan = batch::BatchPlan::coalesce(std::move(batch_members), batch_id);
+
+  // Not a ternary: `co_await` inside a conditional expression corrupts the
+  // coroutine frame under GCC (temporaries spanning the suspend point).
+  Result<OffloadReport> outcome{
+      Status(StatusCode::kInternal, "batch never ran")};
+  if (plan.ok()) {
+    outcome = co_await manager_->offload(plan->merged_region(), device_id);
+  } else {
+    outcome = Result<OffloadReport>(plan.status());
+  }
+  if (outcome.ok() && plan.ok()) plan->scatter();
+  span.tag("ok", outcome.ok() ? "true" : "false");
+  span.end();
+
+  active_ = std::max(0, active_ - 1);
+  active_footprints_.erase(leader_seq);
+  observe_service_time(manager_->engine().now() -
+                       members.front().dispatch_time);
+  for (Pending& member : members) {
+    finish_entry(member, batch_id, static_cast<int>(members.size()));
+  }
+  notify_demand();
+  for (Pending& member : members) {
+    if (outcome.ok() && plan.ok()) {
+      member.done->set(plan->member_report(*outcome));
+    } else {
+      member.done->set(outcome.status());
+    }
+  }
+  maybe_dispatch();
+}
+
 void OffloadScheduler::emit_event(tools::SchedulerEventInfo::Kind kind,
-                                  const Pending& pending,
-                                  double wait_seconds) {
+                                  const Pending& pending, double wait_seconds,
+                                  std::string_view reason, uint64_t batch_id,
+                                  int batch_size) {
   tools::SchedulerEventInfo info;
   info.kind = kind;
   info.region = pending.region.name;
-  info.tenant = pending.tenant;
+  info.tenant = pending.options.tenant;
   info.queue_depth = queue_.size();
   info.active = active_;
   info.wait_seconds = wait_seconds;
+  info.priority = pending.options.priority;
+  info.deadline_seconds = pending.options.deadline_seconds;
+  info.latency_class = pending.options.latency_class;
+  info.reason = reason;
+  info.batch_id = batch_id;
+  info.batch_size = batch_size;
   info.time = manager_->engine().now();
+  if (kind == tools::SchedulerEventInfo::Kind::kComplete &&
+      pending.absolute_deadline > 0) {
+    info.deadline_met = info.time <= pending.absolute_deadline;
+  }
   manager_->tracer().tools().emit_scheduler_event(info);
 }
 

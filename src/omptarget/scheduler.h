@@ -1,17 +1,41 @@
-// Multi-tenant offload admission scheduler.
+// Multi-tenant offload admission scheduler — the service layer's core.
 //
-// Concurrent target regions (`nowait` / `execute_async`) do not hit the
-// device directly: they enter an admission queue and are dispatched under a
-// FIFO or FAIR policy, mirroring Spark's job scheduler
+// Concurrent target regions (`nowait` / `execute_async` / Session::submit)
+// do not hit the device directly: they enter an admission queue and are
+// dispatched under a FIFO or FAIR policy, mirroring Spark's job scheduler
 // (`spark.scheduler.mode`) one level up — at the offload granularity. FAIR
 // mode implements weighted fair sharing across tenants (per-tenant pools):
 // the next region dispatched belongs to the tenant with the lowest
 // running-count/weight share, so a heavy tenant cannot starve a light one.
 //
+// SLO-aware admission (service layer, see DESIGN.md § Service layer):
+//   * per-tenant quotas (`scheduler.quota.<tenant>`) cap queued+running
+//     submissions per pool; over-quota submissions fail fast with
+//     kResourceExhausted;
+//   * deadline tags (`SubmitOptions::deadline_seconds`) reject at admission
+//     with kDeadlineExceeded when the budget is already below the observed
+//     service-time EWMA, and expire queued entries whose absolute deadline
+//     passes before dispatch;
+//   * dispatch order is priority-first, then FAIR share, then earliest
+//     deadline (EDF) — so deadlines order work *within* a tenant's fair
+//     share rather than letting one tenant front-run the fleet;
+//   * when the queue is full (`scheduler.queue-limit`), a higher-priority
+//     arrival preempts the lowest-priority *queued* (never running) entry,
+//     which fails with kResourceExhausted.
+//
+// Micro-batching: compatible small regions (same kernels/shapes, shared
+// broadcast inputs, mapped bytes <= `scheduler.batch-bytes`; see batch.h)
+// are coalesced — up to `scheduler.batch-regions` of them — into ONE Spark
+// job with per-tenant sub-partitions, amortizing the per-job driver+JNI
+// spin-up across tenants the way the paper's Algorithm 1 amortizes it
+// across iterations. A lone eligible region lingers up to
+// `scheduler.batch-linger` waiting for peers before dispatching solo.
+//
 // Every queue transition emits an `on_scheduler_event` tool callback and
-// the queued interval is recorded as a `sched.queue` span, so queue wait is
-// first-class in traces and the derived metrics
-// (scheduler.admitted/dispatched/completed, scheduler.queue_wait_seconds).
+// the queued interval is recorded as a `sched.queue` span, so queue wait,
+// rejects (`reject` tag), and batch membership (`batch` tag) are
+// first-class in traces and the derived metrics (scheduler.*, slo.*,
+// batch.*).
 //
 // Dispatch is dependence-aware: each region's mapped variables form a
 // read/write footprint (map(to:) reads, map(from:) writes, tofrom both,
@@ -34,6 +58,7 @@
 #include "omptarget/device.h"
 #include "sim/engine.h"
 #include "support/config.h"
+#include "support/log.h"
 #include "support/status.h"
 #include "trace/tracer.h"
 
@@ -43,18 +68,40 @@ struct SchedulerOptions {
   enum class Mode { kFifo, kFair };
   Mode mode = Mode::kFifo;
   /// Offloads allowed in flight at once; 0 = unbounded (admission queue
-  /// never holds anything back).
+  /// never holds anything back). A coalesced batch counts as one.
   int max_concurrent = 0;
   /// Weight for tenants without an explicit `scheduler.weight.<tenant>`.
   double default_weight = 1.0;
   std::vector<std::pair<std::string, double>> tenant_weights;
+  /// Queued entries allowed at once; 0 = unbounded. At the limit, a
+  /// higher-priority arrival preempts the lowest-priority queued entry;
+  /// otherwise the arrival is rejected (kResourceExhausted).
+  int queue_limit = 0;
+  /// Per-tenant cap on submissions in the system (queued + running);
+  /// 0 = unlimited. `scheduler.quota.<tenant>` overrides per pool.
+  int default_quota = 0;
+  std::vector<std::pair<std::string, int>> tenant_quotas;
+  /// Micro-batch coalescing: members per shared job (<= 1 disables).
+  int batch_regions = 0;
+  /// Mapped-bytes eligibility cap per member region (larger regions always
+  /// dispatch solo; batching exists to amortize per-job overhead for
+  /// *small* regions).
+  uint64_t batch_bytes = 256 * 1024;
+  /// How long a lone batch-eligible region waits for compatible peers
+  /// before giving up and dispatching solo (0 = never wait).
+  double batch_linger_seconds = 0;
 
   [[nodiscard]] double weight_for(std::string_view tenant) const;
+  [[nodiscard]] int quota_for(std::string_view tenant) const;
 
   /// Reads the `[scheduler]` section: scheduler.mode (fifo|fair, the
   /// spark.scheduler.mode spellings FIFO|FAIR also accepted),
-  /// scheduler.max-concurrent, scheduler.default-weight, and one
-  /// scheduler.weight.<tenant> entry per tenant pool.
+  /// scheduler.max-concurrent, scheduler.weight-default (deprecated alias
+  /// scheduler.default-weight still accepted, with a WARN), one
+  /// scheduler.weight.<tenant> per pool, scheduler.queue-limit,
+  /// scheduler.quota-default + scheduler.quota.<tenant>,
+  /// scheduler.batch-regions, scheduler.batch-bytes (byte size), and
+  /// scheduler.batch-linger (duration).
   static Result<SchedulerOptions> from_config(const Config& config);
 };
 
@@ -68,10 +115,31 @@ class OffloadScheduler {
   [[nodiscard]] int active() const { return active_; }
   [[nodiscard]] size_t queue_depth() const { return queue_.size(); }
 
-  /// Admits the region, waits for dispatch under the configured policy,
-  /// runs it through DeviceManager::offload, and returns its report.
+  /// Admits the region under SLO-aware admission control, waits for
+  /// dispatch under the configured policy (possibly coalesced into a
+  /// micro-batch), runs it through DeviceManager::offload, and returns its
+  /// report.
+  ///
+  /// Error codes (the service contract, also surfaced by Session::submit):
+  ///   * kResourceExhausted — tenant quota exhausted, admission queue full,
+  ///     or preempted while queued by a higher-priority submission;
+  ///   * kDeadlineExceeded — the deadline cannot be met (below the observed
+  ///     service-time estimate at admission, or expired while queued);
+  ///   * anything else — the offload itself failed (device + fallback).
+  [[nodiscard]] sim::Co<Result<OffloadReport>> submit(TargetRegion region,
+                                                      SubmitOptions options);
+
+  /// Deprecated positional-argument spelling. Forwards to the
+  /// SubmitOptions overload and logs a deprecation WARN once per scheduler.
+  [[deprecated("use submit(region, SubmitOptions)")]]
   [[nodiscard]] sim::Co<Result<OffloadReport>> submit(
-      TargetRegion region, int device_id, std::string tenant = "default");
+      TargetRegion region, int device_id, std::string tenant = "default") {
+    warn_deprecated_submit();
+    SubmitOptions options;
+    options.device_id = device_id;
+    options.tenant = tenant.empty() ? "default" : std::move(tenant);
+    return submit(std::move(region), std::move(options));
+  }
 
   /// Observer for demand changes (queued, active counts after each
   /// transition). The elastic path wires this to
@@ -80,6 +148,11 @@ class OffloadScheduler {
   void set_demand_listener(std::function<void(int queued, int active)> fn) {
     demand_listener_ = std::move(fn);
   }
+
+  /// Exponentially weighted average of observed dispatch->complete times,
+  /// the admission-time feasibility estimate for deadlines (0 until the
+  /// first completion).
+  [[nodiscard]] double service_time_estimate() const { return service_ewma_; }
 
  private:
   /// Host buffers a region reads and writes, derived from its map clauses.
@@ -91,36 +164,75 @@ class OffloadScheduler {
   struct Pending {
     uint64_t seq = 0;
     TargetRegion region;
-    int device_id = -1;
-    std::string tenant;
+    SubmitOptions options;
     double enqueue_time = 0;
     double dispatch_time = 0;
+    double absolute_deadline = 0;  ///< enqueue + deadline_seconds; 0 = none
     trace::SpanHandle queue_span;
     Footprint footprint;
     bool dep_tagged = false;  ///< span already tagged dep_wait once
+    /// Device id + structural signature when batch-eligible; empty
+    /// otherwise. Equal keys may coalesce into one job.
+    std::string batch_key;
     std::shared_ptr<sim::Future<Result<OffloadReport>>> done;
   };
 
   [[nodiscard]] static Footprint footprint_of(const TargetRegion& region);
   [[nodiscard]] static bool conflicts(const Footprint& a, const Footprint& b);
-  /// True when queue_[index] has a data conflict with an in-flight offload
-  /// or with an older queued entry (program order wins for conflicts).
-  [[nodiscard]] bool blocked_by_dependence(size_t index) const;
+
+  // --- admission ---
+  /// Submissions a tenant has in the system (queued + running).
+  [[nodiscard]] int in_system(std::string_view tenant) const;
+  /// Fails `pending` with `status`, tagging its span `reject=<reason>` and
+  /// emitting the matching scheduler event.
+  void reject(Pending& pending, tools::SchedulerEventInfo::Kind kind,
+              std::string_view reason, Status status);
+  /// Queue-full path: evicts the lowest-priority queued entry strictly
+  /// below `priority` (youngest on ties). Returns false when no entry
+  /// qualifies (the arrival is rejected instead).
+  bool preempt_for_priority(int priority);
+  /// Rejects queued entries whose absolute deadline has passed.
+  void expire_deadlines();
+  void arm_deadline_timer(double at);
+  void arm_linger_timer(double at);
+
+  // --- dispatch ---
+  /// Queue indices with no RAW/WAR/WAW conflict against in-flight offloads
+  /// or older queued entries (one linear pass; tags newly blocked spans).
+  [[nodiscard]] std::vector<size_t> ready_indices();
   void maybe_dispatch();
+  /// True when something was dispatched (queue indices are invalidated).
+  bool dispatch_round(const std::vector<size_t>& ready);
   [[nodiscard]] size_t pick_next(const std::vector<size_t>& ready) const;
+  void dispatch_single(size_t index);
+  void dispatch_batch(const std::vector<size_t>& indices);
   [[nodiscard]] sim::Co<void> run_one(Pending pending);
+  [[nodiscard]] sim::Co<void> run_batch(std::vector<Pending> members,
+                                        uint64_t batch_id);
+  /// Completion bookkeeping shared by solo and batch paths.
+  void finish_entry(Pending& pending, uint64_t batch_id, int batch_size);
+  void observe_service_time(double seconds);
+
   void emit_event(tools::SchedulerEventInfo::Kind kind, const Pending& pending,
-                  double wait_seconds);
+                  double wait_seconds, std::string_view reason = {},
+                  uint64_t batch_id = 0, int batch_size = 1);
   void notify_demand();
+  void warn_deprecated_submit();
 
   DeviceManager* manager_;
   SchedulerOptions options_;
-  std::vector<Pending> queue_;
+  std::vector<Pending> queue_;  ///< ascending seq
   std::map<uint64_t, Footprint> active_footprints_;
   std::map<std::string, int> running_per_tenant_;
   int active_ = 0;
   uint64_t next_seq_ = 0;
+  uint64_t next_batch_id_ = 0;
+  double service_ewma_ = 0;
+  double armed_deadline_ = 0;  ///< earliest scheduled expiry wakeup (0 none)
+  double armed_linger_ = 0;    ///< earliest scheduled linger wakeup (0 none)
+  bool warned_deprecated_ = false;
   std::function<void(int, int)> demand_listener_;
+  Logger log_{"scheduler"};
 };
 
 }  // namespace ompcloud::omptarget

@@ -1,0 +1,91 @@
+#include "omptarget/service.h"
+
+namespace ompcloud {
+
+Result<ServiceOptions> ServiceOptions::from_config(const Config& config) {
+  ServiceOptions options;
+  options.default_device = static_cast<int>(
+      config.get_int("service.default-device", options.default_device));
+  if (options.default_device < 0) {
+    return invalid_argument("service.default-device must be >= 0");
+  }
+  options.default_tenant =
+      config.get_string("service.default-tenant", options.default_tenant);
+  if (options.default_tenant.empty()) options.default_tenant = "default";
+  options.default_priority = static_cast<int>(
+      config.get_int("service.default-priority", options.default_priority));
+  options.default_deadline_seconds = config.get_duration(
+      "service.default-deadline", options.default_deadline_seconds);
+  if (options.default_deadline_seconds < 0) {
+    return invalid_argument("service.default-deadline must be >= 0");
+  }
+  options.default_latency_class =
+      config.get_string("service.default-class", options.default_latency_class);
+  OC_ASSIGN_OR_RETURN(options.scheduler,
+                      omptarget::SchedulerOptions::from_config(config));
+  return options;
+}
+
+Service::Service(omptarget::DeviceManager& devices, ServiceOptions options)
+    : devices_(&devices), options_(std::move(options)) {
+  scheduler_ = &devices_->configure_scheduler(options_.scheduler);
+}
+
+Session Service::session(std::string tenant) {
+  if (tenant.empty()) tenant = options_.default_tenant;
+  return Session(this, std::move(tenant));
+}
+
+omptarget::SubmitOptions Session::resolve(
+    omptarget::SubmitOptions options) const {
+  const ServiceOptions& defaults = service_->options();
+  options.tenant = tenant_;
+  if (options.device_id < 0) options.device_id = defaults.default_device;
+  if (options.priority == 0) options.priority = defaults.default_priority;
+  if (options.deadline_seconds == 0) {
+    options.deadline_seconds = defaults.default_deadline_seconds;
+  }
+  if (options.latency_class.empty()) {
+    options.latency_class = defaults.default_latency_class;
+  }
+  return options;
+}
+
+sim::Co<Result<omptarget::OffloadReport>> Session::submit(
+    omptarget::TargetRegion region) {
+  omptarget::SubmitOptions options;
+  options.device_id = -1;  // resolve() -> service.default-device
+  co_return co_await submit(std::move(region), std::move(options));
+}
+
+sim::Co<Result<omptarget::OffloadReport>> Session::submit(
+    omptarget::TargetRegion region, omptarget::SubmitOptions options) {
+  co_return co_await service_->devices().offload_queued(
+      std::move(region), resolve(std::move(options)));
+}
+
+Result<omptarget::OffloadReport> Session::Async::result() const {
+  if (!result_->has_value()) {
+    return failed_precondition(
+        "submission still in flight: await completion() before result()");
+  }
+  return **result_;
+}
+
+Session::Async Session::submit_nowait(omptarget::TargetRegion region,
+                                      omptarget::SubmitOptions options) {
+  options.nowait = true;
+  Async handle;
+  handle.completion_ = service_->devices().engine().spawn(
+      [](omptarget::DeviceManager* devices, omptarget::TargetRegion region,
+         omptarget::SubmitOptions resolved,
+         std::shared_ptr<std::optional<Result<omptarget::OffloadReport>>> out)
+          -> sim::Co<void> {
+        *out = co_await devices->offload_queued(std::move(region),
+                                                std::move(resolved));
+      }(&service_->devices(), std::move(region), resolve(std::move(options)),
+        handle.result_));
+  return handle;
+}
+
+}  // namespace ompcloud

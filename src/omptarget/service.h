@@ -1,0 +1,136 @@
+// Offload-as-a-service client API: the front door for programs (and
+// simulated tenants) that treat the cloud device as a shared service rather
+// than a private accelerator.
+//
+//   ompcloud::Service service(devices, options);   // installs the scheduler
+//   ompcloud::Session session = service.session("tenant-a");
+//   auto result = co_await session.submit(region);            // blocking
+//   auto async = session.submit_nowait(region2);              // nowait
+//   ...
+//   co_await async.completion();
+//
+// A `Session` is one tenant's handle: every submission through it is
+// attributed to the session's tenant pool (quota, FAIR weight) and filled
+// with the service-level defaults (`[service]` config section) for device,
+// priority, deadline, and latency class — callers override per submission
+// via `SubmitOptions`.
+//
+// `Session::submit` returns `Result<OffloadReport>` with the service error
+// contract (see OffloadScheduler::submit):
+//   * kResourceExhausted — the tenant's quota is exhausted, the admission
+//     queue is full, or the submission was preempted while queued;
+//   * kDeadlineExceeded — the requested deadline cannot be met (below the
+//     observed service-time estimate at admission) or expired while queued;
+//   * anything else — the offload itself failed on the device and the host
+//     fallback.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "omptarget/device.h"
+#include "omptarget/scheduler.h"
+#include "support/config.h"
+#include "support/status.h"
+
+namespace ompcloud {
+
+/// The `[service]` section plus the embedded `[scheduler]` options.
+struct ServiceOptions {
+  /// Device submissions target when the caller leaves
+  /// `SubmitOptions::device_id` at -1 (and the default used by the
+  /// no-options `Session::submit(region)` overload).
+  int default_device = 0;
+  /// Tenant for sessions opened without a name.
+  std::string default_tenant = "default";
+  int default_priority = 0;
+  /// Default SLO budget in seconds (0 = none).
+  double default_deadline_seconds = 0;
+  std::string default_latency_class;
+  omptarget::SchedulerOptions scheduler;
+
+  /// Reads `service.default-device`, `service.default-tenant`,
+  /// `service.default-priority`, `service.default-deadline` (duration), and
+  /// `service.default-class`, then `SchedulerOptions::from_config` for the
+  /// `[scheduler]` section.
+  static Result<ServiceOptions> from_config(const Config& config);
+};
+
+class Session;
+
+/// Owns the service-level defaults and installs the admission scheduler on
+/// the device manager. One Service per simulation; many Sessions per
+/// Service.
+class Service {
+ public:
+  /// Installs (replacing) the admission scheduler configured by
+  /// `options.scheduler` on `devices`.
+  Service(omptarget::DeviceManager& devices, ServiceOptions options = {});
+
+  /// Opens a session for `tenant` (empty = the service default tenant).
+  [[nodiscard]] Session session(std::string tenant = {});
+
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+  [[nodiscard]] omptarget::DeviceManager& devices() { return *devices_; }
+  [[nodiscard]] omptarget::OffloadScheduler& scheduler() {
+    return *scheduler_;
+  }
+
+ private:
+  omptarget::DeviceManager* devices_;
+  ServiceOptions options_;
+  omptarget::OffloadScheduler* scheduler_;  ///< owned by the device manager
+};
+
+/// One tenant's submission handle. Copyable; all copies share the tenant
+/// attribution. Sessions borrow the Service, which must outlive them.
+class Session {
+ public:
+  [[nodiscard]] const std::string& tenant() const { return tenant_; }
+
+  /// Submits with the service defaults (device, priority, deadline, class).
+  [[nodiscard]] sim::Co<Result<omptarget::OffloadReport>> submit(
+      omptarget::TargetRegion region);
+
+  /// Submits with explicit options. The session's tenant always wins;
+  /// `device_id == -1`, `priority == 0`, `deadline_seconds == 0`, and an
+  /// empty `latency_class` fall back to the service defaults.
+  [[nodiscard]] sim::Co<Result<omptarget::OffloadReport>> submit(
+      omptarget::TargetRegion region, omptarget::SubmitOptions options);
+
+  /// `nowait` handle: `completion()` is awaitable, `result()` is safe to
+  /// call at any time (kFailedPrecondition before completion).
+  class Async {
+   public:
+    [[nodiscard]] bool done() const { return result_->has_value(); }
+    [[nodiscard]] sim::Completion completion() const { return completion_; }
+    [[nodiscard]] Result<omptarget::OffloadReport> result() const;
+
+   private:
+    friend class Session;
+    sim::Completion completion_;
+    std::shared_ptr<std::optional<Result<omptarget::OffloadReport>>> result_ =
+        std::make_shared<std::optional<Result<omptarget::OffloadReport>>>();
+  };
+
+  /// `#pragma omp target nowait` as a service call: starts the submission
+  /// and returns immediately. The region is moved into the in-flight task,
+  /// so the caller's host buffers (not the region object) must stay alive.
+  [[nodiscard]] Async submit_nowait(omptarget::TargetRegion region,
+                                    omptarget::SubmitOptions options = {});
+
+ private:
+  friend class Service;
+  Session(Service* service, std::string tenant)
+      : service_(service), tenant_(std::move(tenant)) {}
+
+  /// Stamps the session tenant and fills unset fields from the defaults.
+  [[nodiscard]] omptarget::SubmitOptions resolve(
+      omptarget::SubmitOptions options) const;
+
+  Service* service_;
+  std::string tenant_;
+};
+
+}  // namespace ompcloud

@@ -64,6 +64,9 @@ struct LoopRun {
   int stage_index = 0;  ///< loop index within the job
 
   std::vector<std::pair<int64_t, int64_t>> tiles;
+  /// Index into spec->sub_partitions of the member each tile computes
+  /// (empty for ordinary jobs without sub-partitions).
+  std::vector<int> tile_subpart;
   std::vector<int> alive_workers;
   std::vector<int> tile_worker;             ///< initial placement
   std::vector<uint64_t> tile_input_encoded; ///< compressed partition bytes
@@ -121,6 +124,14 @@ sim::Co<void> run_task(LoopRun* run, int tile_index) {
   tools::KernelInfo kernel_info;
   kernel_info.job = run->spec->name;
   kernel_info.kernel = loop.kernel;
+  if (!run->tile_subpart.empty()) {
+    const SubPartition& part =
+        run->spec->sub_partitions[static_cast<size_t>(
+            run->tile_subpart[tile_index])];
+    kernel_info.tenant = part.tenant;
+    span.tag("tenant", part.tenant);
+    span.tag("member", part.label);
+  }
   kernel_info.stage = run->stage_index;
   kernel_info.task = tile_index;
   kernel_info.worker = run->tile_worker[tile_index];
@@ -604,7 +615,24 @@ sim::Co<Status> SparkContext::run_loop(const JobSpec& spec,
                             : (conf_.default_parallelism > 0
                                    ? conf_.default_parallelism
                                    : slots);
-  run.tiles = tile_iterations(loop.iterations, tile_target);
+  if (spec.sub_partitions.empty()) {
+    run.tiles = tile_iterations(loop.iterations, tile_target);
+  } else {
+    // Coalesced batch job: tile each member sub-range independently so no
+    // tile straddles a tenant boundary — every map task computes exactly
+    // one member's iterations (per-tenant attribution, and member results
+    // stay byte-identical to a solo run of that member).
+    for (const SubPartition& part : spec.sub_partitions) {
+      const int64_t member_iters = part.end - part.begin;
+      const int64_t member_target = std::max<int64_t>(
+          1, tile_target * member_iters / loop.iterations);
+      for (auto [b, e] : tile_iterations(member_iters, member_target)) {
+        run.tiles.emplace_back(b + part.begin, e + part.begin);
+        run.tile_subpart.push_back(static_cast<int>(
+            &part - spec.sub_partitions.data()));
+      }
+    }
+  }
   metrics.tasks += static_cast<int>(run.tiles.size());
   run.task_status.assign(run.tiles.size(), Status::ok());
 

@@ -109,6 +109,27 @@ std::vector<std::pair<int64_t, int64_t>> tile_iterations(
 Status JobSpec::validate() const {
   if (bucket.empty()) return invalid_argument("job: bucket not set");
   if (loops.empty()) return invalid_argument("job: no loops");
+  if (!sub_partitions.empty()) {
+    int64_t expect = 0;
+    for (const SubPartition& part : sub_partitions) {
+      if (part.begin != expect || part.end <= part.begin) {
+        return invalid_argument(str_format(
+            "job: sub-partition '%s' [%lld, %lld) breaks the exact cover",
+            part.label.c_str(), static_cast<long long>(part.begin),
+            static_cast<long long>(part.end)));
+      }
+      expect = part.end;
+    }
+    for (const LoopSpec& loop : loops) {
+      if (loop.iterations != expect) {
+        return invalid_argument(str_format(
+            "job: sub-partitions cover [0, %lld) but a loop has %lld "
+            "iterations",
+            static_cast<long long>(expect),
+            static_cast<long long>(loop.iterations)));
+      }
+    }
+  }
   for (const auto& var : vars) {
     if (var.size_bytes == 0) {
       return invalid_argument("job: variable '" + var.name + "' has zero size");

@@ -111,6 +111,16 @@ struct LoopSpec {
   int64_t explicit_tiles = 0;
 };
 
+/// One member's iteration sub-range inside a coalesced (micro-batched) job.
+/// Tiling respects these boundaries — no tile straddles two members — and
+/// map tasks are attributed to the owning tenant in kernel callbacks.
+struct SubPartition {
+  std::string label;   ///< member region name (diagnostics)
+  std::string tenant;  ///< owning tenant pool
+  int64_t begin = 0;   ///< first iteration (inclusive)
+  int64_t end = 0;     ///< one past the last iteration
+};
+
 /// A complete Spark job: environment + loop pipeline + storage locations.
 struct JobSpec {
   std::string name = "ompcloud-job";
@@ -126,6 +136,10 @@ struct JobSpec {
   bool storage_seal = false;
   std::vector<VarSpec> vars;
   std::vector<LoopSpec> loops;
+  /// Per-tenant sub-ranges of a coalesced batch job. Empty for ordinary
+  /// jobs. When set, the partitions must cover [0, iterations) of every
+  /// loop exactly, in order, without gaps.
+  std::vector<SubPartition> sub_partitions;
 
   [[nodiscard]] Status validate() const;
 };

@@ -37,6 +37,8 @@ std::string_view to_string(SchedulerEventInfo::Kind kind) {
     case SchedulerEventInfo::Kind::kAdmit: return "admit";
     case SchedulerEventInfo::Kind::kDispatch: return "dispatch";
     case SchedulerEventInfo::Kind::kComplete: return "complete";
+    case SchedulerEventInfo::Kind::kReject: return "reject";
+    case SchedulerEventInfo::Kind::kPreempt: return "preempt";
   }
   return "?";
 }

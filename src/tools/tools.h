@@ -91,6 +91,9 @@ struct DataOpInfo {
 struct KernelInfo {
   std::string_view job;     ///< region/job name
   std::string_view kernel;  ///< kernel symbol the task executes
+  /// Tenant whose sub-partition this task computes (empty for ordinary
+  /// single-tenant jobs; set for coalesced batch jobs).
+  std::string_view tenant;
   int stage = 0;            ///< loop index within the job
   int task = 0;             ///< partition/tile index within the stage
   int worker = -1;  ///< submit: initial placement; complete: where it ran
@@ -133,15 +136,31 @@ struct AutoscaleInfo {
 
 std::string_view to_string(AutoscaleInfo::Kind kind);
 
-/// One admission-queue transition of the offload scheduler.
+/// One admission-queue transition of the offload scheduler. `kReject`
+/// fires when SLO-aware admission turns a submission away (quota,
+/// hopeless/expired deadline, or a full queue); `kPreempt` fires when a
+/// higher-priority arrival evicts a lower-priority *queued* entry.
 struct SchedulerEventInfo {
-  enum class Kind { kAdmit, kDispatch, kComplete };
+  enum class Kind { kAdmit, kDispatch, kComplete, kReject, kPreempt };
   Kind kind = Kind::kAdmit;
   std::string_view region;
   std::string_view tenant;
   uint64_t queue_depth = 0;  ///< queued submissions after this event
   int active = 0;            ///< in-flight offloads after this event
   double wait_seconds = 0;   ///< dispatch/complete: time spent queued
+  int priority = 0;          ///< submission priority (higher = sooner)
+  double deadline_seconds = 0;  ///< relative SLO budget (0 = none)
+  std::string_view latency_class;  ///< SLO bucket tag, may be empty
+  /// kReject/kPreempt: why the entry left the queue ("quota", "deadline",
+  /// "queue-full", "preempt").
+  std::string_view reason;
+  /// Micro-batch attribution: id of the coalesced job this submission was
+  /// dispatched/completed in (0 = not batched) and its member count
+  /// (1 = dispatched solo).
+  uint64_t batch_id = 0;
+  int batch_size = 1;
+  /// kComplete with a deadline: whether completion beat the deadline.
+  bool deadline_met = true;
   double time = 0;
 };
 

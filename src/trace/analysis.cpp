@@ -159,6 +159,33 @@ OffloadAnalysis TraceAnalyzer::analyze(const Span& root) const {
   analysis.start = root_start;
   analysis.total_seconds = root_end - root_start;
 
+  // --- Batch membership. The scheduler plants a sibling `batch` span for
+  // every coalesced dispatch (omptarget/scheduler.cpp dispatch_batch); it
+  // is matched to the merged job's offload root through the region tag
+  // ("batch#<id>"), so ordinary offloads never pick one up.
+  if (!analysis.region.empty()) {
+    for (const Span* span : query_.named("batch")) {
+      const std::string* tagged = span->tag("region");
+      if (tagged == nullptr || *tagged != analysis.region) continue;
+      analysis.batch.batched = true;
+      if (const std::string* members = span->tag("members")) {
+        analysis.batch.members =
+            static_cast<uint64_t>(std::atoll(members->c_str()));
+      }
+      if (const std::string* tenants = span->tag("tenants")) {
+        analysis.batch.tenants = *tenants;
+      }
+      if (const std::string* regions = span->tag("regions")) {
+        analysis.batch.regions = *regions;
+      }
+      if (const std::string* bytes = span->tag("bytes")) {
+        analysis.batch.mapped_bytes =
+            quantize_value(std::strtod(bytes->c_str(), nullptr));
+      }
+      break;
+    }
+  }
+
   std::vector<const Span*> subtree = query_.subtree(root.id);
 
   // --- Fault/recovery accounting over the whole offload subtree. `fault`
@@ -406,6 +433,13 @@ std::string OffloadAnalysis::to_json(int indent) const {
       static_cast<unsigned long long>(faults.retries),
       static_cast<unsigned long long>(faults.breaker_transitions),
       faults.recovery_seconds);
+  if (batch.batched) {
+    json += str_format(
+        "%s  \"batch\": {\"members\": %llu, \"tenants\": \"%s\", "
+        "\"regions\": \"%s\", \"mapped_bytes\": %.9g},\n",
+        pad.c_str(), static_cast<unsigned long long>(batch.members),
+        batch.tenants.c_str(), batch.regions.c_str(), batch.mapped_bytes);
+  }
   json += str_format(
       "%s  \"cost\": {\"on_the_fly\": %s, \"instances\": %.9g, "
       "\"price_per_hour\": %.9g, \"billed_seconds\": %.9g, "
@@ -467,6 +501,12 @@ std::string OffloadAnalysis::to_text() const {
         static_cast<unsigned long long>(faults.retries),
         static_cast<unsigned long long>(faults.breaker_transitions),
         faults.recovery_seconds);
+  }
+  if (batch.batched) {
+    out += str_format(
+        "  batch: %llu members (%s) — %.0f mapped bytes\n",
+        static_cast<unsigned long long>(batch.members), batch.tenants.c_str(),
+        batch.mapped_bytes);
   }
   out += str_format(
       "  cost: $%.6f  (%.9g instances x $%.9g/h x %.6f s%s)\n", cost.cost_usd,
@@ -632,6 +672,120 @@ std::string ClusterScalingAnalysis::to_text() const {
       "(%.6f vs %.6f static)\n",
       scaling_savings * 100.0, provisioned_worker_seconds,
       static_worker_seconds);
+  return out;
+}
+
+ServiceStats TraceAnalyzer::analyze_service() const {
+  ServiceStats stats;
+  std::vector<double> waits;
+  std::vector<std::string> tenant_names;
+  for (const Span* span : query_.named("sched.queue")) {
+    if (!span->closed()) continue;
+    stats.found = true;
+    stats.submitted += 1;
+    if (const std::string* tenant = span->tag("tenant")) {
+      tenant_names.push_back(*tenant);
+    }
+    if (span->tag("deadline") != nullptr) stats.with_deadline += 1;
+    if (span->tag("dep_wait") != nullptr) stats.dep_blocked += 1;
+    if (const std::string* reject = span->tag("reject")) {
+      // Preemption is its own bucket: the submission was admitted and then
+      // evicted, which callers experience differently from a refusal.
+      if (*reject == "preempt") {
+        stats.preempted += 1;
+      } else {
+        stats.rejected += 1;
+        if (*reject == "quota") stats.rejected_quota += 1;
+        if (*reject == "deadline") stats.rejected_deadline += 1;
+        if (*reject == "queue-full") stats.rejected_queue_full += 1;
+      }
+      continue;
+    }
+    stats.dispatched += 1;
+    if (span->tag("batch") != nullptr) stats.batched += 1;
+    auto [qs, qe] = quantized_interval(*span);
+    waits.push_back(qe - qs);
+  }
+  for (const Span* span : query_.named("batch")) {
+    if (span->closed()) stats.batch_jobs += 1;
+  }
+  std::sort(tenant_names.begin(), tenant_names.end());
+  tenant_names.erase(std::unique(tenant_names.begin(), tenant_names.end()),
+                     tenant_names.end());
+  stats.tenants = tenant_names.size();
+  if (!waits.empty()) {
+    // Same construction as the skew quantiles: bounds are the observed
+    // values themselves, so the interpolation is near-exact and identical
+    // across export round trips.
+    std::vector<double> bounds = waits;
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    Histogram histogram(bounds);
+    for (double wait : waits) histogram.record(wait);
+    stats.wait_p50 = histogram.quantile(0.5);
+    stats.wait_p95 = histogram.quantile(0.95);
+    stats.wait_max = histogram.max();
+  }
+  return stats;
+}
+
+std::string ServiceStats::to_json(int indent) const {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  auto ull = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::string json = "{\n";
+  json += str_format("%s  \"found\": %s,\n", pad.c_str(),
+                     found ? "true" : "false");
+  json += str_format("%s  \"submitted\": %llu,\n", pad.c_str(),
+                     ull(submitted));
+  json += str_format("%s  \"dispatched\": %llu,\n", pad.c_str(),
+                     ull(dispatched));
+  json += str_format(
+      "%s  \"rejected\": {\"total\": %llu, \"quota\": %llu, "
+      "\"deadline\": %llu, \"queue_full\": %llu},\n",
+      pad.c_str(), ull(rejected), ull(rejected_quota), ull(rejected_deadline),
+      ull(rejected_queue_full));
+  json += str_format("%s  \"preempted\": %llu,\n", pad.c_str(),
+                     ull(preempted));
+  json += str_format(
+      "%s  \"batching\": {\"batched_regions\": %llu, \"batch_jobs\": %llu},\n",
+      pad.c_str(), ull(batched), ull(batch_jobs));
+  json += str_format("%s  \"dep_blocked\": %llu,\n", pad.c_str(),
+                     ull(dep_blocked));
+  json += str_format("%s  \"with_deadline\": %llu,\n", pad.c_str(),
+                     ull(with_deadline));
+  json += str_format("%s  \"tenants\": %llu,\n", pad.c_str(), ull(tenants));
+  json += str_format(
+      "%s  \"wait\": {\"p50\": %.9g, \"p95\": %.9g, \"max\": %.9g}\n",
+      pad.c_str(), wait_p50, wait_p95, wait_max);
+  json += str_format("%s}", pad.c_str());
+  return json;
+}
+
+std::string ServiceStats::to_text() const {
+  if (!found) return "service: no admission spans in trace\n";
+  std::string out = str_format(
+      "service — %llu submissions, %llu tenants\n",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(tenants));
+  out += str_format(
+      "  dispatched: %llu  (%llu batched into %llu merged jobs, "
+      "%llu dep-blocked)\n",
+      static_cast<unsigned long long>(dispatched),
+      static_cast<unsigned long long>(batched),
+      static_cast<unsigned long long>(batch_jobs),
+      static_cast<unsigned long long>(dep_blocked));
+  out += str_format("  wait: p50 %.6f s  p95 %.6f s  max %.6f s\n", wait_p50,
+                    wait_p95, wait_max);
+  out += str_format(
+      "  rejected: %llu (quota %llu, deadline %llu, queue-full %llu)  "
+      "preempted: %llu\n",
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(rejected_quota),
+      static_cast<unsigned long long>(rejected_deadline),
+      static_cast<unsigned long long>(rejected_queue_full),
+      static_cast<unsigned long long>(preempted));
+  out += str_format("  slo: %llu submissions carried deadlines\n",
+                    static_cast<unsigned long long>(with_deadline));
   return out;
 }
 

@@ -124,6 +124,20 @@ struct CostStats {
   double cost_usd = 0;
 };
 
+/// Micro-batch membership for a coalesced offload. Filled when the root's
+/// `region` tag matches a `batch` span the scheduler planted as a sibling
+/// (omptarget/batch.h): the offload ran one merged Spark job on behalf of
+/// several queued regions, and this records whose work it carried. Ordinary
+/// offloads leave `batched` false, and both `octrace summary` text and JSON
+/// omit the section — old traces render byte-identically.
+struct BatchStats {
+  bool batched = false;
+  uint64_t members = 0;     ///< regions coalesced into the merged job
+  std::string tenants;      ///< comma list, member order
+  std::string regions;      ///< comma list of member region names
+  double mapped_bytes = 0;  ///< summed member data environments
+};
+
 /// Everything the analyzer derives from one `offload` root span.
 struct OffloadAnalysis {
   std::string region;
@@ -137,6 +151,7 @@ struct OffloadAnalysis {
   TransferStats transfer;
   ResidencyStats residency;
   FaultStats faults;
+  BatchStats batch;
   CostStats cost;
 
   /// Stable JSON object (nested lines prefixed with `indent` spaces).
@@ -177,6 +192,40 @@ struct ClusterScalingAnalysis {
   [[nodiscard]] std::string to_text() const;
 };
 
+/// Service-layer verdict over the whole trace: what the SLO-aware admission
+/// queue did with every submission. Derived entirely from the scheduler's
+/// `sched.queue` spans (one per submit; duration = admission-queue wait;
+/// `reject` tag on refusals, `batch` tag on coalesced dispatches) plus the
+/// `batch` root spans, so it survives export → import byte-identically.
+/// Traces recorded before the service layer hold no `sched.queue` spans and
+/// leave `found` false.
+struct ServiceStats {
+  bool found = false;           ///< any scheduler admission spans in trace
+  uint64_t submitted = 0;       ///< sched.queue spans (one per submit)
+  uint64_t dispatched = 0;      ///< admitted and handed to a device
+  uint64_t rejected = 0;        ///< refused at admission (incl. expiries)
+  uint64_t rejected_quota = 0;  ///< per-tenant quota exhausted
+  uint64_t rejected_deadline = 0;  ///< infeasible or expired deadline
+  uint64_t rejected_queue_full = 0;  ///< queue-limit with no preemptable entry
+  uint64_t preempted = 0;       ///< evicted while queued by higher priority
+  uint64_t batched = 0;         ///< dispatched inside a coalesced batch
+  uint64_t batch_jobs = 0;      ///< merged Spark jobs those rode in
+  uint64_t dep_blocked = 0;     ///< held back by a queued-dependence hazard
+  uint64_t with_deadline = 0;   ///< submissions carrying an SLO deadline
+  uint64_t tenants = 0;         ///< distinct tenants observed
+  /// Admission-queue wait of dispatched submissions (quantized durations,
+  /// quantiles from a Histogram over the observed values — same
+  /// interpolation live and after import).
+  double wait_p50 = 0;
+  double wait_p95 = 0;
+  double wait_max = 0;
+
+  /// Stable JSON object (nested lines prefixed with `indent` spaces).
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+  /// Stable human-readable block (what `octrace service` prints).
+  [[nodiscard]] std::string to_text() const;
+};
+
 /// Runs the analyses over a recorded (or imported) trace.
 class TraceAnalyzer {
  public:
@@ -189,6 +238,8 @@ class TraceAnalyzer {
   [[nodiscard]] std::vector<OffloadAnalysis> analyze_all() const;
   /// Fleet utilization + scaling efficiency over the whole trace.
   [[nodiscard]] ClusterScalingAnalysis analyze_cluster() const;
+  /// Admission/batching verdict over the whole trace.
+  [[nodiscard]] ServiceStats analyze_service() const;
 
  private:
   const Tracer* tracer_;

@@ -230,6 +230,24 @@ void Tracer::MetricsTool::on_scheduler_event(
       break;
     case tools::SchedulerEventInfo::Kind::kComplete:
       metrics_->counter("scheduler.completed").add();
+      if (info.deadline_seconds > 0) {
+        metrics_->counter(info.deadline_met ? "slo.deadline_met"
+                                            : "slo.deadline_missed")
+            .add();
+      }
+      if (info.batch_id != 0) {
+        metrics_->counter("slo.batched_completions").add();
+      }
+      break;
+    case tools::SchedulerEventInfo::Kind::kReject:
+      metrics_->counter("slo.rejected").add();
+      if (!info.reason.empty()) {
+        // slo.rejected_quota / slo.rejected_deadline / slo.rejected_queue-full
+        metrics_->counter("slo.rejected_" + std::string(info.reason)).add();
+      }
+      break;
+    case tools::SchedulerEventInfo::Kind::kPreempt:
+      metrics_->counter("slo.preempted").add();
       break;
   }
   metrics_->gauge("scheduler.queue_depth").set(

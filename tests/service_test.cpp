@@ -1,0 +1,660 @@
+// Tests for the offload-as-a-service layer: Session/SubmitOptions API,
+// SLO-aware admission (quotas, deadlines, priority preemption, EDF order),
+// micro-batch coalescing correctness (incl. under fault chaos), the
+// deprecated submit shim, and the renamed config knobs with their aliases.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "omp/target_region.h"
+#include "omptarget/cloud_plugin.h"
+#include "omptarget/service.h"
+#include "support/log.h"
+#include "support/strings.h"
+#include "trace/analysis.h"
+
+namespace ompcloud {
+namespace {
+
+using omptarget::CloudPlugin;
+using omptarget::CloudPluginOptions;
+using omptarget::DeviceManager;
+using omptarget::DeviceManagerOptions;
+using omptarget::OffloadReport;
+using omptarget::SchedulerOptions;
+using omptarget::SubmitOptions;
+using sim::Engine;
+
+Status DoubleKernel(const jni::KernelArgs& args) {
+  auto in = args.input<float>(0);
+  auto out = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) out[i] = 2.0f * in[i];
+  return Status::ok();
+}
+
+const jni::KernelRegistrar kDoubleReg("svc.double", DoubleKernel);
+
+// Small 2MM (tmp = alpha*A*B ; D = tmp*C + beta*D) with globally indexed
+// bodies, so a batched (concatenated) run computes the same values as a
+// solo run — iteration i always owns rows [i*kN, (i+1)*kN) of A/tmp/D.
+constexpr int64_t kN = 8;
+constexpr float kAlpha = 1.5f;
+constexpr float kBeta = 1.2f;
+
+Status Mm1Kernel(const jni::KernelArgs& args) {
+  auto a = args.input<float>(0);
+  auto b = args.input<float>(1);
+  auto tmp = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) {
+    for (int64_t j = 0; j < kN; ++j) {
+      float acc = 0.0f;
+      for (int64_t k = 0; k < kN; ++k) {
+        acc += kAlpha * a[i * kN + k] * b[k * kN + j];
+      }
+      tmp[i * kN + j] = acc;
+    }
+  }
+  return Status::ok();
+}
+
+Status Mm2Kernel(const jni::KernelArgs& args) {
+  auto tmp = args.input<float>(0);
+  auto c = args.input<float>(1);
+  auto d_in = args.input<float>(2);
+  auto d_out = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) {
+    for (int64_t j = 0; j < kN; ++j) {
+      float acc = kBeta * d_in[i * kN + j];
+      for (int64_t k = 0; k < kN; ++k) {
+        acc += tmp[i * kN + k] * c[k * kN + j];
+      }
+      d_out[i * kN + j] = acc;
+    }
+  }
+  return Status::ok();
+}
+
+const jni::KernelRegistrar kMm1Reg("svc.mm1", Mm1Kernel);
+const jni::KernelRegistrar kMm2Reg("svc.mm2", Mm2Kernel);
+
+/// Copies scheduler events out of their borrowed string_views.
+struct EventRecorder : tools::Tool {
+  struct Event {
+    tools::SchedulerEventInfo::Kind kind;
+    std::string region;
+    std::string reason;
+    uint64_t batch_id;
+    int batch_size;
+    bool deadline_met;
+  };
+  std::vector<Event> events;
+
+  void on_scheduler_event(const tools::SchedulerEventInfo& info) override {
+    events.push_back({info.kind, std::string(info.region),
+                      std::string(info.reason), info.batch_id, info.batch_size,
+                      info.deadline_met});
+  }
+
+  [[nodiscard]] std::vector<std::string> order_of(
+      tools::SchedulerEventInfo::Kind kind) const {
+    std::vector<std::string> regions;
+    for (const Event& event : events) {
+      if (event.kind == kind) regions.push_back(event.region);
+    }
+    return regions;
+  }
+};
+
+struct ServiceFixture {
+  Engine engine;
+  cloud::Cluster cluster;
+  DeviceManager devices{engine};
+  int cloud_id;
+  std::optional<Service> service;
+  EventRecorder recorder;
+  std::deque<std::vector<float>> buffers;  ///< stable addresses for regions
+
+  explicit ServiceFixture(ServiceOptions options)
+      : cluster(engine, make_spec(), cloud::SimProfile{}) {
+    cloud_id = devices.register_device(std::make_unique<CloudPlugin>(
+        cluster, spark::SparkConf{}, CloudPluginOptions{}));
+    options.default_device = cloud_id;
+    service.emplace(devices, std::move(options));
+    devices.tracer().tools().attach(&recorder);
+  }
+  ~ServiceFixture() { devices.tracer().tools().detach(&recorder); }
+
+  static cloud::ClusterSpec make_spec() {
+    cloud::ClusterSpec spec;
+    spec.workers = 4;
+    return spec;
+  }
+
+  [[nodiscard]] SubmitOptions on_cloud() const {
+    SubmitOptions options;
+    options.device_id = cloud_id;
+    return options;
+  }
+
+  /// A y = 2x region named `name` lowered for submission.
+  omptarget::TargetRegion region(const std::string& name) {
+    buffers.emplace_back(64, 1.0f);
+    std::vector<float>& x = buffers.back();
+    buffers.emplace_back(64, 0.0f);
+    std::vector<float>& y = buffers.back();
+    omp::TargetRegion builder(devices, name);
+    builder.device(cloud_id);
+    auto xv = builder.map_to("x", x.data(), x.size());
+    auto yv = builder.map_from("y", y.data(), y.size());
+    builder.parallel_for(static_cast<int64_t>(x.size()))
+        .read_partitioned(xv, omp::rows<float>(1))
+        .write_partitioned(yv, omp::rows<float>(1))
+        .cost_flops(1.0)
+        .kernel("svc.double");
+    auto lowered = builder.lower();
+    EXPECT_TRUE(lowered.ok()) << lowered.status().to_string();
+    return std::move(*lowered);
+  }
+
+  [[nodiscard]] uint64_t counter(const std::string& name) {
+    return devices.tracer().metrics().counter_value(name);
+  }
+};
+
+TEST(ServiceTest, QuotaExhaustionFailsFastWithResourceExhausted) {
+  ServiceOptions options;
+  options.scheduler.max_concurrent = 1;
+  options.scheduler.tenant_quotas = {{"alpha", 1}};
+  ServiceFixture f(options);
+  Session session = f.service->session("alpha");
+  auto first = session.submit_nowait(f.region("A"), f.on_cloud());
+  auto second = session.submit_nowait(f.region("B"), f.on_cloud());
+  f.engine.run();
+  ASSERT_TRUE(first.done());
+  EXPECT_TRUE(first.result().ok()) << first.result().status().to_string();
+  ASSERT_TRUE(second.done());
+  EXPECT_EQ(second.result().status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(f.counter("slo.rejected"), 1u);
+  EXPECT_EQ(f.counter("slo.rejected_quota"), 1u);
+}
+
+TEST(ServiceTest, InfeasibleDeadlineRejectedAgainstServiceEstimate) {
+  ServiceOptions options;
+  ServiceFixture f(options);
+  Session session = f.service->session("alpha");
+  auto warm = session.submit_nowait(f.region("warm"), f.on_cloud());
+  f.engine.run();
+  ASSERT_TRUE(warm.result().ok()) << warm.result().status().to_string();
+  ASSERT_GT(f.service->scheduler().service_time_estimate(), 1e-4);
+
+  SubmitOptions late = f.on_cloud();
+  late.deadline_seconds = 1e-4;  // far below the observed service time
+  auto hopeless = session.submit_nowait(f.region("hopeless"), late);
+  f.engine.run();
+  ASSERT_TRUE(hopeless.done());
+  EXPECT_EQ(hopeless.result().status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(f.counter("slo.rejected_deadline"), 1u);
+}
+
+TEST(ServiceTest, QueuedDeadlineExpiresBeforeDispatch) {
+  ServiceOptions options;
+  options.scheduler.max_concurrent = 1;
+  ServiceFixture f(options);
+  Session session = f.service->session("alpha");
+  // No completions yet, so the feasibility estimate admits the tiny
+  // deadline; it then expires while the entry waits behind the first
+  // offload (a cloud job takes seconds of virtual time).
+  auto head = session.submit_nowait(f.region("head"), f.on_cloud());
+  SubmitOptions tight = f.on_cloud();
+  tight.deadline_seconds = 0.25;
+  auto expired = session.submit_nowait(f.region("expired"), tight);
+  f.engine.run();
+  EXPECT_TRUE(head.result().ok()) << head.result().status().to_string();
+  ASSERT_TRUE(expired.done());
+  EXPECT_EQ(expired.result().status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(f.counter("slo.rejected_deadline"), 1u);
+}
+
+TEST(ServiceTest, FullQueuePreemptsLowestPriorityQueuedEntry) {
+  ServiceOptions options;
+  options.scheduler.max_concurrent = 1;
+  options.scheduler.queue_limit = 1;
+  ServiceFixture f(options);
+  Session session = f.service->session("alpha");
+  auto running = session.submit_nowait(f.region("running"), f.on_cloud());
+  auto victim = session.submit_nowait(f.region("victim"), f.on_cloud());
+  SubmitOptions urgent = f.on_cloud();
+  urgent.priority = 5;
+  auto vip = session.submit_nowait(f.region("vip"), urgent);
+  f.engine.run();
+  EXPECT_TRUE(running.result().ok());
+  EXPECT_TRUE(vip.result().ok()) << vip.result().status().to_string();
+  ASSERT_TRUE(victim.done());
+  EXPECT_EQ(victim.result().status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(f.counter("slo.preempted"), 1u);
+  using Kind = tools::SchedulerEventInfo::Kind;
+  EXPECT_EQ(f.recorder.order_of(Kind::kDispatch),
+            (std::vector<std::string>{"running", "vip"}));
+  EXPECT_EQ(f.recorder.order_of(Kind::kPreempt),
+            (std::vector<std::string>{"victim"}));
+}
+
+TEST(ServiceTest, EarliestDeadlineDispatchesFirstWithinPriority) {
+  ServiceOptions options;
+  options.scheduler.max_concurrent = 1;
+  ServiceFixture f(options);
+  Session session = f.service->session("alpha");
+  auto head = session.submit_nowait(f.region("head"), f.on_cloud());
+  SubmitOptions loose = f.on_cloud();
+  loose.deadline_seconds = 500;
+  auto relaxed = session.submit_nowait(f.region("relaxed"), loose);
+  SubmitOptions tight = f.on_cloud();
+  tight.deadline_seconds = 200;
+  auto urgent = session.submit_nowait(f.region("urgent"), tight);
+  f.engine.run();
+  EXPECT_TRUE(head.result().ok());
+  EXPECT_TRUE(relaxed.result().ok());
+  EXPECT_TRUE(urgent.result().ok());
+  // EDF within the same priority level: the later submission with the
+  // nearer deadline overtakes the earlier, looser one.
+  using Kind = tools::SchedulerEventInfo::Kind;
+  EXPECT_EQ(f.recorder.order_of(Kind::kDispatch),
+            (std::vector<std::string>{"head", "urgent", "relaxed"}));
+  EXPECT_EQ(f.counter("slo.deadline_met"), 2u);
+  EXPECT_EQ(f.counter("slo.deadline_missed"), 0u);
+}
+
+TEST(ServiceTest, CompatibleSmallRegionsCoalesceIntoOneBatchJob) {
+  ServiceOptions options;
+  options.scheduler.max_concurrent = 1;
+  options.scheduler.batch_regions = 4;
+  options.scheduler.batch_bytes = 1 << 20;
+  ServiceFixture f(options);
+  Session alpha = f.service->session("alpha");
+  Session beta = f.service->session("beta");
+  // A non-batchable blocker holds the single slot so the four compatible
+  // members are all queued when it frees — one deterministic batch of 4.
+  SubmitOptions solo = f.on_cloud();
+  solo.allow_batching = false;
+  auto blocker = alpha.submit_nowait(f.region("blocker"), solo);
+  std::vector<Session::Async> members;
+  members.push_back(alpha.submit_nowait(f.region("m0"), f.on_cloud()));
+  members.push_back(alpha.submit_nowait(f.region("m1"), f.on_cloud()));
+  members.push_back(beta.submit_nowait(f.region("m2"), f.on_cloud()));
+  members.push_back(beta.submit_nowait(f.region("m3"), f.on_cloud()));
+  f.engine.run();
+  ASSERT_TRUE(blocker.result().ok());
+  EXPECT_EQ(blocker.result()->batch_size, 1);
+  for (const Session::Async& member : members) {
+    ASSERT_TRUE(member.done());
+    ASSERT_TRUE(member.result().ok()) << member.result().status().to_string();
+    EXPECT_EQ(member.result()->batch_size, 4);
+  }
+  // Members compute y = 2x: the scatter put each member's slice back.
+  for (size_t b = 2; b < f.buffers.size(); b += 2) {
+    const std::vector<float>& x = f.buffers[b];
+    const std::vector<float>& y = f.buffers[b + 1];
+    for (size_t i = 0; i < y.size(); ++i) {
+      ASSERT_EQ(y[i], 2.0f * x[i]) << "member buffer " << b << " at " << i;
+    }
+  }
+  EXPECT_EQ(f.counter("batch.jobs"), 1u);
+  EXPECT_EQ(f.counter("batch.regions"), 4u);
+  EXPECT_EQ(f.counter("slo.batched_completions"), 4u);
+
+  // The analyzer sees the same story from the spans alone.
+  trace::TraceAnalyzer analyzer(f.devices.tracer());
+  trace::ServiceStats service = analyzer.analyze_service();
+  ASSERT_TRUE(service.found);
+  EXPECT_EQ(service.submitted, 5u);
+  EXPECT_EQ(service.dispatched, 5u);
+  EXPECT_EQ(service.batched, 4u);
+  EXPECT_EQ(service.batch_jobs, 1u);
+  EXPECT_EQ(service.tenants, 2u);
+  bool saw_batch_root = false;
+  for (const trace::OffloadAnalysis& analysis : analyzer.analyze_all()) {
+    if (!analysis.batch.batched) continue;
+    saw_batch_root = true;
+    EXPECT_EQ(analysis.batch.members, 4u);
+    EXPECT_EQ(analysis.batch.tenants, "alpha,alpha,beta,beta");
+  }
+  EXPECT_TRUE(saw_batch_root);
+}
+
+// ---------------------------------------------------------------------------
+// Batching correctness: N small 2MM regions batched vs. unbatched must be
+// byte-identical, including under injected fault chaos.
+// ---------------------------------------------------------------------------
+
+/// Self-healing offload config (mirrors the chaos soak); `fault_section`
+/// appended ("" = fault-free).
+std::string service_soak_config(const std::string& fault_section) {
+  return R"(
+[cluster]
+provider = ec2
+instance-type = c3.4xlarge
+workers = 4
+[offload]
+bucket = service-soak
+storage-retries = 4
+retry-backoff = 250ms
+retry-backoff-cap = 2s
+op-deadline = 5s
+deadline = 60s
+job-retries = 2
+verify-transfers = true
+)" + fault_section;
+}
+
+constexpr int kMembers = 4;
+
+/// Runs `kMembers` small 2MM regions through a Service and returns each
+/// member's D output. B and C are shared across members (same host buffers,
+/// the batch-eligibility requirement for broadcast inputs); A and the
+/// initial D differ per member.
+void run_2mm_members(const std::string& config_text, bool batched,
+                     std::vector<std::vector<float>>* outputs,
+                     uint64_t* batch_jobs) {
+  Engine engine;
+  auto config = Config::parse(config_text);
+  ASSERT_TRUE(config.ok()) << config.status().to_string();
+  auto plugin = CloudPlugin::from_config(engine, *config);
+  ASSERT_TRUE(plugin.ok()) << plugin.status().to_string();
+  DeviceManager devices(engine);
+  devices.configure(DeviceManagerOptions::from_config(*config));
+  int id = devices.register_device(std::move(*plugin));
+
+  ServiceOptions service_options;
+  service_options.default_device = id;
+  service_options.scheduler.max_concurrent = 1;
+  if (batched) {
+    service_options.scheduler.batch_regions = kMembers;
+    service_options.scheduler.batch_bytes = 1 << 20;
+  }
+  Service service(devices, service_options);
+  Session session = service.session("tenant");
+
+  const size_t cells = static_cast<size_t>(kN) * kN;
+  std::vector<float> b(cells), c(cells);
+  for (size_t i = 0; i < cells; ++i) {
+    b[i] = static_cast<float>((i * 7 + 3) % 11) * 0.25f;
+    c[i] = static_cast<float>((i * 5 + 1) % 13) * 0.125f;
+  }
+  std::vector<std::vector<float>> a(kMembers), tmp(kMembers), d(kMembers);
+  for (int m = 0; m < kMembers; ++m) {
+    a[m].resize(cells);
+    tmp[m].assign(cells, 0.0f);
+    d[m].resize(cells);
+    for (size_t i = 0; i < cells; ++i) {
+      a[m][i] = static_cast<float>((i + static_cast<size_t>(m) * 17) % 9);
+      d[m][i] = static_cast<float>((i * 3 + static_cast<size_t>(m)) % 7);
+    }
+  }
+
+  SubmitOptions on_device;
+  on_device.device_id = id;
+  std::vector<Session::Async> handles;
+  // When batching, a blocker occupies the single slot first so all members
+  // are queued together and coalesce into exactly one merged job.
+  std::vector<float> bx(32, 1.0f), by(32, 0.0f);
+  std::deque<omp::TargetRegion> builders;
+  if (batched) {
+    omp::TargetRegion& blocker = builders.emplace_back(devices, "blocker");
+    blocker.device(id);
+    auto xv = blocker.map_to("x", bx.data(), bx.size());
+    auto yv = blocker.map_from("y", by.data(), by.size());
+    blocker.parallel_for(static_cast<int64_t>(bx.size()))
+        .read_partitioned(xv, omp::rows<float>(1))
+        .write_partitioned(yv, omp::rows<float>(1))
+        .cost_flops(1.0)
+        .kernel("svc.double");
+    auto lowered = blocker.lower();
+    ASSERT_TRUE(lowered.ok()) << lowered.status().to_string();
+    SubmitOptions solo = on_device;
+    solo.allow_batching = false;
+    handles.push_back(session.submit_nowait(std::move(*lowered), solo));
+  }
+  for (int m = 0; m < kMembers; ++m) {
+    omp::TargetRegion& region =
+        builders.emplace_back(devices, str_format("mm[%d]", m));
+    region.device(id);
+    auto av = region.map_to("A", a[m].data(), a[m].size());
+    auto bv = region.map_to("B", b.data(), b.size());
+    auto cv = region.map_to("C", c.data(), c.size());
+    auto tv = region.map_alloc("tmp", tmp[m].data(), tmp[m].size());
+    auto dv = region.map_tofrom("D", d[m].data(), d[m].size());
+    region.parallel_for(kN)
+        .read_partitioned(av, omp::rows<float>(kN))
+        .read(bv)
+        .write_partitioned(tv, omp::rows<float>(kN))
+        .cost_flops(2.0 * kN * kN)
+        .kernel("svc.mm1");
+    region.parallel_for(kN)
+        .read_partitioned(tv, omp::rows<float>(kN))
+        .read(cv)
+        .read_partitioned(dv, omp::rows<float>(kN))
+        .write_partitioned(dv, omp::rows<float>(kN))
+        .cost_flops(kN * (2.0 * kN + 1.0))
+        .kernel("svc.mm2");
+    auto lowered = region.lower();
+    ASSERT_TRUE(lowered.ok()) << lowered.status().to_string();
+    handles.push_back(session.submit_nowait(std::move(*lowered), on_device));
+  }
+  engine.run();
+  for (size_t h = 0; h < handles.size(); ++h) {
+    ASSERT_TRUE(handles[h].done());
+    ASSERT_TRUE(handles[h].result().ok())
+        << "submission " << h << ": "
+        << handles[h].result().status().to_string();
+  }
+  *outputs = std::move(d);
+  *batch_jobs = devices.tracer().metrics().counter_value("batch.jobs");
+}
+
+TEST(ServiceBatchTest, BatchedTwoMMMatchesUnbatchedByteForByte) {
+  std::vector<std::vector<float>> unbatched, batched;
+  uint64_t unbatched_jobs = 0, batched_jobs = 0;
+  run_2mm_members(service_soak_config(""), /*batched=*/false, &unbatched,
+                  &unbatched_jobs);
+  run_2mm_members(service_soak_config(""), /*batched=*/true, &batched,
+                  &batched_jobs);
+  EXPECT_EQ(unbatched_jobs, 0u);
+  EXPECT_EQ(batched_jobs, 1u);
+  ASSERT_EQ(batched.size(), unbatched.size());
+  for (size_t m = 0; m < batched.size(); ++m) {
+    ASSERT_EQ(batched[m].size(), unbatched[m].size());
+    EXPECT_EQ(std::memcmp(batched[m].data(), unbatched[m].data(),
+                          batched[m].size() * sizeof(float)),
+              0)
+        << "member " << m << " diverged";
+  }
+}
+
+TEST(ServiceBatchChaosTest, BatchedRunUnderFaultsMatchesCleanRun) {
+  const uint64_t seed = 42;
+  std::string faults = str_format(R"(
+[fault]
+enabled = true
+seed = %llu
+storage.transient-rate = 0.06
+storage.torn-write-rate = 0.02
+net.corrupt-rate = 0.04
+net.flap-rate = 0.02
+spark.task-fail-rate = 0.04
+spark.slowdown-rate = 0.04
+)",
+                                  static_cast<unsigned long long>(seed));
+  std::vector<std::vector<float>> clean, chaotic;
+  uint64_t clean_jobs = 0, chaotic_jobs = 0;
+  run_2mm_members(service_soak_config(""), /*batched=*/true, &clean,
+                  &clean_jobs);
+  run_2mm_members(service_soak_config(faults), /*batched=*/true, &chaotic,
+                  &chaotic_jobs);
+  EXPECT_EQ(clean_jobs, 1u);
+  EXPECT_EQ(chaotic_jobs, 1u);
+  ASSERT_EQ(chaotic.size(), clean.size());
+  for (size_t m = 0; m < chaotic.size(); ++m) {
+    EXPECT_EQ(std::memcmp(chaotic[m].data(), clean[m].data(),
+                          chaotic[m].size() * sizeof(float)),
+              0)
+        << "member " << m << " diverged under chaos";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated API shim + config knob aliases.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTest, DeprecatedSubmitShimForwardsAndWarnsOnce) {
+  ServiceOptions options;
+  ServiceFixture f(options);
+  int deprecation_warns = 0;
+  LogConfig::instance().set_sink(
+      [&deprecation_warns](LogLevel level, std::string_view component,
+                           std::string_view message) {
+        if (level == LogLevel::kWarn && component == "scheduler" &&
+            message.find("deprecated") != std::string_view::npos) {
+          deprecation_warns += 1;
+        }
+      });
+  std::optional<Result<OffloadReport>> first, second;
+  f.engine.spawn([](ServiceFixture* f,
+                    std::optional<Result<OffloadReport>>* first,
+                    std::optional<Result<OffloadReport>>* second)
+                     -> sim::Co<void> {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    *first = co_await f->service->scheduler().submit(f->region("old1"),
+                                                     f->cloud_id, "legacy");
+    *second = co_await f->service->scheduler().submit(f->region("old2"),
+                                                      f->cloud_id, "legacy");
+#pragma GCC diagnostic pop
+  }(&f, &first, &second));
+  f.engine.run();
+  LogConfig::instance().set_sink(nullptr);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->ok()) << first->status().to_string();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->ok()) << second->status().to_string();
+  EXPECT_EQ(deprecation_warns, 1);
+}
+
+TEST(ServiceOptionsTest, FromConfigReadsServiceAndSchedulerSections) {
+  auto config = *Config::parse(R"(
+[service]
+default-device = 1
+default-tenant = teamA
+default-priority = 2
+default-deadline = 30s
+default-class = interactive
+[scheduler]
+mode = fair
+max-concurrent = 6
+weight-default = 2
+weight.teamA = 4
+queue-limit = 16
+quota-default = 4
+quota.teamA = 8
+batch-regions = 8
+batch-bytes = 262144
+batch-linger = 50ms
+)");
+  auto options = ServiceOptions::from_config(config);
+  ASSERT_TRUE(options.ok()) << options.status().to_string();
+  EXPECT_EQ(options->default_device, 1);
+  EXPECT_EQ(options->default_tenant, "teamA");
+  EXPECT_EQ(options->default_priority, 2);
+  EXPECT_DOUBLE_EQ(options->default_deadline_seconds, 30.0);
+  EXPECT_EQ(options->default_latency_class, "interactive");
+  EXPECT_EQ(options->scheduler.mode, SchedulerOptions::Mode::kFair);
+  EXPECT_EQ(options->scheduler.max_concurrent, 6);
+  EXPECT_DOUBLE_EQ(options->scheduler.default_weight, 2.0);
+  EXPECT_DOUBLE_EQ(options->scheduler.weight_for("teamA"), 4.0);
+  EXPECT_EQ(options->scheduler.queue_limit, 16);
+  EXPECT_EQ(options->scheduler.default_quota, 4);
+  EXPECT_EQ(options->scheduler.quota_for("teamA"), 8);
+  EXPECT_EQ(options->scheduler.quota_for("anyone-else"), 4);
+  EXPECT_EQ(options->scheduler.batch_regions, 8);
+  EXPECT_EQ(options->scheduler.batch_bytes, 262144u);
+  EXPECT_DOUBLE_EQ(options->scheduler.batch_linger_seconds, 0.05);
+}
+
+TEST(ServiceOptionsTest, RejectsNegativeQuotaAndQueueLimit) {
+  EXPECT_EQ(SchedulerOptions::from_config(
+                *Config::parse("[scheduler]\nquota-default = -1\n"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SchedulerOptions::from_config(
+                *Config::parse("[scheduler]\nquota.alpha = -2\n"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SchedulerOptions::from_config(
+                *Config::parse("[scheduler]\nqueue-limit = -1\n"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceOptionsTest, RenamedKnobAliasesStillParseAndWarn) {
+  std::vector<std::string> warns;
+  LogConfig::instance().set_sink([&warns](LogLevel level, std::string_view,
+                                          std::string_view message) {
+    if (level == LogLevel::kWarn) warns.emplace_back(message);
+  });
+  // scheduler.default-weight -> scheduler.weight-default
+  auto scheduler = SchedulerOptions::from_config(
+      *Config::parse("[scheduler]\ndefault-weight = 2\n"));
+  ASSERT_TRUE(scheduler.ok()) << scheduler.status().to_string();
+  EXPECT_DOUBLE_EQ(scheduler->default_weight, 2.0);
+  // offload.compression -> offload.codec (and -min-size), through the
+  // plugin's config path.
+  Engine engine;
+  auto config = Config::parse(R"(
+[cluster]
+provider = ec2
+instance-type = c3.4xlarge
+workers = 2
+[offload]
+bucket = alias-test
+compression = gzlite
+compression-min-size = 1024
+)");
+  ASSERT_TRUE(config.ok()) << config.status().to_string();
+  auto plugin = CloudPlugin::from_config(engine, *config);
+  ASSERT_TRUE(plugin.ok()) << plugin.status().to_string();
+  LogConfig::instance().set_sink(nullptr);
+
+  auto saw = [&warns](std::string_view needle) {
+    for (const std::string& warn : warns) {
+      if (warn.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(
+      saw("scheduler.default-weight is deprecated; use "
+          "scheduler.weight-default"));
+  EXPECT_TRUE(saw("offload.compression is deprecated; use offload.codec"));
+  EXPECT_TRUE(
+      saw("offload.compression-min-size is deprecated; use "
+          "offload.codec-min-size"));
+  // Canonical spellings parse silently.
+  warns.clear();
+  LogConfig::instance().set_sink([&warns](LogLevel level, std::string_view,
+                                          std::string_view message) {
+    if (level == LogLevel::kWarn) warns.emplace_back(message);
+  });
+  auto canonical = SchedulerOptions::from_config(
+      *Config::parse("[scheduler]\nweight-default = 2\n"));
+  ASSERT_TRUE(canonical.ok());
+  LogConfig::instance().set_sink(nullptr);
+  EXPECT_TRUE(warns.empty());
+}
+
+}  // namespace
+}  // namespace ompcloud

@@ -5,6 +5,7 @@
 //   octrace skew          trace.json   per-task skew / straggler report
 //   octrace cost          trace.json   dollar attribution per offload
 //   octrace util          trace.json   fleet utilization + scaling efficiency
+//   octrace service       trace.json   admission/batching verdict (SLO layer)
 //
 // `--json` switches every command to a stable JSON schema (CI jq-validates
 // it). Exit codes: 0 = analyzed, 1 = the trace holds no offload spans,
@@ -25,14 +26,15 @@ namespace {
 
 int usage(std::FILE* out) {
   std::fprintf(out,
-               "usage: octrace <summary|critical-path|skew|cost|util> "
+               "usage: octrace <summary|critical-path|skew|cost|util|service> "
                "<trace.json> [--json]\n"
                "\n"
                "Loads a Chrome trace exported by the offload runtime and\n"
                "analyzes each `offload` span tree: phase attribution,\n"
                "critical path, task skew, transfer overlap, and cost.\n"
                "`util` reports fleet-wide cluster utilization and scaling\n"
-               "efficiency instead of per-offload analyses.\n");
+               "efficiency, and `service` the scheduler's admission and\n"
+               "micro-batching verdict, instead of per-offload analyses.\n");
   return 2;
 }
 
@@ -115,7 +117,8 @@ int main(int argc, const char** argv) {
     }
   }
   if (command != "summary" && command != "critical-path" &&
-      command != "skew" && command != "cost" && command != "util") {
+      command != "skew" && command != "cost" && command != "util" &&
+      command != "service") {
     if (!command.empty()) {
       std::fprintf(stderr, "octrace: unknown command '%s'\n", command.c_str());
     }
@@ -147,6 +150,18 @@ int main(int argc, const char** argv) {
     return cluster.found ? 0 : 1;
   }
 
+  // `service` is likewise a whole-trace analysis, over the scheduler's
+  // admission spans rather than the fleet timeline.
+  if (command == "service") {
+    trace::ServiceStats service = analyzer.analyze_service();
+    if (json) {
+      std::printf("{\"service\": %s}\n", service.to_json().c_str());
+    } else {
+      std::fputs(service.to_text().c_str(), stdout);
+    }
+    return service.found ? 0 : 1;
+  }
+
   std::vector<trace::OffloadAnalysis> analyses = analyzer.analyze_all();
   if (analyses.empty()) {
     if (json) {
@@ -159,16 +174,24 @@ int main(int argc, const char** argv) {
   }
 
   if (command == "summary") {
+    // Traces recorded before the service layer hold no admission spans;
+    // the section is omitted entirely, so their output is unchanged.
+    trace::ServiceStats service = analyzer.analyze_service();
     if (json) {
-      std::vector<std::string> objects;
-      for (const trace::OffloadAnalysis& analysis : analyses) {
-        objects.push_back(analysis.to_json());
+      std::string out = "{\"offloads\": [";
+      for (size_t i = 0; i < analyses.size(); ++i) {
+        out += i == 0 ? "" : ", ";
+        out += analyses[i].to_json();
       }
-      print_offloads_json(objects);
+      out += "]";
+      if (service.found) out += ", \"service\": " + service.to_json();
+      out += "}\n";
+      std::fputs(out.c_str(), stdout);
     } else {
       for (const trace::OffloadAnalysis& analysis : analyses) {
         std::fputs(analysis.to_text().c_str(), stdout);
       }
+      if (service.found) std::fputs(service.to_text().c_str(), stdout);
     }
   } else if (command == "critical-path") {
     if (json) {
