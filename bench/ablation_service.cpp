@@ -23,9 +23,12 @@
 #include "bench/harness.h"
 #include "omp/target_region.h"
 #include "omptarget/service.h"
+#include "support/config.h"
 #include "support/flags.h"
 #include "support/strings.h"
+#include "trace/alerts.h"
 #include "trace/analysis.h"
+#include "trace/timeseries.h"
 
 using namespace ompcloud;
 
@@ -163,6 +166,117 @@ Result<ModeResult> run_mode(bool batched, int requests, double gap) {
   return result;
 }
 
+struct TelemetryResult {
+  ModeResult mode;
+  uint64_t samples = 0;
+  uint64_t series = 0;
+  uint64_t alerts_fired = 0;
+  uint64_t burn_rate_fired = 0;  ///< fires from burn-rate rules only
+  uint64_t deadline_missed = 0;
+  uint64_t quota_rejects = 0;
+};
+
+/// The batched configuration again, this time observed live: tight
+/// per-request deadlines and a per-tenant quota make the SLO signals
+/// (deadline misses, quota rejects) non-trivial, the [telemetry] collector
+/// samples the registry every 250 virtual ms, and the [alerts] rules below
+/// must catch the resulting burn. Writes the ocmon input
+/// (BENCH_service.tsdb.json) and the OpenMetrics exposition
+/// (BENCH_service.prom) that CI lints.
+Result<TelemetryResult> run_telemetry_mode(int requests, double gap) {
+  sim::Engine engine;
+  cloud::ClusterSpec spec;
+  spec.workers = 4;
+  cloud::Cluster cluster(engine, spec, cloud::SimProfile{});
+  omptarget::DeviceManager devices(engine);
+  int cloud_id = devices.register_device(std::make_unique<omptarget::CloudPlugin>(
+      cluster, spark::SparkConf{}, omptarget::CloudPluginOptions{}));
+
+  ServiceOptions options;
+  options.default_device = cloud_id;
+  options.default_deadline_seconds = 3.2;
+  options.scheduler.max_concurrent = 8;
+  options.scheduler.batch_regions = 16;
+  options.scheduler.batch_bytes = 4 << 20;
+  options.scheduler.batch_linger_seconds = 0.05;
+  options.scheduler.tenant_quotas.emplace_back("teamD", 16);
+  Service service(devices, options);
+
+  trace::TelemetryOptions telemetry;
+  telemetry.enabled = true;
+  telemetry.interval_seconds = 0.25;
+  telemetry.retention_samples = 600;
+  telemetry.export_path = "BENCH_service.tsdb.json";
+  telemetry.openmetrics_path = "BENCH_service.prom";
+  trace::TimeSeriesCollector collector(devices.tracer(), telemetry);
+  auto rules_config = Config::parse(
+      "[alerts]\n"
+      "rule.deadline-burn = burn-rate slo.deadline{outcome=missed} / "
+      "slo.deadline by tenant objective 0.99 windows 2s:1,10s:0.5 "
+      "severity page\n"
+      "rule.quota-rejects = burn-rate slo.rejected{reason=quota} / "
+      "scheduler.events{kind=admit} by tenant objective 0.95 "
+      "windows 5s:1 severity ticket\n"
+      "rule.queue-backlog = threshold scheduler.queue_depth >= 32 for 1s "
+      "severity info\n"
+      "rule.breaker-open = threshold breaker.state >= 2 severity page\n");
+  if (!rules_config.ok()) return rules_config.status();
+  auto rules = trace::AlertRuleSet::from_config(*rules_config);
+  if (!rules.ok()) return rules.status();
+  collector.set_alert_rules(*rules);
+
+  std::vector<float> weights(static_cast<size_t>(kK));
+  for (size_t k = 0; k < weights.size(); ++k) {
+    weights[k] = static_cast<float>((k * 13 + 5) % 17) * 0.0625f;
+  }
+  std::vector<Request> stream(static_cast<size_t>(requests));
+  const char* tenants[] = {"teamA", "teamB", "teamC", "teamD"};
+  for (int i = 0; i < requests; ++i) {
+    Request& request = stream[static_cast<size_t>(i)];
+    request.arrival = i * gap;
+    request.x.resize(static_cast<size_t>(kRows * kK));
+    for (size_t j = 0; j < request.x.size(); ++j) {
+      request.x[j] = static_cast<float>((j + static_cast<size_t>(i) * 31) % 23);
+    }
+    request.y.assign(static_cast<size_t>(kRows), 0.0f);
+    Session session = service.session(tenants[i % 4]);
+    engine.spawn(run_request(&engine, &devices, session, cloud_id, i, &weights,
+                             &request));
+  }
+  engine.run();
+  if (Status status = collector.finalize(); !status.is_ok()) return status;
+
+  TelemetryResult result;
+  std::vector<double> latencies;
+  for (const Request& request : stream) {
+    if (request.done < 0) continue;
+    result.mode.completed += 1;
+    latencies.push_back(request.done - request.arrival);
+    result.mode.makespan = std::max(result.mode.makespan, request.done);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  result.mode.p50 = quantile(latencies, 0.50);
+  result.mode.p99 = quantile(latencies, 0.99);
+  result.mode.cost_usd = cluster.cost().accrued_usd();
+  result.mode.batch_jobs =
+      devices.tracer().metrics().counter_value("batch.jobs");
+  result.samples = collector.samples();
+  result.series = collector.series().size();
+  if (const trace::AlertEvaluator* alerts = collector.alerts()) {
+    result.alerts_fired = alerts->fired();
+    for (const trace::AlertEvent& event : alerts->events()) {
+      if (!event.fire) continue;
+      if (event.rule == "deadline-burn" || event.rule == "quota-rejects") {
+        result.burn_rate_fired += 1;
+      }
+    }
+  }
+  const trace::Metrics& metrics = devices.tracer().metrics();
+  result.deadline_missed = metrics.counter_value("slo.deadline_missed");
+  result.quota_rejects = metrics.counter_value("slo.rejected_quota");
+  return result;
+}
+
 std::string mode_json(const std::string& label, int requests,
                       const ModeResult& result) {
   return str_format(
@@ -229,6 +343,48 @@ int run(int argc, const char** argv) {
   std::printf("\nbatching %s the tail and %s the per-request bill\n",
               tail_win ? "holds" : "DEGRADES", cost_win ? "cuts" : "RAISES");
 
+  // Instrumented run: the batched 1000-request stream again with tight
+  // deadlines + a teamD quota, observed by the [telemetry] collector and
+  // the burn-rate alert rules. Excluded from the tail/cost assertions
+  // above (its SLO knobs change the stream); gated instead on the live
+  // pipeline actually catching the burn.
+  auto telemetry = run_telemetry_mode(1000, gap);
+  if (!telemetry.ok()) {
+    std::fprintf(stderr, "%s\n", telemetry.status().to_string().c_str());
+    return 1;
+  }
+  std::printf(
+      "\ntelemetry-1000: %d done, p99 %.3fs, %llu samples over %llu series, "
+      "%llu deadline misses, %llu quota rejects, %llu alerts fired "
+      "(%llu burn-rate)\n",
+      telemetry->mode.completed, telemetry->mode.p99,
+      static_cast<unsigned long long>(telemetry->samples),
+      static_cast<unsigned long long>(telemetry->series),
+      static_cast<unsigned long long>(telemetry->deadline_missed),
+      static_cast<unsigned long long>(telemetry->quota_rejects),
+      static_cast<unsigned long long>(telemetry->alerts_fired),
+      static_cast<unsigned long long>(telemetry->burn_rate_fired));
+  std::printf("wrote BENCH_service.tsdb.json + BENCH_service.prom\n");
+  records.push_back(str_format(
+      "{\"label\": \"telemetry-1000\", \"requests\": 1000, "
+      "\"completed\": %d, \"p99_seconds\": %.9g, \"makespan_seconds\": %.9g, "
+      "\"samples\": %llu, \"series\": %llu, \"deadline_missed\": %llu, "
+      "\"quota_rejects\": %llu, \"alerts_fired\": %llu, "
+      "\"burn_rate_fired\": %llu}",
+      telemetry->mode.completed, telemetry->mode.p99, telemetry->mode.makespan,
+      static_cast<unsigned long long>(telemetry->samples),
+      static_cast<unsigned long long>(telemetry->series),
+      static_cast<unsigned long long>(telemetry->deadline_missed),
+      static_cast<unsigned long long>(telemetry->quota_rejects),
+      static_cast<unsigned long long>(telemetry->alerts_fired),
+      static_cast<unsigned long long>(telemetry->burn_rate_fired)));
+  const bool alert_caught = telemetry->burn_rate_fired >= 1;
+  if (!alert_caught) {
+    std::fprintf(stderr,
+                 "telemetry run produced no burn-rate alert — the live "
+                 "pipeline missed the SLO burn\n");
+  }
+
   std::string json = "[\n";
   for (size_t i = 0; i < records.size(); ++i) {
     json += "  " + records[i] + (i + 1 < records.size() ? ",\n" : "\n");
@@ -242,7 +398,7 @@ int run(int argc, const char** argv) {
     std::fprintf(stderr, "cannot write BENCH_service.json\n");
     return 1;
   }
-  return all_completed && tail_win && cost_win ? 0 : 1;
+  return all_completed && tail_win && cost_win && alert_caught ? 0 : 1;
 }
 
 }  // namespace

@@ -1,0 +1,263 @@
+// Ablation: what does live telemetry cost?
+//
+// The same 1000-session batched inference stream (ablation_service's
+// workload, tight per-request deadlines included) runs twice: once with
+// [telemetry] off and once with the collector sampling every 250 virtual
+// ms plus the full burn-rate/threshold alert rule set evaluating after
+// every sample. Two claims are gated:
+//
+//   zero virtual cost   the collector only observes callbacks, so the two
+//                       runs must produce byte-identical virtual outcomes
+//                       (same makespan, same completions) — telemetry can
+//                       never perturb the simulation it measures.
+//   cheap wall cost     sampling + alert evaluation must stay under 2% of
+//                       wall-clock (min of 3 repeats per mode; CI gates
+//                       the overhead_percent field with jq).
+//
+// Results land in BENCH_telemetry.json; bench/baseline/BENCH_telemetry.json
+// pins the deterministic fields (completions, makespan, samples, series,
+// alerts) for the regression gate.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/harness.h"
+#include "omp/target_region.h"
+#include "omptarget/service.h"
+#include "support/config.h"
+#include "support/flags.h"
+#include "support/strings.h"
+#include "trace/alerts.h"
+#include "trace/timeseries.h"
+
+using namespace ompcloud;
+
+namespace {
+
+constexpr int64_t kRows = 64;  ///< outputs per request
+constexpr int64_t kK = 256;    ///< reduction depth (weights length)
+
+Status InferKernel(const jni::KernelArgs& args) {
+  auto x = args.input<float>(0);
+  auto w = args.input<float>(1);
+  auto y = args.output<float>(0);
+  for (int64_t i = args.begin; i < args.end; ++i) {
+    float acc = 0.0f;
+    for (int64_t k = 0; k < kK; ++k) acc += w[k] * x[i * kK + k];
+    y[i] = acc;
+  }
+  return Status::ok();
+}
+
+const jni::KernelRegistrar kInferReg("telemetry.infer", InferKernel);
+
+struct Request {
+  std::vector<float> x;
+  std::vector<float> y;
+  double arrival = 0;
+  double done = -1;
+};
+
+sim::Co<void> run_request(sim::Engine* engine,
+                          omptarget::DeviceManager* devices, Session session,
+                          int device_id, int index, std::vector<float>* weights,
+                          Request* request) {
+  co_await engine->sleep(request->arrival);
+  omp::TargetRegion region(*devices, str_format("req[%d]", index));
+  region.device(device_id);
+  auto xv = region.map_to("x", request->x.data(), request->x.size());
+  auto wv = region.map_to("w", weights->data(), weights->size());
+  auto yv = region.map_from("y", request->y.data(), request->y.size());
+  region.parallel_for(kRows)
+      .read_partitioned(xv, omp::rows<float>(kK))
+      .read(wv)
+      .write_partitioned(yv, omp::rows<float>(1))
+      .cost_flops(2.0 * static_cast<double>(kK))
+      .kernel("telemetry.infer");
+  auto lowered = region.lower();
+  if (!lowered.ok()) co_return;
+  omptarget::SubmitOptions options;
+  options.device_id = device_id;
+  auto result = co_await session.submit(std::move(*lowered), options);
+  if (result.ok()) request->done = engine->now();
+}
+
+struct RunResult {
+  int completed = 0;
+  double makespan = 0;
+  double wall_seconds = 0;
+  uint64_t samples = 0;
+  uint64_t series = 0;
+  uint64_t alerts_fired = 0;
+};
+
+Result<RunResult> run_once(bool telemetry_on, int requests, double gap) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  sim::Engine engine;
+  cloud::ClusterSpec spec;
+  spec.workers = 4;
+  cloud::Cluster cluster(engine, spec, cloud::SimProfile{});
+  omptarget::DeviceManager devices(engine);
+  int cloud_id = devices.register_device(
+      std::make_unique<omptarget::CloudPlugin>(
+          cluster, spark::SparkConf{}, omptarget::CloudPluginOptions{}));
+
+  ServiceOptions options;
+  options.default_device = cloud_id;
+  options.default_deadline_seconds = 3.2;
+  options.scheduler.max_concurrent = 8;
+  options.scheduler.batch_regions = 16;
+  options.scheduler.batch_bytes = 4 << 20;
+  options.scheduler.batch_linger_seconds = 0.05;
+  Service service(devices, options);
+
+  trace::TelemetryOptions telemetry;
+  telemetry.enabled = telemetry_on;
+  telemetry.interval_seconds = 0.25;
+  telemetry.retention_samples = 600;
+  trace::TimeSeriesCollector collector(devices.tracer(), telemetry);
+  if (telemetry_on) {
+    auto rules_config = Config::parse(
+        "[alerts]\n"
+        "rule.deadline-burn = burn-rate slo.deadline{outcome=missed} / "
+        "slo.deadline by tenant objective 0.99 windows 2s:1,10s:0.5 "
+        "severity page\n"
+        "rule.queue-backlog = threshold scheduler.queue_depth >= 32 for 1s "
+        "severity info\n"
+        "rule.breaker-open = threshold breaker.state >= 2 severity page\n");
+    if (!rules_config.ok()) return rules_config.status();
+    auto rules = trace::AlertRuleSet::from_config(*rules_config);
+    if (!rules.ok()) return rules.status();
+    collector.set_alert_rules(*rules);
+  }
+
+  std::vector<float> weights(static_cast<size_t>(kK));
+  for (size_t k = 0; k < weights.size(); ++k) {
+    weights[k] = static_cast<float>((k * 13 + 5) % 17) * 0.0625f;
+  }
+  std::vector<Request> stream(static_cast<size_t>(requests));
+  const char* tenants[] = {"teamA", "teamB", "teamC", "teamD"};
+  for (int i = 0; i < requests; ++i) {
+    Request& request = stream[static_cast<size_t>(i)];
+    request.arrival = i * gap;
+    request.x.resize(static_cast<size_t>(kRows * kK));
+    for (size_t j = 0; j < request.x.size(); ++j) {
+      request.x[j] = static_cast<float>((j + static_cast<size_t>(i) * 31) % 23);
+    }
+    request.y.assign(static_cast<size_t>(kRows), 0.0f);
+    Session session = service.session(tenants[i % 4]);
+    engine.spawn(run_request(&engine, &devices, session, cloud_id, i, &weights,
+                             &request));
+  }
+  engine.run();
+  if (Status status = collector.finalize(); !status.is_ok()) return status;
+
+  RunResult result;
+  for (const Request& request : stream) {
+    if (request.done < 0) continue;
+    result.completed += 1;
+    result.makespan = std::max(result.makespan, request.done);
+  }
+  result.samples = collector.samples();
+  result.series = collector.series().size();
+  if (const trace::AlertEvaluator* alerts = collector.alerts()) {
+    result.alerts_fired = alerts->fired();
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return result;
+}
+
+int run(int argc, const char** argv) {
+  FlagSet flags("Telemetry-pipeline overhead ablation");
+  flags.define_int("requests", 1000, "sessions per run");
+  flags.define_int("gap-ms", 20, "milliseconds between arrivals (virtual)");
+  flags.define_int("repeats", 3, "wall-clock repeats per mode (min is kept)");
+  if (Status parsed = flags.parse(argc, argv); !parsed.is_ok()) {
+    return parsed.code() == StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+  const int requests = static_cast<int>(flags.get_int("requests"));
+  const double gap = static_cast<double>(flags.get_int("gap-ms")) / 1000.0;
+  const int repeats = std::max(1, static_cast<int>(flags.get_int("repeats")));
+
+  std::printf("Telemetry overhead ablation (%d sessions, min of %d repeats)\n\n",
+              requests, repeats);
+
+  RunResult modes[2];
+  for (int m = 0; m < 2; ++m) {
+    const bool on = m == 1;
+    double best_wall = 0;
+    for (int r = 0; r < repeats; ++r) {
+      auto result = run_once(on, requests, gap);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+        return 1;
+      }
+      if (r == 0 || result->wall_seconds < best_wall) {
+        best_wall = result->wall_seconds;
+      }
+      modes[m] = *result;
+    }
+    modes[m].wall_seconds = best_wall;
+    std::printf("telemetry %-3s | %4d done  makespan %9.4fs  wall %7.3fs  "
+                "%llu samples  %llu series  %llu alerts\n",
+                on ? "on" : "off", modes[m].completed, modes[m].makespan,
+                modes[m].wall_seconds,
+                static_cast<unsigned long long>(modes[m].samples),
+                static_cast<unsigned long long>(modes[m].series),
+                static_cast<unsigned long long>(modes[m].alerts_fired));
+  }
+
+  // Zero virtual cost: the observer must not perturb the simulation.
+  const bool makespan_equal = modes[0].makespan == modes[1].makespan &&
+                              modes[0].completed == modes[1].completed;
+  // Off path pays nothing: the collector never attached, never sampled.
+  const bool off_is_free = modes[0].samples == 0 && modes[0].series == 0;
+  const double overhead_percent =
+      modes[0].wall_seconds > 0
+          ? std::max(0.0, (modes[1].wall_seconds - modes[0].wall_seconds) /
+                              modes[0].wall_seconds * 100.0)
+          : 0.0;
+  std::printf("\nvirtual outcomes %s; off path %s; wall overhead %.2f%%\n",
+              makespan_equal ? "identical" : "DIVERGED",
+              off_is_free ? "free" : "SAMPLED ANYWAY", overhead_percent);
+
+  std::string json = "[\n";
+  json += str_format(
+      "  {\"label\": \"telemetry-off-%d\", \"completed\": %d, "
+      "\"makespan_seconds\": %.9g, \"samples\": %llu, \"series\": %llu},\n",
+      requests, modes[0].completed, modes[0].makespan,
+      static_cast<unsigned long long>(modes[0].samples),
+      static_cast<unsigned long long>(modes[0].series));
+  json += str_format(
+      "  {\"label\": \"telemetry-on-%d\", \"completed\": %d, "
+      "\"makespan_seconds\": %.9g, \"samples\": %llu, \"series\": %llu, "
+      "\"alerts_fired\": %llu},\n",
+      requests, modes[1].completed, modes[1].makespan,
+      static_cast<unsigned long long>(modes[1].samples),
+      static_cast<unsigned long long>(modes[1].series),
+      static_cast<unsigned long long>(modes[1].alerts_fired));
+  json += str_format(
+      "  {\"label\": \"telemetry-overhead\", \"overhead_percent\": %.4f, "
+      "\"makespan_equal\": %s, \"off_is_free\": %s}\n",
+      overhead_percent, makespan_equal ? "true" : "false",
+      off_is_free ? "true" : "false");
+  json += "]\n";
+  if (FILE* out = std::fopen("BENCH_telemetry.json", "w")) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("wrote BENCH_telemetry.json\n");
+  } else {
+    std::fprintf(stderr, "cannot write BENCH_telemetry.json\n");
+    return 1;
+  }
+  return makespan_equal && off_is_free ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) { return run(argc, argv); }

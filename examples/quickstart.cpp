@@ -22,7 +22,9 @@
 #include "omptarget/service.h"
 #include "support/flags.h"
 #include "support/strings.h"
+#include "trace/alerts.h"
 #include "trace/export.h"
+#include "trace/timeseries.h"
 #include "trace/tracer.h"
 #include "workload/generators.h"
 
@@ -80,6 +82,26 @@ int main(int argc, const char** argv) {
   // `[trace] log-events = true` mirrors WARN/ERROR logs into the trace as
   // instant events; the capture is a no-op otherwise.
   trace::ScopedLogCapture log_capture(devices.tracer());
+
+  // `[telemetry] enabled = true` samples every registry metric into labeled
+  // time series on a virtual-time cadence and, with `[alerts]` rules, runs
+  // the SLO evaluator after every sample. Disabled (the default), the
+  // collector never attaches to the tools bus.
+  auto telemetry_options = trace::TelemetryOptions::from_config(config);
+  if (!telemetry_options.ok()) {
+    std::fprintf(stderr, "bad [telemetry] config: %s\n",
+                 telemetry_options.status().to_string().c_str());
+    return 1;
+  }
+  trace::TimeSeriesCollector collector(devices.tracer(),
+                                       std::move(*telemetry_options));
+  if (auto rules = trace::AlertRuleSet::from_config(config); rules.ok()) {
+    collector.set_alert_rules(std::move(*rules));
+  } else {
+    std::fprintf(stderr, "bad [alerts] config: %s\n",
+                 rules.status().to_string().c_str());
+    return 1;
+  }
 
   // 3. The user program: local data, one annotated loop.
   auto a = workload::make_matrix({static_cast<size_t>(n),
@@ -156,7 +178,19 @@ int main(int argc, const char** argv) {
       report->job.slots, format_duration(report->download_seconds).c_str(),
       format_duration(report->total_seconds).c_str(), report->cost_usd);
 
-  // 5. `[trace] export = <path>`: dump the span tree for Perfetto.
+  // 5. Flush telemetry (plants the `telemetry` trace instant and writes the
+  //    `.tsdb.json` / OpenMetrics files when export paths are configured),
+  //    then `[trace] export = <path>`: dump the span tree for Perfetto.
+  if (Status flushed = collector.finalize(); !flushed.is_ok()) {
+    std::fprintf(stderr, "telemetry export failed: %s\n",
+                 flushed.to_string().c_str());
+    return 1;
+  }
+  if (collector.samples() > 0) {
+    std::printf("telemetry: %llu samples over %zu series\n",
+                static_cast<unsigned long long>(collector.samples()),
+                collector.series().size());
+  }
   trace::TraceOptions trace_options = trace::TraceOptions::from_config(config);
   if (!trace_options.export_path.empty()) {
     Status wrote = trace::write_chrome_json(devices.tracer(),

@@ -191,6 +191,13 @@ void Cluster::record_fleet_size() {
   span.add("running", running_worker_count());
   span.add("booting", booting_worker_count());
   span.end();
+  trace::Labels type{{"type", spec_.instance_type}};
+  tracer_->metrics()
+      .gauge("cluster.workers_running", type)
+      .set(running_worker_count());
+  tracer_->metrics()
+      .gauge("cluster.workers_booting", type)
+      .set(booting_worker_count());
 }
 
 std::string Cluster::worker_node(int index) const {

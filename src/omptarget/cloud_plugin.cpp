@@ -317,6 +317,7 @@ sim::Co<Status> CloudPlugin::put_with_retry(std::string key, ByteBuffer frame,
       recovery.tag("op", "put");
       recovery.tag("key", key);
       tr.metrics().counter("storage.retries").add();
+      tr.metrics().counter("storage.retries", {{"op", "put"}}).add();
       note_fault(tools::FaultEventInfo::Kind::kRetry, "storage.put",
                  put.message());
       co_await backoff_sleep(&prev_sleep);
@@ -363,6 +364,7 @@ sim::Co<Result<ByteBuffer>> CloudPlugin::get_with_retry(std::string key,
       recovery.tag("op", "get");
       recovery.tag("key", key);
       tr.metrics().counter("storage.retries").add();
+      tr.metrics().counter("storage.retries", {{"op", "get"}}).add();
       note_fault(tools::FaultEventInfo::Kind::kRetry, "storage.get",
                  got.message());
       co_await backoff_sleep(&prev_sleep);

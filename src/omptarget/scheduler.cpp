@@ -513,6 +513,12 @@ void OffloadScheduler::dispatch_batch(const std::vector<size_t>& indices) {
   }
   manager_->tracer().metrics().counter("batch.jobs").add();
   manager_->tracer().metrics().counter("batch.regions").add(members.size());
+  for (const Pending& member : members) {
+    manager_->tracer()
+        .metrics()
+        .counter("batch.regions", {{"tenant", member.options.tenant}})
+        .add();
+  }
   notify_demand();
   (void)manager_->engine().spawn(run_batch(std::move(members), batch_id));
 }
@@ -635,6 +641,8 @@ void OffloadScheduler::emit_event(tools::SchedulerEventInfo::Kind kind,
   info.reason = reason;
   info.batch_id = batch_id;
   info.batch_size = batch_size;
+  info.tenant_in_system = in_system(pending.options.tenant);
+  info.tenant_quota = options_.quota_for(pending.options.tenant);
   info.time = manager_->engine().now();
   if (kind == tools::SchedulerEventInfo::Kind::kComplete &&
       pending.absolute_deadline > 0) {

@@ -33,6 +33,10 @@ Service::Service(omptarget::DeviceManager& devices, ServiceOptions options)
 
 Session Service::session(std::string tenant) {
   if (tenant.empty()) tenant = options_.default_tenant;
+  devices_->tracer()
+      .metrics()
+      .counter("service.sessions", {{"tenant", tenant}})
+      .add();
   return Session(this, std::move(tenant));
 }
 

@@ -1,0 +1,46 @@
+// Minimal JSON reader shared by the trace importer and the ocmon monitor.
+//
+// The value model is intentionally small: enough to round-trip what this
+// repo's own writers (trace/export.cpp, trace/timeseries.cpp) emit. Object
+// members keep document order, and number tokens keep their raw text so
+// integers re-parse exactly (%llu counters) while doubles go through
+// strtod — the same function the analyzer's quantizers use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/status.h"
+
+namespace ompcloud {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string text;  ///< string payload, or the raw number token
+  std::vector<std::pair<std::string, JsonValue>> members;
+  std::vector<JsonValue> items;
+
+  /// First member with this key (document order); nullptr when absent.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+  [[nodiscard]] uint64_t u64_or(std::string_view key, uint64_t fallback) const;
+  /// Member's string payload, or `fallback` when absent / not a string.
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string fallback) const;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+/// `what` names the document in error messages ("trace JSON", ...).
+[[nodiscard]] Result<JsonValue> parse_json(std::string_view src,
+                                           std::string_view what = "JSON");
+
+/// Reads `path` fully and parses it with parse_json.
+[[nodiscard]] Result<JsonValue> load_json_file(const std::string& path);
+
+}  // namespace ompcloud

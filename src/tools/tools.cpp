@@ -43,6 +43,14 @@ std::string_view to_string(SchedulerEventInfo::Kind kind) {
   return "?";
 }
 
+std::string_view to_string(AlertInfo::Kind kind) {
+  switch (kind) {
+    case AlertInfo::Kind::kFire: return "fire";
+    case AlertInfo::Kind::kResolve: return "resolve";
+  }
+  return "?";
+}
+
 std::string_view to_string(FaultEventInfo::Kind kind) {
   switch (kind) {
     case FaultEventInfo::Kind::kInjected: return "injected";
@@ -112,6 +120,10 @@ void ToolRegistry::emit_scheduler_event(const SchedulerEventInfo& info) {
 
 void ToolRegistry::emit_fault_event(const FaultEventInfo& info) {
   for (Tool* tool : tools_) tool->on_fault_event(info);
+}
+
+void ToolRegistry::emit_alert(const AlertInfo& info) {
+  for (Tool* tool : tools_) tool->on_alert(info);
 }
 
 }  // namespace ompcloud::tools

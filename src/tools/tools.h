@@ -161,6 +161,11 @@ struct SchedulerEventInfo {
   int batch_size = 1;
   /// kComplete with a deadline: whether completion beat the deadline.
   bool deadline_met = true;
+  /// Tenant occupancy after this event: submissions this tenant has running
+  /// or queued, and its admission quota (0 = unbounded). Lets observers
+  /// maintain per-tenant quota-pressure gauges without replaying history.
+  int tenant_in_system = 0;
+  int tenant_quota = 0;
   double time = 0;
 };
 
@@ -192,6 +197,21 @@ struct FaultEventInfo {
 
 std::string_view to_string(FaultEventInfo::Kind kind);
 
+/// One SLO alert transition from the telemetry evaluator (trace/alerts.h):
+/// a declarative rule crossed into (kFire) or out of (kResolve) its firing
+/// condition at a sampling instant.
+struct AlertInfo {
+  enum class Kind { kFire, kResolve };
+  Kind kind = Kind::kFire;
+  std::string_view rule;      ///< rule name from the [alerts] section
+  std::string_view labels;    ///< encoded group labels, e.g. {tenant="a"}
+  std::string_view severity;  ///< page | ticket | info
+  double value = 0;  ///< burn rate / threshold value at the transition
+  double time = 0;
+};
+
+std::string_view to_string(AlertInfo::Kind kind);
+
 /// Observer base class: override the callbacks you care about. Tools are
 /// borrowed (not owned) by the registry and must outlive it or detach.
 class Tool {
@@ -209,6 +229,7 @@ class Tool {
   virtual void on_autoscale_decision(const AutoscaleInfo&) {}
   virtual void on_scheduler_event(const SchedulerEventInfo&) {}
   virtual void on_fault_event(const FaultEventInfo&) {}
+  virtual void on_alert(const AlertInfo&) {}
 };
 
 /// Registration + dispatch. Tools fire in attach order (deterministic);
@@ -233,6 +254,7 @@ class ToolRegistry {
   void emit_autoscale_decision(const AutoscaleInfo& info);
   void emit_scheduler_event(const SchedulerEventInfo& info);
   void emit_fault_event(const FaultEventInfo& info);
+  void emit_alert(const AlertInfo& info);
 
  private:
   std::vector<Tool*> tools_;

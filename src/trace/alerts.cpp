@@ -1,0 +1,379 @@
+#include "trace/alerts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "support/strings.h"
+#include "trace/timeseries.h"
+
+namespace ompcloud::trace {
+
+namespace {
+
+/// A parsed metric selector: family name + label constraints.
+struct Selector {
+  std::string family;
+  Labels labels;
+};
+
+Result<Selector> parse_selector(std::string_view text) {
+  Selector selector;
+  size_t brace = text.find('{');
+  if (brace == std::string_view::npos) {
+    selector.family = std::string(text);
+    return selector;
+  }
+  if (text.empty() || text.back() != '}') {
+    return invalid_argument("selector '" + std::string(text) +
+                            "': unterminated label block");
+  }
+  selector.family = std::string(text.substr(0, brace));
+  std::string_view body = text.substr(brace + 1, text.size() - brace - 2);
+  for (const std::string& pair : split(body, ',')) {
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return invalid_argument("selector '" + std::string(text) +
+                              "': label constraints are key=value");
+    }
+    std::string key(trim(std::string_view(pair).substr(0, eq)));
+    std::string_view value = trim(std::string_view(pair).substr(eq + 1));
+    if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+      value = value.substr(1, value.size() - 2);
+    }
+    selector.labels.emplace_back(std::move(key), std::string(value));
+  }
+  return selector;
+}
+
+bool matches(const MetricKey& key, const Selector& selector) {
+  if (key.name != selector.family) return false;
+  for (const auto& [k, v] : selector.labels) {
+    const std::string* value = key.label(k);
+    if (value == nullptr || *value != v) return false;
+  }
+  return true;
+}
+
+/// Enumerates the group values a rule splits on (label values of
+/// `group_by` across matching series); one unnamed group when `group_by`
+/// is empty.
+std::set<std::string> enumerate_groups(
+    const std::map<std::string, TimeSeries>& series, const Selector& selector,
+    const std::string& group_by) {
+  std::set<std::string> groups;
+  if (group_by.empty()) {
+    groups.insert("");
+    return groups;
+  }
+  for (const auto& [key, unused] : series) {
+    MetricKey parsed = Metrics::parse_key(key);
+    if (!matches(parsed, selector)) continue;
+    if (const std::string* value = parsed.label(group_by)) {
+      groups.insert(*value);
+    }
+  }
+  return groups;
+}
+
+/// Sums `delta` (or, with window_ticks < 0, the instantaneous value) over
+/// every series matching the selector within one group.
+///
+/// An unconstrained, ungrouped selector prefers the exact unlabeled series
+/// when the family has one (the flat back-compat aliases already aggregate
+/// their labeled splits; summing both would double-count).
+double sum_over_group(const std::map<std::string, TimeSeries>& series,
+                      const Selector& selector, const std::string& group_by,
+                      const std::string& group_value, int64_t tick,
+                      int64_t window_ticks) {
+  const bool grouped = !group_by.empty();
+  if (!grouped && selector.labels.empty()) {
+    if (auto it = series.find(selector.family); it != series.end()) {
+      return window_ticks < 0
+                 ? it->second.value_at(tick)
+                 : it->second.delta(tick - window_ticks, tick);
+    }
+  }
+  double total = 0;
+  for (const auto& [key, ts] : series) {
+    MetricKey parsed = Metrics::parse_key(key);
+    if (!matches(parsed, selector)) continue;
+    if (grouped) {
+      const std::string* value = parsed.label(group_by);
+      if (value == nullptr || *value != group_value) continue;
+    } else if (selector.labels.empty() && !parsed.labels.empty()) {
+      // No flat alias exists: sum every labeled split (fall through).
+    }
+    total += window_ticks < 0 ? ts.value_at(tick)
+                              : ts.delta(tick - window_ticks, tick);
+  }
+  return total;
+}
+
+Result<double> parse_duration_or_fail(std::string_view token,
+                                      const std::string& rule) {
+  auto seconds = parse_duration_seconds(token);
+  if (!seconds.has_value() || *seconds < 0) {
+    return invalid_argument("alerts.rule." + rule + ": bad duration '" +
+                            std::string(token) + "'");
+  }
+  return *seconds;
+}
+
+Result<AlertRule> parse_rule(std::string name, const std::string& text) {
+  std::vector<std::string> tokens;
+  for (const std::string& token : split(text, ' ')) {
+    if (!token.empty()) tokens.push_back(token);
+  }
+  if (tokens.empty()) {
+    return invalid_argument("alerts.rule." + name + ": empty rule");
+  }
+  AlertRule rule;
+  rule.name = std::move(name);
+  size_t i = 1;
+  auto need = [&](const char* what) -> Result<std::string> {
+    if (i >= tokens.size()) {
+      return invalid_argument("alerts.rule." + rule.name + ": expected " +
+                              what);
+    }
+    return tokens[i++];
+  };
+
+  if (tokens[0] == "burn-rate") {
+    rule.kind = AlertRule::Kind::kBurnRate;
+    auto num = need("bad-event selector");
+    if (!num.ok()) return num.status();
+    rule.numerator = *num;
+    auto slash = need("'/'");
+    if (!slash.ok()) return slash.status();
+    if (*slash != "/") {
+      return invalid_argument("alerts.rule." + rule.name +
+                              ": burn-rate selectors are <bad> / <total>");
+    }
+    auto den = need("total-event selector");
+    if (!den.ok()) return den.status();
+    rule.denominator = *den;
+  } else if (tokens[0] == "threshold") {
+    rule.kind = AlertRule::Kind::kThreshold;
+    auto sel = need("selector");
+    if (!sel.ok()) return sel.status();
+    rule.selector = *sel;
+    auto op = need("comparison operator");
+    if (!op.ok()) return op.status();
+    if (*op != ">" && *op != ">=" && *op != "<" && *op != "<=" &&
+        *op != "==") {
+      return invalid_argument("alerts.rule." + rule.name +
+                              ": unknown operator '" + *op + "'");
+    }
+    rule.op = *op;
+    auto bound = need("bound value");
+    if (!bound.ok()) return bound.status();
+    auto value = parse_double(*bound);
+    if (!value.has_value()) {
+      return invalid_argument("alerts.rule." + rule.name + ": bad bound '" +
+                              *bound + "'");
+    }
+    rule.bound = *value;
+  } else {
+    return invalid_argument("alerts.rule." + rule.name +
+                            ": rules start with burn-rate or threshold");
+  }
+
+  while (i < tokens.size()) {
+    const std::string keyword = tokens[i++];
+    if (keyword == "by") {
+      auto label = need("label after 'by'");
+      if (!label.ok()) return label.status();
+      rule.group_by = *label;
+    } else if (keyword == "objective" &&
+               rule.kind == AlertRule::Kind::kBurnRate) {
+      auto token = need("objective fraction");
+      if (!token.ok()) return token.status();
+      auto objective = parse_double(*token);
+      if (!objective.has_value() || *objective <= 0 || *objective >= 1) {
+        return invalid_argument("alerts.rule." + rule.name +
+                                ": objective must be in (0, 1)");
+      }
+      rule.objective = *objective;
+    } else if (keyword == "windows" &&
+               rule.kind == AlertRule::Kind::kBurnRate) {
+      auto token = need("window spec");
+      if (!token.ok()) return token.status();
+      for (const std::string& part : split(*token, ',')) {
+        size_t colon = part.find(':');
+        if (colon == std::string::npos) {
+          return invalid_argument("alerts.rule." + rule.name +
+                                  ": windows are <duration>:<burn>[,...]");
+        }
+        AlertRule::Window window;
+        auto seconds = parse_duration_or_fail(
+            std::string_view(part).substr(0, colon), rule.name);
+        if (!seconds.ok()) return seconds.status();
+        window.seconds = *seconds;
+        auto burn = parse_double(std::string_view(part).substr(colon + 1));
+        if (!burn.has_value() || *burn <= 0) {
+          return invalid_argument("alerts.rule." + rule.name +
+                                  ": window burn thresholds must be > 0");
+        }
+        window.burn = *burn;
+        rule.windows.push_back(window);
+      }
+    } else if (keyword == "for" && rule.kind == AlertRule::Kind::kThreshold) {
+      auto token = need("duration after 'for'");
+      if (!token.ok()) return token.status();
+      auto seconds = parse_duration_or_fail(*token, rule.name);
+      if (!seconds.ok()) return seconds.status();
+      rule.for_seconds = *seconds;
+    } else if (keyword == "severity") {
+      auto token = need("severity after 'severity'");
+      if (!token.ok()) return token.status();
+      rule.severity = *token;
+    } else {
+      return invalid_argument("alerts.rule." + rule.name +
+                              ": unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (rule.kind == AlertRule::Kind::kBurnRate && rule.windows.empty()) {
+    return invalid_argument("alerts.rule." + rule.name +
+                            ": burn-rate rules need a windows clause");
+  }
+  return rule;
+}
+
+}  // namespace
+
+Result<AlertRuleSet> AlertRuleSet::from_config(const Config& config) {
+  AlertRuleSet set;
+  constexpr std::string_view kPrefix = "rule.";
+  for (const std::string& key : config.keys_in("alerts")) {
+    if (key.size() <= kPrefix.size() ||
+        key.compare(0, kPrefix.size(), kPrefix) != 0) {
+      continue;
+    }
+    auto rule = parse_rule(key.substr(kPrefix.size()),
+                           config.get_string("alerts." + key, ""));
+    if (!rule.ok()) return rule.status();
+    set.rules.push_back(std::move(*rule));
+  }
+  return set;
+}
+
+AlertEvaluator::AlertEvaluator(Tracer& tracer, AlertRuleSet rules)
+    : tracer_(&tracer), rules_(std::move(rules)) {}
+
+void AlertEvaluator::evaluate(const TimeSeriesCollector& collector,
+                              int64_t tick) {
+  const auto& series = collector.series();
+  const double interval = collector.options().interval_seconds;
+  auto to_ticks = [&](double seconds) {
+    return std::max<int64_t>(1, std::llround(seconds / interval));
+  };
+
+  for (const AlertRule& rule : rules_.rules) {
+    if (rule.kind == AlertRule::Kind::kBurnRate) {
+      auto numerator = parse_selector(rule.numerator);
+      auto denominator = parse_selector(rule.denominator);
+      if (!numerator.ok() || !denominator.ok()) continue;  // validated at parse
+      for (const std::string& group :
+           enumerate_groups(series, *numerator, rule.group_by)) {
+        bool firing = true;
+        double binding_burn = 0;
+        bool first = true;
+        for (const AlertRule::Window& window : rule.windows) {
+          const int64_t ticks = to_ticks(window.seconds);
+          const double bad = sum_over_group(series, *numerator, rule.group_by,
+                                            group, tick, ticks);
+          const double total = sum_over_group(
+              series, *denominator, rule.group_by, group, tick, ticks);
+          const double ratio = total > 0 ? bad / total : 0.0;
+          const double burn = ratio / std::max(1e-12, 1.0 - rule.objective);
+          if (first || burn < binding_burn) binding_burn = burn;
+          first = false;
+          if (burn < window.burn) {
+            firing = false;
+            break;
+          }
+        }
+        const std::string labels =
+            rule.group_by.empty()
+                ? std::string()
+                : Metrics::encode_key("", {{rule.group_by, group}});
+        GroupState& state = state_[rule.name + "\n" + labels];
+        state.rule = &rule;
+        transition(state, rule, labels, firing, tick, binding_burn);
+      }
+    } else {
+      auto selector = parse_selector(rule.selector);
+      if (!selector.ok()) continue;
+      for (const std::string& group :
+           enumerate_groups(series, *selector, rule.group_by)) {
+        const double value = sum_over_group(series, *selector, rule.group_by,
+                                            group, tick, /*window_ticks=*/-1);
+        bool condition = false;
+        if (rule.op == ">") condition = value > rule.bound;
+        else if (rule.op == ">=") condition = value >= rule.bound;
+        else if (rule.op == "<") condition = value < rule.bound;
+        else if (rule.op == "<=") condition = value <= rule.bound;
+        else condition = value == rule.bound;
+
+        const std::string labels =
+            rule.group_by.empty()
+                ? std::string()
+                : Metrics::encode_key("", {{rule.group_by, group}});
+        GroupState& state = state_[rule.name + "\n" + labels];
+        state.rule = &rule;
+        state.consecutive = condition ? state.consecutive + 1 : 0;
+        const int need =
+            rule.for_seconds > 0 ? static_cast<int>(to_ticks(rule.for_seconds))
+                                 : 1;
+        transition(state, rule, labels, state.consecutive >= need, tick,
+                   value);
+      }
+    }
+  }
+}
+
+void AlertEvaluator::transition(GroupState& state, const AlertRule& rule,
+                                const std::string& labels, bool now_firing,
+                                int64_t tick, double value) {
+  state.value = value;
+  if (now_firing == state.firing) return;
+  state.firing = now_firing;
+  if (now_firing) {
+    state.since_tick = tick;
+    ++fired_;
+  }
+  events_.push_back(
+      {rule.name, labels, rule.severity, now_firing, tick, value});
+  (void)tracer_->instant(
+      now_firing ? "alert.fire" : "alert.resolve",
+      {{"rule", rule.name},
+       {"labels", labels},
+       {"severity", rule.severity},
+       {"value", str_format("%.9g", value)},
+       {"tick", str_format("%lld", static_cast<long long>(tick))}});
+  tools::AlertInfo info;
+  info.kind = now_firing ? tools::AlertInfo::Kind::kFire
+                         : tools::AlertInfo::Kind::kResolve;
+  info.rule = rule.name;
+  info.labels = labels;
+  info.severity = rule.severity;
+  info.value = value;
+  info.time = tracer_->now();
+  tracer_->tools().emit_alert(info);
+}
+
+std::vector<ActiveAlert> AlertEvaluator::active() const {
+  std::vector<ActiveAlert> result;
+  for (const auto& [key, state] : state_) {
+    if (!state.firing || state.rule == nullptr) continue;
+    size_t nl = key.find('\n');
+    result.push_back({key.substr(0, nl), key.substr(nl + 1),
+                      state.rule->severity, state.since_tick, state.value});
+  }
+  return result;
+}
+
+}  // namespace ompcloud::trace

@@ -1,0 +1,138 @@
+// Declarative SLO alerting over the telemetry rings (timeseries.h).
+//
+// Rules live in the `[alerts]` INI section, one per `rule.<name>` key, in
+// one of two shapes:
+//
+//   rule.<name> = burn-rate <bad-selector> / <total-selector>
+//                 [by <label>] objective <fraction>
+//                 windows <w1>:<burn1>,<w2>:<burn2>[,...]
+//                 [severity page|ticket|info]
+//
+//     Multi-window burn-rate alerting in the SRE-workbook sense: over each
+//     trailing window the error ratio is bad/total, the burn rate is
+//     ratio / (1 - objective) — how many times faster than "exactly spend
+//     the error budget" the service is burning — and the rule fires only
+//     when EVERY window exceeds its threshold (the short window gates
+//     detection latency, the long window gates flappiness). `by <label>`
+//     evaluates each label value (e.g. each tenant) independently.
+//
+//   rule.<name> = threshold <selector> <op> <value> [for <duration>]
+//                 [by <label>] [severity ...]
+//
+//     Instantaneous comparison (`> >= < <= ==`) on the summed current
+//     value of the matching series, required to hold for `for` before
+//     firing (queue-depth, breaker-state style alerts).
+//
+// Selectors name a metric family with optional label constraints:
+// `slo.deadline{outcome=missed}` matches every series of that family
+// carrying the label (remaining labels are summed over, or split out by
+// the `by` clause). Transitions emit `alert.fire`/`alert.resolve` instant
+// spans and `on_alert` tool callbacks; the built-in MetricsTool folds
+// those back into `alert.fired{rule=...}` counters, closing the loop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/config.h"
+#include "support/status.h"
+#include "trace/tracer.h"
+
+namespace ompcloud::trace {
+
+class TimeSeriesCollector;
+
+struct AlertRule {
+  enum class Kind { kBurnRate, kThreshold };
+  struct Window {
+    double seconds = 0;  ///< trailing window length (virtual seconds)
+    double burn = 0;     ///< minimum burn rate for this window to vote fire
+  };
+
+  Kind kind = Kind::kThreshold;
+  std::string name;
+  std::string severity = "page";
+  std::string group_by;  ///< label to split groups on; empty = one group
+
+  // burn-rate fields
+  std::string numerator;    ///< bad-event selector text
+  std::string denominator;  ///< total-event selector text
+  double objective = 0.999;
+  std::vector<Window> windows;
+
+  // threshold fields
+  std::string selector;
+  std::string op = ">=";
+  double bound = 0;
+  double for_seconds = 0;
+};
+
+struct AlertRuleSet {
+  std::vector<AlertRule> rules;
+
+  [[nodiscard]] bool empty() const { return rules.empty(); }
+
+  /// Parses every `alerts.rule.<name>` key; malformed rules are a
+  /// configuration error (loud, not skipped).
+  static Result<AlertRuleSet> from_config(const Config& config);
+};
+
+/// One fire/resolve transition, in tick space (ocmon + tsdb dump).
+struct AlertEvent {
+  std::string rule;
+  std::string labels;  ///< encoded group labels, e.g. {tenant="teamA"}
+  std::string severity;
+  bool fire = true;
+  int64_t tick = 0;
+  double value = 0;  ///< binding burn rate / threshold value
+};
+
+/// A group currently in the firing state.
+struct ActiveAlert {
+  std::string rule;
+  std::string labels;
+  std::string severity;
+  int64_t since_tick = 0;
+  double value = 0;
+};
+
+/// Evaluates a rule set against the collector's rings after every sample
+/// tick. Owned by the collector (set_alert_rules).
+class AlertEvaluator {
+ public:
+  AlertEvaluator(Tracer& tracer, AlertRuleSet rules);
+
+  void evaluate(const TimeSeriesCollector& collector, int64_t tick);
+
+  [[nodiscard]] const AlertRuleSet& rules() const { return rules_; }
+  [[nodiscard]] const std::vector<AlertEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] uint64_t fired() const { return fired_; }
+  [[nodiscard]] std::vector<ActiveAlert> active() const;
+
+ private:
+  struct GroupState {
+    const AlertRule* rule = nullptr;
+    bool firing = false;
+    int64_t since_tick = 0;
+    int consecutive = 0;  ///< threshold rules: ticks the condition held
+    double value = 0;
+  };
+
+  void transition(GroupState& state, const AlertRule& rule,
+                  const std::string& labels, bool now_firing, int64_t tick,
+                  double value);
+
+  Tracer* tracer_;
+  AlertRuleSet rules_;
+  /// Keyed `<rule>\n<encoded group labels>` (deterministic iteration).
+  std::map<std::string, GroupState> state_;
+  std::vector<AlertEvent> events_;
+  uint64_t fired_ = 0;
+};
+
+}  // namespace ompcloud::trace

@@ -36,6 +36,18 @@ bool ends_with(const std::string& name, std::string_view suffix) {
          std::string_view(name).substr(name.size() - suffix.size()) == suffix;
 }
 
+/// Alert group labels embed quotes (`{tenant="teamA"}`), unlike the other
+/// strings these reports emit, so they need escaping before JSON.
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
 /// Parses the index out of names like "task[12]"; -1 on mismatch.
 int bracket_index(const std::string& name, std::string_view prefix) {
   if (name.size() <= prefix.size() + 1) return -1;
@@ -786,6 +798,152 @@ std::string ServiceStats::to_text() const {
       static_cast<unsigned long long>(preempted));
   out += str_format("  slo: %llu submissions carried deadlines\n",
                     static_cast<unsigned long long>(with_deadline));
+  return out;
+}
+
+TelemetryStats TraceAnalyzer::analyze_telemetry() const {
+  TelemetryStats stats;
+  auto as_uint = [](const std::string* text) -> uint64_t {
+    if (text == nullptr) return 0;
+    auto value = parse_int(*text);
+    return value.has_value() && *value >= 0 ? static_cast<uint64_t>(*value)
+                                            : 0;
+  };
+  for (const Span* span : query_.named("telemetry")) {
+    // finalize() plants exactly one, but an imported concatenation of runs
+    // could hold several; the last one wins (same as re-finalizing).
+    stats.found = true;
+    if (const std::string* interval = span->tag("interval")) {
+      stats.interval_seconds = parse_double(*interval).value_or(0.0);
+    }
+    stats.samples = as_uint(span->tag("samples"));
+    stats.series = as_uint(span->tag("series"));
+    stats.evaluated_alerts = span->tag("alerts_fired") != nullptr;
+    stats.alerts_fired = as_uint(span->tag("alerts_fired"));
+    stats.alerts_active = as_uint(span->tag("alerts_active"));
+  }
+  return stats;
+}
+
+AlertStats TraceAnalyzer::analyze_alerts() const {
+  AlertStats stats;
+  // Aggregate edges per (rule, labels) group; keyed map keeps the report
+  // sorted and stable across export round trips.
+  std::map<std::pair<std::string, std::string>, AlertGroup> groups;
+  auto visit = [&](const Span* span, bool fire) {
+    const std::string* rule = span->tag("rule");
+    if (rule == nullptr) return;
+    const std::string* labels = span->tag("labels");
+    AlertGroup& group =
+        groups
+            .try_emplace({*rule, labels != nullptr ? *labels : std::string()})
+            .first->second;
+    group.rule = *rule;
+    if (labels != nullptr) group.labels = *labels;
+    if (const std::string* severity = span->tag("severity")) {
+      group.severity = *severity;
+    }
+    if (const std::string* value = span->tag("value")) {
+      group.last_value = quantize_value(parse_double(*value).value_or(0.0));
+    }
+    if (fire) {
+      stats.found = true;
+      stats.fired += 1;
+      if (group.fires == 0) group.first_fire = quantize_time(span->start);
+      group.fires += 1;
+    } else {
+      stats.found = true;
+      stats.resolved += 1;
+      group.resolves += 1;
+    }
+  };
+  for (const Span* span : query_.named("alert.fire")) visit(span, true);
+  for (const Span* span : query_.named("alert.resolve")) visit(span, false);
+  for (auto& [key, group] : groups) stats.groups.push_back(std::move(group));
+  return stats;
+}
+
+std::string TelemetryStats::to_json(int indent) const {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  std::string json = "{\n";
+  json += str_format("%s  \"found\": %s,\n", pad.c_str(),
+                     found ? "true" : "false");
+  json += str_format("%s  \"interval_seconds\": %.9g,\n", pad.c_str(),
+                     interval_seconds);
+  json += str_format("%s  \"samples\": %llu,\n", pad.c_str(),
+                     static_cast<unsigned long long>(samples));
+  json += str_format("%s  \"series\": %llu,\n", pad.c_str(),
+                     static_cast<unsigned long long>(series));
+  json += str_format(
+      "%s  \"alerts\": {\"evaluated\": %s, \"fired\": %llu, "
+      "\"active\": %llu}\n",
+      pad.c_str(), evaluated_alerts ? "true" : "false",
+      static_cast<unsigned long long>(alerts_fired),
+      static_cast<unsigned long long>(alerts_active));
+  json += str_format("%s}", pad.c_str());
+  return json;
+}
+
+std::string TelemetryStats::to_text() const {
+  if (!found) return "telemetry: no collector in trace\n";
+  std::string out = str_format(
+      "telemetry — %llu samples at %.9g s cadence, %llu series\n",
+      static_cast<unsigned long long>(samples), interval_seconds,
+      static_cast<unsigned long long>(series));
+  if (evaluated_alerts) {
+    out += str_format(
+        "  alerts: %llu fired, %llu active at end of run\n",
+        static_cast<unsigned long long>(alerts_fired),
+        static_cast<unsigned long long>(alerts_active));
+  }
+  return out;
+}
+
+std::string AlertStats::to_json(int indent) const {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  std::string json = "{\n";
+  json += str_format("%s  \"found\": %s,\n", pad.c_str(),
+                     found ? "true" : "false");
+  json += str_format("%s  \"fired\": %llu,\n", pad.c_str(),
+                     static_cast<unsigned long long>(fired));
+  json += str_format("%s  \"resolved\": %llu,\n", pad.c_str(),
+                     static_cast<unsigned long long>(resolved));
+  json += str_format("%s  \"groups\": [", pad.c_str());
+  for (size_t i = 0; i < groups.size(); ++i) {
+    const AlertGroup& group = groups[i];
+    if (i > 0) json += ",";
+    json += str_format(
+        "\n%s    {\"rule\": \"%s\", \"labels\": \"%s\", \"severity\": "
+        "\"%s\", \"fires\": %llu, \"resolves\": %llu, \"first_fire\": %.9g, "
+        "\"last_value\": %.9g}",
+        pad.c_str(), json_escape(group.rule).c_str(),
+        json_escape(group.labels).c_str(), json_escape(group.severity).c_str(),
+        static_cast<unsigned long long>(group.fires),
+        static_cast<unsigned long long>(group.resolves), group.first_fire,
+        group.last_value);
+  }
+  if (!groups.empty()) json += str_format("\n%s  ", pad.c_str());
+  json += "]\n";
+  json += str_format("%s}", pad.c_str());
+  return json;
+}
+
+std::string AlertStats::to_text() const {
+  if (!found) return "alerts: no alert events in trace\n";
+  std::string out = str_format(
+      "alerts — %llu fired, %llu resolved\n",
+      static_cast<unsigned long long>(fired),
+      static_cast<unsigned long long>(resolved));
+  for (const AlertGroup& group : groups) {
+    out += str_format(
+        "  [%s] %s%s: %llu fire%s (%llu resolved), first at %.6f s, "
+        "last value %.9g\n",
+        group.severity.c_str(), group.rule.c_str(), group.labels.c_str(),
+        static_cast<unsigned long long>(group.fires),
+        group.fires == 1 ? "" : "s",
+        static_cast<unsigned long long>(group.resolves), group.first_fire,
+        group.last_value);
+  }
   return out;
 }
 

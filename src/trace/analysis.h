@@ -226,6 +226,54 @@ struct ServiceStats {
   [[nodiscard]] std::string to_text() const;
 };
 
+/// Telemetry-pipeline verdict: what the time-series collector recorded,
+/// read back from the `telemetry` instant it plants at finalize(). Traces
+/// recorded with `[telemetry]` off (or before the pipeline existed) hold no
+/// such span and leave `found` false — both `octrace summary` text and JSON
+/// omit the section, so old traces render byte-identically.
+struct TelemetryStats {
+  bool found = false;
+  double interval_seconds = 0;  ///< sampling cadence (virtual seconds)
+  uint64_t samples = 0;         ///< registry scrapes taken
+  uint64_t series = 0;          ///< distinct time series retained
+  bool evaluated_alerts = false;  ///< an alert rule set was loaded
+  uint64_t alerts_fired = 0;      ///< fire edges over the whole run
+  uint64_t alerts_active = 0;     ///< still firing at end of run
+
+  /// Stable JSON object (nested lines prefixed with `indent` spaces).
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+  /// Stable human-readable block (what `octrace summary` prints).
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// One (rule, label-set) alert group aggregated from its `alert.fire` /
+/// `alert.resolve` instants.
+struct AlertGroup {
+  std::string rule;
+  std::string labels;    ///< encoded `{k="v"}` group labels; "" ungrouped
+  std::string severity;
+  uint64_t fires = 0;
+  uint64_t resolves = 0;
+  double first_fire = 0;  ///< quantized virtual time of the first fire
+  double last_value = 0;  ///< burn rate / threshold value at the last edge
+};
+
+/// End-of-run alert report over the whole trace, derived entirely from the
+/// evaluator's `alert.fire`/`alert.resolve` instants (so it survives
+/// export → import byte-identically). `found` stays false when the trace
+/// holds no alert edges.
+struct AlertStats {
+  bool found = false;
+  uint64_t fired = 0;
+  uint64_t resolved = 0;
+  std::vector<AlertGroup> groups;  ///< sorted by (rule, labels)
+
+  /// Stable JSON object (nested lines prefixed with `indent` spaces).
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+  /// Stable human-readable block (what `octrace summary` prints).
+  [[nodiscard]] std::string to_text() const;
+};
+
 /// Runs the analyses over a recorded (or imported) trace.
 class TraceAnalyzer {
  public:
@@ -240,6 +288,10 @@ class TraceAnalyzer {
   [[nodiscard]] ClusterScalingAnalysis analyze_cluster() const;
   /// Admission/batching verdict over the whole trace.
   [[nodiscard]] ServiceStats analyze_service() const;
+  /// Collector footprint read back from the `telemetry` instant.
+  [[nodiscard]] TelemetryStats analyze_telemetry() const;
+  /// Alert report aggregated from `alert.fire`/`alert.resolve` instants.
+  [[nodiscard]] AlertStats analyze_alerts() const;
 
  private:
   const Tracer* tracer_;

@@ -7,233 +7,12 @@
 #include <utility>
 #include <vector>
 
+#include "support/json.h"
 #include "support/strings.h"
 
 namespace ompcloud::trace {
 
 namespace {
-
-/// Minimal JSON value: enough to round-trip what export.cpp writes.
-/// Object members keep document order; number tokens keep their raw text
-/// so integers re-parse exactly (%llu counters) while doubles go through
-/// strtod — the same function the analyzer's quantizers use.
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string text;  ///< string payload, or the raw number token
-  std::vector<std::pair<std::string, JsonValue>> members;
-  std::vector<JsonValue> items;
-
-  [[nodiscard]] const JsonValue* find(std::string_view key) const {
-    for (const auto& [name, value] : members) {
-      if (name == key) return &value;
-    }
-    return nullptr;
-  }
-  [[nodiscard]] double number_or(std::string_view key, double fallback) const {
-    const JsonValue* value = find(key);
-    return value != nullptr && value->kind == Kind::kNumber ? value->number
-                                                            : fallback;
-  }
-  [[nodiscard]] uint64_t u64_or(std::string_view key,
-                                uint64_t fallback) const {
-    const JsonValue* value = find(key);
-    if (value == nullptr || value->kind != Kind::kNumber) return fallback;
-    return std::strtoull(value->text.c_str(), nullptr, 10);
-  }
-};
-
-/// Recursive-descent parser over the full document.
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view src) : src_(src) {}
-
-  Result<JsonValue> parse() {
-    JsonValue value;
-    OC_RETURN_IF_ERROR(parse_value(value));
-    skip_whitespace();
-    if (pos_ != src_.size()) {
-      return fail("trailing content after the top-level value");
-    }
-    return value;
-  }
-
- private:
-  Status fail(const std::string& what) const {
-    return invalid_argument(
-        str_format("trace JSON: %s at offset %zu", what.c_str(), pos_));
-  }
-
-  void skip_whitespace() {
-    while (pos_ < src_.size() &&
-           (src_[pos_] == ' ' || src_[pos_] == '\t' || src_[pos_] == '\n' ||
-            src_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool consume(char c) {
-    skip_whitespace();
-    if (pos_ < src_.size() && src_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  Status parse_value(JsonValue& out) {
-    skip_whitespace();
-    if (pos_ >= src_.size()) return fail("unexpected end of input");
-    char c = src_[pos_];
-    if (c == '{') return parse_object(out);
-    if (c == '[') return parse_array(out);
-    if (c == '"') {
-      out.kind = JsonValue::Kind::kString;
-      return parse_string(out.text);
-    }
-    if (c == 't' || c == 'f') return parse_keyword(out);
-    if (c == 'n') return parse_keyword(out);
-    return parse_number(out);
-  }
-
-  Status parse_object(JsonValue& out) {
-    out.kind = JsonValue::Kind::kObject;
-    ++pos_;  // '{'
-    if (consume('}')) return Status::ok();
-    while (true) {
-      skip_whitespace();
-      if (pos_ >= src_.size() || src_[pos_] != '"') {
-        return fail("expected object key");
-      }
-      std::string key;
-      OC_RETURN_IF_ERROR(parse_string(key));
-      if (!consume(':')) return fail("expected ':' after object key");
-      JsonValue value;
-      OC_RETURN_IF_ERROR(parse_value(value));
-      out.members.emplace_back(std::move(key), std::move(value));
-      if (consume(',')) continue;
-      if (consume('}')) return Status::ok();
-      return fail("expected ',' or '}' in object");
-    }
-  }
-
-  Status parse_array(JsonValue& out) {
-    out.kind = JsonValue::Kind::kArray;
-    ++pos_;  // '['
-    if (consume(']')) return Status::ok();
-    while (true) {
-      JsonValue value;
-      OC_RETURN_IF_ERROR(parse_value(value));
-      out.items.push_back(std::move(value));
-      if (consume(',')) continue;
-      if (consume(']')) return Status::ok();
-      return fail("expected ',' or ']' in array");
-    }
-  }
-
-  Status parse_string(std::string& out) {
-    ++pos_;  // opening quote
-    while (pos_ < src_.size()) {
-      char c = src_[pos_++];
-      if (c == '"') return Status::ok();
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= src_.size()) break;
-      char escape = src_[pos_++];
-      switch (escape) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 't': out += '\t'; break;
-        case 'r': out += '\r'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          if (pos_ + 4 > src_.size()) return fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = src_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              return fail("invalid \\u escape");
-            }
-          }
-          // Exporter only emits \u00xx control codes; encode as UTF-8.
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            out += static_cast<char>(0xC0 | (code >> 6));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
-            out += static_cast<char>(0xE0 | (code >> 12));
-            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          }
-          break;
-        }
-        default:
-          return fail("unknown escape");
-      }
-    }
-    return fail("unterminated string");
-  }
-
-  Status parse_keyword(JsonValue& out) {
-    auto matches = [&](std::string_view word) {
-      return src_.substr(pos_, word.size()) == word;
-    };
-    if (matches("true")) {
-      out.kind = JsonValue::Kind::kBool;
-      out.boolean = true;
-      pos_ += 4;
-      return Status::ok();
-    }
-    if (matches("false")) {
-      out.kind = JsonValue::Kind::kBool;
-      out.boolean = false;
-      pos_ += 5;
-      return Status::ok();
-    }
-    if (matches("null")) {
-      out.kind = JsonValue::Kind::kNull;
-      pos_ += 4;
-      return Status::ok();
-    }
-    return fail("unknown keyword");
-  }
-
-  Status parse_number(JsonValue& out) {
-    size_t begin = pos_;
-    while (pos_ < src_.size()) {
-      char c = src_[pos_];
-      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
-          c == 'e' || c == 'E') {
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-    if (pos_ == begin) return fail("expected a value");
-    out.kind = JsonValue::Kind::kNumber;
-    out.text = std::string(src_.substr(begin, pos_ - begin));
-    out.number = std::strtod(out.text.c_str(), nullptr);
-    return Status::ok();
-  }
-
-  std::string_view src_;
-  size_t pos_ = 0;
-};
 
 Status restore_metrics(const JsonValue& metrics, Metrics& out) {
   if (const JsonValue* counters = metrics.find("counters")) {
@@ -277,8 +56,7 @@ Status restore_metrics(const JsonValue& metrics, Metrics& out) {
 }  // namespace
 
 Result<ImportedTrace> import_chrome_json(std::string_view json) {
-  JsonParser parser(json);
-  OC_ASSIGN_OR_RETURN(JsonValue document, parser.parse());
+  OC_ASSIGN_OR_RETURN(JsonValue document, parse_json(json, "trace JSON"));
   if (document.kind != JsonValue::Kind::kObject) {
     return invalid_argument("trace JSON: top level is not an object");
   }

@@ -1,0 +1,143 @@
+#include "trace/openmetrics.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "support/strings.h"
+
+namespace ompcloud::trace {
+
+namespace {
+
+/// Metric names: [a-zA-Z0-9_:], dots/dashes become underscores.
+std::string sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// `{k="v",...}` with an optional extra `le` pair; empty labels render as
+/// nothing (bare sample name).
+std::string render_labels(const Labels& labels, const std::string* le) {
+  if (labels.empty() && le == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += sanitize(key) + "=\"" + escape_label(value) + "\"";
+  }
+  if (le != nullptr) {
+    if (!first) out += ",";
+    out += "le=\"" + *le + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+template <typename Value>
+using Family = std::map<std::string, std::vector<std::pair<Labels, Value>>>;
+
+template <typename Map, typename Value>
+Family<Value> group_by_family(const Map& series) {
+  Family<Value> families;
+  for (const auto& [key, metric] : series) {
+    MetricKey parsed = Metrics::parse_key(key);
+    families[parsed.name].emplace_back(std::move(parsed.labels), &metric);
+  }
+  return families;
+}
+
+}  // namespace
+
+std::string to_openmetrics(const Metrics& metrics) {
+  std::string out;
+
+  auto counters = group_by_family<decltype(metrics.counters()),
+                                  const Counter*>(metrics.counters());
+  for (const auto& [family, samples] : counters) {
+    const std::string name = sanitize(family);
+    out += "# TYPE " + name + " counter\n";
+    for (const auto& [labels, counter] : samples) {
+      out += name + "_total" + render_labels(labels, nullptr) +
+             str_format(" %llu\n",
+                        static_cast<unsigned long long>(counter->value()));
+    }
+  }
+
+  auto gauges =
+      group_by_family<decltype(metrics.gauges()), const Gauge*>(
+          metrics.gauges());
+  for (const auto& [family, samples] : gauges) {
+    const std::string name = sanitize(family);
+    out += "# TYPE " + name + " gauge\n";
+    for (const auto& [labels, gauge] : samples) {
+      out += name + render_labels(labels, nullptr) +
+             str_format(" %.9g\n", gauge->value());
+    }
+  }
+
+  auto histograms =
+      group_by_family<decltype(metrics.histograms()), const Histogram*>(
+          metrics.histograms());
+  for (const auto& [family, samples] : histograms) {
+    const std::string name = sanitize(family);
+    out += "# TYPE " + name + " histogram\n";
+    for (const auto& [labels, histogram] : samples) {
+      uint64_t cumulative = 0;
+      const auto& bounds = histogram->bounds();
+      const auto& counts = histogram->bucket_counts();
+      for (size_t b = 0; b < counts.size(); ++b) {
+        cumulative += counts[b];
+        const std::string le =
+            b < bounds.size() ? str_format("%.9g", bounds[b]) : "+Inf";
+        out += name + "_bucket" + render_labels(labels, &le) +
+               str_format(" %llu\n",
+                          static_cast<unsigned long long>(cumulative));
+      }
+      out += name + "_sum" + render_labels(labels, nullptr) +
+             str_format(" %.9g\n", histogram->sum());
+      out += name + "_count" + render_labels(labels, nullptr) +
+             str_format(" %llu\n",
+                        static_cast<unsigned long long>(histogram->count()));
+    }
+  }
+
+  out += "# EOF\n";
+  return out;
+}
+
+Status write_openmetrics(const Metrics& metrics, const std::string& path) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return Status(StatusCode::kInternal, "cannot write " + path);
+  }
+  const std::string text = to_openmetrics(metrics);
+  std::fputs(text.c_str(), out);
+  std::fclose(out);
+  return Status::ok();
+}
+
+}  // namespace ompcloud::trace

@@ -1,0 +1,26 @@
+// OpenMetrics / Prometheus text exposition of the metrics registry.
+//
+// Labeled registry keys (`slo.deadline{outcome="missed",tenant="a"}`)
+// become labeled samples of one metric family; dots and dashes in family
+// names become underscores (`slo_deadline`). Counters gain the `_total`
+// suffix, histograms expand into `_bucket{le=...}` / `_sum` / `_count`
+// samples with a cumulative `+Inf` bucket, and the dump ends with the
+// `# EOF` terminator — the shape `promtool check metrics` and the CI
+// exposition lint expect. Output order is deterministic (family name,
+// then encoded label order).
+#pragma once
+
+#include <string>
+
+#include "support/status.h"
+#include "trace/tracer.h"
+
+namespace ompcloud::trace {
+
+/// Renders the whole registry as OpenMetrics exposition text.
+[[nodiscard]] std::string to_openmetrics(const Metrics& metrics);
+
+/// Writes `to_openmetrics(metrics)` to `path`.
+Status write_openmetrics(const Metrics& metrics, const std::string& path);
+
+}  // namespace ompcloud::trace

@@ -1,0 +1,280 @@
+#include "trace/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/strings.h"
+#include "trace/alerts.h"
+#include "trace/openmetrics.h"
+
+namespace ompcloud::trace {
+
+namespace {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<TelemetryOptions> TelemetryOptions::from_config(const Config& config) {
+  TelemetryOptions options;
+  options.enabled = config.get_bool("telemetry.enabled", options.enabled);
+  options.interval_seconds =
+      config.get_duration("telemetry.interval", options.interval_seconds);
+  if (options.interval_seconds <= 0) {
+    return invalid_argument("telemetry.interval must be positive");
+  }
+  options.retention_samples = config.get_int(
+      "telemetry.retention", options.retention_samples);
+  if (options.retention_samples <= 0) {
+    return invalid_argument("telemetry.retention must be positive");
+  }
+  options.export_path =
+      config.get_string("telemetry.export", options.export_path);
+  options.openmetrics_path =
+      config.get_string("telemetry.openmetrics", options.openmetrics_path);
+  return options;
+}
+
+void TimeSeries::record(int64_t tick, double value, int64_t retention) {
+  if (!points_.empty() && points_.back().tick == tick) {
+    points_.back().value = value;
+  } else if (points_.empty() || points_.back().value != value) {
+    points_.push_back({tick, value});
+  }
+  if (retention > 0 && !points_.empty()) {
+    // Keep one anchor point at or before the window edge so value_at stays
+    // a step lookup over the whole retained window.
+    const int64_t cutoff = tick - retention;
+    size_t drop = 0;
+    while (drop + 1 < points_.size() && points_[drop + 1].tick <= cutoff) {
+      ++drop;
+    }
+    if (drop > 0) {
+      points_.erase(points_.begin(),
+                    points_.begin() + static_cast<ptrdiff_t>(drop));
+    }
+  }
+}
+
+double TimeSeries::value_at(int64_t tick) const {
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), tick,
+      [](int64_t t, const SeriesPoint& p) { return t < p.tick; });
+  if (it == points_.begin()) return 0.0;
+  return std::prev(it)->value;
+}
+
+double TimeSeries::delta(int64_t from_tick, int64_t to_tick) const {
+  return value_at(to_tick) - value_at(from_tick);
+}
+
+double TimeSeries::rate(int64_t tick, int64_t window_ticks,
+                        double interval_seconds) const {
+  if (window_ticks <= 0 || interval_seconds <= 0) return 0.0;
+  return delta(tick - window_ticks, tick) /
+         (static_cast<double>(window_ticks) * interval_seconds);
+}
+
+TimeSeriesCollector::TimeSeriesCollector(Tracer& tracer,
+                                         TelemetryOptions options)
+    : tracer_(&tracer), options_(std::move(options)) {
+  if (options_.enabled) {
+    tracer_->tools().attach(this);
+    attached_ = true;
+  }
+}
+
+TimeSeriesCollector::~TimeSeriesCollector() {
+  if (attached_) tracer_->tools().detach(this);
+}
+
+void TimeSeriesCollector::set_alert_rules(AlertRuleSet rules) {
+  if (rules.empty()) {
+    alerts_.reset();
+    return;
+  }
+  alerts_ = std::make_unique<AlertEvaluator>(*tracer_, std::move(rules));
+}
+
+void TimeSeriesCollector::poll() {
+  if (!attached_ || sampling_) return;
+  const int64_t tick_now = static_cast<int64_t>(
+      std::floor(tracer_->now() / options_.interval_seconds + 1e-9));
+  if (tick_now <= last_tick_) return;
+  sampling_ = true;
+  while (last_tick_ < tick_now) sample(++last_tick_);
+  sampling_ = false;
+}
+
+void TimeSeriesCollector::sample(int64_t tick) {
+  const Metrics& metrics = tracer_->metrics();
+  auto upsert = [&](const std::string& key,
+                    TimeSeries::Kind kind) -> TimeSeries& {
+    return series_.try_emplace(key, TimeSeries(kind)).first->second;
+  };
+  for (const auto& [key, counter] : metrics.counters()) {
+    upsert(key, TimeSeries::Kind::kCounter)
+        .record(tick, static_cast<double>(counter.value()),
+                options_.retention_samples);
+  }
+  for (const auto& [key, gauge] : metrics.gauges()) {
+    upsert(key, TimeSeries::Kind::kGauge)
+        .record(tick, gauge.value(), options_.retention_samples);
+  }
+  for (const auto& [key, histogram] : metrics.histograms()) {
+    // Histograms contribute derived .count/.sum counter series — enough
+    // for windowed rates and means without sampling every bucket.
+    MetricKey parsed = Metrics::parse_key(key);
+    upsert(Metrics::encode_key(parsed.name + ".count", parsed.labels),
+           TimeSeries::Kind::kCounter)
+        .record(tick, static_cast<double>(histogram.count()),
+                options_.retention_samples);
+    upsert(Metrics::encode_key(parsed.name + ".sum", parsed.labels),
+           TimeSeries::Kind::kCounter)
+        .record(tick, histogram.sum(), options_.retention_samples);
+  }
+  ++samples_;
+  if (alerts_ != nullptr) alerts_->evaluate(*this, tick);
+}
+
+Status TimeSeriesCollector::finalize() {
+  if (!options_.enabled || finalized_) return Status::ok();
+  finalized_ = true;
+  poll();
+  // End-of-run snapshot: events after the last tick boundary would
+  // otherwise never be sampled; alerts settle on this final tick too.
+  sampling_ = true;
+  sample(++last_tick_);
+  sampling_ = false;
+
+  std::vector<std::pair<std::string, std::string>> tags = {
+      {"interval", str_format("%.9g", options_.interval_seconds)},
+      {"samples", str_format("%llu", static_cast<unsigned long long>(samples_))},
+      {"series", str_format("%zu", series_.size())},
+  };
+  if (alerts_ != nullptr) {
+    tags.emplace_back(
+        "alerts_fired",
+        str_format("%llu", static_cast<unsigned long long>(alerts_->fired())));
+    tags.emplace_back("alerts_active",
+                      str_format("%zu", alerts_->active().size()));
+  }
+  (void)tracer_->instant("telemetry", std::move(tags));
+
+  if (!options_.export_path.empty()) {
+    FILE* out = std::fopen(options_.export_path.c_str(), "w");
+    if (out == nullptr) {
+      return Status(StatusCode::kInternal,
+                    "cannot write " + options_.export_path);
+    }
+    const std::string json = tsdb_json();
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+  }
+  if (!options_.openmetrics_path.empty()) {
+    if (Status status = write_openmetrics(tracer_->metrics(),
+                                          options_.openmetrics_path);
+        !status.is_ok()) {
+      return status;
+    }
+  }
+  return Status::ok();
+}
+
+std::string TimeSeriesCollector::tsdb_json() const {
+  std::string out = "{\n";
+  out += str_format(
+      "  \"telemetry\": {\"interval_seconds\": %.9g, \"retention\": %lld, "
+      "\"samples\": %llu, \"last_tick\": %lld},\n",
+      options_.interval_seconds,
+      static_cast<long long>(options_.retention_samples),
+      static_cast<unsigned long long>(samples_),
+      static_cast<long long>(last_tick_));
+  out += "  \"series\": [\n";
+  size_t index = 0;
+  for (const auto& [key, series] : series_) {
+    MetricKey parsed = Metrics::parse_key(key);
+    out += "    {\"key\": \"" + json_escape(key) + "\", \"name\": \"" +
+           json_escape(parsed.name) + "\", \"kind\": \"" +
+           (series.kind() == TimeSeries::Kind::kCounter ? "counter"
+                                                        : "gauge") +
+           "\", \"labels\": {";
+    for (size_t i = 0; i < parsed.labels.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + json_escape(parsed.labels[i].first) + "\": \"" +
+             json_escape(parsed.labels[i].second) + "\"";
+    }
+    out += "}, \"points\": [";
+    const auto& points = series.points();
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += str_format("[%lld, %.9g]",
+                        static_cast<long long>(points[i].tick),
+                        points[i].value);
+    }
+    out += "]}";
+    out += (++index < series_.size()) ? ",\n" : "\n";
+  }
+  out += "  ]";
+  if (alerts_ != nullptr) {
+    out += ",\n  \"alerts\": {\n    \"rules\": [";
+    const auto& rules = alerts_->rules().rules;
+    for (size_t i = 0; i < rules.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"name\": \"" + json_escape(rules[i].name) +
+             "\", \"kind\": \"" +
+             (rules[i].kind == AlertRule::Kind::kBurnRate ? "burn-rate"
+                                                          : "threshold") +
+             "\", \"severity\": \"" + json_escape(rules[i].severity) + "\"}";
+    }
+    out += "],\n    \"events\": [";
+    const auto& events = alerts_->events();
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += str_format(
+          "{\"rule\": \"%s\", \"labels\": \"%s\", \"severity\": \"%s\", "
+          "\"kind\": \"%s\", \"tick\": %lld, \"value\": %.9g}",
+          json_escape(events[i].rule).c_str(),
+          json_escape(events[i].labels).c_str(),
+          json_escape(events[i].severity).c_str(),
+          events[i].fire ? "fire" : "resolve",
+          static_cast<long long>(events[i].tick), events[i].value);
+    }
+    out += "],\n    \"active\": [";
+    const auto active = alerts_->active();
+    for (size_t i = 0; i < active.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += str_format(
+          "{\"rule\": \"%s\", \"labels\": \"%s\", \"severity\": \"%s\", "
+          "\"since_tick\": %lld, \"value\": %.9g}",
+          json_escape(active[i].rule).c_str(),
+          json_escape(active[i].labels).c_str(),
+          json_escape(active[i].severity).c_str(),
+          static_cast<long long>(active[i].since_tick), active[i].value);
+    }
+    out += "]\n  }";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace ompcloud::trace

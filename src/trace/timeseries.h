@@ -1,0 +1,176 @@
+// Windowed time-series collection over the metrics registry — the live
+// half of the observability stack.
+//
+// The `TimeSeriesCollector` rides the OMPT-style callback bus as one more
+// `tools::Tool`: every runtime event advances a virtual-time sampler that
+// snapshots the whole `Metrics` registry once per `[telemetry] interval`.
+// Sampling is *lazy* — no timers keep the sim engine alive; when an event
+// arrives after a quiet stretch, the sampler catches up one sample per
+// elapsed tick, which is exact because metrics only change at callback
+// instants (scrape semantics: a tick boundary with no event of its own
+// reports the registry as of the first event at or after it).
+//
+// Each registry key becomes one `TimeSeries` ring: change-compressed
+// `{tick, value}` points pruned to `[telemetry] retention` samples, with
+// step lookup (`value_at`), windowed `delta`, and per-second `rate`
+// derivation — everything the alert evaluator (alerts.h) and the `ocmon`
+// monitor consume. Histograms contribute derived `.count`/`.sum` series.
+//
+// When `[telemetry]` is off the collector never attaches to the bus, so
+// the hot path pays nothing — not even a branch per event.
+//
+// `finalize()` (idempotent; run owners call it after the engine drains)
+// takes a final sample, settles alert state, writes the `.tsdb.json` dump
+// and the OpenMetrics exposition file when configured, and plants a
+// `telemetry` instant span so post-mortem analysis (`octrace summary`)
+// sees the collection summary even from an exported trace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/config.h"
+#include "support/status.h"
+#include "tools/tools.h"
+#include "trace/tracer.h"
+
+namespace ompcloud::trace {
+
+class AlertEvaluator;
+struct AlertRuleSet;
+
+/// The `[telemetry]` section of the device configuration file.
+struct TelemetryOptions {
+  /// Off = the collector never attaches to the callback bus (zero cost).
+  bool enabled = false;
+  /// Virtual seconds between registry snapshots.
+  double interval_seconds = 1.0;
+  /// Ring capacity per series, in samples (ticks). Older change-points are
+  /// pruned, keeping one anchor at the window edge so lookups stay exact.
+  int64_t retention_samples = 600;
+  /// If non-empty, `finalize()` writes the series dump (ocmon input) here.
+  std::string export_path;
+  /// If non-empty, `finalize()` writes OpenMetrics exposition text here.
+  std::string openmetrics_path;
+
+  /// Reads telemetry.enabled, telemetry.interval (duration),
+  /// telemetry.retention (samples), telemetry.export, telemetry.openmetrics.
+  static Result<TelemetryOptions> from_config(const Config& config);
+};
+
+struct SeriesPoint {
+  int64_t tick = 0;
+  double value = 0;
+};
+
+/// One metric's sampled history: change-compressed step points in tick
+/// space. A point is stored only when the value differs from the previous
+/// sample, so idle stretches cost nothing; `value_at` resolves any tick by
+/// step lookup.
+class TimeSeries {
+ public:
+  enum class Kind { kCounter, kGauge };
+
+  TimeSeries() = default;
+  explicit TimeSeries(Kind kind) : kind_(kind) {}
+
+  /// Records the value observed at `tick` (ticks arrive in nondecreasing
+  /// order) and prunes points older than `tick - retention`, keeping one
+  /// anchor point at or before the edge.
+  void record(int64_t tick, double value, int64_t retention);
+
+  /// Step lookup: the last recorded value at or before `tick`; 0 before
+  /// the first point (counters start from zero; gauges are unset).
+  [[nodiscard]] double value_at(int64_t tick) const;
+  /// value_at(to) - value_at(from): the windowed increment of a counter.
+  [[nodiscard]] double delta(int64_t from_tick, int64_t to_tick) const;
+  /// Per-second rate over the trailing window ending at `tick`.
+  [[nodiscard]] double rate(int64_t tick, int64_t window_ticks,
+                            double interval_seconds) const;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const std::vector<SeriesPoint>& points() const {
+    return points_;
+  }
+  [[nodiscard]] int64_t last_tick() const {
+    return points_.empty() ? -1 : points_.back().tick;
+  }
+
+ private:
+  Kind kind_ = Kind::kGauge;
+  std::vector<SeriesPoint> points_;
+};
+
+/// The sampling tool. Construct it with the run's tracer and options;
+/// enabled collectors attach themselves to `tracer.tools()` and detach in
+/// the destructor.
+class TimeSeriesCollector final : public tools::Tool {
+ public:
+  TimeSeriesCollector(Tracer& tracer, TelemetryOptions options);
+  TimeSeriesCollector(const TimeSeriesCollector&) = delete;
+  TimeSeriesCollector& operator=(const TimeSeriesCollector&) = delete;
+  ~TimeSeriesCollector() override;
+
+  /// Installs the declarative SLO rules ([alerts] INI); the evaluator runs
+  /// against the rings after every sample.
+  void set_alert_rules(AlertRuleSet rules);
+
+  /// Catches the sampler up to the current virtual time. Called from every
+  /// tool callback; harmless to call directly (tests, run owners).
+  void poll();
+
+  /// Final sample + alert settlement + configured file dumps + `telemetry`
+  /// instant span. Idempotent; a disabled collector returns ok.
+  Status finalize();
+
+  /// The series dump (ocmon input) as a JSON string.
+  [[nodiscard]] std::string tsdb_json() const;
+
+  [[nodiscard]] const TelemetryOptions& options() const { return options_; }
+  [[nodiscard]] const std::map<std::string, TimeSeries>& series() const {
+    return series_;
+  }
+  [[nodiscard]] uint64_t samples() const { return samples_; }
+  [[nodiscard]] int64_t last_tick() const { return last_tick_; }
+  /// Null until set_alert_rules installs a rule set.
+  [[nodiscard]] AlertEvaluator* alerts() { return alerts_.get(); }
+  [[nodiscard]] const AlertEvaluator* alerts() const { return alerts_.get(); }
+
+  // Every callback advances the sampler; the collector derives nothing
+  // from the payloads (the MetricsTool ahead of it on the bus already
+  // folded them into the registry this tool snapshots).
+  void on_device_init(const tools::DeviceInfo&) override { poll(); }
+  void on_device_fini(const tools::DeviceInfo&) override { poll(); }
+  void on_target_begin(const tools::TargetInfo&) override { poll(); }
+  void on_target_end(const tools::TargetEndInfo&) override { poll(); }
+  void on_data_op(const tools::DataOpInfo&) override { poll(); }
+  void on_kernel_submit(const tools::KernelInfo&) override { poll(); }
+  void on_kernel_complete(const tools::KernelInfo&) override { poll(); }
+  void on_instance_state_change(const tools::InstanceStateInfo&) override {
+    poll();
+  }
+  void on_autoscale_decision(const tools::AutoscaleInfo&) override { poll(); }
+  void on_scheduler_event(const tools::SchedulerEventInfo&) override {
+    poll();
+  }
+  void on_fault_event(const tools::FaultEventInfo&) override { poll(); }
+  // on_alert: intentionally no poll() — alerts are emitted mid-sample.
+
+ private:
+  void sample(int64_t tick);
+
+  Tracer* tracer_;
+  TelemetryOptions options_;
+  std::map<std::string, TimeSeries> series_;
+  std::unique_ptr<AlertEvaluator> alerts_;
+  int64_t last_tick_ = -1;
+  uint64_t samples_ = 0;
+  bool attached_ = false;
+  bool sampling_ = false;  ///< re-entrancy guard (alert callbacks)
+  bool finalized_ = false;
+};
+
+}  // namespace ompcloud::trace

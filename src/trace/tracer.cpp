@@ -67,6 +67,34 @@ double Histogram::quantile(double q) const {
   return max_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.bounds_ == bounds_) {
+    for (size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  } else {
+    for (size_t b = 0; b < other.counts_.size(); ++b) {
+      if (other.counts_[b] == 0) continue;
+      if (b >= other.bounds_.size()) {
+        // Source overflow samples have no upper bound; they stay overflow.
+        counts_.back() += other.counts_[b];
+        continue;
+      }
+      size_t dest = 0;
+      while (dest < bounds_.size() && other.bounds_[b] > bounds_[dest]) ++dest;
+      counts_[dest] += other.counts_[b];
+    }
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 void Histogram::restore(std::vector<double> bounds,
                         std::vector<uint64_t> bucket_counts, uint64_t count,
                         double sum, double min, double max) {
@@ -82,6 +110,63 @@ void Histogram::restore(std::vector<double> bounds,
 uint64_t Metrics::counter_value(const std::string& name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
+}
+
+const std::string* MetricKey::label(std::string_view key) const {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Metrics::encode_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  key += '{';
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ',';
+    key += sorted[i].first;
+    key += "=\"";
+    for (char c : sorted[i].second) {
+      if (c == '\\' || c == '"') key += '\\';
+      key += c;
+    }
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+MetricKey Metrics::parse_key(std::string_view key) {
+  MetricKey parsed;
+  size_t brace = key.find('{');
+  if (brace == std::string_view::npos) {
+    parsed.name = std::string(key);
+    return parsed;
+  }
+  parsed.name = std::string(key.substr(0, brace));
+  size_t i = brace + 1;
+  while (i < key.size() && key[i] != '}') {
+    size_t eq = key.find('=', i);
+    if (eq == std::string_view::npos || eq + 1 >= key.size() ||
+        key[eq + 1] != '"') {
+      break;  // malformed; keep what parsed so far
+    }
+    std::string label_key(key.substr(i, eq - i));
+    std::string value;
+    size_t j = eq + 2;
+    while (j < key.size() && key[j] != '"') {
+      if (key[j] == '\\' && j + 1 < key.size()) ++j;
+      value += key[j];
+      ++j;
+    }
+    parsed.labels.emplace_back(std::move(label_key), std::move(value));
+    i = j + 1;               // past the closing quote
+    if (i < key.size() && key[i] == ',') ++i;
+  }
+  return parsed;
 }
 
 TraceOptions TraceOptions::from_config(const Config& config) {
@@ -148,17 +233,33 @@ Tracer::Tracer(sim::Engine& engine, TraceOptions options)
   tools_.attach(&metrics_tool_);
 }
 
+void Tracer::MetricsTool::on_target_end(const tools::TargetEndInfo& info) {
+  const char* outcome =
+      !info.ok ? "error" : (info.fell_back_to_host ? "fallback" : "ok");
+  metrics_
+      ->counter("device.offloads", {{"device", std::to_string(info.device_id)},
+                                    {"outcome", outcome}})
+      .add();
+}
+
 void Tracer::MetricsTool::on_data_op(const tools::DataOpInfo& info) {
   if (info.resident) {
     // Residency elides the transfer before the delta cache is even
     // consulted, so the resident.* counters are disjoint from cache.*.
+    // Flat names are kept as back-compat aliases of the labeled series.
+    const Labels var{{"var", std::string(info.var)}};
     if (info.resident_hit) {
       metrics_->counter("resident.upload_skips").add();
+      metrics_->counter("resident.upload_skips", var).add();
       metrics_->counter("resident.bytes_saved").add(info.bytes_resident);
+      metrics_->counter("resident.bytes_saved", var).add(info.bytes_resident);
     }
     if (info.resident_deferred) {
       metrics_->counter("resident.download_defers").add();
+      metrics_->counter("resident.download_defers", var).add();
       metrics_->counter("resident.bytes_deferred").add(info.bytes_resident);
+      metrics_->counter("resident.bytes_deferred", var)
+          .add(info.bytes_resident);
     }
   }
   if (!info.cache_eligible) return;
@@ -194,6 +295,11 @@ void Tracer::MetricsTool::on_instance_state_change(
   } else {
     metrics_->counter("cluster.preemptions").add();
   }
+  metrics_
+      ->counter("cluster.lifecycle",
+                {{"kind", std::string(tools::to_string(info.kind))},
+                 {"type", std::string(info.instance_type)}})
+      .add();
   metrics_->gauge("cluster.billing_instances").set(info.billing_after);
 }
 
@@ -219,6 +325,14 @@ void Tracer::MetricsTool::on_autoscale_decision(
 
 void Tracer::MetricsTool::on_scheduler_event(
     const tools::SchedulerEventInfo& info) {
+  // Every admission-queue transition feeds one labeled family; the flat
+  // per-kind counters below are back-compat aliases.
+  const std::string tenant(info.tenant);
+  metrics_
+      ->counter("scheduler.events",
+                {{"kind", std::string(tools::to_string(info.kind))},
+                 {"tenant", tenant}})
+      .add();
   switch (info.kind) {
     case tools::SchedulerEventInfo::Kind::kAdmit:
       metrics_->counter("scheduler.admitted").add();
@@ -227,6 +341,12 @@ void Tracer::MetricsTool::on_scheduler_event(
       metrics_->counter("scheduler.dispatched").add();
       metrics_->histogram("scheduler.queue_wait_seconds")
           .record(info.wait_seconds);
+      if (!info.latency_class.empty()) {
+        metrics_
+            ->histogram("scheduler.queue_wait_seconds",
+                        {{"class", std::string(info.latency_class)}})
+            .record(info.wait_seconds);
+      }
       break;
     case tools::SchedulerEventInfo::Kind::kComplete:
       metrics_->counter("scheduler.completed").add();
@@ -234,13 +354,24 @@ void Tracer::MetricsTool::on_scheduler_event(
         metrics_->counter(info.deadline_met ? "slo.deadline_met"
                                             : "slo.deadline_missed")
             .add();
+        metrics_
+            ->counter("slo.deadline",
+                      {{"tenant", tenant},
+                       {"outcome", info.deadline_met ? "met" : "missed"}})
+            .add();
       }
       if (info.batch_id != 0) {
         metrics_->counter("slo.batched_completions").add();
+        metrics_->counter("slo.batched_completions", {{"tenant", tenant}})
+            .add();
       }
       break;
     case tools::SchedulerEventInfo::Kind::kReject:
       metrics_->counter("slo.rejected").add();
+      metrics_
+          ->counter("slo.rejected", {{"tenant", tenant},
+                                     {"reason", std::string(info.reason)}})
+          .add();
       if (!info.reason.empty()) {
         // slo.rejected_quota / slo.rejected_deadline / slo.rejected_queue-full
         metrics_->counter("slo.rejected_" + std::string(info.reason)).add();
@@ -248,20 +379,37 @@ void Tracer::MetricsTool::on_scheduler_event(
       break;
     case tools::SchedulerEventInfo::Kind::kPreempt:
       metrics_->counter("slo.preempted").add();
+      metrics_->counter("slo.preempted", {{"tenant", tenant}}).add();
       break;
+  }
+  if (!tenant.empty()) {
+    metrics_->gauge("scheduler.quota_used", {{"tenant", tenant}})
+        .set(static_cast<double>(info.tenant_in_system));
+    if (info.tenant_quota > 0) {
+      metrics_->gauge("scheduler.quota_limit", {{"tenant", tenant}})
+          .set(static_cast<double>(info.tenant_quota));
+    }
   }
   metrics_->gauge("scheduler.queue_depth").set(
       static_cast<double>(info.queue_depth));
 }
 
 void Tracer::MetricsTool::on_fault_event(const tools::FaultEventInfo& info) {
+  // Breaker transitions additionally keep a per-device state gauge
+  // (0 = closed, 1 = half-open, 2 = open: higher is worse, so threshold
+  // alerts read naturally as `breaker.state >= 2`).
+  const Labels device{{"device", std::to_string(info.device_id)}};
   switch (info.kind) {
     case tools::FaultEventInfo::Kind::kInjected:
       metrics_->counter("fault.injected").add();
       metrics_->counter("fault.injected." + std::string(info.point)).add();
+      metrics_->counter("fault.injected", {{"point", std::string(info.point)}})
+          .add();
       break;
     case tools::FaultEventInfo::Kind::kRetry:
       metrics_->counter("fault.retries").add();
+      metrics_->counter("fault.retries", {{"point", std::string(info.point)}})
+          .add();
       break;
     case tools::FaultEventInfo::Kind::kCorruptionDetected:
       metrics_->counter("fault.corruption_detected").add();
@@ -274,12 +422,30 @@ void Tracer::MetricsTool::on_fault_event(const tools::FaultEventInfo& info) {
       break;
     case tools::FaultEventInfo::Kind::kBreakerOpen:
       metrics_->counter("breaker.opens").add();
+      metrics_
+          ->counter("breaker.transitions",
+                    {{"device", std::to_string(info.device_id)},
+                     {"to", "open"}})
+          .add();
+      metrics_->gauge("breaker.state", device).set(2);
       break;
     case tools::FaultEventInfo::Kind::kBreakerHalfOpen:
       metrics_->counter("breaker.half_opens").add();
+      metrics_
+          ->counter("breaker.transitions",
+                    {{"device", std::to_string(info.device_id)},
+                     {"to", "half_open"}})
+          .add();
+      metrics_->gauge("breaker.state", device).set(1);
       break;
     case tools::FaultEventInfo::Kind::kBreakerClose:
       metrics_->counter("breaker.closes").add();
+      metrics_
+          ->counter("breaker.transitions",
+                    {{"device", std::to_string(info.device_id)},
+                     {"to", "closed"}})
+          .add();
+      metrics_->gauge("breaker.state", device).set(0);
       break;
     case tools::FaultEventInfo::Kind::kResidencyInvalidated:
       metrics_->counter("resident.invalidations").add();
@@ -287,6 +453,15 @@ void Tracer::MetricsTool::on_fault_event(const tools::FaultEventInfo& info) {
     case tools::FaultEventInfo::Kind::kFallback:
       metrics_->counter("fault.fallbacks").add();
       break;
+  }
+}
+
+void Tracer::MetricsTool::on_alert(const tools::AlertInfo& info) {
+  if (info.kind == tools::AlertInfo::Kind::kFire) {
+    metrics_->counter("alert.fired").add();
+    metrics_->counter("alert.fired", {{"rule", std::string(info.rule)}}).add();
+  } else {
+    metrics_->counter("alert.resolved").add();
   }
 }
 

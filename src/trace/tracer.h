@@ -106,6 +106,13 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds = default_bounds());
   void record(double value);
 
+  /// Folds `other` into this histogram (windowed rate aggregation). Equal
+  /// bound vectors merge bucket-by-bucket; otherwise each of `other`'s
+  /// buckets is remapped into the first bucket of this histogram whose
+  /// upper bound covers it (a conservative coarsening: samples never move
+  /// to a *lower* bucket, so quantile estimates stay upper bounds).
+  void merge(const Histogram& other);
+
   /// Interpolated quantile estimate, q in [0, 1]: finds the bucket holding
   /// the q-th sample and interpolates linearly inside it (bucket edges,
   /// tightened to the observed min/max). Returns 0 when empty; exact for
@@ -139,16 +146,58 @@ class Histogram {
   double sum_ = 0, min_ = 0, max_ = 0;
 };
 
+/// Ordered label set attached to a metric: {tenant=..., device=...}.
+/// Encoded into the registry key in sorted-by-key order, so two Labels
+/// vectors with the same pairs in different orders name the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// A registry key split back into its family name + labels.
+struct MetricKey {
+  std::string name;
+  Labels labels;
+
+  [[nodiscard]] const std::string* label(std::string_view key) const;
+};
+
 /// Named metric registry. Lookup creates on first use; iteration order is
 /// the key order (deterministic export).
+///
+/// Labeled series are stored under an injective encoded key,
+/// `name{k1="v1",k2="v2"}` (labels sorted by key, values `\`/`"`-escaped).
+/// Unlabeled names never contain `{`, so a labeled series can never collide
+/// with a flat name — e.g. a tenant literally called `quota-default` yields
+/// `scheduler.quota_used{tenant="quota-default"}`, structurally distinct
+/// from the `scheduler.quota-default` knob-derived counter family.
 class Metrics {
  public:
   Counter& counter(const std::string& name) { return counters_[name]; }
   Gauge& gauge(const std::string& name) { return gauges_[name]; }
   Histogram& histogram(const std::string& name) { return histograms_[name]; }
 
+  Counter& counter(const std::string& name, const Labels& labels) {
+    return counters_[encode_key(name, labels)];
+  }
+  Gauge& gauge(const std::string& name, const Labels& labels) {
+    return gauges_[encode_key(name, labels)];
+  }
+  Histogram& histogram(const std::string& name, const Labels& labels) {
+    return histograms_[encode_key(name, labels)];
+  }
+
   /// Read-only counter value; 0 when the counter was never touched.
   [[nodiscard]] uint64_t counter_value(const std::string& name) const;
+  [[nodiscard]] uint64_t counter_value(const std::string& name,
+                                       const Labels& labels) const {
+    return counter_value(encode_key(name, labels));
+  }
+
+  /// Builds the registry key for a labeled series. Labels are sorted by
+  /// key; values are escaped so the encoding is injective for any value.
+  /// Empty labels encode to the bare name.
+  static std::string encode_key(const std::string& name, const Labels& labels);
+  /// Splits a registry key back into family name + labels (inverse of
+  /// encode_key; keys without `{` parse as an unlabeled family).
+  static MetricKey parse_key(std::string_view key);
 
   [[nodiscard]] const std::map<std::string, Counter>& counters() const {
     return counters_;
@@ -285,6 +334,7 @@ class Tracer {
   class MetricsTool : public tools::Tool {
    public:
     explicit MetricsTool(Metrics* metrics) : metrics_(metrics) {}
+    void on_target_end(const tools::TargetEndInfo& info) override;
     void on_data_op(const tools::DataOpInfo& info) override;
     void on_kernel_complete(const tools::KernelInfo& info) override;
     void on_instance_state_change(
@@ -292,6 +342,7 @@ class Tracer {
     void on_autoscale_decision(const tools::AutoscaleInfo& info) override;
     void on_scheduler_event(const tools::SchedulerEventInfo& info) override;
     void on_fault_event(const tools::FaultEventInfo& info) override;
+    void on_alert(const tools::AlertInfo& info) override;
 
    private:
     Metrics* metrics_;

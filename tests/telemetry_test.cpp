@@ -1,0 +1,481 @@
+// Tests for the live telemetry pipeline: labeled metric keys (including
+// the quota-default tenant/knob collision the name-encoded scheme had),
+// Histogram merge + quantile edge cases, the windowed time-series
+// collector's lazy sampling and retention, burn-rate / threshold alert
+// evaluation, OpenMetrics exposition shape, the tsdb dump, and byte-exact
+// analyzer round trips through export -> import.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "support/config.h"
+#include "support/json.h"
+#include "trace/alerts.h"
+#include "trace/analysis.h"
+#include "trace/export.h"
+#include "trace/import.h"
+#include "trace/openmetrics.h"
+#include "trace/timeseries.h"
+#include "trace/tracer.h"
+
+namespace ompcloud::trace {
+namespace {
+
+TEST(LabeledMetricsTest, EncodeParseRoundTrip) {
+  Labels labels = {{"zone", "us-east"}, {"tenant", "teamA"}};
+  std::string key = Metrics::encode_key("slo.deadline", labels);
+  // Labels are sorted by key so the encoding is canonical.
+  EXPECT_EQ(key, "slo.deadline{tenant=\"teamA\",zone=\"us-east\"}");
+  MetricKey parsed = Metrics::parse_key(key);
+  EXPECT_EQ(parsed.name, "slo.deadline");
+  ASSERT_EQ(parsed.labels.size(), 2u);
+  EXPECT_EQ(*parsed.label("tenant"), "teamA");
+  EXPECT_EQ(*parsed.label("zone"), "us-east");
+  // Unlabeled families encode to the bare name.
+  EXPECT_EQ(Metrics::encode_key("batch.jobs", {}), "batch.jobs");
+  EXPECT_EQ(Metrics::parse_key("batch.jobs").name, "batch.jobs");
+  EXPECT_TRUE(Metrics::parse_key("batch.jobs").labels.empty());
+}
+
+TEST(LabeledMetricsTest, HostileLabelValuesRoundTrip) {
+  // Values containing the encoding's own delimiters must survive intact:
+  // the escaping makes encode_key injective for any value.
+  Labels labels = {{"tenant", "evil{a=\"b\"},x\\y"}};
+  std::string key = Metrics::encode_key("scheduler.quota_used", labels);
+  MetricKey parsed = Metrics::parse_key(key);
+  EXPECT_EQ(parsed.name, "scheduler.quota_used");
+  ASSERT_EQ(parsed.labels.size(), 1u);
+  EXPECT_EQ(*parsed.label("tenant"), "evil{a=\"b\"},x\\y");
+}
+
+// Regression: the old name-encoded scheme (`scheduler.quota.<tenant>`)
+// collided a tenant literally named "quota-default" with the
+// `scheduler.quota-default` knob family. Labeled keys keep all three
+// registry entries distinct and recoverable.
+TEST(LabeledMetricsTest, QuotaDefaultTenantDoesNotCollide) {
+  Metrics metrics;
+  metrics.counter("scheduler.quota-default").add(7);  // knob-named flat
+  metrics.counter("scheduler.quota", {{"tenant", "default"}}).add(3);
+  metrics.counter("scheduler.quota", {{"tenant", "quota-default"}}).add(1);
+  EXPECT_EQ(metrics.counters().size(), 3u);
+  EXPECT_EQ(metrics.counter_value("scheduler.quota-default"), 7u);
+  EXPECT_EQ(metrics.counter_value("scheduler.quota", {{"tenant", "default"}}),
+            3u);
+  EXPECT_EQ(metrics.counter_value("scheduler.quota",
+                                  {{"tenant", "quota-default"}}),
+            1u);
+  // The two labeled series parse back to the same family, the flat knob
+  // counter to its own.
+  size_t quota_family = 0;
+  for (const auto& [key, unused] : metrics.counters()) {
+    if (Metrics::parse_key(key).name == "scheduler.quota") ++quota_family;
+  }
+  EXPECT_EQ(quota_family, 2u);
+}
+
+TEST(HistogramMergeTest, EqualBoundsMergeElementwise) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  a.record(0.5);
+  a.record(1.5);
+  b.record(1.5);
+  b.record(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 8.5);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  ASSERT_EQ(a.bucket_counts().size(), 3u);
+  EXPECT_EQ(a.bucket_counts()[0], 1u);  // 0.5
+  EXPECT_EQ(a.bucket_counts()[1], 2u);  // 1.5, 1.5
+  EXPECT_EQ(a.bucket_counts()[2], 1u);  // 5.0 overflow
+}
+
+TEST(HistogramMergeTest, DifferingBoundsCoarsenUpward) {
+  Histogram dest({1.0, 2.0});
+  Histogram src({0.5, 1.5});
+  src.record(0.3);  // src bucket le=0.5 -> dest bucket le=1.0
+  src.record(1.2);  // src bucket le=1.5 -> dest bucket le=2.0
+  src.record(9.0);  // src overflow -> dest overflow
+  dest.merge(src);
+  EXPECT_EQ(dest.count(), 3u);
+  ASSERT_EQ(dest.bucket_counts().size(), 3u);
+  EXPECT_EQ(dest.bucket_counts()[0], 1u);
+  EXPECT_EQ(dest.bucket_counts()[1], 1u);
+  EXPECT_EQ(dest.bucket_counts()[2], 1u);
+}
+
+TEST(HistogramMergeTest, MergingEmptyIsIdentity) {
+  Histogram a({1.0});
+  a.record(0.5);
+  Histogram empty({1.0});
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 0.5);
+  // And merging into an empty histogram copies the source.
+  Histogram b({1.0});
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.min(), 0.5);
+  EXPECT_DOUBLE_EQ(b.max(), 0.5);
+}
+
+TEST(HistogramQuantileTest, EmptyHistogramIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(HistogramQuantileTest, AllSamplesInOverflowBucket) {
+  // Every sample beyond the last bound lands in the +inf bucket; the
+  // estimate must stay inside the observed [min, max], not explode.
+  Histogram h({1.0});
+  h.record(5.0);
+  h.record(9.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 9.0);
+  double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 5.0);
+  EXPECT_LE(p50, 9.0);
+}
+
+TEST(HistogramQuantileTest, SingleSampleIsExactEverywhere) {
+  Histogram h({1.0, 10.0});
+  h.record(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+}
+
+TEST(TimeSeriesTest, StepLookupAndRates) {
+  TimeSeries ts(TimeSeries::Kind::kCounter);
+  ts.record(1, 1.0, /*retention=*/0);
+  ts.record(3, 5.0, /*retention=*/0);
+  EXPECT_DOUBLE_EQ(ts.value_at(0), 0.0);  // before the first point
+  EXPECT_DOUBLE_EQ(ts.value_at(1), 1.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(2), 1.0);  // step holds between points
+  EXPECT_DOUBLE_EQ(ts.value_at(3), 5.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(99), 5.0);
+  EXPECT_DOUBLE_EQ(ts.delta(1, 3), 4.0);
+  EXPECT_DOUBLE_EQ(ts.rate(3, 2, 1.0), 2.0);  // 4 over a 2-second window
+}
+
+TEST(TimeSeriesTest, ChangeCompressionAndRetention) {
+  TimeSeries ts(TimeSeries::Kind::kGauge);
+  ts.record(0, 1.0, 4);
+  ts.record(1, 1.0, 4);  // unchanged: no new point
+  EXPECT_EQ(ts.points().size(), 1u);
+  for (int64_t t = 2; t <= 10; ++t) {
+    ts.record(t, static_cast<double>(t), 4);
+  }
+  // Pruned to the trailing window, but one anchor at or before the edge
+  // keeps lookups exact at tick - retention.
+  EXPECT_LE(ts.points().front().tick, 6);
+  EXPECT_DOUBLE_EQ(ts.value_at(6), 6.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(10), 10.0);
+}
+
+TEST(TelemetryOptionsTest, FromConfigParsesAndValidates) {
+  auto config = Config::parse(
+      "[telemetry]\n"
+      "enabled = true\n"
+      "interval = 250ms\n"
+      "retention = 100\n"
+      "export = out.tsdb.json\n");
+  ASSERT_TRUE(config.ok());
+  auto options = TelemetryOptions::from_config(*config);
+  ASSERT_TRUE(options.ok());
+  EXPECT_TRUE(options->enabled);
+  EXPECT_DOUBLE_EQ(options->interval_seconds, 0.25);
+  EXPECT_EQ(options->retention_samples, 100);
+  EXPECT_EQ(options->export_path, "out.tsdb.json");
+
+  auto bad = TelemetryOptions::from_config(
+      *Config::parse("[telemetry]\ninterval = 0s\n"));
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(CollectorTest, DisabledCollectorNeverAttachesOrSamples) {
+  sim::Engine engine;
+  Tracer tracer(engine);
+  TelemetryOptions options;  // enabled = false
+  TimeSeriesCollector collector(tracer, options);
+  tracer.metrics().counter("x").add();
+  collector.poll();
+  EXPECT_EQ(collector.samples(), 0u);
+  EXPECT_TRUE(collector.finalize().is_ok());
+  EXPECT_TRUE(collector.series().empty());
+  // No `telemetry` instant was planted: old summaries stay unchanged.
+  TraceAnalyzer analyzer(tracer);
+  EXPECT_FALSE(analyzer.analyze_telemetry().found);
+}
+
+TEST(CollectorTest, LazySamplingCatchesUpPerTick) {
+  sim::Engine engine;
+  Tracer tracer(engine);
+  TelemetryOptions options;
+  options.enabled = true;
+  options.interval_seconds = 1.0;
+  TimeSeriesCollector collector(tracer, options);
+  Counter& requests = tracer.metrics().counter("requests");
+  engine.schedule_at(0.9, [&] {
+    requests.add();
+    collector.poll();
+  });
+  engine.schedule_at(1.9, [&] {
+    requests.add();
+    collector.poll();
+  });
+  // Quiet stretch: the next poll catches up ticks 2..4 in one call.
+  engine.schedule_at(4.5, [&] {
+    requests.add();
+    collector.poll();
+  });
+  engine.run();
+  ASSERT_TRUE(collector.finalize().is_ok());
+  const auto& series = collector.series();
+  auto it = series.find("requests");
+  ASSERT_NE(it, series.end());
+  EXPECT_EQ(it->second.kind(), TimeSeries::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(it->second.value_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(it->second.value_at(1), 2.0);
+  // Catch-up ticks scrape the registry as of the poll that replays them.
+  EXPECT_DOUBLE_EQ(it->second.value_at(4), 3.0);
+  EXPECT_EQ(collector.last_tick(), 5);  // finalize takes one extra sample
+  TraceAnalyzer analyzer(tracer);
+  TelemetryStats stats = analyzer.analyze_telemetry();
+  EXPECT_TRUE(stats.found);
+  EXPECT_EQ(stats.samples, collector.samples());
+  EXPECT_FALSE(stats.evaluated_alerts);
+}
+
+/// Drives a collector with a deterministic per-tick workload and returns
+/// the tracer + collector for alert assertions.
+struct AlertHarness {
+  sim::Engine engine;
+  Tracer tracer{engine};
+  TimeSeriesCollector collector;
+
+  explicit AlertHarness(const std::string& rules_ini)
+      : collector(tracer, enabled_options()) {
+    auto config = Config::parse(rules_ini);
+    EXPECT_TRUE(config.ok());
+    auto rules = AlertRuleSet::from_config(*config);
+    EXPECT_TRUE(rules.ok());
+    collector.set_alert_rules(*rules);
+  }
+
+  static TelemetryOptions enabled_options() {
+    TelemetryOptions options;
+    options.enabled = true;
+    options.interval_seconds = 1.0;
+    return options;
+  }
+
+  /// Per tick: `missed` failed + `met` successful deadline completions for
+  /// teamA, polling the collector each second like a runtime event would.
+  void run_deadline_ticks(double from, double to, int met, int missed) {
+    for (double t = from; t < to; t += 1.0) {
+      engine.schedule_at(t, [this, met, missed] {
+        for (int i = 0; i < met; ++i) {
+          tracer.metrics()
+              .counter("slo.deadline",
+                       {{"tenant", "teamA"}, {"outcome", "met"}})
+              .add();
+        }
+        for (int i = 0; i < missed; ++i) {
+          tracer.metrics()
+              .counter("slo.deadline",
+                       {{"tenant", "teamA"}, {"outcome", "missed"}})
+              .add();
+        }
+        collector.poll();
+      });
+    }
+  }
+};
+
+TEST(AlertsTest, BurnRateFiresPerTenantAndResolves) {
+  AlertHarness harness(
+      "[alerts]\n"
+      "rule.deadline-burn = burn-rate slo.deadline{outcome=missed} / "
+      "slo.deadline by tenant objective 0.9 windows 2s:1,6s:0.5 "
+      "severity page\n");
+  // 50% miss ratio -> burn 5 with a 0.9 objective: both windows exceed.
+  harness.run_deadline_ticks(0.5, 8.0, /*met=*/1, /*missed=*/1);
+  // Then a clean stretch long enough to drain both windows.
+  harness.run_deadline_ticks(8.5, 20.0, /*met=*/2, /*missed=*/0);
+  harness.engine.run();
+  ASSERT_TRUE(harness.collector.finalize().is_ok());
+
+  const AlertEvaluator* alerts = harness.collector.alerts();
+  ASSERT_NE(alerts, nullptr);
+  ASSERT_GE(alerts->events().size(), 2u);
+  const AlertEvent& fire = alerts->events().front();
+  EXPECT_TRUE(fire.fire);
+  EXPECT_EQ(fire.rule, "deadline-burn");
+  EXPECT_EQ(fire.labels, "{tenant=\"teamA\"}");
+  EXPECT_EQ(fire.severity, "page");
+  EXPECT_GE(fire.value, 1.0);
+  bool resolved = false;
+  for (const AlertEvent& event : alerts->events()) {
+    if (!event.fire && event.rule == "deadline-burn") resolved = true;
+  }
+  EXPECT_TRUE(resolved);
+  EXPECT_TRUE(alerts->active().empty());
+
+  // The MetricsTool folded the transitions back into labeled counters.
+  EXPECT_GE(harness.tracer.metrics().counter_value(
+                "alert.fired", {{"rule", "deadline-burn"}}),
+            1u);
+
+  // End-of-run report from the planted instants.
+  TraceAnalyzer analyzer(harness.tracer);
+  AlertStats stats = analyzer.analyze_alerts();
+  ASSERT_TRUE(stats.found);
+  EXPECT_EQ(stats.fired, alerts->fired());
+  ASSERT_GE(stats.groups.size(), 1u);
+  EXPECT_EQ(stats.groups[0].rule, "deadline-burn");
+  EXPECT_EQ(stats.groups[0].labels, "{tenant=\"teamA\"}");
+}
+
+TEST(AlertsTest, ThresholdHonorsForDuration) {
+  AlertHarness harness(
+      "[alerts]\n"
+      "rule.queue-depth = threshold scheduler.queue_depth >= 3 for 3s "
+      "severity ticket\n");
+  Gauge& depth = harness.tracer.metrics().gauge("scheduler.queue_depth");
+  // One tick above the bound is not enough for a 3s hold.
+  harness.engine.schedule_at(0.5, [&] {
+    depth.set(5);
+    harness.collector.poll();
+  });
+  harness.engine.schedule_at(1.5, [&] {
+    depth.set(0);
+    harness.collector.poll();
+  });
+  // Then a sustained breach.
+  for (double t = 2.5; t < 7.0; t += 1.0) {
+    harness.engine.schedule_at(t, [&] {
+      depth.set(4);
+      harness.collector.poll();
+    });
+  }
+  harness.engine.run();
+  ASSERT_TRUE(harness.collector.finalize().is_ok());
+  const AlertEvaluator* alerts = harness.collector.alerts();
+  ASSERT_NE(alerts, nullptr);
+  ASSERT_EQ(alerts->fired(), 1u);
+  EXPECT_EQ(alerts->events().front().rule, "queue-depth");
+  EXPECT_EQ(alerts->events().front().severity, "ticket");
+  // Still breached at end of run: the alert stays active.
+  auto active = alerts->active();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0].rule, "queue-depth");
+}
+
+TEST(AlertsTest, MalformedRulesAreLoudErrors) {
+  auto bad_kind = AlertRuleSet::from_config(
+      *Config::parse("[alerts]\nrule.x = gradient a / b\n"));
+  EXPECT_FALSE(bad_kind.ok());
+  auto missing_windows = AlertRuleSet::from_config(
+      *Config::parse("[alerts]\nrule.x = burn-rate a / b objective 0.9\n"));
+  EXPECT_FALSE(missing_windows.ok());
+  auto bad_bound = AlertRuleSet::from_config(
+      *Config::parse("[alerts]\nrule.x = threshold a >= many\n"));
+  EXPECT_FALSE(bad_bound.ok());
+}
+
+TEST(OpenMetricsTest, ExpositionShape) {
+  Metrics metrics;
+  metrics.counter("slo.deadline", {{"tenant", "teamA"}, {"outcome", "met"}})
+      .add(3);
+  metrics.gauge("scheduler.queue_depth").set(2.5);
+  Histogram& h = metrics.histogram("batch.size");
+  h.record(0.5);
+  h.record(50.0);
+  std::string text = to_openmetrics(metrics);
+
+  EXPECT_NE(text.find("# TYPE slo_deadline counter\n"), std::string::npos);
+  EXPECT_NE(text.find("slo_deadline_total{outcome=\"met\","
+                      "tenant=\"teamA\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE scheduler_queue_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("scheduler_queue_depth 2.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE batch_size histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("batch_size_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("batch_size_count 2\n"), std::string::npos);
+  // Exactly one terminating EOF marker.
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+}
+
+TEST(CollectorTest, TsdbDumpParsesAndCarriesAlerts) {
+  AlertHarness harness(
+      "[alerts]\n"
+      "rule.deadline-burn = burn-rate slo.deadline{outcome=missed} / "
+      "slo.deadline by tenant objective 0.9 windows 2s:1 severity page\n");
+  harness.run_deadline_ticks(0.5, 6.0, /*met=*/1, /*missed=*/1);
+  harness.engine.run();
+  ASSERT_TRUE(harness.collector.finalize().is_ok());
+
+  auto doc = parse_json(harness.collector.tsdb_json(), "tsdb");
+  ASSERT_TRUE(doc.ok());
+  const JsonValue* telemetry = doc->find("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+  EXPECT_DOUBLE_EQ(telemetry->number_or("interval_seconds", 0), 1.0);
+  const JsonValue* series = doc->find("series");
+  ASSERT_NE(series, nullptr);
+  EXPECT_FALSE(series->items.empty());
+  bool found_labeled = false;
+  for (const JsonValue& entry : series->items) {
+    if (entry.string_or("name", "") != "slo.deadline") continue;
+    const JsonValue* labels = entry.find("labels");
+    ASSERT_NE(labels, nullptr);
+    if (labels->find("tenant") != nullptr) found_labeled = true;
+    const JsonValue* points = entry.find("points");
+    ASSERT_NE(points, nullptr);
+    EXPECT_FALSE(points->items.empty());
+  }
+  EXPECT_TRUE(found_labeled);
+  const JsonValue* alerts = doc->find("alerts");
+  ASSERT_NE(alerts, nullptr);
+  const JsonValue* events = alerts->find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_FALSE(events->items.empty());
+}
+
+TEST(AnalysisRoundTripTest, TelemetryAndAlertSectionsSurviveImport) {
+  AlertHarness harness(
+      "[alerts]\n"
+      "rule.deadline-burn = burn-rate slo.deadline{outcome=missed} / "
+      "slo.deadline by tenant objective 0.9 windows 2s:1 severity page\n");
+  harness.run_deadline_ticks(0.5, 6.0, /*met=*/1, /*missed=*/1);
+  harness.engine.run();
+  ASSERT_TRUE(harness.collector.finalize().is_ok());
+
+  TraceAnalyzer live(harness.tracer);
+  TelemetryStats live_telemetry = live.analyze_telemetry();
+  AlertStats live_alerts = live.analyze_alerts();
+  ASSERT_TRUE(live_telemetry.found);
+  ASSERT_TRUE(live_alerts.found);
+  EXPECT_TRUE(live_telemetry.evaluated_alerts);
+  EXPECT_GE(live_telemetry.alerts_fired, 1u);
+
+  std::string exported = to_chrome_json(harness.tracer);
+  auto imported = import_chrome_json(exported);
+  ASSERT_TRUE(imported.ok());
+  TraceAnalyzer replay(*imported->tracer);
+  EXPECT_EQ(replay.analyze_telemetry().to_json(),
+            live_telemetry.to_json());
+  EXPECT_EQ(replay.analyze_alerts().to_json(), live_alerts.to_json());
+  EXPECT_EQ(replay.analyze_telemetry().to_text(), live_telemetry.to_text());
+  EXPECT_EQ(replay.analyze_alerts().to_text(), live_alerts.to_text());
+}
+
+}  // namespace
+}  // namespace ompcloud::trace

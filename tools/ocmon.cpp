@@ -1,0 +1,488 @@
+// ocmon — live monitor over the telemetry collector's time-series dump.
+//
+//   ocmon series.tsdb.json            follow the dump, redraw every second
+//   ocmon --once series.tsdb.json     render one frame and exit
+//   ocmon --once --json series.tsdb.json   machine-readable frame (CI)
+//
+// The runtime's TimeSeriesCollector (trace/timeseries.h) writes the dump at
+// `telemetry.export`; a run that is still in flight rewrites it on exit, so
+// follow mode simply re-reads the file each second and redraws when it
+// changes. Rendered per frame: the collector footprint, a per-tenant
+// admission table (quota occupancy, deadline burn, dispatch-rate
+// sparkline), a per-device table (offload outcomes, breaker state), and the
+// firing alerts. Exit codes: 0 = rendered, 2 = usage or load error.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/json.h"
+#include "support/strings.h"
+
+using namespace ompcloud;
+
+namespace {
+
+int usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: ocmon [--once] [--json] [--window N] <series.tsdb.json>"
+               "\n"
+               "\n"
+               "Renders per-tenant and per-device telemetry tables plus the\n"
+               "firing SLO alerts from a time-series dump the runtime's\n"
+               "[telemetry] collector wrote. Without --once the file is\n"
+               "re-read every second and the screen redrawn (live runs\n"
+               "rewrite the dump as they finish). --window sets the\n"
+               "sparkline / rate lookback in samples (default 16).\n");
+  return 2;
+}
+
+/// One decoded series: change-compressed step points over sample ticks.
+struct SeriesView {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::vector<std::pair<long long, double>> points;
+
+  [[nodiscard]] const std::string* label(std::string_view key) const {
+    for (const auto& [k, v] : labels) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  /// Step lookup: value of the last point at or before `tick` (0 before
+  /// the first point — counters start from zero).
+  [[nodiscard]] double value_at(long long tick) const {
+    double value = 0;
+    for (const auto& [t, v] : points) {
+      if (t > tick) break;
+      value = v;
+    }
+    return value;
+  }
+  [[nodiscard]] double delta(long long from, long long to) const {
+    return value_at(to) - value_at(from);
+  }
+};
+
+struct ActiveAlertView {
+  std::string rule;
+  std::string labels;
+  std::string severity;
+  long long since_tick = 0;
+  double value = 0;
+};
+
+/// Everything one frame renders, decoded from the dump.
+struct Frame {
+  double interval = 1.0;
+  long long last_tick = 0;
+  unsigned long long samples = 0;
+  std::vector<SeriesView> series;
+  bool has_alerts = false;
+  unsigned long long fired = 0;
+  unsigned long long resolved = 0;
+  std::vector<ActiveAlertView> active;
+
+  [[nodiscard]] std::vector<const SeriesView*> family(
+      std::string_view name) const {
+    std::vector<const SeriesView*> out;
+    for (const SeriesView& view : series) {
+      if (view.name == name) out.push_back(&view);
+    }
+    return out;
+  }
+  /// Sum of `name` series carrying label==value at `tick` (totals) or the
+  /// windowed delta ending at `tick` when `window` > 0.
+  [[nodiscard]] double sum(std::string_view name, std::string_view label,
+                           std::string_view value, long long tick,
+                           long long window = 0) const {
+    double total = 0;
+    for (const SeriesView* view : family(name)) {
+      const std::string* got = view->label(label);
+      if (got == nullptr || *got != value) continue;
+      total += window > 0 ? view->delta(tick - window, tick)
+                          : view->value_at(tick);
+    }
+    return total;
+  }
+};
+
+Result<Frame> load_frame(const std::string& path) {
+  OC_ASSIGN_OR_RETURN(JsonValue doc, load_json_file(path));
+  if (doc.kind != JsonValue::Kind::kObject) {
+    return invalid_argument(path + ": top level is not an object");
+  }
+  Frame frame;
+  if (const JsonValue* telemetry = doc.find("telemetry")) {
+    frame.interval = telemetry->number_or("interval_seconds", 1.0);
+    frame.last_tick =
+        static_cast<long long>(telemetry->number_or("last_tick", 0));
+    frame.samples = telemetry->u64_or("samples", 0);
+  }
+  const JsonValue* series = doc.find("series");
+  if (series == nullptr || series->kind != JsonValue::Kind::kArray) {
+    return invalid_argument(path + ": missing series array");
+  }
+  for (const JsonValue& entry : series->items) {
+    SeriesView view;
+    view.name = entry.string_or("name", "");
+    if (const JsonValue* labels = entry.find("labels")) {
+      for (const auto& [key, value] : labels->members) {
+        view.labels.emplace_back(key, value.text);
+      }
+    }
+    if (const JsonValue* points = entry.find("points")) {
+      for (const JsonValue& point : points->items) {
+        if (point.items.size() != 2) continue;
+        view.points.emplace_back(
+            static_cast<long long>(point.items[0].number),
+            point.items[1].number);
+      }
+    }
+    frame.series.push_back(std::move(view));
+  }
+  if (const JsonValue* alerts = doc.find("alerts")) {
+    frame.has_alerts = true;
+    if (const JsonValue* events = alerts->find("events")) {
+      for (const JsonValue& event : events->items) {
+        if (event.string_or("kind", "") == "fire") {
+          frame.fired += 1;
+        } else {
+          frame.resolved += 1;
+        }
+      }
+    }
+    if (const JsonValue* active = alerts->find("active")) {
+      for (const JsonValue& entry : active->items) {
+        ActiveAlertView view;
+        view.rule = entry.string_or("rule", "");
+        view.labels = entry.string_or("labels", "");
+        view.severity = entry.string_or("severity", "");
+        view.since_tick = static_cast<long long>(
+            entry.number_or("since_tick", 0));
+        view.value = entry.number_or("value", 0);
+        frame.active.push_back(std::move(view));
+      }
+    }
+  }
+  return frame;
+}
+
+/// Unicode block sparkline of per-tick deltas over the trailing window.
+std::string sparkline(const SeriesView* view, long long tick,
+                      long long window) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (view == nullptr) return std::string(static_cast<size_t>(window), '-');
+  std::vector<double> deltas;
+  double peak = 0;
+  for (long long t = tick - window + 1; t <= tick; ++t) {
+    double d = std::max(0.0, view->delta(t - 1, t));
+    peak = std::max(peak, d);
+    deltas.push_back(d);
+  }
+  std::string out;
+  for (double d : deltas) {
+    if (peak <= 0) {
+      out += kBlocks[0];
+    } else {
+      int level = static_cast<int>(d / peak * 7.0 + 0.5);
+      out += kBlocks[std::clamp(level, 0, 7)];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> label_values(const Frame& frame,
+                                      std::string_view label) {
+  std::set<std::string> values;
+  for (const SeriesView& view : frame.series) {
+    if (const std::string* value = view.label(label)) values.insert(*value);
+  }
+  return {values.begin(), values.end()};
+}
+
+const SeriesView* find_series(
+    const Frame& frame, std::string_view name,
+    const std::vector<std::pair<std::string_view, std::string_view>>& labels) {
+  for (const SeriesView& view : frame.series) {
+    if (view.name != name) continue;
+    bool all = true;
+    for (const auto& [key, value] : labels) {
+      const std::string* got = view.label(key);
+      if (got == nullptr || *got != value) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return &view;
+  }
+  return nullptr;
+}
+
+struct TenantRow {
+  std::string tenant;
+  double admitted = 0;
+  double dispatched = 0;
+  double rejected = 0;
+  double quota_used = 0;
+  double quota_limit = 0;  ///< 0 = unbounded
+  double deadline_met = 0;
+  double deadline_missed = 0;
+  double rate = 0;  ///< dispatches per virtual second over the window
+  std::string spark;
+
+  [[nodiscard]] double miss_ratio() const {
+    double total = deadline_met + deadline_missed;
+    return total > 0 ? deadline_missed / total : 0.0;
+  }
+};
+
+std::vector<TenantRow> tenant_rows(const Frame& frame, long long window) {
+  std::vector<TenantRow> rows;
+  const long long tick = frame.last_tick;
+  for (const std::string& tenant : label_values(frame, "tenant")) {
+    TenantRow row;
+    row.tenant = tenant;
+    for (const SeriesView* view : frame.family("scheduler.events")) {
+      const std::string* got = view->label("tenant");
+      const std::string* kind = view->label("kind");
+      if (got == nullptr || *got != tenant || kind == nullptr) continue;
+      const double total = view->value_at(tick);
+      if (*kind == "admit") row.admitted += total;
+      if (*kind == "dispatch") row.dispatched += total;
+      if (*kind == "reject") row.rejected += total;
+    }
+    row.quota_used = frame.sum("scheduler.quota_used", "tenant", tenant, tick);
+    row.quota_limit =
+        frame.sum("scheduler.quota_limit", "tenant", tenant, tick);
+    row.deadline_met = 0;
+    row.deadline_missed = 0;
+    for (const SeriesView* view : frame.family("slo.deadline")) {
+      const std::string* got = view->label("tenant");
+      const std::string* outcome = view->label("outcome");
+      if (got == nullptr || *got != tenant || outcome == nullptr) continue;
+      if (*outcome == "met") row.deadline_met += view->value_at(tick);
+      if (*outcome == "missed") row.deadline_missed += view->value_at(tick);
+    }
+    const SeriesView* dispatch = find_series(
+        frame, "scheduler.events", {{"kind", "dispatch"}, {"tenant", tenant}});
+    if (dispatch != nullptr && frame.interval > 0) {
+      row.rate = dispatch->delta(tick - window, tick) /
+                 (static_cast<double>(window) * frame.interval);
+    }
+    row.spark = sparkline(dispatch, tick, window);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+struct DeviceRow {
+  std::string device;
+  double ok = 0;
+  double error = 0;
+  double fallback = 0;
+  double breaker = 0;  ///< 0 closed, 1 half-open, 2 open
+  std::string spark;
+
+  [[nodiscard]] const char* breaker_text() const {
+    if (breaker >= 2) return "open";
+    if (breaker >= 1) return "half-open";
+    return "closed";
+  }
+};
+
+std::vector<DeviceRow> device_rows(const Frame& frame, long long window) {
+  std::vector<DeviceRow> rows;
+  const long long tick = frame.last_tick;
+  for (const std::string& device : label_values(frame, "device")) {
+    DeviceRow row;
+    row.device = device;
+    for (const SeriesView* view : frame.family("device.offloads")) {
+      const std::string* got = view->label("device");
+      const std::string* outcome = view->label("outcome");
+      if (got == nullptr || *got != device || outcome == nullptr) continue;
+      const double total = view->value_at(tick);
+      if (*outcome == "ok") row.ok += total;
+      if (*outcome == "error") row.error += total;
+      if (*outcome == "fallback") row.fallback += total;
+    }
+    row.breaker = frame.sum("breaker.state", "device", device, tick);
+    row.spark = sparkline(
+        find_series(frame, "device.offloads",
+                    {{"device", device}, {"outcome", "ok"}}),
+        tick, window);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void render_json(const Frame& frame, long long window) {
+  std::string out = str_format(
+      "{\"telemetry\": {\"interval_seconds\": %.9g, \"last_tick\": %lld, "
+      "\"samples\": %llu, \"series\": %zu},\n",
+      frame.interval, frame.last_tick, frame.samples, frame.series.size());
+  out += " \"tenants\": [";
+  const auto tenants = tenant_rows(frame, window);
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    const TenantRow& row = tenants[i];
+    out += str_format(
+        "%s\n  {\"tenant\": \"%s\", \"admitted\": %.9g, \"dispatched\": "
+        "%.9g, \"rejected\": %.9g, \"quota_used\": %.9g, \"quota_limit\": "
+        "%.9g, \"deadline_met\": %.9g, \"deadline_missed\": %.9g, "
+        "\"miss_ratio\": %.9g, \"dispatch_rate\": %.9g}",
+        i == 0 ? "" : ",", json_escape(row.tenant).c_str(), row.admitted,
+        row.dispatched, row.rejected, row.quota_used, row.quota_limit,
+        row.deadline_met, row.deadline_missed, row.miss_ratio(), row.rate);
+  }
+  out += tenants.empty() ? "],\n" : "\n ],\n";
+  out += " \"devices\": [";
+  const auto devices = device_rows(frame, window);
+  for (size_t i = 0; i < devices.size(); ++i) {
+    const DeviceRow& row = devices[i];
+    out += str_format(
+        "%s\n  {\"device\": \"%s\", \"ok\": %.9g, \"error\": %.9g, "
+        "\"fallback\": %.9g, \"breaker\": \"%s\"}",
+        i == 0 ? "" : ",", json_escape(row.device).c_str(), row.ok, row.error,
+        row.fallback, row.breaker_text());
+  }
+  out += devices.empty() ? "],\n" : "\n ],\n";
+  out += str_format(
+      " \"alerts\": {\"evaluated\": %s, \"fired\": %llu, \"resolved\": %llu, "
+      "\"active\": [",
+      frame.has_alerts ? "true" : "false", frame.fired, frame.resolved);
+  for (size_t i = 0; i < frame.active.size(); ++i) {
+    const ActiveAlertView& alert = frame.active[i];
+    out += str_format(
+        "%s\n  {\"rule\": \"%s\", \"labels\": \"%s\", \"severity\": \"%s\", "
+        "\"since_tick\": %lld, \"value\": %.9g}",
+        i == 0 ? "" : ",", json_escape(alert.rule).c_str(),
+        json_escape(alert.labels).c_str(), json_escape(alert.severity).c_str(),
+        alert.since_tick, alert.value);
+  }
+  out += frame.active.empty() ? "]}}\n" : "\n ]}}\n";
+  std::fputs(out.c_str(), stdout);
+}
+
+void render_text(const Frame& frame, long long window) {
+  std::printf("ocmon — %llu samples at %.9gs cadence, %zu series, t=%.9gs\n",
+              frame.samples, frame.interval, frame.series.size(),
+              static_cast<double>(frame.last_tick) * frame.interval);
+
+  const auto tenants = tenant_rows(frame, window);
+  if (!tenants.empty()) {
+    std::printf("\n%-12s %9s %9s %9s %11s %9s %7s  %s\n", "TENANT", "ADMIT",
+                "DISPATCH", "REJECT", "QUOTA", "MISS%", "RATE/S",
+                "DISPATCHES");
+    for (const TenantRow& row : tenants) {
+      std::string quota =
+          row.quota_limit > 0
+              ? str_format("%.9g/%.9g", row.quota_used, row.quota_limit)
+              : str_format("%.9g/-", row.quota_used);
+      std::printf("%-12s %9.9g %9.9g %9.9g %11s %8.2f%% %7.2f  %s\n",
+                  row.tenant.c_str(), row.admitted, row.dispatched,
+                  row.rejected, quota.c_str(), row.miss_ratio() * 100.0,
+                  row.rate, row.spark.c_str());
+    }
+  }
+
+  const auto devices = device_rows(frame, window);
+  if (!devices.empty()) {
+    std::printf("\n%-12s %9s %9s %9s %10s  %s\n", "DEVICE", "OK", "ERROR",
+                "FALLBACK", "BREAKER", "COMPLETIONS");
+    for (const DeviceRow& row : devices) {
+      std::printf("%-12s %9.9g %9.9g %9.9g %10s  %s\n", row.device.c_str(),
+                  row.ok, row.error, row.fallback, row.breaker_text(),
+                  row.spark.c_str());
+    }
+  }
+
+  if (frame.has_alerts) {
+    std::printf("\nalerts: %llu fired, %llu resolved, %zu active\n",
+                frame.fired, frame.resolved, frame.active.size());
+    for (const ActiveAlertView& alert : frame.active) {
+      std::printf("  FIRING [%s] %s%s  value %.9g  since t=%.9gs\n",
+                  alert.severity.c_str(), alert.rule.c_str(),
+                  alert.labels.c_str(), alert.value,
+                  static_cast<double>(alert.since_tick) * frame.interval);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  std::string path;
+  bool once = false;
+  bool json = false;
+  long long window = 16;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--window") {
+      if (i + 1 >= argc) return usage(stderr);
+      auto parsed = parse_int(argv[++i]);
+      if (!parsed.has_value() || *parsed <= 0) {
+        std::fprintf(stderr, "ocmon: bad --window '%s'\n", argv[i]);
+        return 2;
+      }
+      window = *parsed;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ocmon: unknown flag '%s'\n", arg.c_str());
+      return usage(stderr);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "ocmon: unexpected argument '%s'\n", arg.c_str());
+      return usage(stderr);
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "ocmon: missing series file\n");
+    return usage(stderr);
+  }
+  // JSON output is one frame by construction.
+  if (json) once = true;
+
+  unsigned long long last_samples = ~0ULL;
+  while (true) {
+    auto frame = load_frame(path);
+    if (!frame.ok()) {
+      std::fprintf(stderr, "ocmon: %s\n", frame.status().to_string().c_str());
+      return 2;
+    }
+    if (json) {
+      render_json(*frame, window);
+    } else {
+      if (!once && frame->samples != last_samples) {
+        std::fputs("\x1b[H\x1b[2J", stdout);  // clear for the redraw
+      }
+      if (frame->samples != last_samples) {
+        render_text(*frame, window);
+        std::fflush(stdout);
+        last_samples = frame->samples;
+      }
+    }
+    if (once) break;
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+  return 0;
+}

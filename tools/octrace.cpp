@@ -174,9 +174,13 @@ int main(int argc, const char** argv) {
   }
 
   if (command == "summary") {
-    // Traces recorded before the service layer hold no admission spans;
-    // the section is omitted entirely, so their output is unchanged.
+    // Traces recorded before the service layer hold no admission spans,
+    // and traces recorded with [telemetry] off hold no collector instant;
+    // each absent section is omitted entirely, so their output is
+    // unchanged.
     trace::ServiceStats service = analyzer.analyze_service();
+    trace::TelemetryStats telemetry = analyzer.analyze_telemetry();
+    trace::AlertStats alerts = analyzer.analyze_alerts();
     if (json) {
       std::string out = "{\"offloads\": [";
       for (size_t i = 0; i < analyses.size(); ++i) {
@@ -185,6 +189,8 @@ int main(int argc, const char** argv) {
       }
       out += "]";
       if (service.found) out += ", \"service\": " + service.to_json();
+      if (telemetry.found) out += ", \"telemetry\": " + telemetry.to_json();
+      if (alerts.found) out += ", \"alerts\": " + alerts.to_json();
       out += "}\n";
       std::fputs(out.c_str(), stdout);
     } else {
@@ -192,6 +198,8 @@ int main(int argc, const char** argv) {
         std::fputs(analysis.to_text().c_str(), stdout);
       }
       if (service.found) std::fputs(service.to_text().c_str(), stdout);
+      if (telemetry.found) std::fputs(telemetry.to_text().c_str(), stdout);
+      if (alerts.found) std::fputs(alerts.to_text().c_str(), stdout);
     }
   } else if (command == "critical-path") {
     if (json) {
