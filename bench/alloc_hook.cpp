@@ -1,0 +1,119 @@
+// Counting replacements for the global operator new/delete family (see
+// alloc_hook.h). malloc-backed so the hook composes with any libc;
+// counting uses a relaxed atomic — benches are single-threaded and only
+// need a total, not ordering.
+#include "bench/alloc_hook.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace ompcloud::bench {
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+bool alloc_hook_active() noexcept {
+#ifdef OMPCLOUD_BENCH_COUNT_ALLOCS
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::uint64_t alloc_count() noexcept {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t alloc_reset() noexcept {
+  return g_allocs.exchange(0, std::memory_order_relaxed);
+}
+
+}  // namespace ompcloud::bench
+
+#ifdef OMPCLOUD_BENCH_COUNT_ALLOCS
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  ompcloud::bench::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  ompcloud::bench::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align)))
+    return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align)))
+    return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // OMPCLOUD_BENCH_COUNT_ALLOCS

@@ -1,0 +1,27 @@
+// Global allocation counter for substrate benchmarks.
+//
+// Linking `alloc_hook.cpp` into a binary replaces the global operator
+// new/delete family with malloc-backed versions that count every
+// allocation, so "zero heap allocations per event in steady state" is an
+// asserted number, not an eyeballed one. The hook is bench-only: it is
+// never linked into the libraries or tests, and it is compiled out
+// entirely when OMPCLOUD_BENCH_COUNT_ALLOCS is OFF (the TU then provides
+// the same API reporting a disabled state, so callers need no #ifdefs).
+#pragma once
+
+#include <cstdint>
+
+namespace ompcloud::bench {
+
+/// True when the counting operator new/delete replacements are active in
+/// this binary (OMPCLOUD_BENCH_COUNT_ALLOCS was ON at build time).
+bool alloc_hook_active() noexcept;
+
+/// Number of heap allocations (all operator-new forms) since the last
+/// alloc_reset(). Always 0 when the hook is inactive.
+std::uint64_t alloc_count() noexcept;
+
+/// Resets the counter; returns the count it had accumulated.
+std::uint64_t alloc_reset() noexcept;
+
+}  // namespace ompcloud::bench

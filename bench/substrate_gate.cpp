@@ -1,0 +1,196 @@
+// CI perf gate for the simulation substrate (see .github/workflows/ci.yml
+// `perf-gate` job). Measures steady-state wall-clock throughput of the two
+// hot substrate paths — raw event dispatch and coroutine spawn/join — and
+// *asserts* the allocation story instead of eyeballing it:
+//
+//   * zero heap allocations per event / per task once warm (counted by the
+//     global new/delete hook in alloc_hook.cpp), and
+//   * observed recycling in the event-node pool and the coroutine frame
+//     arena (the steady state must run on recycled memory, not on a slab
+//     bump pointer that merely postpones the allocations).
+//
+// Emits build/BENCH_substrate.json in the repo's bench row schema;
+// bench/check_regression.py gates `events_per_sec` / `tasks_per_sec` as
+// noise-tolerant floors and `allocs_per_*` as hard zeroes against
+// bench/baseline/BENCH_substrate.json. No google-benchmark dependency:
+// the gate needs warmup/measure phases with the *same* engine (steady
+// state), which the fixture-per-iteration benchmark loop can't express.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench/alloc_hook.h"
+#include "sim/engine.h"
+
+namespace ompcloud {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct GateRow {
+  std::string label;
+  double per_sec = 0;
+  const char* per_sec_key = "events_per_sec";
+  const char* per_alloc_key = "allocs_per_event";
+  double allocs_per_item = 0;
+  std::uint64_t items = 0;
+  double wall_seconds = 0;
+};
+
+int g_failures = 0;
+
+void expect(bool ok, const std::string& what) {
+  if (!ok) {
+    ++g_failures;
+    std::cerr << "FAIL: " << what << "\n";
+  }
+}
+
+// One wave of the raw-event workload: the micro_substrate event-throughput
+// shape (cycling timestamps, empty callables) scheduled relative to the
+// engine's current time so waves can repeat on one warm engine.
+void run_event_wave(sim::Engine& engine, int events) {
+  const sim::SimTime base = engine.now();
+  for (int i = 0; i < events; ++i) {
+    engine.schedule_at(base + static_cast<double>(i % 97), [] {});
+  }
+  engine.run();
+}
+
+GateRow measure_raw_events() {
+  constexpr int kWave = 10000;
+  constexpr int kWarmupWaves = 10;
+  constexpr int kMeasuredWaves = 100;
+
+  sim::Engine engine;
+  for (int w = 0; w < kWarmupWaves; ++w) run_event_wave(engine, kWave);
+
+  const auto pool_before = engine.event_pool_stats();
+  bench::alloc_reset();
+  const auto start = Clock::now();
+  for (int w = 0; w < kMeasuredWaves; ++w) run_event_wave(engine, kWave);
+  const double elapsed = seconds_since(start);
+  const std::uint64_t allocs = bench::alloc_count();
+  const auto pool_after = engine.event_pool_stats();
+
+  GateRow row;
+  row.label = "raw-events";
+  row.items = static_cast<std::uint64_t>(kWave) * kMeasuredWaves;
+  row.wall_seconds = elapsed;
+  row.per_sec = static_cast<double>(row.items) / elapsed;
+  row.allocs_per_item =
+      static_cast<double>(allocs) / static_cast<double>(row.items);
+
+  if (bench::alloc_hook_active()) {
+    expect(allocs == 0, "raw-events steady state allocated " +
+                            std::to_string(allocs) + " times (want 0)");
+  }
+  expect(pool_after.fresh == pool_before.fresh,
+         "raw-events steady state carved fresh event nodes");
+  expect(pool_after.recycled > pool_before.recycled,
+         "raw-events steady state did not recycle event nodes");
+  return row;
+}
+
+// One wave of the spawn/join workload: the micro_substrate coroutine shape
+// (CpuPool tasks with cycling durations).
+void run_spawn_wave(sim::Engine& engine, sim::CpuPool& pool, int tasks) {
+  for (int i = 0; i < tasks; ++i) {
+    engine.spawn(pool.run(0.001 * (i % 7)));
+  }
+  engine.run();
+}
+
+GateRow measure_spawn_join() {
+  constexpr int kWave = 1000;
+  constexpr int kWarmupWaves = 10;
+  constexpr int kMeasuredWaves = 100;
+
+  sim::Engine engine;
+  sim::CpuPool pool(engine, 16);
+  for (int w = 0; w < kWarmupWaves; ++w) run_spawn_wave(engine, pool, kWave);
+
+  const auto arena_before = sim::detail::FrameArena::stats();
+  bench::alloc_reset();
+  const auto start = Clock::now();
+  for (int w = 0; w < kMeasuredWaves; ++w) run_spawn_wave(engine, pool, kWave);
+  const double elapsed = seconds_since(start);
+  const std::uint64_t allocs = bench::alloc_count();
+  const auto arena_after = sim::detail::FrameArena::stats();
+
+  GateRow row;
+  row.label = "spawn-join";
+  row.per_sec_key = "tasks_per_sec";
+  row.per_alloc_key = "allocs_per_task";
+  row.items = static_cast<std::uint64_t>(kWave) * kMeasuredWaves;
+  row.wall_seconds = elapsed;
+  row.per_sec = static_cast<double>(row.items) / elapsed;
+  row.allocs_per_item =
+      static_cast<double>(allocs) / static_cast<double>(row.items);
+
+  if (bench::alloc_hook_active()) {
+    expect(allocs == 0, "spawn-join steady state allocated " +
+                            std::to_string(allocs) + " times (want 0)");
+  }
+  expect(arena_after.fresh == arena_before.fresh,
+         "spawn-join steady state carved fresh arena blocks");
+  expect(arena_after.reused > arena_before.reused,
+         "spawn-join steady state did not recycle coroutine frames");
+  return row;
+}
+
+void write_json(const std::string& path, const GateRow& events,
+                const GateRow& tasks) {
+  std::ofstream out(path);
+  auto emit = [&out](const GateRow& row, bool last) {
+    out << "  {\"label\": \"" << row.label << "\", \"" << row.per_sec_key
+        << "\": " << static_cast<std::uint64_t>(row.per_sec) << ", \""
+        << row.per_alloc_key << "\": " << row.allocs_per_item
+        << ", \"items\": " << row.items
+        << ", \"wall_seconds\": " << row.wall_seconds << "}"
+        << (last ? "\n" : ",\n");
+  };
+  out << "[\n";
+  emit(events, false);
+  emit(tasks, true);
+  out << "]\n";
+}
+
+}  // namespace
+}  // namespace ompcloud
+
+int main(int argc, char** argv) {
+  using namespace ompcloud;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_substrate.json";
+
+  if (!bench::alloc_hook_active()) {
+    std::cerr << "note: allocation hook compiled out "
+                 "(OMPCLOUD_BENCH_COUNT_ALLOCS=OFF); zero-alloc assertions "
+                 "skipped\n";
+  }
+
+  const GateRow events = measure_raw_events();
+  const GateRow tasks = measure_spawn_join();
+  write_json(out_path, events, tasks);
+
+  std::printf("raw-events: %.3fM events/s, %.4f allocs/event (%llu events)\n",
+              events.per_sec / 1e6, events.allocs_per_item,
+              static_cast<unsigned long long>(events.items));
+  std::printf("spawn-join: %.3fM tasks/s,  %.4f allocs/task  (%llu tasks)\n",
+              tasks.per_sec / 1e6, tasks.allocs_per_item,
+              static_cast<unsigned long long>(tasks.items));
+  std::printf("wrote %s\n", out_path.c_str());
+  if (g_failures != 0) {
+    std::cerr << g_failures << " substrate invariant(s) violated\n";
+    return 1;
+  }
+  return 0;
+}

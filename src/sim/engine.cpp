@@ -2,6 +2,375 @@
 
 namespace ompcloud::sim {
 
+namespace detail {
+
+// ---------------------------------------------------------------------------
+// FrameArena
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// 64-byte size classes up to 4 KiB cover every coroutine frame in the
+// repository; larger (or over-aligned) requests fall through to the heap.
+constexpr std::size_t kGranule = 64;
+constexpr std::size_t kClasses = 64;  // kGranule * kClasses = 4 KiB
+constexpr std::size_t kHeader = alignof(std::max_align_t);
+constexpr std::size_t kSlabBytes = 64 * 1024;
+constexpr uint32_t kHeapClass = 0xffffffffu;
+
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+struct ArenaState {
+  FreeBlock* free_lists[kClasses] = {};
+  std::vector<std::unique_ptr<unsigned char[]>> slabs;
+  unsigned char* bump = nullptr;
+  unsigned char* bump_end = nullptr;
+  FrameArenaStats stats;
+};
+
+ArenaState& arena() {
+  thread_local ArenaState state;
+  return state;
+}
+
+}  // namespace
+
+void* FrameArena::allocate(std::size_t bytes) {
+  ArenaState& a = arena();
+  const std::size_t total = bytes + kHeader;
+  const std::size_t cls = (total + kGranule - 1) / kGranule;  // 1-based
+  if (cls > kClasses) {
+    ++a.stats.oversize;
+    auto* raw = static_cast<unsigned char*>(::operator new(total));
+    *reinterpret_cast<uint32_t*>(raw) = kHeapClass;
+    return raw + kHeader;
+  }
+  if (FreeBlock* block = a.free_lists[cls - 1]; block != nullptr) {
+    a.free_lists[cls - 1] = block->next;
+    ++a.stats.reused;
+    auto* raw = reinterpret_cast<unsigned char*>(block);
+    *reinterpret_cast<uint32_t*>(raw) = static_cast<uint32_t>(cls);
+    return raw + kHeader;
+  }
+  const std::size_t need = cls * kGranule;
+  if (static_cast<std::size_t>(a.bump_end - a.bump) < need) {
+    // new[] default-initializes (no zeroing); blocks are 64-byte multiples
+    // off a 16-aligned base, so headers and payloads stay aligned.
+    a.slabs.emplace_back(new unsigned char[kSlabBytes]);
+    a.bump = a.slabs.back().get();
+    // operator new[] guarantees max_align_t alignment for char arrays of
+    // this size; keep the bump granule-aligned so headers stay aligned.
+    a.bump_end = a.bump + kSlabBytes;
+    a.stats.slab_bytes += kSlabBytes;
+  }
+  unsigned char* raw = a.bump;
+  a.bump += need;
+  ++a.stats.fresh;
+  *reinterpret_cast<uint32_t*>(raw) = static_cast<uint32_t>(cls);
+  return raw + kHeader;
+}
+
+void FrameArena::release(void* p) noexcept {
+  if (p == nullptr) return;
+  auto* raw = static_cast<unsigned char*>(p) - kHeader;
+  const uint32_t cls = *reinterpret_cast<uint32_t*>(raw);
+  if (cls == kHeapClass) {
+    ::operator delete(raw);
+    return;
+  }
+  ArenaState& a = arena();
+  auto* block = reinterpret_cast<FreeBlock*>(raw);
+  block->next = a.free_lists[cls - 1];
+  a.free_lists[cls - 1] = block;
+  ++a.stats.released;
+}
+
+FrameArenaStats FrameArena::stats() { return arena().stats; }
+
+void FrameArena::reset_stats() { arena().stats = FrameArenaStats{}; }
+
+// ---------------------------------------------------------------------------
+// EventPool
+// ---------------------------------------------------------------------------
+
+EventNode* EventPool::refill() {
+  slabs_.emplace_back(new EventNode[kSlabNodes]);  // default-init, no memset
+  ++stats_.slabs;
+  bump_ = slabs_.back().get();
+  bump_end_ = bump_ + kSlabNodes;
+  ++stats_.fresh;
+  return bump_++;
+}
+
+// ---------------------------------------------------------------------------
+// CalendarQueue
+// ---------------------------------------------------------------------------
+
+CalendarQueue::CalendarQueue()
+    : buckets_(kMinBuckets), mask_(kMinBuckets - 1) {}
+
+uint64_t CalendarQueue::vbucket(SimTime at) const {
+  const double q = at / width_;
+  // Clamp non-finite / astronomically distant times into one far bucket;
+  // ordering stays exact because buckets sort by (at, seq) internally and
+  // the dequeue fallback compares full keys.
+  constexpr double kMaxVb = 9.0e18;  // < 2^63, exactly representable
+  if (!(q < kMaxVb)) return static_cast<uint64_t>(kMaxVb);
+  return q <= 0 ? 0 : static_cast<uint64_t>(q);
+}
+
+void CalendarQueue::link(EventNode* node) {
+  Bucket& b = buckets_[node->vb & mask_];
+  if (b.head == nullptr) {
+    node->next = nullptr;
+    b.head = b.tail = node;
+    return;
+  }
+  EventNode* tail = b.tail;
+  if (tail->at < node->at || (tail->at == node->at && tail->seq < node->seq)) {
+    // Fast path: newly scheduled events carry the largest seq, so equal or
+    // later timestamps always append (same-time floods are O(1) FIFO).
+    node->next = nullptr;
+    tail->next = node;
+    b.tail = node;
+    return;
+  }
+  EventNode** slot = &b.head;
+  while (*slot != nullptr &&
+         ((*slot)->at < node->at ||
+          ((*slot)->at == node->at && (*slot)->seq < node->seq))) {
+    slot = &(*slot)->next;
+    ++scan_steps_;
+  }
+  node->next = *slot;
+  *slot = node;
+}
+
+void CalendarQueue::insert(EventNode* node, SimTime now) {
+  if (size_ + 1 > buckets_.size() * 2 && buckets_.size() < kMaxBuckets) {
+    // Heavy mid-list insert traffic means many distinct timestamps share a
+    // bucket: the width is too coarse, so take the sorting rebuild that
+    // retunes it. Otherwise keep the width and split buckets in one pass.
+    if (scan_steps_ > size_ * 2) {
+      rebuild(std::min(buckets_.size() * kGrowFactor, kMaxBuckets), now);
+    } else {
+      grow();
+    }
+  }
+  node->vb = vbucket(node->at);
+  // Keep the sweep invariant cur_vb_ <= min pending vb: jump forward to
+  // this event when the queue was empty (so the next pop never sweeps or
+  // falls back after a long time skip), and never let an earlier-but-legal
+  // insert land behind the dequeue position afterwards.
+  if (size_ == 0) {
+    cur_vb_ = node->vb;
+  } else if (node->vb < cur_vb_) {
+    cur_vb_ = node->vb;
+  }
+  link(node);
+  ++size_;
+}
+
+void CalendarQueue::unlink_head(Bucket& b) noexcept {
+  b.head = b.head->next;
+  if (b.head == nullptr) b.tail = nullptr;
+  --size_;
+}
+
+void CalendarQueue::maybe_shrink(SimTime at) {
+  if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 16) {
+    // Frequent sparse-fallback dequeues mean events sit many empty calendar
+    // years apart: the width is too fine, so take the sorting rebuild that
+    // retunes it. Otherwise keep the width and merge bucket pairs.
+    if (sparse_pops_ > 64) {
+      rebuild(buckets_.size() / 2, at);
+    } else {
+      shrink();
+    }
+  }
+}
+
+EventNode* CalendarQueue::pop_min(SimTime limit) {
+  if (size_ == 0) return nullptr;
+  const std::size_t nb = buckets_.size();
+  // Calendar sweep: visit virtual buckets in order from the dequeue
+  // position. The first head that belongs to its bucket's current "year"
+  // is the global (at, seq) minimum (equal timestamps share one bucket).
+  uint64_t vb = cur_vb_;
+  for (std::size_t i = 0; i < nb; ++i, ++vb) {
+    Bucket& b = buckets_[vb & mask_];
+    EventNode* head = b.head;
+    if (head != nullptr && head->vb == vb) {
+      if (head->at > limit) return nullptr;
+      cur_vb_ = vb;
+      unlink_head(b);
+      maybe_shrink(head->at);
+      return head;
+    }
+  }
+  // Sparse schedule: the next event is more than one calendar year ahead.
+  // Find the minimum head directly and jump the dequeue position to it.
+  ++direct_scans_;
+  ++sparse_pops_;
+  Bucket* best = nullptr;
+  for (Bucket& b : buckets_) {
+    if (b.head == nullptr) continue;
+    if (best == nullptr || b.head->at < best->head->at ||
+        (b.head->at == best->head->at && b.head->seq < best->head->seq)) {
+      best = &b;
+    }
+  }
+  EventNode* head = best->head;
+  if (head->at > limit) return nullptr;
+  cur_vb_ = head->vb;
+  unlink_head(*best);
+  maybe_shrink(head->at);
+  return head;
+}
+
+EventNode* CalendarQueue::pop_any() {
+  if (size_ == 0) return nullptr;
+  for (Bucket& b : buckets_) {
+    if (b.head == nullptr) continue;
+    EventNode* head = b.head;
+    b.head = head->next;
+    if (b.head == nullptr) b.tail = nullptr;
+    --size_;
+    return head;
+  }
+  return nullptr;
+}
+
+void CalendarQueue::grow() {
+  // Multiply the bucket count without sorting: a node with virtual bucket
+  // vb moves from index (vb & old_mask) to (vb & new_mask), and since the
+  // new mask keeps every old mask bit, each new bucket receives nodes from
+  // exactly one old bucket, in their original (already sorted) order. One
+  // splitting pass per old bucket with tail appends preserves the
+  // per-bucket sort. Width is unchanged. Growing 8x at a time keeps the
+  // total relink work at ~1.14 moves per event even for a queue that grows
+  // monotonically from cold.
+  const std::size_t old_nb = buckets_.size();
+  buckets_.resize(std::min(old_nb * kGrowFactor, kMaxBuckets));
+  mask_ = buckets_.size() - 1;
+  for (std::size_t i = 0; i < old_nb; ++i) {
+    EventNode* n = buckets_[i].head;
+    buckets_[i] = Bucket{};
+    while (n != nullptr) {
+      EventNode* next = n->next;
+      Bucket& dst = buckets_[n->vb & mask_];
+      n->next = nullptr;
+      if (dst.tail == nullptr) {
+        dst.head = dst.tail = n;
+      } else {
+        dst.tail->next = n;
+        dst.tail = n;
+      }
+      n = next;
+    }
+  }
+  ++resizes_;
+  scan_steps_ = 0;
+  sparse_pops_ = 0;
+}
+
+void CalendarQueue::shrink() {
+  // Halve the bucket count without sorting: old buckets i and i + new_nb
+  // both map to new bucket i, so merge their (sorted) lists pairwise by
+  // (at, seq). Width is unchanged.
+  const std::size_t new_nb = buckets_.size() / 2;
+  for (std::size_t i = 0; i < new_nb; ++i) {
+    EventNode* a = buckets_[i].head;
+    EventNode* b = buckets_[i + new_nb].head;
+    Bucket merged{};
+    auto append = [&merged](EventNode* n) {
+      if (merged.tail == nullptr) {
+        merged.head = merged.tail = n;
+      } else {
+        merged.tail->next = n;
+        merged.tail = n;
+      }
+    };
+    while (a != nullptr && b != nullptr) {
+      if (a->at < b->at || (a->at == b->at && a->seq < b->seq)) {
+        EventNode* n = a;
+        a = a->next;
+        append(n);
+      } else {
+        EventNode* n = b;
+        b = b->next;
+        append(n);
+      }
+    }
+    // Splice the remaining sorted tail in one step (its last node already
+    // terminates the list, so no per-node walk-and-append is needed for
+    // linkage — only to find the new tail).
+    EventNode* rest = a != nullptr ? a : b;
+    if (rest != nullptr) {
+      if (merged.tail == nullptr) {
+        merged.head = rest;
+      } else {
+        merged.tail->next = rest;
+      }
+      while (rest->next != nullptr) rest = rest->next;
+      merged.tail = rest;
+    }
+    buckets_[i] = merged;
+  }
+  buckets_.resize(new_nb);
+  mask_ = new_nb - 1;
+  ++resizes_;
+  scan_steps_ = 0;
+  sparse_pops_ = 0;
+}
+
+void CalendarQueue::rebuild(std::size_t buckets, SimTime now) {
+  std::vector<EventNode*> nodes;
+  nodes.reserve(size_);
+  for (Bucket& b : buckets_) {
+    for (EventNode* n = b.head; n != nullptr; n = n->next) nodes.push_back(n);
+  }
+  std::sort(nodes.begin(), nodes.end(), [](EventNode* a, EventNode* b) {
+    return a->at != b->at ? a->at < b->at : a->seq < b->seq;
+  });
+
+  // Retune the bucket width to the mean positive gap between consecutive
+  // pending events, so distinct timestamps tend to land in distinct
+  // buckets (equal timestamps append in O(1) regardless). Tuning affects
+  // only speed: ordering is exact whatever the width.
+  double gap_sum = 0;
+  uint64_t gaps = 0;
+  for (std::size_t i = 1; i < nodes.size() && gaps < 256; ++i) {
+    const double gap = nodes[i]->at - nodes[i - 1]->at;
+    if (gap > 0) {
+      gap_sum += gap;
+      ++gaps;
+    }
+  }
+  if (gaps > 0) {
+    width_ = std::clamp(gap_sum / static_cast<double>(gaps), 1e-9, 1e15);
+  }
+
+  buckets_.assign(buckets, Bucket{});
+  mask_ = buckets - 1;
+  cur_vb_ = vbucket(now);
+  for (EventNode* n : nodes) {
+    n->vb = vbucket(n->at);
+    link(n);  // sorted order makes every link a tail append
+  }
+  ++resizes_;
+  scan_steps_ = 0;
+  sparse_pops_ = 0;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
 bool Task::FinalAwaiter::await_ready() noexcept {
   // Runs as the last act of the coroutine body. Mark completion, wake
   // waiters through the scheduler (keeping strict event ordering), and
@@ -15,17 +384,47 @@ bool Task::FinalAwaiter::await_ready() noexcept {
   return true;
 }
 
-void Engine::schedule_at(SimTime at, std::function<void()> fn) {
-  assert(at >= now_ && "cannot schedule events in the past");
-  queue_.push(ScheduledEvent{at < now_ ? now_ : at, next_seq_++, std::move(fn)});
+Engine::~Engine() {
+  // Destroy the callables of never-dispatched events (their captures may
+  // own resources); node memory is reclaimed with the pool's slabs.
+  while (detail::EventNode* node = queue_.pop_any()) {
+    node->fn()->~EventFn();
+  }
+}
+
+void Engine::dispatch(detail::EventNode* node) {
+  now_ = node->at;
+  ++events_processed_;
+  struct Recycle {
+    Engine* engine;
+    detail::EventNode* node;
+    ~Recycle() {
+      node->fn()->~EventFn();
+      engine->pool_.release(node);
+    }
+  } recycle{this, node};
+  node->fn()->invoke();
+}
+
+void Engine::note_spawn(const std::shared_ptr<detail::TaskState>& state) {
+  if (spawned_.size() >= spawn_compact_at_) {
+    // Amortized cleanup keeps unfinished_tasks() exact while bounding the
+    // registry (and its allocations) by the number of live tasks.
+    std::erase_if(spawned_, [](const std::weak_ptr<detail::TaskState>& weak) {
+      auto locked = weak.lock();
+      return !locked || locked->done;
+    });
+    spawn_compact_at_ = std::max<size_t>(64, spawned_.size() * 2);
+  }
+  spawned_.push_back(state);
 }
 
 Completion Engine::spawn(Task task) {
   auto handle = std::exchange(task.handle_, nullptr);
   auto state = task.state_;
   state->engine = this;
-  spawned_.push_back(state);
-  schedule_at(now_, [handle] { handle.resume(); });
+  note_spawn(state);
+  schedule_at(now_, detail::ResumeFn{handle});
   return Completion(std::move(state));
 }
 
@@ -36,16 +435,9 @@ Completion Engine::spawn(Co<void> co) {
 }
 
 SimTime Engine::run() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; move via const_cast is safe because we
-    // pop immediately after.
-    auto& top = const_cast<ScheduledEvent&>(queue_.top());
-    SimTime at = top.at;
-    auto fn = std::move(top.fn);
-    queue_.pop();
-    now_ = at;
-    ++events_processed_;
-    fn();
+  constexpr SimTime kForever = std::numeric_limits<SimTime>::infinity();
+  while (detail::EventNode* node = queue_.pop_min(kForever)) {
+    dispatch(node);
   }
   if (!task_errors_.empty()) {
     auto error = task_errors_.front();
@@ -56,16 +448,10 @@ SimTime Engine::run() {
 }
 
 bool Engine::run_until(SimTime t) {
-  while (!queue_.empty() && queue_.top().at <= t) {
-    auto& top = const_cast<ScheduledEvent&>(queue_.top());
-    SimTime at = top.at;
-    auto fn = std::move(top.fn);
-    queue_.pop();
-    now_ = at;
-    ++events_processed_;
-    fn();
+  while (detail::EventNode* node = queue_.pop_min(t)) {
+    dispatch(node);
   }
-  if (queue_.empty()) {
+  if (queue_.size() == 0) {
     now_ = std::max(now_, t);
     return false;
   }
@@ -90,9 +476,7 @@ void Event::trigger() {
 void Semaphore::release() {
   if (!waiters_.empty()) {
     // Hand the permit straight to the oldest waiter (FIFO, no barging).
-    auto waiter = waiters_.front();
-    waiters_.pop_front();
-    engine_->resume_now(waiter);
+    engine_->resume_now(waiters_.pop_front());
   } else {
     ++available_;
   }
@@ -132,7 +516,8 @@ Co<size_t> any(Engine& engine, std::vector<Completion> parts) {
   for (size_t i = 0; i < parts.size(); ++i) {
     if (parts[i].done()) co_return i;
   }
-  auto state = std::make_shared<AnyState>(engine);
+  auto state = std::allocate_shared<AnyState>(
+      detail::ArenaAllocator<AnyState>{}, engine);
   for (size_t i = 0; i < parts.size(); ++i) {
     engine.spawn(any_watcher(parts[i], state, i));
   }

@@ -8,6 +8,29 @@
 // `Future<T>`). The engine advances a virtual clock through a (time, seq)
 // ordered event queue, so every run is bit-reproducible.
 //
+// The engine is the hot path of every bench and CI job (autoscaler ticks,
+// chaos seeds, and 1000-session service runs multiply event counts by
+// 100-1000x), so the substrate is built for raw events/sec:
+//
+//   * Events live in a calendar queue (Brown '88) — an array of bucketed
+//     FIFO lists indexed by floor(time / width), O(1) amortized
+//     enqueue/dequeue instead of a comparison heap's O(log n). Buckets
+//     resize and the width retunes as the pending-event population grows
+//     and shrinks; a direct min-scan fallback handles sparse schedules
+//     (ladder-queue style), so ordering is exact (time, seq) regardless of
+//     tuning. Same-timestamp events FIFO by `seq` everywhere.
+//   * Event callbacks are inline small-callables (`detail::EventFn`):
+//     captures up to kInlineSize bytes are stored in the event node itself
+//     (no std::function, no per-event heap allocation); larger callables
+//     are boxed. Move-only callables are supported.
+//   * Event nodes come from a slab pool (`detail::EventPool`) and recycle
+//     through a free list, so steady-state scheduling performs zero heap
+//     allocations.
+//   * Coroutine frames (Task, Co<T>) and task completion records allocate
+//     from a size-bucketed thread-local free-list arena
+//     (`detail::FrameArena`) via custom `promise_type::operator new`, so
+//     spawn/join churn recycles frames instead of hitting malloc.
+//
 // Coroutine types:
 //   * `Task`   — top-level, fire-and-forget; started with `Engine::spawn`,
 //                observed through the returned `Completion` handle.
@@ -18,13 +41,15 @@
 #include <algorithm>
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <cstring>
 #include <exception>
-#include <functional>
+#include <limits>
 #include <memory>
+#include <new>
 #include <optional>
-#include <queue>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -37,12 +62,285 @@ class Engine;
 
 namespace detail {
 
-/// Shared completion record for a spawned Task.
+// ---------------------------------------------------------------------------
+// Frame arena: size-bucketed thread-local free lists for coroutine frames
+// and other per-task allocations. Blocks are rounded up to 64-byte classes
+// and recycled on release; class sizes above the largest bucket fall back
+// to the global heap. Thread-local by construction, so the TSan build needs
+// no locks and engines on different threads never contend.
+// ---------------------------------------------------------------------------
+
+struct FrameArenaStats {
+  uint64_t fresh = 0;     ///< blocks carved from a slab (first use)
+  uint64_t reused = 0;    ///< blocks served from a free list (recycled)
+  uint64_t released = 0;  ///< blocks returned to a free list
+  uint64_t oversize = 0;  ///< allocations routed to the global heap
+  uint64_t slab_bytes = 0;  ///< total bytes reserved in slabs
+};
+
+class FrameArena {
+ public:
+  /// Allocates `bytes` with max_align_t alignment. Never returns null
+  /// (throws std::bad_alloc on exhaustion, like operator new).
+  static void* allocate(std::size_t bytes);
+  /// Returns a block to its free list (or the heap for oversize blocks).
+  static void release(void* p) noexcept;
+
+  /// This thread's arena counters (tests assert recycling through these).
+  static FrameArenaStats stats();
+  static void reset_stats();
+};
+
+/// Minimal std allocator over the FrameArena, for allocate_shared and
+/// small per-task containers (waiter lists).
+template <typename T>
+struct ArenaAllocator {
+  using value_type = T;
+  ArenaAllocator() = default;
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>&) noexcept {}
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(FrameArena::allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept { FrameArena::release(p); }
+};
+
+template <typename T, typename U>
+inline bool operator==(const ArenaAllocator<T>&,
+                       const ArenaAllocator<U>&) noexcept {
+  return true;
+}
+
+/// Shared completion record for a spawned Task. Allocated from the arena
+/// (allocate_shared), so spawn churn recycles these too.
 struct TaskState {
   Engine* engine = nullptr;
   bool done = false;
   std::exception_ptr error;
-  std::vector<std::coroutine_handle<>> waiters;
+  std::vector<std::coroutine_handle<>, ArenaAllocator<std::coroutine_handle<>>>
+      waiters;
+};
+
+// ---------------------------------------------------------------------------
+// EventFn: type-erased callable stored inline in the event node. Unlike
+// std::function it never heap-allocates for captures up to kInlineSize,
+// accepts move-only callables, and is constructed/invoked/destroyed in
+// place (no moves on the hot path). Larger callables are boxed on the heap.
+// ---------------------------------------------------------------------------
+
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn>>>
+  explicit EventFn(F&& fn) {
+    if constexpr (sizeof(D) <= kInlineSize &&
+                  alignof(D) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      invoke_ = [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); };
+      if constexpr (std::is_trivially_destructible_v<D>) {
+        destroy_ = nullptr;
+      } else {
+        destroy_ = [](void* s) { std::launder(reinterpret_cast<D*>(s))->~D(); };
+      }
+    } else {
+      D* boxed = new D(std::forward<F>(fn));
+      std::memcpy(storage_, &boxed, sizeof(boxed));
+      invoke_ = [](void* s) {
+        D* p;
+        std::memcpy(&p, s, sizeof(p));
+        (*p)();
+      };
+      destroy_ = [](void* s) {
+        D* p;
+        std::memcpy(&p, s, sizeof(p));
+        delete p;
+      };
+    }
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() {
+    if (destroy_ != nullptr) destroy_(storage_);
+  }
+
+  void invoke() { invoke_(storage_); }
+
+ private:
+  void (*invoke_)(void*);
+  void (*destroy_)(void*);
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+};
+
+/// Trivially-destructible resume thunk (the most common event by far).
+struct ResumeFn {
+  std::coroutine_handle<> handle;
+  void operator()() const { handle.resume(); }
+};
+
+/// FIFO of suspended coroutines backed by a vector plus a head index, so
+/// steady-state wait/wake churn reuses capacity instead of cycling deque
+/// chunks through the heap. The consumed prefix is reclaimed when the
+/// queue drains or grows past it (amortized O(1) per operation).
+class WaitQueue {
+ public:
+  [[nodiscard]] bool empty() const { return head_ == items_.size(); }
+  [[nodiscard]] std::size_t size() const { return items_.size() - head_; }
+
+  void push_back(std::coroutine_handle<> h) {
+    if (head_ > 64 && head_ * 2 >= items_.size()) {
+      items_.erase(items_.begin(),
+                   items_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    items_.push_back(h);
+  }
+
+  std::coroutine_handle<> pop_front() {
+    std::coroutine_handle<> h = items_[head_++];
+    if (head_ == items_.size()) {
+      items_.clear();  // capacity retained for the next burst
+      head_ = 0;
+    }
+    return h;
+  }
+
+ private:
+  std::vector<std::coroutine_handle<>> items_;
+  std::size_t head_ = 0;
+};
+
+/// One scheduled event: intrusive list node + ordering key + inline
+/// callable. `vb` caches the virtual calendar bucket (floor(at / width)) so
+/// dequeue ordering never re-derives it from floating-point math.
+struct EventNode {
+  SimTime at;
+  uint64_t seq;
+  uint64_t vb;
+  EventNode* next;
+  alignas(std::max_align_t) unsigned char fn_storage[sizeof(EventFn)];
+
+  EventFn* fn() {
+    return std::launder(reinterpret_cast<EventFn*>(fn_storage));
+  }
+};
+
+/// Slab allocator for event nodes: carves fixed-size nodes out of large
+/// slabs and recycles released nodes through a free list. Steady-state
+/// acquire/release never touches the heap.
+class EventPool {
+ public:
+  struct Stats {
+    uint64_t fresh = 0;     ///< nodes carved from slab memory (first use)
+    uint64_t recycled = 0;  ///< nodes reused from the free list
+    uint64_t slabs = 0;     ///< slabs allocated
+  };
+
+  EventPool() = default;
+  EventPool(const EventPool&) = delete;
+  EventPool& operator=(const EventPool&) = delete;
+
+  EventNode* acquire() {
+    if (EventNode* node = free_list_; node != nullptr) {
+      free_list_ = node->next;
+      ++stats_.recycled;
+      return node;
+    }
+    if (bump_ != bump_end_) {
+      ++stats_.fresh;
+      return bump_++;
+    }
+    return refill();
+  }
+
+  /// The node's EventFn must already be destroyed.
+  void release(EventNode* node) noexcept {
+    node->next = free_list_;
+    free_list_ = node;
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::size_t kSlabNodes = 256;
+
+  EventNode* refill();
+
+  EventNode* free_list_ = nullptr;
+  EventNode* bump_ = nullptr;
+  EventNode* bump_end_ = nullptr;
+  std::vector<std::unique_ptr<EventNode[]>> slabs_;
+  Stats stats_;
+};
+
+/// Calendar queue (array of bucketed sorted FIFO lists, power-of-two sized,
+/// auto-resizing, width retuned from observed inter-event gaps) with a
+/// ladder-style direct-scan fallback for sparse schedules. Ordering is
+/// always exactly (at, seq): equal timestamps share one bucket and FIFO by
+/// seq, and the fallback scan compares full keys, so queue tuning can never
+/// change simulation outcomes.
+class CalendarQueue {
+ public:
+  struct Stats {
+    std::size_t buckets = 0;
+    double width = 0;
+    uint64_t resizes = 0;
+    uint64_t direct_scans = 0;  ///< sparse-schedule fallback dequeues
+  };
+
+  CalendarQueue();
+  CalendarQueue(const CalendarQueue&) = delete;
+  CalendarQueue& operator=(const CalendarQueue&) = delete;
+
+  /// Links `node` (at/seq already set; vb is computed here). `now` anchors
+  /// resize retuning; `node->at >= now` is a caller invariant.
+  void insert(EventNode* node, SimTime now);
+
+  /// Unlinks and returns the (at, seq)-minimum event if its time is
+  /// <= `limit`, else nullptr. The caller owns the returned node.
+  EventNode* pop_min(SimTime limit);
+
+  /// Unlinks any remaining node (teardown; no ordering guarantee).
+  EventNode* pop_any();
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] Stats stats() const {
+    return {buckets_.size(), width_, resizes_, direct_scans_};
+  }
+
+ private:
+  struct Bucket {
+    EventNode* head = nullptr;
+    EventNode* tail = nullptr;
+  };
+
+  static constexpr std::size_t kMinBuckets = 16;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+  static constexpr std::size_t kGrowFactor = 8;
+
+  [[nodiscard]] uint64_t vbucket(SimTime at) const;
+  void link(EventNode* node);
+  void unlink_head(Bucket& b) noexcept;
+  void grow();
+  void shrink();
+  void maybe_shrink(SimTime at);
+  void rebuild(std::size_t buckets, SimTime now);
+
+  std::vector<Bucket> buckets_;
+  std::size_t mask_;
+  double width_ = 1.0;
+  uint64_t cur_vb_ = 0;  ///< dequeue position: vbucket of the last pop
+  std::size_t size_ = 0;
+  uint64_t resizes_ = 0;
+  uint64_t direct_scans_ = 0;
+  // Width-staleness signals, reset at every resize: nodes traversed by
+  // mid-list inserts (width too coarse) and sparse-fallback dequeues
+  // (width too fine). Resizes keep the width and just split/merge bucket
+  // lists unless these say the width itself is wrong.
+  uint64_t scan_steps_ = 0;
+  uint64_t sparse_pops_ = 0;
 };
 
 }  // namespace detail
@@ -51,9 +349,11 @@ struct TaskState {
 /// Awaiting a failed task rethrows its exception.
 class Completion {
  public:
+  using State =
+      std::shared_ptr<detail::TaskState>;
+
   Completion() = default;
-  explicit Completion(std::shared_ptr<detail::TaskState> state)
-      : state_(std::move(state)) {}
+  explicit Completion(State state) : state_(std::move(state)) {}
 
   [[nodiscard]] bool valid() const { return state_ != nullptr; }
   [[nodiscard]] bool done() const { return state_ && state_->done; }
@@ -71,7 +371,7 @@ class Completion {
   }
 
  private:
-  std::shared_ptr<detail::TaskState> state_;
+  State state_;
 };
 
 /// Top-level simulation coroutine. Created by coroutine functions returning
@@ -91,7 +391,19 @@ class Task {
 
   struct promise_type {
     std::shared_ptr<detail::TaskState> state =
-        std::make_shared<detail::TaskState>();
+        std::allocate_shared<detail::TaskState>(
+            detail::ArenaAllocator<detail::TaskState>{});
+
+    // Frames recycle through the arena instead of malloc.
+    static void* operator new(std::size_t size) {
+      return detail::FrameArena::allocate(size);
+    }
+    static void operator delete(void* p, std::size_t) noexcept {
+      detail::FrameArena::release(p);
+    }
+    static void operator delete(void* p) noexcept {
+      detail::FrameArena::release(p);
+    }
 
     Task get_return_object() {
       return Task(Handle::from_promise(*this), state);
@@ -133,6 +445,16 @@ template <typename T>
 struct CoPromiseBase {
   std::coroutine_handle<> continuation;
   std::exception_ptr error;
+
+  // Co frames are the highest-churn allocation in the simulator (every
+  // transfer block, task, and retry loop is a Co); recycle via the arena.
+  static void* operator new(std::size_t size) {
+    return FrameArena::allocate(size);
+  }
+  static void operator delete(void* p, std::size_t) noexcept {
+    FrameArena::release(p);
+  }
+  static void operator delete(void* p) noexcept { FrameArena::release(p); }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -236,28 +558,43 @@ class [[nodiscard]] Co<void> {
   Handle handle_;
 };
 
-/// The event loop: a (time, sequence)-ordered queue of callbacks plus the
-/// virtual clock. Single-threaded by design — determinism is the point.
+/// The event loop: a (time, sequence)-ordered calendar queue of inline
+/// callbacks plus the virtual clock. Single-threaded by design —
+/// determinism is the point.
 class Engine {
  public:
   Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+  ~Engine();
 
   /// Current virtual time.
   [[nodiscard]] SimTime now() const { return now_; }
 
-  /// Schedules a raw callback at absolute time `at` (>= now; asserts).
-  void schedule_at(SimTime at, std::function<void()> fn);
+  /// Schedules a callable at absolute time `at` (>= now; asserts). Any
+  /// callable — including move-only ones — is accepted; captures up to
+  /// detail::EventFn::kInlineSize bytes are stored inline in the slab node
+  /// (no heap allocation).
+  template <typename Fn>
+  void schedule_at(SimTime at, Fn&& fn) {
+    assert(at >= now_ && "cannot schedule events in the past");
+    detail::EventNode* node = pool_.acquire();
+    node->at = at < now_ ? now_ : at;
+    node->seq = next_seq_++;
+    ::new (static_cast<void*>(node->fn_storage))
+        detail::EventFn(std::forward<Fn>(fn));
+    queue_.insert(node, now_);
+  }
 
-  /// Schedules a raw callback `dt` seconds from now (dt >= 0).
-  void schedule_after(SimTime dt, std::function<void()> fn) {
-    schedule_at(now_ + dt, std::move(fn));
+  /// Schedules a callable `dt` seconds from now (dt >= 0).
+  template <typename Fn>
+  void schedule_after(SimTime dt, Fn&& fn) {
+    schedule_at(now_ + dt, std::forward<Fn>(fn));
   }
 
   /// Schedules resumption of a coroutine handle.
   void resume_at(SimTime at, std::coroutine_handle<> h) {
-    schedule_at(at, [h] { h.resume(); });
+    schedule_at(at, detail::ResumeFn{h});
   }
   void resume_now(std::coroutine_handle<> h) { resume_at(now_, h); }
 
@@ -300,30 +637,38 @@ class Engine {
   /// after run() this should be zero in a healthy simulation).
   [[nodiscard]] size_t unfinished_tasks() const;
 
+  /// Slab-pool counters (benchmarks and tests assert node recycling).
+  [[nodiscard]] const detail::EventPool::Stats& event_pool_stats() const {
+    return pool_.stats();
+  }
+
+  /// Calendar-queue shape (bucket count, width, resizes). Tests use the
+  /// width to construct events that land exactly on bucket edges.
+  [[nodiscard]] detail::CalendarQueue::Stats queue_stats() const {
+    return queue_.stats();
+  }
+
  private:
   friend struct Task::FinalAwaiter;
-
-  struct ScheduledEvent {
-    SimTime at;
-    uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const ScheduledEvent& other) const {
-      return at != other.at ? at > other.at : seq > other.seq;
-    }
-  };
 
   void record_error(std::exception_ptr error) {
     task_errors_.push_back(std::move(error));
   }
 
-  std::priority_queue<ScheduledEvent, std::vector<ScheduledEvent>,
-                      std::greater<>>
-      queue_;
+  /// Advances the clock, invokes the event, destroys the callable, and
+  /// recycles the node (also on exception).
+  void dispatch(detail::EventNode* node);
+
+  void note_spawn(const std::shared_ptr<detail::TaskState>& state);
+
+  detail::CalendarQueue queue_;
+  detail::EventPool pool_;
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
   std::vector<std::exception_ptr> task_errors_;
   std::vector<std::weak_ptr<detail::TaskState>> spawned_;
+  size_t spawn_compact_at_ = 64;
 };
 
 /// One-shot (resettable) gate. Awaiting suspends until `trigger()`;
@@ -422,7 +767,7 @@ class Semaphore {
   size_t available_;
   size_t capacity_;
   size_t peak_in_use_ = 0;
-  std::deque<std::coroutine_handle<>> waiters_;
+  detail::WaitQueue waiters_;
 };
 
 /// A pool of identical CPU cores. `run(cost)` occupies one core for `cost`

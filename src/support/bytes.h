@@ -31,18 +31,19 @@ class ByteBuffer {
   explicit ByteBuffer(ByteView view) : data_(view.begin(), view.end()) {}
 
   /// Copies `count` objects of trivially-copyable type T from `src`.
+  /// `src` may be null when `count` is zero (empty vectors hand out null).
   template <typename T>
   static ByteBuffer copy_of(const T* src, size_t count) {
     static_assert(std::is_trivially_copyable_v<T>);
     ByteBuffer buf(count * sizeof(T));
-    std::memcpy(buf.data(), src, count * sizeof(T));
+    if (count != 0) std::memcpy(buf.data(), src, count * sizeof(T));
     return buf;
   }
 
   /// Copies the bytes of a string (without terminator).
   static ByteBuffer from_string(std::string_view s) {
     ByteBuffer buf(s.size());
-    std::memcpy(buf.data(), s.data(), s.size());
+    if (!s.empty()) std::memcpy(buf.data(), s.data(), s.size());
     return buf;
   }
 

@@ -227,6 +227,7 @@ double SpanHandle::duration() const {
 
 Tracer::Tracer(sim::Engine& engine, TraceOptions options)
     : engine_(&engine), options_(std::move(options)) {
+  recompute_live();
   // The tracer's own metrics derivation is just the first registered tool:
   // emitters publish one callback and every observer (built-in or external)
   // sees the same stream.
@@ -466,9 +467,8 @@ void Tracer::MetricsTool::on_alert(const tools::AlertInfo& info) {
 }
 
 SpanHandle Tracer::span(std::string name, SpanId parent) {
-  if (!options_.enabled) return {};
-  if (spans_.size() >= options_.max_spans) {
-    ++dropped_;
+  if (!live_) {
+    if (options_.enabled) ++dropped_;  // at cap; disabled drops aren't counted
     return {};
   }
   Span span;
@@ -477,14 +477,14 @@ SpanHandle Tracer::span(std::string name, SpanId parent) {
   span.name = std::move(name);
   span.start = now();
   spans_.push_back(std::move(span));
+  recompute_live();
   return SpanHandle(this, spans_.back().id);
 }
 
 SpanId Tracer::instant(
     std::string name, std::vector<std::pair<std::string, std::string>> tags) {
-  if (!options_.enabled) return kNoSpan;
-  if (spans_.size() >= options_.max_spans) {
-    ++dropped_;
+  if (!live_) {
+    if (options_.enabled) ++dropped_;  // at cap; disabled drops aren't counted
     return kNoSpan;
   }
   Span span;
@@ -495,6 +495,7 @@ SpanId Tracer::instant(
   span.instant = true;
   span.tags = std::move(tags);
   spans_.push_back(std::move(span));
+  recompute_live();
   return spans_.back().id;
 }
 
@@ -509,6 +510,7 @@ Status Tracer::restore_span(Span span) {
     return invalid_argument("restored spans must be closed");
   }
   spans_.push_back(std::move(span));
+  recompute_live();
   return Status::ok();
 }
 

@@ -288,7 +288,10 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  void configure(TraceOptions options) { options_ = std::move(options); }
+  void configure(TraceOptions options) {
+    options_ = std::move(options);
+    recompute_live();
+  }
   [[nodiscard]] const TraceOptions& options() const { return options_; }
   [[nodiscard]] sim::Engine& engine() { return *engine_; }
   [[nodiscard]] sim::SimTime now() const { return engine_->now(); }
@@ -328,6 +331,14 @@ class Tracer {
   friend class SpanHandle;
   Span* mutable_span(SpanId id);
 
+  /// span()/instant() are called on every simulated operation, so their
+  /// not-recording path must be one predictable test. `live_` caches
+  /// "enabled and under the span cap"; it is recomputed only when options
+  /// change or a span is appended — never probed per call.
+  void recompute_live() {
+    live_ = options_.enabled && spans_.size() < options_.max_spans;
+  }
+
   /// The built-in first tool: derives the cache.*, cluster.*, and
   /// spark.task_seconds metrics from the callback stream, so emission sites
   /// publish events once and the metrics registry stays a pure consumer.
@@ -350,6 +361,7 @@ class Tracer {
 
   sim::Engine* engine_;
   TraceOptions options_;
+  bool live_ = true;  ///< cached: enabled && under max_spans (see above)
   std::vector<Span> spans_;
   SpanId ambient_ = kNoSpan;
   uint64_t dropped_ = 0;

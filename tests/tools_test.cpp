@@ -121,8 +121,10 @@ struct RecordingTool : tools::Tool {
 struct ToolsFixture {
   Engine engine;
   cloud::Cluster cluster;
-  DeviceManager devices{engine};
+  // The tool must outlive `devices`: it is attached by raw pointer and
+  // ~DeviceManager still emits device-fini callbacks into it.
   RecordingTool tool;
+  DeviceManager devices{engine};
   int cloud_id;
 
   explicit ToolsFixture(int workers = 4, bool on_the_fly = false,
