@@ -114,6 +114,22 @@ Result<CloudPluginOptions> CloudPluginOptions::from_config(
   options.stream_spark_logs =
       config.get_bool("offload.stream-spark-logs", options.stream_spark_logs);
   options.cache_data = config.get_bool("offload.cache-data", options.cache_data);
+  // [overload]: retry budget + hedged transfers (the scheduler parses its
+  // own adaptive-concurrency/shedding knobs from the same section).
+  OC_ASSIGN_OR_RETURN(options.retry_budget,
+                      RetryBudgetOptions::from_config(config));
+  bool overload_enabled = config.get_bool("overload.enabled", false);
+  options.hedge = config.get_bool("overload.hedge", overload_enabled);
+  options.hedge_quantile =
+      config.get_double("overload.hedge-quantile", options.hedge_quantile);
+  if (options.hedge_quantile <= 0 || options.hedge_quantile > 1) {
+    return invalid_argument("overload.hedge-quantile must be in (0, 1]");
+  }
+  options.hedge_min_samples = static_cast<int>(config.get_int(
+      "overload.hedge-min-samples", options.hedge_min_samples));
+  if (options.hedge_min_samples < 1) {
+    return invalid_argument("overload.hedge-min-samples must be >= 1");
+  }
   return options;
 }
 
@@ -123,7 +139,8 @@ CloudPlugin::CloudPlugin(cloud::Cluster& cluster, spark::SparkConf conf,
       context_(cluster, std::move(conf)),
       options_(std::move(options)),
       name_("cloud(" + cluster.spec().provider + "+" +
-            cluster.spec().storage_type + ")") {}
+            cluster.spec().storage_type + ")"),
+      retry_budget_(options_.retry_budget) {}
 
 Result<std::unique_ptr<CloudPlugin>> CloudPlugin::from_config(
     sim::Engine& engine, const Config& config) {
@@ -216,15 +233,228 @@ void CloudPlugin::note_fault(tools::FaultEventInfo::Kind kind,
   tracer().tools().emit_fault_event(info);
 }
 
+Xoshiro256& CloudPlugin::retry_rng() {
+  if (!retry_rng_seeded_) {
+    retry_rng_seeded_ = true;
+    // Fault-plan seed XOR device id: every plugin in a multi-device chaos
+    // run gets its own reproducible jitter stream instead of all replaying
+    // one shared sequence. Seeding is deferred to the first draw because
+    // both inputs (enable_faults, register_device) land after construction.
+    uint64_t seed = 0x0cfa17eu;
+    if (const fault::FaultInjector* faults = cluster_->fault_injector()) {
+      seed = faults->plan().seed;
+    }
+    if (device_id_ >= 0) seed ^= static_cast<uint64_t>(device_id_);
+    retry_rng_ = Xoshiro256(seed);
+  }
+  return retry_rng_;
+}
+
 sim::Co<void> CloudPlugin::backoff_sleep(double* prev_sleep) {
   // Decorrelated jitter (capped): sleep ~ U(base, 3 * previous sleep).
   double sleep = std::min(
       options_.retry_backoff_cap_seconds,
-      retry_rng_.uniform(options_.retry_backoff_seconds,
-                         std::max(options_.retry_backoff_seconds,
-                                  *prev_sleep * 3.0)));
+      retry_rng().uniform(options_.retry_backoff_seconds,
+                          std::max(options_.retry_backoff_seconds,
+                                   *prev_sleep * 3.0)));
   *prev_sleep = sleep;
   co_await cluster_->engine().sleep(sleep);
+}
+
+std::vector<std::string> CloudPlugin::budget_scopes(
+    std::string_view tenant) const {
+  std::vector<std::string> scopes;
+  scopes.push_back("device:" + name_);
+  if (!tenant.empty()) scopes.push_back("tenant:" + std::string(tenant));
+  return scopes;
+}
+
+bool CloudPlugin::admit_retry(std::string_view op, std::string_view tenant,
+                              trace::SpanId parent) {
+  if (!retry_budget_.enabled()) return true;
+  trace::Tracer& tr = tracer();
+  if (retry_budget_.try_withdraw(budget_scopes(tenant))) {
+    tr.metrics().counter("retry_budget.withdrawn").add();
+    return true;
+  }
+  // Out of tokens: this retry would amplify the overload. Record the
+  // fail-fast so the analyzer/monitor can attribute lost work to budget
+  // exhaustion rather than to the underlying fault.
+  tr.metrics().counter("retry_budget.exhausted").add();
+  tr.metrics()
+      .counter("retry_budget.exhausted", {{"op", std::string(op)}})
+      .add();
+  trace::SpanHandle span = tr.span("retry_budget", parent);
+  span.tag("op", std::string(op));
+  span.tag("event", "exhausted");
+  span.end();
+  log_.warn("retry budget exhausted; failing %s fast",
+            std::string(op).c_str());
+  return false;
+}
+
+void CloudPlugin::note_success(std::string_view tenant) {
+  retry_budget_.record_success(budget_scopes(tenant));
+}
+
+bool CloudPlugin::admit_hedge() {
+  if (!retry_budget_.enabled()) return true;
+  if (retry_budget_.try_withdraw(budget_scopes())) return true;
+  tracer().metrics().counter("hedge.suppressed").add();
+  return false;
+}
+
+void CloudPlugin::record_sample(std::vector<double>* window, size_t* next,
+                                double seconds) {
+  constexpr size_t kWindow = 64;
+  if (window->size() < kWindow) {
+    window->push_back(seconds);
+    return;
+  }
+  (*window)[*next] = seconds;
+  *next = (*next + 1) % kWindow;
+}
+
+double CloudPlugin::hedge_delay(const std::vector<double>& window) const {
+  if (window.size() < static_cast<size_t>(options_.hedge_min_samples)) {
+    return -1;
+  }
+  std::vector<double> sorted(window);
+  std::sort(sorted.begin(), sorted.end());
+  size_t rank = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(options_.hedge_quantile *
+                          static_cast<double>(sorted.size())));
+  return sorted[rank];
+}
+
+sim::Co<Status> CloudPlugin::hedged_put(std::string key, ByteBuffer frame,
+                                        trace::SpanId parent) {
+  if (!options_.hedge) {
+    co_return co_await timed_put(std::move(key), std::move(frame), parent);
+  }
+  auto& engine = cluster_->engine();
+  trace::Tracer& tr = tracer();
+  double start = engine.now();
+  double delay = hedge_delay(put_samples_);
+  Status result = Status::ok();
+  if (delay <= 0) {
+    result = co_await timed_put(key, std::move(frame), parent);
+  } else {
+    auto primary = std::make_shared<Status>(Status::ok());
+    auto backup = std::make_shared<Status>(Status::ok());
+    auto launched = std::make_shared<bool>(false);
+    auto settled = std::make_shared<bool>(false);
+    std::vector<sim::Completion> racers;
+    racers.push_back(engine.spawn(
+        [](CloudPlugin* self, std::string key, ByteBuffer frame,
+           trace::SpanId parent,
+           std::shared_ptr<Status> out) -> sim::Co<void> {
+          *out = co_await self->timed_put(std::move(key), std::move(frame),
+                                          parent);
+        }(this, key, ByteBuffer(frame.view()), parent, primary)));
+    racers.push_back(engine.spawn(
+        [](CloudPlugin* self, std::string key, ByteBuffer frame,
+           trace::SpanId parent, double delay, std::shared_ptr<Status> out,
+           std::shared_ptr<bool> launched,
+           std::shared_ptr<bool> settled) -> sim::Co<void> {
+          co_await self->cluster_->engine().sleep(delay);
+          // The race may already be settled (we lost but keep running as an
+          // abandoned coroutine): don't launch a pointless duplicate. The
+          // budget check bounds hedge volume to the success deposit rate.
+          if (*settled || !self->admit_hedge()) co_return;
+          *launched = true;
+          *out = co_await self->timed_put(std::move(key), std::move(frame),
+                                          parent);
+        }(this, key, ByteBuffer(frame.view()), parent, delay, backup,
+          launched, settled)));
+    size_t first = co_await sim::any(engine, racers);
+    if (first == 1 && !*launched) {
+      // The backup woke up and declined (race settled or budget refused):
+      // its completion is not a result, so keep waiting on the primary.
+      co_await racers[0];
+      first = 0;
+    }
+    *settled = true;
+    result = first == 0 ? *primary : *backup;
+    if (*launched) {
+      tr.metrics().counter("hedge.launched").add();
+      tr.metrics().counter("hedge.launched", {{"op", "put"}}).add();
+      trace::SpanHandle span = tr.span("hedge", parent);
+      span.tag("op", "put");
+      span.tag("outcome", first == 1 ? "won" : "lost");
+      span.end();
+      if (first == 1) {
+        tr.metrics().counter("hedge.won").add();
+        tr.metrics().counter("hedge.won", {{"op", "put"}}).add();
+      }
+    }
+  }
+  if (result.is_ok()) {
+    record_sample(&put_samples_, &put_samples_next_, engine.now() - start);
+  }
+  co_return result;
+}
+
+sim::Co<Result<ByteBuffer>> CloudPlugin::hedged_get(std::string key,
+                                                    trace::SpanId parent) {
+  if (!options_.hedge) {
+    co_return co_await timed_get(std::move(key), parent);
+  }
+  auto& engine = cluster_->engine();
+  trace::Tracer& tr = tracer();
+  double start = engine.now();
+  double delay = hedge_delay(get_samples_);
+  Result<ByteBuffer> result = internal_error("hedged get never ran");
+  if (delay <= 0) {
+    result = co_await timed_get(std::move(key), parent);
+  } else {
+    auto primary = std::make_shared<Result<ByteBuffer>>(
+        internal_error("primary get never ran"));
+    auto backup = std::make_shared<Result<ByteBuffer>>(
+        internal_error("hedge get never ran"));
+    auto launched = std::make_shared<bool>(false);
+    auto settled = std::make_shared<bool>(false);
+    std::vector<sim::Completion> racers;
+    racers.push_back(engine.spawn(
+        [](CloudPlugin* self, std::string key, trace::SpanId parent,
+           std::shared_ptr<Result<ByteBuffer>> out) -> sim::Co<void> {
+          *out = co_await self->timed_get(std::move(key), parent);
+        }(this, key, parent, primary)));
+    racers.push_back(engine.spawn(
+        [](CloudPlugin* self, std::string key, trace::SpanId parent,
+           double delay, std::shared_ptr<Result<ByteBuffer>> out,
+           std::shared_ptr<bool> launched,
+           std::shared_ptr<bool> settled) -> sim::Co<void> {
+          co_await self->cluster_->engine().sleep(delay);
+          if (*settled || !self->admit_hedge()) co_return;
+          *launched = true;
+          *out = co_await self->timed_get(std::move(key), parent);
+        }(this, key, parent, delay, backup, launched, settled)));
+    size_t first = co_await sim::any(engine, racers);
+    if (first == 1 && !*launched) {
+      co_await racers[0];
+      first = 0;
+    }
+    *settled = true;
+    result = first == 0 ? std::move(*primary) : std::move(*backup);
+    if (*launched) {
+      tr.metrics().counter("hedge.launched").add();
+      tr.metrics().counter("hedge.launched", {{"op", "get"}}).add();
+      trace::SpanHandle span = tr.span("hedge", parent);
+      span.tag("op", "get");
+      span.tag("outcome", first == 1 ? "won" : "lost");
+      span.end();
+      if (first == 1) {
+        tr.metrics().counter("hedge.won").add();
+        tr.metrics().counter("hedge.won", {{"op", "get"}}).add();
+      }
+    }
+  }
+  if (result.ok()) {
+    record_sample(&get_samples_, &get_samples_next_, engine.now() - start);
+  }
+  co_return result;
 }
 
 sim::Co<Status> CloudPlugin::timed_put(std::string key, ByteBuffer frame,
@@ -311,6 +541,12 @@ sim::Co<Status> CloudPlugin::put_with_retry(std::string key, ByteBuffer frame,
   for (int attempt = 0; attempt <= options_.storage_retries; ++attempt) {
     trace::SpanHandle recovery;
     if (attempt > 0) {
+      // Every re-attempt spends one retry-budget token; an empty bucket
+      // fails fast with the last real status instead of amplifying a
+      // correlated outage into a retry storm.
+      if (!admit_retry("put", /*tenant=*/{}, parent)) {
+        co_return put.with_context("retry budget exhausted");
+      }
       // The recovery span stays open across the re-attempt: backoff + redo
       // is exactly the time this object lost to the fault.
       recovery = tr.span("recovery", parent);
@@ -323,7 +559,7 @@ sim::Co<Status> CloudPlugin::put_with_retry(std::string key, ByteBuffer frame,
       co_await backoff_sleep(&prev_sleep);
     }
     // put() consumes its buffer, so each attempt ships a fresh copy.
-    put = co_await timed_put(key, ByteBuffer(frame.view()), parent);
+    put = co_await hedged_put(key, ByteBuffer(frame.view()), parent);
     if (put.is_ok() && options_.verify_transfers) {
       // Read-after-write verification: a cheap HEAD catches torn writes
       // (acked PUT, truncated object) before anyone consumes the object.
@@ -341,10 +577,15 @@ sim::Co<Status> CloudPlugin::put_with_retry(std::string key, ByteBuffer frame,
       }
     }
     recovery.end();
-    if (put.is_ok()) break;
+    if (put.is_ok()) {
+      note_success();
+      break;
+    }
     // kDataLoss is retryable here — we still hold the frame, so a detected
-    // torn write is repaired by re-uploading. Permanent errors (invalid
-    // argument, missing bucket) fail fast after one attempt.
+    // torn write is repaired by re-uploading. It rides the same budget as
+    // every other retry (checked above), so a lost-object storm cannot
+    // loop unboundedly. Permanent errors (invalid argument, missing
+    // bucket) fail fast after one attempt.
     if (!is_retryable(put.code()) && put.code() != StatusCode::kDataLoss) {
       break;
     }
@@ -360,6 +601,9 @@ sim::Co<Result<ByteBuffer>> CloudPlugin::get_with_retry(std::string key,
   for (int attempt = 0; attempt <= options_.storage_retries; ++attempt) {
     trace::SpanHandle recovery;
     if (attempt > 0) {
+      if (!admit_retry("get", /*tenant=*/{}, parent)) {
+        co_return got.with_context("retry budget exhausted");
+      }
       recovery = tr.span("recovery", parent);
       recovery.tag("op", "get");
       recovery.tag("key", key);
@@ -369,9 +613,12 @@ sim::Co<Result<ByteBuffer>> CloudPlugin::get_with_retry(std::string key,
                  got.message());
       co_await backoff_sleep(&prev_sleep);
     }
-    auto result = co_await timed_get(key, parent);
+    auto result = co_await hedged_get(key, parent);
     recovery.end();
-    if (result.ok()) co_return std::move(*result);
+    if (result.ok()) {
+      note_success();
+      co_return std::move(*result);
+    }
     got = result.status();
     // A raw get cannot re-produce lost bytes, so kDataLoss is NOT retryable
     // here (decode-level corruption retries live in the download paths,
@@ -810,6 +1057,9 @@ sim::Co<void> CloudPlugin::fetch_block(
   for (int attempt = 0; attempt <= options_.storage_retries; ++attempt) {
     trace::SpanHandle recovery;
     if (attempt > 0) {
+      // Corruption refetches spend retry-budget tokens too: a storm of
+      // corrupt blocks must not turn into an unbounded re-download loop.
+      if (!admit_retry("refetch", /*tenant=*/{}, parent)) break;
       recovery = tr.span("recovery", parent);
       recovery.tag("op", "refetch");
       recovery.tag("key", key);
@@ -974,6 +1224,7 @@ sim::Co<Status> CloudPlugin::download_object(
   double prev_sleep = options_.retry_backoff_seconds;
   for (int attempt = 0; attempt <= options_.storage_retries; ++attempt) {
     if (attempt > 0) {
+      if (!admit_retry("refetch", /*tenant=*/{}, span.id())) break;
       trace::SpanHandle recovery = tr.span("recovery", span.id());
       recovery.tag("op", "refetch");
       recovery.tag("key", base_key);
@@ -1326,6 +1577,7 @@ sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
     auto ran = co_await context_.run_job(std::move(job), root);
     if (ran.ok()) {
       report.job = std::move(*ran);
+      note_success(region.tenant);
       break;
     }
     StatusCode code = ran.status().code();
@@ -1333,6 +1585,12 @@ sim::Co<Result<OffloadReport>> CloudPlugin::run_region(
         code == StatusCode::kUnavailable || code == StatusCode::kDataLoss;
     if (!resubmittable || job_attempt >= options_.job_retries) {
       co_return ran.status();
+    }
+    // A resubmission multiplies whole-job load, so it draws from both the
+    // device and the owning tenant's retry budget; an empty bucket
+    // surfaces the real failure instead of piling on.
+    if (!admit_retry("resubmit", region.tenant, root)) {
+      co_return ran.status().with_context("retry budget exhausted");
     }
     OC_CO_RETURN_IF_ERROR(past_deadline("spark job failure"));
     if (code == StatusCode::kDataLoss) {

@@ -35,6 +35,7 @@
 #include "support/config.h"
 #include "support/log.h"
 #include "support/random.h"
+#include "support/retry_budget.h"
 #include "tools/tools.h"
 
 namespace ompcloud::omptarget {
@@ -92,6 +93,22 @@ struct CloudPluginOptions {
   /// block for chunked objects, so a small mutation re-uploads only the
   /// dirty blocks). Implies keeping input objects past cleanup.
   bool cache_data = false;
+  /// `[overload]` retry budget: every storage retry / job resubmission
+  /// withdraws one token from the device (and, when known, tenant) bucket;
+  /// successes earn `ratio` tokens back. An empty bucket fails the op fast
+  /// with its last real status instead of amplifying a correlated outage
+  /// into a retry storm. Disabled by default — the retry loops then behave
+  /// exactly as before.
+  RetryBudgetOptions retry_budget;
+  /// `[overload]` hedged transfers: when a put/get attempt is still in
+  /// flight after the rolling `hedge_quantile` latency of recent same-kind
+  /// ops, launch a duplicate and take whichever finishes first (the loser
+  /// keeps running unobserved, like an abandoned TCP connection). Extends
+  /// Spark's task speculation down to the transfer path. Needs
+  /// `hedge_min_samples` completed ops before it arms.
+  bool hedge = false;
+  double hedge_quantile = 0.95;
+  int hedge_min_samples = 16;
 
   static Result<CloudPluginOptions> from_config(const Config& config);
 };
@@ -197,6 +214,37 @@ class CloudPlugin final : public Plugin {
   /// recovery" covers backoff + redo. `prev_sleep` carries the jitter state.
   sim::Co<void> backoff_sleep(double* prev_sleep);
 
+  /// The budget scopes a retry on this plugin charges: always the device
+  /// bucket, plus the tenant bucket when the caller knows one.
+  [[nodiscard]] std::vector<std::string> budget_scopes(
+      std::string_view tenant = {}) const;
+  /// True when the budget admits one retry (withdrawing it); on refusal
+  /// emits the `retry_budget.exhausted` counter and a `retry_budget` span
+  /// under `parent` so the analyzer can attribute the fail-fast.
+  bool admit_retry(std::string_view op, std::string_view tenant,
+                   trace::SpanId parent);
+  /// Deposits a success into the budget buckets (no-op when disabled).
+  void note_success(std::string_view tenant = {});
+  /// A hedge is a speculative retry, so it draws from the same budget:
+  /// a stale trigger quantile after an incident would otherwise duplicate
+  /// every transfer and hold the system in the overloaded state it is
+  /// trying to escape. Refusals emit `hedge.suppressed`.
+  bool admit_hedge();
+
+  /// Hedged transfer support: rolling per-op latency windows feed a
+  /// quantile trigger; `hedge_delay` < 0 means "not armed yet".
+  void record_sample(std::vector<double>* window, size_t* next,
+                     double seconds);
+  [[nodiscard]] double hedge_delay(const std::vector<double>& window) const;
+  /// One put/get attempt with hedging layered over the per-op deadline:
+  /// the primary op races a (sleep p95, duplicate op) shadow; first result
+  /// wins and the loser keeps running unobserved. Falls through to
+  /// timed_put/timed_get verbatim while hedging is off or unarmed.
+  sim::Co<Status> hedged_put(std::string key, ByteBuffer frame,
+                             trace::SpanId parent);
+  sim::Co<Result<ByteBuffer>> hedged_get(std::string key,
+                                         trace::SpanId parent);
+
   /// Emits a fault-accounting tool event (retry / corruption / deadline /
   /// resubmit) through the tracer's tool registry.
   void note_fault(tools::FaultEventInfo::Kind kind, std::string_view point,
@@ -296,9 +344,22 @@ class CloudPlugin final : public Plugin {
   /// a unique prefix instead of trampling the staged objects.
   std::set<std::string> active_regions_;
   uint64_t next_invocation_ = 0;
-  /// Jitter source for retry backoff. Consulted only when a retry actually
-  /// happens, so a fault-free run draws nothing and stays bit-identical.
+  /// Jitter source for retry backoff. Seeded lazily on the first draw from
+  /// the fault-plan seed XOR this plugin's device id, so multi-device chaos
+  /// runs get independent, reproducible jitter streams — and consulted only
+  /// when a retry actually happens, so a fault-free run draws nothing and
+  /// stays bit-identical.
+  Xoshiro256& retry_rng();
   Xoshiro256 retry_rng_{0x0cfa17eu};
+  bool retry_rng_seeded_ = false;
+  /// `[overload]` state: the retry-budget buckets plus the rolling latency
+  /// windows (64-sample rings) behind the hedge trigger. All untouched
+  /// while the `[overload]` section is disabled.
+  RetryBudget retry_budget_;
+  std::vector<double> put_samples_;
+  std::vector<double> get_samples_;
+  size_t put_samples_next_ = 0;
+  size_t get_samples_next_ = 0;
   Logger log_{"omptarget.cloud"};
 };
 

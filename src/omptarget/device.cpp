@@ -15,6 +15,7 @@ std::string OffloadReport::to_json(int indent) const {
       "{\n"
       "%s  \"device\": \"%s\",\n"
       "%s  \"fell_back_to_host\": %s,\n"
+      "%s  \"degraded\": %s,\n"
       "%s  \"seconds\": {\"total\": %.6f, \"upload\": %.6f, "
       "\"submit\": %.6f, \"job\": %.6f, \"download\": %.6f, "
       "\"cleanup\": %.6f, \"boot\": %.6f, \"host_codec\": %.6f},\n"
@@ -26,6 +27,7 @@ std::string OffloadReport::to_json(int indent) const {
       "%s}",
       pad.c_str(), device_name.c_str(),
       pad.c_str(), fell_back_to_host ? "true" : "false",
+      pad.c_str(), degraded ? "true" : "false",
       pad.c_str(), total_seconds, upload_seconds, submit_seconds,
       job.job_seconds, download_seconds, cleanup_seconds, boot_seconds,
       host_codec_seconds,
@@ -106,6 +108,7 @@ int DeviceManager::register_device(std::unique_ptr<Plugin> plugin) {
   devices_.push_back(std::move(plugin));
   breakers_.resize(devices_.size());
   int id = static_cast<int>(devices_.size()) - 1;
+  devices_.back()->set_device_id(id);
   tracer_->tools().emit_device_init(
       {id, devices_.back()->name(), engine_->now()});
   return id;
@@ -118,6 +121,7 @@ void DeviceManager::set_host_device(std::unique_ptr<Plugin> plugin) {
   } else {
     devices_[0] = std::move(plugin);
   }
+  devices_[0]->set_device_id(host_device_id());
   breakers_.resize(devices_.size());
   tracer_->tools().emit_device_init(
       {host_device_id(), devices_[0]->name(), engine_->now()});

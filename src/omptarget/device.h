@@ -74,6 +74,10 @@ struct TargetRegion {
   /// ordinary single-tenant region). Forwarded to `spark::JobSpec` as
   /// sub-partitions.
   std::vector<RegionSlice> slices;
+  /// Owning tenant, filled by the scheduler from `SubmitOptions::tenant`
+  /// at dispatch (empty on the direct/offload path). Lets device plugins
+  /// charge per-tenant retry budgets without widening the Plugin API.
+  std::string tenant;
 
   [[nodiscard]] Status validate() const;
 };
@@ -120,6 +124,10 @@ struct SubmitOptions {
 struct OffloadReport {
   std::string device_name;
   bool fell_back_to_host = false;
+  /// True when the scheduler dispatched this offload during a brownout
+  /// (CoDel queue-delay shedding active): the result is correct, but the
+  /// system was degrading lower classes to produce it on time.
+  bool degraded = false;
 
   double total_seconds = 0;      ///< whole offload (host-side view)
   double upload_seconds = 0;     ///< compress + host->storage (Fig. 1 step 2)
@@ -216,8 +224,15 @@ class Plugin {
     tracer_ = std::move(tracer);
   }
 
+  /// Set by DeviceManager once the registration slot is known (-1 while
+  /// unregistered). Plugins fold it into per-device state that must differ
+  /// across devices — e.g. CloudPlugin's retry-jitter stream seed.
+  void set_device_id(int id) { device_id_ = id; }
+  [[nodiscard]] int device_id() const { return device_id_; }
+
  protected:
   std::shared_ptr<trace::Tracer> tracer_;  ///< null until attached
+  int device_id_ = -1;
 };
 
 /// The `[device]` section: dynamic-fallback policy and the per-device

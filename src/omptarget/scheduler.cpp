@@ -31,6 +31,14 @@ int SchedulerOptions::quota_for(std::string_view tenant) const {
   return default_quota;
 }
 
+bool SchedulerOptions::shed_class_matches(
+    std::string_view latency_class) const {
+  for (const std::string& entry : shed_classes) {
+    if (entry == latency_class) return true;
+  }
+  return false;
+}
+
 Result<SchedulerOptions> SchedulerOptions::from_config(const Config& config) {
   SchedulerOptions options;
   std::string mode = config.get_string("scheduler.mode", "fifo");
@@ -103,12 +111,60 @@ Result<SchedulerOptions> SchedulerOptions::from_config(const Config& config) {
                                          static_cast<int>(quota));
     }
   }
+  // [overload]: adaptive concurrency + CoDel shedding. `overload.enabled`
+  // flips both on; the individual switches override it either way.
+  bool overload_enabled = config.get_bool("overload.enabled", false);
+  options.adaptive_concurrency =
+      config.get_bool("overload.adaptive-concurrency", overload_enabled);
+  options.limit_min = static_cast<int>(
+      config.get_int("overload.limit-min", options.limit_min));
+  options.limit_max = static_cast<int>(
+      config.get_int("overload.limit-max", options.limit_max));
+  if (options.limit_min < 1) {
+    return invalid_argument("overload.limit-min must be >= 1");
+  }
+  if (options.limit_max < options.limit_min) {
+    return invalid_argument(
+        "overload.limit-max must be >= overload.limit-min");
+  }
+  options.shed = config.get_bool("overload.shed", overload_enabled);
+  options.codel_target_seconds = config.get_duration(
+      "overload.codel-target", options.codel_target_seconds);
+  options.codel_interval_seconds = config.get_duration(
+      "overload.codel-interval", options.codel_interval_seconds);
+  if (options.codel_target_seconds <= 0 ||
+      options.codel_interval_seconds <= 0) {
+    return invalid_argument(
+        "overload.codel-target and overload.codel-interval must be positive");
+  }
+  if (auto classes = config.get_string("overload.shed-classes")) {
+    for (std::string& name : split(*classes, ',')) {
+      if (!name.empty()) options.shed_classes.push_back(std::move(name));
+    }
+  }
   return options;
 }
 
 OffloadScheduler::OffloadScheduler(DeviceManager& manager,
                                    SchedulerOptions options)
-    : manager_(&manager), options_(std::move(options)) {}
+    : manager_(&manager), options_(std::move(options)) {
+  // AIMD starts optimistic at the ceiling; the first latency inflation
+  // cuts it. Static max_concurrent still applies as a hard cap when both
+  // are configured.
+  if (options_.adaptive_concurrency) {
+    limit_ = static_cast<double>(options_.limit_max);
+    manager_->tracer().metrics().gauge("overload.limit").set(limit_);
+  }
+}
+
+int OffloadScheduler::concurrency_limit() const {
+  if (!options_.adaptive_concurrency) return options_.max_concurrent;
+  int limit = std::max(options_.limit_min, static_cast<int>(limit_));
+  if (options_.max_concurrent > 0) {
+    limit = std::min(limit, options_.max_concurrent);
+  }
+  return limit;
+}
 
 void OffloadScheduler::warn_deprecated_submit() {
   if (warned_deprecated_) return;
@@ -197,6 +253,13 @@ sim::Co<Result<OffloadReport>> OffloadScheduler::submit(TargetRegion region,
   queue_.push_back(std::move(pending));
   emit_event(tools::SchedulerEventInfo::Kind::kAdmit, queue_.back(), 0);
   notify_demand();
+  // Overload control needs a heartbeat while work exists; the tick re-arms
+  // itself and stops once the system drains.
+  if ((options_.shed || options_.adaptive_concurrency) &&
+      armed_overload_ == 0) {
+    arm_overload_timer(manager_->engine().now() +
+                       options_.codel_interval_seconds);
+  }
   maybe_dispatch();
   co_await done->wait();
   co_return done->peek();
@@ -297,6 +360,124 @@ void OffloadScheduler::arm_linger_timer(double at) {
   });
 }
 
+void OffloadScheduler::arm_overload_timer(double at) {
+  armed_overload_ = at;
+  manager_->engine().schedule_at(at, [this] { overload_tick(); });
+}
+
+void OffloadScheduler::overload_tick() {
+  armed_overload_ = 0;
+  const double now = manager_->engine().now();
+  trace::Metrics& metrics = manager_->tracer().metrics();
+
+  // CoDel signal: the oldest queued entry's sojourn time. Two consecutive
+  // above-target readings (>= one full interval of sustained standing
+  // queue) enter brownout; one below-target reading exits.
+  if (options_.shed) {
+    double delay = 0;
+    for (const Pending& pending : queue_) {
+      delay = std::max(delay, now - pending.enqueue_time);
+    }
+    metrics.gauge("overload.queue_delay").set(delay);
+    const bool above = delay > options_.codel_target_seconds;
+    if (above && delay_above_target_ && !brownout_) {
+      brownout_ = true;
+      metrics.counter("overload.brownouts").add();
+      metrics.gauge("overload.brownout").set(1);
+      trace::SpanHandle span = manager_->tracer().span("overload.brownout");
+      span.tag("state", "enter");
+      span.tag("queue_delay", str_format("%.3f", delay));
+      span.end();
+      log_.warn("brownout: queue delay %.1fs above %.1fs target; shedding",
+                delay, options_.codel_target_seconds);
+    } else if (!above && brownout_) {
+      brownout_ = false;
+      metrics.gauge("overload.brownout").set(0);
+      trace::SpanHandle span = manager_->tracer().span("overload.brownout");
+      span.tag("state", "exit");
+      span.end();
+      log_.info("brownout over: queue delay back under %.1fs target",
+                options_.codel_target_seconds);
+    }
+    delay_above_target_ = above;
+    if (brownout_) {
+      shed_queued();
+      maybe_dispatch();
+    }
+  }
+
+  // Rotate the AIMD latency window: last interval's minimum becomes the
+  // inflation baseline for the next one, so the floor tracks *recent*
+  // uncongested service time instead of an all-time best.
+  if (options_.adaptive_concurrency && window_min_ > 0) {
+    latency_floor_ = window_min_;
+    window_min_ = 0;
+  }
+
+  if (!queue_.empty() || active_ > 0 || brownout_) {
+    arm_overload_timer(now + options_.codel_interval_seconds);
+  }
+}
+
+void OffloadScheduler::shed_queued() {
+  const double now = manager_->engine().now();
+  trace::Metrics& metrics = manager_->tracer().metrics();
+  auto shed_one = [&](size_t index) {
+    Pending victim = std::move(queue_[index]);
+    queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(index));
+    metrics.counter("shed.count").add();
+    const std::string& cls = victim.options.latency_class;
+    metrics
+        .counter("shed.count",
+                 {{"class", cls.empty() ? std::string("none") : cls}})
+        .add();
+    reject(victim, tools::SchedulerEventInfo::Kind::kReject, "shed",
+           resource_exhausted(str_format(
+               "shed during brownout after %.3fs queued (delay target %.1fs)",
+               now - victim.enqueue_time, options_.codel_target_seconds)));
+    notify_demand();
+  };
+  if (!options_.shed_classes.empty()) {
+    // Drop every queued entry in a sheddable class: brownout exists to
+    // keep the protected classes inside their SLO.
+    for (size_t i = 0; i < queue_.size();) {
+      if (options_.shed_class_matches(queue_[i].options.latency_class)) {
+        shed_one(i);
+      } else {
+        ++i;
+      }
+    }
+    return;
+  }
+  // No class policy: drop everything that has already outstayed the delay
+  // target — by the time it dispatches it would be late anyway, and every
+  // serviced stale entry pushes fresh arrivals further past their SLO
+  // (the metastable-failure feedback loop). Fresh entries stay queued, so
+  // the post-shed delay is bounded by the target. If nothing has aged out
+  // yet, apply CoDel-style gentle pressure: one lowest-priority (youngest
+  // on ties) entry per tick.
+  if (queue_.empty()) return;
+  bool aged_out = false;
+  for (size_t i = 0; i < queue_.size();) {
+    if (now - queue_[i].enqueue_time >= options_.codel_target_seconds) {
+      shed_one(i);
+      aged_out = true;
+    } else {
+      ++i;
+    }
+  }
+  if (aged_out || queue_.empty()) return;
+  size_t victim = 0;
+  for (size_t i = 1; i < queue_.size(); ++i) {
+    if (queue_[i].options.priority < queue_[victim].options.priority ||
+        (queue_[i].options.priority == queue_[victim].options.priority &&
+         queue_[i].seq > queue_[victim].seq)) {
+      victim = i;
+    }
+  }
+  shed_one(victim);
+}
+
 OffloadScheduler::Footprint OffloadScheduler::footprint_of(
     const TargetRegion& region) {
   Footprint fp;
@@ -369,8 +550,10 @@ std::vector<size_t> OffloadScheduler::ready_indices() {
 
 void OffloadScheduler::maybe_dispatch() {
   expire_deadlines();
+  // The gate re-reads concurrency_limit() every round: an AIMD cut between
+  // dispatches takes effect immediately.
   while (!queue_.empty() &&
-         (options_.max_concurrent <= 0 || active_ < options_.max_concurrent)) {
+         (concurrency_limit() <= 0 || active_ < concurrency_limit())) {
     std::vector<size_t> ready = ready_indices();
     // Nothing dependence-free: wait for an in-flight offload to retire
     // (run_one/run_batch re-enter maybe_dispatch after erasing footprints).
@@ -465,6 +648,10 @@ void OffloadScheduler::dispatch_single(size_t index) {
   Pending pending = std::move(queue_[index]);
   queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(index));
   pending.dispatch_time = manager_->engine().now();
+  pending.dispatched_in_brownout = brownout_;
+  // Stamp the owning tenant on the region so the device plugin can charge
+  // per-tenant retry budgets (batch members keep per-slice attribution).
+  pending.region.tenant = pending.options.tenant;
   pending.queue_span.end();
   ++active_;
   ++running_per_tenant_[pending.options.tenant];
@@ -496,6 +683,7 @@ void OffloadScheduler::dispatch_batch(const std::vector<size_t>& indices) {
   Footprint combined;
   for (Pending& member : members) {
     member.dispatch_time = now;
+    member.dispatched_in_brownout = brownout_;
     member.queue_span.tag("batch", batch_name);
     member.queue_span.end();
     ++running_per_tenant_[member.options.tenant];
@@ -528,6 +716,25 @@ void OffloadScheduler::observe_service_time(double seconds) {
   service_ewma_ = service_ewma_ == 0
                       ? seconds
                       : (1 - kAlpha) * service_ewma_ + kAlpha * seconds;
+  if (!options_.adaptive_concurrency) return;
+  // AIMD against the windowed minimum: a completion slower than
+  // kInflation x the recent uncongested floor means the fleet is saturated
+  // or degraded — cut the limit multiplicatively; otherwise creep it up by
+  // ~1 per "round" of in-flight completions. The threshold tolerates the
+  // ~2x natural spread of healthy service times (stragglers, gray stalls
+  // the hedges absorb) so fair weather never trips it.
+  constexpr double kInflation = 3.0;
+  constexpr double kDecrease = 0.7;
+  if (window_min_ == 0 || seconds < window_min_) window_min_ = seconds;
+  if (latency_floor_ == 0) latency_floor_ = seconds;
+  if (seconds > kInflation * latency_floor_) {
+    limit_ = std::max(static_cast<double>(options_.limit_min),
+                      limit_ * kDecrease);
+  } else {
+    limit_ = std::min(static_cast<double>(options_.limit_max),
+                      limit_ + 1.0 / std::max(1.0, limit_));
+  }
+  manager_->tracer().metrics().gauge("overload.limit").set(limit_);
 }
 
 void OffloadScheduler::finish_entry(Pending& pending, uint64_t batch_id,
@@ -551,6 +758,7 @@ sim::Co<void> OffloadScheduler::run_one(Pending pending) {
   observe_service_time(manager_->engine().now() - pending.dispatch_time);
   finish_entry(pending, 0, 1);
   notify_demand();
+  if (result.ok() && pending.dispatched_in_brownout) result->degraded = true;
   pending.done->set(std::move(result));
   maybe_dispatch();
 }
@@ -616,7 +824,9 @@ sim::Co<void> OffloadScheduler::run_batch(std::vector<Pending> members,
   notify_demand();
   for (Pending& member : members) {
     if (outcome.ok() && plan.ok()) {
-      member.done->set(plan->member_report(*outcome));
+      OffloadReport report = plan->member_report(*outcome);
+      if (member.dispatched_in_brownout) report.degraded = true;
+      member.done->set(std::move(report));
     } else {
       member.done->set(outcome.status());
     }

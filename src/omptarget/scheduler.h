@@ -91,6 +91,30 @@ struct SchedulerOptions {
   /// before giving up and dispatching solo (0 = never wait).
   double batch_linger_seconds = 0;
 
+  // --- `[overload]` section: adaptive concurrency + brownout shedding ---
+  /// AIMD concurrency limiter: replaces the static `max_concurrent` gate.
+  /// Each completion whose latency stays near the windowed minimum raises
+  /// the limit additively; a completion slower than twice the window
+  /// minimum cuts it multiplicatively — so when the fleet loses capacity
+  /// the scheduler stops pushing work into the slowdown instead of letting
+  /// queue delay (and retry volume downstream) compound.
+  bool adaptive_concurrency = false;
+  int limit_min = 1;   ///< AIMD lower bound (overload.limit-min)
+  int limit_max = 32;  ///< AIMD upper bound + starting limit (limit-max)
+  /// CoDel-style queue-delay shedding. While the oldest queued entry has
+  /// waited longer than `codel_target_seconds` at two consecutive
+  /// `codel_interval_seconds` checks, the scheduler is in *brownout*:
+  /// sheddable queued work is rejected with kResourceExhausted and
+  /// everything dispatched meanwhile is marked `OffloadReport::degraded`.
+  bool shed = false;
+  double codel_target_seconds = 5.0;
+  double codel_interval_seconds = 10.0;
+  /// Latency classes eligible for shedding (comma list in the config).
+  /// Empty = shed the lowest-priority queued entry instead, one per check.
+  std::vector<std::string> shed_classes;
+
+  [[nodiscard]] bool shed_class_matches(std::string_view latency_class) const;
+
   [[nodiscard]] double weight_for(std::string_view tenant) const;
   [[nodiscard]] int quota_for(std::string_view tenant) const;
 
@@ -101,7 +125,10 @@ struct SchedulerOptions {
   /// scheduler.weight.<tenant> per pool, scheduler.queue-limit,
   /// scheduler.quota-default + scheduler.quota.<tenant>,
   /// scheduler.batch-regions, scheduler.batch-bytes (byte size), and
-  /// scheduler.batch-linger (duration).
+  /// scheduler.batch-linger (duration) — plus the `[overload]` knobs:
+  /// overload.enabled (master switch), overload.adaptive-concurrency,
+  /// overload.limit-min/limit-max, overload.shed, overload.codel-target /
+  /// codel-interval (durations), overload.shed-classes (comma list).
   static Result<SchedulerOptions> from_config(const Config& config);
 };
 
@@ -154,6 +181,14 @@ class OffloadScheduler {
   /// first completion).
   [[nodiscard]] double service_time_estimate() const { return service_ewma_; }
 
+  /// The in-flight cap currently enforced by `maybe_dispatch`: the AIMD
+  /// limit when adaptive concurrency is on, else the static
+  /// `max_concurrent` (0 = unbounded).
+  [[nodiscard]] int concurrency_limit() const;
+  /// True while CoDel queue-delay shedding is active (work dispatched now
+  /// is reported `degraded`).
+  [[nodiscard]] bool brownout() const { return brownout_; }
+
  private:
   /// Host buffers a region reads and writes, derived from its map clauses.
   struct Footprint {
@@ -174,6 +209,8 @@ class OffloadScheduler {
     /// Device id + structural signature when batch-eligible; empty
     /// otherwise. Equal keys may coalesce into one job.
     std::string batch_key;
+    /// Dispatched while shedding was active: the report gets `degraded`.
+    bool dispatched_in_brownout = false;
     std::shared_ptr<sim::Future<Result<OffloadReport>>> done;
   };
 
@@ -195,6 +232,17 @@ class OffloadScheduler {
   void expire_deadlines();
   void arm_deadline_timer(double at);
   void arm_linger_timer(double at);
+
+  // --- overload control ---
+  /// Periodic CoDel check while overload control is on and work exists:
+  /// flips brownout on/off from the oldest queued entry's sojourn time,
+  /// sheds while in brownout, and rotates the AIMD latency window.
+  void overload_tick();
+  void arm_overload_timer(double at);
+  /// Rejects sheddable queued entries with kResourceExhausted
+  /// (`reject=shed`): every entry in a shed class, or — with no classes
+  /// configured — the single lowest-priority (youngest on ties) entry.
+  void shed_queued();
 
   // --- dispatch ---
   /// Queue indices with no RAW/WAR/WAW conflict against in-flight offloads
@@ -230,6 +278,13 @@ class OffloadScheduler {
   double service_ewma_ = 0;
   double armed_deadline_ = 0;  ///< earliest scheduled expiry wakeup (0 none)
   double armed_linger_ = 0;    ///< earliest scheduled linger wakeup (0 none)
+  // --- overload-control state (untouched while `[overload]` is off) ---
+  double limit_ = 0;           ///< AIMD concurrency limit (starts limit_max)
+  double latency_floor_ = 0;   ///< previous interval's minimum service time
+  double window_min_ = 0;      ///< current interval's minimum (0 = none yet)
+  bool brownout_ = false;
+  bool delay_above_target_ = false;  ///< last tick saw delay > CoDel target
+  double armed_overload_ = 0;  ///< scheduled CoDel wakeup (0 = none)
   bool warned_deprecated_ = false;
   std::function<void(int, int)> demand_listener_;
   Logger log_{"scheduler"};

@@ -1,0 +1,73 @@
+#include "support/retry_budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ompcloud {
+
+namespace {
+
+Status check_non_negative(const char* key, double value) {
+  if (!std::isfinite(value) || value < 0) {
+    return invalid_argument(std::string("overload.") + key +
+                            " must be a non-negative number");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<RetryBudgetOptions> RetryBudgetOptions::from_config(
+    const Config& config) {
+  RetryBudgetOptions options;
+  bool overload_enabled = config.get_bool("overload.enabled", false);
+  options.enabled =
+      config.get_bool("overload.retry-budget", overload_enabled);
+  options.ratio =
+      config.get_double("overload.retry-budget-ratio", options.ratio);
+  options.initial =
+      config.get_double("overload.retry-budget-initial", options.initial);
+  options.cap = config.get_double("overload.retry-budget-cap", options.cap);
+  OC_RETURN_IF_ERROR(check_non_negative("retry-budget-ratio", options.ratio));
+  OC_RETURN_IF_ERROR(
+      check_non_negative("retry-budget-initial", options.initial));
+  OC_RETURN_IF_ERROR(check_non_negative("retry-budget-cap", options.cap));
+  if (options.initial > options.cap) {
+    return invalid_argument(
+        "overload.retry-budget-initial exceeds overload.retry-budget-cap");
+  }
+  return options;
+}
+
+double& RetryBudget::bucket(const std::string& scope) {
+  auto [it, inserted] = buckets_.try_emplace(scope, options_.initial);
+  return it->second;
+}
+
+void RetryBudget::record_success(const std::vector<std::string>& scopes) {
+  if (!options_.enabled) return;
+  for (const std::string& scope : scopes) {
+    double& tokens = bucket(scope);
+    tokens = std::min(options_.cap, tokens + options_.ratio);
+  }
+}
+
+bool RetryBudget::try_withdraw(const std::vector<std::string>& scopes) {
+  if (!options_.enabled) return true;
+  for (const std::string& scope : scopes) {
+    if (bucket(scope) < 1.0) {
+      ++exhaustions_;
+      return false;
+    }
+  }
+  for (const std::string& scope : scopes) bucket(scope) -= 1.0;
+  ++withdrawals_;
+  return true;
+}
+
+double RetryBudget::tokens(const std::string& scope) const {
+  auto it = buckets_.find(scope);
+  return it == buckets_.end() ? options_.initial : it->second;
+}
+
+}  // namespace ompcloud

@@ -1,0 +1,95 @@
+// Token-bucket retry budgets: bounding aggregate retry volume.
+//
+// PR 5 gave every fault point a local retry loop; that heals isolated
+// faults but turns a *correlated* slowdown into a metastable retry storm —
+// each client multiplies offered load exactly when capacity is scarcest,
+// and goodput can stay collapsed after capacity returns. A retry budget
+// makes retries a resource that successes earn: every success deposits
+// `ratio` tokens into the caller's bucket (capped), every retry withdraws
+// one whole token, and when the bucket is empty the caller fails fast with
+// the last real status instead of amplifying.
+//
+// Buckets are keyed by free-form scope strings ("device:cloud-0",
+// "tenant:acme") so one budget instance can enforce per-device and
+// per-tenant limits at once: a retry is admitted only when *every* scope it
+// names has a token, and it withdraws from all of them atomically. Each
+// bucket starts with `initial` tokens so cold, low-traffic scopes can still
+// absorb a startup blip before they have earned anything.
+//
+// This lives in support/ (depends only on config/status): it has no clock
+// and emits no metrics of its own — callers (CloudPlugin, the scheduler)
+// observe withdrawals/exhaustions and publish `retry_budget.*` counters
+// through their own tracer. With `enabled = false` (the default) every
+// probe answers yes without touching a bucket, so the pre-overload-control
+// behavior — and its exact event sequence — is preserved bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/config.h"
+#include "support/status.h"
+
+namespace ompcloud {
+
+/// The retry-budget slice of the `[overload]` config section.
+struct RetryBudgetOptions {
+  /// Master switch; mirrors `overload.enabled` unless overridden by
+  /// `overload.retry-budget`. Disabled budgets admit everything for free.
+  bool enabled = false;
+  /// Tokens deposited per recorded success (classic 10%: one retry earned
+  /// per ten successes).
+  double ratio = 0.1;
+  /// Tokens a fresh bucket starts with, so cold scopes can ride out a blip.
+  double initial = 3.0;
+  /// Hard ceiling on accumulated tokens per bucket.
+  double cap = 100.0;
+
+  /// Parses `overload.enabled`, `overload.retry-budget`,
+  /// `overload.retry-budget-ratio`, `overload.retry-budget-initial`,
+  /// `overload.retry-budget-cap`. Negative or non-finite numbers are
+  /// INVALID_ARGUMENT.
+  static Result<RetryBudgetOptions> from_config(const Config& config);
+};
+
+/// Scope-keyed token buckets. Deterministic and clock-free: state advances
+/// only through `record_success` / `try_withdraw` calls, so two runs with
+/// the same call sequence hold identical balances.
+class RetryBudget {
+ public:
+  RetryBudget() = default;
+  explicit RetryBudget(RetryBudgetOptions options)
+      : options_(options) {}
+
+  [[nodiscard]] const RetryBudgetOptions& options() const { return options_; }
+  [[nodiscard]] bool enabled() const { return options_.enabled; }
+
+  /// Deposits `ratio` tokens into every named scope (capped). No-op when
+  /// disabled.
+  void record_success(const std::vector<std::string>& scopes);
+
+  /// True when every scope can afford one retry; withdraws one token from
+  /// each atomically (an empty scope blocks the whole withdrawal, leaving
+  /// the others untouched). Always true when disabled. Empty scope lists
+  /// are admitted (nothing to charge).
+  [[nodiscard]] bool try_withdraw(const std::vector<std::string>& scopes);
+
+  /// Current balance of one scope (its `initial` grant if never touched).
+  [[nodiscard]] double tokens(const std::string& scope) const;
+
+  /// Lifetime counters, for metrics/tests.
+  [[nodiscard]] uint64_t withdrawals() const { return withdrawals_; }
+  [[nodiscard]] uint64_t exhaustions() const { return exhaustions_; }
+
+ private:
+  double& bucket(const std::string& scope);
+
+  RetryBudgetOptions options_;
+  std::map<std::string, double> buckets_;
+  uint64_t withdrawals_ = 0;
+  uint64_t exhaustions_ = 0;
+};
+
+}  // namespace ompcloud

@@ -801,6 +801,85 @@ std::string ServiceStats::to_text() const {
   return out;
 }
 
+OverloadStats TraceAnalyzer::analyze_overload() const {
+  OverloadStats stats;
+  for (const Span* span : query_.named("sched.queue")) {
+    if (!span->closed()) continue;
+    const std::string* reject = span->tag("reject");
+    if (reject != nullptr && *reject == "shed") {
+      stats.found = true;
+      stats.shed += 1;
+    }
+  }
+  for (const Span* span : query_.named("retry_budget")) {
+    const std::string* event = span->tag("event");
+    if (event != nullptr && *event == "exhausted") {
+      stats.found = true;
+      stats.budget_exhausted += 1;
+    }
+  }
+  for (const Span* span : query_.named("hedge")) {
+    stats.found = true;
+    stats.hedges += 1;
+    const std::string* outcome = span->tag("outcome");
+    if (outcome != nullptr && *outcome == "won") stats.hedges_won += 1;
+  }
+  // Brownout episodes: pair each `enter` marker with the next `exit`. An
+  // episode still open when the trace ends counts toward `brownouts` but
+  // contributes no time (same convention as an un-closed span elsewhere).
+  double entered = -1;
+  for (const Span* span : query_.named("overload.brownout")) {
+    const std::string* state = span->tag("state");
+    if (state == nullptr) continue;
+    stats.found = true;
+    if (*state == "enter") {
+      stats.brownouts += 1;
+      entered = quantize_time(span->start);
+    } else if (*state == "exit" && entered >= 0) {
+      stats.brownout_seconds += quantize_time(span->start) - entered;
+      entered = -1;
+    }
+  }
+  return stats;
+}
+
+std::string OverloadStats::to_json(int indent) const {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  auto ull = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::string json = "{\n";
+  json += str_format("%s  \"found\": %s,\n", pad.c_str(),
+                     found ? "true" : "false");
+  json += str_format("%s  \"shed\": %llu,\n", pad.c_str(), ull(shed));
+  json += str_format("%s  \"budget_exhausted\": %llu,\n", pad.c_str(),
+                     ull(budget_exhausted));
+  json += str_format(
+      "%s  \"hedges\": {\"launched\": %llu, \"won\": %llu},\n", pad.c_str(),
+      ull(hedges), ull(hedges_won));
+  json += str_format(
+      "%s  \"brownouts\": {\"episodes\": %llu, \"seconds\": %.9g}\n",
+      pad.c_str(), ull(brownouts), brownout_seconds);
+  json += str_format("%s}", pad.c_str());
+  return json;
+}
+
+std::string OverloadStats::to_text() const {
+  if (!found) return "overload: no overload-control activity in trace\n";
+  std::string out = str_format(
+      "overload — %llu brownout episodes (%.6f s total)\n",
+      static_cast<unsigned long long>(brownouts), brownout_seconds);
+  out += str_format(
+      "  shed: %llu queued regions dropped during brownout\n",
+      static_cast<unsigned long long>(shed));
+  out += str_format(
+      "  retry budget: %llu retries refused (failed fast)\n",
+      static_cast<unsigned long long>(budget_exhausted));
+  out += str_format(
+      "  hedging: %llu duplicate transfers launched, %llu won the race\n",
+      static_cast<unsigned long long>(hedges),
+      static_cast<unsigned long long>(hedges_won));
+  return out;
+}
+
 TelemetryStats TraceAnalyzer::analyze_telemetry() const {
   TelemetryStats stats;
   auto as_uint = [](const std::string* text) -> uint64_t {

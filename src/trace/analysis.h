@@ -226,6 +226,29 @@ struct ServiceStats {
   [[nodiscard]] std::string to_text() const;
 };
 
+/// Overload-control verdict over the whole trace: what the retry budgets,
+/// the brownout shedder, and hedged transfers did while the control plane
+/// was under pressure. Derived entirely from the `retry_budget` / `hedge` /
+/// `overload.brownout` marker spans plus the `reject=shed` tag on
+/// `sched.queue` spans, so it survives export → import byte-identically.
+/// Traces recorded before the overload control plane existed (or with
+/// `[overload]` off and no incidents) hold none of those spans and leave
+/// `found` false — both `octrace summary` text and JSON omit the section.
+struct OverloadStats {
+  bool found = false;
+  uint64_t shed = 0;              ///< queued regions dropped during brownout
+  uint64_t budget_exhausted = 0;  ///< retries refused by an empty budget
+  uint64_t hedges = 0;            ///< duplicate transfers launched
+  uint64_t hedges_won = 0;        ///< duplicates that beat the primary
+  uint64_t brownouts = 0;         ///< brownout episodes entered
+  double brownout_seconds = 0;    ///< total time spent inside brownout
+
+  /// Stable JSON object (nested lines prefixed with `indent` spaces).
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+  /// Stable human-readable block (what `octrace summary` prints).
+  [[nodiscard]] std::string to_text() const;
+};
+
 /// Telemetry-pipeline verdict: what the time-series collector recorded,
 /// read back from the `telemetry` instant it plants at finalize(). Traces
 /// recorded with `[telemetry]` off (or before the pipeline existed) hold no
@@ -288,6 +311,8 @@ class TraceAnalyzer {
   [[nodiscard]] ClusterScalingAnalysis analyze_cluster() const;
   /// Admission/batching verdict over the whole trace.
   [[nodiscard]] ServiceStats analyze_service() const;
+  /// Overload-control verdict (budgets, shedding, hedging, brownouts).
+  [[nodiscard]] OverloadStats analyze_overload() const;
   /// Collector footprint read back from the `telemetry` instant.
   [[nodiscard]] TelemetryStats analyze_telemetry() const;
   /// Alert report aggregated from `alert.fire`/`alert.resolve` instants.

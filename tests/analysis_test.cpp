@@ -188,5 +188,66 @@ TEST(AnalysisTest, ImportRejectsMalformedJson) {
       trace::import_chrome_json("{\"traceEvents\": [{\"ph\": \"X\"}]}").ok());
 }
 
+TEST(AnalysisTest, OverloadStatsRollUpControlPlaneSpans) {
+  // Synthetic control-plane spans, emitted exactly as the scheduler and
+  // plugin emit them: analyze_overload must count sheds, budget
+  // exhaustions, hedges (with wins), and pair brownout enter/exit markers
+  // into episode time.
+  sim::Engine engine;
+  trace::Tracer tracer(engine);
+  engine.spawn([](sim::Engine* engine,
+                  trace::Tracer* tracer) -> sim::Co<void> {
+    {
+      trace::SpanHandle shed = tracer->span("sched.queue");
+      shed.tag("reject", "shed");
+      shed.end();
+    }
+    for (int i = 0; i < 2; ++i) {
+      trace::SpanHandle exhausted = tracer->span("retry_budget");
+      exhausted.tag("event", "exhausted");
+      exhausted.end();
+    }
+    {
+      trace::SpanHandle won = tracer->span("hedge");
+      won.tag("outcome", "won");
+      won.end();
+      trace::SpanHandle lost = tracer->span("hedge");
+      lost.tag("outcome", "lost");
+      lost.end();
+    }
+    {
+      trace::SpanHandle enter = tracer->span("overload.brownout");
+      enter.tag("state", "enter");
+      enter.end();
+    }
+    co_await engine->sleep(2.5);
+    {
+      trace::SpanHandle exit = tracer->span("overload.brownout");
+      exit.tag("state", "exit");
+      exit.end();
+    }
+    // A second episode that never exits: counted, but adds no time.
+    co_await engine->sleep(1.0);
+    trace::SpanHandle reentered = tracer->span("overload.brownout");
+    reentered.tag("state", "enter");
+    reentered.end();
+  }(&engine, &tracer));
+  engine.run();
+
+  trace::TraceAnalyzer analyzer(tracer);
+  trace::OverloadStats stats = analyzer.analyze_overload();
+  EXPECT_TRUE(stats.found);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.budget_exhausted, 2u);
+  EXPECT_EQ(stats.hedges, 2u);
+  EXPECT_EQ(stats.hedges_won, 1u);
+  EXPECT_EQ(stats.brownouts, 2u);
+  EXPECT_NEAR(stats.brownout_seconds, 2.5, 1e-9);
+  // And a quiet trace reports nothing.
+  sim::Engine quiet_engine;
+  trace::Tracer quiet(quiet_engine);
+  EXPECT_FALSE(trace::TraceAnalyzer(quiet).analyze_overload().found);
+}
+
 }  // namespace
 }  // namespace ompcloud::bench

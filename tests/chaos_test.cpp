@@ -269,5 +269,141 @@ breaker-open-seconds = 30s
   EXPECT_GT(recovery_seconds, 0.0);
 }
 
+TEST(ChaosBreakerTest, HalfOpenAdmitsExactlyOneConcurrentProbe) {
+  // After the cooldown, the first arrival flips the breaker open ->
+  // half-open and becomes THE probe; a second offload racing it must not
+  // also hit the recovering device — it routes to the host while the probe
+  // is in flight. The probe's success then closes the breaker for everyone.
+  Engine engine;
+  std::string text = soak_config(R"(
+[fault]
+enabled = true
+seed = 5
+schedule = 0 net.partition 20
+)") + R"(
+[device]
+breaker-threshold = 2
+breaker-open-seconds = 30s
+)";
+  auto config = Config::parse(text);
+  ASSERT_TRUE(config.ok()) << config.status().to_string();
+  auto plugin = CloudPlugin::from_config(engine, *config);
+  ASSERT_TRUE(plugin.ok()) << plugin.status().to_string();
+  DeviceManager devices(engine);
+  devices.configure(DeviceManagerOptions::from_config(*config));
+  int id = devices.register_device(std::move(*plugin));
+
+  // Two failures inside the partition open the breaker.
+  for (int k = 0; k < 2; ++k) {
+    const size_t n = 64;
+    std::vector<float> x(n, 1.0f), y(n, 0.0f);
+    auto report = offload_once(engine, devices, chaos_region(x, y, k), id);
+    ASSERT_TRUE(report.ok()) << report.status().to_string();
+    EXPECT_TRUE(report->fell_back_to_host);
+  }
+  ASSERT_EQ(devices.breaker_state(id), DeviceManager::BreakerState::kOpen);
+
+  // Ride out the partition and the cooldown, then race two offloads into
+  // the half-open window in the same virtual instant.
+  engine.spawn([](Engine* engine) -> sim::Co<void> {
+    co_await engine->sleep(80.0);
+  }(&engine));
+  engine.run();
+
+  const size_t n = 64;
+  std::vector<float> x0(n, 3.0f), y0(n, 0.0f);
+  std::vector<float> x1(n, 5.0f), y1(n, 0.0f);
+  std::optional<Result<OffloadReport>> out0, out1;
+  auto submit = [&](TargetRegion region,
+                    std::optional<Result<OffloadReport>>* out) {
+    engine.spawn([](DeviceManager* devices, TargetRegion region,
+                    int device_id,
+                    std::optional<Result<OffloadReport>>* out)
+                     -> sim::Co<void> {
+      *out = co_await devices->offload(std::move(region), device_id);
+    }(&devices, std::move(region), id, out));
+  };
+  submit(chaos_region(x0, y0, 100), &out0);
+  submit(chaos_region(x1, y1, 101), &out1);
+  engine.run();
+
+  ASSERT_TRUE(out0.has_value() && out0->ok()) << out0->status().to_string();
+  ASSERT_TRUE(out1.has_value() && out1->ok()) << out1->status().to_string();
+  EXPECT_EQ(y0[0], 6.0f);
+  EXPECT_EQ(y1[0], 10.0f);
+  // Exactly one of the racers was the half-open probe on the cloud; the
+  // other kept off the recovering device and finished on the host.
+  int fallbacks = int{(*out0)->fell_back_to_host} +
+                  int{(*out1)->fell_back_to_host};
+  EXPECT_EQ(fallbacks, 1);
+  EXPECT_EQ(devices.breaker_state(id), DeviceManager::BreakerState::kClosed);
+
+  const auto& counters = devices.tracer().metrics().counters();
+  auto count = [&](const char* name) {
+    auto it = counters.find(name);
+    return it == counters.end() ? uint64_t{0} : it->second.value();
+  };
+  EXPECT_EQ(count("breaker.half_opens"), 1u);
+  EXPECT_EQ(count("breaker.closes"), 1u);
+}
+
+// --- Overload soak ----------------------------------------------------------
+
+/// The chaos contract must survive the overload controls: with budgets,
+/// hedging, and the adaptive limiter armed, every offload the system admits
+/// still produces results byte-identical to a fault-free run. (Admission
+/// itself can differ — that is the point of shedding — but nothing the
+/// budgeted path returns may be wrong.)
+class OverloadSoakTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OverloadSoakTest, AdmittedWorkStaysByteIdenticalUnderOverload) {
+  const uint64_t seed = GetParam();
+  std::string overload = R"(
+[overload]
+enabled = true
+retry-budget-ratio = 0.2
+retry-budget-initial = 10
+retry-budget-cap = 50
+hedge-quantile = 0.95
+hedge-min-samples = 8
+)";
+  std::string faults = str_format(R"(
+[fault]
+enabled = true
+seed = %llu
+storage.transient-rate = 0.06
+storage.torn-write-rate = 0.02
+net.corrupt-rate = 0.04
+net.stall-rate = 0.01
+net.stall-seconds = 1.0
+spark.task-fail-rate = 0.04
+spark.slowdown-rate = 0.04
+)",
+                                  static_cast<unsigned long long>(seed));
+
+  SoakRun chaotic;
+  run_soak(soak_config(overload + faults), /*offloads=*/100, &chaotic);
+  if (HasFatalFailure()) return;
+  SoakRun clean;
+  run_soak(soak_config(overload), /*offloads=*/100, &clean);
+  if (HasFatalFailure()) return;
+
+  EXPECT_GT(chaotic.faults_injected, 0u) << "seed " << seed;
+  EXPECT_EQ(clean.faults_injected, 0u);
+
+  ASSERT_EQ(chaotic.outputs.size(), clean.outputs.size());
+  for (size_t k = 0; k < clean.outputs.size(); ++k) {
+    ASSERT_EQ(chaotic.outputs[k].size(), clean.outputs[k].size());
+    EXPECT_EQ(std::memcmp(chaotic.outputs[k].data(), clean.outputs[k].data(),
+                          clean.outputs[k].size() * sizeof(float)),
+              0)
+        << "offload " << k << " diverged under overload controls (seed "
+        << seed << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverloadSoakTest,
+                         ::testing::Values(2u, 11u, 23u));
+
 }  // namespace
 }  // namespace ompcloud

@@ -1,0 +1,144 @@
+// Tests for the token-bucket retry budget: initial grants, exhaustion
+// fail-fast, replenishment through successes, the per-bucket cap, atomic
+// multi-scope withdrawal, the disabled-is-free contract, and config
+// parsing/validation of the `overload.retry-budget-*` keys.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/config.h"
+#include "support/retry_budget.h"
+
+namespace ompcloud {
+namespace {
+
+RetryBudgetOptions enabled_options(double ratio, double initial, double cap) {
+  RetryBudgetOptions options;
+  options.enabled = true;
+  options.ratio = ratio;
+  options.initial = initial;
+  options.cap = cap;
+  return options;
+}
+
+TEST(RetryBudgetTest, DisabledAdmitsEverythingForFree) {
+  RetryBudget budget;  // default options: disabled
+  ASSERT_FALSE(budget.enabled());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(budget.try_withdraw({"device:cloud-0", "tenant:acme"}));
+  }
+  budget.record_success({"device:cloud-0"});
+  // Disabled probes never touch a bucket or a counter.
+  EXPECT_EQ(budget.withdrawals(), 0u);
+  EXPECT_EQ(budget.exhaustions(), 0u);
+  EXPECT_EQ(budget.tokens("device:cloud-0"), budget.options().initial);
+}
+
+TEST(RetryBudgetTest, InitialGrantThenFailFast) {
+  RetryBudget budget(enabled_options(/*ratio=*/0.1, /*initial=*/2.0,
+                                     /*cap=*/10.0));
+  // The cold bucket affords exactly `initial` retries, then refuses.
+  EXPECT_TRUE(budget.try_withdraw({"device:cloud-0"}));
+  EXPECT_TRUE(budget.try_withdraw({"device:cloud-0"}));
+  EXPECT_FALSE(budget.try_withdraw({"device:cloud-0"}));
+  EXPECT_FALSE(budget.try_withdraw({"device:cloud-0"}));
+  EXPECT_EQ(budget.withdrawals(), 2u);
+  EXPECT_EQ(budget.exhaustions(), 2u);
+}
+
+TEST(RetryBudgetTest, SuccessesEarnRetries) {
+  RetryBudget budget(enabled_options(/*ratio=*/0.25, /*initial=*/0.0,
+                                     /*cap=*/10.0));
+  EXPECT_FALSE(budget.try_withdraw({"device:cloud-0"}));
+  // Four successes at ratio 0.25 buy exactly one retry.
+  for (int i = 0; i < 3; ++i) budget.record_success({"device:cloud-0"});
+  EXPECT_FALSE(budget.try_withdraw({"device:cloud-0"}));
+  budget.record_success({"device:cloud-0"});
+  EXPECT_TRUE(budget.try_withdraw({"device:cloud-0"}));
+  EXPECT_FALSE(budget.try_withdraw({"device:cloud-0"}));
+}
+
+TEST(RetryBudgetTest, CapBoundsAccumulation) {
+  RetryBudget budget(enabled_options(/*ratio=*/1.0, /*initial=*/0.0,
+                                     /*cap=*/3.0));
+  for (int i = 0; i < 100; ++i) budget.record_success({"device:cloud-0"});
+  EXPECT_EQ(budget.tokens("device:cloud-0"), 3.0);
+  EXPECT_TRUE(budget.try_withdraw({"device:cloud-0"}));
+  EXPECT_TRUE(budget.try_withdraw({"device:cloud-0"}));
+  EXPECT_TRUE(budget.try_withdraw({"device:cloud-0"}));
+  EXPECT_FALSE(budget.try_withdraw({"device:cloud-0"}));
+}
+
+TEST(RetryBudgetTest, MultiScopeWithdrawalIsAtomic) {
+  RetryBudget budget(enabled_options(/*ratio=*/0.1, /*initial=*/1.0,
+                                     /*cap=*/10.0));
+  // Drain the tenant bucket while the device bucket still has its grant.
+  EXPECT_TRUE(budget.try_withdraw({"tenant:acme"}));
+  EXPECT_EQ(budget.tokens("tenant:acme"), 0.0);
+  EXPECT_EQ(budget.tokens("device:cloud-0"), 1.0);
+  // The empty tenant bucket blocks the pair, and the device bucket must
+  // stay untouched — no partial withdrawal.
+  EXPECT_FALSE(budget.try_withdraw({"device:cloud-0", "tenant:acme"}));
+  EXPECT_EQ(budget.tokens("device:cloud-0"), 1.0);
+  // Alone, the device bucket still affords its retry.
+  EXPECT_TRUE(budget.try_withdraw({"device:cloud-0"}));
+}
+
+TEST(RetryBudgetTest, ScopesAreIndependent) {
+  RetryBudget budget(enabled_options(/*ratio=*/0.1, /*initial=*/1.0,
+                                     /*cap=*/10.0));
+  EXPECT_TRUE(budget.try_withdraw({"tenant:acme"}));
+  EXPECT_FALSE(budget.try_withdraw({"tenant:acme"}));
+  // A noisy tenant exhausting its bucket must not tax its neighbors.
+  EXPECT_TRUE(budget.try_withdraw({"tenant:globex"}));
+}
+
+TEST(RetryBudgetTest, EmptyScopeListIsAdmitted) {
+  RetryBudget budget(enabled_options(/*ratio=*/0.1, /*initial=*/0.0,
+                                     /*cap=*/10.0));
+  EXPECT_TRUE(budget.try_withdraw({}));
+}
+
+TEST(RetryBudgetOptionsTest, ParsesOverloadSection) {
+  auto config = *Config::parse(R"(
+[overload]
+enabled = true
+retry-budget-ratio = 0.2
+retry-budget-initial = 5
+retry-budget-cap = 50
+)");
+  auto options = RetryBudgetOptions::from_config(config);
+  ASSERT_TRUE(options.ok()) << options.status().to_string();
+  EXPECT_TRUE(options->enabled);
+  EXPECT_EQ(options->ratio, 0.2);
+  EXPECT_EQ(options->initial, 5.0);
+  EXPECT_EQ(options->cap, 50.0);
+}
+
+TEST(RetryBudgetOptionsTest, RetryBudgetKeyOverridesMasterSwitch) {
+  // The master switch arms the budget...
+  auto armed = *Config::parse("[overload]\nenabled = true\n");
+  EXPECT_TRUE(RetryBudgetOptions::from_config(armed)->enabled);
+  // ...but `retry-budget = false` can opt just this control back out.
+  auto opted_out =
+      *Config::parse("[overload]\nenabled = true\nretry-budget = false\n");
+  EXPECT_FALSE(RetryBudgetOptions::from_config(opted_out)->enabled);
+  // And absent both, the budget stays off.
+  EXPECT_FALSE(RetryBudgetOptions::from_config(*Config::parse(""))->enabled);
+}
+
+TEST(RetryBudgetOptionsTest, RejectsNegativeAndInconsistentKnobs) {
+  auto negative =
+      *Config::parse("[overload]\nenabled = true\nretry-budget-ratio = -1\n");
+  EXPECT_EQ(RetryBudgetOptions::from_config(negative).status().code(),
+            StatusCode::kInvalidArgument);
+  auto inverted = *Config::parse(
+      "[overload]\nenabled = true\n"
+      "retry-budget-initial = 10\nretry-budget-cap = 5\n");
+  EXPECT_EQ(RetryBudgetOptions::from_config(inverted).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ompcloud

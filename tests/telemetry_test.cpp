@@ -389,6 +389,25 @@ TEST(AlertsTest, MalformedRulesAreLoudErrors) {
   EXPECT_FALSE(bad_bound.ok());
 }
 
+TEST(AlertsTest, ExampleOverloadRulesParse) {
+  // The overload-control rules documented in examples/ompcloud.ini must
+  // stay parseable as the grammar evolves.
+  auto rules = AlertRuleSet::from_config(*Config::parse(
+      "[alerts]\n"
+      "rule.retry-storm = burn-rate retry_budget.exhausted / "
+      "retry_budget.withdrawn objective 0.9 windows 5s:1,30s:0.5 "
+      "severity page\n"
+      "rule.shed-spike = burn-rate shed.count / "
+      "scheduler.events{kind=admit} objective 0.95 windows 5s:1 "
+      "severity ticket\n"
+      "rule.brownout-held = threshold overload.brownout >= 1 for 5s "
+      "severity page\n"
+      "rule.limit-pinned = threshold overload.limit <= 2 for 10s "
+      "severity ticket\n"));
+  ASSERT_TRUE(rules.ok()) << rules.status().to_string();
+  EXPECT_EQ(rules->rules.size(), 4u);
+}
+
 TEST(OpenMetricsTest, ExpositionShape) {
   Metrics metrics;
   metrics.counter("slo.deadline", {{"tenant", "teamA"}, {"outcome", "met"}})

@@ -320,6 +320,60 @@ std::vector<DeviceRow> device_rows(const Frame& frame, long long window) {
   return rows;
 }
 
+/// The unlabeled variant of a counter/gauge family (plugins double-count
+/// overload events into a plain series plus labeled breakdowns).
+const SeriesView* plain_series(const Frame& frame, std::string_view name) {
+  for (const SeriesView& view : frame.series) {
+    if (view.name == name && view.labels.empty()) return &view;
+  }
+  return nullptr;
+}
+
+/// Overload-control panel: retry-budget spend, brownout shedding, hedged
+/// transfers, and the adaptive concurrency limit. `found` stays false for
+/// dumps recorded with `[overload]` off (no such series), and the section
+/// is omitted from the text render.
+struct OverloadView {
+  bool found = false;
+  bool has_limit = false;
+  double limit = 0;        ///< overload.limit gauge (adaptive concurrency)
+  double brownout = 0;     ///< overload.brownout gauge (1 while browned out)
+  double brownouts = 0;    ///< episodes entered over the run
+  double queue_delay = 0;  ///< last sampled worst queue delay (seconds)
+  double withdrawn = 0;
+  double exhausted = 0;
+  double shed = 0;
+  double hedge_launched = 0;
+  double hedge_won = 0;
+  std::string shed_spark;
+};
+
+OverloadView overload_view(const Frame& frame, long long window) {
+  OverloadView view;
+  const long long tick = frame.last_tick;
+  auto total = [&](std::string_view name, double* out) {
+    const SeriesView* series = plain_series(frame, name);
+    if (series == nullptr) return;
+    view.found = true;
+    *out = series->value_at(tick);
+  };
+  total("retry_budget.withdrawn", &view.withdrawn);
+  total("retry_budget.exhausted", &view.exhausted);
+  total("shed.count", &view.shed);
+  total("hedge.launched", &view.hedge_launched);
+  total("hedge.won", &view.hedge_won);
+  total("overload.brownout", &view.brownout);
+  total("overload.brownouts", &view.brownouts);
+  total("overload.queue_delay", &view.queue_delay);
+  if (const SeriesView* limit = plain_series(frame, "overload.limit")) {
+    view.found = true;
+    view.has_limit = true;
+    view.limit = limit->value_at(tick);
+  }
+  view.shed_spark = sparkline(plain_series(frame, "shed.count"), tick, window);
+  return view;
+}
+
 std::string json_escape(std::string_view text) {
   std::string out;
   for (char c : text) {
@@ -359,6 +413,15 @@ void render_json(const Frame& frame, long long window) {
         row.fallback, row.breaker_text());
   }
   out += devices.empty() ? "],\n" : "\n ],\n";
+  const OverloadView ov = overload_view(frame, window);
+  out += str_format(
+      " \"overload\": {\"found\": %s, \"limit\": %.9g, \"brownout\": %s, "
+      "\"brownout_episodes\": %.9g, \"queue_delay_seconds\": %.9g, "
+      "\"retry_budget\": {\"withdrawn\": %.9g, \"exhausted\": %.9g}, "
+      "\"shed\": %.9g, \"hedges\": {\"launched\": %.9g, \"won\": %.9g}},\n",
+      ov.found ? "true" : "false", ov.has_limit ? ov.limit : 0.0,
+      ov.brownout >= 1 ? "true" : "false", ov.brownouts, ov.queue_delay,
+      ov.withdrawn, ov.exhausted, ov.shed, ov.hedge_launched, ov.hedge_won);
   out += str_format(
       " \"alerts\": {\"evaluated\": %s, \"fired\": %llu, \"resolved\": %llu, "
       "\"active\": [",
@@ -407,6 +470,22 @@ void render_text(const Frame& frame, long long window) {
                   row.ok, row.error, row.fallback, row.breaker_text(),
                   row.spark.c_str());
     }
+  }
+
+  const OverloadView ov = overload_view(frame, window);
+  if (ov.found) {
+    std::string limit = ov.has_limit ? str_format("%.9g", ov.limit)
+                                     : std::string("-");
+    std::printf(
+        "\noverload: limit %s  brownout %s (%.9g episodes, queue delay "
+        "%.9gs)\n",
+        limit.c_str(), ov.brownout >= 1 ? "YES" : "no", ov.brownouts,
+        ov.queue_delay);
+    std::printf(
+        "  budget: %.9g withdrawn, %.9g exhausted   shed: %.9g   "
+        "hedges: %.9g launched, %.9g won   %s\n",
+        ov.withdrawn, ov.exhausted, ov.shed, ov.hedge_launched, ov.hedge_won,
+        ov.shed_spark.c_str());
   }
 
   if (frame.has_alerts) {

@@ -179,6 +179,7 @@ int main(int argc, const char** argv) {
     // each absent section is omitted entirely, so their output is
     // unchanged.
     trace::ServiceStats service = analyzer.analyze_service();
+    trace::OverloadStats overload = analyzer.analyze_overload();
     trace::TelemetryStats telemetry = analyzer.analyze_telemetry();
     trace::AlertStats alerts = analyzer.analyze_alerts();
     if (json) {
@@ -189,6 +190,7 @@ int main(int argc, const char** argv) {
       }
       out += "]";
       if (service.found) out += ", \"service\": " + service.to_json();
+      if (overload.found) out += ", \"overload\": " + overload.to_json();
       if (telemetry.found) out += ", \"telemetry\": " + telemetry.to_json();
       if (alerts.found) out += ", \"alerts\": " + alerts.to_json();
       out += "}\n";
@@ -198,6 +200,7 @@ int main(int argc, const char** argv) {
         std::fputs(analysis.to_text().c_str(), stdout);
       }
       if (service.found) std::fputs(service.to_text().c_str(), stdout);
+      if (overload.found) std::fputs(overload.to_text().c_str(), stdout);
       if (telemetry.found) std::fputs(telemetry.to_text().c_str(), stdout);
       if (alerts.found) std::fputs(alerts.to_text().c_str(), stdout);
     }
